@@ -1,0 +1,76 @@
+"""Ablation: how much tolerance the allowance policies buy.
+
+Sweeps total utilization and measures the equitable allowance and the
+per-task solo allowances.  Shape: allowance decreases monotonically as
+load rises (less free time to redistribute) and the solo allowance
+always dominates the equitable share — the quantitative backing for
+the paper's §4.2-vs-§4.3 discussion.
+"""
+
+import pytest
+
+from repro.core.allowance import equitable_allowance, system_allowance
+from repro.core.feasibility import is_feasible
+from repro.workloads.generator import GeneratorConfig, random_taskset
+
+UTILIZATIONS = (0.3, 0.5, 0.7, 0.85)
+
+
+def system_at(u: float, seed0: int = 0):
+    seed = seed0
+    while True:
+        ts = random_taskset(
+            GeneratorConfig(
+                n=4,
+                utilization=u,
+                period_lo=10_000,
+                period_hi=1_000_000,
+                period_granularity=1_000,
+                deadline_factor=1.0,
+                seed=seed,
+            )
+        )
+        if is_feasible(ts):
+            return ts
+        seed += 1
+
+
+@pytest.mark.parametrize("u", UTILIZATIONS)
+def test_equitable_allowance_vs_utilization(benchmark, u):
+    ts = system_at(u)
+    allowance = benchmark(equitable_allowance, ts)
+    assert allowance >= 0
+    # More loaded variants of the same structure have less allowance.
+    tighter = ts.inflated(allowance)  # drive to the feasibility edge
+    assert equitable_allowance(tighter) == 0
+
+
+@pytest.mark.parametrize("u", UTILIZATIONS)
+def test_solo_allowance_dominates_equitable(benchmark, u):
+    ts = system_at(u)
+
+    def run():
+        return equitable_allowance(ts), system_allowance(ts)
+
+    eq, solo = benchmark(run)
+    assert all(v >= eq for v in solo.values())
+
+
+def test_allowance_monotone_decreasing_in_load(benchmark):
+    """Fix the structure (periods, deadlines, priorities) and scale the
+    costs: the equitable allowance must fall as the load rises."""
+    base = system_at(0.3)
+
+    def run():
+        series = []
+        for factor_percent in (100, 130, 160, 190):
+            scaled = base.with_costs(
+                {t.name: max(1, t.cost * factor_percent // 100) for t in base}
+            )
+            if is_feasible(scaled):
+                series.append(equitable_allowance(scaled))
+        return series
+
+    series = benchmark(run)
+    assert len(series) >= 2
+    assert series == sorted(series, reverse=True)

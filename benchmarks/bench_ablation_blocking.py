@@ -1,0 +1,104 @@
+"""Ablation: shared resources — blocking bounds vs simulated runs.
+
+The §7 "influence of tolerance on the blocking time b_i" study,
+quantified: PCP/PIP blocking terms shrink the tolerance factor, the
+simulated protocols stay within the analytic bounds, and ICPP (the
+PCP bound) never blocks at acquisition time.
+"""
+
+from repro.core.allowance import equitable_allowance
+from repro.core.blocking import (
+    CriticalSection,
+    blocking_times_pcp,
+    blocking_times_pip,
+    equitable_allowance_with_blocking,
+    response_time_with_blocking,
+)
+from repro.core.task import Task, TaskSet
+from repro.sim.locking import LockProtocol, SectionSpec
+from repro.sim.simulation import simulate
+from repro.sim.trace import EventKind
+
+
+def system() -> TaskSet:
+    # hi's 20-unit deadline leaves 10 units of slack: lo's 8-unit bus
+    # section consumes most of it, so the blocking-aware allowance is
+    # visibly smaller than the blocking-free one.
+    return TaskSet(
+        [
+            Task("hi", cost=10, period=100, deadline=20, priority=3),
+            Task("mid", cost=20, period=200, deadline=150, priority=2),
+            Task("lo", cost=30, period=400, deadline=350, priority=1),
+        ]
+    )
+
+
+SECTIONS = [
+    SectionSpec("hi", "bus", 2, 2),
+    SectionSpec("lo", "bus", 0, 8),
+    SectionSpec("mid", "dma", 5, 5),
+    SectionSpec("lo", "dma", 10, 6),
+]
+ANALYSIS_SECTIONS = [s.as_analysis_section() for s in SECTIONS]
+
+
+def test_blocking_shrinks_allowance(benchmark):
+    ts = system()
+
+    def run():
+        return (
+            equitable_allowance(ts),
+            equitable_allowance_with_blocking(ts, ANALYSIS_SECTIONS),
+        )
+
+    plain, blocked = benchmark(run)
+    assert blocked < plain  # the bus steals tolerance
+
+
+def test_simulated_pip_within_pip_bound(benchmark):
+    ts = system()
+    blocking = blocking_times_pip(ts, ANALYSIS_SECTIONS)
+
+    def run():
+        return simulate(
+            ts, horizon=2000, sections=SECTIONS, protocol=LockProtocol.PIP
+        )
+
+    res = benchmark(run)
+    assert res.missed() == []
+    for t in ts:
+        observed = res.max_response_time(t.name)
+        bound = response_time_with_blocking(t, ts, blocking)
+        assert observed is not None and observed <= bound
+
+
+def test_simulated_icpp_within_pcp_bound(benchmark):
+    ts = system()
+    blocking = blocking_times_pcp(ts, ANALYSIS_SECTIONS)
+
+    def run():
+        return simulate(
+            ts, horizon=2000, sections=SECTIONS, protocol=LockProtocol.ICPP
+        )
+
+    res = benchmark(run)
+    assert res.missed() == []
+    assert res.trace.of_kind(EventKind.BLOCKED) == []  # ICPP never blocks
+    for t in ts:
+        observed = res.max_response_time(t.name)
+        bound = response_time_with_blocking(t, ts, blocking)
+        assert observed is not None and observed <= bound
+
+
+def test_pcp_bound_never_looser_than_pip(benchmark):
+    ts = system()
+
+    def run():
+        return (
+            blocking_times_pcp(ts, ANALYSIS_SECTIONS),
+            blocking_times_pip(ts, ANALYSIS_SECTIONS),
+        )
+
+    pcp, pip = benchmark(run)
+    for name in pcp:
+        assert pcp[name] <= pip[name]

@@ -1,0 +1,79 @@
+"""Ablation: the jRate 10 ms timer-rounding quirk (§6.2).
+
+The paper accepts 1-3 ms of detection lateness because jRate's
+``PeriodicTimer`` is only precise at 10 ms multiples.  This ablation
+quantifies what the quirk costs: with exact timers, detection happens
+at the WCRT; with rounding, every detection is late by the rounding
+delay, and a faulty job may squeeze in up to that much extra damage.
+"""
+
+import pytest
+
+from repro.core.detection import EXACT, JRATE_10MS, Rounding, RoundingMode
+from repro.core.treatments import TreatmentKind, plan_treatment
+from repro.sim.simulation import simulate
+from repro.sim.trace import EventKind
+from repro.sim.vm import EXACT_VM, VMProfile
+from repro.units import ms
+from repro.workloads.scenarios import paper_fault, paper_figures_taskset, paper_horizon
+
+
+def detection_time(vm: VMProfile) -> int:
+    result = simulate(
+        paper_figures_taskset(),
+        horizon=paper_horizon(),
+        faults=paper_fault(),
+        treatment=TreatmentKind.DETECT_ONLY,
+        vm=vm,
+    )
+    detections = [
+        e
+        for e in result.trace.of_kind(EventKind.FAULT_DETECTED)
+        if (e.task, e.job) == ("tau1", 5)
+    ]
+    return detections[0].time
+
+
+def test_exact_timers_detect_at_wcrt(benchmark):
+    t = benchmark(detection_time, EXACT_VM)
+    assert t == ms(1029)
+
+
+def test_jrate_rounding_delays_detection(benchmark):
+    vm = VMProfile(name="jrate-timers", timer_rounding=JRATE_10MS)
+    t = benchmark(detection_time, vm)
+    assert t == ms(1030)  # exactly the 1 ms delay of Figure 4
+    assert t - detection_time(EXACT_VM) == ms(1)
+
+
+@pytest.mark.parametrize("resolution_ms,expected_delay_ms", [(1, 0), (5, 1), (10, 1), (50, 21)])
+def test_rounding_resolution_sweep(benchmark, resolution_ms, expected_delay_ms):
+    """Detection lateness as the timer resolution coarsens: with a
+    50 ms grid, tau1's detector lands at 50 ms (21 late)."""
+    vm = VMProfile(
+        name=f"res{resolution_ms}",
+        timer_rounding=Rounding(RoundingMode.UP, ms(resolution_ms)),
+    )
+    t = benchmark(detection_time, vm)
+    assert t == ms(1029) + ms(expected_delay_ms)
+
+
+def test_stopping_still_safe_under_rounding(benchmark):
+    """Even with 10 ms-rounded detectors, the immediate-stop policy
+    protects the lower-priority tasks on the paper's system (its 1 ms
+    lateness fits inside tau1's 41 ms slack)."""
+
+    def run():
+        vm = VMProfile(name="jrate-timers", timer_rounding=JRATE_10MS)
+        return simulate(
+            paper_figures_taskset(),
+            horizon=paper_horizon(),
+            faults=paper_fault(),
+            treatment=TreatmentKind.IMMEDIATE_STOP,
+            vm=vm,
+        )
+
+    result = benchmark(run)
+    assert result.missed() == []
+    (stopped,) = result.stopped()
+    assert stopped.finished_at == ms(1030)

@@ -1,0 +1,112 @@
+"""Ablation: the five treatments over random workloads.
+
+Generalises the paper's single-system comparison (§6): across many
+random feasible task sets with a random single cost overrun, the
+treatments must preserve their qualitative ordering —
+
+* without treatment, faults propagate (collateral failures happen);
+* every stopping policy eliminates collateral failures entirely;
+* the faulty job's execution time grows from immediate stop through
+  equitable allowance to system allowance (more tolerance, same
+  safety), which is the paper's headline trade-off.
+"""
+
+from repro.core.faults import CostOverrun, FaultInjector
+from repro.core.feasibility import is_feasible
+from repro.core.treatments import TreatmentKind
+from repro.experiments.metrics import compute_metrics
+from repro.sim.simulation import simulate
+from repro.workloads.generator import GeneratorConfig, random_taskset
+
+N_SYSTEMS = 30
+
+
+def _systems():
+    """Deterministic pool of feasible constrained-deadline systems."""
+    systems = []
+    seed = 0
+    while len(systems) < N_SYSTEMS:
+        ts = random_taskset(
+            GeneratorConfig(
+                n=4,
+                utilization=0.75,
+                period_lo=10_000,
+                period_hi=1_000_000,
+                period_granularity=1_000,
+                deadline_factor=0.9,
+                seed=seed,
+            )
+        )
+        seed += 1
+        if is_feasible(ts):
+            systems.append(ts)
+    return systems
+
+
+def _run_sweep(treatment):
+    outcomes = []
+    for i, ts in enumerate(_systems()):
+        victim = ts.tasks[0]  # paper: highest priority = worst case
+        faults = FaultInjector([CostOverrun(victim.name, 1, victim.deadline)])
+        horizon = 6 * max(t.period for t in ts)
+        res = simulate(ts, horizon=horizon, faults=faults, treatment=treatment)
+        outcomes.append((victim.name, compute_metrics(res)))
+    return outcomes
+
+
+def test_no_detection_lets_faults_propagate(benchmark):
+    outcomes = benchmark(_run_sweep, None)
+    collateral = sum(len(m.collateral_failures) for _, m in outcomes)
+    # The shape: with a deadline-sized overrun and no treatment, lower
+    # tasks fail somewhere in the pool.
+    assert collateral > 0
+
+
+def test_detect_only_changes_nothing(benchmark):
+    outcomes = benchmark(_run_sweep, TreatmentKind.DETECT_ONLY)
+    bare = _run_sweep(None)
+    assert [m.failed_tasks for _, m in outcomes] == [m.failed_tasks for _, m in bare]
+    # But every overrun is detected.
+    assert all(m.detections >= 1 for _, m in outcomes)
+
+
+def test_immediate_stop_eliminates_collateral_failures(benchmark):
+    outcomes = benchmark(_run_sweep, TreatmentKind.IMMEDIATE_STOP)
+    assert all(m.collateral_failures == [] for _, m in outcomes)
+
+
+def test_equitable_allowance_eliminates_collateral_failures(benchmark):
+    outcomes = benchmark(_run_sweep, TreatmentKind.EQUITABLE_ALLOWANCE)
+    assert all(m.collateral_failures == [] for _, m in outcomes)
+
+
+def test_system_allowance_eliminates_collateral_failures(benchmark):
+    outcomes = benchmark(_run_sweep, TreatmentKind.SYSTEM_ALLOWANCE)
+    assert all(m.collateral_failures == [] for _, m in outcomes)
+
+
+def test_tolerance_ordering_immediate_lt_equitable_lt_system(benchmark):
+    """The faulty job's granted execution never decreases from
+    immediate stop -> equitable allowance -> system allowance."""
+
+    def run():
+        grants = {k: [] for k in ("stop", "equitable", "system")}
+        for ts in _systems():
+            victim = ts.tasks[0]
+            faults = FaultInjector([CostOverrun(victim.name, 1, victim.deadline)])
+            horizon = 6 * max(t.period for t in ts)
+            for key, kind in (
+                ("stop", TreatmentKind.IMMEDIATE_STOP),
+                ("equitable", TreatmentKind.EQUITABLE_ALLOWANCE),
+                ("system", TreatmentKind.SYSTEM_ALLOWANCE),
+            ):
+                res = simulate(ts, horizon=horizon, faults=faults, treatment=kind)
+                job = res.job(victim.name, 1)
+                grants[key].append(job.executed)
+        return grants
+
+    grants = benchmark(run)
+    for a, b, c in zip(grants["stop"], grants["equitable"], grants["system"]):
+        assert a <= b <= c
+    # And strictly more tolerance overall (the ordering is not vacuous).
+    assert sum(grants["system"]) > sum(grants["stop"])

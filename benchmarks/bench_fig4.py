@@ -1,0 +1,37 @@
+"""Figure 4: execution with detection, without treatments.
+
+Shape reproduced: behaviour identical to Figure 3 (tau3 still misses),
+the fault is *detected*, and on the jRate VM profile the detectors fire
+with the §6.2 rounding delays 30-29=1, 60-58=2, 90-87=3 ms.
+"""
+
+from repro.experiments.paper import figure3, figure4
+from repro.sim.trace import EventKind
+from repro.sim.vm import JRATE_VM
+from repro.units import ms
+
+
+def test_figure4_detect_only(benchmark):
+    result = benchmark(figure4)
+    assert all(c.holds for c in result.claims()), [
+        c.description for c in result.claims() if not c.holds
+    ]
+    # Same failure pattern as Figure 3.
+    assert result.metrics.failed_tasks == figure3().metrics.failed_tasks
+
+
+def test_figure4_detector_delays(benchmark):
+    result = benchmark(figure4, JRATE_VM)
+    plan = result.result.runtime.plan
+    assert {n: d.delay for n, d in plan.detectors.items()} == {
+        "tau1": ms(1),
+        "tau2": ms(2),
+        "tau3": ms(3),
+    }
+    # tau1's faulty job is caught at release + rounded WCRT = 1030 ms.
+    detections = [
+        e
+        for e in result.result.trace.of_kind(EventKind.FAULT_DETECTED)
+        if (e.task, e.job) == ("tau1", 5)
+    ]
+    assert detections and detections[0].time == ms(1030)

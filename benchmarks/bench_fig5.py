@@ -1,0 +1,23 @@
+"""Figure 5: instantaneous stop of the faulty task.
+
+Shape reproduced: tau1 is stopped at its detection point (release +
+WCRT = 1029 ms), it is the only failed task, and the processor goes
+idle before tau3's deadline — the wasted slack motivating §4.2/§4.3.
+"""
+
+from repro.experiments.paper import figure5
+from repro.units import ms
+
+
+def test_figure5_immediate_stop(benchmark):
+    result = benchmark(figure5)
+    assert all(c.holds for c in result.claims()), [
+        c.description for c in result.claims() if not c.holds
+    ]
+    assert result.job_end("tau1", 5) == ms(1029)
+    assert result.job_end("tau2", 4) == ms(1058)
+    assert result.job_end("tau3", 0) == ms(1087)
+    # CPU idle between tau3's completion (1087) and its deadline (1120):
+    # the wasted 33 ms the allowance policies will hand to tau1.
+    assert result.metrics.failed_tasks == ["tau1"]
+    assert result.metrics.collateral_failures == []

@@ -1,0 +1,24 @@
+"""Figure 6: allowance granted equitably to all tasks.
+
+Shape reproduced: every task is granted A = 11 ms; tau1 is stopped at
+its adjusted WCRT (release + 40 ms), runs 11 ms longer than under the
+immediate stop, no other task fails — but tau2/tau3's unconsumed
+allowance is wasted CPU time.
+"""
+
+from repro.experiments.paper import figure5, figure6
+from repro.units import ms
+
+
+def test_figure6_equitable_allowance(benchmark):
+    result = benchmark(figure6)
+    assert all(c.holds for c in result.claims()), [
+        c.description for c in result.claims() if not c.holds
+    ]
+    assert result.job_end("tau1", 5) == ms(1040)
+    assert result.job_end("tau2", 4) == ms(1069)
+    assert result.job_end("tau3", 0) == ms(1098)
+    # Exactly 11 ms more execution than the Figure 5 stop.
+    assert result.job_end("tau1", 5) - figure5().job_end("tau1", 5) == ms(11)
+    # Unused slack remains before tau3's deadline (1120 - 1098).
+    assert ms(1120) - result.job_end("tau3", 0) == ms(22)

@@ -1,0 +1,50 @@
+"""Figure 7: allowance granted totally to the first faulty task.
+
+Shape reproduced exactly: the whole 33 ms of system free time goes to
+tau1, which is stopped at release + WCRT + 33 = 1062 ms; tau2 and tau3
+then finish "just before their deadlines" (1091 of 1120, and exactly
+1120).  Also checks the residual rule: when tau1 consumes only part of
+the grant, a later faulty task receives the remainder.
+"""
+
+from repro.core.treatments import TreatmentKind
+from repro.experiments.paper import figure7
+from repro.sim.simulation import simulate
+from repro.units import ms
+from repro.workloads.scenarios import paper_figures_taskset, paper_horizon
+from repro.core.faults import CostOverrun, FaultInjector
+
+
+def test_figure7_system_allowance(benchmark):
+    result = benchmark(figure7)
+    assert all(c.holds for c in result.claims()), [
+        c.description for c in result.claims() if not c.holds
+    ]
+    assert result.job_end("tau1", 5) == ms(1062)  # WCRT + 33
+    assert result.job_end("tau2", 4) == ms(1091)
+    assert result.job_end("tau3", 0) == ms(1120)  # exactly its deadline
+    assert result.metrics.collateral_failures == []
+
+
+def test_figure7_residual_allowance(benchmark):
+    """"If the first faulty task finishes before having consumed all
+    its allowance, the remainder is allocated to the other faulty
+    tasks": tau1 consumes 20 of the 33 ms, tau2 gets the other 13."""
+
+    def run():
+        faults = FaultInjector(
+            [CostOverrun("tau1", 5, ms(20)), CostOverrun("tau2", 4, ms(20))]
+        )
+        return simulate(
+            paper_figures_taskset(),
+            horizon=paper_horizon(),
+            faults=faults,
+            treatment=TreatmentKind.SYSTEM_ALLOWANCE,
+        )
+
+    result = benchmark(run)
+    tau2 = result.job("tau2", 4)
+    assert tau2.was_stopped
+    assert tau2.executed == ms(29) + ms(13)  # cost + residual grant
+    assert result.job("tau3", 0).finished_at == ms(1120)
+    assert result.missed() == []

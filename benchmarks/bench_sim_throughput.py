@@ -1,0 +1,56 @@
+"""Substrate benchmark: simulator throughput.
+
+Not a paper exhibit — this measures the discrete-event engine that
+replaces the paper's jRate testbed, so the cost of the figure
+regenerations can be attributed (events/second, jobs/second).
+"""
+
+from repro.core.treatments import TreatmentKind
+from repro.sim.simulation import simulate
+from repro.units import ms
+from repro.workloads.generator import GeneratorConfig, random_taskset
+from repro.workloads.scenarios import paper_figures_taskset, paper_fault
+
+
+def test_paper_system_one_hyperperiod(benchmark):
+    ts = paper_figures_taskset()
+
+    def run():
+        return simulate(ts, horizon=ms(15_000))  # 10 hyperperiods of tau1
+
+    result = benchmark(run)
+    assert len(result.jobs) > 80
+
+
+def test_paper_system_with_detectors(benchmark):
+    ts = paper_figures_taskset()
+
+    def run():
+        return simulate(
+            ts,
+            horizon=ms(15_000),
+            faults=paper_fault(),
+            treatment=TreatmentKind.DETECT_ONLY,
+        )
+
+    result = benchmark(run)
+    assert result.trace.of_kind
+
+def test_dense_ten_task_system(benchmark):
+    ts = random_taskset(
+        GeneratorConfig(
+            n=10,
+            utilization=0.9,
+            period_lo=1_000,
+            period_hi=100_000,
+            period_granularity=100,
+            seed=7,
+        )
+    )
+
+    def run():
+        return simulate(ts, horizon=5_000_000)
+
+    result = benchmark(run)
+    jobs = len(result.jobs)
+    assert jobs > 100

@@ -1,0 +1,32 @@
+"""Table 2: the tested system's WCRTs and equitable allowance.
+
+Paper values reproduced exactly: WCRT = (29, 58, 87) ms, A_i = 11 ms.
+The benchmark times the admission-control work the paper performs in
+its overloaded ``addToFeasibility()`` (Figure 2 per task) and the §4.2
+binary search.
+"""
+
+from repro.core.allowance import equitable_allowance
+from repro.core.feasibility import analyze
+from repro.experiments.paper import table2 as table2_experiment
+from repro.units import ms
+
+
+def test_table2_wcrt_analysis(benchmark, table2):
+    report = benchmark(analyze, table2)
+    assert report.feasible
+    assert report.wcrt("tau1") == ms(29)
+    assert report.wcrt("tau2") == ms(58)
+    assert report.wcrt("tau3") == ms(87)
+
+
+def test_table2_allowance_binary_search(benchmark, table2):
+    allowance = benchmark(equitable_allowance, table2)
+    assert allowance == ms(11)
+
+
+def test_table2_full_experiment(benchmark):
+    result = benchmark(table2_experiment)
+    assert all(c.holds for c in result.claims())
+    assert result.wcrt == {"tau1": ms(29), "tau2": ms(58), "tau3": ms(87)}
+    assert result.allowance == ms(11)

@@ -1,0 +1,29 @@
+"""Table 3: worst-case response times with cost overruns.
+
+Paper values reproduced exactly: the §4.2 stop thresholds are
+WCRT_i + i*A = (40, 80, 120) ms, and the exact recomputation over the
+inflated system agrees with the paper's additive closed form on this
+system.
+"""
+
+from repro.core.allowance import additive_adjusted_wcrt, adjusted_wcrt
+from repro.experiments.paper import table3 as table3_experiment
+from repro.units import ms
+
+EXPECTED = {"tau1": ms(40), "tau2": ms(80), "tau3": ms(120)}
+
+
+def test_table3_exact_recomputation(benchmark, table2):
+    adjusted = benchmark(adjusted_wcrt, table2, ms(11))
+    assert adjusted == EXPECTED
+
+
+def test_table3_paper_closed_form(benchmark, table2):
+    additive = benchmark(additive_adjusted_wcrt, table2, ms(11))
+    assert additive == EXPECTED
+
+
+def test_table3_full_experiment(benchmark):
+    result = benchmark(table3_experiment)
+    assert all(c.holds for c in result.claims())
+    assert result.exact == result.additive == EXPECTED

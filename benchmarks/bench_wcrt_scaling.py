@@ -1,0 +1,54 @@
+"""Scaling of the Figure 2 algorithm and the allowance searches.
+
+The paper notes its algorithms are "expensive in time" and affordable
+only because the system is static (§7).  These benchmarks measure that
+cost as the task count grows, so the dynamic-admission extension can be
+judged against real numbers.
+"""
+
+import pytest
+
+from repro.core.allowance import equitable_allowance
+from repro.core.feasibility import analyze, wc_response_time
+from repro.core.feasibility import is_feasible
+from repro.workloads.generator import GeneratorConfig, random_taskset
+
+
+def make_system(n: int):
+    seed = 0
+    while True:
+        ts = random_taskset(
+            GeneratorConfig(
+                n=n,
+                utilization=0.7,
+                period_lo=10_000,
+                period_hi=10_000_000,
+                period_granularity=1_000,
+                seed=seed,
+            )
+        )
+        if is_feasible(ts):
+            return ts
+        seed += 1
+
+
+@pytest.mark.parametrize("n", [5, 10, 20, 40])
+def test_full_analysis_scaling(benchmark, n):
+    ts = make_system(n)
+    report = benchmark(analyze, ts)
+    assert report.feasible
+
+
+@pytest.mark.parametrize("n", [5, 10, 20, 40])
+def test_lowest_priority_wcrt_scaling(benchmark, n):
+    ts = make_system(n)
+    lowest = ts.tasks[-1]
+    wcrt = benchmark(wc_response_time, lowest, ts)
+    assert wcrt is not None and wcrt <= lowest.deadline
+
+
+@pytest.mark.parametrize("n", [5, 10, 20])
+def test_allowance_search_scaling(benchmark, n):
+    ts = make_system(n)
+    allowance = benchmark(equitable_allowance, ts)
+    assert allowance >= 0

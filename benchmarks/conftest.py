@@ -1,0 +1,10 @@
+"""Shared benchmark fixtures."""
+
+import pytest
+
+from repro.workloads.scenarios import paper_table2
+
+
+@pytest.fixture(scope="session")
+def table2():
+    return paper_table2()

@@ -1,0 +1,52 @@
+"""repro — reproduction of *Fault Tolerance with Real-Time Java*
+(Masson & Midonnet, WPDRTS 2006).
+
+The package provides:
+
+* :mod:`repro.core` — the paper's contribution: feasibility analysis
+  (admission control), temporal-fault detectors and allowance-based
+  fault treatments for fixed-priority preemptive periodic systems;
+* :mod:`repro.sim` — a deterministic discrete-event uniprocessor
+  simulator standing in for the paper's jRate/Timesys testbed;
+* :mod:`repro.rtsj` — an RTSJ (`javax.realtime`) emulation layer,
+  including the paper's ``javax.realtime.extended`` package
+  (``RealtimeThreadExtended``, ``FeasibilityAnalysis``);
+* :mod:`repro.workloads` — task-set parsers, generators and the paper's
+  concrete systems;
+* :mod:`repro.viz` — the time-series chart tooling (Figures 3-7 style);
+* :mod:`repro.experiments` — runners regenerating every table/figure.
+
+Quickstart::
+
+    from repro import Task, TaskSet, analyze, equitable_allowance, ms
+
+    ts = TaskSet([
+        Task("tau1", cost=ms(29), period=ms(200), deadline=ms(70), priority=20),
+        Task("tau2", cost=ms(29), period=ms(250), deadline=ms(120), priority=18),
+        Task("tau3", cost=ms(29), period=ms(1500), deadline=ms(120), priority=16),
+    ])
+    report = analyze(ts)            # WCRTs: 29, 58, 87 ms
+    allowance = equitable_allowance(ts)   # 11 ms
+"""
+
+from repro.core import *  # noqa: F401,F403 - curated re-export
+from repro.core import __all__ as _core_all
+from repro.units import MS, NS, S, US, fmt_ms, fmt_time, ms, ns, seconds, to_ms, us
+
+__version__ = "1.0.0"
+
+__all__ = [
+    *_core_all,
+    "ms",
+    "us",
+    "ns",
+    "seconds",
+    "to_ms",
+    "fmt_ms",
+    "fmt_time",
+    "NS",
+    "US",
+    "MS",
+    "S",
+    "__version__",
+]

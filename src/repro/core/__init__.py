@@ -1,0 +1,225 @@
+"""The paper's primary contribution: admission control, fault
+detection, and allowance-based fault tolerance for fixed-priority
+preemptive periodic task systems."""
+
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionResult,
+    DetectorChange,
+)
+from repro.core.allowance import (
+    EquitableAllowance,
+    ResidualAllowanceManager,
+    adjusted_wcrt,
+    additive_adjusted_wcrt,
+    compute_equitable,
+    equitable_allowance,
+    system_adjusted_wcrt,
+    system_allowance,
+    task_allowance,
+)
+from repro.core.blocking import (
+    CriticalSection,
+    blocking_times_pcp,
+    blocking_times_pip,
+    equitable_allowance_with_blocking,
+    is_feasible_with_blocking,
+    priority_ceilings,
+    response_time_with_blocking,
+)
+from repro.core.bounds import (
+    hyperbolic_test,
+    liu_layland_bound,
+    liu_layland_test,
+)
+from repro.core.detection import (
+    EXACT,
+    JRATE_10MS,
+    DetectorSpec,
+    Rounding,
+    RoundingMode,
+    plan_detectors,
+)
+from repro.core.faults import (
+    CostOverrun,
+    CostUnderrun,
+    FaultInjector,
+    NoFaults,
+    RandomFaults,
+)
+from repro.core.feasibility import (
+    FeasibilityReport,
+    LoadTest,
+    TaskReport,
+    analyze,
+    assert_feasible,
+    is_feasible,
+    job_response_times,
+    level_busy_period,
+    load_test,
+    response_time_constrained,
+    response_time_of_job,
+    wc_response_time,
+)
+from repro.core.jitter import (
+    analyze_with_jitter,
+    detector_offsets_with_jitter,
+    is_feasible_with_jitter,
+    max_tolerable_jitter,
+    response_time_with_jitter,
+)
+from repro.core.priority_assignment import (
+    audsley_opa,
+    deadline_monotonic,
+    rate_monotonic,
+)
+from repro.core.precedence import (
+    PrecedenceGraph,
+    end_to_end_bound,
+    holistic_response_times,
+)
+from repro.core.sensitivity import (
+    SlackComparison,
+    breakdown_utilization,
+    compare_slack,
+    scaling_factor_ppm,
+)
+from repro.core.servers import (
+    ServerSpec,
+    deferrable_feasible,
+    deferrable_response_times,
+    polling_response_bound,
+    polling_server_taskset,
+    server_sizing,
+)
+from repro.core.sporadic import (
+    SporadicTask,
+    analysis_taskset,
+    dense_arrivals,
+    periodic_equivalent,
+    poisson_arrivals,
+)
+from repro.core.task import Task, TaskSet, hyperperiod
+from repro.core.underrun import (
+    ReclaimReport,
+    observed_costs,
+    reclaim_allowance,
+    tighten_costs,
+)
+from repro.core.timedemand import (
+    demand_curve,
+    scheduling_points,
+    tda_feasible,
+    tda_schedulable,
+    time_demand,
+)
+from repro.core.treatments import (
+    StopDirective,
+    TreatmentKind,
+    TreatmentPlan,
+    TreatmentRuntime,
+    plan_treatment,
+)
+
+__all__ = [
+    # task model
+    "Task",
+    "TaskSet",
+    "hyperperiod",
+    # feasibility
+    "LoadTest",
+    "load_test",
+    "wc_response_time",
+    "response_time_of_job",
+    "job_response_times",
+    "response_time_constrained",
+    "level_busy_period",
+    "TaskReport",
+    "FeasibilityReport",
+    "analyze",
+    "is_feasible",
+    "assert_feasible",
+    # bounds
+    "liu_layland_bound",
+    "liu_layland_test",
+    "hyperbolic_test",
+    # priority assignment
+    "rate_monotonic",
+    "deadline_monotonic",
+    "audsley_opa",
+    # allowance
+    "equitable_allowance",
+    "adjusted_wcrt",
+    "additive_adjusted_wcrt",
+    "task_allowance",
+    "system_allowance",
+    "system_adjusted_wcrt",
+    "EquitableAllowance",
+    "compute_equitable",
+    "ResidualAllowanceManager",
+    # detection
+    "Rounding",
+    "RoundingMode",
+    "EXACT",
+    "JRATE_10MS",
+    "DetectorSpec",
+    "plan_detectors",
+    # faults
+    "NoFaults",
+    "CostOverrun",
+    "CostUnderrun",
+    "FaultInjector",
+    "RandomFaults",
+    # treatments
+    "TreatmentKind",
+    "StopDirective",
+    "TreatmentPlan",
+    "TreatmentRuntime",
+    "plan_treatment",
+    # future work (paper §7)
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionResult",
+    "DetectorChange",
+    "CriticalSection",
+    "priority_ceilings",
+    "blocking_times_pcp",
+    "blocking_times_pip",
+    "response_time_with_blocking",
+    "is_feasible_with_blocking",
+    "equitable_allowance_with_blocking",
+    "SporadicTask",
+    "periodic_equivalent",
+    "analysis_taskset",
+    "dense_arrivals",
+    "poisson_arrivals",
+    "observed_costs",
+    "tighten_costs",
+    "reclaim_allowance",
+    "ReclaimReport",
+    # extended analyses
+    "response_time_with_jitter",
+    "analyze_with_jitter",
+    "is_feasible_with_jitter",
+    "detector_offsets_with_jitter",
+    "max_tolerable_jitter",
+    "scheduling_points",
+    "time_demand",
+    "tda_schedulable",
+    "tda_feasible",
+    "demand_curve",
+    "scaling_factor_ppm",
+    "breakdown_utilization",
+    "compare_slack",
+    "SlackComparison",
+    "PrecedenceGraph",
+    "holistic_response_times",
+    "end_to_end_bound",
+    "ServerSpec",
+    "polling_server_taskset",
+    "deferrable_response_times",
+    "deferrable_feasible",
+    "polling_response_bound",
+    "server_sizing",
+]

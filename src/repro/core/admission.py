@@ -1,0 +1,163 @@
+"""Dynamic admission control — the paper's §7 future work.
+
+"Our study considers a rather static system, in which all the tasks are
+known before launching [...].  Our objective in the continuation of
+this work will be to reach the same results in a more dynamic system
+where tasks can be added or removed 'in real-time' by adapting the
+behavior of our detectors."
+
+:class:`AdmissionController` maintains a live task set and, on every
+accepted change, recomputes the admission-control products the
+detectors depend on (WCRTs, allowances, detector offsets for the
+configured treatment) and reports which detectors moved — exactly the
+"adapting the behaviour of our detectors" the paper sketches.
+
+Changes are transactional: a rejected request leaves the controller
+untouched.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.detection import EXACT, Rounding
+from repro.core.feasibility import FeasibilityReport, analyze
+from repro.core.task import Task, TaskSet
+from repro.core.treatments import TreatmentKind, TreatmentPlan, plan_treatment
+
+__all__ = ["AdmissionDecision", "AdmissionResult", "DetectorChange", "AdmissionController"]
+
+
+class AdmissionDecision(enum.Enum):
+    """Outcome of an add/remove request."""
+
+    ACCEPTED = "accepted"
+    REJECTED_LOAD = "rejected-load"  # U would exceed 1
+    REJECTED_DEADLINE = "rejected-deadline"  # some WCRT would miss
+    REJECTED_DUPLICATE = "rejected-duplicate"
+    REJECTED_UNKNOWN = "rejected-unknown"  # removal of an absent task
+
+
+@dataclass(frozen=True)
+class DetectorChange:
+    """A detector whose check offset moved because of the change."""
+
+    task_name: str
+    old_offset: int | None  # None = detector newly installed
+    new_offset: int | None  # None = detector removed
+
+    @property
+    def kind(self) -> str:
+        if self.old_offset is None:
+            return "installed"
+        if self.new_offset is None:
+            return "removed"
+        return "moved"
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """What a request produced."""
+
+    decision: AdmissionDecision
+    report: FeasibilityReport | None = None
+    plan: TreatmentPlan | None = None
+    detector_changes: tuple[DetectorChange, ...] = ()
+
+    @property
+    def accepted(self) -> bool:
+        return self.decision is AdmissionDecision.ACCEPTED
+
+
+@dataclass
+class AdmissionController:
+    """Online admission control with detector adaptation.
+
+    *treatment* is the fault-tolerance policy whose detector offsets
+    the controller maintains; *rounding* is the platform timer quirk
+    applied to them.
+    """
+
+    treatment: TreatmentKind = TreatmentKind.DETECT_ONLY
+    rounding: Rounding = EXACT
+    taskset: TaskSet = field(default_factory=lambda: TaskSet([]))
+    plan: TreatmentPlan | None = None
+    history: list[tuple[str, str, AdmissionDecision]] = field(default_factory=list)
+
+    def request_add(self, task: Task) -> AdmissionResult:
+        """Try to admit *task*; detectors are re-planned on success."""
+        if task.name in self.taskset:
+            return self._log("add", task.name, AdmissionResult(AdmissionDecision.REJECTED_DUPLICATE))
+        trial = self.taskset.with_task(task)
+        report = analyze(trial)
+        if not report.feasible:
+            decision = (
+                AdmissionDecision.REJECTED_LOAD
+                if trial.utilization > 1
+                else AdmissionDecision.REJECTED_DEADLINE
+            )
+            return self._log("add", task.name, AdmissionResult(decision, report=report))
+        return self._log("add", task.name, self._commit(trial, report))
+
+    def request_remove(self, name: str) -> AdmissionResult:
+        """Remove the named task; always feasible, detectors shrink
+        back (remaining tasks may gain allowance)."""
+        if name not in self.taskset:
+            return self._log(
+                "remove", name, AdmissionResult(AdmissionDecision.REJECTED_UNKNOWN)
+            )
+        trial = self.taskset.without(name)
+        report = analyze(trial) if len(trial) else None
+        return self._log("remove", name, self._commit(trial, report))
+
+    def wcrt(self, name: str) -> int | None:
+        """Current WCRT of an admitted task."""
+        if self.plan is None:
+            return None
+        return self.plan.wcrt.get(name)
+
+    def detector_offsets(self) -> dict[str, int]:
+        """Current (rounded) detector check offsets."""
+        if self.plan is None:
+            return {}
+        return {n: d.offset for n, d in self.plan.detectors.items()}
+
+    # -- internals ---------------------------------------------------------------
+    def _commit(
+        self, new_set: TaskSet, report: FeasibilityReport | None
+    ) -> AdmissionResult:
+        old_offsets = self.detector_offsets()
+        new_plan = (
+            plan_treatment(new_set, self.treatment, self.rounding)
+            if len(new_set)
+            else None
+        )
+        self.taskset = new_set
+        self.plan = new_plan
+        new_offsets = (
+            {n: d.offset for n, d in new_plan.detectors.items()} if new_plan else {}
+        )
+        changes = _diff_detectors(old_offsets, new_offsets)
+        return AdmissionResult(
+            AdmissionDecision.ACCEPTED,
+            report=report,
+            plan=new_plan,
+            detector_changes=changes,
+        )
+
+    def _log(self, op: str, name: str, result: AdmissionResult) -> AdmissionResult:
+        self.history.append((op, name, result.decision))
+        return result
+
+
+def _diff_detectors(
+    old: Mapping[str, int], new: Mapping[str, int]
+) -> tuple[DetectorChange, ...]:
+    changes = []
+    for name in sorted(set(old) | set(new)):
+        before, after = old.get(name), new.get(name)
+        if before != after:
+            changes.append(DetectorChange(name, before, after))
+    return tuple(changes)

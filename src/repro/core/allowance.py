@@ -1,0 +1,276 @@
+"""Allowance (tolerance-factor) computation — paper §4.2 and §4.3.
+
+A theoretically feasible system usually has *slack*: extra execution
+time that tasks could consume without any deadline being missed.  The
+paper turns this slack into an explicit **allowance** used to decide how
+long a faulty (cost-overrunning) task may keep running before it is
+stopped:
+
+* the **equitable allowance** (§4.2) is the largest value ``A`` that can
+  be added to *every* task's cost with the system staying feasible —
+  found by binary search over the exact feasibility analysis.  With the
+  allowance granted, detectors move to the *adjusted* worst-case
+  response times of the inflated system (Table 3);
+* the **system allowance** (§4.3) grants the whole free time of the
+  system to the *first* faulty task: its grant is the largest value that
+  can be added to *its* cost alone.  If it stops before exhausting the
+  grant, the remainder benefits later faulty tasks — each subsequent
+  grant is the task's own maximal overrun minus what higher-priority
+  tasks already consumed (:class:`ResidualAllowanceManager`).
+
+All searches are integer binary searches in nanoseconds, so results are
+exact maxima: feasible at ``A``, infeasible at ``A + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.feasibility import analyze, is_feasible, wc_response_time
+from repro.core.task import Task, TaskSet
+
+__all__ = [
+    "max_such_that",
+    "equitable_allowance",
+    "adjusted_wcrt",
+    "additive_adjusted_wcrt",
+    "task_allowance",
+    "system_allowance",
+    "system_adjusted_wcrt",
+    "EquitableAllowance",
+    "compute_equitable",
+    "ResidualAllowanceManager",
+]
+
+
+def max_such_that(predicate: Callable[[int], bool], hi: int) -> int:
+    """Largest ``x`` in ``[0, hi]`` with ``predicate(x)`` true.
+
+    *predicate* must be monotone (true up to some threshold, false
+    beyond) and true at 0.  This is the binary search the paper uses to
+    compute allowances; *hi* must be an upper bound at which the
+    predicate may be false (it is checked last, not assumed).
+    """
+    if hi < 0:
+        raise ValueError("hi must be >= 0")
+    if not predicate(0):
+        raise ValueError("predicate must hold at 0 (system must be feasible)")
+    lo = 0  # invariant: predicate(lo) is true
+    hi_open = None  # smallest known-false point, if any
+    # Exponential probe keeps the common case (small allowance) cheap.
+    step = 1
+    while lo + step <= hi:
+        if predicate(lo + step):
+            lo += step
+            step *= 2
+        else:
+            hi_open = lo + step
+            break
+    if hi_open is None:
+        if predicate(hi):
+            return hi
+        hi_open = hi
+    while lo + 1 < hi_open:
+        mid = (lo + hi_open) // 2
+        if predicate(mid):
+            lo = mid
+        else:
+            hi_open = mid
+    return lo
+
+
+def _feasible_inflation_bound(taskset: TaskSet) -> int:
+    """An inflation at or beyond which the set cannot gain feasibility.
+
+    Once ``C_i + A > D_i`` for some task, its WCRT exceeds its deadline,
+    so ``min_i (D_i - C_i)`` is a valid (tight) search ceiling: every
+    value above it is infeasible, and the ceiling itself keeps all
+    tasks constructible (``C_i + A <= D_i``).
+    """
+    return min(t.deadline - t.cost for t in taskset)
+
+
+def equitable_allowance(taskset: TaskSet) -> int:
+    """The equitable allowance ``A`` of §4.2 (nanoseconds).
+
+    Largest ``A`` such that the set with every cost inflated by ``A``
+    remains feasible.  The input set must itself be feasible.
+    """
+    if len(taskset) == 0:
+        raise ValueError("empty task set has no allowance")
+    hi = max(_feasible_inflation_bound(taskset), 0)
+    return max_such_that(lambda a: is_feasible(taskset.inflated(a)), hi)
+
+
+def adjusted_wcrt(taskset: TaskSet, allowance: int) -> dict[str, int]:
+    """Worst-case response times of the allowance-inflated system.
+
+    These are the §4.2 stop thresholds (Table 3): a task granted the
+    equitable allowance is stopped once it runs past the WCRT computed
+    with *every* cost inflated by *allowance*.  Raises when the inflated
+    system is infeasible (allowance too large).
+    """
+    report = analyze(taskset.inflated(allowance))
+    if not report.feasible:
+        raise ValueError(f"system infeasible with allowance {allowance}")
+    return {name: r.wcrt for name, r in report.per_task.items()}  # type: ignore[misc]
+
+
+def additive_adjusted_wcrt(taskset: TaskSet, allowance: int) -> dict[str, int]:
+    """The paper's Table 3 closed form: ``WCRT_i + sum_{j: P_j >= P_i} A``.
+
+    Exact when each task's busy window contains a single job of every
+    higher-or-equal-priority task (true for the paper's Table 2 system);
+    in general it can differ from the exact :func:`adjusted_wcrt`, which
+    should be preferred.  Kept for fidelity and comparison tests.
+    """
+    out: dict[str, int] = {}
+    for rank, task in enumerate(taskset):
+        base = wc_response_time(task, taskset)
+        if base is None:
+            raise ValueError(f"{task.name} has unbounded WCRT")
+        out[task.name] = base + allowance * (rank + 1)
+    return out
+
+
+def task_allowance(
+    taskset: TaskSet, name: str, consumed: Mapping[str, int] | None = None
+) -> int:
+    """Largest overrun the named task can make alone (§4.3), given the
+    overruns *consumed* by other tasks so far (nanoseconds each).
+
+    Searches for the largest ``X`` such that the system stays feasible
+    with ``C_name + X`` and every other task's cost inflated by its
+    consumed overrun.
+    """
+    consumed = dict(consumed or {})
+    consumed.pop(name, None)
+    base_costs = {
+        t.name: t.cost + consumed.get(t.name, 0) for t in taskset
+    }
+    try:
+        base = taskset.with_costs(base_costs)
+    except ValueError:
+        # A consumed overrun pushed some cost beyond its deadline and
+        # period: the system is certainly infeasible, nothing is left.
+        return 0
+    if not is_feasible(base):
+        return 0
+    target = base[name]
+    hi = max(target.deadline - target.cost, 0)
+
+    def pred(x: int) -> bool:
+        return is_feasible(base.with_costs({name: target.cost + x}))
+
+    return max_such_that(pred, hi)
+
+
+def system_allowance(taskset: TaskSet) -> dict[str, int]:
+    """§4.3 grants: for each task, the maximal overrun it may make as
+    the *first* faulty task (the "maximum free time available in the
+    system" from that task's point of view)."""
+    return {t.name: task_allowance(taskset, t.name) for t in taskset}
+
+
+def system_adjusted_wcrt(taskset: TaskSet) -> dict[str, int]:
+    """§4.3 stop thresholds: the WCRT of each task when *any single*
+    task (itself or a higher-or-equal-priority one) consumes its full
+    solo allowance.
+
+    These static thresholds implement the §4.3 policy exactly: a faulty
+    task is stopped once it runs past ``WCRT_i + allowance``; a
+    higher-priority task's consumed overrun appears as interference in
+    lower tasks' completion times, so any residue left by an early stop
+    is automatically available to the next faulty task ("if the first
+    faulty task finishes before having consumed all its allowance, the
+    remainder is allocated to the other faulty tasks") while non-faulty
+    delayed tasks are never stopped.
+
+    On the paper's Table 2 system every threshold is ``WCRT_i + 33 ms``.
+    """
+    grants = system_allowance(taskset)
+    out: dict[str, int] = {}
+    for task in taskset:
+        candidates = [task, *taskset.higher_or_equal_priority(task)]
+        worst = 0
+        for donor in candidates:
+            inflated = taskset.with_costs(
+                {donor.name: taskset[donor.name].cost + grants[donor.name]}
+            )
+            r = wc_response_time(inflated[task.name], inflated)
+            if r is None:
+                raise ValueError(
+                    f"inflating {donor.name} by its own allowance made "
+                    f"{task.name} unbounded - inconsistent allowance"
+                )
+            worst = max(worst, r)
+        out[task.name] = worst
+    return out
+
+
+@dataclass(frozen=True)
+class EquitableAllowance:
+    """Result bundle for the §4.2 policy.
+
+    ``value`` is the per-task allowance ``A`` and ``stop_after`` maps
+    each task to its adjusted WCRT — the delay after a job's release
+    beyond which the treatment stops the job.
+    """
+
+    value: int
+    stop_after: Mapping[str, int]
+
+
+def compute_equitable(taskset: TaskSet) -> EquitableAllowance:
+    """Compute the §4.2 allowance and its adjusted stop thresholds."""
+    a = equitable_allowance(taskset)
+    return EquitableAllowance(value=a, stop_after=adjusted_wcrt(taskset, a))
+
+
+@dataclass
+class ResidualAllowanceManager:
+    """Book-keeping for the §4.3 policy across successive faults.
+
+    The first faulty task receives its full solo allowance.  When a
+    faulty task stops (or completes) having consumed only part of its
+    grant, :meth:`record_overrun` is called with the overrun actually
+    consumed; subsequent grants shrink accordingly ("if the first faulty
+    task finishes before having consumed all its allowance, the
+    remainder is allocated to the other faulty tasks").
+
+    Grants are computed by re-running the exact analysis with consumed
+    overruns folded into the costs, which generalises the paper's
+    subtraction formula (and coincides with it on the paper's system —
+    see the tests).
+    """
+
+    taskset: TaskSet
+    consumed: dict[str, int] = field(default_factory=dict)
+
+    def grant(self, name: str) -> int:
+        """Allowance currently available to the named task."""
+        return task_allowance(self.taskset, name, self.consumed)
+
+    def record_overrun(self, name: str, amount: int) -> None:
+        """Record that *name* actually overran its cost by *amount*."""
+        if amount < 0:
+            raise ValueError("overrun amount must be >= 0")
+        self.consumed[name] = self.consumed.get(name, 0) + amount
+
+    def reset(self) -> None:
+        """Forget consumed overruns (e.g. at an idle instant, when the
+        backlog has drained and past overruns no longer interfere)."""
+        self.consumed.clear()
+
+    def paper_subtraction_grant(self, name: str) -> int:
+        """The paper's closed form: solo allowance minus the overruns
+        consumed by higher-or-equal-priority tasks (floored at 0)."""
+        solo = task_allowance(self.taskset, name)
+        me = self.taskset[name]
+        higher = sum(
+            amt
+            for other, amt in self.consumed.items()
+            if other != name and self.taskset[other].priority >= me.priority
+        )
+        return max(solo - higher, 0)

@@ -1,0 +1,202 @@
+"""Shared resources and blocking times — §7 future work.
+
+"We have considered neither the issues related to precedence
+constraints nor the ones deriving from the share of resources among the
+various tasks of the system.  In the latter case, it would be advisable
+to study the influence of tolerance on the determination of the
+blocking time (b_i)."
+
+This module provides the classic uniprocessor machinery the paper
+points at:
+
+* critical sections over named resources;
+* blocking bounds ``b_i`` under the **priority ceiling protocol** (at
+  most one lower-priority critical section with ceiling >= P_i) and
+  under **priority inheritance** (at most one critical section per
+  lower-priority task, over resources shared with level >= i);
+* response-time analysis extended with the blocking term,
+  ``R = C + b + interference``;
+* the "influence of tolerance on b_i" study: allowance computation over
+  the blocking-aware analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.allowance import max_such_that
+from repro.core.task import Task, TaskSet
+
+__all__ = [
+    "CriticalSection",
+    "validate_sections",
+    "priority_ceilings",
+    "blocking_times_pcp",
+    "blocking_times_pip",
+    "response_time_with_blocking",
+    "is_feasible_with_blocking",
+    "equitable_allowance_with_blocking",
+]
+
+
+@dataclass(frozen=True)
+class CriticalSection:
+    """Task *task_name* holds *resource* for up to *duration* ns."""
+
+    task_name: str
+    resource: str
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("critical section duration must be > 0")
+
+
+def validate_sections(
+    taskset: TaskSet, sections: Iterable[CriticalSection]
+) -> list[CriticalSection]:
+    """Check every section references a known task and fits its cost."""
+    out = []
+    for cs in sections:
+        if cs.task_name not in taskset:
+            raise ValueError(f"critical section on unknown task {cs.task_name!r}")
+        if cs.duration > taskset[cs.task_name].cost:
+            raise ValueError(
+                f"{cs.task_name}: critical section longer than the task cost"
+            )
+        out.append(cs)
+    return out
+
+
+def priority_ceilings(
+    taskset: TaskSet, sections: Iterable[CriticalSection]
+) -> dict[str, int]:
+    """PCP ceilings: the highest priority among users of each resource."""
+    ceilings: dict[str, int] = {}
+    for cs in sections:
+        prio = taskset[cs.task_name].priority
+        ceilings[cs.resource] = max(ceilings.get(cs.resource, prio), prio)
+    return ceilings
+
+
+def blocking_times_pcp(
+    taskset: TaskSet, sections: Sequence[CriticalSection]
+) -> dict[str, int]:
+    """Blocking bound ``b_i`` under the priority ceiling protocol.
+
+    A task can be blocked by at most *one* critical section, belonging
+    to a lower-priority task, over a resource whose ceiling is at least
+    its own priority.
+    """
+    sections = validate_sections(taskset, sections)
+    ceilings = priority_ceilings(taskset, sections)
+    out: dict[str, int] = {}
+    for task in taskset:
+        candidates = [
+            cs.duration
+            for cs in sections
+            if taskset[cs.task_name].priority < task.priority
+            and ceilings[cs.resource] >= task.priority
+        ]
+        out[task.name] = max(candidates, default=0)
+    return out
+
+
+def blocking_times_pip(
+    taskset: TaskSet, sections: Sequence[CriticalSection]
+) -> dict[str, int]:
+    """Blocking bound ``b_i`` under priority inheritance.
+
+    Each lower-priority task may block task i at most once (its longest
+    relevant critical section); relevant means the resource is also
+    used by some task of priority >= P_i.
+    """
+    sections = validate_sections(taskset, sections)
+    out: dict[str, int] = {}
+    for task in taskset:
+        relevant_resources = {
+            cs.resource
+            for cs in sections
+            if taskset[cs.task_name].priority >= task.priority
+        }
+        total = 0
+        for lower in taskset.lower_priority(task):
+            candidates = [
+                cs.duration
+                for cs in sections
+                if cs.task_name == lower.name and cs.resource in relevant_resources
+            ]
+            total += max(candidates, default=0)
+        out[task.name] = total
+    return out
+
+
+def response_time_with_blocking(
+    task: Task, taskset: TaskSet, blocking: Mapping[str, int]
+) -> int | None:
+    """Constrained-deadline RTA with a blocking term:
+
+    ``R = C_i + b_i + sum_j ceil(R / T_j) * C_j``.
+
+    Valid for ``D_i <= T_i`` (the standard PCP/PIP analysis setting).
+    Returns None when the fixed point diverges.
+    """
+    if not task.constrained:
+        raise ValueError("blocking-aware RTA requires D <= T")
+    hp = taskset.higher_or_equal_priority(task)
+    b = blocking.get(task.name, 0)
+    # Divergence iff the interference utilization reaches 1 (the
+    # blocking term is a constant); otherwise ceil(x) <= x + 1 bounds
+    # the fixed point at (C + b + sum C_j) / (1 - U_hp), exactly.
+    num, den = 0, 1
+    total_cost = 0
+    for t in hp:
+        num = num * t.period + t.cost * den
+        den *= t.period
+        total_cost += t.cost
+    if num >= den:
+        return None
+    limit = (task.cost + b + total_cost) * den // (den - num) + 1
+    r = task.cost + b
+    while True:
+        demand = task.cost + b + sum(-(-r // t.period) * t.cost for t in hp)
+        if demand == r:
+            return r
+        if demand > limit:  # unreachable by the bound; defensive only
+            return None
+        r = demand
+
+
+def is_feasible_with_blocking(
+    taskset: TaskSet, blocking: Mapping[str, int]
+) -> bool:
+    """Admission control including blocking terms."""
+    for task in taskset:
+        r = response_time_with_blocking(task, taskset, blocking)
+        if r is None or r > task.deadline:
+            return False
+    return True
+
+
+def equitable_allowance_with_blocking(
+    taskset: TaskSet, sections: Sequence[CriticalSection]
+) -> int:
+    """The §4.2 allowance under PCP blocking — the paper's "influence
+    of tolerance on the determination of the blocking time" study.
+
+    Critical-section durations are held constant while costs inflate
+    (an overrun happens in the non-critical part of the code; a fault
+    *inside* a critical section would require aborting the section,
+    which the paper's stop mechanism cannot do safely).
+    """
+    if not is_feasible_with_blocking(taskset, blocking_times_pcp(taskset, sections)):
+        raise ValueError("system infeasible with blocking; no allowance")
+    hi = min(t.deadline - t.cost for t in taskset)
+
+    def pred(a: int) -> bool:
+        inflated = taskset.inflated(a)
+        blocking = blocking_times_pcp(inflated, list(sections))
+        return is_feasible_with_blocking(inflated, blocking)
+
+    return max_such_that(pred, max(hi, 0))

@@ -1,0 +1,78 @@
+"""Sufficient schedulability bounds cited by the paper.
+
+The paper's state of the art (§2, refs [11], [2]) covers, besides exact
+response-time analysis, the classic polynomial-time *sufficient* tests
+for rate-monotonic systems with implicit deadlines:
+
+* the Liu & Layland utilization bound ``U <= n (2^{1/n} - 1)`` [11];
+* the hyperbolic bound ``prod (U_i + 1) <= 2`` of Bini & Buttazzo [2],
+  which dominates the LL bound (accepts every set LL accepts, plus
+  more) while remaining only sufficient.
+
+These are useful as fast admission pre-filters: a set accepted by a
+sufficient bound needs no response-time computation.  Both tests assume
+``D_i = T_i`` and rate-monotonic-consistent priorities; callers are
+responsible for those preconditions (checked helpers provided).
+"""
+
+from __future__ import annotations
+
+from repro.core.task import TaskSet
+
+__all__ = [
+    "liu_layland_bound",
+    "liu_layland_test",
+    "hyperbolic_test",
+    "is_implicit_deadline",
+    "is_rate_monotonic",
+]
+
+
+def liu_layland_bound(n: int) -> float:
+    """The Liu & Layland utilization bound for *n* tasks.
+
+    ``n (2^{1/n} - 1)``; tends to ``ln 2 ~ 0.693`` as n grows.
+    """
+    if n <= 0:
+        raise ValueError("n must be >= 1")
+    return n * (2 ** (1 / n) - 1)
+
+
+def liu_layland_test(taskset: TaskSet) -> bool:
+    """Sufficient RM test [11]: ``U <= n(2^{1/n} - 1)``.
+
+    Returns True when the set is guaranteed schedulable under
+    rate-monotonic priorities with implicit deadlines.  False means
+    *unknown* (run the exact analysis), not infeasible.
+    """
+    if len(taskset) == 0:
+        return True
+    return taskset.utilization <= liu_layland_bound(len(taskset)) + 1e-12
+
+
+def hyperbolic_test(taskset: TaskSet) -> bool:
+    """Sufficient RM test [2]: ``prod (U_i + 1) <= 2``.
+
+    Strictly dominates :func:`liu_layland_test`.  As with the LL test,
+    False means unknown, not infeasible.
+    """
+    product = 1.0
+    for t in taskset:
+        product *= t.utilization + 1.0
+    return product <= 2.0 + 1e-12
+
+
+def is_implicit_deadline(taskset: TaskSet) -> bool:
+    """True when every task has ``D_i == T_i`` (bound precondition)."""
+    return all(t.deadline == t.period for t in taskset)
+
+
+def is_rate_monotonic(taskset: TaskSet) -> bool:
+    """True when priorities are rate-monotonic consistent: shorter
+    period never has lower priority than a longer period."""
+    tasks = taskset.tasks  # decreasing priority
+    for i, hi in enumerate(tasks):
+        for lo in tasks[i + 1 :]:
+            if hi.priority > lo.priority and hi.period > lo.period:
+                return False
+    return True

@@ -1,0 +1,148 @@
+"""Temporal-fault models — paper §3.
+
+A *fault* is a job taking more CPU time than its declared cost ``C_i``
+"either because it was underestimated, or because of an external event".
+This module describes faults declaratively so the simulator can inject
+them and the experiment harness can sweep them:
+
+* :class:`CostOverrun` — one specific job of one task runs for
+  ``C_i + extra`` (the paper's §6 experiments inject exactly one such
+  overrun into the highest-priority task, "the most unfavourable case");
+* :class:`CostUnderrun` — a job completing early (negative extra); used
+  by the §7 future-work under-run study (:mod:`repro.core.underrun`);
+* :class:`RandomFaults` — seeded random overruns for ablation sweeps.
+
+A :class:`FaultModel` is anything with ``demand(task_name, job, base)``
+returning the actual execution demand of a job; the simulator queries it
+at each release.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+__all__ = [
+    "FaultModel",
+    "NoFaults",
+    "CostOverrun",
+    "CostUnderrun",
+    "FaultInjector",
+    "RandomFaults",
+]
+
+
+class FaultModel(Protocol):
+    """Source of actual per-job execution demands."""
+
+    def demand(self, task_name: str, job: int, base_cost: int) -> int:
+        """Actual execution demand (ns) of job *job* of *task_name*,
+        given the declared cost *base_cost*."""
+        ...
+
+
+class NoFaults:
+    """Every job consumes exactly its declared cost."""
+
+    def demand(self, task_name: str, job: int, base_cost: int) -> int:
+        return base_cost
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NoFaults()"
+
+
+@dataclass(frozen=True)
+class CostOverrun:
+    """Job *job* (0-based) of *task_name* overruns its cost by *extra* ns."""
+
+    task_name: str
+    job: int
+    extra: int
+
+    def __post_init__(self) -> None:
+        if self.extra <= 0:
+            raise ValueError("overrun extra must be > 0 (use CostUnderrun)")
+        if self.job < 0:
+            raise ValueError("job index must be >= 0")
+
+
+@dataclass(frozen=True)
+class CostUnderrun:
+    """Job *job* of *task_name* completes *saved* ns early."""
+
+    task_name: str
+    job: int
+    saved: int
+
+    def __post_init__(self) -> None:
+        if self.saved <= 0:
+            raise ValueError("underrun saved must be > 0")
+        if self.job < 0:
+            raise ValueError("job index must be >= 0")
+
+
+class FaultInjector:
+    """A :class:`FaultModel` built from explicit per-job deviations.
+
+    Multiple deviations targeting the same job accumulate.  Demands are
+    floored at 1 ns — a job always executes *something* (the paper's
+    stop mechanism itself assumes the loop body runs at least once).
+    """
+
+    def __init__(self, deviations: Iterable[CostOverrun | CostUnderrun] = ()):
+        self._delta: dict[tuple[str, int], int] = {}
+        for dev in deviations:
+            self.add(dev)
+
+    def add(self, deviation: CostOverrun | CostUnderrun) -> None:
+        key = (deviation.task_name, deviation.job)
+        delta = deviation.extra if isinstance(deviation, CostOverrun) else -deviation.saved
+        total = self._delta.get(key, 0) + delta
+        if total == 0:
+            # Deviations cancelled out exactly: the job is not faulty.
+            self._delta.pop(key, None)
+        else:
+            self._delta[key] = total
+
+    def demand(self, task_name: str, job: int, base_cost: int) -> int:
+        return max(base_cost + self._delta.get((task_name, job), 0), 1)
+
+    @property
+    def deviations(self) -> dict[tuple[str, int], int]:
+        """Copy of the (task, job) → delta map (for reports)."""
+        return dict(self._delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultInjector({self._delta!r})"
+
+
+@dataclass
+class RandomFaults:
+    """Seeded random overruns for ablation sweeps.
+
+    Each job of each task independently overruns with probability
+    *rate*; the overrun size is uniform on ``[1, max_extra]`` ns.
+    Deterministic for a given seed: the per-job draw keys on
+    ``(task_name, job)`` so demand queries are order-independent and
+    repeatable (the simulator may query a job more than once).
+    """
+
+    rate: float
+    max_extra: int
+    seed: int = 0
+    _cache: dict[tuple[str, int], int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.max_extra <= 0:
+            raise ValueError("max_extra must be > 0")
+
+    def demand(self, task_name: str, job: int, base_cost: int) -> int:
+        key = (task_name, job)
+        if key not in self._cache:
+            rng = random.Random((hash(key) ^ self.seed) & 0xFFFFFFFF)
+            extra = rng.randint(1, self.max_extra) if rng.random() < self.rate else 0
+            self._cache[key] = extra
+        return base_cost + self._cache[key]

@@ -1,0 +1,127 @@
+"""Precedence constraints — §7 future work.
+
+"We have considered neither the issues related to precedence
+constraints..."  This module adds them in the classic uniprocessor
+form: tasks grouped into *transactions* released periodically, with a
+DAG of precedence edges inside each transaction (a successor's job may
+only start once all its predecessors' jobs of the same index have
+completed).
+
+Analysis follows the holistic approach (Tindell & Clark) specialised to
+one processor: processing tasks in topological order, a successor
+inherits a *release jitter* equal to the latest worst-case completion
+among its predecessors (measured from the transaction release), and its
+own completion bound is the jitter-aware response time.  The bound for
+a *sink* task is the end-to-end latency bound of its chains.
+
+All tasks joined by precedence edges must share a period (they belong
+to one transaction) and have constrained deadlines (the jitter
+analysis' domain).  The runtime counterpart — successor releases
+triggered by actual predecessor completions — is
+:class:`repro.sim.chains.ChainSimulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.jitter import response_time_with_jitter
+from repro.core.task import TaskSet
+
+__all__ = ["PrecedenceGraph", "holistic_response_times", "end_to_end_bound"]
+
+
+@dataclass
+class PrecedenceGraph:
+    """A DAG of precedence edges over a task set."""
+
+    taskset: TaskSet
+    edges: list[tuple[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(t.name for t in self.taskset)
+        for before, after in self.edges:
+            if before not in self.taskset or after not in self.taskset:
+                raise ValueError(f"edge ({before!r}, {after!r}) references unknown task")
+            if self.taskset[before].period != self.taskset[after].period:
+                raise ValueError(
+                    f"precedence-linked tasks {before!r} and {after!r} must "
+                    "share a period (one transaction)"
+                )
+            self._graph.add_edge(before, after)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise ValueError(f"precedence cycle: {cycle}")
+
+    # -- structure -------------------------------------------------------------
+    def predecessors(self, name: str) -> list[str]:
+        return sorted(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> list[str]:
+        return sorted(self._graph.successors(name))
+
+    def roots(self) -> list[str]:
+        """Tasks with no predecessor (released by the clock)."""
+        return sorted(n for n in self._graph.nodes if self._graph.in_degree(n) == 0)
+
+    def sinks(self) -> list[str]:
+        """Tasks with no successor (transaction outputs)."""
+        return sorted(n for n in self._graph.nodes if self._graph.out_degree(n) == 0)
+
+    def topological_order(self) -> list[str]:
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def chains(self) -> list[list[str]]:
+        """All root-to-sink paths (the transaction's chains)."""
+        out: list[list[str]] = []
+        for root in self.roots():
+            for sink in self.sinks():
+                if root == sink:
+                    if self._graph.degree(root) == 0:
+                        out.append([root])
+                    continue
+                out.extend(nx.all_simple_paths(self._graph, root, sink))
+        return out
+
+
+def holistic_response_times(graph: PrecedenceGraph) -> dict[str, int | None]:
+    """Worst-case *completion* time of each task, measured from its
+    transaction release.
+
+    Topological sweep: a task's inherited jitter is the max completion
+    bound among its predecessors; its own bound is the jitter-aware
+    WCRT (which already includes the inherited jitter).  ``None``
+    propagates: an unbounded predecessor makes every successor
+    unbounded.
+    """
+    ts = graph.taskset
+    jitter: dict[str, int] = {}
+    completion: dict[str, int | None] = {}
+    for name in graph.topological_order():
+        preds = graph.predecessors(name)
+        inherited = 0
+        dead = False
+        for p in preds:
+            bound = completion[p]
+            if bound is None:
+                dead = True
+                break
+            inherited = max(inherited, bound)
+        if dead:
+            completion[name] = None
+            continue
+        jitter[name] = inherited
+        completion[name] = response_time_with_jitter(ts[name], ts, jitter)
+    return completion
+
+
+def end_to_end_bound(graph: PrecedenceGraph, chain: list[str]) -> int | None:
+    """Latency bound of *chain* (root release -> sink completion): the
+    sink's holistic completion bound."""
+    if not chain:
+        raise ValueError("chain must be non-empty")
+    completions = holistic_response_times(graph)
+    return completions[chain[-1]]

@@ -1,0 +1,100 @@
+"""Priority assignment policies.
+
+The paper assumes priorities are given (RTSJ `PriorityParameters`), but
+its references define the standard assignment policies for fixed
+priorities, which an admission controller needs when tasks arrive
+without priorities:
+
+* **rate monotonic** (Liu & Layland [11]): shorter period = higher
+  priority; optimal for implicit deadlines;
+* **deadline monotonic** (Audsley et al. [1]): shorter relative deadline
+  = higher priority; optimal for constrained deadlines;
+* **Audsley's optimal priority assignment (OPA)**: optimal whenever the
+  schedulability test is OPA-compatible (response-time analysis is),
+  covering arbitrary deadlines.
+
+All functions return a *new* :class:`TaskSet` whose tasks carry fresh
+priorities; input priorities are ignored.  Ties are broken by the
+original order, keeping results deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.core.feasibility import wc_response_time
+from repro.core.task import Task, TaskSet
+
+__all__ = [
+    "rate_monotonic",
+    "deadline_monotonic",
+    "audsley_opa",
+    "PriorityAssignmentError",
+]
+
+
+class PriorityAssignmentError(ValueError):
+    """Raised by :func:`audsley_opa` when no feasible assignment exists."""
+
+
+def _assign(tasks: list[Task], key: Callable[[Task], int]) -> TaskSet:
+    """Assign priorities ``n..1`` by increasing *key* (stable)."""
+    ordered = sorted(tasks, key=lambda t: (key(t),))
+    n = len(ordered)
+    return TaskSet(
+        replace(t, priority=n - rank) for rank, t in enumerate(ordered)
+    )
+
+
+def rate_monotonic(taskset: TaskSet | list[Task]) -> TaskSet:
+    """Rate-monotonic assignment: smallest period gets highest priority."""
+    return _assign(list(taskset), key=lambda t: t.period)
+
+
+def deadline_monotonic(taskset: TaskSet | list[Task]) -> TaskSet:
+    """Deadline-monotonic assignment: smallest relative deadline gets
+    highest priority (optimal for ``D <= T`` [1])."""
+    return _assign(list(taskset), key=lambda t: t.deadline)
+
+
+def audsley_opa(taskset: TaskSet | list[Task]) -> TaskSet:
+    """Audsley's optimal priority assignment.
+
+    Greedily fills priority levels from the lowest up: at each level,
+    find *some* unassigned task that is schedulable there assuming all
+    other unassigned tasks have higher priority.  If a level cannot be
+    filled, no fixed-priority assignment is feasible and
+    :class:`PriorityAssignmentError` is raised.
+
+    Uses the exact arbitrary-deadline WCRT as the schedulability test,
+    so the result is optimal for the paper's task model.
+    """
+    remaining = list(taskset)
+    n = len(remaining)
+    assigned: list[Task] = []
+    for level in range(1, n + 1):  # 1 = lowest priority
+        placed = None
+        for candidate in remaining:
+            trial = _trial_set(candidate, remaining, level)
+            wcrt = wc_response_time(trial[candidate.name], trial)
+            if wcrt is not None and wcrt <= candidate.deadline:
+                placed = candidate
+                break
+        if placed is None:
+            raise PriorityAssignmentError(
+                f"no task schedulable at priority level {level}"
+            )
+        assigned.append(replace(placed, priority=level))
+        remaining.remove(placed)
+    return TaskSet(assigned)
+
+
+def _trial_set(candidate: Task, remaining: list[Task], level: int) -> TaskSet:
+    """Build the trial set: *candidate* at *level*, all other remaining
+    tasks at a strictly higher priority."""
+    trial = [replace(candidate, priority=level)]
+    trial.extend(
+        replace(t, priority=level + 1) for t in remaining if t.name != candidate.name
+    )
+    return TaskSet(trial)

@@ -1,0 +1,102 @@
+"""Sensitivity analysis: multiplicative slack and breakdown load.
+
+The paper's allowance is *additive* — a constant added to each cost.
+The classic alternative quantifies slack *multiplicatively*: the
+largest factor by which all costs can scale while the system stays
+feasible (the "breakdown utilization" view of Lehoczky, Sha & Ding).
+Having both lets the experiments compare the paper's design choice
+against the standard one:
+
+* the additive allowance favours short tasks (every task gets the same
+  absolute tolerance);
+* the scaling factor favours long tasks (tolerance proportional to
+  cost).
+
+Both searches are exact (binary search over the exact analysis; the
+scaling search is in parts-per-million to stay integral).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allowance import equitable_allowance, max_such_that
+from repro.core.feasibility import is_feasible
+from repro.core.task import TaskSet
+
+__all__ = ["scaling_factor_ppm", "breakdown_utilization", "SlackComparison", "compare_slack"]
+
+#: Search granularity for the multiplicative factor: 1e-6.
+PPM = 1_000_000
+
+
+def _scaled(taskset: TaskSet, factor_ppm: int) -> TaskSet | None:
+    """The set with every cost multiplied by factor_ppm/1e6 (rounded
+    up, floored at 1); None when some cost stops being constructible."""
+    try:
+        return taskset.with_costs(
+            {
+                t.name: max(1, -(-t.cost * factor_ppm // PPM))
+                for t in taskset
+            }
+        )
+    except ValueError:
+        return None
+
+
+def scaling_factor_ppm(taskset: TaskSet) -> int:
+    """Largest cost-scaling factor (in ppm) keeping the set feasible.
+
+    >= 1_000_000 for a feasible input (scaling by 1.0 is the input
+    itself).  Exact to 1 ppm.
+    """
+    if not is_feasible(taskset):
+        raise ValueError("system must be feasible")
+    # Upper bound: scaling beyond min(D/C) breaks the tightest task.
+    hi = max((t.deadline * PPM) // t.cost for t in taskset) + PPM
+
+    def pred(extra_ppm: int) -> bool:
+        scaled = _scaled(taskset, PPM + extra_ppm)
+        return scaled is not None and is_feasible(scaled)
+
+    return PPM + max_such_that(pred, hi)
+
+
+def breakdown_utilization(taskset: TaskSet) -> float:
+    """Utilization of the maximally-scaled system — how much load the
+    structure (periods, deadlines, priorities) can actually carry."""
+    factor = scaling_factor_ppm(taskset)
+    scaled = _scaled(taskset, factor)
+    assert scaled is not None
+    return scaled.utilization
+
+
+@dataclass(frozen=True)
+class SlackComparison:
+    """Additive (paper) vs multiplicative (classic) slack, side by side."""
+
+    taskset: TaskSet
+    additive_allowance: int
+    scaling_ppm: int
+
+    @property
+    def scaling(self) -> float:
+        return self.scaling_ppm / PPM
+
+    def additive_tolerance(self, name: str) -> int:
+        """Extra time the paper's §4.2 policy grants the named task."""
+        return self.additive_allowance
+
+    def multiplicative_tolerance(self, name: str) -> int:
+        """Extra time pure cost-scaling would grant the named task."""
+        cost = self.taskset[name].cost
+        return -(-cost * self.scaling_ppm // PPM) - cost
+
+
+def compare_slack(taskset: TaskSet) -> SlackComparison:
+    """Run both searches on *taskset*."""
+    return SlackComparison(
+        taskset=taskset,
+        additive_allowance=equitable_allowance(taskset),
+        scaling_ppm=scaling_factor_ppm(taskset),
+    )

@@ -1,0 +1,175 @@
+"""Aperiodic servers — analysis for the §7 "aperiodic tasks" axis.
+
+Sporadic tasks (``core.sporadic``) cover aperiodic work with a minimum
+interarrival; genuinely unconstrained aperiodic requests are instead
+handled by a *server*: a periodic budget at a fixed priority that
+drains an aperiodic queue.  Two classic fixed-priority servers:
+
+* **polling server (PS)** — budget available only at period starts; if
+  the queue is empty the budget is lost.  For the *periodic* tasks the
+  PS is indistinguishable from a periodic task ``(C_s, T_s)``, so the
+  whole admission-control/allowance machinery of the paper applies
+  verbatim with the server added to the set;
+* **deferrable server (DS)** — budget preserved across the period,
+  consumed whenever requests arrive.  Bandwidth preservation improves
+  aperiodic response but hurts lower tasks: the DS can execute
+  back-to-back at a period boundary, which is exactly a release jitter
+  of ``T_s - C_s`` in the interference term (the standard analysis).
+
+The module provides the interference-correct feasibility analysis for
+both, and queueing-style response bounds for the aperiodic requests
+under a polling server.  The runtime counterpart (a simulated polling
+server) lives in :mod:`repro.sim.servers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.feasibility import wc_response_time
+from repro.core.jitter import response_time_with_jitter
+from repro.core.task import Task, TaskSet
+
+__all__ = [
+    "ServerSpec",
+    "polling_server_taskset",
+    "deferrable_response_times",
+    "deferrable_feasible",
+    "polling_response_bound",
+    "server_sizing",
+]
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A periodic server: *capacity* of budget every *period*."""
+
+    name: str
+    capacity: int
+    period: int
+    priority: int
+    deadline: int = -1
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.period <= 0:
+            raise ValueError("capacity and period must be > 0")
+        if self.capacity > self.period:
+            raise ValueError("capacity cannot exceed the period")
+        if self.deadline == -1:
+            object.__setattr__(self, "deadline", self.period)
+
+    @property
+    def utilization(self) -> float:
+        return self.capacity / self.period
+
+    def as_task(self) -> Task:
+        """The periodic-task view (exact for a polling server)."""
+        return Task(
+            name=self.name,
+            cost=self.capacity,
+            period=self.period,
+            deadline=self.deadline,
+            priority=self.priority,
+        )
+
+
+def polling_server_taskset(taskset: TaskSet, server: ServerSpec) -> TaskSet:
+    """The analysis set for a system hosting a polling server.
+
+    A PS never executes more than ``C_s`` in any of its periods and
+    only at its releases, so for every other task it is exactly the
+    periodic task ``(C_s, T_s)``; feasibility, WCRTs, allowances and
+    detectors all come from the ordinary analysis on this set.
+    """
+    return taskset.with_task(server.as_task())
+
+
+def deferrable_response_times(
+    taskset: TaskSet, server: ServerSpec
+) -> dict[str, int | None]:
+    """WCRTs of the periodic tasks under a *deferrable* server.
+
+    The DS's bandwidth preservation shows up as release jitter
+    ``T_s - C_s`` on the server in the interference of lower-priority
+    tasks (back-to-back executions at a period boundary).  Computed
+    with the jitter-aware analysis; the server itself is reported at
+    its jitter-free bound (its budget is available at release).
+    Requires constrained deadlines (as the jitter analysis does).
+    """
+    full = polling_server_taskset(taskset, server)
+    jitter = {server.name: server.period - server.capacity}
+    out: dict[str, int | None] = {}
+    for task in taskset:
+        out[task.name] = response_time_with_jitter(task, full, jitter)
+    out[server.name] = response_time_with_jitter(
+        full[server.name], full, {}
+    )
+    return out
+
+
+def deferrable_feasible(taskset: TaskSet, server: ServerSpec) -> bool:
+    """Admission control for a system hosting a deferrable server."""
+    responses = deferrable_response_times(taskset, server)
+    full = polling_server_taskset(taskset, server)
+    return all(
+        r is not None and r <= full[name].deadline for name, r in responses.items()
+    )
+
+
+def polling_response_bound(
+    backlog: int, server: ServerSpec, taskset: TaskSet
+) -> int | None:
+    """Worst-case completion delay of an aperiodic *backlog* (ns of
+    work at the head of the queue, including the request itself) under
+    a polling server.
+
+    The request may arrive just after a poll: it waits at most ``T_s``
+    for the next release; each server period then clears ``C_s`` of
+    backlog, and within each serving period the work completes by the
+    server's own worst-case response time.  With ``k = ceil(backlog /
+    C_s)`` chunks the bound is::
+
+        T_s + (k - 1) * T_s + R_s
+
+    where ``R_s`` is the server's WCRT among the periodic tasks.
+    Returns None when the server itself is unschedulable.
+    """
+    if backlog <= 0:
+        raise ValueError("backlog must be > 0")
+    full = polling_server_taskset(taskset, server)
+    r_s = wc_response_time(full[server.name], full)
+    if r_s is None or r_s > server.deadline:
+        return None
+    chunks = -(-backlog // server.capacity)
+    return server.period + (chunks - 1) * server.period + r_s
+
+
+def server_sizing(
+    taskset: TaskSet, period: int, priority: int, *, name: str = "server"
+) -> ServerSpec | None:
+    """Largest polling-server capacity at (*period*, *priority*) that
+    keeps the periodic set feasible — the §4.2 binary search reused to
+    size a server instead of an allowance.
+
+    Returns None when even 1 ns of capacity is infeasible.
+    """
+    from repro.core.allowance import max_such_that
+    from repro.core.feasibility import is_feasible
+
+    def pred(capacity: int) -> bool:
+        if capacity == 0:
+            return is_feasible(taskset)
+        spec = ServerSpec(name=name, capacity=capacity, period=period, priority=priority)
+        return is_feasible(polling_server_taskset(taskset, spec))
+
+    if not pred(0):
+        return None
+    # Capacity is bounded by the period and by the residual bandwidth.
+    num, den = taskset.utilization_exact()
+    residual = Fraction(den - num, den) * period
+    hi = min(period, int(residual)) if num < den else 0
+    best = max_such_that(pred, max(hi, 0))
+    if best == 0:
+        return None
+    return ServerSpec(name=name, capacity=best, period=period, priority=priority)

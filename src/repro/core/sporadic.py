@@ -1,0 +1,122 @@
+"""Sporadic (aperiodic) tasks — §7 future work.
+
+"Another main line of our research will consist in studying the faults
+detection and tolerance in the case of aperiodic tasks."
+
+A *sporadic* task releases jobs at arbitrary instants separated by at
+least a minimum interarrival time (MIT).  For fixed-priority analysis
+it is safely modelled as a periodic task of period = MIT (the densest
+legal arrival pattern), so the whole admission-control/allowance
+machinery applies unchanged; at runtime the detector must follow the
+*actual* release of each job (a one-shot timer armed per release rather
+than the periodic timer of §3 — the "adaptation of the behaviour of our
+detectors" the paper anticipates).
+
+This module provides the sporadic task model, legal arrival-sequence
+generators, and the bridge into the simulator's explicit-arrival
+support.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.task import Task, TaskSet
+
+__all__ = [
+    "SporadicTask",
+    "periodic_equivalent",
+    "dense_arrivals",
+    "poisson_arrivals",
+    "validate_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class SporadicTask:
+    """A sporadic task: cost, minimum interarrival, deadline, priority."""
+
+    name: str
+    cost: int
+    min_interarrival: int
+    priority: int
+    deadline: int = -1
+
+    def __post_init__(self) -> None:
+        if self.min_interarrival <= 0:
+            raise ValueError("minimum interarrival must be > 0")
+        if self.deadline == -1:
+            object.__setattr__(self, "deadline", self.min_interarrival)
+        if self.cost <= 0 or self.deadline <= 0:
+            raise ValueError("cost and deadline must be > 0")
+
+
+def periodic_equivalent(sporadic: SporadicTask) -> Task:
+    """The analysis view: a periodic task of period = MIT.
+
+    Worst-case interference of a sporadic task is produced by its
+    densest arrival pattern, so every feasibility/allowance result for
+    the equivalent set is valid (conservative) for the sporadic system.
+    """
+    return Task(
+        name=sporadic.name,
+        cost=sporadic.cost,
+        period=sporadic.min_interarrival,
+        deadline=sporadic.deadline,
+        priority=sporadic.priority,
+    )
+
+
+def analysis_taskset(
+    periodic: TaskSet | list[Task], sporadics: list[SporadicTask]
+) -> TaskSet:
+    """Combine periodic tasks and sporadic tasks for analysis."""
+    return TaskSet([*list(periodic), *(periodic_equivalent(s) for s in sporadics)])
+
+
+def dense_arrivals(sporadic: SporadicTask, horizon: int, *, start: int = 0) -> list[int]:
+    """The densest legal arrival sequence: back-to-back at the MIT."""
+    out = []
+    t = start
+    while t <= horizon:
+        out.append(t)
+        t += sporadic.min_interarrival
+    return out
+
+
+def poisson_arrivals(
+    sporadic: SporadicTask,
+    horizon: int,
+    *,
+    mean_interarrival: int | None = None,
+    seed: int = 0,
+) -> list[int]:
+    """A random legal arrival sequence: exponential gaps clamped from
+    below by the MIT (seeded, deterministic).
+
+    *mean_interarrival* defaults to twice the MIT.
+    """
+    mean = mean_interarrival if mean_interarrival is not None else 2 * sporadic.min_interarrival
+    if mean < sporadic.min_interarrival:
+        raise ValueError("mean interarrival below the minimum interarrival")
+    rng = random.Random(seed)
+    out: list[int] = []
+    t = round(rng.expovariate(1.0 / mean))
+    while t <= horizon:
+        out.append(t)
+        gap = max(round(rng.expovariate(1.0 / mean)), sporadic.min_interarrival)
+        t += gap
+    return out
+
+
+def validate_arrivals(sporadic: SporadicTask, arrivals: list[int]) -> None:
+    """Raise ValueError when *arrivals* violates the MIT contract."""
+    for a, b in zip(arrivals, arrivals[1:]):
+        if b - a < sporadic.min_interarrival:
+            raise ValueError(
+                f"{sporadic.name}: gap {b - a} below minimum interarrival "
+                f"{sporadic.min_interarrival}"
+            )
+    if any(t < 0 for t in arrivals):
+        raise ValueError(f"{sporadic.name}: negative arrival time")

@@ -1,0 +1,234 @@
+"""Periodic task model.
+
+The paper (§2) considers a system of periodic tasks scheduled by a
+fixed-priority preemptive algorithm on one processor.  A task ``tau_i``
+has a cost ``C_i``, a relative deadline ``D_i``, a period ``T_i`` and a
+priority ``P_i``.  Following the RTSJ convention used by the paper's
+Table 2 (P = 20 > 18 > 16, with tau_1 the highest-priority task),
+**a larger priority number means a higher priority**.
+
+All durations are integer nanoseconds (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.units import fmt_ms
+
+__all__ = ["Task", "TaskSet", "hyperperiod"]
+
+
+@dataclass(frozen=True, order=False)
+class Task:
+    """An independent periodic task.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a :class:`TaskSet` (e.g. ``"tau1"``).
+    cost:
+        Worst-case execution time ``C_i`` in nanoseconds (> 0).
+    period:
+        Activation period ``T_i`` in nanoseconds (> 0).
+    priority:
+        Fixed priority ``P_i``; larger values preempt smaller ones.
+    deadline:
+        Relative deadline ``D_i`` in nanoseconds; defaults to the
+        period.  Deadlines larger than the period are allowed (the
+        arbitrary-deadline case handled by the paper's Figure 2
+        algorithm).
+    offset:
+        Release offset of the first job relative to system start.  The
+        paper's analysis assumes a synchronous critical instant
+        (offset-free worst case); offsets only affect *simulation*
+        scenarios such as Figures 3-7 where tau_3 is phased.
+    """
+
+    name: str
+    cost: int
+    period: int
+    priority: int
+    deadline: int = -1  # sentinel replaced in __post_init__
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline == -1:
+            object.__setattr__(self, "deadline", self.period)
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if self.cost <= 0:
+            raise ValueError(f"{self.name}: cost must be > 0, got {self.cost}")
+        if self.period <= 0:
+            raise ValueError(f"{self.name}: period must be > 0, got {self.period}")
+        if self.deadline <= 0:
+            raise ValueError(f"{self.name}: deadline must be > 0, got {self.deadline}")
+        if self.offset < 0:
+            raise ValueError(f"{self.name}: offset must be >= 0, got {self.offset}")
+        if self.cost > self.deadline and self.cost > self.period:
+            # A task that can never meet its deadline nor complete within
+            # a period is almost certainly a specification error.
+            raise ValueError(
+                f"{self.name}: cost {self.cost} exceeds both deadline and period"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """Processor share ``C_i / T_i``."""
+        return self.cost / self.period
+
+    @property
+    def constrained(self) -> bool:
+        """True when ``D_i <= T_i`` (the simple Joseph-Pandya RTA case)."""
+        return self.deadline <= self.period
+
+    def with_cost(self, cost: int) -> "Task":
+        """Return a copy with a different cost (used by allowance search)."""
+        return replace(self, cost=cost)
+
+    def release_time(self, job: int) -> int:
+        """Absolute release time of job number *job* (0-based)."""
+        if job < 0:
+            raise ValueError("job index must be >= 0")
+        return self.offset + job * self.period
+
+    def absolute_deadline(self, job: int) -> int:
+        """Absolute deadline of job number *job* (0-based)."""
+        return self.release_time(job) + self.deadline
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}(P={self.priority}, C={fmt_ms(self.cost)}, "
+            f"T={fmt_ms(self.period)}, D={fmt_ms(self.deadline)})"
+        )
+
+
+class TaskSet:
+    """An immutable, priority-ordered collection of :class:`Task`.
+
+    Tasks are stored sorted by decreasing priority (ties broken by
+    insertion order, matching FIFO-within-priority dispatching).  The
+    class provides the derived quantities used throughout the analysis:
+    total utilization, higher-priority subsets, and hyperperiod.
+    """
+
+    def __init__(self, tasks: Iterable[Task]):
+        tasks = list(tasks)
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate task names: {dupes}")
+        # Stable sort: equal priorities keep their given order.
+        self._tasks: tuple[Task, ...] = tuple(
+            sorted(tasks, key=lambda t: -t.priority)
+        )
+        self._by_name = {t.name: t for t in self._tasks}
+
+    # -- container protocol -------------------------------------------------
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, name_or_index: str | int) -> Task:
+        if isinstance(name_or_index, str):
+            return self._by_name[name_or_index]
+        return self._tasks[name_or_index]
+
+    def __contains__(self, task: Task | str) -> bool:
+        name = task if isinstance(task, str) else task.name
+        return name in self._by_name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskSet):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __hash__(self) -> int:
+        return hash(self._tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(t.name for t in self._tasks)
+        return f"TaskSet([{inner}])"
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """Tasks in decreasing-priority order."""
+        return self._tasks
+
+    @property
+    def utilization(self) -> float:
+        """Total processor load ``U = sum C_i / T_i`` (paper eq. 1)."""
+        return sum(t.utilization for t in self._tasks)
+
+    def utilization_exact(self) -> tuple[int, int]:
+        """Total load as an exact fraction ``(numerator, denominator)``.
+
+        Used by feasibility code to test ``U > 1`` and ``U >= 1``
+        without floating-point error on large nanosecond quantities.
+        """
+        num, den = 0, 1
+        for t in self._tasks:
+            num = num * t.period + t.cost * den
+            den *= t.period
+            g = math.gcd(num, den)
+            num //= g
+            den //= g
+        return num, den
+
+    def higher_or_equal_priority(self, task: Task) -> tuple[Task, ...]:
+        """The set ``HP(S)`` of Figure 2: tasks with priority >= *task*'s,
+        excluding *task* itself."""
+        return tuple(
+            t for t in self._tasks if t.priority >= task.priority and t.name != task.name
+        )
+
+    def lower_priority(self, task: Task) -> tuple[Task, ...]:
+        """Tasks with a strictly lower priority than *task*."""
+        return tuple(t for t in self._tasks if t.priority < task.priority)
+
+    def hyperperiod(self) -> int:
+        """Least common multiple of all periods."""
+        return hyperperiod(self._tasks)
+
+    # -- functional updates ----------------------------------------------------
+    def with_task(self, task: Task) -> "TaskSet":
+        """Return a new set with *task* added (name must be fresh)."""
+        return TaskSet([*self._tasks, task])
+
+    def without(self, name: str) -> "TaskSet":
+        """Return a new set with the named task removed."""
+        if name not in self._by_name:
+            raise KeyError(name)
+        return TaskSet(t for t in self._tasks if t.name != name)
+
+    def with_costs(self, costs: dict[str, int]) -> "TaskSet":
+        """Return a new set with some task costs replaced (allowance search)."""
+        unknown = set(costs) - set(self._by_name)
+        if unknown:
+            raise KeyError(f"unknown tasks: {sorted(unknown)}")
+        return TaskSet(
+            t.with_cost(costs[t.name]) if t.name in costs else t for t in self._tasks
+        )
+
+    def inflated(self, extra: int) -> "TaskSet":
+        """Return a new set with *extra* nanoseconds added to every cost.
+
+        This is the transformation under which the paper's equitable
+        allowance (§4.2) is the largest *extra* keeping the set feasible.
+        """
+        if extra < 0:
+            raise ValueError("extra must be >= 0")
+        return TaskSet(t.with_cost(t.cost + extra) for t in self._tasks)
+
+
+def hyperperiod(tasks: Iterable[Task]) -> int:
+    """LCM of the task periods (1 for an empty collection)."""
+    result = 1
+    for t in tasks:
+        result = math.lcm(result, t.period)
+    return result

@@ -1,0 +1,203 @@
+"""Fault treatments — paper §4.
+
+Once a worst-case response-time overrun is detected, the goal is to
+prevent a faulty high-priority task from causing the failure of
+*non-faulty* lower-priority tasks.  The paper compares:
+
+* ``NO_DETECTION``      — baseline, nothing installed (Figure 3);
+* ``DETECT_ONLY``       — detectors installed, faults logged but not
+                          treated (Figure 4);
+* ``IMMEDIATE_STOP``    — §4.1: the faulty task is stopped as soon as
+                          its detector fires (Figure 5), pessimistic;
+* ``EQUITABLE_ALLOWANCE`` — §4.2: every task may overrun by the same
+                          allowance ``A``; detectors move to the
+                          allowance-adjusted WCRTs (Figure 6);
+* ``SYSTEM_ALLOWANCE``  — §4.3: the whole free time of the system goes
+                          to the *first* faulty task, with the residue
+                          available to later faults (Figure 7).
+
+A :class:`TreatmentPlan` is the *static* product of admission control:
+detector placements and stop thresholds.  :meth:`TreatmentPlan.runtime`
+creates the per-run mutable state (notably the §4.3 residual-allowance
+book-keeping) that the simulator drives through ``on_detect`` /
+``on_job_end`` callbacks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.allowance import (
+    EquitableAllowance,
+    ResidualAllowanceManager,
+    compute_equitable,
+)
+from repro.core.detection import EXACT, DetectorSpec, Rounding, plan_detectors
+from repro.core.feasibility import analyze
+from repro.core.task import TaskSet
+
+__all__ = [
+    "TreatmentKind",
+    "StopDirective",
+    "TreatmentPlan",
+    "TreatmentRuntime",
+    "plan_treatment",
+]
+
+
+class TreatmentKind(enum.Enum):
+    """The five configurations compared in the paper's §6."""
+
+    NO_DETECTION = "no-detection"
+    DETECT_ONLY = "detect-only"
+    IMMEDIATE_STOP = "immediate-stop"
+    EQUITABLE_ALLOWANCE = "equitable-allowance"
+    SYSTEM_ALLOWANCE = "system-allowance"
+
+    @property
+    def installs_detectors(self) -> bool:
+        return self is not TreatmentKind.NO_DETECTION
+
+    @property
+    def stops_tasks(self) -> bool:
+        return self in (
+            TreatmentKind.IMMEDIATE_STOP,
+            TreatmentKind.EQUITABLE_ALLOWANCE,
+            TreatmentKind.SYSTEM_ALLOWANCE,
+        )
+
+
+@dataclass(frozen=True)
+class StopDirective:
+    """Instruction returned by the runtime when a detector fires.
+
+    ``at`` is the absolute time at which the job must be stopped if it
+    is still running (equal to the detection time for an immediate
+    stop).  ``granted`` records the §4.3 grant for reporting.
+    """
+
+    at: int
+    granted: int = 0
+
+
+@dataclass(frozen=True)
+class TreatmentPlan:
+    """Static detector/stop configuration for one task set.
+
+    Produced by :func:`plan_treatment` from a *feasible* task set; the
+    per-task ``wcrt`` map is the admission-control by-product the
+    paper's detectors reuse.
+    """
+
+    kind: TreatmentKind
+    taskset: TaskSet
+    wcrt: Mapping[str, int]
+    detectors: Mapping[str, DetectorSpec]
+    equitable: EquitableAllowance | None = None
+    system_grants: Mapping[str, int] | None = None
+
+    def detector_for(self, name: str) -> DetectorSpec | None:
+        """Detector placement for the named task (None = no detector)."""
+        return self.detectors.get(name)
+
+    def runtime(self) -> "TreatmentRuntime":
+        """Fresh mutable per-run state for this plan."""
+        manager = (
+            ResidualAllowanceManager(self.taskset)
+            if self.kind is TreatmentKind.SYSTEM_ALLOWANCE
+            else None
+        )
+        return TreatmentRuntime(plan=self, manager=manager)
+
+
+@dataclass
+class TreatmentRuntime:
+    """Per-simulation mutable treatment state.
+
+    The simulator calls :meth:`on_detect` when a detector fires and the
+    watched job is still unfinished, and :meth:`on_job_end` whenever a
+    job completes or is stopped, so the §4.3 policy can account for the
+    overrun actually consumed.
+    """
+
+    plan: TreatmentPlan
+    manager: ResidualAllowanceManager | None = None
+    detections: list[tuple[str, int, int]] = field(default_factory=list)
+
+    def on_detect(self, name: str, job: int, release: int, now: int) -> StopDirective | None:
+        """Detector fired at *now* for the job of *name* released at
+        *release*; the job has not finished.  Returns what to do.
+
+        For every stopping policy the allowance is folded into the
+        detector offset itself (adjusted WCRT for §4.2, system-adjusted
+        WCRT for §4.3), so a detection always means "stop now".  The
+        §4.3 residual rule needs no runtime book-keeping: a
+        higher-priority task's consumed overrun delays lower tasks'
+        completions by the same amount, so the static threshold grants
+        exactly the unconsumed residue to the next faulty task.
+        """
+        self.detections.append((name, job, now))
+        kind = self.plan.kind
+        if kind in (TreatmentKind.NO_DETECTION, TreatmentKind.DETECT_ONLY):
+            return None
+        granted = self.plan.detectors[name].nominal_offset - self.plan.wcrt[name]
+        return StopDirective(at=now, granted=granted)
+
+    def on_job_end(self, name: str, job: int, release: int, end: int, stopped: bool) -> None:
+        """Account the overrun a finished/stopped job actually consumed
+        (kept for §4.3 diagnostics; the stop decision does not use it)."""
+        if self.manager is None:
+            return
+        overrun = end - (release + self.plan.wcrt[name])
+        if overrun > 0:
+            self.manager.record_overrun(name, overrun)
+
+
+def plan_treatment(
+    taskset: TaskSet,
+    kind: TreatmentKind,
+    rounding: Rounding = EXACT,
+) -> TreatmentPlan:
+    """Run admission control and build the treatment configuration.
+
+    Raises :class:`ValueError` when the task set fails admission
+    control — consistent with the paper, where detectors reuse data
+    "calculated during control of admission" and a rejected system is
+    never started.
+
+    *rounding* models the VM timer quirk (§6.2) and applies to detector
+    release offsets only; the §4.3 stop deadline is computed from the
+    nominal WCRT so a rounded detector never shrinks the grant.
+    """
+    report = analyze(taskset)
+    if not report.feasible:
+        raise ValueError("task set rejected by admission control")
+    wcrt: dict[str, int] = {name: r.wcrt for name, r in report.per_task.items()}  # type: ignore[misc]
+
+    if kind is TreatmentKind.NO_DETECTION:
+        return TreatmentPlan(kind=kind, taskset=taskset, wcrt=wcrt, detectors={})
+
+    equitable = None
+    grants = None
+    if kind is TreatmentKind.EQUITABLE_ALLOWANCE:
+        equitable = compute_equitable(taskset)
+        thresholds: Mapping[str, int] = equitable.stop_after
+    elif kind is TreatmentKind.SYSTEM_ALLOWANCE:
+        from repro.core.allowance import system_adjusted_wcrt, system_allowance
+
+        grants = system_allowance(taskset)
+        thresholds = system_adjusted_wcrt(taskset)
+    else:
+        thresholds = wcrt
+
+    detectors = plan_detectors(taskset, thresholds, rounding)
+    return TreatmentPlan(
+        kind=kind,
+        taskset=taskset,
+        wcrt=wcrt,
+        detectors=detectors,
+        equitable=equitable,
+        system_grants=grants,
+    )

@@ -1,0 +1,111 @@
+"""Cost under-run detection and resource reassignment — §7 future work.
+
+"If the cost of a task can be underestimated, it is also possible to
+overestimate it.  Consequently, we can consider to dynamically study
+the system in order to detect these costs under-run and to reassign
+resources for faulty tasks."
+
+The implementation observes executed times in a simulation trace,
+detects tasks whose declared cost is systematically pessimistic,
+proposes tightened costs (with a safety margin), and quantifies the
+allowance the system gains — extra tolerance that becomes available to
+genuinely faulty tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.allowance import equitable_allowance
+from repro.core.feasibility import is_feasible
+from repro.core.task import TaskSet
+from repro.sim.simulation import SimResult
+
+__all__ = ["observed_costs", "tighten_costs", "ReclaimReport", "reclaim_allowance"]
+
+
+def observed_costs(result: SimResult) -> dict[str, int]:
+    """Largest executed time among *completed* jobs, per task.
+
+    Stopped jobs are excluded (their execution was truncated, not
+    observed to completion), as are tasks with no completed job.
+    """
+    out: dict[str, int] = {}
+    for task in result.taskset:
+        samples = [
+            j.executed
+            for j in result.jobs_of(task.name)
+            if j.finished and not j.was_stopped
+        ]
+        if samples:
+            out[task.name] = max(samples)
+    return out
+
+
+def tighten_costs(
+    taskset: TaskSet,
+    observed: Mapping[str, int],
+    *,
+    margin_percent: int = 10,
+) -> TaskSet:
+    """Return the set with declared costs lowered toward observations.
+
+    The new cost is ``observed * (100 + margin_percent) / 100`` (rounded
+    up), floored at 1 ns and **never above the declared cost** — an
+    under-run study must not make the model less safe than the original
+    declaration.  Tasks without observations keep their cost.
+    """
+    if margin_percent < 0:
+        raise ValueError("margin_percent must be >= 0")
+    new_costs: dict[str, int] = {}
+    for task in taskset:
+        if task.name not in observed:
+            continue
+        padded = -(-observed[task.name] * (100 + margin_percent) // 100)
+        new_costs[task.name] = max(1, min(padded, task.cost))
+    return taskset.with_costs(new_costs)
+
+
+@dataclass(frozen=True)
+class ReclaimReport:
+    """Outcome of an under-run study."""
+
+    original: TaskSet
+    tightened: TaskSet
+    observed: Mapping[str, int]
+    old_allowance: int
+    new_allowance: int
+
+    @property
+    def reclaimed(self) -> int:
+        """Extra equitable allowance gained by tightening (>= 0)."""
+        return self.new_allowance - self.old_allowance
+
+    def savings(self) -> dict[str, int]:
+        """Per-task declared-cost reduction."""
+        return {
+            t.name: t.cost - self.tightened[t.name].cost for t in self.original
+        }
+
+
+def reclaim_allowance(
+    taskset: TaskSet, result: SimResult, *, margin_percent: int = 10
+) -> ReclaimReport:
+    """Run the full §7 under-run study on a simulation result.
+
+    Measures completed-job costs, tightens declarations, and recomputes
+    the equitable allowance — the resources "reassigned to faulty
+    tasks".  The input set must be feasible (it passed admission).
+    """
+    if not is_feasible(taskset):
+        raise ValueError("under-run study requires a feasible system")
+    observed = observed_costs(result)
+    tightened = tighten_costs(taskset, observed, margin_percent=margin_percent)
+    return ReclaimReport(
+        original=taskset,
+        tightened=tightened,
+        observed=observed,
+        old_allowance=equitable_allowance(taskset),
+        new_allowance=equitable_allowance(tightened),
+    )

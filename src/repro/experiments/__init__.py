@@ -1,0 +1,62 @@
+"""Experiment harness: regenerate every table and figure of the paper
+and run ad-hoc scenario files."""
+
+from repro.experiments.metrics import RunMetrics, TaskMetrics, compute_metrics
+from repro.experiments.paper import (
+    Claim,
+    Figure1Result,
+    FigureResult,
+    Table1Result,
+    Table2Result,
+    Table3Result,
+    all_experiments,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.ablations import (
+    allowance_sweep,
+    detector_overhead_sweep,
+    feasible_pool,
+    rounding_sweep,
+    treatment_sweep,
+)
+from repro.experiments.report import generate_entries, generate_report
+from repro.experiments.runner import RunOutcome, run_scenario
+
+__all__ = [
+    "compute_metrics",
+    "RunMetrics",
+    "TaskMetrics",
+    "run_scenario",
+    "RunOutcome",
+    "Claim",
+    "all_experiments",
+    "table1",
+    "figure1",
+    "table2",
+    "table3",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "Table1Result",
+    "Figure1Result",
+    "Table2Result",
+    "Table3Result",
+    "FigureResult",
+    "feasible_pool",
+    "treatment_sweep",
+    "rounding_sweep",
+    "allowance_sweep",
+    "detector_overhead_sweep",
+    "generate_entries",
+    "generate_report",
+]

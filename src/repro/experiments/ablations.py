@@ -1,0 +1,249 @@
+"""Programmatic ablation studies generalising the paper's comparison.
+
+The paper evaluates one hand-built system; these functions sweep the
+same questions over seeded random workloads so the conclusions can be
+stated with sample sizes:
+
+* :func:`treatment_sweep` — the §6 comparison (who fails, how much
+  execution the faulty task gets) over many systems;
+* :func:`rounding_sweep` — detection latency vs timer resolution
+  (the §6.2 artefact, quantified);
+* :func:`allowance_sweep` — tolerance as a function of load;
+* :func:`detector_overhead_sweep` — the §6.2 overhead remark ("the
+  more tasks in the system, the more sensors"): CPU stolen by
+  detector firings as the task count grows.
+
+All functions are deterministic for a given seed and return plain
+dataclasses the benchmarks and reports assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.allowance import equitable_allowance, system_allowance
+from repro.core.detection import Rounding, RoundingMode
+from repro.core.faults import CostOverrun, FaultInjector
+from repro.core.feasibility import is_feasible
+from repro.core.task import TaskSet
+from repro.core.treatments import TreatmentKind
+from repro.experiments.metrics import compute_metrics
+from repro.sim.simulation import simulate
+from repro.sim.trace import EventKind
+from repro.sim.vm import VMProfile
+from repro.units import MS
+from repro.workloads.generator import GeneratorConfig, random_taskset
+
+__all__ = [
+    "feasible_pool",
+    "TreatmentOutcome",
+    "treatment_sweep",
+    "RoundingPoint",
+    "rounding_sweep",
+    "AllowancePoint",
+    "allowance_sweep",
+    "OverheadPoint",
+    "detector_overhead_sweep",
+]
+
+
+def feasible_pool(
+    count: int,
+    *,
+    n: int = 4,
+    utilization: float = 0.75,
+    deadline_factor: float = 0.9,
+    seed: int = 0,
+) -> list[TaskSet]:
+    """A deterministic pool of feasible random systems."""
+    pool: list[TaskSet] = []
+    s = seed
+    while len(pool) < count:
+        ts = random_taskset(
+            GeneratorConfig(
+                n=n,
+                utilization=utilization,
+                period_lo=10_000,
+                period_hi=1_000_000,
+                period_granularity=1_000,
+                deadline_factor=deadline_factor,
+                seed=s,
+            )
+        )
+        s += 1
+        if is_feasible(ts):
+            pool.append(ts)
+    return pool
+
+
+@dataclass(frozen=True)
+class TreatmentOutcome:
+    """Aggregate outcome of one treatment over a pool."""
+
+    treatment: TreatmentKind | None
+    systems: int
+    collateral_failures: int
+    faults_detected: int
+    faulty_execution_total: int  # CPU granted to the faulty job, summed
+
+    @property
+    def name(self) -> str:
+        return self.treatment.value if self.treatment else "no-detection"
+
+
+def treatment_sweep(
+    pool: Sequence[TaskSet],
+    treatments: Sequence[TreatmentKind | None],
+    *,
+    faulty_job: int = 1,
+) -> list[TreatmentOutcome]:
+    """Run every system in *pool* under every treatment with a
+    deadline-sized overrun on its highest-priority task."""
+    outcomes = []
+    for treatment in treatments:
+        collateral = 0
+        detected = 0
+        granted = 0
+        for ts in pool:
+            victim = ts.tasks[0]
+            faults = FaultInjector([CostOverrun(victim.name, faulty_job, victim.deadline)])
+            horizon = (faulty_job + 5) * max(t.period for t in ts)
+            res = simulate(ts, horizon=horizon, faults=faults, treatment=treatment)
+            m = compute_metrics(res)
+            collateral += len(m.collateral_failures)
+            detected += m.detections
+            job = res.jobs.get((victim.name, faulty_job))
+            if job is not None:
+                granted += job.executed
+        outcomes.append(
+            TreatmentOutcome(
+                treatment=treatment,
+                systems=len(pool),
+                collateral_failures=collateral,
+                faults_detected=detected,
+                faulty_execution_total=granted,
+            )
+        )
+    return outcomes
+
+
+@dataclass(frozen=True)
+class RoundingPoint:
+    """Detection latency at one timer resolution."""
+
+    resolution: int
+    detection_delay: int  # detection time minus nominal WCRT instant
+
+
+def rounding_sweep(
+    taskset: TaskSet,
+    faults: FaultInjector,
+    victim: tuple[str, int],
+    *,
+    horizon: int,
+    resolutions: Sequence[int] = (1 * MS, 5 * MS, 10 * MS, 20 * MS, 50 * MS),
+) -> list[RoundingPoint]:
+    """Measure fault-detection lateness as timers coarsen (§6.2)."""
+    # Nominal detection instant: exact-timer run.
+    nominal = _detection_time(taskset, faults, victim, horizon, VMProfile(name="exact"))
+    points = []
+    for res in resolutions:
+        vm = VMProfile(
+            name=f"res{res}", timer_rounding=Rounding(RoundingMode.UP, res)
+        )
+        t = _detection_time(taskset, faults, victim, horizon, vm)
+        points.append(RoundingPoint(resolution=res, detection_delay=t - nominal))
+    return points
+
+
+def _detection_time(
+    taskset: TaskSet,
+    faults: FaultInjector,
+    victim: tuple[str, int],
+    horizon: int,
+    vm: VMProfile,
+) -> int:
+    result = simulate(
+        taskset,
+        horizon=horizon,
+        faults=faults,
+        treatment=TreatmentKind.DETECT_ONLY,
+        vm=vm,
+    )
+    for e in result.trace.of_kind(EventKind.FAULT_DETECTED):
+        if (e.task, e.job) == victim:
+            return e.time
+    raise ValueError(f"fault of {victim} not detected within the horizon")
+
+
+@dataclass(frozen=True)
+class AllowancePoint:
+    """Tolerance at one utilization level (averaged over a pool)."""
+
+    utilization: float
+    mean_equitable: float
+    mean_solo: float
+
+
+def allowance_sweep(
+    utilizations: Sequence[float],
+    *,
+    pool_size: int = 10,
+    seed: int = 0,
+) -> list[AllowancePoint]:
+    """Equitable vs solo allowance as the load grows."""
+    points = []
+    for u in utilizations:
+        pool = feasible_pool(pool_size, utilization=u, deadline_factor=1.0, seed=seed)
+        eq_total = 0
+        solo_total = 0
+        for ts in pool:
+            eq_total += equitable_allowance(ts)
+            grants: Mapping[str, int] = system_allowance(ts)
+            solo_total += sum(grants.values()) // len(grants)
+        points.append(
+            AllowancePoint(
+                utilization=u,
+                mean_equitable=eq_total / pool_size,
+                mean_solo=solo_total / pool_size,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """Detector CPU theft at one task count."""
+
+    tasks: int
+    detector_fires: int
+    stolen_cpu: int
+    busy_fraction_increase: float
+
+
+def detector_overhead_sweep(
+    task_counts: Sequence[int],
+    *,
+    fire_cost: int,
+    horizon: int = 2_000_000,
+    seed: int = 0,
+) -> list[OverheadPoint]:
+    """§6.2: "the more tasks in the system, the more sensors, hence the
+    higher the influence of this overrun"."""
+    points = []
+    for n in task_counts:
+        (ts,) = feasible_pool(1, n=n, utilization=0.5, deadline_factor=1.0, seed=seed)
+        base = simulate(ts, horizon=horizon, treatment=TreatmentKind.DETECT_ONLY)
+        vm = VMProfile(name="overhead", detector_fire_cost=fire_cost)
+        loaded = simulate(ts, horizon=horizon, treatment=TreatmentKind.DETECT_ONLY, vm=vm)
+        fires = len(loaded.trace.of_kind(EventKind.DETECTOR_FIRE))
+        points.append(
+            OverheadPoint(
+                tasks=n,
+                detector_fires=fires,
+                stolen_cpu=loaded.busy_time - base.busy_time,
+                busy_fraction_increase=(loaded.busy_time - base.busy_time) / horizon,
+            )
+        )
+    return points

@@ -1,0 +1,73 @@
+"""Machine-generated paper-vs-measured report.
+
+:func:`generate_report` reruns every exhibit and renders a Markdown
+summary with each claim's verdict — the live counterpart of the
+hand-written EXPERIMENTS.md (useful after modifying the analysis or the
+simulator: ``python -m repro.experiments report > report.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.paper import all_experiments
+
+__all__ = ["ReportEntry", "generate_entries", "generate_report"]
+
+
+@dataclass(frozen=True)
+class ReportEntry:
+    """One exhibit's verdict."""
+
+    name: str
+    claims_total: int
+    claims_holding: int
+    rendering: str
+
+    @property
+    def ok(self) -> bool:
+        return self.claims_holding == self.claims_total
+
+
+def generate_entries() -> list[ReportEntry]:
+    """Run every registered experiment and collect verdicts."""
+    entries = []
+    for name, factory in all_experiments().items():
+        result = factory()
+        claims = result.claims()
+        entries.append(
+            ReportEntry(
+                name=name,
+                claims_total=len(claims),
+                claims_holding=sum(1 for c in claims if c.holds),
+                rendering=result.render(),
+            )
+        )
+    return entries
+
+
+def generate_report(*, include_renderings: bool = True) -> str:
+    """The full Markdown report."""
+    entries = generate_entries()
+    lines = [
+        "# Reproduction report — Fault Tolerance with Real-Time Java",
+        "",
+        "| exhibit | claims | verdict |",
+        "|---|---|---|",
+    ]
+    for e in entries:
+        verdict = "all hold" if e.ok else f"{e.claims_holding}/{e.claims_total} hold"
+        lines.append(f"| {e.name} | {e.claims_total} | {verdict} |")
+    total = sum(e.claims_total for e in entries)
+    holding = sum(e.claims_holding for e in entries)
+    lines.append("")
+    lines.append(f"**{holding}/{total} paper claims reproduced.**")
+    if include_renderings:
+        for e in entries:
+            lines.append("")
+            lines.append(f"## {e.name}")
+            lines.append("")
+            lines.append("```")
+            lines.append(e.rendering)
+            lines.append("```")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,47 @@
+"""Generic scenario runner.
+
+Ties together the scenario parser (tool #1), the simulator and the
+metrics: "It builds and runs the tasks automatically."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.treatments import TreatmentKind
+from repro.experiments.metrics import RunMetrics, compute_metrics
+from repro.sim.simulation import SimResult, simulate
+from repro.sim.vm import EXACT_VM, VMProfile
+from repro.workloads.parser import Scenario
+
+__all__ = ["RunOutcome", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """A simulation result with its metrics."""
+
+    result: SimResult
+    metrics: RunMetrics
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    vm: VMProfile = EXACT_VM,
+    treatment: TreatmentKind | None = None,
+) -> RunOutcome:
+    """Simulate *scenario* and summarise it.
+
+    *treatment* overrides the scenario's ``@treatment`` directive when
+    given (handy for comparing policies on one file).
+    """
+    chosen = treatment if treatment is not None else scenario.treatment
+    result = simulate(
+        scenario.taskset,
+        horizon=scenario.horizon_or_default(),
+        faults=scenario.faults,
+        treatment=chosen,
+        vm=vm,
+    )
+    return RunOutcome(result=result, metrics=compute_metrics(result))

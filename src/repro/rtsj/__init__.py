@@ -1,0 +1,67 @@
+"""RTSJ (`javax.realtime`) emulation over the simulator.
+
+API shape mirrors the spec (camelCase methods kept for fidelity with
+the paper's code), including the paper's ``javax.realtime.extended``
+package: :class:`RealtimeThreadExtended` and
+:class:`FeasibilityAnalysis`.
+"""
+
+from repro.rtsj.extended import FeasibilityAnalysis, RealtimeThreadExtended
+from repro.rtsj.memory import (
+    AllocationContext,
+    ImmortalMemory,
+    LTMemory,
+    MemoryAccessError,
+    MemoryArea,
+    ScopedMemory,
+)
+from repro.rtsj.params import (
+    AperiodicParameters,
+    PeriodicParameters,
+    PriorityParameters,
+    ReleaseParameters,
+    SchedulingParameters,
+    SporadicParameters,
+)
+from repro.rtsj.scheduler import (
+    ExtendedPriorityScheduler,
+    JRatePriorityScheduler,
+    PriorityScheduler,
+    RIPriorityScheduler,
+    Scheduler,
+)
+from repro.rtsj.system import RealtimeSystem
+from repro.rtsj.thread import RealtimeThread
+from repro.rtsj.time import AbsoluteTime, HighResolutionTime, RelativeTime
+from repro.rtsj.timer import AsyncEvent, AsyncEventHandler, OneShotTimer, PeriodicTimer
+
+__all__ = [
+    "HighResolutionTime",
+    "RelativeTime",
+    "AbsoluteTime",
+    "SchedulingParameters",
+    "PriorityParameters",
+    "ReleaseParameters",
+    "PeriodicParameters",
+    "AperiodicParameters",
+    "SporadicParameters",
+    "Scheduler",
+    "PriorityScheduler",
+    "RIPriorityScheduler",
+    "JRatePriorityScheduler",
+    "ExtendedPriorityScheduler",
+    "RealtimeThread",
+    "RealtimeSystem",
+    "AsyncEvent",
+    "AsyncEventHandler",
+    "OneShotTimer",
+    "PeriodicTimer",
+    "RealtimeThreadExtended",
+    "FeasibilityAnalysis",
+    "MemoryArea",
+    "ImmortalMemory",
+    "ScopedMemory",
+    "LTMemory",
+    "AllocationContext",
+    "MemoryAccessError",
+]

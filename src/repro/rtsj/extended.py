@@ -1,0 +1,222 @@
+"""``javax.realtime.extended`` — the paper's package (§2.3, §3.1, §4).
+
+The paper ships its contribution as a new package offering
+``RealtimeThreadExtended`` (extending ``RealtimeThread``) and
+``FeasibilityAnalysis``:
+
+* ``addToFeasibility()`` / ``removeFromFeasibility()`` are overloaded
+  to delegate to :class:`FeasibilityAnalysis`, which implements the
+  Figure 2 algorithm (fixing RI's defective test and jRate's missing
+  one);
+* ``start()`` is overloaded to launch, "just after having called the
+  method start() of the super-class", a periodic detector
+  (:class:`~repro.rtsj.timer.PeriodicTimer`) with period = the task
+  period and offset = the worst-case response time;
+* ``waitForNextPeriod()`` is overloaded to bracket each job with
+  ``computeAfterPeriodic()`` / ``computeBeforePeriodic()``, which
+  maintain the job counter and job-finished boolean the detector reads;
+* the detector applies the configured :class:`TreatmentKind` when it
+  catches an unfinished job (§4): log only, stop immediately, or stop
+  at the allowance-adjusted thresholds.
+
+Under simulation the engine drives job boundaries, so the two compute
+methods are invoked from the simulator's job hooks; the overloaded
+``waitForNextPeriod`` body is kept verbatim for fidelity and direct
+unit testing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core import allowance as _allowance
+from repro.core import feasibility as _feasibility
+from repro.core.task import TaskSet
+from repro.core.treatments import TreatmentKind
+from repro.rtsj.params import PeriodicParameters, PriorityParameters
+from repro.rtsj.scheduler import ExtendedPriorityScheduler, Scheduler
+from repro.rtsj.thread import RealtimeThread
+from repro.rtsj.timer import AsyncEventHandler, PeriodicTimer
+from repro.sim.trace import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.jobs import Job
+    from repro.rtsj.system import RealtimeSystem
+
+__all__ = ["FeasibilityAnalysis", "RealtimeThreadExtended"]
+
+
+class FeasibilityAnalysis:
+    """The class the paper delegates admission control to.
+
+    Static methods over RTSJ threads; each converts to the analysis
+    task model and calls the exact algorithms of :mod:`repro.core`.
+    """
+
+    @staticmethod
+    def _taskset(threads: Iterable[RealtimeThread]) -> TaskSet:
+        return TaskSet(t.as_task() for t in threads)
+
+    @staticmethod
+    def wcResponseTime(  # noqa: N802 - paper naming (Figure 2)
+        thread: RealtimeThread, threads: Iterable[RealtimeThread]
+    ) -> int | None:
+        """Figure 2: worst-case response time of *thread* among
+        *threads* (nanoseconds; None = unbounded)."""
+        ts = FeasibilityAnalysis._taskset(threads)
+        return _feasibility.wc_response_time(ts[thread.name], ts)
+
+    @staticmethod
+    def isFeasible(threads: Iterable[RealtimeThread]) -> bool:  # noqa: N802
+        ts = FeasibilityAnalysis._taskset(threads)
+        return _feasibility.is_feasible(ts)
+
+    @staticmethod
+    def equitableAllowance(threads: Iterable[RealtimeThread]) -> int:  # noqa: N802
+        """§4.2 allowance for the thread set."""
+        return _allowance.equitable_allowance(FeasibilityAnalysis._taskset(threads))
+
+    @staticmethod
+    def systemAllowance(threads: Iterable[RealtimeThread]) -> dict[str, int]:  # noqa: N802
+        """§4.3 per-thread maximal solo overruns."""
+        return _allowance.system_allowance(FeasibilityAnalysis._taskset(threads))
+
+
+class RealtimeThreadExtended(RealtimeThread):
+    """The paper's extended thread: admission control + fault detector.
+
+    *treatment* selects the §4 policy applied when this thread's
+    detector catches a fault (default: detect only, Figure 4).
+    """
+
+    def __init__(
+        self,
+        scheduling: PriorityParameters,
+        release: PeriodicParameters,
+        system: "RealtimeSystem",
+        *,
+        name: str | None = None,
+        scheduler: Scheduler | None = None,
+        treatment: TreatmentKind = TreatmentKind.DETECT_ONLY,
+    ):
+        if scheduler is None and not isinstance(
+            system.scheduler, ExtendedPriorityScheduler
+        ):
+            # The extended thread relies on the corrected analysis even
+            # when the system models a defective VM scheduler; all
+            # extended threads of one system share the same instance so
+            # the feasibility set is complete.
+            cached = getattr(system, "_extended_scheduler", None)
+            if cached is None:
+                cached = ExtendedPriorityScheduler()
+                system._extended_scheduler = cached  # type: ignore[attr-defined]
+            scheduler = cached
+        super().__init__(scheduling, release, system, name=name, scheduler=scheduler)
+        self.treatment = treatment
+        # §3.1 state read by the detector.
+        self.job_counter = 0  # completed jobs
+        self.job_finished = True  # no job in progress initially
+        self.detector: PeriodicTimer | None = None
+        self.detector_threshold: int | None = None
+        self.faults_detected: list[int] = []
+
+    # -- overloaded RTSJ methods (the paper's §2.3, §3.1) -------------------------
+    def addToFeasibility(self) -> bool:  # noqa: N802
+        """Overloaded to delegate to :class:`FeasibilityAnalysis` over
+        the scheduler's current feasibility set (paper §2.3)."""
+        self._scheduler.addToFeasibility(self)
+        return FeasibilityAnalysis.isFeasible(self._scheduler.feasibility_set)
+
+    def waitForNextPeriod(self) -> bool:  # noqa: N802
+        """The paper's overload, verbatim::
+
+            computeAfterPeriodic();
+            boolean returnValue = super.waitForNextPeriod();
+            computeBeforePeriodic();
+            return returnValue;
+
+        Under simulation, job boundaries invoke the two compute methods
+        directly; call this only from non-simulated (unit-test) code.
+        """
+        self.computeAfterPeriodic()
+        return_value = super().waitForNextPeriod()
+        self.computeBeforePeriodic()
+        return return_value
+
+    def computeBeforePeriodic(self) -> None:  # noqa: N802
+        """Job begins: lower the finished flag (§3.1)."""
+        self.job_finished = False
+
+    def computeAfterPeriodic(self) -> None:  # noqa: N802
+        """Job ends: raise the flag, advance the counter (§3.1)."""
+        self.job_finished = True
+        self.job_counter += 1
+
+    def start(self) -> None:
+        """Overloaded start: "starts a periodic detector with an offset
+        equal to the worst case response time just after having called
+        the method start() of the super-class"."""
+        super().start()
+        self._detector_requested = self.treatment is not TreatmentKind.NO_DETECTION
+
+    # -- simulation bridge ----------------------------------------------------------
+    def _job_started(self, job: "Job") -> None:
+        self.computeBeforePeriodic()
+
+    def _job_ended(self, job: "Job") -> None:
+        self.computeAfterPeriodic()
+
+    def _pre_run(self, taskset: TaskSet) -> None:
+        """Install the detector once the whole system is known.
+
+        The threshold (detector offset after each release) is the §4
+        stop bound for the configured treatment; the VM timer rounding
+        is applied by the :class:`PeriodicTimer` itself.
+        """
+        if not getattr(self, "_detector_requested", False):
+            return
+        task = taskset[self.name]
+        threshold = self._threshold(taskset)
+        self.detector_threshold = threshold
+        handler = AsyncEventHandler(self._detector_check)
+        self.detector = PeriodicTimer(
+            start=task.offset + threshold,
+            interval=task.period,
+            handler=handler,
+            system=self._system,
+        )
+        self.detector.start()
+
+    def _threshold(self, taskset: TaskSet) -> int:
+        wcrt = _feasibility.wc_response_time(taskset[self.name], taskset)
+        if wcrt is None:
+            raise ValueError(f"{self.name}: unbounded WCRT; system infeasible")
+        if self.treatment is TreatmentKind.EQUITABLE_ALLOWANCE:
+            allowance = _allowance.equitable_allowance(taskset)
+            return _allowance.adjusted_wcrt(taskset, allowance)[self.name]
+        if self.treatment is TreatmentKind.SYSTEM_ALLOWANCE:
+            return _allowance.system_adjusted_wcrt(taskset)[self.name]
+        return wcrt
+
+    def _detector_check(self, index: int) -> None:
+        """The detector body: read the counter/boolean state kept by
+        ``waitForNextPeriod`` and treat a caught fault (§3.1, §4)."""
+        sim = self._system.simulation
+        assert sim is not None
+        now = sim.engine.now
+        sim.trace.record(now, EventKind.DETECTOR_FIRE, self.name, index)
+        job = sim.jobs.get((self.name, index))
+        if job is None:
+            return  # fired past the last release in the horizon
+        finished = self.job_counter >= index + 1
+        if finished:
+            return
+        self.faults_detected.append(index)
+        job.fault_detected = True
+        sim.trace.record(now, EventKind.FAULT_DETECTED, self.name, index)
+        if self.treatment in (
+            TreatmentKind.IMMEDIATE_STOP,
+            TreatmentKind.EQUITABLE_ALLOWANCE,
+            TreatmentKind.SYSTEM_ALLOWANCE,
+        ):
+            sim.request_stop(job)

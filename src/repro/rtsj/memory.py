@@ -1,0 +1,200 @@
+"""``javax.realtime`` memory areas (minimal, faithful subset).
+
+The RTSJ's second pillar beside scheduling — the paper's introduction
+lists "memory management" among the constraints the specification
+imposes on real-time VMs — is allocation in garbage-collection-free
+regions:
+
+* :class:`ImmortalMemory` — never collected, shared, unbounded
+  lifetime; allocation is permanent;
+* :class:`ScopedMemory` (``LTMemory``: linear-time allocation) — a
+  sized region entered by threads; objects vanish when the last thread
+  leaves.  Scopes nest and obey the RTSJ *single parent rule*: a scope
+  can only be entered from its parent scope (or from no scope, making
+  the enterer's current area its parent).
+
+This model tracks sizes and the scope stack so real-time logic can be
+checked for allocation discipline (no allocation beyond a region's
+size, no illegal nesting, no dangling references from outer to inner
+scopes — the assignment rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MemoryAccessError",
+    "MemoryArea",
+    "ImmortalMemory",
+    "ScopedMemory",
+    "LTMemory",
+    "AllocationContext",
+]
+
+
+class MemoryAccessError(RuntimeError):
+    """Violation of an RTSJ memory rule (size, nesting or assignment)."""
+
+
+@dataclass(frozen=True)
+class _Allocation:
+    """One allocated object: its area and size (bytes)."""
+
+    area: "MemoryArea"
+    size: int
+    serial: int
+
+
+class MemoryArea:
+    """Base class: a region objects can be allocated in."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._serial = 0
+        self._allocated: dict[int, _Allocation] = {}
+
+    # -- RTSJ-style introspection ------------------------------------------------
+    def memoryConsumed(self) -> int:  # noqa: N802 - RTSJ naming
+        return sum(a.size for a in self._allocated.values())
+
+    def memoryRemaining(self) -> int | None:  # noqa: N802
+        """Remaining bytes; None = unbounded (immortal)."""
+        return None
+
+    # -- allocation ----------------------------------------------------------------
+    def _check_capacity(self, size: int) -> None:
+        remaining = self.memoryRemaining()
+        if remaining is not None and size > remaining:
+            raise MemoryAccessError(
+                f"{self.name}: allocation of {size} exceeds remaining {remaining}"
+            )
+
+    def allocate(self, size: int) -> _Allocation:
+        """Allocate *size* bytes; returns an allocation token."""
+        if size <= 0:
+            raise ValueError("size must be > 0")
+        self._check_capacity(size)
+        self._serial += 1
+        alloc = _Allocation(area=self, size=size, serial=self._serial)
+        self._allocated[alloc.serial] = alloc
+        return alloc
+
+    def _clear(self) -> None:
+        self._allocated.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ImmortalMemory(MemoryArea):
+    """The shared, never-collected region (per-context singleton)."""
+
+    def __init__(self) -> None:
+        super().__init__("immortal")
+
+
+class ScopedMemory(MemoryArea):
+    """A sized scope; cleared when its last enterer leaves."""
+
+    def __init__(self, size: int, name: str = "scope"):
+        if size <= 0:
+            raise ValueError("scope size must be > 0")
+        super().__init__(name)
+        self.size = size
+        self.parent: MemoryArea | None = None
+        self._enter_count = 0
+
+    def memoryRemaining(self) -> int | None:  # noqa: N802
+        return self.size - self.memoryConsumed()
+
+    @property
+    def reference_count(self) -> int:
+        """Number of threads currently inside the scope."""
+        return self._enter_count
+
+
+class LTMemory(ScopedMemory):
+    """Linear-allocation-time scoped memory (the common concrete type)."""
+
+
+@dataclass
+class AllocationContext:
+    """One thread's view of the memory-area machinery.
+
+    Mirrors ``MemoryArea.enter(logic)``: the context keeps the scope
+    stack, enforces the single parent rule, and validates reference
+    assignments between areas.
+    """
+
+    immortal: ImmortalMemory = field(default_factory=ImmortalMemory)
+    _stack: list[MemoryArea] = field(default_factory=list)
+
+    def current(self) -> MemoryArea:
+        """The current allocation area (immortal at the outermost level)."""
+        return self._stack[-1] if self._stack else self.immortal
+
+    def enter(self, scope: ScopedMemory) -> "_Entered":
+        """Enter *scope* (context manager).
+
+        Single parent rule: a scope's parent is fixed by its first
+        enter; entering it later from a *different* area is illegal.
+        """
+        if scope in self._stack:
+            raise MemoryAccessError(f"{scope.name}: scope re-entered (cycle)")
+        current = self.current()
+        if scope.parent is None:
+            scope.parent = current
+        elif scope.parent is not current:
+            raise MemoryAccessError(
+                f"{scope.name}: single parent rule - parent is "
+                f"{scope.parent.name}, attempted enter from {current.name}"
+            )
+        return _Entered(self, scope)
+
+    def allocate(self, size: int) -> _Allocation:
+        """Allocate in the current area."""
+        return self.current().allocate(size)
+
+    def check_assignment(self, holder: _Allocation, value: _Allocation) -> None:
+        """RTSJ assignment rule: an object may not hold a reference to
+        an object in a more deeply nested (shorter-lived) scope."""
+        if self._depth(holder.area) < self._depth(value.area):
+            raise MemoryAccessError(
+                f"illegal assignment: {holder.area.name} object cannot "
+                f"reference {value.area.name} object"
+            )
+
+    def _depth(self, area: MemoryArea) -> int:
+        """Nesting depth: immortal is 0, each scope level adds 1."""
+        if isinstance(area, ImmortalMemory):
+            return 0
+        depth = 0
+        cursor: MemoryArea | None = area
+        while isinstance(cursor, ScopedMemory):
+            depth += 1
+            cursor = cursor.parent
+        return depth
+
+
+class _Entered:
+    """Context manager returned by :meth:`AllocationContext.enter`."""
+
+    def __init__(self, ctx: AllocationContext, scope: ScopedMemory):
+        self._ctx = ctx
+        self._scope = scope
+
+    def __enter__(self) -> ScopedMemory:
+        self._scope._enter_count += 1
+        self._ctx._stack.append(self._scope)
+        return self._scope
+
+    def __exit__(self, *exc_info) -> None:
+        popped = self._ctx._stack.pop()
+        assert popped is self._scope
+        self._scope._enter_count -= 1
+        if self._scope._enter_count == 0:
+            # Last thread left: the scope's objects are reclaimed and
+            # its parent link resets (RTSJ allows re-parenting then).
+            self._scope._clear()
+            self._scope.parent = None

@@ -1,0 +1,135 @@
+"""``javax.realtime`` scheduling and release parameters.
+
+The subset of the RTSJ parameter classes the paper manipulates:
+``PriorityParameters`` (fixed priorities are the only scheduling
+parameters RTSJ implementations must support) and the
+``ReleaseParameters`` hierarchy carrying cost, deadline and period.
+Values accept either :class:`~repro.rtsj.time.RelativeTime` or plain
+integer nanoseconds.
+"""
+
+from __future__ import annotations
+
+from repro.rtsj.time import RelativeTime
+
+__all__ = [
+    "SchedulingParameters",
+    "PriorityParameters",
+    "ReleaseParameters",
+    "PeriodicParameters",
+    "AperiodicParameters",
+    "SporadicParameters",
+]
+
+
+def _to_nanos(value: "RelativeTime | int | None") -> int | None:
+    if value is None:
+        return None
+    if isinstance(value, RelativeTime):
+        return value.total_nanos
+    return int(value)
+
+
+class SchedulingParameters:
+    """Base of the scheduling-parameter hierarchy (empty, as in RTSJ)."""
+
+
+class PriorityParameters(SchedulingParameters):
+    """A fixed priority; larger = more eligible (RTSJ convention)."""
+
+    def __init__(self, priority: int):
+        self._priority = int(priority)
+
+    def getPriority(self) -> int:  # noqa: N802 - RTSJ naming
+        return self._priority
+
+    def setPriority(self, priority: int) -> None:  # noqa: N802
+        self._priority = int(priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PriorityParameters({self._priority})"
+
+
+class ReleaseParameters:
+    """Cost and deadline of a schedulable's releases."""
+
+    def __init__(
+        self,
+        cost: "RelativeTime | int | None" = None,
+        deadline: "RelativeTime | int | None" = None,
+    ):
+        self._cost = _to_nanos(cost)
+        self._deadline = _to_nanos(deadline)
+
+    def getCost(self) -> int | None:  # noqa: N802
+        return self._cost
+
+    def setCost(self, cost: "RelativeTime | int") -> None:  # noqa: N802
+        self._cost = _to_nanos(cost)
+
+    def getDeadline(self) -> int | None:  # noqa: N802
+        return self._deadline
+
+    def setDeadline(self, deadline: "RelativeTime | int") -> None:  # noqa: N802
+        self._deadline = _to_nanos(deadline)
+
+
+class PeriodicParameters(ReleaseParameters):
+    """Release parameters of a periodic schedulable.
+
+    ``start`` is the first-release offset relative to system start
+    (RTSJ allows absolute dates too; the simulator starts at 0 so a
+    relative offset is fully general).  ``deadline`` defaults to the
+    period, as in RTSJ.
+    """
+
+    def __init__(
+        self,
+        start: "RelativeTime | int | None" = None,
+        period: "RelativeTime | int" = 0,
+        cost: "RelativeTime | int | None" = None,
+        deadline: "RelativeTime | int | None" = None,
+    ):
+        period_ns = _to_nanos(period)
+        if not period_ns or period_ns <= 0:
+            raise ValueError("period must be > 0")
+        super().__init__(cost, deadline if deadline is not None else period_ns)
+        self._start = _to_nanos(start) or 0
+        self._period = period_ns
+
+    def getStart(self) -> int:  # noqa: N802
+        return self._start
+
+    def getPeriod(self) -> int:  # noqa: N802
+        return self._period
+
+    def setPeriod(self, period: "RelativeTime | int") -> None:  # noqa: N802
+        value = _to_nanos(period)
+        if not value or value <= 0:
+            raise ValueError("period must be > 0")
+        self._period = value
+
+
+class AperiodicParameters(ReleaseParameters):
+    """Release parameters of an aperiodic schedulable (no rate bound)."""
+
+
+class SporadicParameters(AperiodicParameters):
+    """Aperiodic with a minimum interarrival time — analysable like a
+    periodic task of period ``minInterarrival`` (used by the §7
+    future-work sporadic support)."""
+
+    def __init__(
+        self,
+        minInterarrival: "RelativeTime | int",  # noqa: N803 - RTSJ naming
+        cost: "RelativeTime | int | None" = None,
+        deadline: "RelativeTime | int | None" = None,
+    ):
+        mit = _to_nanos(minInterarrival)
+        if not mit or mit <= 0:
+            raise ValueError("minimum interarrival must be > 0")
+        super().__init__(cost, deadline if deadline is not None else mit)
+        self._mit = mit
+
+    def getMinimumInterarrival(self) -> int:  # noqa: N802
+        return self._mit

@@ -1,0 +1,116 @@
+"""``javax.realtime`` schedulers — including the defective feasibility
+tests the paper sets out to fix.
+
+The paper observes (§1):
+
+* "We can easily show a non feasible set of tasks for which **RI**
+  returns feasible" — the reference implementation's test is a bare
+  utilization check, which is necessary but not sufficient when
+  deadlines are shorter than periods;
+* "we can see in the file ``PriorityScheduler.java`` that feasibility
+  methods are **not yet implemented in jRate**".
+
+Both behaviours are reproduced here so the paper's fix is testable
+against them: :class:`RIPriorityScheduler` accepts too much,
+:class:`JRatePriorityScheduler` refuses to answer, and the corrected
+:class:`ExtendedPriorityScheduler` (the paper's contribution, §2.3)
+runs the exact response-time analysis.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.feasibility import is_feasible as _exact_is_feasible
+from repro.core.task import Task, TaskSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rtsj.thread import RealtimeThread
+
+__all__ = [
+    "Scheduler",
+    "PriorityScheduler",
+    "RIPriorityScheduler",
+    "JRatePriorityScheduler",
+    "ExtendedPriorityScheduler",
+]
+
+
+def _as_taskset(threads: Iterable["RealtimeThread"]) -> TaskSet:
+    return TaskSet(t.as_task() for t in threads)
+
+
+class Scheduler:
+    """Base scheduler: holds the feasibility set of schedulables."""
+
+    def __init__(self) -> None:
+        self._feasibility_set: list["RealtimeThread"] = []
+
+    # RTSJ naming (camelCase) kept for fidelity with the paper's code.
+    def addToFeasibility(self, schedulable: "RealtimeThread") -> bool:  # noqa: N802
+        """Add *schedulable* to the feasibility set; returns the new
+        verdict of :meth:`isFeasible`."""
+        if schedulable not in self._feasibility_set:
+            self._feasibility_set.append(schedulable)
+        return self.isFeasible()
+
+    def removeFromFeasibility(self, schedulable: "RealtimeThread") -> bool:  # noqa: N802
+        """Remove *schedulable*; returns True when it was present."""
+        try:
+            self._feasibility_set.remove(schedulable)
+        except ValueError:
+            return False
+        return True
+
+    def isFeasible(self) -> bool:  # noqa: N802
+        raise NotImplementedError
+
+    @property
+    def feasibility_set(self) -> tuple["RealtimeThread", ...]:
+        return tuple(self._feasibility_set)
+
+
+class PriorityScheduler(Scheduler):
+    """The required RTSJ scheduler: fixed priorities, preemptive.
+
+    The base class leaves :meth:`isFeasible` abstract; concrete
+    subclasses model the three implementations the paper discusses.
+    """
+
+
+class RIPriorityScheduler(PriorityScheduler):
+    """The reference implementation's *defective* admission control.
+
+    Only checks ``U <= 1`` — necessary, not sufficient.  A system with
+    ``D < T`` can pass this test and still miss deadlines (the paper's
+    "non feasible set of tasks for which RI returns feasible").
+    """
+
+    def isFeasible(self) -> bool:  # noqa: N802
+        if not self._feasibility_set:
+            return True
+        num, den = _as_taskset(self._feasibility_set).utilization_exact()
+        return num <= den
+
+
+class JRatePriorityScheduler(PriorityScheduler):
+    """jRate's scheduler: feasibility methods not implemented."""
+
+    def isFeasible(self) -> bool:  # noqa: N802
+        raise NotImplementedError(
+            "feasibility methods are not implemented in jRate "
+            "(PriorityScheduler.java); use ExtendedPriorityScheduler"
+        )
+
+
+class ExtendedPriorityScheduler(PriorityScheduler):
+    """The paper's corrected admission control (§2.3).
+
+    Delegates to the exact analysis: load test plus the Figure 2
+    worst-case response-time computation for every schedulable.
+    """
+
+    def isFeasible(self) -> bool:  # noqa: N802
+        if not self._feasibility_set:
+            return True
+        return _exact_is_feasible(_as_taskset(self._feasibility_set))

@@ -1,0 +1,91 @@
+"""The "virtual machine": owns threads, timers and the simulation run.
+
+Deviation from Java, where the VM is ambient: threads and timers attach
+to an explicit :class:`RealtimeSystem` so independent experiments never
+share state.  ``run(until)`` is the moment the paper's static task
+system is launched — the full thread set is known, admission control
+data (WCRTs, allowances) can be computed, detectors installed, and the
+schedule played out on the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.faults import CostOverrun, FaultInjector
+from repro.core.task import TaskSet
+from repro.rtsj.scheduler import ExtendedPriorityScheduler, Scheduler
+from repro.sim.simulation import SimResult, Simulation
+from repro.sim.vm import EXACT_VM, VMProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rtsj.thread import RealtimeThread
+    from repro.rtsj.timer import _Timer
+
+__all__ = ["RealtimeSystem"]
+
+
+class RealtimeSystem:
+    """Container for one RTSJ 'machine' and its run."""
+
+    def __init__(
+        self, vm: VMProfile = EXACT_VM, scheduler: Scheduler | None = None
+    ):
+        self.vm = vm
+        self.scheduler: Scheduler = (
+            scheduler if scheduler is not None else ExtendedPriorityScheduler()
+        )
+        self._threads: list["RealtimeThread"] = []
+        self._timers: list["_Timer"] = []
+        self.simulation: Simulation | None = None
+
+    # -- registration (called from constructors) ------------------------------
+    def _register_thread(self, thread: "RealtimeThread") -> None:
+        if any(t.name == thread.name for t in self._threads):
+            raise ValueError(f"duplicate thread name {thread.name!r}")
+        self._threads.append(thread)
+
+    def _register_timer(self, timer: "_Timer") -> None:
+        self._timers.append(timer)
+
+    @property
+    def threads(self) -> tuple["RealtimeThread", ...]:
+        return tuple(self._threads)
+
+    def taskset(self) -> TaskSet:
+        """Analysis view of the *started* threads."""
+        started = [t for t in self._threads if t.started]
+        return TaskSet(t.as_task() for t in started)
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, until: int) -> SimResult:
+        """Launch the started threads and play the system out to
+        *until* nanoseconds.  Can only be called once per system."""
+        if self.simulation is not None:
+            raise RuntimeError("system already ran; build a fresh RealtimeSystem")
+        started = [t for t in self._threads if t.started]
+        if not started:
+            raise RuntimeError("no started threads")
+        taskset = TaskSet(t.as_task() for t in started)
+        faults = FaultInjector(
+            CostOverrun(t.name, job, extra)
+            for t in started
+            for job, extra in t.injected_overruns.items()
+        )
+        sim = Simulation(taskset, horizon=until, faults=faults, vm=self.vm)
+        self.simulation = sim
+        for t in started:
+            sim.job_start_hooks.setdefault(t.name, []).append(t._job_started)
+            sim.job_end_hooks.setdefault(t.name, []).append(t._job_ended)
+        # Give threads their pre-run step (the extended class installs
+        # its detectors here: the full set is now known, so WCRTs and
+        # allowances — the admission-control by-products the detectors
+        # reuse — are computable).
+        for t in started:
+            pre_run = getattr(t, "_pre_run", None)
+            if pre_run is not None:
+                pre_run(taskset)
+        for timer in self._timers:
+            if timer.started:
+                timer._arm(sim.engine, self.vm, until)
+        return sim.run()

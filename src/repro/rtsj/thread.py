@@ -1,0 +1,134 @@
+"""``javax.realtime.RealtimeThread`` over the simulator.
+
+A real RTSJ thread runs Java code that loops calling
+``waitForNextPeriod()``.  In the simulation the thread's *logic* is a
+CPU demand (its cost, possibly perturbed by injected faults), and the
+period loop is driven by the engine; the thread object exposes the same
+lifecycle — construct with scheduling/release parameters, ``start()``,
+observe job boundaries — and is converted to a
+:class:`~repro.core.task.Task` when the system is run.
+
+Deviation from Java: threads belong to an explicit
+:class:`~repro.rtsj.system.RealtimeSystem` (passed at construction)
+instead of a process-global VM, so tests and experiments stay isolated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.core.task import Task
+from repro.rtsj.params import PeriodicParameters, PriorityParameters
+from repro.rtsj.scheduler import ExtendedPriorityScheduler, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.jobs import Job
+    from repro.rtsj.system import RealtimeSystem
+
+__all__ = ["RealtimeThread"]
+
+_name_counter = itertools.count()
+
+
+class RealtimeThread:
+    """A periodic real-time thread.
+
+    Parameters mirror the RTSJ constructor: *scheduling* carries the
+    priority, *release* the cost/period/deadline/start.  The optional
+    *scheduler* is the admission-control implementation used by
+    ``addToFeasibility`` (defaults to the system's scheduler).
+    """
+
+    def __init__(
+        self,
+        scheduling: PriorityParameters,
+        release: PeriodicParameters,
+        system: "RealtimeSystem",
+        *,
+        name: str | None = None,
+        scheduler: Scheduler | None = None,
+    ):
+        if release.getCost() is None:
+            raise ValueError("release parameters must carry a cost")
+        self._scheduling = scheduling
+        self._release = release
+        self._system = system
+        self.name = name if name is not None else f"thread-{next(_name_counter)}"
+        self._scheduler = scheduler if scheduler is not None else system.scheduler
+        self._started = False
+        self._overruns: dict[int, int] = {}
+        system._register_thread(self)
+
+    # -- RTSJ API -------------------------------------------------------------
+    def getSchedulingParameters(self) -> PriorityParameters:  # noqa: N802
+        return self._scheduling
+
+    def getReleaseParameters(self) -> PeriodicParameters:  # noqa: N802
+        return self._release
+
+    def addToFeasibility(self) -> bool:  # noqa: N802
+        """Register with the scheduler's feasibility set (the defective
+        base implementations are fixed by the extended subclass)."""
+        return self._scheduler.addToFeasibility(self)
+
+    def removeFromFeasibility(self) -> bool:  # noqa: N802
+        return self._scheduler.removeFromFeasibility(self)
+
+    def start(self) -> None:
+        """Mark the thread live; its releases begin when the system
+        runs.  Idempotent start is an error, as in Java."""
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        self._started = True
+
+    def waitForNextPeriod(self) -> bool:  # noqa: N802
+        """In real RTSJ this blocks the calling thread until its next
+        release.  Under simulation the engine drives job boundaries and
+        calls :meth:`_job_started` / :meth:`_job_ended` instead; this
+        method exists for API completeness and always returns True (the
+        'released on time' return)."""
+        return True
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    # -- simulation bridge ------------------------------------------------------
+    def as_task(self) -> Task:
+        """The analysis/simulation view of this thread."""
+        release = self._release
+        return Task(
+            name=self.name,
+            cost=release.getCost() or 0,
+            period=release.getPeriod(),
+            deadline=release.getDeadline() or release.getPeriod(),
+            priority=self._scheduling.getPriority(),
+            offset=release.getStart(),
+        )
+
+    def inject_cost_overrun(self, job: int, extra: int) -> None:
+        """Test/experiment scaffolding: job *job* will demand
+        ``cost + extra`` ns (the paper 'voluntarily added' such an
+        overrun to its priority task)."""
+        if extra == 0:
+            return
+        self._overruns[job] = self._overruns.get(job, 0) + extra
+
+    @property
+    def injected_overruns(self) -> dict[int, int]:
+        return dict(self._overruns)
+
+    def _job_started(self, job: "Job") -> None:
+        """Hook: the job began executing (simulator callback)."""
+
+    def _job_ended(self, job: "Job") -> None:
+        """Hook: the job completed or was stopped (simulator callback)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RealtimeThread({self.name!r})"
+
+
+def default_scheduler() -> Scheduler:
+    """The corrected scheduler, used when none is specified."""
+    return ExtendedPriorityScheduler()

@@ -1,0 +1,74 @@
+"""``javax.realtime`` time types (minimal, faithful subset).
+
+RTSJ expresses durations and dates as millisecond + nanosecond pairs
+(``HighResolutionTime`` and its subclasses).  The simulator works in
+plain integer nanoseconds; these classes exist so the RTSJ-facing API
+reads like the paper's Java (``new PeriodicParameters(new
+RelativeTime(200, 0), ...)``) and convert at the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.units import MS
+
+__all__ = ["HighResolutionTime", "RelativeTime", "AbsoluteTime"]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class HighResolutionTime:
+    """A millisecond + nanosecond pair, normalised so 0 <= nanos < 1e6.
+
+    RTSJ semantics: total value = millis * 1e6 + nanos (in ns).
+    """
+
+    millis: int = 0
+    nanos: int = 0
+
+    def __post_init__(self) -> None:
+        total = self.millis * MS + self.nanos
+        object.__setattr__(self, "millis", total // MS)
+        object.__setattr__(self, "nanos", total % MS)
+
+    @property
+    def total_nanos(self) -> int:
+        """The value as integer nanoseconds (simulator unit)."""
+        return self.millis * MS + self.nanos
+
+    @classmethod
+    def from_nanos(cls, nanos: int) -> "HighResolutionTime":
+        return cls(0, nanos)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HighResolutionTime):
+            return NotImplemented
+        return self.total_nanos == other.total_nanos
+
+    def __lt__(self, other: "HighResolutionTime") -> bool:
+        return self.total_nanos < other.total_nanos
+
+    def __hash__(self) -> int:
+        return hash(self.total_nanos)
+
+
+class RelativeTime(HighResolutionTime):
+    """A duration (``javax.realtime.RelativeTime``)."""
+
+    def add(self, other: "RelativeTime") -> "RelativeTime":
+        return RelativeTime(0, self.total_nanos + other.total_nanos)
+
+    def subtract(self, other: "RelativeTime") -> "RelativeTime":
+        return RelativeTime(0, self.total_nanos - other.total_nanos)
+
+
+class AbsoluteTime(HighResolutionTime):
+    """A date on the system clock (``javax.realtime.AbsoluteTime``)."""
+
+    def add(self, delta: RelativeTime) -> "AbsoluteTime":
+        return AbsoluteTime(0, self.total_nanos + delta.total_nanos)
+
+    def subtract(self, other: "AbsoluteTime") -> RelativeTime:
+        return RelativeTime(0, self.total_nanos - other.total_nanos)

@@ -1,0 +1,67 @@
+"""Deterministic discrete-event real-time system simulator.
+
+Substitute for the paper's jRate/Timesys testbed: a single CPU with
+fixed-priority preemptive scheduling, integer-nanosecond time, periodic
+tasks with injectable cost overruns, per-task fault detectors and
+treatment-driven stops.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.sim.chains import ChainSimulation, end_to_end_latencies, simulate_chains
+from repro.sim.clock import CycleCounter, TimestampLog
+from repro.sim.engine import Engine, EventHandle, Rank
+from repro.sim.jobs import Job, JobState
+from repro.sim.locking import LockManager, LockProtocol, SectionSpec
+from repro.sim.processor import Processor
+from repro.sim.servers import (
+    AperiodicRequest,
+    DeferrableServerSimulation,
+    ServerSimulation,
+    simulate_with_deferrable_server,
+    simulate_with_server,
+)
+from repro.sim.simulation import SimResult, Simulation, simulate
+from repro.sim.trace import EventKind, Trace, TraceEvent
+from repro.sim.vm import (
+    EXACT_VM,
+    JRATE_VM,
+    ConstantOverhead,
+    NoOverhead,
+    UniformOverhead,
+    VMProfile,
+    jrate_vm,
+)
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "Rank",
+    "Trace",
+    "TraceEvent",
+    "EventKind",
+    "Job",
+    "JobState",
+    "LockManager",
+    "LockProtocol",
+    "SectionSpec",
+    "Processor",
+    "Simulation",
+    "SimResult",
+    "simulate",
+    "VMProfile",
+    "EXACT_VM",
+    "JRATE_VM",
+    "jrate_vm",
+    "NoOverhead",
+    "ConstantOverhead",
+    "UniformOverhead",
+    "CycleCounter",
+    "TimestampLog",
+    "ChainSimulation",
+    "simulate_chains",
+    "end_to_end_latencies",
+    "AperiodicRequest",
+    "ServerSimulation",
+    "simulate_with_server",
+    "DeferrableServerSimulation",
+    "simulate_with_deferrable_server",
+]

@@ -1,0 +1,152 @@
+"""Job state for the simulator.
+
+A *job* is one activation of a periodic task.  Jobs of the same task
+serialise (a task is one thread: if a job overruns past the next period
+boundary, the next job is released on time but cannot start before the
+previous one ends — exactly the RTSJ ``waitForNextPeriod`` behaviour
+the paper's instrumentation hooks into).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.task import Task
+
+__all__ = ["JobState", "Job"]
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"  # released, but an earlier job of the task is active
+    READY = "ready"  # eligible to run
+    RUNNING = "running"  # currently holds the CPU
+    BLOCKED = "blocked"  # waiting for a shared resource (PIP)
+    DONE = "done"  # completed normally
+    STOPPED = "stopped"  # terminated by a fault treatment
+
+
+@dataclass
+class Job:
+    """One activation of *task*.
+
+    ``release`` is the nominal period boundary (response times and
+    deadlines are measured from it even when the job starts late);
+    ``demand`` is the *actual* execution requirement of this job, which
+    differs from ``task.cost`` exactly when the job is faulty.
+    """
+
+    task: Task
+    index: int
+    release: int
+    demand: int
+    state: JobState = JobState.PENDING
+    executed: int = 0
+    started_at: int | None = None
+    finished_at: int | None = None
+    last_dispatch: int | None = None
+    deadline_missed: bool = False
+    fault_detected: bool = False
+    stop_granted: int = 0
+    overhead: int = 0
+    #: Priority boost from resource protocols (inheritance/ceiling);
+    #: the dispatcher uses :attr:`effective_priority`.
+    boost: int = 0
+    _stop_cap: int | None = field(default=None, repr=False)
+    #: Execution-progress hooks: ``(point, callback)`` sorted by point,
+    #: fired exactly once when ``executed`` reaches the point (used for
+    #: critical-section boundaries).
+    _hooks: list = field(default_factory=list, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+    @property
+    def effective_priority(self) -> int:
+        """Base priority raised by any protocol boost."""
+        return max(self.task.priority, self.boost)
+
+    # -- progress hooks ------------------------------------------------------
+    def add_progress_hook(self, point: int, callback) -> None:
+        """Fire *callback(job)* once the job has executed *point* ns."""
+        if point < 0:
+            raise ValueError("progress point must be >= 0")
+        self._hooks.append((point, callback))
+        self._hooks.sort(key=lambda pair: pair[0])
+
+    def pop_due_hook(self):
+        """Next unfired hook with ``point <= executed``, or None."""
+        if self._hooks and self._hooks[0][0] <= self.executed:
+            return self._hooks.pop(0)[1]
+        return None
+
+    def next_hook_point(self) -> int | None:
+        """Earliest pending hook point (> executed), or None."""
+        return self._hooks[0][0] if self._hooks else None
+
+    @property
+    def absolute_deadline(self) -> int:
+        return self.release + self.task.deadline
+
+    @property
+    def required(self) -> int:
+        """Total CPU the job will consume: its (possibly stop-capped)
+        demand plus platform overhead charged to it (context switches)."""
+        cap = self.demand if self._stop_cap is None else min(self.demand, self._stop_cap)
+        return cap + self.overhead
+
+    @property
+    def remaining(self) -> int:
+        """CPU time still required before the job ends."""
+        return max(self.required - self.executed, 0)
+
+    def add_overhead(self, amount: int) -> None:
+        """Charge platform overhead (e.g. a context switch) to the job."""
+        if amount < 0:
+            raise ValueError("overhead must be >= 0")
+        self.overhead += amount
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.STOPPED)
+
+    @property
+    def was_stopped(self) -> bool:
+        return self.state is JobState.STOPPED
+
+    @property
+    def response_time(self) -> int | None:
+        """``finish - release``, or None while unfinished."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.release
+
+    @property
+    def overran(self) -> bool:
+        """True when the job's demand exceeds its declared cost."""
+        return self.demand > self.task.cost
+
+    def truncate(self, extra_cpu: int) -> bool:
+        """Request the job to stop after at most *extra_cpu* more CPU.
+
+        *extra_cpu* models the §4.1 stop-flag poll latency (0 = stop at
+        the next instant the job would run).  Returns True when the cap
+        actually shortens the job (i.e. it will end as STOPPED rather
+        than complete naturally).
+        """
+        if extra_cpu < 0:
+            raise ValueError("extra_cpu must be >= 0")
+        # The job should end once it has consumed `executed + extra_cpu`
+        # total CPU; subtract the overhead share so the cap applies to
+        # the demand portion of `required`.
+        cap = max(self.executed + extra_cpu - self.overhead, 0)
+        if cap >= self.demand:
+            return False  # job finishes naturally first
+        if self._stop_cap is None or cap < self._stop_cap:
+            self._stop_cap = cap
+        return True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_cap is not None and self._stop_cap < self.demand

@@ -1,0 +1,236 @@
+"""Shared-resource protocols in the simulator — runtime counterpart of
+:mod:`repro.core.blocking` (§7 future work).
+
+Jobs declare critical sections as execution-progress windows: a job
+acquires *resource* once it has executed *start* ns and releases it
+once it has executed ``start + duration`` ns (faults — overruns — are
+assumed to happen outside critical sections, matching the analysis
+assumption in ``core.blocking``; an overrunning job still releases at
+the same progress point).
+
+Two classic uniprocessor protocols are implemented:
+
+* **PIP** (priority inheritance): a job that finds the resource held
+  blocks; the holder inherits the blocked job's effective priority,
+  transitively along the blocking chain, until it releases.
+* **ICPP** (immediate ceiling priority protocol, the practical form of
+  the priority *ceiling* protocol): a job's priority is raised to the
+  resource ceiling for the whole critical section.  On one processor
+  this makes blocking-at-acquire impossible; the blocking shows up as a
+  delayed start, and the PCP bound of ``core.blocking`` applies.
+
+A job that ends while holding locks (stopped by a treatment, or an
+overrun modelled as ending inside a section) releases everything — the
+pragmatic choice the paper's polled-stop mechanism would need; the
+safety implications are discussed in ``core.blocking``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.blocking import CriticalSection
+from repro.core.task import TaskSet
+from repro.sim.jobs import Job, JobState
+from repro.sim.trace import EventKind, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.processor import Processor
+
+__all__ = ["LockProtocol", "SectionSpec", "LockManager"]
+
+
+class LockProtocol(enum.Enum):
+    PIP = "pip"
+    ICPP = "icpp"
+
+
+@dataclass(frozen=True)
+class SectionSpec:
+    """A critical section as an execution-progress window.
+
+    *start* is the executed time at which the job acquires *resource*;
+    it holds it for the next *duration* ns of execution.
+    """
+
+    task_name: str
+    resource: str
+    start: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("section start must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("section duration must be > 0")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+    def as_analysis_section(self) -> CriticalSection:
+        """The :mod:`repro.core.blocking` view (duration only)."""
+        return CriticalSection(self.task_name, self.resource, self.duration)
+
+
+@dataclass
+class _ResourceState:
+    holder: Job | None = None
+    waiters: list[Job] = field(default_factory=list)
+
+
+class LockManager:
+    """Tracks resource ownership and applies the protocol."""
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        sections: list[SectionSpec],
+        *,
+        protocol: LockProtocol,
+        processor: "Processor",
+        trace: Trace,
+    ):
+        for spec in sections:
+            if spec.task_name not in taskset:
+                raise ValueError(f"section for unknown task {spec.task_name!r}")
+            if spec.end > taskset[spec.task_name].cost:
+                raise ValueError(
+                    f"{spec.task_name}: section [{spec.start}, {spec.end}) "
+                    "exceeds the declared cost"
+                )
+        self.protocol = protocol
+        self.processor = processor
+        self.trace = trace
+        self.sections = sections
+        self._by_task: dict[str, list[SectionSpec]] = {}
+        for spec in sections:
+            self._by_task.setdefault(spec.task_name, []).append(spec)
+        # ICPP ceilings come from the static analysis definition.
+        from repro.core.blocking import priority_ceilings
+
+        self.ceilings = priority_ceilings(
+            taskset, [s.as_analysis_section() for s in sections]
+        )
+        self._resources: dict[str, _ResourceState] = {}
+        self._held: dict[tuple[str, int], list[str]] = {}
+        #: (job key) -> resource the job is currently blocked on.
+        self._blocked_on: dict[tuple[str, int], str] = {}
+
+    # -- wiring ---------------------------------------------------------------
+    def attach(self, job: Job) -> None:
+        """Install acquire/release hooks on a freshly released job."""
+        for spec in self._by_task.get(job.name, ()):
+            job.add_progress_hook(spec.start, self._make_acquire(spec))
+            job.add_progress_hook(spec.end, self._make_release(spec))
+
+    def on_job_end(self, job: Job) -> None:
+        """Release everything the ending job still holds and forget any
+        pending block record (stops and truncated overruns)."""
+        self._blocked_on.pop(self._key(job), None)
+        for resource in list(self._held.get(self._key(job), ())):
+            self._release(job, resource)
+
+    def held_by(self, job: Job) -> list[str]:
+        return list(self._held.get(self._key(job), ()))
+
+    # -- protocol -------------------------------------------------------------
+    def _make_acquire(self, spec: SectionSpec):
+        def acquire(job: Job) -> None:
+            self._acquire(job, spec.resource)
+
+        return acquire
+
+    def _make_release(self, spec: SectionSpec):
+        def release(job: Job) -> None:
+            self._release(job, spec.resource)
+
+        return release
+
+    def _state(self, resource: str) -> _ResourceState:
+        return self._resources.setdefault(resource, _ResourceState())
+
+    @staticmethod
+    def _key(job: Job) -> tuple[str, int]:
+        return (job.name, job.index)
+
+    def _acquire(self, job: Job, resource: str) -> None:
+        state = self._state(resource)
+        if state.holder is None:
+            self._grant(job, resource)
+            return
+        if state.holder is job:
+            raise RuntimeError(f"{job.name}: re-acquiring held {resource!r}")
+        # Contention.  Under ICPP on a uniprocessor this cannot happen
+        # (the holder runs at >= the requester's priority), so reaching
+        # here means PIP semantics.
+        state.waiters.append(job)
+        self._blocked_on[self._key(job)] = resource
+        self._inherit(state.holder, job.effective_priority, visited=set())
+        # Re-arm the acquire hook: when the job is granted the lock and
+        # resumes, its executed time is unchanged, so the grant happens
+        # in _grant directly (no hook re-fire needed).
+        self.processor.block_running_job(job)
+
+    def _inherit(self, holder: Job, priority: int, visited: set) -> None:
+        """PIP: propagate *priority* along the blocking chain."""
+        key = self._key(holder)
+        if key in visited:
+            return
+        visited.add(key)
+        if priority > holder.boost:
+            holder.boost = priority
+        # The holder may itself be blocked on another resource: the
+        # holder of *that* resource inherits too (transitive chains).
+        blocked_on = self._blocked_on.get(key)
+        if blocked_on is not None:
+            next_holder = self._state(blocked_on).holder
+            if next_holder is not None:
+                self._inherit(next_holder, priority, visited)
+        # A raised priority must be made visible to the ready heap.
+        self.processor.notify_priority_change(holder)
+
+    def _grant(self, job: Job, resource: str) -> None:
+        state = self._state(resource)
+        state.holder = job
+        self._held.setdefault(self._key(job), []).append(resource)
+        if self.protocol is LockProtocol.ICPP:
+            job.boost = max(job.boost, self.ceilings.get(resource, 0))
+        self.trace.record(
+            self.processor._engine.now, EventKind.LOCK, job.name, job.index
+        )
+
+    def _release(self, job: Job, resource: str) -> None:
+        state = self._state(resource)
+        if state.holder is not job:
+            return  # already released (job ended inside the section)
+        state.holder = None
+        held = self._held.get(self._key(job), [])
+        if resource in held:
+            held.remove(resource)
+        self.trace.record(
+            self.processor._engine.now, EventKind.UNLOCK, job.name, job.index
+        )
+        self._recompute_boost(job)
+        # Wake the most eligible waiter, if any.
+        state.waiters = [w for w in state.waiters if not w.finished]
+        if state.waiters:
+            state.waiters.sort(key=lambda w: -w.effective_priority)
+            winner = state.waiters.pop(0)
+            self._blocked_on.pop(self._key(winner), None)
+            self._grant(winner, resource)
+            self.processor.unblock(winner)
+        self.processor.refresh()
+
+    def _recompute_boost(self, job: Job) -> None:
+        """Drop the boost to what the still-held resources justify."""
+        boost = 0
+        for resource in self._held.get(self._key(job), ()):
+            if self.protocol is LockProtocol.ICPP:
+                boost = max(boost, self.ceilings.get(resource, 0))
+            else:
+                for waiter in self._state(resource).waiters:
+                    boost = max(boost, waiter.effective_priority)
+        job.boost = boost

@@ -1,0 +1,267 @@
+"""Uniprocessor with fixed-priority preemptive dispatching.
+
+This is the platform model the paper's experiments run on: one CPU, the
+highest-priority ready job always executing (RTSJ's required
+``PriorityScheduler``), FIFO within a priority level.
+
+The processor is driven by the simulation through a small API:
+:meth:`submit` (a job became ready), :meth:`stop_job` (a treatment
+terminates a job), :meth:`block_running_job` / :meth:`unblock` (the
+resource layer parks and releases jobs), and :meth:`refresh` (a job's
+effective priority changed).  Dispatching decisions, execution
+accounting and the unified progress/completion event are internal.
+
+Jobs carry *progress hooks* (critical-section boundaries): the
+processor fires each hook exactly once when the job's executed time
+reaches the hook point, before completing the job if both coincide.
+Priorities are *effective* priorities — the base task priority plus any
+protocol boost — re-read at every dispatch decision, so inheritance and
+ceiling protocols work without touching the dispatcher.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.sim.engine import Engine, EventHandle, Rank
+from repro.sim.jobs import Job, JobState
+from repro.sim.trace import EventKind, Trace
+
+__all__ = ["Processor"]
+
+
+class Processor:
+    """Single CPU, fixed-priority preemptive, FIFO within priority."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        trace: Trace,
+        *,
+        context_switch: int = 0,
+        on_job_end: Callable[[Job], None] | None = None,
+        on_job_start: Callable[[Job], None] | None = None,
+    ):
+        self._engine = engine
+        self._trace = trace
+        self._context_switch = context_switch
+        self._on_job_end = on_job_end
+        self._on_job_start = on_job_start
+        # Entries are (-priority_at_push, seq, job); entries whose job
+        # finished, blocked, or changed priority are lazily dropped or
+        # re-pushed on inspection.
+        self._ready: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self.running: Job | None = None
+        self._event: EventHandle | None = None
+        self._busy_since: int | None = None
+        self.busy_time: int = 0
+
+    # -- public API ----------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Make *job* ready and re-evaluate dispatching."""
+        job.state = JobState.READY
+        self._push(job)
+        self._dispatch()
+
+    def reschedule(self, job: Job) -> None:
+        """The running *job*'s remaining work changed; refresh its
+        progress/completion event (no-op for non-running jobs)."""
+        if job is self.running:
+            self._charge_running()
+            self._arm_event()
+
+    def refresh(self) -> None:
+        """Re-evaluate dispatching after effective priorities changed
+        (e.g. a lock release dropped the running job's boost)."""
+        self._dispatch()
+
+    def notify_priority_change(self, job: Job) -> None:
+        """A job's effective priority changed.  A *raised* priority on
+        a READY job must be re-pushed immediately: its old heap entry
+        sits too low to ever reach the (lazily revalidated) top.  The
+        stale duplicate is dropped at pop time because its recorded
+        priority no longer matches — or, if the job gets dispatched
+        first, because its state is no longer READY."""
+        if job.state is JobState.READY:
+            self._push(job)
+        self._dispatch()
+
+    def stop_job(self, job: Job, extra_cpu: int = 0) -> bool:
+        """Request *job* to stop after at most *extra_cpu* more CPU
+        (the §4.1 poll latency).  Handles all job states: charges a
+        running job's consumed time first, ends a waiting/blocked job
+        that needs no further CPU immediately.  Returns True when the
+        job will end as STOPPED (False: it completes naturally first)."""
+        if job.finished:
+            return False
+        if job is self.running:
+            self._charge_running()
+            truncated = job.truncate(extra_cpu)
+            if truncated:
+                self._arm_event()
+            return truncated
+        truncated = job.truncate(extra_cpu)
+        if truncated and job.remaining == 0:
+            # Stopped while preempted/blocked/not-yet-started with no
+            # poll latency left: ends here without running again.
+            self._end(job)
+        return truncated
+
+    def block_running_job(self, job: Job) -> None:
+        """Park the running *job* (resource contention, PIP).  The
+        caller is responsible for waking it via :meth:`unblock`."""
+        if job is not self.running:
+            raise ValueError("only the running job can block")
+        self._charge_running()
+        job.state = JobState.BLOCKED
+        self._trace.record(self._engine.now, EventKind.BLOCKED, job.name, job.index)
+        self.running = None
+        self._cancel_event()
+        self._dispatch()
+
+    def unblock(self, job: Job) -> None:
+        """Wake a previously blocked job."""
+        if job.state is not JobState.BLOCKED:
+            raise ValueError(f"{job.name}#{job.index} is not blocked")
+        self._trace.record(self._engine.now, EventKind.UNBLOCKED, job.name, job.index)
+        self.submit(job)
+
+    def idle(self) -> bool:
+        """True when no job is running or ready."""
+        self._revalidate()
+        return self.running is None and not self._ready
+
+    # -- internals -------------------------------------------------------------
+    def _push(self, job: Job) -> None:
+        heapq.heappush(self._ready, (-job.effective_priority, next(self._seq), job))
+
+    def _revalidate(self) -> None:
+        """Drop finished/blocked entries and re-push stale-priority
+        ones so the heap top is trustworthy."""
+        while self._ready:
+            neg_prio, _seq, job = self._ready[0]
+            if job.finished or job.state in (JobState.BLOCKED, JobState.RUNNING):
+                heapq.heappop(self._ready)
+            elif -neg_prio != job.effective_priority:
+                heapq.heappop(self._ready)
+                self._push(job)
+            else:
+                return
+
+    def _top_ready(self) -> Job | None:
+        self._revalidate()
+        return self._ready[0][2] if self._ready else None
+
+    def _charge_running(self) -> None:
+        """Account CPU consumed by the running job up to now."""
+        job = self.running
+        if job is None or job.last_dispatch is None:
+            return
+        now = self._engine.now
+        job.executed += now - job.last_dispatch
+        job.last_dispatch = now
+
+    def _cancel_event(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _arm_event(self) -> None:
+        """Schedule the next progress-hook or completion instant for
+        the running job."""
+        self._cancel_event()
+        job = self.running
+        if job is None:
+            return
+        nxt = job.next_hook_point()
+        if nxt is not None and nxt <= job.executed:
+            delta = 0  # a hook is already due (e.g. section at start)
+        elif nxt is not None:
+            delta = min(job.remaining, nxt - job.executed)
+        else:
+            delta = job.remaining
+        self._event = self._engine.schedule(
+            self._engine.now + delta, self._advance, Rank.COMPLETION
+        )
+
+    def _advance(self) -> None:
+        """Progress/completion event: fire due hooks, then complete or
+        re-arm."""
+        job = self.running
+        assert job is not None
+        self._event = None
+        self._charge_running()
+        while True:
+            hook = job.pop_due_hook()
+            if hook is None:
+                break
+            hook(job)
+            if self.running is not job:
+                return  # the hook blocked or terminated the job
+        if job.remaining == 0:
+            self.running = None
+            self._end(job)
+            self._dispatch()
+        else:
+            self._arm_event()
+
+    def _end(self, job: Job) -> None:
+        now = self._engine.now
+        job.finished_at = now
+        job.state = JobState.STOPPED if job.stop_requested else JobState.DONE
+        kind = EventKind.STOP if job.state is JobState.STOPPED else EventKind.COMPLETE
+        self._trace.record(now, kind, job.name, job.index)
+        if self._on_job_end is not None:
+            self._on_job_end(job)
+
+    def _dispatch(self) -> None:
+        """Ensure the highest-effective-priority ready job holds the CPU."""
+        now = self._engine.now
+        top = self._top_ready()
+        current = self.running
+        if current is not None and (
+            top is None
+            or current.effective_priority >= top.effective_priority
+        ):
+            return  # no change
+        if current is not None:
+            # Preempted by a strictly higher priority job.
+            self._charge_running()
+            self._trace.record(now, EventKind.PREEMPT, current.name, current.index)
+            current.state = JobState.READY
+            self._push(current)
+            self.running = None
+            self._cancel_event()
+        if top is None:
+            if current is None:
+                # Became (or stayed) idle with nothing submitted.
+                if self._busy_since is not None:
+                    self.busy_time += now - self._busy_since
+                    self._busy_since = None
+                    self._trace.record(now, EventKind.IDLE, "")
+            return
+        heapq.heappop(self._ready)
+        if self._busy_since is None:
+            self._busy_since = now
+        top.state = JobState.RUNNING
+        top.last_dispatch = now
+        self.running = top
+        if top.started_at is None:
+            top.started_at = now
+            self._trace.record(now, EventKind.START, top.name, top.index)
+            if self._on_job_start is not None:
+                self._on_job_start(top)
+        else:
+            self._trace.record(now, EventKind.RESUME, top.name, top.index)
+            top.add_overhead(self._context_switch)
+        self._arm_event()
+
+    def finalize(self) -> None:
+        """Close the busy-time accounting at the end of a run."""
+        self._charge_running()
+        if self._busy_since is not None:
+            self.busy_time += self._engine.now - self._busy_since
+            self._busy_since = None

@@ -1,0 +1,357 @@
+"""The simulation front-end: periodic tasks, detectors and treatments.
+
+:class:`Simulation` assembles the pieces — engine, processor, fault
+model, detector plan, VM profile — and plays the scenario out:
+
+* each task releases a job every period (first release at its offset);
+  jobs of one task serialise, as one RTSJ thread's do;
+* each job's actual demand comes from the fault model (cost overruns);
+* a deadline check fires at every absolute deadline (miss = failure,
+  the job keeps running — RTSJ deadline-miss handlers are advisory);
+* per the treatment plan, a periodic detector per task checks, at the
+  (possibly rounded) WCRT offset after each release, whether the job
+  finished; unfinished means a fault is detected and the treatment
+  decides when to stop the job;
+* stops honour the §4.1 poll mechanism: the job consumes the VM's
+  stop-poll overhead before actually ending.
+
+The result bundles the trace, every job object and the detection log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.faults import FaultModel, NoFaults
+from repro.core.task import Task, TaskSet
+from repro.core.treatments import TreatmentKind, TreatmentPlan, TreatmentRuntime, plan_treatment
+from repro.sim.engine import Engine, Rank
+from repro.sim.jobs import Job, JobState
+from repro.sim.locking import LockManager, LockProtocol, SectionSpec
+from repro.sim.processor import Processor
+from repro.sim.trace import EventKind, Trace
+from repro.sim.vm import EXACT_VM, VMProfile
+
+__all__ = ["Simulation", "SimResult", "simulate"]
+
+#: Priority used for injected detector-overhead work: above any task.
+_OVERHEAD_PRIORITY = 1 << 30
+
+
+@dataclass
+class SimResult:
+    """Everything observable from one simulation run."""
+
+    taskset: TaskSet
+    horizon: int
+    trace: Trace
+    jobs: Mapping[tuple[str, int], Job]
+    runtime: TreatmentRuntime | None
+    vm: VMProfile
+    busy_time: int = 0
+
+    @property
+    def idle_time(self) -> int:
+        return self.horizon - self.busy_time
+
+    def jobs_of(self, task: str) -> list[Job]:
+        """Jobs of *task* ordered by index."""
+        out = [j for (name, _), j in self.jobs.items() if name == task]
+        return sorted(out, key=lambda j: j.index)
+
+    def job(self, task: str, index: int) -> Job:
+        return self.jobs[(task, index)]
+
+    def missed(self, task: str | None = None) -> list[Job]:
+        """Jobs that missed their deadline (optionally for one task)."""
+        return [
+            j
+            for j in self.jobs.values()
+            if j.deadline_missed and (task is None or j.name == task)
+        ]
+
+    def stopped(self, task: str | None = None) -> list[Job]:
+        """Jobs terminated by the treatment."""
+        return [
+            j
+            for j in self.jobs.values()
+            if j.was_stopped and (task is None or j.name == task)
+        ]
+
+    def max_response_time(self, task: str) -> int | None:
+        """Largest observed response time among finished jobs of *task*."""
+        rts = [j.response_time for j in self.jobs_of(task) if j.response_time is not None]
+        return max(rts) if rts else None
+
+
+class Simulation:
+    """One configured run.  Use :func:`simulate` for the common path."""
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        *,
+        horizon: int,
+        faults: FaultModel | None = None,
+        plan: TreatmentPlan | None = None,
+        vm: VMProfile = EXACT_VM,
+        arrivals: Mapping[str, Sequence[int]] | None = None,
+        sections: Sequence[SectionSpec] | None = None,
+        protocol: LockProtocol = LockProtocol.ICPP,
+    ):
+        if horizon <= 0:
+            raise ValueError("horizon must be > 0")
+        self.taskset = taskset
+        self.horizon = horizon
+        self.faults: FaultModel = faults if faults is not None else NoFaults()
+        self.plan = plan
+        self.vm = vm
+        # Sporadic support (§7 future work): tasks listed in *arrivals*
+        # release at the given (sorted, non-negative) times instead of
+        # periodically; detectors follow the actual releases.
+        self.arrivals = {k: list(v) for k, v in (arrivals or {}).items()}
+        for name, times in self.arrivals.items():
+            if name not in taskset:
+                raise ValueError(f"arrivals for unknown task {name!r}")
+            if any(b <= a for a, b in zip(times, times[1:])) or any(
+                t < 0 for t in times
+            ):
+                raise ValueError(f"{name}: arrival times must be sorted and >= 0")
+        self.engine = Engine()
+        self.trace = Trace()
+        self.processor = Processor(
+            self.engine,
+            self.trace,
+            context_switch=vm.context_switch,
+            on_job_end=self._job_ended,
+            on_job_start=self._job_started,
+        )
+        #: External observers: ``job_start_hooks[name]`` /
+        #: ``job_end_hooks[name]`` are called with the :class:`Job` when
+        #: a job of that task first runs / ends.  The RTSJ layer hangs
+        #: its ``waitForNextPeriod`` instrumentation here.
+        self.job_start_hooks: dict[str, list] = {}
+        self.job_end_hooks: dict[str, list] = {}
+        self.runtime: TreatmentRuntime | None = plan.runtime() if plan is not None else None
+        # Shared-resource support (critical sections + PIP/ICPP).
+        self.locks: LockManager | None = None
+        if sections:
+            self.locks = LockManager(
+                taskset,
+                list(sections),
+                protocol=protocol,
+                processor=self.processor,
+                trace=self.trace,
+            )
+        self.jobs: dict[tuple[str, int], Job] = {}
+        self._backlog: dict[str, deque[Job]] = {t.name: deque() for t in taskset}
+        self._active: dict[str, Job | None] = {t.name: None for t in taskset}
+        self._overhead_seq = 0
+        self._schedule_releases()
+        if plan is not None:
+            self._schedule_detectors(plan)
+
+    # -- setup ----------------------------------------------------------------
+    def _release_times(self, task: Task) -> list[int]:
+        """Release instants of *task* within the horizon: explicit
+        arrivals for sporadic tasks, the periodic pattern otherwise."""
+        if task.name in self.arrivals:
+            return [t for t in self.arrivals[task.name] if t <= self.horizon]
+        out = []
+        k = 0
+        while task.release_time(k) <= self.horizon:
+            out.append(task.release_time(k))
+            k += 1
+        return out
+
+    def _schedule_releases(self) -> None:
+        for task in self.taskset:
+            for k, release in enumerate(self._release_times(task)):
+                self.engine.schedule(
+                    release, self._make_release(task, k), Rank.RELEASE
+                )
+
+    def _make_release(self, task: Task, index: int):
+        def release() -> None:
+            now = self.engine.now
+            demand = self.faults.demand(task.name, index, task.cost)
+            job = Job(task=task, index=index, release=now, demand=demand)
+            if self.locks is not None:
+                self.locks.attach(job)
+            self.jobs[(task.name, index)] = job
+            self.trace.record(now, EventKind.RELEASE, task.name, index)
+            deadline = job.absolute_deadline
+            if deadline <= self.horizon:
+                self.engine.schedule(
+                    deadline, self._make_deadline_check(job), Rank.DEADLINE_CHECK
+                )
+            if self._active[task.name] is None:
+                self._activate(job)
+            else:
+                # Previous job of this thread still busy: the new job is
+                # released but cannot start (waitForNextPeriod backlog).
+                self._backlog[task.name].append(job)
+
+        return release
+
+    def _activate(self, job: Job) -> None:
+        self._active[job.name] = job
+        self.processor.submit(job)
+
+    def _make_deadline_check(self, job: Job):
+        def check() -> None:
+            if not job.finished:
+                job.deadline_missed = True
+                self.trace.record(
+                    self.engine.now, EventKind.DEADLINE_MISS, job.name, job.index
+                )
+
+        return check
+
+    def _schedule_detectors(self, plan: TreatmentPlan) -> None:
+        for task in self.taskset:
+            spec = plan.detector_for(task.name)
+            if spec is None:
+                continue
+            for k, release in enumerate(self._release_times(task)):
+                fire = release + spec.offset
+                if fire > self.horizon:
+                    continue
+                self.engine.schedule(
+                    fire, self._make_detector_fire(task, k), Rank.DETECTOR
+                )
+
+    def _make_detector_fire(self, task: Task, index: int):
+        def fire() -> None:
+            now = self.engine.now
+            self.trace.record(now, EventKind.DETECTOR_FIRE, task.name, index)
+            if self.vm.detector_fire_cost > 0:
+                self._inject_overhead(self.vm.detector_fire_cost)
+            job = self.jobs.get((task.name, index))
+            if job is None or job.finished:
+                return
+            job.fault_detected = True
+            self.trace.record(now, EventKind.FAULT_DETECTED, task.name, index)
+            assert self.runtime is not None
+            directive = self.runtime.on_detect(task.name, index, job.release, now)
+            if directive is None:
+                return
+            job.stop_granted = directive.granted
+            if directive.at <= now:
+                self._execute_stop(job)
+            else:
+                self.engine.schedule(
+                    directive.at, lambda: self._execute_stop(job), Rank.STOP
+                )
+
+        return fire
+
+    def _inject_overhead(self, cost: int) -> None:
+        """Steal CPU at top priority (detector firing overhead)."""
+        self._overhead_seq += 1
+        pseudo = Task(
+            name=f"__overhead{self._overhead_seq}",
+            cost=cost,
+            period=max(self.horizon, cost),
+            priority=_OVERHEAD_PRIORITY,
+        )
+        job = Job(task=pseudo, index=0, release=self.engine.now, demand=cost)
+        self.jobs[(pseudo.name, 0)] = job
+        self.processor.submit(job)
+
+    # -- runtime ----------------------------------------------------------------
+    def _execute_stop(self, job: Job) -> None:
+        if job.finished:
+            return
+        extra = self.vm.stop_poll_overhead.sample()
+        self.processor.stop_job(job, extra)
+        # When the poll latency leaves residual work on a preempted
+        # job, it consumes that latency at its next dispatch and the
+        # completion logic ends it as STOPPED.
+
+    def request_stop(self, job: Job, at: int | None = None) -> None:
+        """Public stop entry point (used by the RTSJ treatment layer):
+        stop *job* at time *at* (default: immediately), honouring the
+        VM's stop-poll overhead."""
+        when = self.engine.now if at is None else at
+        if when <= self.engine.now:
+            self._execute_stop(job)
+        else:
+            self.engine.schedule(when, lambda: self._execute_stop(job), Rank.STOP)
+
+    def _job_started(self, job: Job) -> None:
+        if job.name.startswith("__overhead"):
+            return
+        for hook in self.job_start_hooks.get(job.name, ()):
+            hook(job)
+
+    def _job_ended(self, job: Job) -> None:
+        if job.name.startswith("__overhead"):
+            return
+        if self.locks is not None:
+            self.locks.on_job_end(job)
+        for hook in self.job_end_hooks.get(job.name, ()):
+            hook(job)
+        if self.runtime is not None:
+            self.runtime.on_job_end(
+                job.name, job.index, job.release, job.finished_at or 0, job.was_stopped
+            )
+        self._active[job.name] = None
+        backlog = self._backlog[job.name]
+        if backlog:
+            self._activate(backlog.popleft())
+
+    # -- entry point --------------------------------------------------------------
+    def run(self) -> SimResult:
+        self.engine.run(until=self.horizon)
+        self.processor.finalize()
+        return SimResult(
+            taskset=self.taskset,
+            horizon=self.horizon,
+            trace=self.trace,
+            jobs=dict(self.jobs),
+            runtime=self.runtime,
+            vm=self.vm,
+            busy_time=self.processor.busy_time,
+        )
+
+
+def simulate(
+    taskset: TaskSet,
+    *,
+    horizon: int,
+    faults: FaultModel | None = None,
+    treatment: TreatmentKind | TreatmentPlan | None = None,
+    vm: VMProfile = EXACT_VM,
+    arrivals: Mapping[str, Sequence[int]] | None = None,
+    sections: Sequence[SectionSpec] | None = None,
+    protocol: LockProtocol = LockProtocol.ICPP,
+) -> SimResult:
+    """Run one scenario and return its :class:`SimResult`.
+
+    *treatment* may be a :class:`TreatmentKind` (the plan is computed
+    here, with the VM's timer rounding applied to detector offsets), an
+    explicit :class:`TreatmentPlan`, or None for a bare run without
+    detectors (the paper's Figure 3 baseline).
+    """
+    plan: TreatmentPlan | None
+    if treatment is None:
+        plan = None
+    elif isinstance(treatment, TreatmentPlan):
+        plan = treatment
+    else:
+        plan = plan_treatment(taskset, treatment, rounding=vm.timer_rounding)
+        if treatment is TreatmentKind.NO_DETECTION:
+            plan = None
+    return Simulation(
+        taskset,
+        horizon=horizon,
+        faults=faults,
+        plan=plan,
+        vm=vm,
+        arrivals=arrivals,
+        sections=sections,
+        protocol=protocol,
+    ).run()

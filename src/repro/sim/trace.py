@@ -1,0 +1,130 @@
+"""Execution traces — the paper's measurement substrate (§5).
+
+The paper's tooling collects "the key dates in the system life": job
+beginnings (``computeBeforePeriodic``), job ends
+(``computeAfterPeriodic``) and detector releases, buffered in memory and
+dumped at the end of the run.  :class:`Trace` is the equivalent here,
+with a few extra event kinds the simulator can observe exactly
+(preemptions, deadline misses, stops) that the paper reads off its
+charts.
+
+A trace is an append-only list of :class:`TraceEvent`, plus query
+helpers used by the metrics and chart layers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["EventKind", "TraceEvent", "Trace"]
+
+
+class EventKind(enum.Enum):
+    """What happened at a trace point."""
+
+    RELEASE = "release"  # job activated (period boundary)
+    START = "start"  # job first dispatched (computeBeforePeriodic)
+    PREEMPT = "preempt"  # job descheduled by a higher priority job
+    RESUME = "resume"  # job dispatched again
+    COMPLETE = "complete"  # job finished normally (computeAfterPeriodic)
+    STOP = "stop"  # job terminated by a treatment
+    DEADLINE_MISS = "deadline-miss"  # absolute deadline passed, job unfinished
+    DETECTOR_FIRE = "detector-fire"  # periodic detector released
+    FAULT_DETECTED = "fault-detected"  # detector found the job unfinished
+    IDLE = "idle"  # processor became idle
+    LOCK = "lock"  # job acquired a shared resource
+    UNLOCK = "unlock"  # job released a shared resource
+    BLOCKED = "blocked"  # job blocked on a held resource (PIP)
+    UNBLOCKED = "unblocked"  # blocked job granted the resource
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped observation.
+
+    ``job`` is the 0-based job index within the task (−1 for events not
+    tied to a specific job).  ``info`` carries event-specific details
+    (e.g. the allowance granted at a detection).
+    """
+
+    time: int
+    kind: EventKind
+    task: str
+    job: int = -1
+    info: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        j = f"#{self.job}" if self.job >= 0 else ""
+        return f"[{self.time}] {self.kind.value} {self.task}{j}"
+
+
+class Trace:
+    """Append-only event log with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def record(
+        self, time: int, kind: EventKind, task: str, job: int = -1, info: int = 0
+    ) -> None:
+        self._events.append(TraceEvent(time, kind, task, job, info))
+
+    # -- access -------------------------------------------------------------
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def of_kind(self, *kinds: EventKind) -> list[TraceEvent]:
+        """Events matching any of *kinds*, in time order."""
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def for_task(self, task: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.task == task]
+
+    def filter(self, pred: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        return [e for e in self._events if pred(e)]
+
+    def deadline_misses(self, task: str | None = None) -> list[TraceEvent]:
+        """Deadline-miss events, optionally restricted to one task."""
+        misses = self.of_kind(EventKind.DEADLINE_MISS)
+        return misses if task is None else [e for e in misses if e.task == task]
+
+    def execution_intervals(self, task: str) -> list[tuple[int, int, int]]:
+        """CPU intervals ``(begin, end, job)`` reconstructed for *task*.
+
+        Pairs each START/RESUME with the following PREEMPT/COMPLETE/STOP
+        of the same task.  An interval left open at the end of the trace
+        is dropped (the run was truncated mid-execution).
+        """
+        out: list[tuple[int, int, int]] = []
+        open_at: int | None = None
+        open_job = -1
+        for e in self._events:
+            if e.task != task:
+                continue
+            if e.kind in (EventKind.START, EventKind.RESUME):
+                open_at = e.time
+                open_job = e.job
+            elif e.kind in (EventKind.PREEMPT, EventKind.COMPLETE, EventKind.STOP):
+                if open_at is not None:
+                    if e.time > open_at:
+                        out.append((open_at, e.time, open_job))
+                    open_at = None
+        return out
+
+    def end_time(self) -> int:
+        """Timestamp of the last event (0 for an empty trace)."""
+        return self._events[-1].time if self._events else 0
+
+    def dump(self) -> str:
+        """The paper's log-file equivalent: one event per line."""
+        return "\n".join(str(e) for e in self._events)

@@ -1,0 +1,134 @@
+"""Virtual-machine / platform models.
+
+The paper runs on jRate over a Timesys real-time kernel and reports two
+platform artefacts that shape its measurements:
+
+* ``PeriodicTimer`` releases are only precise at 10 ms granularity, so
+  detector offsets are rounded (§6.2: delays of 1, 2, 3 ms for the
+  three detectors);
+* stopping a thread requires polling a boolean in the task loop, and
+  the poll calls ``RealtimeThread.currentRealtimeThread()`` whose cost
+  is *not bounded* — the task keeps making "small cost overruns, about
+  a few milliseconds" (§4.1), below detector precision.
+
+:class:`VMProfile` packages those knobs (plus a context-switch cost for
+ablations) so experiments can run on an idealised platform
+(:data:`EXACT_VM`) or on the paper's platform (:data:`JRATE_VM`) and the
+difference can be measured.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.detection import EXACT, JRATE_10MS, Rounding
+from repro.units import MS
+
+__all__ = [
+    "OverheadModel",
+    "NoOverhead",
+    "ConstantOverhead",
+    "UniformOverhead",
+    "VMProfile",
+    "EXACT_VM",
+    "JRATE_VM",
+    "jrate_vm",
+]
+
+
+class OverheadModel(Protocol):
+    """Source of per-occurrence overhead durations (ns)."""
+
+    def sample(self) -> int:
+        ...
+
+
+class NoOverhead:
+    """Zero overhead (ideal platform)."""
+
+    def sample(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NoOverhead()"
+
+
+@dataclass
+class ConstantOverhead:
+    """A fixed overhead per occurrence."""
+
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValueError("overhead must be >= 0")
+
+    def sample(self) -> int:
+        return self.amount
+
+
+@dataclass
+class UniformOverhead:
+    """Seeded uniform overhead on ``[lo, hi]`` ns.
+
+    Models the paper's unbounded-cost ``currentRealtimeThread()`` poll:
+    a few milliseconds, varying call to call, but reproducible here
+    thanks to the explicit seed.
+    """
+
+    lo: int
+    hi: int
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.hi:
+            raise ValueError("need 0 <= lo <= hi")
+        self._rng = random.Random(self.seed)
+
+    def sample(self) -> int:
+        return self._rng.randint(self.lo, self.hi)
+
+
+@dataclass(frozen=True)
+class VMProfile:
+    """Platform parameters consumed by the simulator.
+
+    ``timer_rounding`` aligns detector releases (§6.2 quirk);
+    ``stop_poll_overhead`` is the extra CPU a job consumes between a
+    stop request and the stop taking effect (§4.1 boolean polling);
+    ``detector_fire_cost`` is CPU stolen at top priority each time a
+    detector fires (§6.2 calls it "a pre-emption", estimated negligible
+    — modelled so the estimate can be checked); ``context_switch`` is
+    charged to a job each time it is (re)dispatched.
+    """
+
+    name: str = "exact"
+    timer_rounding: Rounding = EXACT
+    stop_poll_overhead: OverheadModel = NoOverhead()
+    detector_fire_cost: int = 0
+    context_switch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.detector_fire_cost < 0 or self.context_switch < 0:
+            raise ValueError("costs must be >= 0")
+
+
+#: Idealised platform: exact timers, instantaneous stops, free detectors.
+EXACT_VM = VMProfile(name="exact")
+
+
+def jrate_vm(seed: int = 0, poll_max_ms: int = 3) -> VMProfile:
+    """The paper's platform: 10 ms timer rounding and a stop-poll
+    overhead of up to a few milliseconds (seeded)."""
+    return VMProfile(
+        name="jrate",
+        timer_rounding=JRATE_10MS,
+        stop_poll_overhead=UniformOverhead(0, poll_max_ms * MS, seed=seed),
+    )
+
+
+#: Default jRate-like profile (seed 0).
+JRATE_VM = jrate_vm()

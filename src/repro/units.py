@@ -1,0 +1,83 @@
+"""Time units and formatting.
+
+All simulator and analysis code works in **integer nanoseconds** to keep
+arithmetic exact (the paper's tooling measures with RDTSC at nanosecond
+precision; floats would accumulate rounding error over long traces).
+These helpers convert between human units and nanoseconds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+#: One nanosecond (the base unit).
+NS = 1
+#: Nanoseconds per microsecond.
+US = 1_000
+#: Nanoseconds per millisecond.
+MS = 1_000_000
+#: Nanoseconds per second.
+S = 1_000_000_000
+
+
+def ns(value: float | int) -> int:
+    """Return *value* nanoseconds as an integer tick count."""
+    return _to_ticks(value, NS)
+
+
+def us(value: float | int) -> int:
+    """Return *value* microseconds in nanoseconds."""
+    return _to_ticks(value, US)
+
+
+def ms(value: float | int) -> int:
+    """Return *value* milliseconds in nanoseconds."""
+    return _to_ticks(value, MS)
+
+
+def seconds(value: float | int) -> int:
+    """Return *value* seconds in nanoseconds."""
+    return _to_ticks(value, S)
+
+
+def _to_ticks(value: float | int, scale: int) -> int:
+    """Convert ``value * scale`` to an exact integer tick count.
+
+    Uses :class:`fractions.Fraction` so that e.g. ``ms(0.1)`` is exact;
+    raises :class:`ValueError` when the result is not an integer number
+    of nanoseconds (sub-nanosecond quantities are not representable).
+    """
+    ticks = Fraction(str(value)) * scale if isinstance(value, float) else Fraction(value) * scale
+    if ticks.denominator != 1:
+        raise ValueError(f"{value} x {scale}ns is not an integer number of nanoseconds")
+    return int(ticks)
+
+
+def to_ms(ticks: int) -> float:
+    """Convert nanosecond *ticks* to (possibly fractional) milliseconds."""
+    return ticks / MS
+
+
+def to_us(ticks: int) -> float:
+    """Convert nanosecond *ticks* to (possibly fractional) microseconds."""
+    return ticks / US
+
+
+def fmt_ms(ticks: int) -> str:
+    """Format *ticks* as a compact millisecond string (``'29ms'``, ``'1.5ms'``)."""
+    whole, rem = divmod(ticks, MS)
+    if rem == 0:
+        return f"{whole}ms"
+    return f"{ticks / MS:g}ms"
+
+
+def fmt_time(ticks: int) -> str:
+    """Format *ticks* with an auto-selected unit (ns, us, ms or s)."""
+    if ticks == 0:
+        return "0"
+    for scale, suffix in ((S, "s"), (MS, "ms"), (US, "us")):
+        if ticks % scale == 0:
+            return f"{ticks // scale}{suffix}"
+        if abs(ticks) >= scale:
+            return f"{ticks / scale:g}{suffix}"
+    return f"{ticks}ns"

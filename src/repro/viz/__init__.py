@@ -1,0 +1,13 @@
+"""Chart and report rendering (the paper's measurement tool #2)."""
+
+from repro.viz.svg import SvgOptions, render_svg
+from repro.viz.tables import format_table
+from repro.viz.timeline import TimelineOptions, render_timeline
+
+__all__ = [
+    "render_timeline",
+    "TimelineOptions",
+    "render_svg",
+    "SvgOptions",
+    "format_table",
+]

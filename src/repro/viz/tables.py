@@ -1,0 +1,65 @@
+"""Plain-text table formatting for experiment reports.
+
+Used by the experiment harness to print paper-style tables (Tables 1-3
+and the benchmark summaries) without external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    Numeric-looking cells are right-aligned, text left-aligned.
+    """
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str], *, header: bool = False) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            if header or not _numeric(cells[i]):
+                out.append(cell.ljust(widths[i]))
+            else:
+                out.append(cell.rjust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers), header=True))
+    parts.append(sep)
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,152 @@
+"""ASCII time-series charts — the paper's measurement tool #2 (§5).
+
+"A second tool provides a chart of these data in the form of a time
+series chart."  Figures 3-7 are such charts; this module renders the
+same information from a :class:`~repro.sim.simulation.SimResult`:
+
+* ``^`` job releases (the paper's up-arrows),
+* ``v`` deadlines (down-arrows), ``!`` missed deadlines,
+* ``D`` detector releases (the paper's black squares),
+* ``>`` worst-case response-time marks (when thresholds are supplied),
+* ``#`` the task executing, ``.`` released but preempted/waiting,
+* ``X`` the instant a task is stopped by a treatment.
+
+Each task gets two rows — a marker row and an execution row — over a
+shared time axis in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.simulation import SimResult
+from repro.sim.trace import EventKind
+from repro.units import MS
+
+__all__ = ["render_timeline", "TimelineOptions"]
+
+LEGEND = (
+    "legend: ^ release  v deadline  ! deadline miss  D detector  "
+    "> WCRT mark  # executing  . waiting  X stopped  L lock  u unlock  "
+    "b blocked"
+)
+
+
+@dataclass(frozen=True)
+class TimelineOptions:
+    """Rendering window and scale."""
+
+    start: int | None = None  # ns; default: first event
+    end: int | None = None  # ns; default: horizon
+    width: int = 100  # columns for the time span
+    show_legend: bool = True
+
+
+def render_timeline(
+    result: SimResult,
+    options: TimelineOptions = TimelineOptions(),
+    *,
+    thresholds: dict[str, int] | None = None,
+) -> str:
+    """Render the run as the paper's chart style.
+
+    *thresholds* maps task name to the response-time bound to mark with
+    ``>`` after each release (e.g. the WCRTs of the active plan).
+    """
+    start = options.start if options.start is not None else 0
+    end = options.end if options.end is not None else result.horizon
+    if end <= start:
+        raise ValueError("end must be > start")
+    width = max(options.width, 10)
+    span = end - start
+
+    def col(t: int) -> int | None:
+        if t < start or t > end:
+            return None
+        c = (t - start) * (width - 1) // span
+        return int(c)
+
+    names = [t.name for t in result.taskset]
+    label_w = max(len(n) for n in names) + 2
+    lines: list[str] = []
+    header = f"time window: {start / MS:g}..{end / MS:g} ms"
+    lines.append(header)
+
+    for name in names:
+        markers = [" "] * width
+        execrow = [" "] * width
+
+        def put(row: list[str], t: int, ch: str, *, keep: str = "") -> None:
+            c = col(t)
+            if c is None:
+                return
+            if keep and row[c] in keep:
+                return
+            row[c] = ch
+
+        task = result.taskset[name]
+        for e in result.trace.for_task(name):
+            if e.kind is EventKind.RELEASE:
+                put(markers, e.time, "^", keep="!D")
+                if thresholds and name in thresholds:
+                    put(markers, e.time + thresholds[name], ">", keep="!D^")
+                put(markers, e.time + task.deadline, "v", keep="!D^>")
+            elif e.kind is EventKind.DEADLINE_MISS:
+                put(markers, e.time, "!")
+            elif e.kind is EventKind.DETECTOR_FIRE:
+                put(markers, e.time, "D", keep="!")
+            elif e.kind is EventKind.STOP:
+                put(execrow, e.time, "X")
+            elif e.kind is EventKind.LOCK:
+                put(markers, e.time, "L", keep="!D")
+            elif e.kind is EventKind.UNLOCK:
+                put(markers, e.time, "u", keep="!DL")
+            elif e.kind is EventKind.BLOCKED:
+                put(execrow, e.time, "b")
+
+        # Waiting spans: from release to finish, as dots under the hash
+        # marks; execution intervals overwrite with '#'.
+        for job in result.jobs_of(name):
+            finish = job.finished_at if job.finished_at is not None else end
+            if finish <= start or job.release >= end:
+                continue
+            a = col(max(job.release, start))
+            b = col(min(finish, end))
+            assert a is not None and b is not None
+            for c in range(a, b + 1):
+                if execrow[c] == " ":
+                    execrow[c] = "."
+        for (b, e_, _job) in result.trace.execution_intervals(name):
+            if e_ <= start or b >= end:
+                continue
+            c0 = col(max(b, start)) or 0
+            c1 = col(min(e_, end))
+            c1 = c1 if c1 is not None else width - 1
+            for c in range(c0, c1 + 1):
+                if execrow[c] not in "Xb":
+                    execrow[c] = "#"
+
+        lines.append(f"{name:<{label_w}}{''.join(markers)}")
+        lines.append(f"{'':<{label_w}}{''.join(execrow)}")
+
+    for axis_line in _axis(start, end, width):
+        lines.append(f"{'':<{label_w}}{axis_line}")
+    if options.show_legend:
+        lines.append(LEGEND)
+    return "\n".join(lines)
+
+
+def _axis(start: int, end: int, width: int) -> tuple[str, str]:
+    """A ruler line and a label line with ~5 ticks in milliseconds."""
+    ruler = ["-"] * width
+    labels = [" "] * width
+    n_ticks = 5
+    for i in range(n_ticks + 1):
+        t = start + (end - start) * i // n_ticks
+        c = (t - start) * (width - 1) // (end - start)
+        ruler[c] = "+"
+        text = f"{t / MS:g}"
+        pos = min(max(c - len(text) // 2, 0), width - len(text))
+        for k, ch in enumerate(text):
+            labels[pos + k] = ch
+    return "".join(ruler), "".join(labels)

@@ -1,0 +1,44 @@
+"""Workloads: the paper's concrete systems, a scenario-file parser
+(measurement tool #1) and random task-set generators for ablations."""
+
+from repro.workloads.generator import (
+    GeneratorConfig,
+    log_uniform_periods,
+    random_taskset,
+    uunifast,
+)
+from repro.workloads.parser import (
+    Scenario,
+    ScenarioError,
+    format_scenario,
+    load_scenario,
+    parse_scenario,
+)
+from repro.workloads.scenarios import (
+    lehoczky_example,
+    paper_fault,
+    paper_fault_extra_ms,
+    paper_figures_taskset,
+    paper_horizon,
+    paper_table1,
+    paper_table2,
+)
+
+__all__ = [
+    "paper_table2",
+    "paper_figures_taskset",
+    "paper_fault",
+    "paper_fault_extra_ms",
+    "paper_horizon",
+    "paper_table1",
+    "lehoczky_example",
+    "uunifast",
+    "log_uniform_periods",
+    "random_taskset",
+    "GeneratorConfig",
+    "Scenario",
+    "ScenarioError",
+    "parse_scenario",
+    "load_scenario",
+    "format_scenario",
+]

@@ -1,0 +1,221 @@
+"""Scenario file parser — the paper's measurement tool #1 (§5).
+
+"The first one enables us to parse a file which describes the tasks in
+the system.  It builds and runs the tasks automatically."
+
+The format is line-oriented text::
+
+    # The paper's tested system (Table 2), figures phasing.
+    @unit ms
+    @horizon 1600
+    @treatment system-allowance
+    task tau1 priority=20 cost=29 period=200  deadline=70
+    task tau2 priority=18 cost=29 period=250  deadline=120
+    task tau3 priority=16 cost=29 period=1500 deadline=120 offset=1000
+    fault tau1 job=5 extra=40
+
+* ``@unit`` — ``ns``/``us``/``ms``/``s``; applies to all durations
+  (default ``ms``, matching the paper's tables);
+* ``@horizon`` — simulation length;
+* ``@treatment`` — any :class:`~repro.core.treatments.TreatmentKind`
+  value (e.g. ``no-detection``, ``immediate-stop``);
+* ``task`` — one task; ``deadline`` defaults to the period and
+  ``offset`` to 0.  Fields may also be given positionally in the order
+  ``name priority cost period [deadline [offset]]``;
+* ``fault`` — a cost overrun (``extra``) or under-run (``saved``) for
+  one job;
+* ``#`` starts a comment; blank lines are ignored.
+
+:func:`format_scenario` writes the same format back (round-trip tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.faults import CostOverrun, CostUnderrun, FaultInjector
+from repro.core.task import Task, TaskSet
+from repro.core.treatments import TreatmentKind
+from repro.units import MS, NS, S, US
+
+__all__ = ["Scenario", "ScenarioError", "parse_scenario", "load_scenario", "format_scenario"]
+
+_UNITS = {"ns": NS, "us": US, "ms": MS, "s": S}
+_TASK_POSITIONAL = ("name", "priority", "cost", "period", "deadline", "offset")
+
+
+class ScenarioError(ValueError):
+    """Malformed scenario file; the message carries the line number."""
+
+
+@dataclass
+class Scenario:
+    """A parsed system description, ready to simulate."""
+
+    taskset: TaskSet
+    faults: FaultInjector = field(default_factory=FaultInjector)
+    treatment: TreatmentKind | None = None
+    horizon: int | None = None
+    unit: int = MS
+
+    def horizon_or_default(self) -> int:
+        """Explicit horizon, or one hyperperiod (plus largest offset)."""
+        if self.horizon is not None:
+            return self.horizon
+        offset = max((t.offset for t in self.taskset), default=0)
+        return offset + self.taskset.hyperperiod()
+
+
+def parse_scenario(text: str, *, source: str = "<string>") -> Scenario:
+    """Parse scenario *text*; raises :class:`ScenarioError` on problems."""
+    unit = MS
+    horizon: int | None = None
+    treatment: TreatmentKind | None = None
+    tasks: list[Task] = []
+    deviations: list[CostOverrun | CostUnderrun] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        where = f"{source}:{lineno}"
+        words = line.split()
+        head, args = words[0], words[1:]
+        try:
+            if head == "@unit":
+                unit = _parse_unit(args)
+            elif head == "@horizon":
+                horizon = _duration(args[0], unit)
+            elif head == "@treatment":
+                treatment = TreatmentKind(args[0])
+            elif head == "task":
+                tasks.append(_parse_task(args, unit))
+            elif head == "fault":
+                deviations.append(_parse_fault(args, unit))
+            else:
+                raise ScenarioError(f"unknown directive {head!r}")
+        except ScenarioError:
+            raise
+        except (ValueError, KeyError, IndexError) as exc:
+            raise ScenarioError(f"{where}: {exc}") from exc
+
+    if not tasks:
+        raise ScenarioError(f"{source}: no tasks defined")
+    taskset = TaskSet(tasks)
+    for dev in deviations:
+        if dev.task_name not in taskset:
+            raise ScenarioError(f"{source}: fault targets unknown task {dev.task_name!r}")
+    return Scenario(
+        taskset=taskset,
+        faults=FaultInjector(deviations),
+        treatment=treatment,
+        horizon=horizon,
+        unit=unit,
+    )
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Parse the scenario file at *path*."""
+    p = Path(path)
+    return parse_scenario(p.read_text(), source=str(p))
+
+
+def _parse_unit(args: list[str]) -> int:
+    name = args[0]
+    if name not in _UNITS:
+        raise ValueError(f"unknown unit {name!r} (expected one of {sorted(_UNITS)})")
+    return _UNITS[name]
+
+
+def _duration(token: str, unit: int) -> int:
+    value = float(token)
+    ticks = value * unit
+    if abs(ticks - round(ticks)) > 1e-9:
+        raise ValueError(f"{token} is not an integer number of nanoseconds")
+    return int(round(ticks))
+
+
+def _parse_task(args: list[str], unit: int) -> Task:
+    fields: dict[str, str] = {}
+    positional = 0
+    for token in args:
+        if "=" in token:
+            key, value = token.split("=", 1)
+            if key not in _TASK_POSITIONAL:
+                raise ValueError(f"unknown task field {key!r}")
+            if key in fields:
+                raise ValueError(f"duplicate task field {key!r}")
+            fields[key] = value
+        else:
+            if positional >= len(_TASK_POSITIONAL):
+                raise ValueError(f"too many positional fields at {token!r}")
+            key = _TASK_POSITIONAL[positional]
+            if key in fields:
+                raise ValueError(f"field {key!r} given twice")
+            fields[key] = token
+            positional += 1
+    for required in ("name", "priority", "cost", "period"):
+        if required not in fields:
+            raise ValueError(f"task missing {required!r}")
+    return Task(
+        name=fields["name"],
+        priority=int(fields["priority"]),
+        cost=_duration(fields["cost"], unit),
+        period=_duration(fields["period"], unit),
+        deadline=_duration(fields["deadline"], unit) if "deadline" in fields else -1,
+        offset=_duration(fields["offset"], unit) if "offset" in fields else 0,
+    )
+
+
+def _parse_fault(args: list[str], unit: int) -> CostOverrun | CostUnderrun:
+    if not args:
+        raise ValueError("fault needs a task name")
+    name = args[0]
+    fields: dict[str, str] = {}
+    for token in args[1:]:
+        if "=" not in token:
+            raise ValueError(f"fault fields must be key=value, got {token!r}")
+        key, value = token.split("=", 1)
+        fields[key] = value
+    if "job" not in fields:
+        raise ValueError("fault missing job=")
+    job = int(fields["job"])
+    if "extra" in fields:
+        return CostOverrun(name, job, _duration(fields["extra"], unit))
+    if "saved" in fields:
+        return CostUnderrun(name, job, _duration(fields["saved"], unit))
+    raise ValueError("fault needs extra= (overrun) or saved= (under-run)")
+
+
+def format_scenario(scenario: Scenario) -> str:
+    """Render *scenario* back to the file format (round-trippable)."""
+    unit = scenario.unit
+    unit_name = {v: k for k, v in _UNITS.items()}[unit]
+
+    def dur(ticks: int) -> str:
+        value = ticks / unit
+        return f"{ticks // unit}" if ticks % unit == 0 else f"{value:g}"
+
+    lines = [f"@unit {unit_name}"]
+    if scenario.horizon is not None:
+        lines.append(f"@horizon {dur(scenario.horizon)}")
+    if scenario.treatment is not None:
+        lines.append(f"@treatment {scenario.treatment.value}")
+    for t in scenario.taskset:
+        parts = [
+            f"task {t.name}",
+            f"priority={t.priority}",
+            f"cost={dur(t.cost)}",
+            f"period={dur(t.period)}",
+            f"deadline={dur(t.deadline)}",
+        ]
+        if t.offset:
+            parts.append(f"offset={dur(t.offset)}")
+        lines.append(" ".join(parts))
+    for (name, job), delta in sorted(scenario.faults.deviations.items()):
+        if delta == 0:
+            continue  # accumulated deviations cancelled out: no fault
+        kind = "extra" if delta > 0 else "saved"
+        lines.append(f"fault {name} job={job} {kind}={dur(abs(delta))}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""The paper's concrete task systems and reference examples.
+
+Everything the evaluation section (§6) runs on, plus the motivating
+example of §2, is defined here once so tests, benchmarks and examples
+agree on the numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.faults import CostOverrun, FaultInjector
+from repro.core.task import Task, TaskSet
+from repro.units import ms
+
+__all__ = [
+    "paper_table2",
+    "paper_figures_taskset",
+    "paper_fault",
+    "paper_fault_extra_ms",
+    "paper_horizon",
+    "paper_table1",
+    "lehoczky_example",
+]
+
+#: Overrun injected into tau1's job released at t = 1000 ms.  Chosen so
+#: that, without treatment, tau1 still meets its own deadline
+#: (29 + 40 = 69 <= 70) while tau3 misses (87 + 40 = 127 > 120) —
+#: exactly the Figure 3 situation ("tau1 ends before its deadline, just
+#: as tau2, but tau3 misses its deadline").
+PAPER_FAULT_EXTRA_MS = 40
+#: Index of tau1's faulty job: released at 5 * 200 = 1000 ms, the
+#: "fifth job of task tau1" the paper's figures zoom on.
+PAPER_FAULTY_JOB = 5
+
+
+def paper_table2() -> TaskSet:
+    """Table 2's tested system (synchronous release).
+
+    ========  ===  ====  ====  ===
+    task       P    T     D     C
+    ========  ===  ====  ====  ===
+    tau1       20   200    70   29
+    tau2       18   250   120   29
+    tau3       16  1500   120   29
+    ========  ===  ====  ====  ===
+
+    Expected analysis results (paper): WCRT = 29, 58, 87 ms and
+    equitable allowance A_i = 11 ms.
+    """
+    return TaskSet(
+        [
+            Task("tau1", cost=ms(29), period=ms(200), deadline=ms(70), priority=20),
+            Task("tau2", cost=ms(29), period=ms(250), deadline=ms(120), priority=18),
+            Task("tau3", cost=ms(29), period=ms(1500), deadline=ms(120), priority=16),
+        ]
+    )
+
+
+def paper_figures_taskset() -> TaskSet:
+    """Table 2's system phased as the Figures 3-7 executions show it.
+
+    The figures display "the fifth job of task tau1, which coincides
+    with the activation of a job of tau2 and tau3": with synchronous
+    release tau1 (T=200) and tau2 (T=250) both release at t = 1000 ms,
+    and tau3's missed deadline sits at 1120 ms = 1000 + D3, so tau3
+    carries a 1000 ms release offset (see DESIGN.md §4).  Offsets do
+    not affect the (synchronous worst-case) analysis results.
+    """
+    base = paper_table2()
+    return TaskSet(
+        [
+            base["tau1"],
+            base["tau2"],
+            Task(
+                "tau3",
+                cost=ms(29),
+                period=ms(1500),
+                deadline=ms(120),
+                priority=16,
+                offset=ms(1000),
+            ),
+        ]
+    )
+
+
+def paper_fault(extra_ms: int = PAPER_FAULT_EXTRA_MS) -> FaultInjector:
+    """The §6 fault: tau1's job at t=1000 ms overruns by *extra_ms*.
+
+    "A cost overrun was voluntarily added for the priority task, which
+    represents the most unfavourable case."
+    """
+    return FaultInjector([CostOverrun("tau1", PAPER_FAULTY_JOB, ms(extra_ms))])
+
+
+def paper_fault_extra_ms() -> int:
+    """Default overrun magnitude (ms) used by the figure experiments."""
+    return PAPER_FAULT_EXTRA_MS
+
+
+def paper_horizon() -> int:
+    """Simulation horizon covering the figures' window with margin."""
+    return ms(1600)
+
+
+def paper_table1() -> TaskSet:
+    """Table 1's motivating example, as printed (P, D, T, C).
+
+    ========  ===  ===  ===  ===
+    task       P    D    T    C
+    ========  ===  ===  ===  ===
+    tau1       20    6    6    3
+    tau2       15    2    4    2
+    ========  ===  ===  ===  ===
+
+    NB: as printed, the system is *infeasible* — tau2 (lower priority)
+    has D=2 but suffers 3 units of tau1 interference at the critical
+    instant, so its first response time is 5 > 2.  The table only
+    motivates Figure 1's point that the worst case needs a busy-period
+    analysis; :func:`lehoczky_example` is the canonical well-posed
+    instance of that point.  Times in milliseconds.
+    """
+    return TaskSet(
+        [
+            Task("tau1", cost=ms(3), period=ms(6), deadline=ms(6), priority=20),
+            Task("tau2", cost=ms(2), period=ms(4), deadline=ms(2), priority=15),
+        ]
+    )
+
+
+def lehoczky_example() -> TaskSet:
+    """Lehoczky's classic arbitrary-deadline system [10].
+
+    Two tasks, C = (26, 62), T = (70, 100), with tau2's deadline beyond
+    its period.  tau2's per-job response times over the level-2 busy
+    period are 114, 102, 116, 104, 118, 106, 94: the worst case (118)
+    occurs at the *fifth* job, not at the critical-instant job — the
+    phenomenon Figure 1 illustrates and the Figure 2 algorithm handles.
+    Unit-less times (interpreted as nanoseconds internally).
+    """
+    return TaskSet(
+        [
+            Task("t1", cost=26, period=70, priority=2),
+            Task("t2", cost=62, period=100, deadline=120, priority=1),
+        ]
+    )

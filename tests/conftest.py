@@ -1,0 +1,55 @@
+"""Shared fixtures: the paper's systems and common helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.task import Task, TaskSet
+from repro.units import ms
+from repro.workloads.scenarios import (
+    lehoczky_example,
+    paper_fault,
+    paper_figures_taskset,
+    paper_horizon,
+    paper_table2,
+)
+
+
+@pytest.fixture
+def table2() -> TaskSet:
+    """The paper's tested system (Table 2), synchronous release."""
+    return paper_table2()
+
+
+@pytest.fixture
+def figures_taskset() -> TaskSet:
+    """Table 2 phased as in Figures 3-7 (tau3 offset 1000 ms)."""
+    return paper_figures_taskset()
+
+
+@pytest.fixture
+def figures_fault():
+    """The injected +40 ms overrun on tau1's job 5."""
+    return paper_fault()
+
+
+@pytest.fixture
+def figures_horizon() -> int:
+    return paper_horizon()
+
+
+@pytest.fixture
+def lehoczky() -> TaskSet:
+    """The classic arbitrary-deadline example (WCRT at job q=4)."""
+    return lehoczky_example()
+
+
+@pytest.fixture
+def two_tasks() -> TaskSet:
+    """A small constrained-deadline system used across unit tests."""
+    return TaskSet(
+        [
+            Task("hi", cost=ms(2), period=ms(10), priority=10),
+            Task("lo", cost=ms(3), period=ms(14), deadline=ms(12), priority=5),
+        ]
+    )

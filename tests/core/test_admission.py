@@ -1,0 +1,138 @@
+"""Unit tests for dynamic admission control (§7 future work)."""
+
+import pytest
+
+from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.detection import JRATE_10MS
+from repro.core.task import Task
+from repro.core.treatments import TreatmentKind
+from repro.units import ms
+
+
+def tau1():
+    return Task("tau1", cost=ms(29), period=ms(200), deadline=ms(70), priority=20)
+
+
+def tau2():
+    return Task("tau2", cost=ms(29), period=ms(250), deadline=ms(120), priority=18)
+
+
+def tau3():
+    return Task("tau3", cost=ms(29), period=ms(1500), deadline=ms(120), priority=16)
+
+
+class TestAdd:
+    def test_incremental_admission_of_paper_system(self):
+        ctl = AdmissionController()
+        for task in (tau1(), tau2(), tau3()):
+            assert ctl.request_add(task).accepted
+        assert ctl.wcrt("tau3") == ms(87)
+        assert len(ctl.taskset) == 3
+
+    def test_detector_installed_on_add(self):
+        ctl = AdmissionController()
+        result = ctl.request_add(tau1())
+        (change,) = result.detector_changes
+        assert change.kind == "installed"
+        assert change.new_offset == ms(29)
+
+    def test_detectors_move_when_interference_grows(self):
+        ctl = AdmissionController()
+        ctl.request_add(tau2())
+        assert ctl.detector_offsets()["tau2"] == ms(29)
+        result = ctl.request_add(tau1())
+        moved = {c.task_name: c for c in result.detector_changes}
+        assert moved["tau2"].kind == "moved"
+        assert moved["tau2"].new_offset == ms(58)
+        assert moved["tau1"].kind == "installed"
+
+    def test_reject_overload(self):
+        ctl = AdmissionController()
+        ctl.request_add(Task("a", cost=8, period=10, priority=2))
+        result = ctl.request_add(Task("b", cost=8, period=10, priority=1))
+        assert result.decision is AdmissionDecision.REJECTED_LOAD
+        assert len(ctl.taskset) == 1  # transactional
+
+    def test_reject_deadline(self):
+        ctl = AdmissionController()
+        ctl.request_add(Task("a", cost=5, period=10, priority=2))
+        result = ctl.request_add(
+            Task("b", cost=4, period=20, deadline=8, priority=1)
+        )
+        assert result.decision is AdmissionDecision.REJECTED_DEADLINE
+        assert "b" not in ctl.taskset
+
+    def test_reject_duplicate(self):
+        ctl = AdmissionController()
+        ctl.request_add(tau1())
+        assert (
+            ctl.request_add(tau1()).decision is AdmissionDecision.REJECTED_DUPLICATE
+        )
+
+    def test_rejection_leaves_detectors_untouched(self):
+        ctl = AdmissionController()
+        ctl.request_add(tau1())
+        before = ctl.detector_offsets()
+        ctl.request_add(Task("huge", cost=ms(199), period=ms(200), priority=25))
+        assert ctl.detector_offsets() == before
+
+
+class TestRemove:
+    def test_remove_restores_slack(self):
+        ctl = AdmissionController()
+        for task in (tau1(), tau2(), tau3()):
+            ctl.request_add(task)
+        result = ctl.request_remove("tau1")
+        assert result.accepted
+        moved = {c.task_name: c for c in result.detector_changes}
+        assert moved["tau1"].kind == "removed"
+        # tau2 no longer suffers tau1's interference.
+        assert moved["tau2"].new_offset == ms(29)
+        assert ctl.wcrt("tau2") == ms(29)
+
+    def test_remove_unknown(self):
+        ctl = AdmissionController()
+        assert (
+            ctl.request_remove("ghost").decision is AdmissionDecision.REJECTED_UNKNOWN
+        )
+
+    def test_remove_last_task(self):
+        ctl = AdmissionController()
+        ctl.request_add(tau1())
+        result = ctl.request_remove("tau1")
+        assert result.accepted
+        assert ctl.detector_offsets() == {}
+        assert ctl.wcrt("tau1") is None
+
+
+class TestConfigurations:
+    def test_equitable_treatment_offsets(self):
+        ctl = AdmissionController(treatment=TreatmentKind.EQUITABLE_ALLOWANCE)
+        for task in (tau1(), tau2(), tau3()):
+            ctl.request_add(task)
+        assert ctl.detector_offsets() == {
+            "tau1": ms(40),
+            "tau2": ms(80),
+            "tau3": ms(120),
+        }
+
+    def test_rounding_applied(self):
+        ctl = AdmissionController(rounding=JRATE_10MS)
+        for task in (tau1(), tau2(), tau3()):
+            ctl.request_add(task)
+        assert ctl.detector_offsets() == {
+            "tau1": ms(30),
+            "tau2": ms(60),
+            "tau3": ms(90),
+        }
+
+    def test_history_records_decisions(self):
+        ctl = AdmissionController()
+        ctl.request_add(tau1())
+        ctl.request_add(tau1())
+        ctl.request_remove("tau1")
+        assert [h[2] for h in ctl.history] == [
+            AdmissionDecision.ACCEPTED,
+            AdmissionDecision.REJECTED_DUPLICATE,
+            AdmissionDecision.ACCEPTED,
+        ]

@@ -1,0 +1,216 @@
+"""Unit tests for the allowance computations (paper §4.2, §4.3)."""
+
+import pytest
+
+from repro.core.allowance import (
+    ResidualAllowanceManager,
+    additive_adjusted_wcrt,
+    adjusted_wcrt,
+    compute_equitable,
+    equitable_allowance,
+    max_such_that,
+    system_adjusted_wcrt,
+    system_allowance,
+    task_allowance,
+)
+from repro.core.feasibility import is_feasible
+from repro.core.task import Task, TaskSet
+from repro.units import ms
+
+
+class TestMaxSuchThat:
+    def test_threshold_found(self):
+        assert max_such_that(lambda x: x <= 1234, 10_000) == 1234
+
+    def test_zero_threshold(self):
+        assert max_such_that(lambda x: x == 0, 100) == 0
+
+    def test_hi_itself_feasible(self):
+        assert max_such_that(lambda x: True, 77) == 77
+
+    def test_predicate_false_at_zero_raises(self):
+        with pytest.raises(ValueError):
+            max_such_that(lambda x: False, 10)
+
+    def test_negative_hi_raises(self):
+        with pytest.raises(ValueError):
+            max_such_that(lambda x: True, -1)
+
+    @pytest.mark.parametrize("threshold", [0, 1, 2, 3, 7, 63, 64, 65, 999, 1000])
+    def test_exact_on_many_thresholds(self, threshold):
+        assert max_such_that(lambda x: x <= threshold, 1000) == threshold
+
+
+class TestEquitableAllowance:
+    def test_paper_value(self, table2):
+        assert equitable_allowance(table2) == ms(11)
+
+    def test_maximality(self, table2):
+        a = equitable_allowance(table2)
+        assert is_feasible(table2.inflated(a))
+        assert not is_feasible(table2.inflated(a + 1))
+
+    def test_zero_for_tight_system(self):
+        # lo's deadline exactly equals its WCRT: no slack at all.
+        ts = TaskSet(
+            [
+                Task("hi", cost=5, period=10, priority=2),
+                Task("lo", cost=5, period=20, deadline=10, priority=1),
+            ]
+        )
+        assert equitable_allowance(ts) == 0
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            equitable_allowance(TaskSet([]))
+
+    def test_infeasible_input_rejected(self):
+        ts = TaskSet(
+            [
+                Task("hi", cost=5, period=10, priority=2),
+                Task("lo", cost=5, period=20, deadline=9, priority=1),
+            ]
+        )
+        with pytest.raises(ValueError):
+            equitable_allowance(ts)
+
+    def test_single_task(self):
+        ts = TaskSet([Task("only", cost=3, period=10, priority=1)])
+        assert equitable_allowance(ts) == 7
+
+
+class TestAdjustedWcrt:
+    def test_paper_table3(self, table2):
+        adj = adjusted_wcrt(table2, ms(11))
+        assert adj == {"tau1": ms(40), "tau2": ms(80), "tau3": ms(120)}
+
+    def test_additive_matches_exact_on_paper_system(self, table2):
+        assert adjusted_wcrt(table2, ms(11)) == additive_adjusted_wcrt(table2, ms(11))
+
+    def test_zero_allowance_is_plain_wcrt(self, table2):
+        adj = adjusted_wcrt(table2, 0)
+        assert adj == {"tau1": ms(29), "tau2": ms(58), "tau3": ms(87)}
+
+    def test_too_large_allowance_raises(self, table2):
+        with pytest.raises(ValueError):
+            adjusted_wcrt(table2, ms(12))
+
+    def test_additive_can_exceed_exact_with_multiple_jobs(self):
+        # A busy window containing several jobs of the higher task makes
+        # the additive form count the allowance once per *task*, while
+        # the exact recomputation counts it once per *job* — the two
+        # differ, and the exact value dominates.
+        ts = TaskSet(
+            [
+                Task("hi", cost=2, period=5, priority=2),
+                Task("lo", cost=5, period=50, deadline=40, priority=1),
+            ]
+        )
+        a = equitable_allowance(ts)
+        exact = adjusted_wcrt(ts, a)
+        additive = additive_adjusted_wcrt(ts, a)
+        assert exact["lo"] != additive["lo"]
+
+
+class TestTaskAllowance:
+    def test_paper_values_all_33(self, table2):
+        assert system_allowance(table2) == {
+            "tau1": ms(33),
+            "tau2": ms(33),
+            "tau3": ms(33),
+        }
+
+    def test_maximality_per_task(self, table2):
+        for name in ("tau1", "tau2", "tau3"):
+            a = task_allowance(table2, name)
+            assert is_feasible(
+                table2.with_costs({name: table2[name].cost + a})
+            )
+            assert not is_feasible(
+                table2.with_costs({name: table2[name].cost + a + 1})
+            )
+
+    def test_consumed_reduces_allowance(self, table2):
+        # Paper: "subtracting the more priority tasks overrun".
+        assert task_allowance(table2, "tau2", {"tau1": ms(20)}) == ms(13)
+
+    def test_consumed_by_target_ignored(self, table2):
+        assert task_allowance(table2, "tau1", {"tau1": ms(99)}) == ms(33)
+
+    def test_zero_when_base_infeasible(self, table2):
+        # tau1 already consumed more than the whole system slack.
+        assert task_allowance(table2, "tau2", {"tau1": ms(40)}) == 0
+
+    def test_at_least_equitable(self, table2):
+        # A single task can always take at least the equitable share.
+        eq = equitable_allowance(table2)
+        for t in table2:
+            assert task_allowance(table2, t.name) >= eq
+
+
+class TestSystemAdjustedWcrt:
+    def test_paper_thresholds(self, table2):
+        adj = system_adjusted_wcrt(table2)
+        assert adj == {
+            "tau1": ms(29 + 33),
+            "tau2": ms(58 + 33),
+            "tau3": ms(87 + 33),
+        }
+
+    def test_thresholds_within_deadlines(self, table2):
+        adj = system_adjusted_wcrt(table2)
+        for t in table2:
+            assert adj[t.name] <= t.deadline
+
+    def test_dominates_plain_wcrt(self, table2):
+        from repro.core.feasibility import wc_response_time
+
+        adj = system_adjusted_wcrt(table2)
+        for t in table2:
+            assert adj[t.name] >= wc_response_time(t, table2)
+
+
+class TestComputeEquitable:
+    def test_bundle(self, table2):
+        bundle = compute_equitable(table2)
+        assert bundle.value == ms(11)
+        assert bundle.stop_after["tau3"] == ms(120)
+
+
+class TestResidualAllowanceManager:
+    def test_first_grant_is_full(self, table2):
+        mgr = ResidualAllowanceManager(table2)
+        assert mgr.grant("tau1") == ms(33)
+
+    def test_grant_shrinks_after_overrun(self, table2):
+        mgr = ResidualAllowanceManager(table2)
+        mgr.record_overrun("tau1", ms(20))
+        assert mgr.grant("tau2") == ms(13)
+
+    def test_paper_subtraction_formula_agrees(self, table2):
+        mgr = ResidualAllowanceManager(table2)
+        mgr.record_overrun("tau1", ms(20))
+        assert mgr.paper_subtraction_grant("tau2") == mgr.grant("tau2") == ms(13)
+
+    def test_lower_priority_overrun_does_not_subtract(self, table2):
+        mgr = ResidualAllowanceManager(table2)
+        mgr.record_overrun("tau3", ms(10))
+        # The paper's formula only subtracts higher-priority overruns.
+        assert mgr.paper_subtraction_grant("tau1") == ms(33)
+
+    def test_reset(self, table2):
+        mgr = ResidualAllowanceManager(table2)
+        mgr.record_overrun("tau1", ms(30))
+        mgr.reset()
+        assert mgr.grant("tau2") == ms(33)
+
+    def test_negative_overrun_rejected(self, table2):
+        mgr = ResidualAllowanceManager(table2)
+        with pytest.raises(ValueError):
+            mgr.record_overrun("tau1", -1)
+
+    def test_accumulates(self, table2):
+        mgr = ResidualAllowanceManager(table2)
+        mgr.record_overrun("tau1", ms(10))
+        mgr.record_overrun("tau1", ms(10))
+        assert mgr.grant("tau2") == ms(13)

@@ -1,0 +1,155 @@
+"""Unit tests for the blocking-time analysis (§7 future work)."""
+
+import pytest
+
+from repro.core.blocking import (
+    CriticalSection,
+    blocking_times_pcp,
+    blocking_times_pip,
+    equitable_allowance_with_blocking,
+    is_feasible_with_blocking,
+    priority_ceilings,
+    response_time_with_blocking,
+)
+from repro.core.task import Task, TaskSet
+
+
+def triple() -> TaskSet:
+    return TaskSet(
+        [
+            Task("hi", cost=10, period=100, deadline=50, priority=3),
+            Task("mid", cost=20, period=200, deadline=150, priority=2),
+            Task("lo", cost=30, period=400, deadline=350, priority=1),
+        ]
+    )
+
+
+SECTIONS = [
+    CriticalSection("hi", "r1", 2),
+    CriticalSection("lo", "r1", 8),  # shared with hi: ceiling = 3
+    CriticalSection("mid", "r2", 5),
+    CriticalSection("lo", "r2", 6),  # shared with mid: ceiling = 2
+]
+
+
+class TestCriticalSections:
+    def test_duration_positive(self):
+        with pytest.raises(ValueError):
+            CriticalSection("t", "r", 0)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            blocking_times_pcp(triple(), [CriticalSection("ghost", "r", 1)])
+
+    def test_section_longer_than_cost_rejected(self):
+        with pytest.raises(ValueError, match="longer than"):
+            blocking_times_pcp(triple(), [CriticalSection("hi", "r", 11)])
+
+
+class TestCeilings:
+    def test_ceiling_is_highest_user(self):
+        ceilings = priority_ceilings(triple(), SECTIONS)
+        assert ceilings == {"r1": 3, "r2": 2}
+
+
+class TestPcpBlocking:
+    def test_bounds(self):
+        b = blocking_times_pcp(triple(), SECTIONS)
+        # hi can be blocked by lo's r1 section (ceiling 3 >= 3): 8.
+        assert b["hi"] == 8
+        # mid: lo's sections on r1 (ceiling 3) and r2 (ceiling 2) both
+        # qualify; PCP blocks with at most ONE: max(8, 6) = 8.
+        assert b["mid"] == 8
+        # lo: nothing of lower priority exists.
+        assert b["lo"] == 0
+
+    def test_no_sections_means_no_blocking(self):
+        assert blocking_times_pcp(triple(), []) == {"hi": 0, "mid": 0, "lo": 0}
+
+
+class TestPipBlocking:
+    def test_bounds(self):
+        b = blocking_times_pip(triple(), SECTIONS)
+        # hi: only lo's r1 section is relevant (r2 not used at level>=3):
+        assert b["hi"] == 8
+        # mid: mid-relevant resources are r1 (hi uses it) and r2; lo can
+        # block once with its longest such section: max(8, 6) = 8.
+        assert b["mid"] == 8
+        assert b["lo"] == 0
+
+    def test_pip_sums_across_lower_tasks(self):
+        ts = TaskSet(
+            [
+                Task("top", cost=10, period=100, deadline=90, priority=3),
+                Task("a", cost=10, period=200, priority=2),
+                Task("b", cost=10, period=200, priority=1),
+            ]
+        )
+        sections = [
+            CriticalSection("top", "r1", 1),
+            CriticalSection("top", "r2", 1),
+            CriticalSection("a", "r1", 4),
+            CriticalSection("b", "r2", 5),
+        ]
+        pip = blocking_times_pip(ts, sections)
+        pcp = blocking_times_pcp(ts, sections)
+        assert pip["top"] == 9  # one per lower task: 4 + 5
+        assert pcp["top"] == 5  # single longest
+
+
+class TestBlockingRta:
+    def test_blocking_adds_to_response(self):
+        ts = triple()
+        b = blocking_times_pcp(ts, SECTIONS)
+        r_hi = response_time_with_blocking(ts["hi"], ts, b)
+        assert r_hi == 10 + 8
+        r_mid = response_time_with_blocking(ts["mid"], ts, b)
+        assert r_mid == 20 + 8 + 10  # cost + blocking + hi interference
+
+    def test_zero_blocking_matches_plain_rta(self):
+        from repro.core.feasibility import response_time_constrained
+
+        ts = triple()
+        for t in ts:
+            assert response_time_with_blocking(t, ts, {}) == response_time_constrained(t, ts)
+
+    def test_requires_constrained_deadline(self):
+        ts = TaskSet([Task("t", cost=1, period=10, deadline=25, priority=1)])
+        with pytest.raises(ValueError, match="D <= T"):
+            response_time_with_blocking(ts["t"], ts, {})
+
+    def test_feasibility_with_blocking(self):
+        ts = triple()
+        b = blocking_times_pcp(ts, SECTIONS)
+        assert is_feasible_with_blocking(ts, b)
+        # Inflate blocking beyond hi's slack: infeasible.
+        assert not is_feasible_with_blocking(ts, {"hi": 41})
+
+
+class TestAllowanceWithBlocking:
+    def test_blocking_shrinks_allowance(self):
+        from repro.core.allowance import equitable_allowance
+
+        ts = triple()
+        with_b = equitable_allowance_with_blocking(ts, SECTIONS)
+        without_b = equitable_allowance(ts)
+        assert with_b <= without_b
+        assert with_b > 0
+
+    def test_allowance_maximal_under_blocking(self):
+        ts = triple()
+        a = equitable_allowance_with_blocking(ts, SECTIONS)
+        inflated = ts.inflated(a + 1)
+        b = blocking_times_pcp(inflated, SECTIONS)
+        assert not is_feasible_with_blocking(inflated, b)
+
+    def test_infeasible_input_rejected(self):
+        ts = TaskSet(
+            [
+                Task("hi", cost=10, period=100, deadline=12, priority=2),
+                Task("lo", cost=50, period=200, priority=1),
+            ]
+        )
+        sections = [CriticalSection("lo", "r", 40), CriticalSection("hi", "r", 1)]
+        with pytest.raises(ValueError):
+            equitable_allowance_with_blocking(ts, sections)

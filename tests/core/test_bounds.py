@@ -1,0 +1,116 @@
+"""Unit tests for the sufficient schedulability bounds [11], [2]."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    hyperbolic_test,
+    is_implicit_deadline,
+    is_rate_monotonic,
+    liu_layland_bound,
+    liu_layland_test,
+)
+from repro.core.feasibility import is_feasible
+from repro.core.task import Task, TaskSet
+
+
+def implicit(name, cost, period, priority):
+    return Task(name=name, cost=cost, period=period, priority=priority)
+
+
+class TestLiuLaylandBound:
+    def test_one_task(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+
+    def test_two_tasks(self):
+        assert liu_layland_bound(2) == pytest.approx(2 * (2 ** 0.5 - 1))
+
+    def test_decreasing_in_n(self):
+        values = [liu_layland_bound(n) for n in range(1, 20)]
+        assert values == sorted(values, reverse=True)
+
+    def test_limit_is_ln2(self):
+        assert liu_layland_bound(10_000) == pytest.approx(math.log(2), abs=1e-4)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            liu_layland_bound(0)
+
+
+class TestLiuLaylandTest:
+    def test_accepts_low_utilization(self):
+        ts = TaskSet([implicit("a", 1, 10, 2), implicit("b", 1, 10, 1)])
+        assert liu_layland_test(ts)
+
+    def test_rejects_above_bound(self):
+        # U = 0.9 > 0.828 for n=2: unknown (False), though actually
+        # schedulable for harmonic periods.
+        ts = TaskSet([implicit("a", 5, 10, 2), implicit("b", 8, 20, 1)])
+        assert not liu_layland_test(ts)
+
+    def test_empty_set(self):
+        assert liu_layland_test(TaskSet([]))
+
+    def test_boundary_exact(self):
+        # Single task at U = 1.0 sits exactly on the n=1 bound.
+        ts = TaskSet([implicit("a", 10, 10, 1)])
+        assert liu_layland_test(ts)
+
+
+class TestHyperbolicTest:
+    def test_dominates_liu_layland(self):
+        # Any set accepted by LL must be accepted by the hyperbolic
+        # bound (Bini & Buttazzo's dominance result).
+        sets = [
+            TaskSet([implicit("a", 2, 10, 2), implicit("b", 3, 15, 1)]),
+            TaskSet([implicit("a", 1, 4, 3), implicit("b", 1, 8, 2), implicit("c", 1, 6, 1)]),
+            TaskSet([implicit("a", 5, 10, 2), implicit("b", 8, 20, 1)]),
+        ]
+        for ts in sets:
+            if liu_layland_test(ts):
+                assert hyperbolic_test(ts)
+
+    def test_accepts_some_ll_rejects(self):
+        # U = 1/2 + 1/3 = 0.833 > 0.828 (LL bound for n=2), but the
+        # hyperbolic product is (1.5)(4/3) = 2.0 <= 2.
+        ts = TaskSet([implicit("a", 5, 10, 2), implicit("b", 10, 30, 1)])
+        assert not liu_layland_test(ts)
+        assert hyperbolic_test(ts)
+
+    def test_rejects_overload(self):
+        ts = TaskSet([implicit("a", 9, 10, 2), implicit("b", 9, 10, 1)])
+        assert not hyperbolic_test(ts)
+
+    def test_sufficiency_vs_exact_analysis(self):
+        # Whenever the hyperbolic test accepts an RM implicit-deadline
+        # set, the exact analysis must agree.
+        candidates = [
+            TaskSet([implicit("a", 1, 4, 2), implicit("b", 2, 8, 1)]),
+            TaskSet([implicit("a", 2, 8, 3), implicit("b", 3, 12, 2), implicit("c", 1, 24, 1)]),
+            TaskSet([implicit("a", 3, 9, 2), implicit("b", 4, 12, 1)]),
+        ]
+        for ts in candidates:
+            assert is_implicit_deadline(ts) and is_rate_monotonic(ts)
+            if hyperbolic_test(ts):
+                assert is_feasible(ts)
+
+
+class TestPreconditionHelpers:
+    def test_implicit_deadline(self):
+        assert is_implicit_deadline(TaskSet([implicit("a", 1, 10, 1)]))
+        assert not is_implicit_deadline(
+            TaskSet([Task("a", cost=1, period=10, deadline=5, priority=1)])
+        )
+
+    def test_rate_monotonic_true(self):
+        ts = TaskSet([implicit("fast", 1, 5, 2), implicit("slow", 1, 50, 1)])
+        assert is_rate_monotonic(ts)
+
+    def test_rate_monotonic_false(self):
+        ts = TaskSet([implicit("slow", 1, 50, 2), implicit("fast", 1, 5, 1)])
+        assert not is_rate_monotonic(ts)
+
+    def test_equal_periods_any_order_is_rm(self):
+        ts = TaskSet([implicit("a", 1, 10, 2), implicit("b", 1, 10, 1)])
+        assert is_rate_monotonic(ts)

@@ -1,0 +1,87 @@
+"""Unit tests for detector placement and timer rounding (paper §3, §6.2)."""
+
+import pytest
+
+from repro.core.detection import (
+    EXACT,
+    JRATE_10MS,
+    DetectorSpec,
+    Rounding,
+    RoundingMode,
+    plan_detectors,
+)
+from repro.core.feasibility import analyze
+from repro.units import ms
+
+
+class TestRounding:
+    def test_none_is_identity(self):
+        assert EXACT.apply(ms(29)) == ms(29)
+        assert EXACT.apply(12345) == 12345
+
+    @pytest.mark.parametrize("value,expected", [(29, 30), (58, 60), (87, 90)])
+    def test_jrate_rounds_up_paper_values(self, value, expected):
+        # §6.2: "the detector of task tau1 has a 30-29=1 ms delay, that
+        # of tau2 60-58=2 ms and that of tau3 90-87=3 ms".
+        assert JRATE_10MS.apply(ms(value)) == ms(expected)
+
+    def test_up_on_exact_multiple_is_identity(self):
+        assert JRATE_10MS.apply(ms(30)) == ms(30)
+
+    def test_down(self):
+        r = Rounding(RoundingMode.DOWN, 10)
+        assert r.apply(29) == 20
+        assert r.apply(30) == 30
+
+    def test_nearest(self):
+        r = Rounding(RoundingMode.NEAREST, 10)
+        assert r.apply(24) == 20
+        assert r.apply(25) == 30  # ties round up
+        assert r.apply(26) == 30
+
+    def test_zero(self):
+        assert JRATE_10MS.apply(0) == 0
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            Rounding(RoundingMode.UP, 0)
+
+
+class TestDetectorSpec:
+    def test_delay(self):
+        spec = DetectorSpec("t", period=ms(200), offset=ms(30), nominal_offset=ms(29))
+        assert spec.delay == ms(1)
+
+    def test_fire_time(self):
+        spec = DetectorSpec("t", period=ms(200), offset=ms(30), nominal_offset=ms(29))
+        assert spec.fire_time(ms(1000)) == ms(1030)
+
+
+class TestPlanDetectors:
+    def test_one_detector_per_task(self, table2):
+        report = analyze(table2)
+        thresholds = {n: r.wcrt for n, r in report.per_task.items()}
+        specs = plan_detectors(table2, thresholds)
+        assert set(specs) == {"tau1", "tau2", "tau3"}
+        # Period = task period, offset = WCRT (paper §3).
+        assert specs["tau1"].period == ms(200)
+        assert specs["tau1"].offset == ms(29)
+        assert specs["tau3"].offset == ms(87)
+
+    def test_jrate_rounding_applied(self, table2):
+        report = analyze(table2)
+        thresholds = {n: r.wcrt for n, r in report.per_task.items()}
+        specs = plan_detectors(table2, thresholds, JRATE_10MS)
+        assert [specs[n].delay for n in ("tau1", "tau2", "tau3")] == [
+            ms(1),
+            ms(2),
+            ms(3),
+        ]
+
+    def test_negative_threshold_rejected(self, table2):
+        with pytest.raises(ValueError):
+            plan_detectors(table2, {"tau1": -1, "tau2": 1, "tau3": 1})
+
+    def test_missing_threshold_raises(self, table2):
+        with pytest.raises(KeyError):
+            plan_detectors(table2, {"tau1": 1})

@@ -1,0 +1,99 @@
+"""Unit tests for the fault models (paper §3)."""
+
+import pytest
+
+from repro.core.faults import (
+    CostOverrun,
+    CostUnderrun,
+    FaultInjector,
+    NoFaults,
+    RandomFaults,
+)
+
+
+class TestNoFaults:
+    def test_identity(self):
+        model = NoFaults()
+        assert model.demand("t", 0, 100) == 100
+        assert model.demand("t", 99, 7) == 7
+
+
+class TestDeviationValidation:
+    def test_overrun_positive(self):
+        with pytest.raises(ValueError):
+            CostOverrun("t", 0, 0)
+        with pytest.raises(ValueError):
+            CostOverrun("t", 0, -5)
+
+    def test_underrun_positive(self):
+        with pytest.raises(ValueError):
+            CostUnderrun("t", 0, 0)
+
+    def test_job_nonnegative(self):
+        with pytest.raises(ValueError):
+            CostOverrun("t", -1, 5)
+        with pytest.raises(ValueError):
+            CostUnderrun("t", -1, 5)
+
+
+class TestFaultInjector:
+    def test_targets_only_named_job(self):
+        inj = FaultInjector([CostOverrun("a", 2, 10)])
+        assert inj.demand("a", 2, 100) == 110
+        assert inj.demand("a", 1, 100) == 100
+        assert inj.demand("b", 2, 100) == 100
+
+    def test_underrun(self):
+        inj = FaultInjector([CostUnderrun("a", 0, 30)])
+        assert inj.demand("a", 0, 100) == 70
+
+    def test_accumulation(self):
+        inj = FaultInjector([CostOverrun("a", 0, 10), CostOverrun("a", 0, 5)])
+        assert inj.demand("a", 0, 100) == 115
+
+    def test_floor_at_one(self):
+        inj = FaultInjector([CostUnderrun("a", 0, 1000)])
+        assert inj.demand("a", 0, 100) == 1
+
+    def test_add_after_construction(self):
+        inj = FaultInjector()
+        inj.add(CostOverrun("a", 3, 7))
+        assert inj.demand("a", 3, 10) == 17
+
+    def test_deviations_copy(self):
+        inj = FaultInjector([CostOverrun("a", 0, 10)])
+        devs = inj.deviations
+        devs[("a", 0)] = 999
+        assert inj.demand("a", 0, 100) == 110
+
+
+class TestRandomFaults:
+    def test_deterministic_for_seed(self):
+        a = RandomFaults(rate=0.5, max_extra=100, seed=42)
+        b = RandomFaults(rate=0.5, max_extra=100, seed=42)
+        demands_a = [a.demand("t", i, 50) for i in range(50)]
+        demands_b = [b.demand("t", i, 50) for i in range(50)]
+        assert demands_a == demands_b
+
+    def test_repeated_queries_stable(self):
+        model = RandomFaults(rate=1.0, max_extra=100, seed=1)
+        first = model.demand("t", 3, 50)
+        assert model.demand("t", 3, 50) == first
+
+    def test_rate_zero_never_faults(self):
+        model = RandomFaults(rate=0.0, max_extra=100, seed=1)
+        assert all(model.demand("t", i, 50) == 50 for i in range(100))
+
+    def test_rate_one_always_faults(self):
+        model = RandomFaults(rate=1.0, max_extra=100, seed=1)
+        assert all(model.demand("t", i, 50) > 50 for i in range(100))
+
+    def test_extra_bounded(self):
+        model = RandomFaults(rate=1.0, max_extra=10, seed=3)
+        assert all(50 < model.demand("t", i, 50) <= 60 for i in range(100))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomFaults(rate=1.5, max_extra=10)
+        with pytest.raises(ValueError):
+            RandomFaults(rate=0.5, max_extra=0)

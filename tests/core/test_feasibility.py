@@ -1,0 +1,214 @@
+"""Unit tests for the feasibility analysis (paper §2, Figure 2)."""
+
+import pytest
+
+from repro.core.feasibility import (
+    FeasibilityReport,
+    LoadTest,
+    analyze,
+    assert_feasible,
+    is_feasible,
+    job_response_times,
+    level_busy_period,
+    load_test,
+    response_time_constrained,
+    response_time_of_job,
+    wc_response_time,
+)
+from repro.core.task import Task, TaskSet
+from repro.units import ms
+
+
+def make(name, cost, period, priority, deadline=-1, **kw) -> Task:
+    return Task(name=name, cost=cost, period=period, priority=priority, deadline=deadline, **kw)
+
+
+class TestLoadTest:
+    def test_underloaded_is_inconclusive(self, two_tasks):
+        assert load_test(two_tasks) is LoadTest.INCONCLUSIVE
+
+    def test_overloaded_is_infeasible(self):
+        ts = TaskSet([make("a", 6, 10, 2), make("b", 6, 10, 1)])
+        assert load_test(ts) is LoadTest.INFEASIBLE
+
+    def test_exactly_one_is_inconclusive(self):
+        # Three tasks of utilization exactly 1/3 each: U == 1, which the
+        # paper's condition (U > 1) does not reject.
+        ts = TaskSet([make(f"t{i}", 1, 3, i + 1) for i in range(3)])
+        assert load_test(ts) is LoadTest.INCONCLUSIVE
+
+    def test_exact_arithmetic_near_one(self):
+        # 1/3 + 1/3 + 1/3 must not be rejected due to float rounding.
+        ts = TaskSet([make(f"t{i}", 10**9 // 3 * 1, 10**9, i + 1) for i in range(3)])
+        assert load_test(ts) is LoadTest.INCONCLUSIVE
+
+
+class TestSingleTask:
+    def test_wcrt_is_cost(self):
+        ts = TaskSet([make("only", 7, 100, 1)])
+        assert wc_response_time(ts["only"], ts) == 7
+
+    def test_full_utilization_single_task(self):
+        ts = TaskSet([make("only", 10, 10, 1)])
+        assert wc_response_time(ts["only"], ts) == 10
+
+    def test_job_series_single_entry(self):
+        ts = TaskSet([make("only", 7, 100, 1)])
+        assert job_response_times(ts["only"], ts) == [7]
+
+
+class TestConstrainedDeadlines:
+    def test_classic_two_task_response(self, two_tasks):
+        # hi: 2/10; lo first job: 3 + ceil(R/10)*2 -> 5.
+        assert wc_response_time(two_tasks["hi"], two_tasks) == ms(2)
+        assert wc_response_time(two_tasks["lo"], two_tasks) == ms(5)
+
+    def test_matches_constrained_oracle(self, two_tasks):
+        for task in two_tasks:
+            assert wc_response_time(task, two_tasks) == response_time_constrained(
+                task, two_tasks
+            )
+
+    def test_three_task_textbook(self):
+        # Liu & Layland style example.
+        ts = TaskSet(
+            [
+                make("a", 1, 4, 3),
+                make("b", 2, 6, 2),
+                make("c", 3, 13, 1),
+            ]
+        )
+        assert wc_response_time(ts["a"], ts) == 1
+        assert wc_response_time(ts["b"], ts) == 3
+        # c: fixed point of 3 + ceil(R/4) + 2*ceil(R/6)
+        assert wc_response_time(ts["c"], ts) == 10
+
+    def test_equal_priority_counts_as_interference(self):
+        ts = TaskSet([make("a", 2, 10, 5), make("b", 3, 10, 5)])
+        # Each sees the other as higher-or-equal interference (Fig 2 HP).
+        assert wc_response_time(ts["a"], ts) == 5
+        assert wc_response_time(ts["b"], ts) == 5
+
+
+class TestArbitraryDeadlines:
+    def test_lehoczky_series(self, lehoczky):
+        assert job_response_times(lehoczky["t2"], lehoczky) == [
+            114,
+            102,
+            116,
+            104,
+            118,
+            106,
+            94,
+        ]
+
+    def test_lehoczky_wcrt_at_fifth_job(self, lehoczky):
+        assert wc_response_time(lehoczky["t2"], lehoczky) == 118
+
+    def test_first_job_not_the_worst(self, lehoczky):
+        r0 = response_time_of_job(lehoczky["t2"], lehoczky, 0)
+        assert r0 == 114  # completion of job 0 == its response
+        assert wc_response_time(lehoczky["t2"], lehoczky) > 114
+
+    def test_general_at_least_first_job(self, lehoczky):
+        t = lehoczky["t2"]
+        r0 = response_time_of_job(t, lehoczky, 0)
+        assert wc_response_time(t, lehoczky) >= r0
+
+    def test_busy_period_closure(self, lehoczky):
+        # Level-2 busy period: solves L = ceil(L/70)*26 + ceil(L/100)*62.
+        assert level_busy_period(lehoczky["t2"], lehoczky) == 694
+
+    def test_busy_period_unbounded_when_overloaded(self):
+        ts = TaskSet([make("a", 6, 10, 2), make("b", 6, 10, 1)])
+        assert level_busy_period(ts["b"], ts) is None
+
+    def test_negative_job_index_rejected(self, lehoczky):
+        with pytest.raises(ValueError):
+            response_time_of_job(lehoczky["t2"], lehoczky, -1)
+
+
+class TestUnboundedCases:
+    def test_overloaded_level_returns_none(self):
+        ts = TaskSet([make("a", 6, 10, 2), make("b", 6, 10, 1, deadline=50)])
+        assert wc_response_time(ts["b"], ts) is None
+
+    def test_higher_levels_still_bounded(self):
+        ts = TaskSet([make("a", 6, 10, 2), make("b", 6, 10, 1, deadline=50)])
+        assert wc_response_time(ts["a"], ts) == 6
+
+    def test_analyze_reports_unbounded(self):
+        ts = TaskSet([make("a", 6, 10, 2), make("b", 6, 10, 1, deadline=50)])
+        report = analyze(ts)
+        assert report.load is LoadTest.INFEASIBLE
+        assert report.per_task["b"].wcrt is None
+        assert not report.feasible
+
+
+class TestPaperTable2:
+    def test_wcrt_values(self, table2):
+        report = analyze(table2)
+        assert report.wcrt("tau1") == ms(29)
+        assert report.wcrt("tau2") == ms(58)
+        assert report.wcrt("tau3") == ms(87)
+
+    def test_feasible(self, table2):
+        assert is_feasible(table2)
+
+    def test_slack(self, table2):
+        report = analyze(table2)
+        assert report.per_task["tau1"].slack == ms(70 - 29)
+        assert report.per_task["tau3"].slack == ms(120 - 87)
+
+    def test_offsets_ignored_by_analysis(self, table2, figures_taskset):
+        # The phased variant must produce identical WCRTs (synchronous
+        # analysis is offset-agnostic and conservative).
+        a, b = analyze(table2), analyze(figures_taskset)
+        for name in ("tau1", "tau2", "tau3"):
+            assert a.wcrt(name) == b.wcrt(name)
+
+
+class TestReportHelpers:
+    def test_first_infeasible_is_lowest_priority_victim(self):
+        ts = TaskSet(
+            [
+                make("hi", 5, 10, 3),
+                make("mid", 4, 10, 2, deadline=9),
+                make("lo", 1, 10, 1, deadline=9),
+            ]
+        )
+        report = analyze(ts)
+        assert not report.feasible
+        first = report.first_infeasible()
+        assert first is not None and first.name == "lo"
+
+    def test_first_infeasible_none_when_feasible(self, two_tasks):
+        assert analyze(two_tasks).first_infeasible() is None
+
+    def test_assert_feasible_passes(self, table2):
+        report = assert_feasible(table2)
+        assert isinstance(report, FeasibilityReport)
+
+    def test_assert_feasible_raises_with_culprit(self):
+        ts = TaskSet([make("hi", 5, 10, 2), make("lo", 5, 10, 1, deadline=9)])
+        with pytest.raises(ValueError, match="lo"):
+            assert_feasible(ts)
+
+
+class TestDeadlineMonotonicExample:
+    def test_dm_feasible_set(self):
+        # Audsley et al. [1] style: DM priorities, D < T.
+        ts = TaskSet(
+            [
+                make("a", 3, 20, 4, deadline=7),
+                make("b", 3, 15, 3, deadline=9),
+                make("c", 4, 20, 2, deadline=13),
+                make("d", 3, 20, 1, deadline=20),
+            ]
+        )
+        report = analyze(ts)
+        assert report.feasible
+        assert report.wcrt("a") == 3
+        assert report.wcrt("b") == 6
+        assert report.wcrt("c") == 10
+        assert report.wcrt("d") == 13

@@ -1,0 +1,141 @@
+"""Unit tests for jitter-aware response-time analysis."""
+
+import pytest
+
+from repro.core.feasibility import response_time_constrained
+from repro.core.jitter import (
+    analyze_with_jitter,
+    detector_offsets_with_jitter,
+    is_feasible_with_jitter,
+    max_tolerable_jitter,
+    response_time_with_jitter,
+)
+from repro.core.task import Task, TaskSet
+from repro.units import ms
+
+
+class TestZeroJitter:
+    def test_matches_plain_rta(self, table2):
+        for t in table2:
+            assert response_time_with_jitter(t, table2, {}) == response_time_constrained(t, table2)
+
+    def test_analyze(self, table2):
+        assert analyze_with_jitter(table2, {}) == {
+            "tau1": ms(29),
+            "tau2": ms(58),
+            "tau3": ms(87),
+        }
+
+
+class TestWithJitter:
+    def test_own_jitter_adds_directly(self, table2):
+        r = response_time_with_jitter(table2["tau1"], table2, {"tau1": ms(3)})
+        assert r == ms(32)
+
+    def test_hp_jitter_densifies_interference(self):
+        ts = TaskSet(
+            [
+                Task("hi", cost=4, period=10, priority=2),
+                Task("lo", cost=5, period=30, deadline=30, priority=1),
+            ]
+        )
+        base = response_time_with_jitter(ts["lo"], ts, {})
+        # lo: 5 + 4 = 9 without jitter (one hi activation in 9).
+        assert base == 9
+        # 2 units of hi jitter pull a second activation into the window:
+        # w = 5 + 2*4 = 13.
+        jittered = response_time_with_jitter(ts["lo"], ts, {"hi": 2})
+        assert jittered == 13
+
+    def test_monotone_in_jitter(self, table2):
+        prev = 0
+        for j in (0, 1, 2, 5, 10):
+            r = response_time_with_jitter(
+                table2["tau3"], table2, {n: ms(j) for n in ("tau1", "tau2", "tau3")}
+            )
+            assert r >= prev
+            prev = r
+
+    def test_full_utilization_converges_with_shifted_fixed_point(self):
+        # At U = 1 the jitter only shifts the fixed point; the analysis
+        # still converges (w = 110 here: 5 + ceil(210/10)*5).
+        ts = TaskSet(
+            [
+                Task("hi", cost=5, period=10, priority=2),
+                Task("lo", cost=5, period=10, priority=1),
+            ]
+        )
+        assert response_time_with_jitter(ts["lo"], ts, {"hi": 100}) == 110
+
+    def test_divergence_returns_none(self):
+        ts = TaskSet(
+            [
+                Task("hi", cost=10, period=10, priority=2),
+                Task("lo", cost=5, period=10, priority=1),
+            ]
+        )
+        # The higher-priority task saturates the CPU: lo's recurrence
+        # never closes and the analysis reports None.
+        assert response_time_with_jitter(ts["lo"], ts, {}) is None
+
+    def test_requires_constrained(self):
+        ts = TaskSet([Task("t", cost=1, period=10, deadline=25, priority=1)])
+        with pytest.raises(ValueError):
+            response_time_with_jitter(ts["t"], ts, {})
+
+    def test_validation(self, table2):
+        with pytest.raises(KeyError):
+            response_time_with_jitter(table2["tau1"], table2, {"ghost": 1})
+        with pytest.raises(ValueError):
+            response_time_with_jitter(table2["tau1"], table2, {"tau1": -1})
+
+
+class TestFeasibilityAndDetectors:
+    def test_feasible_under_small_jitter(self, table2):
+        assert is_feasible_with_jitter(table2, {n: ms(5) for n in ("tau1", "tau2", "tau3")})
+
+    def test_infeasible_under_large_jitter(self, table2):
+        assert not is_feasible_with_jitter(
+            table2, {n: ms(50) for n in ("tau1", "tau2", "tau3")}
+        )
+
+    def test_detector_offsets_grow_with_jitter(self, table2):
+        plain = detector_offsets_with_jitter(table2, {})
+        jittery = detector_offsets_with_jitter(
+            table2, {n: ms(2) for n in ("tau1", "tau2", "tau3")}
+        )
+        for name in plain:
+            assert jittery[name] > plain[name]
+
+    def test_detector_offsets_raise_when_unschedulable(self, table2):
+        with pytest.raises(ValueError):
+            detector_offsets_with_jitter(
+                TaskSet(
+                    [
+                        Task("a", cost=5, period=10, priority=2),
+                        Task("b", cost=5, period=10, priority=1),
+                    ]
+                ),
+                {"a": 1_000_000},
+            )
+
+
+class TestMaxTolerableJitter:
+    def test_paper_system(self, table2):
+        j = max_tolerable_jitter(table2)
+        assert j > 0
+        uniform = {n: j for n in ("tau1", "tau2", "tau3")}
+        assert is_feasible_with_jitter(table2, uniform)
+        assert not is_feasible_with_jitter(
+            table2, {n: j + 1 for n in ("tau1", "tau2", "tau3")}
+        )
+
+    def test_infeasible_base_rejected(self):
+        ts = TaskSet(
+            [
+                Task("a", cost=5, period=10, priority=2),
+                Task("b", cost=6, period=10, priority=1),
+            ]
+        )
+        with pytest.raises(ValueError):
+            max_tolerable_jitter(ts)

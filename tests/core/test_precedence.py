@@ -1,0 +1,111 @@
+"""Unit tests for precedence-constraint analysis."""
+
+import pytest
+
+from repro.core.precedence import (
+    PrecedenceGraph,
+    end_to_end_bound,
+    holistic_response_times,
+)
+from repro.core.task import Task, TaskSet
+
+
+def transaction() -> TaskSet:
+    """sense -> compute -> act, plus an unrelated high-rate task."""
+    return TaskSet(
+        [
+            Task("clock", cost=1, period=10, priority=20),
+            Task("sense", cost=2, period=40, priority=9),
+            Task("compute", cost=6, period=40, priority=8),
+            Task("act", cost=2, period=40, priority=7),
+        ]
+    )
+
+
+EDGES = [("sense", "compute"), ("compute", "act")]
+
+
+class TestGraph:
+    def test_structure(self):
+        g = PrecedenceGraph(transaction(), EDGES)
+        assert g.roots() == ["act", "clock", "compute", "sense"] or True
+        # roots = no predecessors: clock and sense.
+        assert set(g.roots()) == {"clock", "sense"}
+        assert set(g.sinks()) == {"clock", "act"}
+        assert g.predecessors("compute") == ["sense"]
+        assert g.successors("compute") == ["act"]
+
+    def test_chains(self):
+        g = PrecedenceGraph(transaction(), EDGES)
+        chains = g.chains()
+        assert ["sense", "compute", "act"] in chains
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            PrecedenceGraph(transaction(), EDGES + [("act", "sense")])
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            PrecedenceGraph(transaction(), [("sense", "ghost")])
+
+    def test_period_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="share a period"):
+            PrecedenceGraph(transaction(), [("clock", "sense")])
+
+    def test_topological_order(self):
+        g = PrecedenceGraph(transaction(), EDGES)
+        order = g.topological_order()
+        assert order.index("sense") < order.index("compute") < order.index("act")
+
+
+class TestHolisticAnalysis:
+    def test_completion_bounds_accumulate(self):
+        g = PrecedenceGraph(transaction(), EDGES)
+        bounds = holistic_response_times(g)
+        # sense: 2 + clock interference (1 per 10-window): w=3.
+        assert bounds["sense"] == 3
+        # compute: jitter 3, w = 6 + clock interference with the
+        # jitter-dense arrivals; completion = 3 + w.
+        assert bounds["compute"] > bounds["sense"]
+        assert bounds["act"] > bounds["compute"]
+
+    def test_root_bound_is_plain_wcrt(self):
+        from repro.core.feasibility import wc_response_time
+
+        g = PrecedenceGraph(transaction(), EDGES)
+        bounds = holistic_response_times(g)
+        ts = transaction()
+        assert bounds["sense"] == wc_response_time(ts["sense"], ts)
+        assert bounds["clock"] == wc_response_time(ts["clock"], ts)
+
+    def test_unbounded_propagates(self):
+        ts = TaskSet(
+            [
+                Task("hog", cost=10, period=10, priority=20),
+                Task("a", cost=2, period=40, priority=9),
+                Task("b", cost=2, period=40, priority=8),
+            ]
+        )
+        g = PrecedenceGraph(ts, [("a", "b")])
+        bounds = holistic_response_times(g)
+        assert bounds["a"] is None
+        assert bounds["b"] is None
+
+    def test_join_takes_latest_predecessor(self):
+        ts = TaskSet(
+            [
+                Task("fast", cost=1, period=40, priority=9),
+                Task("slow", cost=8, period=40, priority=8),
+                Task("join", cost=2, period=40, priority=7),
+            ]
+        )
+        g = PrecedenceGraph(ts, [("fast", "join"), ("slow", "join")])
+        bounds = holistic_response_times(g)
+        assert bounds["join"] >= bounds["slow"] + ts["join"].cost
+
+    def test_end_to_end_bound(self):
+        g = PrecedenceGraph(transaction(), EDGES)
+        bound = end_to_end_bound(g, ["sense", "compute", "act"])
+        assert bound == holistic_response_times(g)["act"]
+        with pytest.raises(ValueError):
+            end_to_end_bound(g, [])

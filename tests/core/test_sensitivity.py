@@ -1,0 +1,95 @@
+"""Unit tests for sensitivity analysis (multiplicative slack)."""
+
+import pytest
+
+from repro.core.feasibility import is_feasible
+from repro.core.sensitivity import (
+    PPM,
+    breakdown_utilization,
+    compare_slack,
+    scaling_factor_ppm,
+)
+from repro.core.task import Task, TaskSet
+from repro.units import ms
+
+
+class TestScalingFactor:
+    def test_at_least_identity_for_feasible(self, table2):
+        assert scaling_factor_ppm(table2) >= PPM
+
+    def test_maximal(self, table2):
+        factor = scaling_factor_ppm(table2)
+        scaled = table2.with_costs(
+            {t.name: max(1, -(-t.cost * factor // PPM)) for t in table2}
+        )
+        assert is_feasible(scaled)
+
+    def test_single_task_exact(self):
+        ts = TaskSet([Task("t", cost=ms(2), period=ms(10), priority=1)])
+        # Scaling limit: cost can reach the 10 ms deadline: factor 5.0.
+        assert scaling_factor_ppm(ts) == 5 * PPM
+
+    def test_tight_system_cannot_scale(self):
+        ts = TaskSet([Task("t", cost=10, period=10, priority=1)])
+        assert scaling_factor_ppm(ts) == PPM
+
+    def test_infeasible_rejected(self):
+        ts = TaskSet(
+            [
+                Task("a", cost=6, period=10, priority=2),
+                Task("b", cost=6, period=10, priority=1),
+            ]
+        )
+        with pytest.raises(ValueError):
+            scaling_factor_ppm(ts)
+
+
+class TestBreakdownUtilization:
+    def test_single_task_is_full(self):
+        ts = TaskSet([Task("t", cost=ms(2), period=ms(10), priority=1)])
+        assert breakdown_utilization(ts) == pytest.approx(1.0)
+
+    def test_never_exceeds_one(self, table2):
+        assert breakdown_utilization(table2) <= 1.0 + 1e-9
+
+    def test_constrained_deadlines_lower_breakdown(self):
+        implicit = TaskSet(
+            [
+                Task("a", cost=2, period=10, priority=2),
+                Task("b", cost=3, period=15, priority=1),
+            ]
+        )
+        constrained = TaskSet(
+            [
+                Task("a", cost=2, period=10, priority=2),
+                Task("b", cost=3, period=15, deadline=9, priority=1),
+            ]
+        )
+        assert breakdown_utilization(constrained) <= breakdown_utilization(implicit)
+
+
+class TestSlackComparison:
+    def test_paper_system(self, table2):
+        cmp = compare_slack(table2)
+        assert cmp.additive_allowance == ms(11)
+        assert cmp.scaling > 1.0
+        # Additive tolerance is uniform; multiplicative is proportional
+        # (equal here, since all costs are 29 ms).
+        assert cmp.additive_tolerance("tau1") == ms(11)
+        assert (
+            cmp.multiplicative_tolerance("tau1")
+            == cmp.multiplicative_tolerance("tau3")
+        )
+
+    def test_short_tasks_favoured_by_additive(self):
+        ts = TaskSet(
+            [
+                Task("short", cost=ms(1), period=ms(50), priority=2),
+                Task("long", cost=ms(20), period=ms(100), priority=1),
+            ]
+        )
+        cmp = compare_slack(ts)
+        # Multiplicative slack gives 'long' 20x the tolerance of
+        # 'short'; the paper's additive policy treats them equally.
+        assert cmp.multiplicative_tolerance("long") > cmp.multiplicative_tolerance("short")
+        assert cmp.additive_tolerance("long") == cmp.additive_tolerance("short")

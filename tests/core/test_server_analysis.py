@@ -1,0 +1,126 @@
+"""Unit tests for aperiodic-server analysis."""
+
+import pytest
+
+from repro.core.feasibility import analyze, is_feasible
+from repro.core.servers import (
+    ServerSpec,
+    deferrable_feasible,
+    deferrable_response_times,
+    polling_response_bound,
+    polling_server_taskset,
+    server_sizing,
+)
+from repro.core.task import Task, TaskSet
+
+
+def periodic() -> TaskSet:
+    return TaskSet(
+        [
+            Task("hi", cost=2, period=10, priority=10),
+            Task("lo", cost=6, period=30, deadline=28, priority=2),
+        ]
+    )
+
+
+SERVER = ServerSpec(name="srv", capacity=3, period=15, priority=5)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerSpec("s", capacity=0, period=10, priority=1)
+        with pytest.raises(ValueError):
+            ServerSpec("s", capacity=11, period=10, priority=1)
+
+    def test_deadline_defaults_to_period(self):
+        assert SERVER.deadline == 15
+
+    def test_as_task(self):
+        task = SERVER.as_task()
+        assert (task.cost, task.period, task.priority) == (3, 15, 5)
+
+    def test_utilization(self):
+        assert SERVER.utilization == pytest.approx(0.2)
+
+
+class TestPollingAnalysis:
+    def test_periodic_tasks_analysed_with_server(self):
+        full = polling_server_taskset(periodic(), SERVER)
+        report = analyze(full)
+        assert report.feasible
+        # lo suffers hi + server interference.
+        assert report.wcrt("lo") == 6 + 2 * 2 + 3  # window 13: two hi jobs, one srv
+        assert report.wcrt("srv") == 3 + 2  # one hi job
+
+    def test_response_bound_single_chunk(self):
+        bound = polling_response_bound(3, SERVER, periodic())
+        # One chunk: wait a period for the poll, then the server's WCRT.
+        assert bound == 15 + 5
+
+    def test_response_bound_multiple_chunks(self):
+        bound = polling_response_bound(7, SERVER, periodic())
+        # ceil(7/3) = 3 chunks.
+        assert bound == 15 + 2 * 15 + 5
+
+    def test_response_bound_invalid_backlog(self):
+        with pytest.raises(ValueError):
+            polling_response_bound(0, SERVER, periodic())
+
+    def test_response_bound_none_when_server_unschedulable(self):
+        crowded = TaskSet([Task("hog", cost=9, period=10, priority=99)])
+        server = ServerSpec("srv", capacity=3, period=15, deadline=4, priority=5)
+        assert polling_response_bound(3, server, crowded) is None
+
+
+class TestDeferrableAnalysis:
+    def test_jitter_penalty_on_lower_tasks(self):
+        ps = analyze(polling_server_taskset(periodic(), SERVER))
+        ds = deferrable_response_times(periodic(), SERVER)
+        # The DS back-to-back effect can only worsen lower tasks.
+        assert ds["lo"] >= ps.wcrt("lo")
+        # Higher-priority tasks are untouched.
+        assert ds["hi"] == ps.wcrt("hi")
+
+    def test_feasibility_can_flip_vs_polling(self):
+        # A system schedulable with a PS but not with a DS of the same
+        # size: lo's slack is smaller than the DS jitter penalty.
+        tight = TaskSet(
+            [
+                Task("hi", cost=2, period=10, priority=10),
+                Task("lo", cost=6, period=30, deadline=15, priority=2),
+            ]
+        )
+        assert is_feasible(polling_server_taskset(tight, SERVER))
+        assert not deferrable_feasible(tight, SERVER)
+
+    def test_feasible_case(self):
+        assert deferrable_feasible(periodic(), SERVER)
+
+
+class TestServerSizing:
+    def test_sized_capacity_is_maximal(self):
+        spec = server_sizing(periodic(), period=15, priority=5)
+        assert spec is not None
+        assert is_feasible(polling_server_taskset(periodic(), spec))
+        bigger = ServerSpec("server", capacity=spec.capacity + 1, period=15, priority=5)
+        assert not is_feasible(polling_server_taskset(periodic(), bigger))
+
+    def test_none_when_no_room(self):
+        crowded = TaskSet(
+            [
+                Task("a", cost=5, period=10, priority=10),
+                Task("b", cost=10, period=20, priority=2),
+            ]
+        )
+        assert server_sizing(crowded, period=15, priority=5) is None
+
+    def test_priority_matters(self):
+        low = server_sizing(periodic(), period=15, priority=1)
+        high = server_sizing(periodic(), period=15, priority=99)
+        assert low is not None and high is not None
+        # Lowest priority: the server's own 15 ns deadline caps it at 5
+        # (5 + two hi jobs + one lo job = 15).  Top priority: hi's
+        # deadline caps it at 8 (2 + 8 = 10).
+        assert low.capacity == 5
+        assert high.capacity == 8

@@ -1,0 +1,123 @@
+"""Unit tests for sporadic task support (§7 future work)."""
+
+import pytest
+
+from repro.core.feasibility import analyze
+from repro.core.sporadic import (
+    SporadicTask,
+    analysis_taskset,
+    dense_arrivals,
+    periodic_equivalent,
+    poisson_arrivals,
+    validate_arrivals,
+)
+from repro.core.task import Task
+from repro.core.treatments import TreatmentKind
+from repro.sim.simulation import simulate
+from repro.sim.trace import EventKind
+
+
+def sporadic(name="s", cost=2, mit=10, priority=5, deadline=-1):
+    return SporadicTask(
+        name=name, cost=cost, min_interarrival=mit, priority=priority, deadline=deadline
+    )
+
+
+class TestModel:
+    def test_deadline_defaults_to_mit(self):
+        assert sporadic(mit=50).deadline == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SporadicTask("s", cost=0, min_interarrival=10, priority=1)
+        with pytest.raises(ValueError):
+            SporadicTask("s", cost=1, min_interarrival=0, priority=1)
+
+    def test_periodic_equivalent(self):
+        eq = periodic_equivalent(sporadic(cost=3, mit=20, deadline=15))
+        assert isinstance(eq, Task)
+        assert eq.period == 20
+        assert eq.deadline == 15
+        assert eq.cost == 3
+
+    def test_analysis_taskset_mixes_both(self):
+        periodic = [Task("p", cost=2, period=8, priority=9)]
+        ts = analysis_taskset(periodic, [sporadic()])
+        report = analyze(ts)
+        assert report.feasible
+        # Sporadic WCRT at densest pattern: 2 + 2 = 4.
+        assert report.wcrt("s") == 4
+
+
+class TestArrivalGenerators:
+    def test_dense_arrivals_at_mit(self):
+        s = sporadic(mit=10)
+        assert dense_arrivals(s, 35) == [0, 10, 20, 30]
+
+    def test_dense_arrivals_with_start(self):
+        assert dense_arrivals(sporadic(mit=10), 25, start=5) == [5, 15, 25]
+
+    def test_poisson_arrivals_respect_mit(self):
+        s = sporadic(mit=10)
+        arrivals = poisson_arrivals(s, 10_000, seed=3)
+        validate_arrivals(s, arrivals)  # must not raise
+        assert arrivals
+
+    def test_poisson_deterministic(self):
+        s = sporadic(mit=10)
+        assert poisson_arrivals(s, 1000, seed=7) == poisson_arrivals(s, 1000, seed=7)
+
+    def test_poisson_mean_below_mit_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(sporadic(mit=10), 100, mean_interarrival=5)
+
+    def test_validate_rejects_violations(self):
+        s = sporadic(mit=10)
+        with pytest.raises(ValueError, match="gap"):
+            validate_arrivals(s, [0, 5])
+        with pytest.raises(ValueError, match="negative"):
+            validate_arrivals(s, [-1, 20])
+
+
+class TestSporadicSimulation:
+    def test_explicit_arrivals_drive_releases(self):
+        s = sporadic(cost=2, mit=10, priority=5)
+        ts = analysis_taskset([], [s])
+        res = simulate(ts, horizon=100, arrivals={"s": [3, 17, 42]})
+        assert [j.release for j in res.jobs_of("s")] == [3, 17, 42]
+        assert all(j.finished for j in res.jobs_of("s"))
+
+    def test_detectors_follow_actual_arrivals(self):
+        s = sporadic(cost=2, mit=10, priority=5)
+        ts = analysis_taskset([], [s])
+        res = simulate(
+            ts,
+            horizon=100,
+            arrivals={"s": [3, 42]},
+            treatment=TreatmentKind.DETECT_ONLY,
+        )
+        fires = [e.time for e in res.trace.of_kind(EventKind.DETECTOR_FIRE)]
+        # WCRT of the (equivalent) task is 2: checks at 5 and 44.
+        assert fires == [5, 44]
+        assert res.trace.of_kind(EventKind.FAULT_DETECTED) == []
+
+    def test_sporadic_never_misses_under_analysis_bound(self):
+        # If the dense-pattern analysis accepts, any legal (sparser)
+        # arrival sequence must meet all deadlines.
+        periodic = [Task("p", cost=3, period=12, deadline=12, priority=9)]
+        s = sporadic(cost=4, mit=20, priority=5)
+        ts = analysis_taskset(periodic, [s])
+        assert analyze(ts).feasible
+        arrivals = poisson_arrivals(s, 2000, seed=11)
+        res = simulate(ts, horizon=2100, arrivals={"s": arrivals})
+        assert res.missed() == []
+
+    def test_unsorted_arrivals_rejected(self):
+        ts = analysis_taskset([], [sporadic()])
+        with pytest.raises(ValueError, match="sorted"):
+            simulate(ts, horizon=100, arrivals={"s": [10, 5]})
+
+    def test_unknown_task_arrivals_rejected(self):
+        ts = analysis_taskset([], [sporadic()])
+        with pytest.raises(ValueError, match="unknown"):
+            simulate(ts, horizon=100, arrivals={"ghost": [1]})

@@ -1,0 +1,176 @@
+"""Unit tests for the task model."""
+
+import pytest
+
+from repro.core.task import Task, TaskSet, hyperperiod
+from repro.units import ms
+
+
+def make(name="t", cost=1, period=10, priority=1, **kw) -> Task:
+    return Task(name=name, cost=cost, period=period, priority=priority, **kw)
+
+
+class TestTask:
+    def test_deadline_defaults_to_period(self):
+        t = make(period=10)
+        assert t.deadline == 10
+
+    def test_explicit_deadline(self):
+        t = make(period=10, deadline=7)
+        assert t.deadline == 7
+
+    def test_deadline_may_exceed_period(self):
+        t = make(period=10, deadline=25)
+        assert t.deadline == 25
+        assert not t.constrained
+
+    def test_constrained_flag(self):
+        assert make(period=10, deadline=10).constrained
+        assert make(period=10, deadline=4).constrained
+
+    def test_utilization(self):
+        assert make(cost=3, period=12).utilization == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("field,value", [
+        ("cost", 0),
+        ("cost", -1),
+        ("period", 0),
+        ("period", -5),
+        ("deadline", 0),
+        ("offset", -1),
+    ])
+    def test_invalid_parameters_rejected(self, field, value):
+        kwargs = dict(name="t", cost=1, period=10, priority=1)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            Task(**kwargs)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            make(name="")
+
+    def test_cost_exceeding_deadline_and_period_rejected(self):
+        with pytest.raises(ValueError):
+            Task(name="t", cost=20, period=10, deadline=10, priority=1)
+
+    def test_cost_above_period_but_below_deadline_allowed(self):
+        # Arbitrary-deadline tasks may legitimately have C > T... no:
+        # C > T makes U > 1 by itself; but C <= D keeps the object
+        # constructible so the *analysis* can report infeasibility.
+        t = Task(name="t", cost=12, period=10, deadline=30, priority=1)
+        assert t.utilization > 1
+
+    def test_release_times(self):
+        t = make(period=10, offset=3)
+        assert [t.release_time(k) for k in range(3)] == [3, 13, 23]
+
+    def test_absolute_deadline(self):
+        t = make(period=10, deadline=7, offset=3)
+        assert t.absolute_deadline(2) == 3 + 20 + 7
+
+    def test_release_time_negative_job_rejected(self):
+        with pytest.raises(ValueError):
+            make().release_time(-1)
+
+    def test_with_cost(self):
+        t = make(cost=5)
+        t2 = t.with_cost(8)
+        assert t2.cost == 8 and t.cost == 5
+        assert t2.name == t.name and t2.period == t.period
+
+    def test_frozen(self):
+        t = make()
+        with pytest.raises(AttributeError):
+            t.cost = 99  # type: ignore[misc]
+
+
+class TestTaskSet:
+    def test_sorted_by_decreasing_priority(self):
+        ts = TaskSet([make("a", priority=1), make("b", priority=9), make("c", priority=5)])
+        assert [t.name for t in ts] == ["b", "c", "a"]
+
+    def test_stable_order_for_equal_priorities(self):
+        ts = TaskSet([make("a", priority=3), make("b", priority=3)])
+        assert [t.name for t in ts] == ["a", "b"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskSet([make("a"), make("a", priority=2)])
+
+    def test_lookup_by_name_and_index(self):
+        ts = TaskSet([make("a", priority=1), make("b", priority=2)])
+        assert ts["a"].name == "a"
+        assert ts[0].name == "b"  # highest priority first
+        assert "a" in ts and ts["a"] in ts
+        assert "zz" not in ts
+
+    def test_len_and_iteration(self):
+        ts = TaskSet([make("a"), make("b", priority=2)])
+        assert len(ts) == 2
+        assert {t.name for t in ts} == {"a", "b"}
+
+    def test_utilization(self):
+        ts = TaskSet([make("a", cost=1, period=4), make("b", cost=1, period=4, priority=2)])
+        assert ts.utilization == pytest.approx(0.5)
+
+    def test_utilization_exact_no_float_error(self):
+        ts = TaskSet(
+            [make(f"t{i}", cost=1, period=3, priority=i + 1) for i in range(3)]
+        )
+        num, den = ts.utilization_exact()
+        assert (num, den) == (1, 1)  # exactly 1, not 0.9999...
+
+    def test_higher_or_equal_priority_excludes_self(self):
+        a, b, c = make("a", priority=5), make("b", priority=5), make("c", priority=1)
+        ts = TaskSet([a, b, c])
+        assert {t.name for t in ts.higher_or_equal_priority(ts["a"])} == {"b"}
+        assert {t.name for t in ts.higher_or_equal_priority(ts["c"])} == {"a", "b"}
+
+    def test_lower_priority(self):
+        ts = TaskSet([make("a", priority=5), make("b", priority=1)])
+        assert [t.name for t in ts.lower_priority(ts["a"])] == ["b"]
+        assert ts.lower_priority(ts["b"]) == ()
+
+    def test_hyperperiod(self):
+        ts = TaskSet([make("a", period=4), make("b", period=6, priority=2)])
+        assert ts.hyperperiod() == 12
+        assert hyperperiod([]) == 1
+
+    def test_with_task_and_without(self):
+        ts = TaskSet([make("a")])
+        ts2 = ts.with_task(make("b", priority=2))
+        assert len(ts2) == 2 and len(ts) == 1
+        ts3 = ts2.without("a")
+        assert [t.name for t in ts3] == ["b"]
+        with pytest.raises(KeyError):
+            ts3.without("a")
+
+    def test_with_costs(self):
+        ts = TaskSet([make("a", cost=2), make("b", cost=3, priority=2)])
+        ts2 = ts.with_costs({"a": 7})
+        assert ts2["a"].cost == 7 and ts2["b"].cost == 3
+        with pytest.raises(KeyError):
+            ts.with_costs({"nope": 1})
+
+    def test_inflated(self):
+        ts = TaskSet([make("a", cost=2), make("b", cost=3, priority=2)])
+        ts2 = ts.inflated(5)
+        assert ts2["a"].cost == 7 and ts2["b"].cost == 8
+        with pytest.raises(ValueError):
+            ts.inflated(-1)
+
+    def test_equality_and_hash(self):
+        ts1 = TaskSet([make("a"), make("b", priority=2)])
+        ts2 = TaskSet([make("b", priority=2), make("a")])
+        assert ts1 == ts2  # order normalised by priority
+        assert hash(ts1) == hash(ts2)
+
+    def test_paper_table2_shape(self):
+        from repro.workloads.scenarios import paper_table2
+
+        ts = paper_table2()
+        assert [t.name for t in ts] == ["tau1", "tau2", "tau3"]
+        assert ts.utilization == pytest.approx(
+            29 / 200 + 29 / 250 + 29 / 1500
+        )
+        assert ts["tau3"].deadline == ms(120)

@@ -1,0 +1,135 @@
+"""Unit tests for treatment planning and runtime (paper §4)."""
+
+import pytest
+
+from repro.core.detection import JRATE_10MS
+from repro.core.task import Task, TaskSet
+from repro.core.treatments import (
+    StopDirective,
+    TreatmentKind,
+    plan_treatment,
+)
+from repro.units import ms
+
+
+class TestTreatmentKind:
+    def test_detector_installation(self):
+        assert not TreatmentKind.NO_DETECTION.installs_detectors
+        assert TreatmentKind.DETECT_ONLY.installs_detectors
+        assert TreatmentKind.SYSTEM_ALLOWANCE.installs_detectors
+
+    def test_stopping(self):
+        assert not TreatmentKind.NO_DETECTION.stops_tasks
+        assert not TreatmentKind.DETECT_ONLY.stops_tasks
+        assert TreatmentKind.IMMEDIATE_STOP.stops_tasks
+        assert TreatmentKind.EQUITABLE_ALLOWANCE.stops_tasks
+        assert TreatmentKind.SYSTEM_ALLOWANCE.stops_tasks
+
+    def test_values_roundtrip(self):
+        for kind in TreatmentKind:
+            assert TreatmentKind(kind.value) is kind
+
+
+class TestPlanTreatment:
+    def test_no_detection_has_no_detectors(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.NO_DETECTION)
+        assert plan.detectors == {}
+        assert plan.detector_for("tau1") is None
+
+    def test_detect_only_thresholds_are_wcrt(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.DETECT_ONLY)
+        assert plan.detectors["tau1"].nominal_offset == ms(29)
+        assert plan.detectors["tau2"].nominal_offset == ms(58)
+        assert plan.detectors["tau3"].nominal_offset == ms(87)
+
+    def test_immediate_stop_thresholds_are_wcrt(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.IMMEDIATE_STOP)
+        assert plan.detectors["tau1"].nominal_offset == ms(29)
+
+    def test_equitable_thresholds_are_adjusted_wcrt(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.EQUITABLE_ALLOWANCE)
+        assert plan.equitable is not None and plan.equitable.value == ms(11)
+        assert plan.detectors["tau1"].nominal_offset == ms(40)
+        assert plan.detectors["tau2"].nominal_offset == ms(80)
+        assert plan.detectors["tau3"].nominal_offset == ms(120)
+
+    def test_system_thresholds(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.SYSTEM_ALLOWANCE)
+        assert plan.system_grants == {
+            "tau1": ms(33),
+            "tau2": ms(33),
+            "tau3": ms(33),
+        }
+        assert plan.detectors["tau1"].nominal_offset == ms(62)
+        assert plan.detectors["tau3"].nominal_offset == ms(120)
+
+    def test_rounding_applied_to_detectors(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.DETECT_ONLY, JRATE_10MS)
+        assert plan.detectors["tau1"].offset == ms(30)
+        assert plan.detectors["tau1"].nominal_offset == ms(29)
+
+    def test_infeasible_set_rejected(self):
+        ts = TaskSet(
+            [
+                Task("hi", cost=5, period=10, priority=2),
+                Task("lo", cost=5, period=20, deadline=9, priority=1),
+            ]
+        )
+        with pytest.raises(ValueError, match="admission control"):
+            plan_treatment(ts, TreatmentKind.DETECT_ONLY)
+
+    def test_wcrt_recorded(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.NO_DETECTION)
+        assert plan.wcrt == {"tau1": ms(29), "tau2": ms(58), "tau3": ms(87)}
+
+
+class TestTreatmentRuntime:
+    def _detect(self, plan, name="tau1", job=5, release=ms(1000)):
+        runtime = plan.runtime()
+        fire = release + plan.detectors[name].offset
+        return runtime, runtime.on_detect(name, job, release, fire)
+
+    def test_detect_only_returns_none(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.DETECT_ONLY)
+        runtime, directive = self._detect(plan)
+        assert directive is None
+        assert runtime.detections == [("tau1", 5, ms(1029))]
+
+    def test_immediate_stop_stops_now(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.IMMEDIATE_STOP)
+        _, directive = self._detect(plan)
+        assert directive == StopDirective(at=ms(1029), granted=0)
+
+    def test_equitable_grant_reported(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.EQUITABLE_ALLOWANCE)
+        _, directive = self._detect(plan)
+        assert directive is not None
+        assert directive.at == ms(1040)
+        assert directive.granted == ms(11)
+
+    def test_system_grant_reported(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.SYSTEM_ALLOWANCE)
+        _, directive = self._detect(plan)
+        assert directive is not None
+        assert directive.at == ms(1062)
+        assert directive.granted == ms(33)
+
+    def test_system_runtime_records_overruns(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.SYSTEM_ALLOWANCE)
+        runtime = plan.runtime()
+        assert runtime.manager is not None
+        runtime.on_job_end("tau1", 5, ms(1000), ms(1049), stopped=False)
+        # 1049 - (1000 + 29) = 20 ms of consumed overrun.
+        assert runtime.manager.consumed == {"tau1": ms(20)}
+
+    def test_non_system_runtime_ignores_job_end(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.IMMEDIATE_STOP)
+        runtime = plan.runtime()
+        runtime.on_job_end("tau1", 5, ms(1000), ms(1049), stopped=False)
+        assert runtime.manager is None
+
+    def test_fresh_runtime_per_call(self, table2):
+        plan = plan_treatment(table2, TreatmentKind.SYSTEM_ALLOWANCE)
+        r1, r2 = plan.runtime(), plan.runtime()
+        r1.on_job_end("tau1", 5, ms(1000), ms(1049), stopped=False)
+        assert r2.manager is not None and r2.manager.consumed == {}

@@ -1,0 +1,111 @@
+"""Unit tests for cost under-run detection and reclamation (§7)."""
+
+import pytest
+
+from repro.core.faults import CostUnderrun, FaultInjector
+from repro.core.task import Task, TaskSet
+from repro.core.underrun import (
+    observed_costs,
+    reclaim_allowance,
+    tighten_costs,
+)
+from repro.sim.simulation import simulate
+from repro.units import ms
+
+
+def overestimated_set() -> TaskSet:
+    # Declared costs are twice what the tasks actually use.
+    return TaskSet(
+        [
+            Task("a", cost=ms(20), period=ms(100), deadline=ms(60), priority=2),
+            Task("b", cost=ms(20), period=ms(200), deadline=ms(100), priority=1),
+        ]
+    )
+
+
+def underrun_faults() -> FaultInjector:
+    devs = []
+    for name in ("a", "b"):
+        for job in range(10):
+            devs.append(CostUnderrun(name, job, ms(10)))
+    return FaultInjector(devs)
+
+
+class TestObservedCosts:
+    def test_reflects_actual_execution(self):
+        ts = overestimated_set()
+        res = simulate(ts, horizon=ms(600), faults=underrun_faults())
+        obs = observed_costs(res)
+        assert obs == {"a": ms(10), "b": ms(10)}
+
+    def test_exact_when_no_underruns(self):
+        ts = overestimated_set()
+        res = simulate(ts, horizon=ms(600))
+        assert observed_costs(res) == {"a": ms(20), "b": ms(20)}
+
+    def test_stopped_jobs_excluded(self):
+        from repro.core.faults import CostOverrun
+        from repro.core.treatments import TreatmentKind
+
+        ts = overestimated_set()
+        faults = FaultInjector([CostOverrun("a", 0, ms(50))])
+        res = simulate(
+            ts, horizon=ms(600), faults=faults, treatment=TreatmentKind.IMMEDIATE_STOP
+        )
+        # Job 0 of 'a' was stopped; remaining jobs observed normally.
+        assert observed_costs(res)["a"] == ms(20)
+
+
+class TestTightening:
+    def test_margin_applied(self):
+        ts = overestimated_set()
+        tightened = tighten_costs(ts, {"a": ms(10)}, margin_percent=10)
+        assert tightened["a"].cost == ms(11)
+        assert tightened["b"].cost == ms(20)  # unobserved: unchanged
+
+    def test_never_exceeds_declared(self):
+        ts = overestimated_set()
+        tightened = tighten_costs(ts, {"a": ms(30)}, margin_percent=50)
+        assert tightened["a"].cost == ms(20)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            tighten_costs(overestimated_set(), {}, margin_percent=-1)
+
+
+class TestReclaim:
+    def test_underruns_grow_allowance(self):
+        ts = overestimated_set()
+        res = simulate(ts, horizon=ms(600), faults=underrun_faults())
+        report = reclaim_allowance(ts, res)
+        assert report.reclaimed > 0
+        assert report.new_allowance > report.old_allowance
+        assert report.savings() == {
+            "a": ms(20) - ms(11),
+            "b": ms(20) - ms(11),
+        }
+
+    def test_accurate_costs_reclaim_little(self):
+        ts = overestimated_set()
+        res = simulate(ts, horizon=ms(600))
+        report = reclaim_allowance(ts, res, margin_percent=0)
+        assert report.reclaimed == 0
+
+    def test_tightened_system_still_feasible(self):
+        from repro.core.feasibility import is_feasible
+
+        ts = overestimated_set()
+        res = simulate(ts, horizon=ms(600), faults=underrun_faults())
+        report = reclaim_allowance(ts, res)
+        assert is_feasible(report.tightened)
+
+    def test_infeasible_input_rejected(self):
+        bad = TaskSet(
+            [
+                Task("x", cost=8, period=10, priority=2),
+                Task("y", cost=8, period=10, priority=1),
+            ]
+        )
+        res = simulate(overestimated_set(), horizon=ms(100))
+        with pytest.raises(ValueError):
+            reclaim_allowance(bad, res)

@@ -1,0 +1,100 @@
+"""Unit tests for the ablation library (small pools for speed)."""
+
+import pytest
+
+from repro.core.treatments import TreatmentKind
+from repro.experiments.ablations import (
+    allowance_sweep,
+    detector_overhead_sweep,
+    feasible_pool,
+    rounding_sweep,
+    treatment_sweep,
+)
+from repro.core.feasibility import is_feasible
+from repro.units import MS, ms
+from repro.workloads.scenarios import paper_fault, paper_figures_taskset, paper_horizon
+
+
+class TestFeasiblePool:
+    def test_all_feasible_and_deterministic(self):
+        pool = feasible_pool(4, seed=1)
+        assert len(pool) == 4
+        assert all(is_feasible(ts) for ts in pool)
+        assert feasible_pool(4, seed=1) == pool
+
+    def test_task_count_respected(self):
+        pool = feasible_pool(2, n=6, seed=2)
+        assert all(len(ts) == 6 for ts in pool)
+
+
+class TestTreatmentSweep:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        pool = feasible_pool(6, seed=3)
+        return {
+            o.name: o
+            for o in treatment_sweep(
+                pool,
+                [
+                    None,
+                    TreatmentKind.DETECT_ONLY,
+                    TreatmentKind.IMMEDIATE_STOP,
+                    TreatmentKind.EQUITABLE_ALLOWANCE,
+                    TreatmentKind.SYSTEM_ALLOWANCE,
+                ],
+            )
+        }
+
+    def test_stopping_policies_eliminate_collateral(self, outcomes):
+        for name in ("immediate-stop", "equitable-allowance", "system-allowance"):
+            assert outcomes[name].collateral_failures == 0
+
+    def test_detect_only_same_failures_as_bare(self, outcomes):
+        assert (
+            outcomes["detect-only"].collateral_failures
+            == outcomes["no-detection"].collateral_failures
+        )
+
+    def test_detection_happens(self, outcomes):
+        assert outcomes["detect-only"].faults_detected >= 6
+
+    def test_tolerance_ordering(self, outcomes):
+        assert (
+            outcomes["immediate-stop"].faulty_execution_total
+            <= outcomes["equitable-allowance"].faulty_execution_total
+            <= outcomes["system-allowance"].faulty_execution_total
+        )
+
+
+class TestRoundingSweep:
+    def test_paper_artifact(self):
+        points = rounding_sweep(
+            paper_figures_taskset(),
+            paper_fault(),
+            ("tau1", 5),
+            horizon=paper_horizon(),
+            resolutions=(1 * MS, 10 * MS, 50 * MS),
+        )
+        delays = {p.resolution: p.detection_delay for p in points}
+        assert delays[1 * MS] == 0  # 29 is a multiple of 1
+        assert delays[10 * MS] == ms(1)  # the Figure 4 artefact
+        assert delays[50 * MS] == ms(21)  # 29 -> 50
+        # Coarser timers never detect earlier.
+        series = [p.detection_delay for p in points]
+        assert series == sorted(series)
+
+
+class TestAllowanceSweep:
+    def test_monotone_decreasing_and_solo_dominates(self):
+        points = allowance_sweep((0.4, 0.7), pool_size=3, seed=4)
+        assert points[0].mean_equitable >= points[1].mean_equitable
+        for p in points:
+            assert p.mean_solo >= p.mean_equitable
+
+
+class TestOverheadSweep:
+    def test_overhead_grows_with_task_count(self):
+        points = detector_overhead_sweep((2, 6), fire_cost=2_000, seed=5)
+        assert points[0].stolen_cpu >= 0
+        assert points[1].detector_fires > points[0].detector_fires
+        assert points[1].stolen_cpu >= points[0].stolen_cpu

@@ -1,0 +1,64 @@
+"""Unit tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+PAPER_FILE = """
+@unit ms
+@horizon 1600
+@treatment system-allowance
+task tau1 priority=20 cost=29 period=200  deadline=70
+task tau2 priority=18 cost=29 period=250  deadline=120
+task tau3 priority=16 cost=29 period=1500 deadline=120 offset=1000
+fault tau1 job=5 extra=40
+"""
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "[OK ]" in out
+
+    def test_all_experiments_pass(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        # Claim verdict lines are "[OK ]" / "[FAIL]"; the per-task
+        # summaries legitimately say e.g. "tau1 FAILED" (it was stopped).
+        assert "[FAIL]" not in out
+        assert "[OK ]" in out
+        assert "Figure 7" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_svg_output(self, tmp_path, capsys):
+        assert main(["figure5", "--svg", str(tmp_path)]) == 0
+        svg = tmp_path / "figure5.svg"
+        assert svg.exists()
+        assert "<svg" in svg.read_text()
+
+    def test_run_scenario_file(self, tmp_path, capsys):
+        path = tmp_path / "paper.txt"
+        path.write_text(PAPER_FILE)
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "failed: ['tau1']" in out
+
+    def test_run_with_treatment_override(self, tmp_path, capsys):
+        path = tmp_path / "paper.txt"
+        path.write_text(PAPER_FILE)
+        assert main(["run", str(path), "--treatment", "no-detection"]) == 0
+        out = capsys.readouterr().out
+        assert "failed: ['tau3']" in out
+
+    def test_run_without_file(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0

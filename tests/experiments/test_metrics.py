@@ -1,0 +1,77 @@
+"""Unit tests for run metrics."""
+
+from repro.core.treatments import TreatmentKind
+from repro.experiments.metrics import compute_metrics
+from repro.sim.simulation import simulate
+from repro.units import ms
+from repro.workloads.scenarios import (
+    paper_fault,
+    paper_figures_taskset,
+    paper_horizon,
+)
+
+
+def run(treatment=None):
+    res = simulate(
+        paper_figures_taskset(),
+        horizon=paper_horizon(),
+        faults=paper_fault(),
+        treatment=treatment,
+    )
+    return res, compute_metrics(res)
+
+
+class TestTaskMetrics:
+    def test_job_counts(self):
+        _, m = run()
+        # tau1: releases at 0..1600 every 200 -> 9 jobs.
+        assert m.per_task["tau1"].jobs == 9
+        assert m.per_task["tau3"].jobs == 1
+
+    def test_faulty_flag_via_overrun_demand(self):
+        _, m = run()
+        assert m.per_task["tau1"].faulty
+        assert m.per_task["tau1"].total_overrun_demand == ms(40)
+        assert not m.per_task["tau3"].faulty
+
+    def test_failed_via_miss(self):
+        _, m = run()
+        assert m.per_task["tau3"].failed
+        assert not m.per_task["tau2"].failed
+
+    def test_failed_via_stop(self):
+        _, m = run(TreatmentKind.IMMEDIATE_STOP)
+        assert m.per_task["tau1"].failed
+        assert m.per_task["tau1"].stopped == 1
+        assert m.per_task["tau1"].deadline_misses == 0
+
+    def test_max_response_time(self):
+        _, m = run()
+        # tau3's only job responds in 127 ms (87 + 40 overrun delay).
+        assert m.per_task["tau3"].max_response_time == ms(127)
+
+
+class TestRunMetrics:
+    def test_collateral_failures_without_treatment(self):
+        _, m = run()
+        assert m.failed_tasks == ["tau3"]
+        assert m.collateral_failures == ["tau3"]
+
+    def test_no_collateral_with_treatment(self):
+        _, m = run(TreatmentKind.SYSTEM_ALLOWANCE)
+        assert m.failed_tasks == ["tau1"]
+        assert m.collateral_failures == []
+
+    def test_idle_time(self):
+        res, m = run()
+        assert m.idle_time == res.horizon - res.busy_time
+        assert m.idle_time > 0
+
+    def test_detector_counts(self):
+        _, m = run(TreatmentKind.DETECT_ONLY)
+        assert m.detector_fires > 0
+        assert m.detections >= 1
+
+    def test_total_misses(self):
+        _, m = run()
+        assert m.total_misses == 1

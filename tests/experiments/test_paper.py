@@ -1,0 +1,110 @@
+"""The reproduction's acceptance tests: every paper claim must hold."""
+
+import pytest
+
+from repro.experiments.paper import (
+    all_experiments,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    table1,
+    table2,
+    table3,
+)
+from repro.units import ms
+
+
+class TestTables:
+    def test_table1_documents_inconsistency(self):
+        result = table1()
+        assert not result.feasible
+        assert all(c.holds for c in result.claims())
+        assert "Table 1" in result.render()
+
+    def test_figure1_worst_case_at_fifth_job(self):
+        result = figure1()
+        assert result.responses == [114, 102, 116, 104, 118, 106, 94]
+        assert result.argmax_job == 4
+        assert all(c.holds for c in result.claims())
+
+    def test_table2_values(self):
+        result = table2()
+        assert result.wcrt == {"tau1": ms(29), "tau2": ms(58), "tau3": ms(87)}
+        assert result.allowance == ms(11)
+        assert all(c.holds for c in result.claims())
+
+    def test_table3_values(self):
+        result = table3()
+        assert result.exact == {"tau1": ms(40), "tau2": ms(80), "tau3": ms(120)}
+        assert result.exact == result.additive
+        assert all(c.holds for c in result.claims())
+
+    def test_table_renders_mention_units(self):
+        assert "ms" in table2().render()
+        assert "ms" in table3().render()
+
+
+class TestFigures:
+    @pytest.mark.parametrize("factory", [figure3, figure4, figure5, figure6, figure7])
+    def test_all_claims_hold(self, factory):
+        result = factory()
+        failing = [c for c in result.claims() if not c.holds]
+        assert not failing, f"{result.name}: {[c.description for c in failing]}"
+
+    def test_figure3_tau3_misses(self):
+        result = figure3()
+        assert result.metrics.per_task["tau3"].deadline_misses == 1
+        assert result.metrics.per_task["tau1"].deadline_misses == 0
+
+    def test_figure4_same_failures_as_figure3(self):
+        f3, f4 = figure3(), figure4()
+        assert f3.metrics.failed_tasks == f4.metrics.failed_tasks == ["tau3"]
+
+    def test_figure5_stops_tau1_early(self):
+        result = figure5()
+        assert result.job_end("tau1", 5) == ms(1029)
+
+    def test_figure6_stop_at_adjusted_wcrt(self):
+        result = figure6()
+        assert result.job_end("tau1", 5) == ms(1040)
+
+    def test_figure7_endings_match_paper(self):
+        result = figure7()
+        assert result.job_end("tau1", 5) == ms(1062)
+        assert result.job_end("tau2", 4) == ms(1091)
+        assert result.job_end("tau3", 0) == ms(1120)
+
+    def test_progression_of_tau1_execution_time(self):
+        # Across treatments, tau1's faulty job gets strictly more time:
+        # immediate stop < equitable < system allowance.
+        ends = [f().job_end("tau1", 5) for f in (figure5, figure6, figure7)]
+        assert ends == sorted(ends)
+        assert len(set(ends)) == 3
+
+    def test_renders_include_chart(self):
+        out = figure7().render()
+        assert "legend" in out
+        assert "tau1" in out
+
+
+class TestRegistry:
+    def test_all_experiments_runnable(self):
+        registry = all_experiments()
+        assert set(registry) == {
+            "table1",
+            "figure1",
+            "table2",
+            "table3",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+        }
+        for factory in registry.values():
+            result = factory()
+            assert result.render()
+            assert result.claims()

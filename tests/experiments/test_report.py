@@ -1,0 +1,24 @@
+"""Unit tests for the machine-generated reproduction report."""
+
+from repro.experiments.report import generate_entries, generate_report
+
+
+class TestReport:
+    def test_every_exhibit_reported_and_holding(self):
+        entries = generate_entries()
+        names = {e.name for e in entries}
+        assert {"table2", "figure3", "figure7"} <= names
+        for e in entries:
+            assert e.ok, f"{e.name}: {e.claims_holding}/{e.claims_total}"
+
+    def test_markdown_shape(self):
+        report = generate_report(include_renderings=False)
+        assert report.startswith("# Reproduction report")
+        assert "| exhibit | claims | verdict |" in report
+        assert "paper claims reproduced" in report
+        assert "```" not in report
+
+    def test_renderings_included_by_default(self):
+        report = generate_report()
+        assert "```" in report
+        assert "Table 2" in report

@@ -1,0 +1,39 @@
+"""Unit tests for the scenario runner."""
+
+from repro.core.treatments import TreatmentKind
+from repro.experiments.runner import run_scenario
+from repro.units import ms
+from repro.workloads.parser import parse_scenario
+
+PAPER_FILE = """
+@unit ms
+@horizon 1600
+@treatment immediate-stop
+task tau1 priority=20 cost=29 period=200  deadline=70
+task tau2 priority=18 cost=29 period=250  deadline=120
+task tau3 priority=16 cost=29 period=1500 deadline=120 offset=1000
+fault tau1 job=5 extra=40
+"""
+
+
+class TestRunScenario:
+    def test_uses_scenario_treatment(self):
+        outcome = run_scenario(parse_scenario(PAPER_FILE))
+        assert outcome.metrics.per_task["tau1"].stopped == 1
+        assert outcome.metrics.collateral_failures == []
+
+    def test_treatment_override(self):
+        outcome = run_scenario(
+            parse_scenario(PAPER_FILE), treatment=TreatmentKind.NO_DETECTION
+        )
+        assert outcome.metrics.per_task["tau1"].stopped == 0
+        assert outcome.metrics.per_task["tau3"].deadline_misses == 1
+
+    def test_default_horizon_when_unspecified(self):
+        sc = parse_scenario("task a priority=1 cost=1 period=4")
+        outcome = run_scenario(sc)
+        assert outcome.result.horizon == ms(4)
+
+    def test_result_and_metrics_consistent(self):
+        outcome = run_scenario(parse_scenario(PAPER_FILE))
+        assert outcome.metrics.busy_time == outcome.result.busy_time

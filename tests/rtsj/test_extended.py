@@ -1,0 +1,184 @@
+"""Integration tests for the paper's javax.realtime.extended package."""
+
+import pytest
+
+from repro.core.treatments import TreatmentKind
+from repro.rtsj.extended import FeasibilityAnalysis, RealtimeThreadExtended
+from repro.rtsj.params import PeriodicParameters, PriorityParameters
+from repro.rtsj.scheduler import RIPriorityScheduler
+from repro.rtsj.system import RealtimeSystem
+from repro.sim.trace import EventKind
+from repro.sim.vm import JRATE_VM
+from repro.units import ms
+
+
+def build_paper_system(treatment, vm=None):
+    """The Figures 3-7 system as extended RTSJ threads."""
+    system = RealtimeSystem(vm=vm) if vm is not None else RealtimeSystem()
+    specs = [
+        ("tau1", 20, 29, 200, 70, 0),
+        ("tau2", 18, 29, 250, 120, 0),
+        ("tau3", 16, 29, 1500, 120, 1000),
+    ]
+    threads = []
+    for name, prio, cost, period, deadline, start in specs:
+        threads.append(
+            RealtimeThreadExtended(
+                PriorityParameters(prio),
+                PeriodicParameters(ms(start), ms(period), ms(cost), ms(deadline)),
+                system,
+                name=name,
+                treatment=treatment,
+            )
+        )
+    return system, threads
+
+
+class TestFeasibilityAnalysis:
+    def test_wc_response_time_figure2(self):
+        system, threads = build_paper_system(TreatmentKind.DETECT_ONLY)
+        assert FeasibilityAnalysis.wcResponseTime(threads[0], threads) == ms(29)
+        assert FeasibilityAnalysis.wcResponseTime(threads[1], threads) == ms(58)
+        assert FeasibilityAnalysis.wcResponseTime(threads[2], threads) == ms(87)
+
+    def test_is_feasible(self):
+        _, threads = build_paper_system(TreatmentKind.DETECT_ONLY)
+        assert FeasibilityAnalysis.isFeasible(threads)
+
+    def test_equitable_allowance(self):
+        _, threads = build_paper_system(TreatmentKind.DETECT_ONLY)
+        assert FeasibilityAnalysis.equitableAllowance(threads) == ms(11)
+
+    def test_system_allowance(self):
+        _, threads = build_paper_system(TreatmentKind.DETECT_ONLY)
+        assert FeasibilityAnalysis.systemAllowance(threads) == {
+            "tau1": ms(33),
+            "tau2": ms(33),
+            "tau3": ms(33),
+        }
+
+
+class TestOverloadedMethods:
+    def test_add_to_feasibility_uses_exact_analysis(self):
+        # Even on a system whose VM scheduler is the defective RI one,
+        # the extended thread delegates to FeasibilityAnalysis.
+        system = RealtimeSystem(scheduler=RIPriorityScheduler())
+        hi = RealtimeThreadExtended(
+            PriorityParameters(10),
+            PeriodicParameters(0, ms(10), ms(5), ms(10)),
+            system,
+            name="hi",
+        )
+        lo = RealtimeThreadExtended(
+            PriorityParameters(5),
+            PeriodicParameters(0, ms(20), ms(5), ms(9)),
+            system,
+            name="lo",
+        )
+        assert hi.addToFeasibility()
+        assert not lo.addToFeasibility()  # exact analysis catches it
+
+    def test_extended_threads_share_one_corrected_scheduler(self):
+        system = RealtimeSystem(scheduler=RIPriorityScheduler())
+        a = RealtimeThreadExtended(
+            PriorityParameters(2),
+            PeriodicParameters(0, ms(10), ms(1)),
+            system,
+            name="a",
+        )
+        b = RealtimeThreadExtended(
+            PriorityParameters(1),
+            PeriodicParameters(0, ms(10), ms(1)),
+            system,
+            name="b",
+        )
+        a.addToFeasibility()
+        b.addToFeasibility()
+        assert len(a._scheduler.feasibility_set) == 2
+        assert a._scheduler is b._scheduler
+
+    def test_wait_for_next_period_updates_counter_and_flag(self):
+        system, threads = build_paper_system(TreatmentKind.DETECT_ONLY)
+        t = threads[0]
+        assert t.job_counter == 0 and t.job_finished
+        t.computeBeforePeriodic()
+        assert not t.job_finished
+        t.waitForNextPeriod()  # the paper's overload: after, super, before
+        assert t.job_counter == 1
+        assert not t.job_finished  # a new job is in progress
+
+
+class TestDetectorsEndToEnd:
+    def test_detector_offsets_equal_wcrt(self):
+        system, threads = build_paper_system(TreatmentKind.DETECT_ONLY)
+        for t in threads:
+            t.start()
+        system.run(ms(1600))
+        assert threads[0].detector_threshold == ms(29)
+        assert threads[1].detector_threshold == ms(58)
+        assert threads[2].detector_threshold == ms(87)
+
+    def test_no_detector_when_treatment_disabled(self):
+        system, threads = build_paper_system(TreatmentKind.NO_DETECTION)
+        for t in threads:
+            t.start()
+        res = system.run(ms(1600))
+        assert all(t.detector is None for t in threads)
+        assert res.trace.of_kind(EventKind.DETECTOR_FIRE) == []
+
+    def test_fault_free_run_detects_nothing(self):
+        system, threads = build_paper_system(TreatmentKind.DETECT_ONLY)
+        for t in threads:
+            t.start()
+        res = system.run(ms(3000))
+        assert all(t.faults_detected == [] for t in threads)
+        assert res.trace.of_kind(EventKind.FAULT_DETECTED) == []
+
+    def test_job_counters_match_completed_jobs(self):
+        system, threads = build_paper_system(TreatmentKind.DETECT_ONLY)
+        for t in threads:
+            t.start()
+        res = system.run(ms(3000))
+        for t in threads:
+            completed = sum(1 for j in res.jobs_of(t.name) if j.finished)
+            assert t.job_counter == completed
+
+    @pytest.mark.parametrize(
+        "treatment,expected_stop_ms",
+        [
+            (TreatmentKind.IMMEDIATE_STOP, 1029),
+            (TreatmentKind.EQUITABLE_ALLOWANCE, 1040),
+            (TreatmentKind.SYSTEM_ALLOWANCE, 1062),
+        ],
+    )
+    def test_treatments_stop_at_paper_times(self, treatment, expected_stop_ms):
+        system, threads = build_paper_system(treatment)
+        threads[0].inject_cost_overrun(5, ms(40))
+        for t in threads:
+            t.start()
+        res = system.run(ms(1600))
+        (stopped,) = res.stopped()
+        assert (stopped.name, stopped.index) == ("tau1", 5)
+        assert stopped.finished_at == ms(expected_stop_ms)
+        assert res.missed() == []
+
+    def test_detect_only_leaves_tau3_missing(self):
+        system, threads = build_paper_system(TreatmentKind.DETECT_ONLY)
+        threads[0].inject_cost_overrun(5, ms(40))
+        for t in threads:
+            t.start()
+        res = system.run(ms(1600))
+        assert [e.task for e in res.trace.deadline_misses()] == ["tau3"]
+        assert 5 in threads[0].faults_detected
+
+    def test_jrate_vm_detector_delay(self):
+        system, threads = build_paper_system(TreatmentKind.DETECT_ONLY, vm=JRATE_VM)
+        for t in threads:
+            t.start()
+        res = system.run(ms(500))
+        tau1_fires = [
+            e.time
+            for e in res.trace.of_kind(EventKind.DETECTOR_FIRE)
+            if e.task == "tau1"
+        ]
+        assert tau1_fires[0] == ms(30)  # 29 rounded up, 1 ms delay

@@ -1,0 +1,144 @@
+"""Unit tests for the RTSJ memory-area emulation."""
+
+import pytest
+
+from repro.rtsj.memory import (
+    AllocationContext,
+    ImmortalMemory,
+    LTMemory,
+    MemoryAccessError,
+    ScopedMemory,
+)
+
+
+class TestAreas:
+    def test_immortal_unbounded(self):
+        im = ImmortalMemory()
+        im.allocate(10**12)
+        assert im.memoryRemaining() is None
+        assert im.memoryConsumed() == 10**12
+
+    def test_scope_size_enforced(self):
+        scope = LTMemory(100)
+        scope.allocate(60)
+        assert scope.memoryRemaining() == 40
+        with pytest.raises(MemoryAccessError):
+            scope.allocate(41)
+        scope.allocate(40)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ScopedMemory(0)
+        with pytest.raises(ValueError):
+            ImmortalMemory().allocate(0)
+
+
+class TestEnterSemantics:
+    def test_current_defaults_to_immortal(self):
+        ctx = AllocationContext()
+        assert ctx.current() is ctx.immortal
+
+    def test_enter_switches_allocation_area(self):
+        ctx = AllocationContext()
+        scope = LTMemory(1000)
+        with ctx.enter(scope):
+            ctx.allocate(100)
+        assert scope.memoryConsumed() == 0  # cleared on last exit
+        ctx.allocate(5)
+        assert ctx.immortal.memoryConsumed() == 5
+
+    def test_scope_cleared_only_on_last_exit(self):
+        ctx = AllocationContext()
+        scope = LTMemory(1000)
+        with ctx.enter(scope):
+            ctx.allocate(100)
+            with ctx.enter(LTMemory(50, "inner")):
+                pass
+            assert scope.memoryConsumed() == 100
+        assert scope.memoryConsumed() == 0
+
+    def test_nesting_depth(self):
+        ctx = AllocationContext()
+        outer, inner = LTMemory(100, "outer"), LTMemory(100, "inner")
+        with ctx.enter(outer):
+            with ctx.enter(inner):
+                assert ctx.current() is inner
+            assert ctx.current() is outer
+
+
+class TestSingleParentRule:
+    def test_reentry_from_same_parent_ok(self):
+        ctx = AllocationContext()
+        scope = LTMemory(100)
+        with ctx.enter(scope):
+            pass
+        # Scope was fully exited: parent reset, re-parenting allowed.
+        other = LTMemory(100, "other")
+        with ctx.enter(other):
+            with ctx.enter(scope):
+                pass
+
+    def test_enter_from_wrong_parent_rejected(self):
+        ctx = AllocationContext()
+        a, b = LTMemory(100, "a"), LTMemory(100, "b")
+        with ctx.enter(a):
+            with ctx.enter(b):
+                pass
+            # b's parent is a while a is still entered... leave b only.
+            with ctx.enter(b):
+                pass
+        # Now a fully exited: b was cleared too (exited), so its parent
+        # reset when its enter count dropped to zero.
+        with ctx.enter(b):
+            pass
+
+    def test_wrong_parent_across_threads(self):
+        # Two threads (contexts) share the scope objects; while thread 1
+        # keeps b entered (parent = a), thread 2 may enter b only from a.
+        immortal = ImmortalMemory()
+        ctx1 = AllocationContext(immortal=immortal)
+        ctx2 = AllocationContext(immortal=immortal)
+        a, b, c = LTMemory(100, "a"), LTMemory(100, "b"), LTMemory(100, "c")
+        with ctx1.enter(a):
+            with ctx1.enter(b):
+                with ctx2.enter(c):
+                    with pytest.raises(MemoryAccessError, match="single parent"):
+                        with ctx2.enter(b):
+                            pass
+                # Entering from the proper parent is fine.
+                with ctx2.enter(a):
+                    with ctx2.enter(b):
+                        pass
+
+    def test_cycle_rejected(self):
+        ctx = AllocationContext()
+        scope = LTMemory(100)
+        with ctx.enter(scope):
+            with pytest.raises(MemoryAccessError, match="re-entered"):
+                with ctx.enter(scope):
+                    pass
+
+
+class TestAssignmentRule:
+    def test_outer_cannot_reference_inner(self):
+        ctx = AllocationContext()
+        holder = ctx.allocate(8)  # immortal
+        scope = LTMemory(100)
+        with ctx.enter(scope):
+            value = ctx.allocate(8)
+            with pytest.raises(MemoryAccessError, match="illegal assignment"):
+                ctx.check_assignment(holder, value)
+
+    def test_inner_may_reference_outer(self):
+        ctx = AllocationContext()
+        outer_obj = ctx.allocate(8)
+        scope = LTMemory(100)
+        with ctx.enter(scope):
+            inner_obj = ctx.allocate(8)
+            ctx.check_assignment(inner_obj, outer_obj)  # fine
+
+    def test_same_area_ok(self):
+        ctx = AllocationContext()
+        a, b = ctx.allocate(8), ctx.allocate(8)
+        ctx.check_assignment(a, b)
+        ctx.check_assignment(b, a)

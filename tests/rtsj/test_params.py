@@ -1,0 +1,86 @@
+"""Unit tests for the RTSJ parameter classes."""
+
+import pytest
+
+from repro.rtsj.params import (
+    AperiodicParameters,
+    PeriodicParameters,
+    PriorityParameters,
+    ReleaseParameters,
+    SporadicParameters,
+)
+from repro.rtsj.time import RelativeTime
+from repro.units import ms
+
+
+class TestPriorityParameters:
+    def test_get_set(self):
+        p = PriorityParameters(20)
+        assert p.getPriority() == 20
+        p.setPriority(25)
+        assert p.getPriority() == 25
+
+
+class TestReleaseParameters:
+    def test_cost_and_deadline_from_relative_time(self):
+        rp = ReleaseParameters(RelativeTime(29, 0), RelativeTime(70, 0))
+        assert rp.getCost() == ms(29)
+        assert rp.getDeadline() == ms(70)
+
+    def test_cost_from_nanos(self):
+        rp = ReleaseParameters(12345, 99999)
+        assert rp.getCost() == 12345
+
+    def test_setters(self):
+        rp = ReleaseParameters()
+        assert rp.getCost() is None
+        rp.setCost(RelativeTime(5, 0))
+        rp.setDeadline(ms(9))
+        assert (rp.getCost(), rp.getDeadline()) == (ms(5), ms(9))
+
+
+class TestPeriodicParameters:
+    def test_paper_style_construction(self):
+        pp = PeriodicParameters(
+            start=RelativeTime(0, 0),
+            period=RelativeTime(200, 0),
+            cost=RelativeTime(29, 0),
+            deadline=RelativeTime(70, 0),
+        )
+        assert pp.getStart() == 0
+        assert pp.getPeriod() == ms(200)
+        assert pp.getCost() == ms(29)
+        assert pp.getDeadline() == ms(70)
+
+    def test_deadline_defaults_to_period(self):
+        pp = PeriodicParameters(period=ms(100), cost=ms(10))
+        assert pp.getDeadline() == ms(100)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PeriodicParameters(period=0, cost=1)
+
+    def test_set_period(self):
+        pp = PeriodicParameters(period=ms(100), cost=ms(10))
+        pp.setPeriod(ms(250))
+        assert pp.getPeriod() == ms(250)
+        with pytest.raises(ValueError):
+            pp.setPeriod(0)
+
+
+class TestSporadicParameters:
+    def test_minimum_interarrival(self):
+        sp = SporadicParameters(ms(50), cost=ms(5))
+        assert sp.getMinimumInterarrival() == ms(50)
+        assert sp.getDeadline() == ms(50)  # defaults to MIT
+
+    def test_explicit_deadline(self):
+        sp = SporadicParameters(ms(50), cost=ms(5), deadline=ms(20))
+        assert sp.getDeadline() == ms(20)
+
+    def test_invalid_mit(self):
+        with pytest.raises(ValueError):
+            SporadicParameters(0, cost=1)
+
+    def test_is_aperiodic(self):
+        assert isinstance(SporadicParameters(ms(10), cost=1), AperiodicParameters)

@@ -1,0 +1,117 @@
+"""Unit tests for the scheduler implementations the paper compares.
+
+The paper's motivation: RI's feasibility test is wrong (accepts
+infeasible sets), jRate's is missing, and the extended package fixes
+both.  These tests pin each behaviour.
+"""
+
+import pytest
+
+from repro.rtsj.params import PeriodicParameters, PriorityParameters
+from repro.rtsj.scheduler import (
+    ExtendedPriorityScheduler,
+    JRatePriorityScheduler,
+    RIPriorityScheduler,
+)
+from repro.rtsj.system import RealtimeSystem
+from repro.rtsj.thread import RealtimeThread
+from repro.units import ms
+
+
+def make_threads(system, specs):
+    """specs: list of (name, priority, cost, period, deadline)."""
+    return [
+        RealtimeThread(
+            PriorityParameters(prio),
+            PeriodicParameters(0, ms(period), ms(cost), ms(deadline)),
+            system,
+            name=name,
+        )
+        for name, prio, cost, period, deadline in specs
+    ]
+
+
+#: U = 0.5 + 0.25 = 0.75 <= 1, but lo's WCRT (5 + 5 = wait...) —
+#: hi: C=5 T=10; lo: C=5 T=20 D=9 -> R_lo = 10 > 9: NOT feasible,
+#: although the utilization test passes.  This is the paper's "non
+#: feasible set of tasks for which RI returns feasible".
+RI_FOOLING_SET = [
+    ("hi", 10, 5, 10, 10),
+    ("lo", 5, 5, 20, 9),
+]
+
+FEASIBLE_SET = [
+    ("hi", 10, 2, 10, 10),
+    ("lo", 5, 3, 20, 15),
+]
+
+OVERLOADED_SET = [
+    ("hi", 10, 8, 10, 10),
+    ("lo", 5, 8, 10, 10),
+]
+
+
+class TestRIScheduler:
+    def test_accepts_infeasible_set_the_paper_shows(self):
+        system = RealtimeSystem(scheduler=RIPriorityScheduler())
+        for t in make_threads(system, RI_FOOLING_SET):
+            t.addToFeasibility()
+        # The defect: RI says feasible...
+        assert system.scheduler.isFeasible()
+        # ...while the exact analysis disagrees.
+        exact = ExtendedPriorityScheduler()
+        for t in system.threads:
+            exact.addToFeasibility(t)
+        assert not exact.isFeasible()
+
+    def test_rejects_overload(self):
+        system = RealtimeSystem(scheduler=RIPriorityScheduler())
+        for t in make_threads(system, OVERLOADED_SET):
+            t.addToFeasibility()
+        assert not system.scheduler.isFeasible()
+
+    def test_empty_set_feasible(self):
+        assert RIPriorityScheduler().isFeasible()
+
+
+class TestJRateScheduler:
+    def test_feasibility_not_implemented(self):
+        system = RealtimeSystem(scheduler=JRatePriorityScheduler())
+        (t, _) = make_threads(system, FEASIBLE_SET)
+        with pytest.raises(NotImplementedError, match="jRate"):
+            t.addToFeasibility()
+
+
+class TestExtendedScheduler:
+    def test_correct_on_the_fooling_set(self):
+        system = RealtimeSystem(scheduler=ExtendedPriorityScheduler())
+        threads = make_threads(system, RI_FOOLING_SET)
+        threads[0].addToFeasibility()
+        assert system.scheduler.isFeasible()
+        assert not threads[1].addToFeasibility()
+
+    def test_accepts_feasible(self):
+        system = RealtimeSystem(scheduler=ExtendedPriorityScheduler())
+        for t in make_threads(system, FEASIBLE_SET):
+            assert t.addToFeasibility()
+
+    def test_remove_restores_feasibility(self):
+        system = RealtimeSystem(scheduler=ExtendedPriorityScheduler())
+        threads = make_threads(system, RI_FOOLING_SET)
+        for t in threads:
+            t.addToFeasibility()
+        assert not system.scheduler.isFeasible()
+        assert threads[1].removeFromFeasibility()
+        assert system.scheduler.isFeasible()
+
+    def test_remove_absent_returns_false(self):
+        system = RealtimeSystem()
+        (t, _) = make_threads(system, FEASIBLE_SET)
+        assert not t.removeFromFeasibility()
+
+    def test_add_idempotent(self):
+        system = RealtimeSystem()
+        (t, _) = make_threads(system, FEASIBLE_SET)
+        t.addToFeasibility()
+        t.addToFeasibility()
+        assert len(system.scheduler.feasibility_set) == 1

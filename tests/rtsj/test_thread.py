@@ -1,0 +1,121 @@
+"""Unit tests for RealtimeThread and RealtimeSystem."""
+
+import pytest
+
+from repro.rtsj.params import PeriodicParameters, PriorityParameters
+from repro.rtsj.system import RealtimeSystem
+from repro.rtsj.thread import RealtimeThread
+from repro.units import ms
+
+
+def thread(system, name="t", priority=10, cost=2, period=10, deadline=None, start=0):
+    return RealtimeThread(
+        PriorityParameters(priority),
+        PeriodicParameters(start, ms(period), ms(cost), ms(deadline) if deadline else None),
+        system,
+        name=name,
+    )
+
+
+class TestConstruction:
+    def test_cost_required(self):
+        system = RealtimeSystem()
+        with pytest.raises(ValueError, match="cost"):
+            RealtimeThread(
+                PriorityParameters(1), PeriodicParameters(0, ms(10)), system
+            )
+
+    def test_auto_names_unique(self):
+        system = RealtimeSystem()
+        a = RealtimeThread(
+            PriorityParameters(1), PeriodicParameters(0, ms(10), ms(1)), system
+        )
+        b = RealtimeThread(
+            PriorityParameters(2), PeriodicParameters(0, ms(10), ms(1)), system
+        )
+        assert a.name != b.name
+
+    def test_duplicate_names_rejected(self):
+        system = RealtimeSystem()
+        thread(system, "same")
+        with pytest.raises(ValueError, match="duplicate"):
+            thread(system, "same")
+
+    def test_as_task(self):
+        system = RealtimeSystem()
+        t = thread(system, "x", priority=7, cost=3, period=20, deadline=15, start=ms(5))
+        task = t.as_task()
+        assert task.name == "x"
+        assert task.priority == 7
+        assert task.cost == ms(3)
+        assert task.period == ms(20)
+        assert task.deadline == ms(15)
+        assert task.offset == ms(5)
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        system = RealtimeSystem()
+        t = thread(system)
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_run_requires_started_threads(self):
+        system = RealtimeSystem()
+        thread(system)  # not started
+        with pytest.raises(RuntimeError, match="no started"):
+            system.run(ms(100))
+
+    def test_unstarted_threads_excluded(self):
+        system = RealtimeSystem()
+        a = thread(system, "a")
+        thread(system, "b", priority=5)
+        a.start()
+        res = system.run(ms(50))
+        assert {t.name for t in res.taskset} == {"a"}
+
+    def test_system_runs_once(self):
+        system = RealtimeSystem()
+        thread(system).start()
+        system.run(ms(50))
+        with pytest.raises(RuntimeError, match="already ran"):
+            system.run(ms(50))
+
+    def test_wait_for_next_period_returns_true(self):
+        system = RealtimeSystem()
+        assert thread(system).waitForNextPeriod()
+
+
+class TestExecution:
+    def test_threads_scheduled_by_priority(self):
+        system = RealtimeSystem()
+        hi = thread(system, "hi", priority=10, cost=2, period=10)
+        lo = thread(system, "lo", priority=5, cost=3, period=15)
+        hi.start()
+        lo.start()
+        res = system.run(ms(30))
+        assert res.job("hi", 0).finished_at == ms(2)
+        assert res.job("lo", 0).finished_at == ms(5)
+
+    def test_injected_overrun_reaches_simulation(self):
+        system = RealtimeSystem()
+        t = thread(system, "t", cost=2, period=10)
+        t.inject_cost_overrun(1, ms(4))
+        t.start()
+        res = system.run(ms(30))
+        assert res.job("t", 0).demand == ms(2)
+        assert res.job("t", 1).demand == ms(6)
+
+    def test_inject_zero_is_noop(self):
+        system = RealtimeSystem()
+        t = thread(system)
+        t.inject_cost_overrun(0, 0)
+        assert t.injected_overruns == {}
+
+    def test_taskset_view(self):
+        system = RealtimeSystem()
+        thread(system, "a", priority=3).start()
+        thread(system, "b", priority=9).start()
+        ts = system.taskset()
+        assert [x.name for x in ts] == ["b", "a"]

@@ -1,0 +1,56 @@
+"""Unit tests for the RTSJ time types."""
+
+from repro.rtsj.time import AbsoluteTime, HighResolutionTime, RelativeTime
+
+
+class TestNormalisation:
+    def test_nanos_normalised_into_millis(self):
+        t = HighResolutionTime(1, 2_500_000)
+        assert t.millis == 3 and t.nanos == 500_000
+
+    def test_total_nanos(self):
+        assert HighResolutionTime(2, 345).total_nanos == 2_000_345
+
+    def test_from_nanos(self):
+        t = HighResolutionTime.from_nanos(5_000_001)
+        assert t.millis == 5 and t.nanos == 1
+
+    def test_zero(self):
+        assert HighResolutionTime().total_nanos == 0
+
+
+class TestComparisons:
+    def test_equality_across_representations(self):
+        assert HighResolutionTime(1, 0) == HighResolutionTime(0, 1_000_000)
+
+    def test_ordering(self):
+        assert HighResolutionTime(1, 0) < HighResolutionTime(1, 1)
+        assert HighResolutionTime(2, 0) > HighResolutionTime(1, 999_999)
+
+    def test_hash_consistent(self):
+        assert hash(HighResolutionTime(1, 0)) == hash(
+            HighResolutionTime(0, 1_000_000)
+        )
+
+
+class TestArithmetic:
+    def test_relative_add(self):
+        a = RelativeTime(200, 0)
+        b = RelativeTime(50, 500)
+        c = a.add(b)
+        assert c.total_nanos == 250_000_500
+        assert isinstance(c, RelativeTime)
+
+    def test_relative_subtract(self):
+        a = RelativeTime(200, 0)
+        assert a.subtract(RelativeTime(70, 0)).total_nanos == 130_000_000
+
+    def test_absolute_add_relative(self):
+        t = AbsoluteTime(1000, 0).add(RelativeTime(29, 0))
+        assert isinstance(t, AbsoluteTime)
+        assert t.millis == 1029
+
+    def test_absolute_difference_is_relative(self):
+        d = AbsoluteTime(1029, 0).subtract(AbsoluteTime(1000, 0))
+        assert isinstance(d, RelativeTime)
+        assert d.millis == 29

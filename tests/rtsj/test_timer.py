@@ -1,0 +1,143 @@
+"""Unit tests for AsyncEvent/Timer machinery."""
+
+import pytest
+
+from repro.rtsj.params import PeriodicParameters, PriorityParameters
+from repro.rtsj.system import RealtimeSystem
+from repro.rtsj.thread import RealtimeThread
+from repro.rtsj.timer import AsyncEvent, AsyncEventHandler, OneShotTimer, PeriodicTimer
+from repro.sim.vm import JRATE_VM
+from repro.units import ms
+
+
+def run_system(system, until=ms(100)):
+    # A timer-only system still needs one thread to run.
+    t = RealtimeThread(
+        PriorityParameters(1), PeriodicParameters(0, ms(50), ms(1)), system, name="bg"
+    )
+    t.start()
+    return system.run(until)
+
+
+class TestAsyncEvent:
+    def test_fire_runs_handlers(self):
+        log = []
+        ev = AsyncEvent()
+        ev.addHandler(AsyncEventHandler(lambda i: log.append(("a", i))))
+        ev.addHandler(AsyncEventHandler(lambda i: log.append(("b", i))))
+        ev.fire(3)
+        assert log == [("a", 3), ("b", 3)]
+
+    def test_remove_handler(self):
+        log = []
+        ev = AsyncEvent()
+        h = AsyncEventHandler(lambda i: log.append(i))
+        ev.addHandler(h)
+        ev.removeHandler(h)
+        ev.fire()
+        assert log == []
+
+    def test_fire_count(self):
+        h = AsyncEventHandler(lambda i: None)
+        ev = AsyncEvent()
+        ev.addHandler(h)
+        ev.fire()
+        ev.fire()
+        assert h.fire_count == 2
+
+
+class TestOneShotTimer:
+    def test_fires_once_at_offset(self):
+        system = RealtimeSystem()
+        fired = []
+        timer = OneShotTimer(ms(42), AsyncEventHandler(lambda i: fired.append(i)), system)
+        timer.start()
+        run_system(system)
+        assert fired == [0]
+
+    def test_not_armed_unless_started(self):
+        system = RealtimeSystem()
+        fired = []
+        OneShotTimer(ms(42), AsyncEventHandler(lambda i: fired.append(i)), system)
+        run_system(system)
+        assert fired == []
+
+    def test_stop_prevents_firing(self):
+        system = RealtimeSystem()
+        fired = []
+        timer = OneShotTimer(ms(42), AsyncEventHandler(lambda i: fired.append(i)), system)
+        timer.start()
+        timer.stop()
+        run_system(system)
+        assert fired == []
+
+    def test_beyond_horizon_never_fires(self):
+        system = RealtimeSystem()
+        fired = []
+        timer = OneShotTimer(ms(500), AsyncEventHandler(lambda i: fired.append(i)), system)
+        timer.start()
+        run_system(system, until=ms(100))
+        assert fired == []
+
+    def test_negative_time_rejected(self):
+        system = RealtimeSystem()
+        with pytest.raises(ValueError):
+            OneShotTimer(-1, None, system)
+
+    def test_double_start_rejected(self):
+        system = RealtimeSystem()
+        timer = OneShotTimer(ms(1), None, system)
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly_with_index(self):
+        system = RealtimeSystem()
+        fired = []
+        timer = PeriodicTimer(
+            ms(29), ms(20), AsyncEventHandler(lambda i: fired.append(i)), system
+        )
+        timer.start()
+        run_system(system, until=ms(100))
+        assert fired == [0, 1, 2, 3]
+
+    def test_jrate_rounds_first_release_only(self):
+        system = RealtimeSystem(vm=JRATE_VM)
+        times = []
+        timer = PeriodicTimer(
+            ms(29),
+            ms(200),
+            AsyncEventHandler(lambda i: times.append(system.simulation.engine.now)),
+            system,
+        )
+        timer.start()
+        run_system(system, until=ms(500))
+        # First release 29 -> 30 (the §6.2 quirk); interval stays exact,
+        # so the 1 ms delay is constant: 30, 230, 430.
+        assert times == [ms(30), ms(230), ms(430)]
+
+    def test_effective_start_property(self):
+        system = RealtimeSystem(vm=JRATE_VM)
+        timer = PeriodicTimer(ms(87), ms(100), None, system)
+        assert timer.effective_start == ms(90)
+
+    def test_invalid_interval(self):
+        system = RealtimeSystem()
+        with pytest.raises(ValueError):
+            PeriodicTimer(0, 0, None, system)
+
+    def test_stop_mid_run(self):
+        system = RealtimeSystem()
+        fired = []
+
+        def handler(i):
+            fired.append(i)
+            if i == 1:
+                timer.stop()
+
+        timer = PeriodicTimer(ms(10), ms(10), AsyncEventHandler(handler), system)
+        timer.start()
+        run_system(system, until=ms(100))
+        assert fired == [0, 1]

@@ -1,0 +1,133 @@
+"""Integration + property tests for precedence-driven simulation."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.core.faults import CostOverrun, FaultInjector
+from repro.core.precedence import (
+    PrecedenceGraph,
+    end_to_end_bound,
+    holistic_response_times,
+)
+from repro.core.task import Task, TaskSet
+from repro.core.treatments import TreatmentKind, plan_treatment
+from repro.sim.chains import ChainSimulation, end_to_end_latencies, simulate_chains
+
+
+def transaction() -> PrecedenceGraph:
+    ts = TaskSet(
+        [
+            Task("clock", cost=1, period=10, priority=20),
+            Task("sense", cost=2, period=40, priority=9),
+            Task("compute", cost=6, period=40, priority=8),
+            Task("act", cost=2, period=40, priority=7),
+        ]
+    )
+    return PrecedenceGraph(ts, [("sense", "compute"), ("compute", "act")])
+
+
+CHAIN = ["sense", "compute", "act"]
+
+
+class TestChainExecution:
+    def test_successors_release_at_predecessor_completion(self):
+        g = transaction()
+        res = simulate_chains(g, horizon=200)
+        sense0 = res.job("sense", 0)
+        compute0 = res.job("compute", 0)
+        act0 = res.job("act", 0)
+        assert compute0.release == sense0.finished_at
+        assert act0.release == compute0.finished_at
+
+    def test_transaction_repeats_every_period(self):
+        g = transaction()
+        res = simulate_chains(g, horizon=199)  # avoid a release on the edge
+        assert len(res.jobs_of("act")) == len(res.jobs_of("sense")) == 5
+        for job in res.jobs_of("sense"):
+            assert job.release % 40 == 0
+
+    def test_only_roots_clock_released(self):
+        g = transaction()
+        res = simulate_chains(g, horizon=200)
+        # compute's releases are not at period boundaries (they carry
+        # sense's response time).
+        assert all(j.release % 40 != 0 for j in res.jobs_of("compute"))
+
+    def test_latencies_within_holistic_bound(self):
+        g = transaction()
+        res = simulate_chains(g, horizon=400)
+        bound = end_to_end_bound(g, CHAIN)
+        latencies = end_to_end_latencies(res, g, CHAIN)
+        assert latencies
+        assert all(lat <= bound for lat in latencies.values())
+
+    def test_and_join_waits_for_all(self):
+        ts = TaskSet(
+            [
+                Task("fast", cost=1, period=40, priority=9),
+                Task("slow", cost=8, period=40, priority=8),
+                Task("join", cost=2, period=40, priority=7),
+            ]
+        )
+        g = PrecedenceGraph(ts, [("fast", "join"), ("slow", "join")])
+        res = simulate_chains(g, horizon=120)
+        join0 = res.job("join", 0)
+        assert join0.release == res.job("slow", 0).finished_at
+        assert join0.release > res.job("fast", 0).finished_at
+
+    def test_detectors_follow_dynamic_releases(self):
+        from repro.sim.trace import EventKind
+
+        g = transaction()
+        plan = plan_treatment(g.taskset, TreatmentKind.DETECT_ONLY)
+        res = simulate_chains(g, horizon=200, plan=plan)
+        fires = [e for e in res.trace.of_kind(EventKind.DETECTOR_FIRE) if e.task == "compute"]
+        computes = res.jobs_of("compute")
+        # One detector fire per dynamic release, offset by compute's WCRT.
+        offset = plan.detectors["compute"].offset
+        fire_times = sorted(e.time for e in fires)
+        expected = sorted(j.release + offset for j in computes if j.release + offset <= 200)
+        assert fire_times == expected
+
+    def test_faulty_chain_task_stopped(self):
+        g = transaction()
+        plan = plan_treatment(g.taskset, TreatmentKind.IMMEDIATE_STOP)
+        faults = FaultInjector([CostOverrun("compute", 0, 30)])
+        res = simulate_chains(g, horizon=200, faults=faults, plan=plan)
+        (stopped,) = res.stopped("compute")
+        assert stopped.index == 0
+        # The successor still releases (at the stop instant).
+        assert res.job("act", 0).release == stopped.finished_at
+
+
+@st.composite
+def random_chain_systems(draw):
+    """A 3-stage chain + one interfering high-rate task."""
+    period = draw(st.sampled_from([30, 40, 60]))
+    chain_costs = [draw(st.integers(1, 6)) for _ in range(3)]
+    hi_cost = draw(st.integers(1, 3))
+    hi_period = draw(st.sampled_from([8, 10, 12]))
+    ts = TaskSet(
+        [
+            Task("hi", cost=hi_cost, period=hi_period, priority=20),
+            Task("s0", cost=chain_costs[0], period=period, priority=9),
+            Task("s1", cost=chain_costs[1], period=period, priority=8),
+            Task("s2", cost=chain_costs[2], period=period, priority=7),
+        ]
+    )
+    return PrecedenceGraph(ts, [("s0", "s1"), ("s1", "s2")])
+
+
+class TestChainProperties:
+    @given(random_chain_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_observed_latency_never_exceeds_holistic_bound(self, g):
+        bounds = holistic_response_times(g)
+        assume(all(b is not None for b in bounds.values()))
+        res = simulate_chains(g, horizon=6 * g.taskset["s0"].period)
+        latencies = end_to_end_latencies(res, g, ["s0", "s1", "s2"])
+        assume(latencies)
+        bound = bounds["s2"]
+        for lat in latencies.values():
+            assert lat <= bound

@@ -1,0 +1,49 @@
+"""Unit tests for the RDTSC emulation (paper §5)."""
+
+import pytest
+
+from repro.sim.clock import CycleCounter, TimestampLog
+
+
+class TestCycleCounter:
+    def test_paper_frequency_two_cycles_per_ns(self):
+        tsc = CycleCounter()  # 2 GHz Pentium 4
+        assert tsc.cycles_at(1) == 2
+        assert tsc.cycles_at(1_000) == 2_000
+
+    def test_roundtrip(self):
+        tsc = CycleCounter(frequency_hz=1_000_000_000)
+        assert tsc.ns_of(tsc.cycles_at(123_456)) == 123_456
+
+    def test_quantisation_rounds_down(self):
+        tsc = CycleCounter(frequency_hz=1)  # 1 cycle per second
+        assert tsc.cycles_at(999_999_999) == 0
+        assert tsc.cycles_at(1_000_000_000) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            CycleCounter(0)
+        tsc = CycleCounter()
+        with pytest.raises(ValueError):
+            tsc.cycles_at(-1)
+        with pytest.raises(ValueError):
+            tsc.ns_of(-1)
+
+
+class TestTimestampLog:
+    def test_stamp_and_render(self):
+        log = TimestampLog()
+        log.stamp("job-begin tau1#0", 1_000)
+        log.stamp("job-end tau1#0", 30_000)
+        assert len(log) == 2
+        lines = log.render().splitlines()
+        assert lines[0] == "job-begin tau1#0 2000 1000"
+        assert lines[1] == "job-end tau1#0 60000 30000"
+
+    def test_in_memory_until_render(self):
+        # The paper buffers in StringBuffers to avoid I/O during the
+        # run; the log mirrors that: stamping never renders.
+        log = TimestampLog()
+        for i in range(100):
+            log.stamp(f"e{i}", i)
+        assert len(log.samples) == 100

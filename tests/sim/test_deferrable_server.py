@@ -1,0 +1,103 @@
+"""Integration tests for the simulated deferrable server."""
+
+from repro.core.feasibility import analyze
+from repro.core.servers import (
+    ServerSpec,
+    deferrable_response_times,
+    polling_server_taskset,
+)
+from repro.core.task import Task, TaskSet
+from repro.sim.servers import (
+    AperiodicRequest,
+    simulate_with_deferrable_server,
+    simulate_with_server,
+)
+
+
+def periodic() -> TaskSet:
+    return TaskSet(
+        [
+            Task("ctrl", cost=2, period=10, priority=10),
+            Task("log", cost=6, period=30, deadline=28, priority=2),
+        ]
+    )
+
+
+SERVER = ServerSpec(name="srv", capacity=3, period=15, priority=5)
+
+
+class TestBandwidthPreservation:
+    def test_mid_period_arrival_served_immediately(self):
+        req = [AperiodicRequest("r", arrival=4, demand=2)]
+        _, ds = simulate_with_deferrable_server(periodic(), SERVER, req, horizon=100)
+        # Budget is available at t=4; service starts right away.
+        assert ds[0].response_time == 2
+
+    def test_beats_polling_for_late_arrivals(self):
+        def req():
+            return [AperiodicRequest("r", arrival=4, demand=2)]
+
+        _, ps = simulate_with_server(periodic(), SERVER, req(), horizon=100)
+        _, ds = simulate_with_deferrable_server(periodic(), SERVER, req(), horizon=100)
+        assert ds[0].response_time < ps[0].response_time
+
+    def test_budget_exhaustion_defers_to_replenishment(self):
+        reqs = [
+            AperiodicRequest("a", arrival=0, demand=3),  # eats the budget
+            AperiodicRequest("b", arrival=5, demand=2),  # must wait for t=15
+        ]
+        _, served = simulate_with_deferrable_server(periodic(), SERVER, reqs, horizon=100)
+        a = next(r for r in served if r.name == "a")
+        b = next(r for r in served if r.name == "b")
+        assert a.completed_at < 15
+        # b is served only after the t=15 replenishment.
+        assert b.completed_at > 15
+
+    def test_per_period_service_never_exceeds_capacity(self):
+        reqs = [AperiodicRequest("flood", arrival=0, demand=40)]
+        result, _ = simulate_with_deferrable_server(periodic(), SERVER, reqs, horizon=150)
+        # Sum the server execution inside each replenishment window.
+        intervals = result.trace.execution_intervals("srv")
+        for k in range(0, 150 // SERVER.period):
+            lo, hi = k * SERVER.period, (k + 1) * SERVER.period
+            served = sum(
+                min(e, hi) - max(b, lo) for (b, e, _j) in intervals if b < hi and e > lo
+            )
+            assert served <= SERVER.capacity
+
+    def test_fifo_across_budget_chunks(self):
+        reqs = [
+            AperiodicRequest("first", arrival=0, demand=4),
+            AperiodicRequest("second", arrival=1, demand=2),
+        ]
+        _, served = simulate_with_deferrable_server(periodic(), SERVER, reqs, horizon=100)
+        first = next(r for r in served if r.name == "first")
+        second = next(r for r in served if r.name == "second")
+        assert first.completed_at < second.completed_at
+
+
+class TestPeriodicSafetyUnderDs:
+    def test_periodic_tasks_within_deferrable_bounds(self):
+        # Saturating aperiodic load: lower tasks feel the back-to-back
+        # effect but must stay within the DS (jitter-based) bounds.
+        reqs = [AperiodicRequest(f"r{i}", arrival=i * 2, demand=3) for i in range(40)]
+        result, _ = simulate_with_deferrable_server(periodic(), SERVER, reqs, horizon=400)
+        bounds = deferrable_response_times(periodic(), SERVER)
+        assert result.missed() == []
+        for t in periodic():
+            observed = result.max_response_time(t.name)
+            assert observed is not None and observed <= bounds[t.name]
+
+    def test_ds_interference_can_exceed_ps_analysis(self):
+        # The same run may push 'log' past the *polling* WCRT while
+        # staying within the deferrable bound — evidence the DS jitter
+        # term is necessary, not pessimism.
+        reqs = [AperiodicRequest(f"r{i}", arrival=i, demand=3) for i in range(60)]
+        result, _ = simulate_with_deferrable_server(periodic(), SERVER, reqs, horizon=400)
+        ps_report = analyze(polling_server_taskset(periodic(), SERVER))
+        ds_bounds = deferrable_response_times(periodic(), SERVER)
+        observed = result.max_response_time("log")
+        assert observed <= ds_bounds["log"]
+        # (The strict exceedance of the PS bound depends on alignment;
+        # assert at least that the DS bound is the looser, needed one.)
+        assert ds_bounds["log"] > ps_report.wcrt("log")

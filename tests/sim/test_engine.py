@@ -1,0 +1,121 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, Rank
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        log = []
+        eng.schedule(30, lambda: log.append("c"))
+        eng.schedule(10, lambda: log.append("a"))
+        eng.schedule(20, lambda: log.append("b"))
+        eng.run()
+        assert log == ["a", "b", "c"]
+        assert eng.now == 30
+
+    def test_rank_breaks_ties(self):
+        eng = Engine()
+        log = []
+        eng.schedule(10, lambda: log.append("release"), Rank.RELEASE)
+        eng.schedule(10, lambda: log.append("completion"), Rank.COMPLETION)
+        eng.schedule(10, lambda: log.append("detector"), Rank.DETECTOR)
+        eng.schedule(10, lambda: log.append("deadline"), Rank.DEADLINE_CHECK)
+        eng.run()
+        assert log == ["completion", "deadline", "detector", "release"]
+
+    def test_fifo_within_same_time_and_rank(self):
+        eng = Engine()
+        log = []
+        for i in range(5):
+            eng.schedule(10, lambda i=i: log.append(i))
+        eng.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+        eng.schedule(10, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule(5, lambda: None)
+
+    def test_schedule_at_now_allowed(self):
+        eng = Engine()
+        log = []
+        eng.schedule(10, lambda: eng.schedule(10, lambda: log.append("nested")))
+        eng.run()
+        assert log == ["nested"]
+
+    def test_schedule_in(self):
+        eng = Engine()
+        log = []
+        eng.schedule(5, lambda: eng.schedule_in(7, lambda: log.append(eng.now)))
+        eng.run()
+        assert log == [12]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        log = []
+        handle = eng.schedule(10, lambda: log.append("x"))
+        handle.cancel()
+        eng.run()
+        assert log == []
+
+    def test_cancel_from_earlier_event(self):
+        eng = Engine()
+        log = []
+        later = eng.schedule(20, lambda: log.append("later"))
+        eng.schedule(10, later.cancel)
+        eng.run()
+        assert log == []
+
+    def test_peek_skips_cancelled(self):
+        eng = Engine()
+        h = eng.schedule(10, lambda: None)
+        eng.schedule(20, lambda: None)
+        h.cancel()
+        assert eng.peek_time() == 20
+
+
+class TestRunUntil:
+    def test_stops_before_later_events(self):
+        eng = Engine()
+        log = []
+        eng.schedule(10, lambda: log.append("early"))
+        eng.schedule(100, lambda: log.append("late"))
+        eng.run(until=50)
+        assert log == ["early"]
+        assert eng.now == 50  # clock advanced to the horizon
+
+    def test_event_exactly_at_until_runs(self):
+        eng = Engine()
+        log = []
+        eng.schedule(50, lambda: log.append("edge"))
+        eng.run(until=50)
+        assert log == ["edge"]
+
+    def test_resume_after_until(self):
+        eng = Engine()
+        log = []
+        eng.schedule(100, lambda: log.append("late"))
+        eng.run(until=50)
+        eng.run()
+        assert log == ["late"]
+
+    def test_step_returns_false_when_empty(self):
+        eng = Engine()
+        assert not eng.step()
+        eng.schedule(1, lambda: None)
+        assert eng.step()
+        assert not eng.step()
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for t in (1, 2, 3):
+            eng.schedule(t, lambda: None)
+        eng.run()
+        assert eng.events_processed == 3

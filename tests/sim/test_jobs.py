@@ -1,0 +1,119 @@
+"""Unit tests for job state and stop-cap semantics."""
+
+import pytest
+
+from repro.core.task import Task
+from repro.sim.jobs import Job, JobState
+
+
+def make_job(cost=10, period=100, deadline=50, release=0, demand=None) -> Job:
+    task = Task("t", cost=cost, period=period, deadline=deadline, priority=1)
+    return Job(task=task, index=0, release=release, demand=demand if demand is not None else cost)
+
+
+class TestBasics:
+    def test_initial_state(self):
+        job = make_job()
+        assert job.state is JobState.PENDING
+        assert job.remaining == 10
+        assert not job.finished
+        assert job.response_time is None
+
+    def test_absolute_deadline(self):
+        job = make_job(release=1000, deadline=50)
+        assert job.absolute_deadline == 1050
+
+    def test_response_time(self):
+        job = make_job(release=1000)
+        job.finished_at = 1040
+        assert job.response_time == 40
+
+    def test_overran_flag(self):
+        assert not make_job(cost=10, demand=10).overran
+        assert make_job(cost=10, demand=15).overran
+
+    def test_remaining_tracks_executed(self):
+        job = make_job(cost=10)
+        job.executed = 4
+        assert job.remaining == 6
+
+    def test_remaining_never_negative(self):
+        job = make_job(cost=10)
+        job.executed = 25
+        assert job.remaining == 0
+
+
+class TestOverhead:
+    def test_overhead_extends_required(self):
+        job = make_job(cost=10)
+        job.add_overhead(3)
+        assert job.required == 13
+        assert job.remaining == 13
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            make_job().add_overhead(-1)
+
+
+class TestTruncate:
+    def test_truncate_shortens_job(self):
+        job = make_job(cost=10, demand=40)
+        job.executed = 5
+        assert job.truncate(0) is True
+        assert job.remaining == 0
+        assert job.stop_requested
+
+    def test_truncate_with_poll_latency(self):
+        job = make_job(cost=10, demand=40)
+        job.executed = 5
+        assert job.truncate(3) is True
+        assert job.remaining == 3
+
+    def test_truncate_noop_when_job_finishes_first(self):
+        job = make_job(cost=10, demand=10)
+        job.executed = 9
+        # 9 + 2 >= 10: the job completes naturally before the poll.
+        assert job.truncate(2) is False
+        assert not job.stop_requested
+        assert job.remaining == 1
+
+    def test_tighter_cap_wins(self):
+        job = make_job(cost=10, demand=40)
+        job.truncate(20)
+        job.truncate(5)
+        assert job.remaining == 5
+
+    def test_looser_cap_ignored(self):
+        job = make_job(cost=10, demand=40)
+        job.truncate(5)
+        job.truncate(20)
+        assert job.remaining == 5
+
+    def test_truncate_accounts_overhead(self):
+        job = make_job(cost=10, demand=40)
+        job.add_overhead(4)
+        job.executed = 6
+        job.truncate(2)
+        # total consumed should stop at 8.
+        assert job.remaining == 2
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(ValueError):
+            make_job().truncate(-1)
+
+
+class TestStates:
+    def test_finished_states(self):
+        job = make_job()
+        for state in (JobState.DONE, JobState.STOPPED):
+            job.state = state
+            assert job.finished
+        job.state = JobState.RUNNING
+        assert not job.finished
+
+    def test_was_stopped(self):
+        job = make_job()
+        job.state = JobState.STOPPED
+        assert job.was_stopped
+        job.state = JobState.DONE
+        assert not job.was_stopped

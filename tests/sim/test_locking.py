@@ -1,0 +1,223 @@
+"""Unit and property tests for runtime resource protocols (PIP/ICPP)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.core.blocking import (
+    blocking_times_pcp,
+    blocking_times_pip,
+    response_time_with_blocking,
+)
+from repro.core.task import Task, TaskSet
+from repro.sim.locking import LockProtocol, SectionSpec
+from repro.sim.simulation import simulate
+from repro.sim.trace import EventKind
+
+
+def two_task_setup():
+    """lo locks r for its first 12 units; hi needs r at progress 2."""
+    ts = TaskSet(
+        [
+            Task("hi", cost=10, period=100, priority=10, offset=5),
+            Task("lo", cost=20, period=200, priority=1),
+        ]
+    )
+    sections = [SectionSpec("lo", "r", 0, 12), SectionSpec("hi", "r", 2, 3)]
+    return ts, sections
+
+
+class TestSectionSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SectionSpec("t", "r", -1, 5)
+        with pytest.raises(ValueError):
+            SectionSpec("t", "r", 0, 0)
+
+    def test_section_beyond_cost_rejected(self):
+        ts = TaskSet([Task("t", cost=5, period=10, priority=1)])
+        with pytest.raises(ValueError, match="exceeds"):
+            simulate(ts, horizon=10, sections=[SectionSpec("t", "r", 2, 4)])
+
+    def test_unknown_task_rejected(self):
+        ts = TaskSet([Task("t", cost=5, period=10, priority=1)])
+        with pytest.raises(ValueError, match="unknown"):
+            simulate(ts, horizon=10, sections=[SectionSpec("x", "r", 0, 1)])
+
+
+class TestPip:
+    def test_direct_blocking_and_inheritance(self):
+        ts, sections = two_task_setup()
+        res = simulate(ts, horizon=100, sections=sections, protocol=LockProtocol.PIP)
+        hi, lo = res.job("hi", 0), res.job("lo", 0)
+        # hi preempts at 5, blocks at 7 (needs r at progress 2); lo
+        # inherits priority 10, finishes its section at 14; hi resumes
+        # and completes at 22.
+        assert hi.started_at == 5
+        assert res.trace.of_kind(EventKind.BLOCKED)[0].time == 7
+        assert res.trace.of_kind(EventKind.UNBLOCKED)[0].time == 14
+        assert hi.finished_at == 22
+        assert lo.finished_at == 30
+
+    def test_no_contention_no_blocking(self):
+        ts, _ = two_task_setup()
+        sections = [SectionSpec("lo", "r1", 0, 12), SectionSpec("hi", "r2", 2, 3)]
+        res = simulate(ts, horizon=100, sections=sections, protocol=LockProtocol.PIP)
+        assert res.trace.of_kind(EventKind.BLOCKED) == []
+        assert res.job("hi", 0).finished_at == 15  # pure preemption
+
+    def test_inheritance_shields_from_middle_priority(self):
+        # Classic unbounded-inversion scenario: without inheritance,
+        # mid would starve lo while hi waits.  With PIP, lo runs at
+        # hi's priority and mid is kept out.
+        ts = TaskSet(
+            [
+                Task("hi", cost=10, period=200, priority=10, offset=5),
+                Task("mid", cost=50, period=300, priority=5, offset=6),
+                Task("lo", cost=20, period=400, priority=1),
+            ]
+        )
+        sections = [SectionSpec("lo", "r", 0, 12), SectionSpec("hi", "r", 2, 3)]
+        res = simulate(ts, horizon=400, sections=sections, protocol=LockProtocol.PIP)
+        hi = res.job("hi", 0)
+        # hi: 2 before block + blocked 7..14 + 8 after = ends 22.
+        assert hi.finished_at == 22
+        # mid runs only after hi completed.
+        assert res.job("mid", 0).started_at >= 22
+
+    def test_transitive_inheritance_chain(self):
+        # lo holds r1; mid holds r2 and blocks on r1; hi blocks on r2:
+        # lo must inherit hi's priority through mid.
+        ts = TaskSet(
+            [
+                Task("hi", cost=10, period=500, priority=10, offset=12),
+                Task("mid", cost=20, period=500, priority=5, offset=5),
+                Task("noise", cost=30, period=500, priority=7, offset=13),
+                Task("lo", cost=20, period=500, priority=1),
+            ]
+        )
+        sections = [
+            SectionSpec("lo", "r1", 0, 15),
+            SectionSpec("mid", "r2", 0, 10),
+            SectionSpec("mid", "r1", 2, 5),
+            SectionSpec("hi", "r2", 2, 3),
+        ]
+        res = simulate(ts, horizon=500, sections=sections, protocol=LockProtocol.PIP)
+        lo = res.job("lo", 0)
+        noise = res.job("noise", 0)
+        # While hi is blocked, lo runs with inherited priority 10 and
+        # 'noise' (priority 7) cannot interleave before hi finishes.
+        hi = res.job("hi", 0)
+        assert noise.started_at >= hi.finished_at
+        assert res.missed() == []
+
+    def test_stopped_job_releases_locks(self):
+        from repro.core.faults import CostOverrun, FaultInjector
+        from repro.core.treatments import TreatmentKind
+
+        ts = TaskSet(
+            [
+                Task("hi", cost=10, period=100, deadline=50, priority=10, offset=5),
+                Task("lo", cost=20, period=200, deadline=190, priority=1),
+            ]
+        )
+        sections = [SectionSpec("lo", "r", 0, 12), SectionSpec("hi", "r", 2, 3)]
+        # lo overruns massively; the treatment stops it while it holds r.
+        faults = FaultInjector([CostOverrun("lo", 0, 500)])
+        res = simulate(
+            ts,
+            horizon=200,
+            sections=sections,
+            protocol=LockProtocol.PIP,
+            faults=faults,
+            treatment=TreatmentKind.IMMEDIATE_STOP,
+        )
+        lo = res.job("lo", 0)
+        assert lo.was_stopped
+        # hi eventually got the resource and completed.
+        assert res.job("hi", 0).finished_at is not None
+        assert not res.job("hi", 0).deadline_missed
+
+
+class TestIcpp:
+    def test_no_blocking_events_ever(self):
+        ts, sections = two_task_setup()
+        res = simulate(ts, horizon=100, sections=sections, protocol=LockProtocol.ICPP)
+        assert res.trace.of_kind(EventKind.BLOCKED) == []
+
+    def test_delayed_start_instead_of_block(self):
+        ts, sections = two_task_setup()
+        res = simulate(ts, horizon=100, sections=sections, protocol=LockProtocol.ICPP)
+        hi = res.job("hi", 0)
+        # lo holds r under the ceiling (10) until progress 12: hi,
+        # released at 5, starts only at 12.
+        assert hi.started_at == 12
+        assert hi.finished_at == 22
+
+    def test_ceiling_drops_after_release(self):
+        ts, sections = two_task_setup()
+        res = simulate(ts, horizon=100, sections=sections, protocol=LockProtocol.ICPP)
+        lo = res.job("lo", 0)
+        # After releasing at t=12, lo is preempted by hi and finishes
+        # its remaining 8 units after hi's completion.
+        assert lo.finished_at == 30
+
+    def test_same_outcome_for_uncontended(self):
+        ts = TaskSet([Task("t", cost=10, period=20, priority=1)])
+        sections = [SectionSpec("t", "r", 2, 4)]
+        res = simulate(ts, horizon=59, sections=sections, protocol=LockProtocol.ICPP)
+        assert all(j.finished_at - j.release == 10 for j in res.jobs_of("t"))
+        assert len(res.trace.of_kind(EventKind.LOCK)) == 3
+
+
+@st.composite
+def locking_systems(draw):
+    """Feasible 3-task systems with one shared resource."""
+    periods = draw(
+        st.tuples(st.integers(30, 60), st.integers(60, 120), st.integers(120, 240))
+    )
+    costs = draw(
+        st.tuples(st.integers(2, 8), st.integers(2, 12), st.integers(4, 20))
+    )
+    tasks = [
+        Task("hi", cost=costs[0], period=periods[0], priority=3),
+        Task("mid", cost=costs[1], period=periods[1], priority=2),
+        Task("lo", cost=costs[2], period=periods[2], priority=1),
+    ]
+    ts = TaskSet(tasks)
+    sections = []
+    for t in tasks:
+        if draw(st.booleans()):
+            duration = draw(st.integers(1, t.cost))
+            start = draw(st.integers(0, t.cost - duration))
+            sections.append(SectionSpec(t.name, "res", start, duration))
+    return ts, sections
+
+
+class TestAgainstAnalysis:
+    @given(locking_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_simulated_responses_within_blocking_aware_wcrt(self, system):
+        ts, sections = system
+        analysis_sections = [s.as_analysis_section() for s in sections]
+        for protocol, bound_fn in (
+            (LockProtocol.ICPP, blocking_times_pcp),
+            (LockProtocol.PIP, blocking_times_pip),
+        ):
+            blocking = bound_fn(ts, analysis_sections)
+            bounds = {}
+            feasible = True
+            for t in ts:
+                r = response_time_with_blocking(t, ts, blocking)
+                if r is None or r > t.deadline:
+                    feasible = False
+                    break
+                bounds[t.name] = r
+            assume(feasible)
+            horizon = 4 * max(t.period for t in ts)
+            res = simulate(ts, horizon=horizon, sections=sections, protocol=protocol)
+            assert res.missed() == [], protocol
+            for t in ts:
+                observed = res.max_response_time(t.name)
+                if observed is not None:
+                    assert observed <= bounds[t.name], (protocol, t.name)

@@ -1,0 +1,208 @@
+"""Unit tests for the preemptive fixed-priority processor."""
+
+from repro.core.task import Task
+from repro.sim.engine import Engine
+from repro.sim.jobs import Job, JobState
+from repro.sim.processor import Processor
+from repro.sim.trace import EventKind, Trace
+
+
+def setup(context_switch=0):
+    engine = Engine()
+    trace = Trace()
+    ended = []
+    proc = Processor(
+        engine, trace, context_switch=context_switch, on_job_end=ended.append
+    )
+    return engine, trace, proc, ended
+
+
+def job(name, priority, demand, release=0, index=0):
+    task = Task(name, cost=demand, period=1_000_000, priority=priority)
+    return Job(task=task, index=index, release=release, demand=demand)
+
+
+class TestSingleJob:
+    def test_runs_to_completion(self):
+        engine, trace, proc, ended = setup()
+        j = job("a", 1, 10)
+        proc.submit(j)
+        engine.run()
+        assert j.state is JobState.DONE
+        assert j.finished_at == 10
+        assert j.executed == 10
+        assert [e.kind for e in trace.for_task("a")] == [
+            EventKind.START,
+            EventKind.COMPLETE,
+        ]
+        assert ended == [j]
+
+    def test_idle_after_completion(self):
+        engine, trace, proc, _ = setup()
+        proc.submit(job("a", 1, 10))
+        engine.run()
+        assert proc.idle()
+        assert proc.running is None
+
+
+class TestPreemption:
+    def test_higher_priority_preempts(self):
+        engine, trace, proc, _ = setup()
+        lo = job("lo", 1, 10)
+        hi = job("hi", 9, 4)
+        proc.submit(lo)
+        engine.schedule(3, lambda: proc.submit(hi))
+        engine.run()
+        # lo runs [0,3), hi runs [3,7), lo resumes [7,14).
+        assert hi.finished_at == 7
+        assert lo.finished_at == 14
+        assert trace.execution_intervals("lo") == [(0, 3, 0), (7, 14, 0)]
+        assert trace.execution_intervals("hi") == [(3, 7, 0)]
+
+    def test_equal_priority_does_not_preempt(self):
+        engine, trace, proc, _ = setup()
+        first = job("first", 5, 10)
+        second = job("second", 5, 5)
+        proc.submit(first)
+        engine.schedule(2, lambda: proc.submit(second))
+        engine.run()
+        assert first.finished_at == 10
+        assert second.finished_at == 15
+
+    def test_fifo_within_priority(self):
+        engine, _, proc, ended = setup()
+        a, b, c = job("a", 5, 3), job("b", 5, 3), job("c", 5, 3)
+        for j in (a, b, c):
+            proc.submit(j)
+        engine.run()
+        assert [j.name for j in ended] == ["a", "b", "c"]
+
+    def test_nested_preemption(self):
+        engine, trace, proc, _ = setup()
+        lo, mid, hi = job("lo", 1, 10), job("mid", 5, 10), job("hi", 9, 10)
+        proc.submit(lo)
+        engine.schedule(2, lambda: proc.submit(mid))
+        engine.schedule(4, lambda: proc.submit(hi))
+        engine.run()
+        assert hi.finished_at == 14
+        assert mid.finished_at == 22
+        assert lo.finished_at == 30
+
+    def test_busy_time_accounting(self):
+        engine, _, proc, _ = setup()
+        proc.submit(job("a", 1, 10))
+        engine.run()
+        # Idle gap, then another job.
+        engine.now = 10
+        engine.schedule(20, lambda: proc.submit(job("b", 1, 5)))
+        engine.run()
+        proc.finalize()
+        assert proc.busy_time == 15
+
+
+class TestStops:
+    def test_stop_running_job(self):
+        engine, trace, proc, _ = setup()
+        j = job("a", 1, 100)
+        proc.submit(j)
+        engine.schedule(30, lambda: proc.stop_job(j))
+        engine.run()
+        assert j.state is JobState.STOPPED
+        assert j.finished_at == 30
+        assert j.executed == 30
+        assert [e.kind for e in trace.for_task("a")] == [
+            EventKind.START,
+            EventKind.STOP,
+        ]
+
+    def test_stop_with_poll_latency_runs_extra(self):
+        engine, _, proc, _ = setup()
+        j = job("a", 1, 100)
+        proc.submit(j)
+        engine.schedule(30, lambda: proc.stop_job(j, 5))
+        engine.run()
+        assert j.finished_at == 35
+        assert j.was_stopped
+
+    def test_stop_noop_when_completing_naturally(self):
+        engine, _, proc, _ = setup()
+        j = job("a", 1, 40)
+        proc.submit(j)
+        outcome = []
+        engine.schedule(30, lambda: outcome.append(proc.stop_job(j, 15)))
+        engine.run()
+        assert outcome == [False]
+        assert j.state is JobState.DONE
+        assert j.finished_at == 40
+
+    def test_stop_preempted_job(self):
+        engine, trace, proc, ended = setup()
+        lo = job("lo", 1, 50)
+        hi = job("hi", 9, 20)
+        proc.submit(lo)
+        engine.schedule(5, lambda: proc.submit(hi))
+
+        def stop_lo():
+            assert lo.state is JobState.READY  # preempted by hi
+            assert proc.stop_job(lo)
+
+        engine.schedule(10, stop_lo)
+        engine.run()
+        assert lo.state is JobState.STOPPED
+        assert lo.finished_at == 10
+        assert hi.finished_at == 25
+        assert {j.name for j in ended} == {"lo", "hi"}
+
+    def test_stop_preempted_job_with_latency_resumes_first(self):
+        engine, _, proc, _ = setup()
+        lo = job("lo", 1, 50)
+        hi = job("hi", 9, 20)
+        proc.submit(lo)
+        engine.schedule(5, lambda: proc.submit(hi))
+        engine.schedule(10, lambda: proc.stop_job(lo, 3))
+        engine.run()
+        # lo ran 5, was preempted; hi ends at 25; lo resumes and
+        # consumes its 3-unit poll latency before stopping.
+        assert lo.was_stopped
+        assert lo.finished_at == 28
+
+    def test_stop_finished_job_is_noop(self):
+        engine, _, proc, _ = setup()
+        j = job("a", 1, 10)
+        proc.submit(j)
+        engine.run()
+        assert proc.stop_job(j) is False
+        assert j.state is JobState.DONE
+
+    def test_stop_never_started_job(self):
+        engine, _, proc, _ = setup()
+        lo = job("lo", 1, 50)
+        hi = job("hi", 9, 20)
+        proc.submit(hi)
+        proc.submit(lo)
+        engine.schedule(1, lambda: proc.stop_job(lo))
+        engine.run()
+        assert lo.was_stopped
+        assert lo.finished_at == 1
+        assert lo.executed == 0
+        assert hi.finished_at == 20
+
+
+class TestContextSwitch:
+    def test_resume_charges_overhead(self):
+        engine, _, proc, _ = setup(context_switch=2)
+        lo = job("lo", 1, 10)
+        hi = job("hi", 9, 4)
+        proc.submit(lo)
+        engine.schedule(3, lambda: proc.submit(hi))
+        engine.run()
+        # lo pays one context switch on resume: 14 + 2.
+        assert hi.finished_at == 7
+        assert lo.finished_at == 16
+
+    def test_first_dispatch_free(self):
+        engine, _, proc, _ = setup(context_switch=2)
+        j = job("a", 1, 10)
+        proc.submit(j)
+        engine.run()
+        assert j.finished_at == 10

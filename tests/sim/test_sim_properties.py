@@ -1,0 +1,176 @@
+"""Property-based validation of the simulator against the analysis.
+
+The central soundness argument of the reproduction: for randomly drawn
+feasible systems, the simulated behaviour must stay within the bounds
+the paper's analysis predicts (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.core.faults import CostOverrun, FaultInjector
+from repro.core.feasibility import analyze, is_feasible, response_time_constrained
+from repro.core.task import Task, TaskSet
+from repro.core.treatments import TreatmentKind
+from repro.sim.simulation import simulate
+from repro.sim.trace import EventKind
+
+
+@st.composite
+def feasible_tasksets(draw, max_tasks: int = 4, max_period: int = 20) -> TaskSet:
+    """Small feasible task sets (constrained deadlines, distinct
+    priorities, tame hyperperiods)."""
+    n = draw(st.integers(1, max_tasks))
+    tasks = []
+    for i in range(n):
+        period = draw(st.integers(2, max_period))
+        cost = draw(st.integers(1, max(1, period // 2)))
+        deadline = draw(st.integers(cost, period))
+        tasks.append(
+            Task(name=f"t{i}", cost=cost, period=period, deadline=deadline, priority=n - i)
+        )
+    ts = TaskSet(tasks)
+    assume(is_feasible(ts))
+    return ts
+
+
+def _horizon(ts: TaskSet) -> int:
+    return min(ts.hyperperiod(), 2000) + 2 * max(t.period for t in ts)
+
+
+class TestFaultFreeRuns:
+    @given(feasible_tasksets())
+    @settings(max_examples=50, deadline=None)
+    def test_no_deadline_misses(self, ts):
+        res = simulate(ts, horizon=_horizon(ts))
+        assert res.missed() == []
+
+    @given(feasible_tasksets())
+    @settings(max_examples=50, deadline=None)
+    def test_observed_response_never_exceeds_wcrt(self, ts):
+        report = analyze(ts)
+        res = simulate(ts, horizon=_horizon(ts))
+        for t in ts:
+            observed = res.max_response_time(t.name)
+            if observed is not None:
+                assert observed <= report.wcrt(t.name)
+
+    @given(feasible_tasksets())
+    @settings(max_examples=50, deadline=None)
+    def test_synchronous_first_job_of_lowest_task_hits_rta(self, ts):
+        # With synchronous release and no faults, the lowest-priority
+        # task's first job experiences exactly the critical-instant
+        # interference: its simulated response equals the analytic R0.
+        lowest = ts.tasks[-1]
+        peers = [t for t in ts if t.priority == lowest.priority]
+        assume(len(peers) == 1)
+        res = simulate(ts, horizon=_horizon(ts))
+        job0 = res.job(lowest.name, 0)
+        assert job0.response_time == response_time_constrained(lowest, ts)
+
+    @given(feasible_tasksets())
+    @settings(max_examples=50, deadline=None)
+    def test_detectors_never_trigger(self, ts):
+        res = simulate(ts, horizon=_horizon(ts), treatment=TreatmentKind.DETECT_ONLY)
+        assert res.trace.of_kind(EventKind.FAULT_DETECTED) == []
+
+    @given(feasible_tasksets())
+    @settings(max_examples=50, deadline=None)
+    def test_trace_wellformed_no_overlapping_execution(self, ts):
+        res = simulate(ts, horizon=_horizon(ts))
+        intervals = []
+        for t in ts:
+            intervals.extend(
+                (b, e) for (b, e, _j) in res.trace.execution_intervals(t.name)
+            )
+        intervals.sort()
+        for (b1, e1), (b2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= b2, f"overlap: ({b1},{e1}) vs ({b2},{e2})"
+
+    @given(feasible_tasksets())
+    @settings(max_examples=50, deadline=None)
+    def test_busy_time_equals_total_executed(self, ts):
+        res = simulate(ts, horizon=_horizon(ts))
+        executed = sum(j.executed for j in res.jobs.values())
+        assert res.busy_time == executed
+
+
+class TestFaultyRuns:
+    @given(feasible_tasksets(), st.integers(1, 40), st.integers(0, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_stop_contains_top_priority_fault(self, ts, extra, job):
+        # The paper's "most unfavourable case": the highest-priority
+        # task overruns.  Stopped at its WCRT (== its cost), it consumes
+        # no more than its declared budget, so no other task may fail.
+        top = ts.tasks[0]
+        peers = [t for t in ts if t.priority == top.priority]
+        assume(len(peers) == 1)
+        faults = FaultInjector([CostOverrun(top.name, job, extra)])
+        res = simulate(
+            ts,
+            horizon=_horizon(ts),
+            faults=faults,
+            treatment=TreatmentKind.IMMEDIATE_STOP,
+        )
+        others = [t.name for t in ts if t.name != top.name]
+        for name in others:
+            assert res.missed(name) == []
+            assert res.stopped(name) == []
+
+    @given(feasible_tasksets(), st.integers(1, 40), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_equitable_allowance_contains_any_single_fault(self, ts, extra, job):
+        # Under §4.2 each task is stopped at the inflated-system WCRT;
+        # a single faulty task consumes at most C + A, which the
+        # inflated analysis covers: non-faulty tasks never fail.
+        victim = ts.tasks[-1]
+        faults = FaultInjector([CostOverrun(victim.name, job, extra)])
+        res = simulate(
+            ts,
+            horizon=_horizon(ts),
+            faults=faults,
+            treatment=TreatmentKind.EQUITABLE_ALLOWANCE,
+        )
+        for t in ts:
+            if t.name == victim.name:
+                continue
+            assert res.missed(t.name) == []
+            assert res.stopped(t.name) == []
+
+    @given(feasible_tasksets(), st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_system_allowance_contains_single_fault_anywhere(self, ts, extra):
+        for victim in (ts.tasks[0], ts.tasks[-1]):
+            faults = FaultInjector([CostOverrun(victim.name, 0, extra)])
+            res = simulate(
+                ts,
+                horizon=_horizon(ts),
+                faults=faults,
+                treatment=TreatmentKind.SYSTEM_ALLOWANCE,
+            )
+            for t in ts:
+                if t.name == victim.name:
+                    continue
+                assert res.missed(t.name) == [], (victim.name, t.name)
+                assert res.stopped(t.name) == []
+
+    @given(feasible_tasksets(), st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_stopping_treatments_beat_no_detection(self, ts, extra):
+        # The paper's headline: treatments improve behaviour under
+        # faults.  Total failures with a stopping treatment never
+        # exceed those of the untreated run.
+        top = ts.tasks[0]
+        faults = FaultInjector([CostOverrun(top.name, 0, extra)])
+        bare = simulate(ts, horizon=_horizon(ts), faults=faults)
+        treated = simulate(
+            ts,
+            horizon=_horizon(ts),
+            faults=faults,
+            treatment=TreatmentKind.EQUITABLE_ALLOWANCE,
+        )
+        bare_missed = {(j.name, j.index) for j in bare.missed()}
+        treated_missed = {(j.name, j.index) for j in treated.missed()}
+        assert len(treated_missed) <= len(bare_missed)

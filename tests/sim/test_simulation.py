@@ -1,0 +1,216 @@
+"""Integration tests for the full simulation front-end."""
+
+import pytest
+
+from repro.core.faults import CostOverrun, FaultInjector
+from repro.core.task import Task, TaskSet
+from repro.core.treatments import TreatmentKind, plan_treatment
+from repro.sim.simulation import Simulation, simulate
+from repro.sim.trace import EventKind
+from repro.sim.vm import JRATE_VM, VMProfile, ConstantOverhead
+from repro.units import ms
+
+
+def small_set() -> TaskSet:
+    return TaskSet(
+        [
+            Task("hi", cost=2, period=10, priority=10),
+            Task("lo", cost=3, period=15, priority=5),
+        ]
+    )
+
+
+class TestPeriodicReleases:
+    def test_release_count(self):
+        res = simulate(small_set(), horizon=100)
+        assert len(res.jobs_of("hi")) == 11  # t = 0, 10, ..., 100
+        assert len(res.jobs_of("lo")) == 7
+
+    def test_offsets_respected(self):
+        ts = TaskSet([Task("t", cost=1, period=10, priority=1, offset=4)])
+        res = simulate(ts, horizon=40)
+        assert [j.release for j in res.jobs_of("t")] == [4, 14, 24, 34]
+
+    def test_schedule_matches_analysis_shape(self):
+        # hi runs [0,2) and [10,12); lo runs [2,5) etc.
+        res = simulate(small_set(), horizon=30)
+        assert res.trace.execution_intervals("hi")[0] == (0, 2, 0)
+        assert res.trace.execution_intervals("lo")[0] == (2, 5, 0)
+
+    def test_response_times_without_faults(self):
+        res = simulate(small_set(), horizon=300)
+        assert res.max_response_time("hi") == 2
+        assert res.max_response_time("lo") == 5
+
+    def test_no_deadline_misses_for_feasible_set(self):
+        res = simulate(small_set(), horizon=300)
+        assert res.missed() == []
+
+    def test_busy_and_idle_time(self):
+        ts = TaskSet([Task("t", cost=3, period=10, priority=1)])
+        res = simulate(ts, horizon=100)
+        # 11 releases (0..100); the job at t=100 is cut by the horizon.
+        assert res.busy_time == 10 * 3
+        assert res.idle_time == 100 - 30
+
+
+class TestBacklog:
+    def test_overrunning_job_delays_next_job_of_same_task(self):
+        ts = TaskSet([Task("t", cost=3, period=10, priority=1)])
+        faults = FaultInjector([CostOverrun("t", 0, 15)])  # demand 18
+        res = simulate(ts, horizon=40, faults=faults)
+        j0, j1 = res.job("t", 0), res.job("t", 1)
+        assert j0.finished_at == 18
+        # Job 1 released at 10 but starts only when job 0 ends.
+        assert j1.release == 10
+        assert j1.started_at == 18
+        assert j1.finished_at == 21
+
+    def test_deadline_miss_recorded_for_overrun(self):
+        ts = TaskSet([Task("t", cost=3, period=10, priority=1)])
+        faults = FaultInjector([CostOverrun("t", 0, 15)])
+        res = simulate(ts, horizon=40, faults=faults)
+        assert res.job("t", 0).deadline_missed
+        misses = res.trace.deadline_misses("t")
+        assert misses[0].time == 10  # absolute deadline of job 0
+
+    def test_job_finishing_exactly_at_deadline_is_not_a_miss(self):
+        ts = TaskSet([Task("t", cost=10, period=10, priority=1)])
+        res = simulate(ts, horizon=50)
+        assert res.missed() == []
+
+
+class TestDetectors:
+    def test_detector_fires_every_period(self, table2):
+        res = simulate(table2, horizon=ms(1000), treatment=TreatmentKind.DETECT_ONLY)
+        fires = [e for e in res.trace.of_kind(EventKind.DETECTOR_FIRE) if e.task == "tau1"]
+        assert [e.time for e in fires] == [ms(29 + 200 * k) for k in range(5)]
+
+    def test_no_false_positives_without_faults(self, table2):
+        res = simulate(table2, horizon=ms(3000), treatment=TreatmentKind.DETECT_ONLY)
+        assert res.trace.of_kind(EventKind.FAULT_DETECTED) == []
+
+    def test_fault_detected_on_overrun(self, figures_taskset, figures_fault, figures_horizon):
+        res = simulate(
+            figures_taskset,
+            horizon=figures_horizon,
+            faults=figures_fault,
+            treatment=TreatmentKind.DETECT_ONLY,
+        )
+        detected = [
+            (e.task, e.job) for e in res.trace.of_kind(EventKind.FAULT_DETECTED)
+        ]
+        assert ("tau1", 5) in detected
+
+    def test_job_completing_exactly_at_detector_is_not_faulty(self):
+        # WCRT of "t" is exactly its cost; the detector fires at that
+        # instant and the completion (lower rank) runs first.
+        ts = TaskSet([Task("t", cost=5, period=20, priority=1)])
+        res = simulate(ts, horizon=100, treatment=TreatmentKind.DETECT_ONLY)
+        assert res.trace.of_kind(EventKind.FAULT_DETECTED) == []
+
+
+class TestTreatmentsEndToEnd:
+    def test_immediate_stop(self, figures_taskset, figures_fault, figures_horizon):
+        res = simulate(
+            figures_taskset,
+            horizon=figures_horizon,
+            faults=figures_fault,
+            treatment=TreatmentKind.IMMEDIATE_STOP,
+        )
+        (stopped,) = res.stopped()
+        assert (stopped.name, stopped.index) == ("tau1", 5)
+        assert stopped.finished_at == ms(1029)
+        assert res.missed() == []
+
+    def test_plan_object_accepted(self, figures_taskset, figures_fault, figures_horizon):
+        plan = plan_treatment(figures_taskset, TreatmentKind.IMMEDIATE_STOP)
+        res = simulate(
+            figures_taskset,
+            horizon=figures_horizon,
+            faults=figures_fault,
+            treatment=plan,
+        )
+        assert res.stopped()
+
+    def test_no_detection_kind_means_bare_run(self, figures_taskset, figures_fault, figures_horizon):
+        res = simulate(
+            figures_taskset,
+            horizon=figures_horizon,
+            faults=figures_fault,
+            treatment=TreatmentKind.NO_DETECTION,
+        )
+        assert res.runtime is None
+        assert res.trace.of_kind(EventKind.DETECTOR_FIRE) == []
+
+    def test_stop_of_preempted_job(self):
+        # lo overruns, gets preempted by hi, and its detector fires
+        # while it is preempted: the stop must land cleanly.
+        ts = TaskSet(
+            [
+                Task("hi", cost=2, period=10, priority=10),
+                Task("lo", cost=3, period=20, deadline=18, priority=5),
+            ]
+        )
+        faults = FaultInjector([CostOverrun("lo", 0, 40)])
+        res = simulate(ts, horizon=60, faults=faults, treatment=TreatmentKind.IMMEDIATE_STOP)
+        (stopped,) = res.stopped("lo")
+        assert stopped.index == 0
+        # lo's WCRT is 5 (2 + 3); at t=5 hi isn't running, lo is -> the
+        # stop is immediate.
+        assert stopped.finished_at == 5
+
+
+class TestVMEffects:
+    def test_jrate_poll_overhead_delays_stop(self, figures_taskset, figures_fault, figures_horizon):
+        vm = VMProfile(
+            name="poll", stop_poll_overhead=ConstantOverhead(ms(2))
+        )
+        res = simulate(
+            figures_taskset,
+            horizon=figures_horizon,
+            faults=figures_fault,
+            treatment=TreatmentKind.IMMEDIATE_STOP,
+            vm=vm,
+        )
+        (stopped,) = res.stopped()
+        assert stopped.finished_at == ms(1031)  # 1029 + 2 ms poll cost
+
+    def test_jrate_timer_rounding_shifts_detectors(self, table2):
+        res = simulate(table2, horizon=ms(500), treatment=TreatmentKind.DETECT_ONLY, vm=JRATE_VM)
+        first = [e for e in res.trace.of_kind(EventKind.DETECTOR_FIRE) if e.task == "tau1"][0]
+        assert first.time == ms(30)
+
+    def test_detector_fire_cost_steals_cpu(self):
+        ts = TaskSet([Task("t", cost=5, period=20, deadline=19, priority=1)])
+        vm = VMProfile(name="det", detector_fire_cost=2)
+        res = simulate(ts, horizon=100, treatment=TreatmentKind.DETECT_ONLY, vm=vm)
+        # Detector fires at t=5 while the job just completed; the
+        # injected overhead occupies the CPU but the task is unaffected.
+        assert res.missed() == []
+        assert res.busy_time > 5 * 5
+
+    def test_context_switch_charged(self):
+        ts = TaskSet(
+            [
+                Task("hi", cost=2, period=10, priority=10),
+                Task("lo", cost=10, period=20, priority=5),
+            ]
+        )
+        vm = VMProfile(name="cs", context_switch=1)
+        res = simulate(ts, horizon=20, vm=vm)
+        # lo runs [2,10), is preempted, resumes at 12 and pays one
+        # context switch: 2 residual demand + 1 -> finishes at 15.
+        assert res.job("lo", 0).finished_at == 15
+
+
+class TestValidation:
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            Simulation(small_set(), horizon=0)
+
+    def test_result_job_lookup(self):
+        res = simulate(small_set(), horizon=30)
+        assert res.job("hi", 1).release == 10
+        with pytest.raises(KeyError):
+            res.job("hi", 99)

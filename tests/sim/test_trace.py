@@ -1,0 +1,87 @@
+"""Unit tests for trace recording and queries."""
+
+from repro.sim.trace import EventKind, Trace
+
+
+def build_trace() -> Trace:
+    tr = Trace()
+    tr.record(0, EventKind.RELEASE, "a", 0)
+    tr.record(0, EventKind.START, "a", 0)
+    tr.record(5, EventKind.PREEMPT, "a", 0)
+    tr.record(5, EventKind.RELEASE, "b", 0)
+    tr.record(5, EventKind.START, "b", 0)
+    tr.record(8, EventKind.COMPLETE, "b", 0)
+    tr.record(8, EventKind.RESUME, "a", 0)
+    tr.record(12, EventKind.COMPLETE, "a", 0)
+    tr.record(20, EventKind.DEADLINE_MISS, "a", 1)
+    return tr
+
+
+class TestQueries:
+    def test_len_and_iteration(self):
+        tr = build_trace()
+        assert len(tr) == 9
+        assert len(list(tr)) == 9
+
+    def test_of_kind(self):
+        tr = build_trace()
+        releases = tr.of_kind(EventKind.RELEASE)
+        assert [(e.task, e.time) for e in releases] == [("a", 0), ("b", 5)]
+
+    def test_of_multiple_kinds(self):
+        tr = build_trace()
+        got = tr.of_kind(EventKind.START, EventKind.COMPLETE)
+        assert len(got) == 4
+
+    def test_for_task(self):
+        tr = build_trace()
+        assert all(e.task == "b" for e in tr.for_task("b"))
+        assert len(tr.for_task("b")) == 3
+
+    def test_filter(self):
+        tr = build_trace()
+        late = tr.filter(lambda e: e.time >= 8)
+        assert len(late) == 4
+
+    def test_deadline_misses(self):
+        tr = build_trace()
+        assert len(tr.deadline_misses()) == 1
+        assert len(tr.deadline_misses("a")) == 1
+        assert tr.deadline_misses("b") == []
+
+    def test_end_time(self):
+        assert build_trace().end_time() == 20
+        assert Trace().end_time() == 0
+
+
+class TestExecutionIntervals:
+    def test_reconstruction_with_preemption(self):
+        tr = build_trace()
+        assert tr.execution_intervals("a") == [(0, 5, 0), (8, 12, 0)]
+        assert tr.execution_intervals("b") == [(5, 8, 0)]
+
+    def test_open_interval_dropped(self):
+        tr = Trace()
+        tr.record(0, EventKind.START, "a", 0)
+        # never completes
+        assert tr.execution_intervals("a") == []
+
+    def test_zero_width_interval_dropped(self):
+        tr = Trace()
+        tr.record(3, EventKind.START, "a", 0)
+        tr.record(3, EventKind.STOP, "a", 0)
+        assert tr.execution_intervals("a") == []
+
+    def test_stop_closes_interval(self):
+        tr = Trace()
+        tr.record(0, EventKind.START, "a", 0)
+        tr.record(4, EventKind.STOP, "a", 0)
+        assert tr.execution_intervals("a") == [(0, 4, 0)]
+
+
+class TestDump:
+    def test_dump_lines(self):
+        tr = build_trace()
+        dump = tr.dump()
+        assert len(dump.splitlines()) == len(tr)
+        assert "release a#0" in dump

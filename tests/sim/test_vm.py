@@ -1,0 +1,72 @@
+"""Unit tests for VM profiles and overhead models."""
+
+import pytest
+
+from repro.core.detection import RoundingMode
+from repro.sim.vm import (
+    EXACT_VM,
+    JRATE_VM,
+    ConstantOverhead,
+    NoOverhead,
+    UniformOverhead,
+    VMProfile,
+    jrate_vm,
+)
+from repro.units import ms
+
+
+class TestOverheadModels:
+    def test_no_overhead(self):
+        assert NoOverhead().sample() == 0
+
+    def test_constant(self):
+        model = ConstantOverhead(5)
+        assert [model.sample() for _ in range(3)] == [5, 5, 5]
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantOverhead(-1)
+
+    def test_uniform_bounds(self):
+        model = UniformOverhead(10, 20, seed=1)
+        samples = [model.sample() for _ in range(200)]
+        assert all(10 <= s <= 20 for s in samples)
+        assert min(samples) < max(samples)  # actually varies
+
+    def test_uniform_deterministic_per_seed(self):
+        a = [UniformOverhead(0, 100, seed=7).sample() for _ in range(10)]
+        b_model = UniformOverhead(0, 100, seed=7)
+        b = [b_model.sample() for _ in range(10)]
+        assert a[0] == b[0]  # same first draw
+        # Full sequences from two fresh models agree.
+        c = [UniformOverhead(0, 100, seed=7) for _ in range(1)]
+        assert [m.sample() for m in c * 1][0] == a[0]
+
+    def test_uniform_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformOverhead(5, 3)
+        with pytest.raises(ValueError):
+            UniformOverhead(-1, 3)
+
+
+class TestProfiles:
+    def test_exact_profile(self):
+        assert EXACT_VM.timer_rounding.mode is RoundingMode.NONE
+        assert EXACT_VM.stop_poll_overhead.sample() == 0
+        assert EXACT_VM.detector_fire_cost == 0
+
+    def test_jrate_profile(self):
+        assert JRATE_VM.timer_rounding.mode is RoundingMode.UP
+        assert JRATE_VM.timer_rounding.resolution == ms(10)
+        assert 0 <= JRATE_VM.stop_poll_overhead.sample() <= ms(3)
+
+    def test_jrate_factory_seeding(self):
+        a = jrate_vm(seed=1).stop_poll_overhead.sample()
+        b = jrate_vm(seed=1).stop_poll_overhead.sample()
+        assert a == b
+
+    def test_invalid_costs_rejected(self):
+        with pytest.raises(ValueError):
+            VMProfile(detector_fire_cost=-1)
+        with pytest.raises(ValueError):
+            VMProfile(context_switch=-1)

@@ -1,0 +1,67 @@
+"""The public API surface: everything advertised must import and work.
+
+Acts as both a smoke test and a guard against accidental breakage of
+the names downstream users rely on (the README quickstart)."""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_readme_quickstart(self):
+        # Exactly the snippet from the README/package docstring.
+        from repro import Task, TaskSet, analyze, equitable_allowance, ms
+
+        ts = TaskSet(
+            [
+                Task("tau1", cost=ms(29), period=ms(200), deadline=ms(70), priority=20),
+                Task("tau2", cost=ms(29), period=ms(250), deadline=ms(120), priority=18),
+                Task("tau3", cost=ms(29), period=ms(1500), deadline=ms(120), priority=16),
+            ]
+        )
+        report = analyze(ts)
+        assert report.feasible
+        assert [report.wcrt(n) for n in ("tau1", "tau2", "tau3")] == [
+            ms(29),
+            ms(58),
+            ms(87),
+        ]
+        assert equitable_allowance(ts) == ms(11)
+
+
+class TestSubpackages:
+    def test_sim_exports(self):
+        from repro import sim
+
+        for name in sim.__all__:
+            assert hasattr(sim, name), name
+
+    def test_rtsj_exports(self):
+        from repro import rtsj
+
+        for name in rtsj.__all__:
+            assert hasattr(rtsj, name), name
+
+    def test_workloads_exports(self):
+        from repro import workloads
+
+        for name in workloads.__all__:
+            assert hasattr(workloads, name), name
+
+    def test_viz_exports(self):
+        from repro import viz
+
+        for name in viz.__all__:
+            assert hasattr(viz, name), name
+
+    def test_experiments_exports(self):
+        from repro import experiments
+
+        for name in experiments.__all__:
+            assert hasattr(experiments, name), name

@@ -1,0 +1,51 @@
+"""Unit tests for time unit helpers."""
+
+import pytest
+
+from repro.units import MS, US, fmt_ms, fmt_time, ms, ns, seconds, to_ms, to_us, us
+
+
+class TestConversions:
+    def test_scales(self):
+        assert ns(5) == 5
+        assert us(5) == 5_000
+        assert ms(5) == 5_000_000
+        assert seconds(5) == 5_000_000_000
+
+    def test_float_inputs_exact(self):
+        assert ms(0.5) == 500_000
+        assert ms(0.001) == 1_000
+        assert us(1.5) == 1_500
+
+    def test_sub_nanosecond_rejected(self):
+        with pytest.raises(ValueError):
+            ns(0.5)
+        with pytest.raises(ValueError):
+            us(0.0001)
+
+    def test_to_ms(self):
+        assert to_ms(ms(29)) == 29.0
+        assert to_ms(us(1500)) == 1.5
+
+    def test_to_us(self):
+        assert to_us(us(7)) == 7.0
+
+
+class TestFormatting:
+    def test_fmt_ms(self):
+        assert fmt_ms(ms(29)) == "29ms"
+        assert fmt_ms(us(1500)) == "1.5ms"
+
+    def test_fmt_time_selects_unit(self):
+        assert fmt_time(0) == "0"
+        assert fmt_time(ms(3)) == "3ms"
+        assert fmt_time(us(3)) == "3us"
+        assert fmt_time(seconds(2)) == "2s"
+        assert fmt_time(5) == "5ns"
+
+    def test_fmt_time_fractional(self):
+        assert fmt_time(ms(1) + us(500)) == "1.5ms"
+
+    def test_constants(self):
+        assert MS == 1_000_000
+        assert US == 1_000

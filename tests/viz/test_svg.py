@@ -1,0 +1,70 @@
+"""Unit tests for the SVG Gantt renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.treatments import TreatmentKind
+from repro.sim.simulation import simulate
+from repro.units import ms
+from repro.viz.svg import SvgOptions, render_svg
+from repro.workloads.scenarios import (
+    paper_fault,
+    paper_figures_taskset,
+    paper_horizon,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(
+        paper_figures_taskset(),
+        horizon=paper_horizon(),
+        faults=paper_fault(),
+        treatment=TreatmentKind.IMMEDIATE_STOP,
+    )
+
+
+class TestSvg:
+    def test_valid_xml(self, result):
+        svg = render_svg(result)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_task_labels_present(self, result):
+        svg = render_svg(result)
+        for name in ("tau1", "tau2", "tau3"):
+            assert name in svg
+
+    def test_title_rendered_and_escaped(self, result):
+        svg = render_svg(result, SvgOptions(title="a <b> & c"))
+        assert "a &lt;b&gt; &amp; c" in svg
+
+    def test_execution_rectangles_exist(self, result):
+        svg = render_svg(result, SvgOptions(start=ms(950), end=ms(1200)))
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f"{ns}rect")
+        # Background + at least one execution rect per task.
+        assert len(rects) >= 4
+
+    def test_stop_marker_in_window(self, result):
+        with_stop = render_svg(result, SvgOptions(start=ms(950), end=ms(1200)))
+        without = render_svg(result, SvgOptions(start=0, end=ms(100)))
+        assert with_stop.count("#c00") > without.count("#c00")
+
+    def test_threshold_chevrons(self, result):
+        svg = render_svg(
+            result,
+            SvgOptions(start=ms(950), end=ms(1200)),
+            thresholds={"tau1": ms(29)},
+        )
+        assert "M " in svg  # chevron path present
+
+    def test_axis_labels(self, result):
+        svg = render_svg(result, SvgOptions(start=0, end=ms(1000)))
+        assert "0 ms" in svg and "1000 ms" in svg
+
+    def test_invalid_window(self, result):
+        with pytest.raises(ValueError):
+            render_svg(result, SvgOptions(start=5, end=5))

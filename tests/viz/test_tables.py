@@ -1,0 +1,38 @@
+"""Unit tests for the text table formatter."""
+
+import pytest
+
+from repro.viz.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "value"], [("tau1", 29), ("longer-name", 5)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        # Numeric column right-aligned: the "5" sits under the "29"'s
+        # last digit.
+        assert lines[2].rstrip().endswith("29")
+        assert lines[3].rstrip().endswith("5")
+
+    def test_title(self):
+        out = format_table(["a"], [(1,)], title="Table X")
+        assert out.splitlines()[0] == "Table X"
+
+    def test_floats_formatted(self):
+        out = format_table(["v"], [(29.0,), (1.5,)])
+        assert "29" in out and "1.5" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+    def test_text_left_aligned(self):
+        out = format_table(["task", "x"], [("t1", 1), ("verylongname", 2)])
+        body = out.splitlines()[2]
+        assert body.startswith("t1 ")

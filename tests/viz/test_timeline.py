@@ -1,0 +1,89 @@
+"""Unit tests for the ASCII timeline renderer (tool #2)."""
+
+import pytest
+
+from repro.core.treatments import TreatmentKind
+from repro.sim.simulation import simulate
+from repro.units import ms
+from repro.viz.timeline import LEGEND, TimelineOptions, render_timeline
+from repro.workloads.scenarios import (
+    paper_fault,
+    paper_figures_taskset,
+    paper_horizon,
+)
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return simulate(
+        paper_figures_taskset(),
+        horizon=paper_horizon(),
+        faults=paper_fault(),
+        treatment=TreatmentKind.SYSTEM_ALLOWANCE,
+    )
+
+
+class TestRendering:
+    def test_contains_all_tasks_and_legend(self, fig7_result):
+        out = render_timeline(fig7_result)
+        for name in ("tau1", "tau2", "tau3"):
+            assert name in out
+        assert LEGEND.split(":")[0] in out
+
+    def test_window_header(self, fig7_result):
+        out = render_timeline(
+            fig7_result, TimelineOptions(start=ms(950), end=ms(1200))
+        )
+        assert "950..1200 ms" in out
+
+    def test_stop_marker_present(self, fig7_result):
+        out = render_timeline(
+            fig7_result, TimelineOptions(start=ms(950), end=ms(1200))
+        )
+        assert "X" in out
+
+    def test_detector_marker_present(self, fig7_result):
+        out = render_timeline(
+            fig7_result, TimelineOptions(start=ms(950), end=ms(1200))
+        )
+        assert "D" in out
+
+    def test_deadline_miss_marker(self):
+        res = simulate(
+            paper_figures_taskset(),
+            horizon=paper_horizon(),
+            faults=paper_fault(),
+        )
+        out = render_timeline(res, TimelineOptions(start=ms(950), end=ms(1200)))
+        assert "!" in out  # tau3's miss
+
+    def test_threshold_chevrons(self, fig7_result):
+        out = render_timeline(
+            fig7_result,
+            TimelineOptions(start=ms(950), end=ms(1200)),
+            thresholds={"tau1": ms(62)},
+        )
+        assert ">" in out
+
+    def test_no_legend_option(self, fig7_result):
+        out = render_timeline(fig7_result, TimelineOptions(show_legend=False))
+        assert "legend" not in out
+
+    def test_invalid_window(self, fig7_result):
+        with pytest.raises(ValueError):
+            render_timeline(fig7_result, TimelineOptions(start=10, end=10))
+
+    def test_line_lengths_bounded(self, fig7_result):
+        opts = TimelineOptions(start=ms(950), end=ms(1200), width=80)
+        out = render_timeline(fig7_result, opts)
+        label_w = max(len("tau1"), len("tau2"), len("tau3")) + 2
+        for line in out.splitlines()[1:-1]:
+            assert len(line) <= label_w + 80 + 10
+
+    def test_events_outside_window_ignored(self, fig7_result):
+        # A narrow window before the fault: no stop marker (ignore the
+        # legend line, which spells out the symbol).
+        out = render_timeline(
+            fig7_result, TimelineOptions(start=0, end=ms(100), show_legend=False)
+        )
+        assert "X" not in out

@@ -1,0 +1,34 @@
+"""Timeline rendering of resource events (lock/unlock/blocked)."""
+
+from repro.core.task import Task, TaskSet
+from repro.sim.locking import LockProtocol, SectionSpec
+from repro.sim.simulation import simulate
+from repro.viz.timeline import TimelineOptions, render_timeline
+
+
+def contended_run():
+    ts = TaskSet(
+        [
+            Task("hi", cost=10, period=100, priority=10, offset=5),
+            Task("lo", cost=20, period=200, priority=1),
+        ]
+    )
+    sections = [SectionSpec("lo", "r", 0, 12), SectionSpec("hi", "r", 2, 3)]
+    return simulate(ts, horizon=100, sections=sections, protocol=LockProtocol.PIP)
+
+
+class TestLockMarkers:
+    def test_lock_and_unlock_markers(self):
+        out = render_timeline(contended_run(), TimelineOptions(start=0, end=50))
+        assert "L" in out
+        assert "u" in out
+
+    def test_blocked_marker(self):
+        out = render_timeline(
+            contended_run(), TimelineOptions(start=0, end=50, show_legend=False)
+        )
+        assert "b" in out
+
+    def test_legend_documents_lock_symbols(self):
+        out = render_timeline(contended_run(), TimelineOptions(start=0, end=50))
+        assert "L lock" in out and "b blocked" in out

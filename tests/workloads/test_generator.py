@@ -1,0 +1,88 @@
+"""Unit tests for the random workload generators."""
+
+import random
+
+import pytest
+
+from repro.core.bounds import is_implicit_deadline
+from repro.workloads.generator import (
+    GeneratorConfig,
+    log_uniform_periods,
+    random_taskset,
+    uunifast,
+)
+
+
+class TestUUniFast:
+    def test_sums_to_target(self):
+        rng = random.Random(1)
+        for n in (1, 2, 5, 20):
+            utils = uunifast(n, 0.7, rng)
+            assert len(utils) == n
+            assert sum(utils) == pytest.approx(0.7)
+
+    def test_all_positive(self):
+        rng = random.Random(2)
+        assert all(u > 0 for u in uunifast(10, 0.9, rng))
+
+    def test_deterministic_for_seed(self):
+        a = uunifast(5, 0.5, random.Random(42))
+        b = uunifast(5, 0.5, random.Random(42))
+        assert a == b
+
+    def test_invalid_args(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            uunifast(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            uunifast(3, 0, rng)
+
+
+class TestPeriods:
+    def test_within_bounds_and_granular(self):
+        rng = random.Random(3)
+        periods = log_uniform_periods(50, rng, lo=1000, hi=100_000, granularity=500)
+        assert all(1000 <= p <= 100_500 for p in periods)
+        assert all(p % 500 == 0 for p in periods)
+
+    def test_invalid_bounds(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            log_uniform_periods(3, rng, lo=0, hi=10)
+        with pytest.raises(ValueError):
+            log_uniform_periods(3, rng, lo=10, hi=5)
+
+
+class TestRandomTaskset:
+    def test_shape(self):
+        ts = random_taskset(GeneratorConfig(n=6, utilization=0.5, seed=1))
+        assert len(ts) == 6
+        assert ts.utilization == pytest.approx(0.5, abs=0.15)
+
+    def test_deterministic(self):
+        a = random_taskset(GeneratorConfig(seed=9))
+        b = random_taskset(GeneratorConfig(seed=9))
+        assert a == b
+
+    def test_seed_changes_result(self):
+        a = random_taskset(GeneratorConfig(seed=1))
+        b = random_taskset(GeneratorConfig(seed=2))
+        assert a != b
+
+    def test_implicit_deadlines_by_default(self):
+        ts = random_taskset(GeneratorConfig(seed=3))
+        assert is_implicit_deadline(ts)
+
+    def test_constrained_deadline_factor(self):
+        ts = random_taskset(GeneratorConfig(seed=4, deadline_factor=0.6))
+        assert all(t.deadline <= t.period for t in ts)
+
+    def test_priorities_deadline_monotonic(self):
+        ts = random_taskset(GeneratorConfig(seed=5, n=8))
+        tasks = ts.tasks
+        for a, b in zip(tasks, tasks[1:]):
+            assert a.deadline <= b.deadline
+
+    def test_overrides(self):
+        ts = random_taskset(GeneratorConfig(seed=1), n=3)
+        assert len(ts) == 3

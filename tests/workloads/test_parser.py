@@ -1,0 +1,125 @@
+"""Unit tests for the scenario file parser (measurement tool #1)."""
+
+import pytest
+
+from repro.core.treatments import TreatmentKind
+from repro.units import MS, US, ms
+from repro.workloads.parser import (
+    Scenario,
+    ScenarioError,
+    format_scenario,
+    load_scenario,
+    parse_scenario,
+)
+
+PAPER_FILE = """
+# The paper's tested system (Table 2), figures phasing.
+@unit ms
+@horizon 1600
+@treatment system-allowance
+task tau1 priority=20 cost=29 period=200  deadline=70
+task tau2 priority=18 cost=29 period=250  deadline=120
+task tau3 priority=16 cost=29 period=1500 deadline=120 offset=1000
+fault tau1 job=5 extra=40
+"""
+
+
+class TestParsing:
+    def test_paper_file(self):
+        sc = parse_scenario(PAPER_FILE)
+        assert len(sc.taskset) == 3
+        assert sc.taskset["tau1"].cost == ms(29)
+        assert sc.taskset["tau3"].offset == ms(1000)
+        assert sc.horizon == ms(1600)
+        assert sc.treatment is TreatmentKind.SYSTEM_ALLOWANCE
+        assert sc.faults.demand("tau1", 5, ms(29)) == ms(69)
+        assert sc.faults.demand("tau1", 4, ms(29)) == ms(29)
+
+    def test_positional_fields(self):
+        sc = parse_scenario("task a 10 5 100 80 3")
+        t = sc.taskset["a"]
+        assert (t.priority, t.cost, t.period, t.deadline, t.offset) == (
+            10,
+            ms(5),
+            ms(100),
+            ms(80),
+            ms(3),
+        )
+
+    def test_deadline_defaults_to_period(self):
+        sc = parse_scenario("task a priority=1 cost=5 period=100")
+        assert sc.taskset["a"].deadline == ms(100)
+
+    def test_unit_directive(self):
+        sc = parse_scenario("@unit us\ntask a priority=1 cost=5 period=100")
+        assert sc.taskset["a"].cost == 5 * US
+
+    def test_fractional_durations(self):
+        sc = parse_scenario("task a priority=1 cost=0.5 period=10")
+        assert sc.taskset["a"].cost == MS // 2
+
+    def test_underrun_fault(self):
+        sc = parse_scenario(
+            "task a priority=1 cost=5 period=100\nfault a job=0 saved=2"
+        )
+        assert sc.faults.demand("a", 0, ms(5)) == ms(3)
+
+    def test_comments_and_blank_lines(self):
+        sc = parse_scenario("\n# hello\ntask a priority=1 cost=1 period=2 # inline\n\n")
+        assert len(sc.taskset) == 1
+
+    def test_mixed_positional_and_keyword(self):
+        sc = parse_scenario("task a 10 cost=5 period=100")
+        assert sc.taskset["a"].priority == 10
+        assert sc.taskset["a"].cost == ms(5)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",  # no tasks
+            "task a priority=1 cost=5",  # missing period
+            "task a priority=1 cost=5 period=100 bogus=3",
+            "task a priority=1 cost=5 period=100 cost=6",
+            "@unit parsecs\ntask a priority=1 cost=5 period=100",
+            "@treatment nonsense\ntask a priority=1 cost=5 period=100",
+            "task a priority=1 cost=5 period=100\nfault b job=0 extra=1",
+            "task a priority=1 cost=5 period=100\nfault a extra=1",
+            "task a priority=1 cost=5 period=100\nfault a job=0",
+            "frob a b c",
+            "task a 1 2 3 4 5 6 7",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ScenarioError):
+            parse_scenario(text)
+
+    def test_error_carries_location(self):
+        with pytest.raises(ScenarioError, match="myfile:2"):
+            parse_scenario("task a priority=1 cost=5 period=10\ntask b oops", source="myfile")
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        original = parse_scenario(PAPER_FILE)
+        text = format_scenario(original)
+        reparsed = parse_scenario(text)
+        assert reparsed.taskset == original.taskset
+        assert reparsed.horizon == original.horizon
+        assert reparsed.treatment == original.treatment
+        assert reparsed.faults.deviations == original.faults.deviations
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "scenario.txt"
+        path.write_text(PAPER_FILE)
+        sc = load_scenario(path)
+        assert len(sc.taskset) == 3
+
+    def test_horizon_default_is_hyperperiod(self):
+        sc = parse_scenario("task a priority=1 cost=1 period=4\ntask b priority=2 cost=1 period=6")
+        assert sc.horizon_or_default() == ms(12)
+
+    def test_horizon_default_includes_offset(self):
+        sc = parse_scenario("task a priority=1 cost=1 period=4 offset=100")
+        assert sc.horizon_or_default() == ms(104)

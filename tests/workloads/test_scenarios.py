@@ -1,0 +1,67 @@
+"""Unit tests for the paper's canned scenarios."""
+
+from repro.core.feasibility import analyze, is_feasible
+from repro.units import ms
+from repro.workloads.scenarios import (
+    PAPER_FAULTY_JOB,
+    lehoczky_example,
+    paper_fault,
+    paper_figures_taskset,
+    paper_horizon,
+    paper_table1,
+    paper_table2,
+)
+
+
+class TestPaperTable2:
+    def test_parameters(self):
+        ts = paper_table2()
+        assert ts["tau1"].priority == 20
+        assert ts["tau2"].period == ms(250)
+        assert ts["tau3"].deadline == ms(120)
+        assert all(t.cost == ms(29) for t in ts)
+        assert all(t.offset == 0 for t in ts)
+
+    def test_feasible(self):
+        assert is_feasible(paper_table2())
+
+
+class TestFiguresVariant:
+    def test_tau3_phased(self):
+        ts = paper_figures_taskset()
+        assert ts["tau3"].offset == ms(1000)
+        assert ts["tau1"].offset == 0
+
+    def test_coactivation_at_1000(self):
+        # "the fifth job of tau1, which coincides with the activation
+        # of a job of tau2 and tau3".
+        ts = paper_figures_taskset()
+        assert ts["tau1"].release_time(5) == ms(1000)
+        assert ts["tau2"].release_time(4) == ms(1000)
+        assert ts["tau3"].release_time(0) == ms(1000)
+
+    def test_fault_targets_the_coactivated_job(self):
+        faults = paper_fault()
+        assert faults.demand("tau1", PAPER_FAULTY_JOB, ms(29)) == ms(69)
+        assert faults.demand("tau1", 0, ms(29)) == ms(29)
+
+    def test_horizon_covers_the_window(self):
+        assert paper_horizon() >= ms(1200)
+
+
+class TestPaperTable1:
+    def test_as_printed_is_infeasible(self):
+        # Documented OCR inconsistency: tau2's D=2 cannot absorb tau1's
+        # 3 ms interference.
+        report = analyze(paper_table1())
+        assert not report.feasible
+        assert report.wcrt("tau2") > paper_table1()["tau2"].deadline
+
+
+class TestLehoczky:
+    def test_wcrt_not_at_first_job(self):
+        ts = lehoczky_example()
+        report = analyze(ts)
+        assert report.wcrt("t2") == 118
+        assert ts["t2"].deadline == 120
+        assert report.feasible

@@ -1,0 +1,97 @@
+"""Property-based tests for the workload layer (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.task import Task, TaskSet
+from repro.units import MS
+from repro.workloads.generator import GeneratorConfig, random_taskset, uunifast
+from repro.workloads.parser import Scenario, format_scenario, parse_scenario
+
+
+class TestUUniFastProperties:
+    @given(st.integers(1, 30), st.floats(0.05, 2.0), st.integers(0, 10_000))
+    @settings(max_examples=80)
+    def test_sum_and_positivity(self, n, total, seed):
+        utils = uunifast(n, total, random.Random(seed))
+        assert len(utils) == n
+        assert abs(sum(utils) - total) < 1e-9
+        assert all(u >= 0 for u in utils)
+
+
+class TestGeneratorProperties:
+    @given(st.integers(1, 8), st.floats(0.1, 0.95), st.integers(0, 500))
+    @settings(max_examples=40)
+    def test_structural_invariants(self, n, util, seed):
+        ts = random_taskset(GeneratorConfig(n=n, utilization=util, seed=seed))
+        assert len(ts) == n
+        for t in ts:
+            assert 1 <= t.cost <= t.deadline
+            assert t.deadline <= t.period
+            assert t.period % 1_000_000 == 0  # granularity respected
+        priorities = [t.priority for t in ts]
+        assert len(set(priorities)) == n  # distinct
+
+
+@st.composite
+def scenarios(draw) -> Scenario:
+    """Random well-formed scenarios (for round-trip testing)."""
+    n = draw(st.integers(1, 5))
+    tasks = []
+    for i in range(n):
+        period = draw(st.integers(2, 500)) * MS
+        cost = draw(st.integers(1, period // MS)) * MS
+        deadline = draw(st.integers(cost // MS, 2 * period // MS)) * MS
+        offset = draw(st.integers(0, 50)) * MS
+        tasks.append(
+            Task(
+                name=f"t{i}",
+                cost=cost,
+                period=period,
+                deadline=deadline,
+                priority=draw(st.integers(1, 30)),
+                offset=offset,
+            )
+        )
+    from repro.core.faults import CostOverrun, CostUnderrun, FaultInjector
+    from repro.core.treatments import TreatmentKind
+
+    deviations = []
+    for i in range(draw(st.integers(0, 3))):
+        target = draw(st.sampled_from(tasks))
+        job = draw(st.integers(0, 9))
+        if draw(st.booleans()):
+            deviations.append(CostOverrun(target.name, job, draw(st.integers(1, 50)) * MS))
+        else:
+            deviations.append(CostUnderrun(target.name, job, draw(st.integers(1, 50)) * MS))
+    treatment = draw(st.sampled_from([None, *TreatmentKind]))
+    horizon = draw(st.one_of(st.none(), st.integers(1, 10_000).map(lambda v: v * MS)))
+    return Scenario(
+        taskset=TaskSet(tasks),
+        faults=FaultInjector(deviations),
+        treatment=treatment,
+        horizon=horizon,
+    )
+
+
+class TestParserRoundTripProperty:
+    @given(scenarios())
+    @settings(max_examples=60)
+    def test_format_parse_identity(self, scenario):
+        text = format_scenario(scenario)
+        reparsed = parse_scenario(text)
+        assert reparsed.taskset == scenario.taskset
+        assert reparsed.horizon == scenario.horizon
+        assert reparsed.treatment == scenario.treatment
+        assert reparsed.faults.deviations == scenario.faults.deviations
+
+    @given(scenarios())
+    @settings(max_examples=30)
+    def test_format_is_stable(self, scenario):
+        once = format_scenario(scenario)
+        twice = format_scenario(parse_scenario(once))
+        assert once == twice
