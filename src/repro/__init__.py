@@ -14,7 +14,10 @@ The package provides:
 * :mod:`repro.workloads` — task-set parsers, generators and the paper's
   concrete systems;
 * :mod:`repro.viz` — the time-series chart tooling (Figures 3-7 style);
-* :mod:`repro.experiments` — runners regenerating every table/figure.
+* :mod:`repro.experiments` — runners regenerating every table/figure;
+* :mod:`repro.analysis` — the static invariant checker
+  (``python -m repro.analysis``): integer-nanosecond time discipline,
+  determinism, and task-system consistency diagnostics.
 
 Quickstart::
 

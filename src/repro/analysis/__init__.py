@@ -1,0 +1,60 @@
+"""Static invariant checking for the reproduction.
+
+Two layers share one :class:`~repro.analysis.diagnostics.Diagnostic`
+vocabulary:
+
+* :mod:`repro.analysis.lint` — an AST linter with pluggable rules
+  (``RT0xx`` codes) enforcing integer-nanosecond time discipline,
+  determinism, frozen-dataclass immutability and named engine ranks;
+* :mod:`repro.analysis.taskset` — a semantic validator for scenario
+  files and task sets (``TS0xx`` codes: parameter sanity, utilization,
+  deadline anomalies, priority collisions).
+
+Run both from the command line::
+
+    python -m repro.analysis src/repro examples --format json
+
+and from tests/CI via :func:`check_paths`.  The repository's own tree
+is kept violation-free by ``tests/analysis/test_self_lint.py``.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    render_json,
+    render_text,
+    worst_severity,
+)
+from repro.analysis.lint import (
+    Rule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.analysis.taskset import (
+    validate_scenario_file,
+    validate_scenario_text,
+    validate_taskset,
+)
+from repro.analysis.cli import check_paths, main
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "render_json",
+    "render_text",
+    "worst_severity",
+    "Rule",
+    "register",
+    "all_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "validate_taskset",
+    "validate_scenario_text",
+    "validate_scenario_file",
+    "check_paths",
+    "main",
+]

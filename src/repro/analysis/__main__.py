@@ -1,0 +1,16 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import os
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — normal CLI
+        # usage, not an error worth a traceback.  Detach stdout so the
+        # interpreter's exit-time flush doesn't re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(1)

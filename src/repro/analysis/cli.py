@@ -1,0 +1,142 @@
+"""``python -m repro.analysis`` — check invariants from the command line.
+
+Usage::
+
+    python -m repro.analysis [paths...] [--format text|json]
+                             [--select RT001,TS003] [--list-rules]
+
+Paths may be files or directories.  ``.py`` files go through the AST
+linter; scenario files (``.scn``/``.scenario``/``.tasks``, or any
+non-Python file named explicitly) go through the task-system validator.
+With no paths, ``src/repro`` is checked when it exists, else the
+current directory.
+
+Exit status: 0 when clean or warnings only, 1 when any error-severity
+diagnostic was produced (or with ``--strict``, any diagnostic at all),
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.analysis.lint import PARSE_ERROR_CODE, all_rules, lint_file, iter_python_files
+from repro.analysis.taskset import SCENARIO_SUFFIXES, TS_CODES, validate_scenario_file
+
+__all__ = ["main", "check_paths"]
+
+
+def check_paths(
+    paths: Sequence[str | Path], *, codes: Sequence[str] | None = None
+) -> list[Diagnostic]:
+    """Run the linter and the task-system validator over *paths*."""
+    out: list[Diagnostic] = []
+    scenario_files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            scenario_files.extend(
+                f for f in sorted(p.rglob("*")) if f.suffix in SCENARIO_SUFFIXES
+            )
+        elif p.suffix != ".py":
+            scenario_files.append(p)
+    for py in iter_python_files(paths):
+        out.extend(lint_file(py, codes=codes))
+    for scn in scenario_files:
+        out.extend(validate_scenario_file(scn))
+    if codes is not None:
+        wanted = {c.upper() for c in codes}
+        out = [d for d in out if d.code in wanted]
+    return out
+
+
+def _list_rules() -> str:
+    lines = ["code   severity  name"]
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.severity.value:8}  {rule.name}")
+        lines.append(f"       {rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant checker: integer-nanosecond time "
+        "discipline, determinism, and task-system consistency.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated diagnostic codes to enable (e.g. RT003,TS003)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the lint rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = args.paths
+    if not paths:
+        default = Path("src/repro")
+        paths = [str(default)] if default.is_dir() else ["."]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    codes = None
+    if args.select:
+        codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        known = {r.code for r in all_rules()} | TS_CODES | {PARSE_ERROR_CODE}
+        unknown = sorted(set(codes) - known)
+        if unknown:
+            print(
+                f"error: unknown diagnostic code(s): {', '.join(unknown)} "
+                f"(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+    diagnostics = check_paths(paths, codes=codes)
+
+    if args.format == "json":
+        print(render_json(diagnostics))
+    elif diagnostics:
+        print(render_text(diagnostics))
+    else:
+        print("clean: no diagnostics")
+
+    if any(d.severity is Severity.ERROR for d in diagnostics):
+        return 1
+    if diagnostics and args.strict:
+        return 1
+    return 0

@@ -1,0 +1,130 @@
+"""Structured diagnostics shared by the linter and the task-set validator.
+
+Every finding — whether it comes from an AST rule (``RT0xx``) or from
+the semantic task-system validator (``TS0xx``) — is a
+:class:`Diagnostic`: a stable code, a severity, a precise location and
+a human-readable message plus a fix hint.  Keeping one record type
+means one text formatter, one JSON formatter and one exit-code policy
+for the whole ``python -m repro.analysis`` front end.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "render_text",
+    "render_json",
+    "worst_severity",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  ``ERROR`` findings fail the build."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, pin-pointed to ``path:line:column``.
+
+    Parameters
+    ----------
+    code:
+        Stable identifier (``RT001`` … for lint rules, ``TS001`` … for
+        task-system checks).  Codes never change meaning once shipped;
+        retired codes are not reused.
+    severity:
+        :class:`Severity`; only errors affect the CLI exit status *and*
+        the self-lint test, warnings are advisory.
+    message:
+        One-line description of the specific finding.
+    path:
+        File the finding is in (as given to the checker).
+    line:
+        1-based line number (0 when the finding is file-level).
+    column:
+        1-based column (0 when unknown).
+    hint:
+        Short "do this instead" guidance; may be empty.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    path: str
+    line: int = 0
+    column: int = 0
+    hint: str = ""
+
+    @property
+    def location(self) -> str:
+        """``path:line:column`` with zero parts omitted."""
+        out = self.path
+        if self.line:
+            out += f":{self.line}"
+            if self.column:
+                out += f":{self.column}"
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (severity flattened to its string value)."""
+        data = asdict(self)
+        data["severity"] = self.severity.value
+        return data
+
+    def __str__(self) -> str:
+        text = f"{self.location}: {self.severity.value}[{self.code}]: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+def sort_key(diag: Diagnostic) -> tuple:
+    """Deterministic report order: by file, then position, then code."""
+    return (diag.path, diag.line, diag.column, diag.code)
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """One finding per line, sorted, with a trailing summary line."""
+    diags = sorted(diagnostics, key=sort_key)
+    lines = [str(d) for d in diags]
+    errors = sum(1 for d in diags if d.severity is Severity.ERROR)
+    warnings = len(diags) - errors
+    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """Machine-readable report: a stable top-level object so CI tooling
+    can consume it without version sniffing."""
+    diags = sorted(diagnostics, key=sort_key)
+    payload = {
+        "version": 1,
+        "diagnostics": [d.to_dict() for d in diags],
+        "summary": {
+            "errors": sum(1 for d in diags if d.severity is Severity.ERROR),
+            "warnings": sum(1 for d in diags if d.severity is Severity.WARNING),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def worst_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
+    """The most severe finding present, or ``None`` for a clean run."""
+    worst: Severity | None = None
+    for d in diagnostics:
+        if d.severity is Severity.ERROR:
+            return Severity.ERROR
+        worst = Severity.WARNING
+    return worst

@@ -1,0 +1,245 @@
+"""AST linter enforcing the reproduction's core invariants.
+
+The simulator's results are only trustworthy under two discipline rules
+that ordinary review keeps missing (exactly how the uncorrected RTSJ
+``addToFeasibility()`` shipped in the paper's baseline):
+
+* **time discipline** — every duration/instant is an integer nanosecond
+  count; float arithmetic on time silently accumulates rounding error;
+* **determinism** — no wall clocks, no process-global RNG, no
+  salted-``hash`` seeds; a scenario plus a seed must replay bit-exactly.
+
+Rules are pluggable: subclass :class:`Rule`, decorate with
+:func:`register`, drop the module into :mod:`repro.analysis.rules`.
+Each rule owns a stable ``RT0xx`` code (see the package docs for the
+full table) and reports :class:`~repro.analysis.diagnostics.Diagnostic`
+records; suppression is per-line via ``# noqa`` / ``# noqa: RT001``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Type
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Code used for files the linter cannot parse at all.
+PARSE_ERROR_CODE = "RT000"
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?", re.I)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may need about the module under inspection."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    #: Per-line suppressions: ``None`` means *all* codes on that line.
+    suppressions: dict[int, set[str] | None] = field(default_factory=dict)
+
+    @property
+    def is_units_module(self) -> bool:
+        """True for :mod:`repro.units` itself — the one module allowed
+        to convert between floats and nanosecond ticks."""
+        return Path(self.path).as_posix().endswith("repro/units.py")
+
+    def suppressed(self, line: int, code: str) -> bool:
+        if line not in self.suppressions:
+            return False
+        codes = self.suppressions[line]
+        return codes is None or code in codes
+
+
+def _scan_suppressions(source: str) -> dict[int, set[str] | None]:
+    out: dict[int, set[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if not match:
+            continue
+        codes = match.group("codes")
+        out[lineno] = {c.strip().upper() for c in codes.split(",")} if codes else None
+    return out
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules.
+
+    Subclasses set ``code``/``name``/``description`` and override the
+    ``visit_*`` methods they care about, calling :meth:`report` for each
+    finding.  One fresh instance is created per module, so rules may
+    keep per-module state (import aliases, scope stacks) freely.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        self.diagnostics: list[Diagnostic] = []
+
+    def run(self) -> list[Diagnostic]:
+        self.visit(self.ctx.tree)
+        return self.diagnostics
+
+    def report(self, node: ast.AST, message: str, *, hint: str = "") -> None:
+        line = getattr(node, "lineno", 0)
+        if self.ctx.suppressed(line, self.code):
+            return
+        self.diagnostics.append(
+            Diagnostic(
+                code=self.code,
+                severity=self.severity,
+                message=message,
+                path=self.ctx.path,
+                line=line,
+                column=getattr(node, "col_offset", -1) + 1,
+                hint=hint,
+            )
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(rule: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule* to the global registry."""
+    if not rule.code:
+        raise ValueError(f"{rule.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule
+
+
+def all_rules() -> tuple[Type[Rule], ...]:
+    """Registered rules in code order (imports the rule modules)."""
+    import repro.analysis.rules  # noqa: F401 - triggers registration
+
+    return tuple(rule for _, rule in sorted(_REGISTRY.items()))
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers used by several rules.
+# ---------------------------------------------------------------------------
+
+def module_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Local names bound to *module* by ``import`` statements
+    (``import random`` -> ``{'random'}``, ``import random as rnd`` ->
+    ``{'rnd'}``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == module:
+                    aliases.add(item.asname or item.name)
+    return aliases
+
+
+def from_imports(tree: ast.Module, module: str) -> dict[str, str]:
+    """``{local_name: original_name}`` for ``from module import ...``."""
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module and node.level == 0:
+            for item in node.names:
+                out[item.asname or item.name] = item.name
+    return out
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The bare called name: ``foo(...)`` -> ``'foo'``, else None."""
+    return node.func.id if isinstance(node.func, ast.Name) else None
+
+
+def attr_call(node: ast.Call) -> tuple[str, str] | None:
+    """``base.attr(...)`` -> ``('base', 'attr')`` when base is a Name."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+def contains_call_to(node: ast.AST, names: frozenset[str]) -> ast.Call | None:
+    """First nested call to any bare name in *names* (e.g. ``hash``)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
+            if sub.func.id in names:
+                return sub
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def lint_source(
+    source: str, path: str = "<string>", *, codes: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Lint Python *source*; returns diagnostics (possibly empty).
+
+    *codes* restricts to a subset of rule codes (default: all).
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                code=PARSE_ERROR_CODE,
+                severity=Severity.ERROR,
+                message=f"cannot parse: {exc.msg}",
+                path=path,
+                line=exc.lineno or 0,
+                column=exc.offset or 0,
+            )
+        ]
+    ctx = ModuleContext(
+        path=path, tree=tree, source=source, suppressions=_scan_suppressions(source)
+    )
+    wanted = {c.upper() for c in codes} if codes is not None else None
+    out: list[Diagnostic] = []
+    for rule_cls in all_rules():
+        if wanted is not None and rule_cls.code not in wanted:
+            continue
+        out.extend(rule_cls(ctx).run())
+    return out
+
+
+def lint_file(path: str | Path, *, codes: Iterable[str] | None = None) -> list[Diagnostic]:
+    p = Path(path)
+    return lint_source(p.read_text(), str(p), codes=codes)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files beneath them."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, codes: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    out: list[Diagnostic] = []
+    for p in iter_python_files(paths):
+        out.extend(lint_file(p, codes=codes))
+    return out

@@ -1,0 +1,25 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.lint`.  Codes:
+
+========  =======================================================
+``RT001``  raw float arithmetic on time-valued expressions
+``RT002``  wall-clock reads (``time.time``, ``datetime.now`` …)
+``RT003``  nondeterministic randomness (global RNG, unseeded
+           ``Random``, ``hash``-derived seeds)
+``RT004``  mutation of frozen dataclasses outside ``__post_init__``
+``RT005``  engine events scheduled with raw integer ranks
+========  =======================================================
+
+To add a rule: subclass :class:`repro.analysis.lint.Rule`, decorate it
+with :func:`repro.analysis.lint.register`, give it the next free code,
+and import its module below so registration runs.
+"""
+
+from repro.analysis.rules import (  # noqa: F401 - imported for registration
+    determinism,
+    engine_ranks,
+    immutability,
+    time_discipline,
+)

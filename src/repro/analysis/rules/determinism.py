@@ -1,0 +1,140 @@
+"""RT003 — every random draw must be seeded and replayable.
+
+The paper's experiments are tables of exact numbers; a reproduction can
+only be checked against them if a scenario plus a seed replays
+bit-exactly.  Three stdlib habits break that:
+
+* module-level ``random.random()`` / ``random.randint()`` … share one
+  process-global, time-seeded ``Random`` — results differ run to run
+  and interleave across call sites;
+* ``random.Random()`` with no argument seeds from the OS;
+* seeding from ``hash(...)`` looks deterministic but ``str``/``bytes``
+  hashes are salted per process (PEP 456), so the "seed" changes every
+  run unless ``PYTHONHASHSEED`` is pinned.
+
+The sanctioned route is :mod:`repro.rng`: ``stable_hash`` for
+process-independent key hashing and ``derive_rng`` for per-key seeded
+streams, or an explicitly seeded ``random.Random`` passed down by the
+caller.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import (
+    Rule,
+    attr_call,
+    contains_call_to,
+    module_aliases,
+    register,
+)
+
+__all__ = ["NondeterministicRandomness"]
+
+#: Module-level functions on ``random`` that use the global RNG.
+_GLOBAL_RNG_FUNCS = frozenset(
+    {
+        "random", "randint", "randrange", "uniform", "choice", "choices",
+        "shuffle", "sample", "expovariate", "gauss", "normalvariate",
+        "lognormvariate", "vonmisesvariate", "paretovariate", "betavariate",
+        "weibullvariate", "triangular", "getrandbits", "randbytes", "seed",
+    }
+)
+
+#: ``numpy.random`` entry points that *are* explicitly seedable.
+_NUMPY_SEEDED = frozenset({"default_rng", "RandomState", "Generator", "SeedSequence"})
+
+_HINT = (
+    "route randomness through an injectable seeded random.Random "
+    "(see repro.rng.derive_rng / stable_hash)"
+)
+
+
+@register
+class NondeterministicRandomness(Rule):
+    """RT003: randomness not routed through a seeded ``random.Random``."""
+
+    code = "RT003"
+    name = "nondeterministic-randomness"
+    description = (
+        "Module-level random functions, unseeded random.Random(), "
+        "from-imports of global RNG functions, numpy.random module-level "
+        "draws, and hash()-derived seeds are not replayable across "
+        "processes."
+    )
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._random_aliases = module_aliases(ctx.tree, "random")
+        self._numpy_aliases = module_aliases(ctx.tree, "numpy")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            bad = sorted(
+                item.name for item in node.names if item.name in _GLOBAL_RNG_FUNCS
+            )
+            if bad:
+                self.report(
+                    node,
+                    f"from random import {', '.join(bad)} binds the "
+                    f"process-global RNG",
+                    hint=_HINT,
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        base_attr = attr_call(node)
+        if base_attr is not None:
+            base, attr = base_attr
+            if base in self._random_aliases:
+                if attr in _GLOBAL_RNG_FUNCS:
+                    self.report(
+                        node,
+                        f"{base}.{attr}() draws from the process-global RNG",
+                        hint=_HINT,
+                    )
+                elif attr == "Random":
+                    self._check_random_ctor(node, f"{base}.Random")
+        if isinstance(node.func, ast.Name) and node.func.id == "Random":
+            self._check_random_ctor(node, "Random")
+        self._check_numpy(node)
+        self.generic_visit(node)
+
+    def _check_random_ctor(self, node: ast.Call, shown: str) -> None:
+        if not node.args and not node.keywords:
+            self.report(
+                node,
+                f"{shown}() without a seed is seeded from the OS",
+                hint=_HINT,
+            )
+            return
+        for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+            hashed = contains_call_to(arg, frozenset({"hash"}))
+            if hashed is not None:
+                self.report(
+                    node,
+                    f"{shown}(...) seeded via builtins.hash(), which is "
+                    f"salted per process (PEP 456)",
+                    hint="use repro.rng.stable_hash / derive_rng for "
+                    "process-independent key hashing",
+                )
+                return
+
+    def _check_numpy(self, node: ast.Call) -> None:
+        # numpy.random.<func>() — module-level global-state draws.
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in self._numpy_aliases
+            and func.attr not in _NUMPY_SEEDED
+        ):
+            self.report(
+                node,
+                f"numpy.random.{func.attr}() uses numpy's global RNG state",
+                hint="use numpy.random.default_rng(seed) and pass the "
+                "generator down",
+            )

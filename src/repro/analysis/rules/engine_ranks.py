@@ -1,0 +1,61 @@
+"""RT005 — event ranks are named, never raw integers.
+
+The engine resolves simultaneous events by rank (completion < stop <
+deadline-check < detector < release < user); the paper's inclusive
+deadline semantics depend on that exact order.  A call like
+``engine.schedule(t, cb, 2)`` silently encodes "deadline check" — and
+silently breaks if :class:`repro.sim.engine.Rank` is ever reordered.
+Call sites must name the rank (``Rank.DEADLINE_CHECK``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import Rule, register
+
+__all__ = ["RawIntegerRank"]
+
+#: Methods of :class:`repro.sim.engine.Engine` that take a rank.
+_SCHEDULE_METHODS = frozenset({"schedule", "schedule_in"})
+#: Position of the ``rank`` parameter (after time/delay and action).
+_RANK_POSITION = 2
+
+
+@register
+class RawIntegerRank(Rule):
+    """RT005: ``Engine.schedule(...)`` with a raw integer rank."""
+
+    code = "RT005"
+    name = "raw-integer-rank"
+    description = (
+        "Scheduling with a numeric rank literal instead of a Rank "
+        "constant hides the tie-break semantics and breaks if ranks are "
+        "renumbered."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SCHEDULE_METHODS
+        ):
+            rank_arg: ast.expr | None = None
+            if len(node.args) > _RANK_POSITION:
+                rank_arg = node.args[_RANK_POSITION]
+            for kw in node.keywords:
+                if kw.arg == "rank":
+                    rank_arg = kw.value
+            if (
+                rank_arg is not None
+                and isinstance(rank_arg, ast.Constant)
+                and type(rank_arg.value) is int
+            ):
+                self.report(
+                    rank_arg,
+                    f"raw integer rank {rank_arg.value} passed to "
+                    f"{node.func.attr}()",
+                    hint="use a repro.sim.engine.Rank constant "
+                    "(Rank.COMPLETION/STOP/DEADLINE_CHECK/DETECTOR/"
+                    "RELEASE/USER)",
+                )
+        self.generic_visit(node)

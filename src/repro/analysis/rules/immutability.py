@@ -1,0 +1,119 @@
+"""RT004 — frozen dataclasses stay frozen.
+
+``Task``, ``VMProfile``, ``CostOverrun`` … are ``frozen=True`` on
+purpose: analysis results are cached and shared, and the simulator
+assumes a task's parameters cannot drift mid-run.  Python still offers
+two escape hatches this rule closes:
+
+* ``object.__setattr__(obj, ...)`` anywhere outside the class's own
+  ``__post_init__`` (the sanctioned spot for derived-field defaults,
+  e.g. ``deadline = period``);
+* plain ``self.attr = ...`` inside methods of a frozen dataclass —
+  that one even *raises* at runtime, but only when the method finally
+  executes; the linter catches it at check time.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import Rule, register
+
+__all__ = ["FrozenMutation"]
+
+#: Methods in which ``object.__setattr__`` on ``self`` is legitimate.
+_ALLOWED_METHODS = frozenset({"__post_init__", "__init__", "__new__", "__setstate__"})
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call):
+            func = deco.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+            if name == "dataclass":
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+    return False
+
+
+@register
+class FrozenMutation(Rule):
+    """RT004: mutation of frozen task/event dataclasses."""
+
+    code = "RT004"
+    name = "frozen-mutation"
+    description = (
+        "object.__setattr__ outside __post_init__, or self.attr assignment "
+        "in a frozen dataclass method, defeats the immutability the "
+        "analysis caches rely on."
+    )
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._func_stack: list[str] = []
+        self._frozen_stack: list[bool] = []
+
+    # -- scope tracking ------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._frozen_stack.append(_is_frozen_dataclass(node))
+        self.generic_visit(node)
+        self._frozen_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- findings ------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        ):
+            current = self._func_stack[-1] if self._func_stack else None
+            if current not in _ALLOWED_METHODS:
+                self.report(
+                    node,
+                    "object.__setattr__ outside __post_init__ mutates a "
+                    "frozen dataclass",
+                    hint="build a new instance (dataclasses.replace) instead",
+                )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_self_assignment(node.targets, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_self_assignment([node.target], node)
+        self.generic_visit(node)
+
+    def _check_self_assignment(self, targets, node) -> None:
+        if not (self._frozen_stack and self._frozen_stack[-1]):
+            return
+        current = self._func_stack[-1] if self._func_stack else None
+        if current in _ALLOWED_METHODS or current is None:
+            return
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self.report(
+                    node,
+                    f"assignment to self.{target.attr} in a frozen "
+                    f"dataclass method will raise FrozenInstanceError",
+                    hint="return a new instance (dataclasses.replace) instead",
+                )

@@ -1,0 +1,229 @@
+"""RT001/RT002 — integer-nanosecond time discipline.
+
+The whole reproduction measures time the way the paper's RDTSC tooling
+does: exact integer nanoseconds (:mod:`repro.units`).  Two things break
+that silently:
+
+* floats leaking into time arithmetic (RT001) — ``deadline * 0.5`` or
+  ``period / 2`` produce a float that rounds differently from the
+  paper's integer timeline;
+* wall-clock reads (RT002) — ``time.time()`` inside simulated-time code
+  couples results to the host machine, destroying replayability.
+
+RT001 is heuristic (Python has no dimension types): an expression is
+*time-valued* when a name/attribute in it uses one of the vocabulary
+words the codebase reserves for durations and instants (``cost``,
+``period``, ``deadline``, ``ticks`` …).  Ratios of two time values
+(``cost / period`` — a dimensionless utilization) are allowed; division
+of a time by anything else, and mixing a time with a float literal, are
+flagged.  :mod:`repro.units` itself is exempt — it is the one sanctioned
+float<->ns boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import (
+    Rule,
+    attr_call,
+    from_imports,
+    module_aliases,
+    register,
+)
+
+__all__ = ["FloatTimeArithmetic", "WallClock", "is_time_valued"]
+
+#: Vocabulary reserved for time-valued names throughout the codebase.
+TIME_WORDS = frozenset(
+    {
+        "time", "times", "cost", "costs", "period", "periods",
+        "deadline", "deadlines", "offset", "offsets", "horizon",
+        "release", "releases", "arrival", "arrivals", "interarrival",
+        "wcet", "wcrt", "allowance", "ticks", "tick", "unit", "units",
+        "duration", "durations", "delay", "delays", "capacity", "now",
+        "elapsed", "latency", "budget", "overhead", "mit", "ns", "us",
+        "ms", "hyperperiod",
+    }
+)
+
+#: :mod:`repro.units` constructors — calls to these are time-valued.
+UNIT_HELPERS = frozenset({"ns", "us", "ms", "seconds"})
+
+
+def _words(identifier: str) -> set[str]:
+    return set(identifier.lower().split("_"))
+
+
+def is_time_valued(node: ast.AST) -> bool:
+    """Best-effort: does *node* denote a duration/instant in ns?"""
+    if isinstance(node, ast.Name):
+        return bool(_words(node.id) & TIME_WORDS)
+    if isinstance(node, ast.Attribute):
+        return bool(_words(node.attr) & TIME_WORDS)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in UNIT_HELPERS or bool(_words(func.id) & TIME_WORDS)
+        if isinstance(func, ast.Attribute):
+            return bool(_words(func.attr) & TIME_WORDS)
+        return False
+    if isinstance(node, ast.BinOp):
+        return is_time_valued(node.left) or is_time_valued(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return is_time_valued(node.operand)
+    if isinstance(node, ast.Subscript):
+        return is_time_valued(node.value)
+    return False
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and type(node.value) is float
+
+
+def _describe(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<expression>"
+
+
+_HINT = (
+    "keep times in integer nanoseconds: use repro.units helpers "
+    "(ns/us/ms/seconds, parse_duration) or integer // arithmetic"
+)
+
+
+@register
+class FloatTimeArithmetic(Rule):
+    """RT001: raw float arithmetic on time-valued expressions."""
+
+    code = "RT001"
+    name = "float-time-arithmetic"
+    description = (
+        "Float arithmetic on a time-valued expression outside repro.units "
+        "(true division by a non-time value, mixing with float literals, "
+        "or float() conversion) loses integer-nanosecond exactness."
+    )
+
+    def run(self):
+        if self.ctx.is_units_module:
+            return self.diagnostics
+        return super().run()
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Div):
+            # time / time is a dimensionless ratio (utilization) — fine;
+            # time / anything-else floats a duration.
+            if is_time_valued(node.left) and not is_time_valued(node.right):
+                self.report(
+                    node,
+                    f"true division floats the time value in "
+                    f"{_describe(node)!r}",
+                    hint=_HINT,
+                )
+        elif isinstance(node.op, (ast.Mult, ast.Add, ast.Sub)):
+            for a, b in ((node.left, node.right), (node.right, node.left)):
+                if _is_float_literal(a) and is_time_valued(b):
+                    self.report(
+                        node,
+                        f"float literal {a.value!r} combined with "
+                        f"time-valued {_describe(b)!r}",
+                        hint=_HINT,
+                    )
+                    break
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+            and node.args
+            and is_time_valued(node.args[0])
+        ):
+            self.report(
+                node,
+                f"float() conversion of time-valued {_describe(node.args[0])!r}",
+                hint=_HINT,
+            )
+        self.generic_visit(node)
+
+
+#: Wall-clock reads on the stdlib ``time`` module.
+_TIME_FUNCS = frozenset(
+    {
+        "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+        "perf_counter_ns", "process_time", "process_time_ns",
+        "clock_gettime", "clock_gettime_ns", "sleep",
+    }
+)
+#: Wall-clock constructors on ``datetime.datetime`` / ``datetime.date``.
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class WallClock(Rule):
+    """RT002: wall-clock calls inside simulated-time code."""
+
+    code = "RT002"
+    name = "wall-clock"
+    description = (
+        "Reading the host clock (time.time, time.monotonic, datetime.now, "
+        "time.sleep, ...) couples results to the machine; simulated time "
+        "comes only from Engine.now and the event trace."
+    )
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._time_aliases = module_aliases(ctx.tree, "time")
+        self._datetime_aliases = module_aliases(ctx.tree, "datetime")
+        self._from_time = {
+            local
+            for local, orig in from_imports(ctx.tree, "time").items()
+            if orig in _TIME_FUNCS
+        }
+        self._datetime_classes = {
+            local
+            for local, orig in from_imports(ctx.tree, "datetime").items()
+            if orig in ("datetime", "date")
+        }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        base_attr = attr_call(node)
+        if base_attr is not None:
+            base, attr = base_attr
+            if base in self._time_aliases and attr in _TIME_FUNCS:
+                self.report(
+                    node,
+                    f"wall-clock call {base}.{attr}()",
+                    hint="use the simulation clock (Engine.now) instead",
+                )
+            elif base in self._datetime_classes and attr in _DATETIME_FUNCS:
+                self.report(
+                    node,
+                    f"wall-clock call {base}.{attr}()",
+                    hint="use the simulation clock (Engine.now) instead",
+                )
+        elif isinstance(node.func, ast.Attribute):
+            # datetime.datetime.now() — a two-level attribute chain.
+            func = node.func
+            if (
+                func.attr in _DATETIME_FUNCS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in ("datetime", "date")
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in self._datetime_aliases
+            ):
+                self.report(
+                    node,
+                    f"wall-clock call "
+                    f"{func.value.value.id}.{func.value.attr}.{func.attr}()",
+                    hint="use the simulation clock (Engine.now) instead",
+                )
+        elif isinstance(node.func, ast.Name) and node.func.id in self._from_time:
+            self.report(
+                node,
+                f"wall-clock call {node.func.id}() (imported from time)",
+                hint="use the simulation clock (Engine.now) instead",
+            )
+        self.generic_visit(node)

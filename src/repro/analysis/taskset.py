@@ -1,0 +1,316 @@
+"""Semantic task-system validation (``TS0xx`` diagnostics).
+
+The scenario parser (:mod:`repro.workloads.parser`) is strict — a zero
+cost raises before a :class:`~repro.core.task.Task` even exists — but a
+raised exception points at one problem and stops.  This validator
+*diagnoses*: it scans the scenario text leniently, reports every
+parameter problem with its ``file:line``, and layers the system-level
+checks (utilization, deadline anomalies, priority collisions) the
+parser cannot see task-by-task.  In-memory :class:`TaskSet` objects can
+be validated too, so generated workloads get the same scrutiny.
+
+Codes
+-----
+======  ========  ====================================================
+TS001   warning   duplicate priorities (FIFO tie-break applies)
+TS002   error     zero/negative cost, period, deadline or offset
+TS003   error     total utilization exceeds 1 (never feasible, eq. 1)
+TS004   warning   deadline exceeds period (arbitrary-deadline analysis)
+TS005   error     cost exceeds deadline (job can never meet it)
+TS006   error     scenario file does not parse
+TS007   warning   utilization above the Liu-Layland bound (exact WCRT
+                  test required — the sufficient test is inconclusive)
+TS008   warning   fault targets a job released at/after the horizon
+======  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.core.bounds import liu_layland_bound
+from repro.core.task import TaskSet
+from repro.units import parse_duration
+from repro.workloads.parser import (
+    ScenarioError,
+    _TASK_POSITIONAL,
+    _UNITS,
+    parse_scenario,
+)
+
+__all__ = [
+    "validate_taskset",
+    "validate_scenario_text",
+    "validate_scenario_file",
+    "SCENARIO_SUFFIXES",
+    "TS_CODES",
+]
+
+#: File suffixes treated as scenario files by the CLI.
+SCENARIO_SUFFIXES = frozenset({".scn", ".scenario", ".tasks"})
+
+#: Every task-system diagnostic code this module can emit.
+TS_CODES = frozenset({f"TS00{i}" for i in range(1, 9)})
+
+_DURATION_FIELDS = ("cost", "period", "deadline", "offset")
+
+
+@dataclass(frozen=True)
+class _RawTask:
+    """One ``task`` line as scanned leniently (no validation applied)."""
+
+    name: str
+    line: int
+    priority: int | None
+    durations: dict[str, int]  # parsed duration fields, ns
+
+
+def validate_taskset(taskset: TaskSet | Iterable, *, path: str = "<taskset>") -> list[Diagnostic]:
+    """System-level checks on an already-built task collection."""
+    tasks = list(taskset)
+    out: list[Diagnostic] = []
+
+    seen_priority: dict[int, str] = {}
+    for t in tasks:
+        if t.priority in seen_priority:
+            out.append(
+                Diagnostic(
+                    code="TS001",
+                    severity=Severity.WARNING,
+                    message=f"{t.name} shares priority {t.priority} with "
+                    f"{seen_priority[t.priority]}",
+                    path=path,
+                    hint="give each task a distinct priority; equal "
+                    "priorities dispatch FIFO by declaration order",
+                )
+            )
+        else:
+            seen_priority[t.priority] = t.name
+
+        if t.deadline > t.period:
+            out.append(
+                Diagnostic(
+                    code="TS004",
+                    severity=Severity.WARNING,
+                    message=f"{t.name}: deadline {t.deadline} exceeds period "
+                    f"{t.period}",
+                    path=path,
+                    hint="arbitrary deadlines are supported but need the "
+                    "Figure-2 multi-job WCRT iteration; confirm this is "
+                    "intended",
+                )
+            )
+        if t.cost > t.deadline:
+            out.append(
+                Diagnostic(
+                    code="TS005",
+                    severity=Severity.ERROR,
+                    message=f"{t.name}: cost {t.cost} exceeds deadline "
+                    f"{t.deadline}; no job can ever meet it",
+                    path=path,
+                    hint="lower the cost or relax the deadline",
+                )
+            )
+
+    if tasks:
+        load = sum(Fraction(t.cost, t.period) for t in tasks)
+        if load > 1:
+            out.append(
+                Diagnostic(
+                    code="TS003",
+                    severity=Severity.ERROR,
+                    message=f"total utilization {float(load):.3f} "
+                    f"(= {load.numerator}/{load.denominator}) exceeds 1",
+                    path=path,
+                    hint="the processor-load necessary condition (paper "
+                    "eq. 1) already rules the system infeasible",
+                )
+            )
+        elif float(load) > liu_layland_bound(len(tasks)):
+            out.append(
+                Diagnostic(
+                    code="TS007",
+                    severity=Severity.WARNING,
+                    message=f"utilization {float(load):.3f} is above the "
+                    f"Liu-Layland bound "
+                    f"{liu_layland_bound(len(tasks)):.3f} for "
+                    f"{len(tasks)} task(s)",
+                    path=path,
+                    hint="the sufficient test is inconclusive here; the "
+                    "exact WCRT analysis (repro.core.feasibility.analyze) "
+                    "decides",
+                )
+            )
+    return out
+
+
+def validate_scenario_text(text: str, *, source: str = "<string>") -> list[Diagnostic]:
+    """Diagnose a scenario file: per-line parameter problems first, then
+    system-level checks on the parsed result."""
+    raw_tasks, scan_diags = _scan_tasks(text, source)
+    out = list(scan_diags)
+
+    # Per-line parameter checks the strict parser would die on.
+    value_errors = bool(scan_diags)
+    for raw in raw_tasks:
+        for fname in ("cost", "period", "deadline"):
+            value = raw.durations.get(fname)
+            if value is not None and value <= 0:
+                value_errors = True
+                out.append(
+                    Diagnostic(
+                        code="TS002",
+                        severity=Severity.ERROR,
+                        message=f"{raw.name}: {fname} must be > 0, got {value}",
+                        path=source,
+                        line=raw.line,
+                        hint="costs, periods and deadlines are strictly "
+                        "positive durations",
+                    )
+                )
+        offset = raw.durations.get("offset")
+        if offset is not None and offset < 0:
+            value_errors = True
+            out.append(
+                Diagnostic(
+                    code="TS002",
+                    severity=Severity.ERROR,
+                    message=f"{raw.name}: offset must be >= 0, got {offset}",
+                    path=source,
+                    line=raw.line,
+                )
+            )
+
+    # Duplicate priorities, located at the second declaration.
+    seen: dict[int, _RawTask] = {}
+    for raw in raw_tasks:
+        if raw.priority is None:
+            continue
+        if raw.priority in seen:
+            out.append(
+                Diagnostic(
+                    code="TS001",
+                    severity=Severity.WARNING,
+                    message=f"{raw.name} shares priority {raw.priority} "
+                    f"with {seen[raw.priority].name} "
+                    f"(line {seen[raw.priority].line})",
+                    path=source,
+                    line=raw.line,
+                    hint="give each task a distinct priority; equal "
+                    "priorities dispatch FIFO by declaration order",
+                )
+            )
+        else:
+            seen[raw.priority] = raw
+
+    if value_errors:
+        # The strict parse below would just re-raise what we already
+        # reported with better locations.
+        return out
+
+    try:
+        scenario = parse_scenario(text, source=source)
+    except ScenarioError as exc:
+        out.append(
+            Diagnostic(
+                code="TS006",
+                severity=Severity.ERROR,
+                message=str(exc),
+                path=source,
+                hint="see the scenario grammar in repro.workloads.parser",
+            )
+        )
+        return out
+
+    # System-level checks on the parsed set (skip the duplicate-priority
+    # pass — the lenient scan already reported it with line numbers).
+    out.extend(
+        d for d in validate_taskset(scenario.taskset, path=source) if d.code != "TS001"
+    )
+
+    horizon = scenario.horizon_or_default()
+    for (name, job), _delta in sorted(scenario.faults.deviations.items()):
+        release = scenario.taskset[name].release_time(job)
+        if release >= horizon:
+            out.append(
+                Diagnostic(
+                    code="TS008",
+                    severity=Severity.WARNING,
+                    message=f"fault on {name} job {job} is released at "
+                    f"{release}, at/after the horizon {horizon}; it is "
+                    f"never injected",
+                    path=source,
+                    hint="extend @horizon or target an earlier job",
+                )
+            )
+    return out
+
+
+def validate_scenario_file(path: str | Path) -> list[Diagnostic]:
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        return [
+            Diagnostic(
+                code="TS006",
+                severity=Severity.ERROR,
+                message=f"cannot read scenario: {exc}",
+                path=str(p),
+            )
+        ]
+    return validate_scenario_text(text, source=str(p))
+
+
+def _scan_tasks(text: str, source: str) -> tuple[list[_RawTask], list[Diagnostic]]:
+    """Lenient pass over ``task`` lines: extract names, priorities and
+    duration fields without enforcing validity, tracking ``@unit``."""
+    unit = _UNITS["ms"]
+    tasks: list[_RawTask] = []
+    diags: list[Diagnostic] = []
+    for lineno, rawline in enumerate(text.splitlines(), start=1):
+        line = rawline.split("#", 1)[0].strip()
+        if not line:
+            continue
+        words = line.split()
+        if words[0] == "@unit" and len(words) > 1 and words[1] in _UNITS:
+            unit = _UNITS[words[1]]
+            continue
+        if words[0] != "task":
+            continue
+        fields: dict[str, str] = {}
+        positional = 0
+        for token in words[1:]:
+            if "=" in token:
+                key, value = token.split("=", 1)
+                fields.setdefault(key, value)
+            elif positional < len(_TASK_POSITIONAL):
+                fields.setdefault(_TASK_POSITIONAL[positional], token)
+                positional += 1
+        name = fields.get("name", f"<task@{lineno}>")
+        try:
+            priority: int | None = int(fields["priority"]) if "priority" in fields else None
+        except ValueError:
+            priority = None
+        durations: dict[str, int] = {}
+        for fname in _DURATION_FIELDS:
+            if fname not in fields:
+                continue
+            try:
+                durations[fname] = parse_duration(fields[fname], unit)
+            except ValueError as exc:
+                diags.append(
+                    Diagnostic(
+                        code="TS002",
+                        severity=Severity.ERROR,
+                        message=f"{name}: bad {fname}: {exc}",
+                        path=source,
+                        line=lineno,
+                    )
+                )
+        tasks.append(_RawTask(name=name, line=lineno, priority=priority, durations=durations))
+    return tasks, diags

@@ -19,9 +19,10 @@ at each release.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol
+
+from repro.rng import derive_rng
 
 __all__ = [
     "FaultModel",
@@ -125,7 +126,9 @@ class RandomFaults:
     *rate*; the overrun size is uniform on ``[1, max_extra]`` ns.
     Deterministic for a given seed: the per-job draw keys on
     ``(task_name, job)`` so demand queries are order-independent and
-    repeatable (the simulator may query a job more than once).
+    repeatable (the simulator may query a job more than once).  The
+    per-key stream comes from :func:`repro.rng.derive_rng`, which is
+    stable *across processes* — the salted builtin ``hash`` is not.
     """
 
     rate: float
@@ -142,7 +145,7 @@ class RandomFaults:
     def demand(self, task_name: str, job: int, base_cost: int) -> int:
         key = (task_name, job)
         if key not in self._cache:
-            rng = random.Random((hash(key) ^ self.seed) & 0xFFFFFFFF)
+            rng = derive_rng(self.seed, task_name, job)
             extra = rng.randint(1, self.max_extra) if rng.random() < self.rate else 0
             self._cache[key] = extra
         return base_cost + self._cache[key]

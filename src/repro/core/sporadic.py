@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass
 
 from repro.core.task import Task, TaskSet
+from repro.rng import resolve_rng
 
 __all__ = [
     "SporadicTask",
@@ -91,16 +92,19 @@ def poisson_arrivals(
     *,
     mean_interarrival: int | None = None,
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> list[int]:
     """A random legal arrival sequence: exponential gaps clamped from
     below by the MIT (seeded, deterministic).
 
-    *mean_interarrival* defaults to twice the MIT.
+    *mean_interarrival* defaults to twice the MIT.  An injected *rng*
+    wins over *seed*, so callers can draw several sequences from one
+    explicitly-seeded stream.
     """
     mean = mean_interarrival if mean_interarrival is not None else 2 * sporadic.min_interarrival
     if mean < sporadic.min_interarrival:
         raise ValueError("mean interarrival below the minimum interarrival")
-    rng = random.Random(seed)
+    rng = resolve_rng(rng, seed)
     out: list[int] = []
     t = round(rng.expovariate(1.0 / mean))
     while t <= horizon:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.core.detection import EXACT, JRATE_10MS, Rounding
+from repro.rng import resolve_rng
 from repro.units import MS
 
 __all__ = [
@@ -75,18 +76,21 @@ class UniformOverhead:
 
     Models the paper's unbounded-cost ``currentRealtimeThread()`` poll:
     a few milliseconds, varying call to call, but reproducible here
-    thanks to the explicit seed.
+    thanks to the explicit seed.  An already-seeded stream can be
+    injected via *rng* (it wins over *seed*), letting experiments share
+    or partition their randomness deliberately.
     """
 
     lo: int
     hi: int
     seed: int = 0
+    rng: random.Random | None = field(default=None, repr=False)
     _rng: random.Random = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.lo <= self.hi:
             raise ValueError("need 0 <= lo <= hi")
-        self._rng = random.Random(self.seed)
+        self._rng = resolve_rng(self.rng, self.seed)
 
     def sample(self) -> int:
         return self._rng.randint(self.lo, self.hi)

@@ -53,6 +53,25 @@ def _to_ticks(value: float | int, scale: int) -> int:
     return int(ticks)
 
 
+def parse_duration(token: str, scale: int) -> int:
+    """Parse a textual duration *token* at *scale* ns per unit, exactly.
+
+    The token goes through :class:`~fractions.Fraction` — never through
+    ``float`` — so ``parse_duration("0.1", MS)`` is exactly ``100_000``
+    and values like ``"1/3"`` work when the scale divides out.  Raises
+    :class:`ValueError` for malformed tokens and for quantities that are
+    not an integer number of nanoseconds.
+    """
+    try:
+        value = Fraction(token)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise ValueError(f"malformed duration {token!r}") from exc
+    ticks = value * scale
+    if ticks.denominator != 1:
+        raise ValueError(f"{token} x {scale}ns is not an integer number of nanoseconds")
+    return int(ticks)
+
+
 def to_ms(ticks: int) -> float:
     """Convert nanosecond *ticks* to (possibly fractional) milliseconds."""
     return ticks / MS

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.core.priority_assignment import deadline_monotonic
 from repro.core.task import Task, TaskSet
+from repro.rng import resolve_rng
 
 __all__ = ["uunifast", "log_uniform_periods", "random_taskset", "GeneratorConfig"]
 
@@ -72,16 +73,23 @@ class GeneratorConfig:
     seed: int = 0
 
 
-def random_taskset(config: GeneratorConfig = GeneratorConfig(), **overrides) -> TaskSet:
+def random_taskset(
+    config: GeneratorConfig = GeneratorConfig(),
+    *,
+    rng: random.Random | None = None,
+    **overrides,
+) -> TaskSet:
     """Generate a random task set per *config* (fields overridable by
     keyword).  Priorities are deadline-monotonic.
 
-    The result is *not* guaranteed feasible: UUniFast controls only the
-    utilization.  Callers filter with ``is_feasible`` when they need
-    schedulable sets (UUniFast-discard).
+    An injected *rng* wins over ``config.seed``, so sweeps can draw many
+    sets from one explicitly-seeded stream.  The result is *not*
+    guaranteed feasible: UUniFast controls only the utilization.
+    Callers filter with ``is_feasible`` when they need schedulable sets
+    (UUniFast-discard).
     """
     cfg = GeneratorConfig(**{**config.__dict__, **overrides}) if overrides else config
-    rng = random.Random(cfg.seed)
+    rng = resolve_rng(rng, cfg.seed)
     utils = uunifast(cfg.n, cfg.utilization, rng)
     periods = log_uniform_periods(
         cfg.n, rng, lo=cfg.period_lo, hi=cfg.period_hi, granularity=cfg.period_granularity

@@ -37,7 +37,7 @@ from pathlib import Path
 from repro.core.faults import CostOverrun, CostUnderrun, FaultInjector
 from repro.core.task import Task, TaskSet
 from repro.core.treatments import TreatmentKind
-from repro.units import MS, NS, S, US
+from repro.units import MS, NS, S, US, parse_duration
 
 __all__ = ["Scenario", "ScenarioError", "parse_scenario", "load_scenario", "format_scenario"]
 
@@ -129,11 +129,9 @@ def _parse_unit(args: list[str]) -> int:
 
 
 def _duration(token: str, unit: int) -> int:
-    value = float(token)
-    ticks = value * unit
-    if abs(ticks - round(ticks)) > 1e-9:
-        raise ValueError(f"{token} is not an integer number of nanoseconds")
-    return int(round(ticks))
+    # Exact Fraction-based conversion: "0.1" at @unit ms is exactly
+    # 100_000 ns, with no float rounding window (see repro.units).
+    return parse_duration(token, unit)
 
 
 def _parse_task(args: list[str], unit: int) -> Task:

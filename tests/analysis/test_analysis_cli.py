@@ -1,0 +1,125 @@
+"""The ``python -m repro.analysis`` front end: formats and exit codes."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis import main
+
+
+def write(tmp_path, name, content):
+    p = tmp_path / name
+    p.write_text(textwrap.dedent(content))
+    return p
+
+
+BAD_PY = """
+    import random
+
+    def jitter(period):
+        return period * 0.5 + random.random()
+"""
+
+CLEAN_PY = """
+    def response_time(cost, interference):
+        return cost + interference
+"""
+
+BAD_SCN = """
+    @unit ms
+    task a priority=1 cost=0 period=10
+"""
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        p = write(tmp_path, "clean.py", CLEAN_PY)
+        assert main([str(p)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", BAD_PY)
+        assert main([str(p)]) == 1
+        out = capsys.readouterr().out
+        assert "RT001" in out and "RT003" in out
+
+    def test_scenario_errors_exit_nonzero(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.scn", BAD_SCN)
+        assert main([str(p)]) == 1
+        assert "TS002" in capsys.readouterr().out
+
+    def test_directory_walk_mixes_both_checkers(self, tmp_path, capsys):
+        write(tmp_path, "bad.py", BAD_PY)
+        write(tmp_path, "bad.scn", BAD_SCN)
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RT001" in out and "TS002" in out
+
+    def test_missing_path_is_a_usage_error(self, capsys):
+        assert main(["does/not/exist.py"]) == 2
+
+    def test_select_restricts_codes(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", BAD_PY)
+        assert main([str(p), "--select", "RT003"]) == 1
+        out = capsys.readouterr().out
+        assert "RT003" in out and "RT001" not in out
+
+    def test_unknown_select_code_is_a_usage_error(self, tmp_path, capsys):
+        # A typo'd code must not silently disable every check.
+        p = write(tmp_path, "bad.py", BAD_PY)
+        assert main([str(p), "--select", "RT999"]) == 2
+        assert "RT999" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RT001", "RT002", "RT003", "RT004", "RT005"):
+            assert code in out
+
+
+class TestJsonFormat:
+    def test_schema(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", BAD_PY)
+        assert main([str(p), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["errors"] == len(payload["diagnostics"]) > 0
+        first = payload["diagnostics"][0]
+        assert set(first) == {
+            "code", "severity", "message", "path", "line", "column", "hint",
+        }
+        assert first["severity"] in ("error", "warning")
+        assert first["path"].endswith("bad.py")
+        assert first["line"] > 0
+
+    def test_clean_run_is_valid_json_too(self, tmp_path, capsys):
+        p = write(tmp_path, "clean.py", CLEAN_PY)
+        assert main([str(p), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"] == []
+        assert payload["summary"] == {"errors": 0, "warnings": 0}
+
+    def test_diagnostics_are_sorted_deterministically(self, tmp_path, capsys):
+        write(tmp_path, "b.py", BAD_PY)
+        write(tmp_path, "a.py", BAD_PY)
+        main([str(tmp_path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        locs = [(d["path"], d["line"], d["column"], d["code"]) for d in payload["diagnostics"]]
+        assert locs == sorted(locs)
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_invocation(self, tmp_path):
+        """The documented invocation: python -m repro.analysis <paths>."""
+        bad = write(tmp_path, "bad.py", BAD_PY)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(bad)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "RT001" in proc.stdout

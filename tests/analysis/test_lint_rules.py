@@ -1,0 +1,240 @@
+"""Every lint rule: a fixture that triggers it and one that does not."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import Severity, lint_source
+
+
+def lint(code, **kwargs):
+    return lint_source(textwrap.dedent(code), "fixture.py", **kwargs)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestRT001FloatTime:
+    def test_float_literal_times_time_value(self):
+        diags = lint("def f(deadline):\n    return deadline * 0.5\n")
+        assert codes(diags) == ["RT001"]
+        assert diags[0].line == 2
+        assert diags[0].severity is Severity.ERROR
+
+    def test_true_division_of_time_value(self):
+        diags = lint("def f(period):\n    return period / 2\n")
+        assert codes(diags) == ["RT001"]
+
+    def test_float_conversion_of_time_value(self):
+        diags = lint("def f(t):\n    return float(t.cost)\n")
+        assert codes(diags) == ["RT001"]
+
+    def test_ratio_of_two_times_is_allowed(self):
+        # cost / period is a dimensionless utilization — fine.
+        assert lint("def f(t):\n    return t.cost / t.period\n") == []
+
+    def test_integer_division_is_allowed(self):
+        assert lint("def f(period):\n    return period // 2\n") == []
+
+    def test_non_time_float_math_is_allowed(self):
+        assert lint("def f(x):\n    return x * 0.5\n") == []
+
+    def test_units_module_is_exempt(self):
+        source = "def to_ms(ticks):\n    return ticks / 1_000_000\n"
+        assert lint_source(source, "src/repro/units.py") == []
+        assert codes(lint_source(source, "src/repro/core/other.py")) == ["RT001"]
+
+    def test_noqa_suppression(self):
+        diags = lint("def f(period):\n    return period / 2  # noqa: RT001\n")
+        assert diags == []
+
+
+class TestRT002WallClock:
+    def test_time_time(self):
+        diags = lint("import time\n\ndef f():\n    return time.time()\n")
+        assert codes(diags) == ["RT002"]
+        assert diags[0].line == 4
+
+    def test_time_module_alias(self):
+        diags = lint("import time as t\n\ndef f():\n    return t.monotonic()\n")
+        assert codes(diags) == ["RT002"]
+
+    def test_from_import(self):
+        diags = lint("from time import perf_counter\n\ndef f():\n    return perf_counter()\n")
+        assert codes(diags) == ["RT002"]
+
+    def test_datetime_now(self):
+        diags = lint(
+            "from datetime import datetime\n\ndef f():\n    return datetime.now()\n"
+        )
+        assert codes(diags) == ["RT002"]
+
+    def test_datetime_module_chain(self):
+        diags = lint("import datetime\n\ndef f():\n    return datetime.datetime.now()\n")
+        assert codes(diags) == ["RT002"]
+
+    def test_sleep_flagged(self):
+        diags = lint("import time\n\ndef f():\n    time.sleep(1)\n")
+        assert codes(diags) == ["RT002"]
+
+    def test_unrelated_time_name_is_allowed(self):
+        # A local object that happens to be called `time` is not stdlib time.
+        assert lint("def f(rtsj_time):\n    return rtsj_time.absolute()\n") == []
+
+
+class TestRT003Randomness:
+    def test_module_level_draw(self):
+        diags = lint("import random\n\ndef f():\n    return random.randint(1, 6)\n")
+        assert codes(diags) == ["RT003"]
+        assert diags[0].line == 4
+
+    def test_unseeded_random_instance(self):
+        diags = lint("import random\n\ndef f():\n    return random.Random()\n")
+        assert codes(diags) == ["RT003"]
+
+    def test_hash_derived_seed(self):
+        diags = lint(
+            "import random\n\ndef f(key, seed):\n"
+            "    return random.Random(hash(key) ^ seed)\n"
+        )
+        assert codes(diags) == ["RT003"]
+        assert "hash" in diags[0].message
+
+    def test_from_import_of_global_function(self):
+        diags = lint("from random import randint\n")
+        assert codes(diags) == ["RT003"]
+
+    def test_numpy_global_state(self):
+        diags = lint("import numpy\n\ndef f():\n    return numpy.random.rand(3)\n")
+        assert codes(diags) == ["RT003"]
+
+    def test_seeded_random_is_allowed(self):
+        assert lint("import random\n\ndef f(seed):\n    return random.Random(seed)\n") == []
+
+    def test_from_import_random_class_is_allowed(self):
+        assert lint("from random import Random\n\ndef f(s):\n    return Random(s)\n") == []
+
+    def test_numpy_default_rng_is_allowed(self):
+        assert lint("import numpy\n\ndef f(s):\n    return numpy.random.default_rng(s)\n") == []
+
+
+class TestRT004FrozenMutation:
+    def test_setattr_outside_post_init(self):
+        diags = lint(
+            """
+            def clobber(task):
+                object.__setattr__(task, "cost", 0)
+            """
+        )
+        assert codes(diags) == ["RT004"]
+
+    def test_setattr_in_post_init_is_allowed(self):
+        assert (
+            lint(
+                """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class T:
+                    deadline: int = -1
+                    def __post_init__(self):
+                        if self.deadline == -1:
+                            object.__setattr__(self, "deadline", 5)
+                """
+            )
+            == []
+        )
+
+    def test_self_assignment_in_frozen_dataclass_method(self):
+        diags = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class T:
+                x: int
+                def bump(self):
+                    self.x = self.x + 1
+            """
+        )
+        assert codes(diags) == ["RT004"]
+
+    def test_self_assignment_in_mutable_dataclass_is_allowed(self):
+        assert (
+            lint(
+                """
+                from dataclasses import dataclass
+
+                @dataclass
+                class T:
+                    x: int
+                    def bump(self):
+                        self.x = self.x + 1
+                """
+            )
+            == []
+        )
+
+
+class TestRT005RawRanks:
+    def test_positional_integer_rank(self):
+        diags = lint("def f(engine, cb):\n    engine.schedule(10, cb, 2)\n")
+        assert codes(diags) == ["RT005"]
+
+    def test_keyword_integer_rank(self):
+        diags = lint("def f(engine, cb):\n    engine.schedule_in(5, cb, rank=3)\n")
+        assert codes(diags) == ["RT005"]
+
+    def test_named_rank_is_allowed(self):
+        assert (
+            lint(
+                "def f(engine, cb, Rank):\n"
+                "    engine.schedule(10, cb, Rank.DEADLINE_CHECK)\n"
+            )
+            == []
+        )
+
+    def test_default_rank_is_allowed(self):
+        assert lint("def f(engine, cb):\n    engine.schedule(10, cb)\n") == []
+
+
+class TestDriver:
+    def test_syntax_error_becomes_diagnostic(self):
+        diags = lint_source("def broken(:\n", "oops.py")
+        assert codes(diags) == ["RT000"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_code_selection(self):
+        source = "import random\n\ndef f(period):\n    return period / 2 + random.random()\n"
+        only_rt003 = lint_source(source, "x.py", codes=["RT003"])
+        assert codes(only_rt003) == ["RT003"]
+
+    def test_bare_noqa_suppresses_everything(self):
+        diags = lint(
+            "import random\n\ndef f():\n    return random.random()  # noqa\n"
+        )
+        assert diags == []
+
+    def test_rules_have_unique_stable_codes(self):
+        from repro.analysis import all_rules
+
+        rules = all_rules()
+        assert [r.code for r in rules] == sorted(r.code for r in rules)
+        assert {"RT001", "RT002", "RT003", "RT004", "RT005"} <= {r.code for r in rules}
+        for rule in rules:
+            assert rule.name and rule.description
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        # Idioms used across the real tree that must stay clean.
+        "def f(t):\n    return t.cost / t.period\n",
+        "def f(taskset):\n    return sum(t.cost // t.period for t in taskset)\n",
+        "def f(ticks, unit):\n    return ticks / unit\n",
+        "import random\n\ndef f(s):\n    rng = random.Random(s)\n    return rng.random()\n",
+    ],
+)
+def test_sanctioned_idioms_stay_clean(snippet):
+    assert lint(snippet) == []

@@ -1,0 +1,31 @@
+"""The repository's own tree must satisfy the invariants it advertises.
+
+This is the gate the ISSUE motivates: every future PR lands against
+machine-checked time-discipline/determinism rules instead of reviewer
+memory.  A new violation anywhere under ``src/repro`` fails here with
+its exact location; if the violation is a sanctioned exception, mark
+the line ``# noqa: RTxxx`` with a comment saying why.
+"""
+
+from pathlib import Path
+
+from repro.analysis import check_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_is_violation_free():
+    diagnostics = check_paths([SRC])
+    listing = "\n".join(str(d) for d in diagnostics)
+    assert diagnostics == [], f"new invariant violations:\n{listing}"
+
+
+def test_shipped_scenario_files_are_valid():
+    # Any scenario files distributed with the repo must validate cleanly.
+    from repro.analysis.taskset import SCENARIO_SUFFIXES, validate_scenario_file
+
+    root = SRC.parents[1]
+    for path in sorted(root.rglob("*")):
+        if path.suffix in SCENARIO_SUFFIXES and "tests" not in path.parts:
+            diags = validate_scenario_file(path)
+            assert diags == [], f"{path}: {[str(d) for d in diags]}"

@@ -1,0 +1,154 @@
+"""The semantic task-system validator (TS0xx diagnostics)."""
+
+import textwrap
+
+from repro.analysis import Severity, validate_scenario_text, validate_taskset
+from repro.core.task import Task, TaskSet
+from repro.units import ms
+
+
+def scenario(text):
+    return validate_scenario_text(textwrap.dedent(text), source="scn")
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestTasksetChecks:
+    def test_clean_paper_system(self):
+        ts = TaskSet(
+            [
+                Task("tau1", cost=ms(29), period=ms(200), deadline=ms(70), priority=20),
+                Task("tau2", cost=ms(29), period=ms(250), deadline=ms(120), priority=18),
+                Task("tau3", cost=ms(29), period=ms(1500), deadline=ms(120), priority=16),
+            ]
+        )
+        assert validate_taskset(ts) == []
+
+    def test_duplicate_priorities_warn(self):
+        ts = TaskSet(
+            [
+                Task("a", cost=1, period=100, priority=5),
+                Task("b", cost=1, period=100, priority=5),
+            ]
+        )
+        diags = validate_taskset(ts)
+        assert codes(diags) == ["TS001"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_overutilization_is_an_error(self):
+        ts = TaskSet(
+            [
+                Task("a", cost=60, period=100, priority=2),
+                Task("b", cost=50, period=100, priority=1),
+            ]
+        )
+        diags = validate_taskset(ts)
+        assert "TS003" in codes(diags)
+        assert any(d.severity is Severity.ERROR for d in diags)
+
+    def test_exact_full_utilization_is_not_flagged_as_over(self):
+        ts = TaskSet([Task("a", cost=100, period=100, priority=1)])
+        assert "TS003" not in codes(validate_taskset(ts))
+
+    def test_arbitrary_deadline_warns(self):
+        ts = TaskSet([Task("a", cost=10, period=100, deadline=150, priority=1)])
+        assert "TS004" in codes(validate_taskset(ts))
+
+    def test_cost_above_deadline_is_an_error(self):
+        # Legal for Task (cost <= period) but the job can never make it.
+        ts = TaskSet([Task("a", cost=80, period=100, deadline=50, priority=1)])
+        diags = validate_taskset(ts)
+        assert "TS005" in codes(diags)
+
+    def test_liu_layland_gap_warns(self):
+        # U ~ 0.95 for 3 tasks: above the ~0.78 LL bound, below 1.
+        ts = TaskSet(
+            [
+                Task("a", cost=35, period=100, priority=3),
+                Task("b", cost=30, period=100, priority=2),
+                Task("c", cost=30, period=100, priority=1),
+            ]
+        )
+        assert "TS007" in codes(validate_taskset(ts))
+
+
+class TestScenarioChecks:
+    def test_clean_scenario(self):
+        assert (
+            scenario(
+                """
+                @unit ms
+                @horizon 1600
+                task tau1 priority=20 cost=29 period=200 deadline=70
+                task tau2 priority=18 cost=29 period=250 deadline=120
+                fault tau1 job=5 extra=40
+                """
+            )
+            == []
+        )
+
+    def test_zero_cost_located_on_its_line(self):
+        diags = scenario(
+            """
+            @unit ms
+            task good priority=2 cost=1 period=10
+            task bad priority=1 cost=0 period=10
+            """
+        )
+        assert codes(diags) == ["TS002"]
+        assert diags[0].line == 4
+        assert "bad" in diags[0].message
+
+    def test_negative_period_is_an_error(self):
+        diags = scenario("task t priority=1 cost=1 period=-5\n")
+        assert "TS002" in codes(diags)
+
+    def test_duplicate_priority_points_at_second_declaration(self):
+        diags = scenario(
+            """
+            task a priority=7 cost=1 period=10
+            task b priority=7 cost=1 period=10
+            """
+        )
+        assert codes(diags) == ["TS001"]
+        assert diags[0].line == 3
+        assert "line 2" in diags[0].message
+
+    def test_unparsable_scenario_reports_ts006(self):
+        diags = scenario("bogus directive here\ntask t priority=1 cost=1 period=10\n")
+        assert "TS006" in codes(diags)
+
+    def test_fault_beyond_horizon_warns(self):
+        diags = scenario(
+            """
+            @unit ms
+            @horizon 100
+            task t priority=1 cost=1 period=50
+            fault t job=9 extra=1
+            """
+        )
+        assert "TS008" in codes(diags)
+
+    def test_fractional_durations_are_exact(self):
+        # 0.1 ms = exactly 100_000 ns; must not trip TS002/TS006.
+        assert (
+            scenario(
+                """
+                @unit ms
+                task t priority=1 cost=0.1 period=10
+                """
+            )
+            == []
+        )
+
+    def test_malformed_duration_is_located(self):
+        diags = scenario(
+            """
+            @unit ms
+            task t priority=1 cost=banana period=10
+            """
+        )
+        assert codes(diags) == ["TS002"]
+        assert diags[0].line == 3

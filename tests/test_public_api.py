@@ -65,3 +65,9 @@ class TestSubpackages:
 
         for name in experiments.__all__:
             assert hasattr(experiments, name), name
+
+    def test_analysis_exports(self):
+        from repro import analysis
+
+        for name in analysis.__all__:
+            assert hasattr(analysis, name), name
