@@ -36,6 +36,29 @@ def test_paper_system_with_detectors(benchmark):
     result = benchmark(run)
     assert result.trace.of_kind
 
+def test_long_horizon_lazy_release_chain(benchmark):
+    """A long horizon over short periods.  Eager release scheduling
+    pushed ~horizon/period heap entries per task before t=0; the lazy
+    release chain keeps the pending-event count O(n tasks), so this
+    case measures (and guards) that optimisation."""
+    ts = random_taskset(
+        GeneratorConfig(
+            n=4,
+            utilization=0.6,
+            period_lo=1_000,
+            period_hi=10_000,
+            period_granularity=100,
+            seed=11,
+        )
+    )
+
+    def run():
+        return simulate(ts, horizon=50_000_000)
+
+    result = benchmark(run)
+    assert len(result.jobs) > 10_000
+
+
 def test_dense_ten_task_system(benchmark):
     ts = random_taskset(
         GeneratorConfig(

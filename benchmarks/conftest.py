@@ -1,10 +1,72 @@
-"""Shared benchmark fixtures."""
+"""Shared benchmark fixtures.
+
+The local ``benchmark`` fixture replaces pytest-benchmark's: it runs
+the measured callable once, records host wall time (and events/sec
+when the result carries a simulation trace), and the session hook
+writes every record to ``BENCH_results.json`` at the repository root —
+the machine-readable artifact CI uploads, so throughput regressions
+show up as a diff against the committed baseline.
+"""
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.workloads.scenarios import paper_table2
 
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_results.json"
+
+_records: dict[str, dict] = {}
+
 
 @pytest.fixture(scope="session")
 def table2():
     return paper_table2()
+
+
+class _Benchmark:
+    """Minimal stand-in for pytest-benchmark's fixture: call the
+    function once, keep its timing, hand the value back."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+
+    def __call__(self, fn, *args, **kwargs):
+        t0 = time.perf_counter()  # noqa: RT002 - host-side benchmark timing, not simulated time
+        value = fn(*args, **kwargs)
+        wall_s = time.perf_counter() - t0  # noqa: RT002 - host-side benchmark timing, not simulated time
+        record: dict = {"wall_s": round(wall_s, 6)}
+        trace = getattr(value, "trace", None)
+        if trace is None and isinstance(value, tuple) and value:
+            trace = getattr(value[0], "trace", None)
+        if trace is not None:
+            events = len(trace)
+            record["events"] = events
+            record["events_per_s"] = round(events / wall_s) if wall_s > 0 else None
+        _records[self.node_id] = record
+        return value
+
+
+@pytest.fixture
+def benchmark(request):
+    return _Benchmark(request.node.nodeid)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _records:
+        return
+    existing: dict = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    benches = existing.get("benchmarks", {})
+    benches.update(_records)
+    payload = {
+        "schema": 1,
+        "benchmarks": {k: benches[k] for k in sorted(benches)},
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -10,6 +10,8 @@ Importing this package registers every rule with
            ``Random``, ``hash``-derived seeds)
 ``RT004``  mutation of frozen dataclasses outside ``__post_init__``
 ``RT005``  engine events scheduled with raw integer ranks
+``RT006``  direct ``simulate()``/``run_scenario()`` calls inside the
+           experiments layer (must go through ``repro.exec.sim``)
 ========  =======================================================
 
 To add a rule: subclass :class:`repro.analysis.lint.Rule`, decorate it
@@ -20,6 +22,7 @@ and import its module below so registration runs.
 from repro.analysis.rules import (  # noqa: F401 - imported for registration
     determinism,
     engine_ranks,
+    executor_discipline,
     immutability,
     time_discipline,
 )

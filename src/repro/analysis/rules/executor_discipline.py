@@ -1,0 +1,88 @@
+"""RT006 — the experiments layer must not call the simulator directly.
+
+The executor refactor split the experiment stack into three layers
+(DESIGN.md §"Spec / executor / presentation"): declarative specs,
+cache-aware executors, and presentation code that *consumes* executor
+results.  The whole scheme — content-addressed caching, run manifests,
+serial/parallel parity — is only trustworthy if every simulation an
+exhibit performs flows through :mod:`repro.exec.sim`, where the spec
+hash covers the full configuration.
+
+A ``simulate()`` or ``run_scenario()`` call inside
+``src/repro/experiments/`` bypasses that bridge: its result is never
+cached, never recorded in a manifest, and silently diverges from the
+declarative spec for the same exhibit.  The sanctioned replacements are
+:func:`repro.exec.sim.simulate_spec` (for spec-shaped runs) and
+:func:`repro.exec.sim.run_simulation` (for concrete sweep internals).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.lint import Rule, attr_call, register
+
+__all__ = ["ExecutorDiscipline"]
+
+#: Entry points the presentation layer must not call directly.
+_FORBIDDEN = frozenset({"simulate", "run_scenario"})
+
+_HINT = (
+    "route simulations through repro.exec.sim (simulate_spec / "
+    "run_simulation) so caching and manifests stay trustworthy"
+)
+
+
+def _in_experiments_layer(path: str) -> bool:
+    return "repro/experiments/" in Path(path).as_posix()
+
+
+@register
+class ExecutorDiscipline(Rule):
+    """RT006: direct simulator calls inside ``repro.experiments``."""
+
+    code = "RT006"
+    name = "executor-discipline"
+    description = (
+        "Experiment modules calling simulate()/run_scenario() directly "
+        "bypass the execution layer: no caching, no manifest record, and "
+        "the run can diverge from its declarative spec."
+    )
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._active = _in_experiments_layer(ctx.path)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._active and node.module and node.module.startswith("repro.sim"):
+            bad = sorted(
+                item.asname or item.name
+                for item in node.names
+                if item.name in _FORBIDDEN
+            )
+            if bad:
+                self.report(
+                    node,
+                    f"importing {', '.join(bad)} from {node.module} into an "
+                    f"experiment module invites direct simulator calls",
+                    hint=_HINT,
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._active:
+            name = None
+            if isinstance(node.func, ast.Name) and node.func.id in _FORBIDDEN:
+                name = node.func.id
+            else:
+                base_attr = attr_call(node)
+                if base_attr is not None and base_attr[1] in _FORBIDDEN:
+                    name = f"{base_attr[0]}.{base_attr[1]}"
+            if name is not None:
+                self.report(
+                    node,
+                    f"{name}() called directly from the experiments layer",
+                    hint=_HINT,
+                )
+        self.generic_visit(node)

@@ -1,0 +1,60 @@
+"""Execution layer: declarative specs, cache-aware batch executors and
+reproducible run manifests.
+
+The experiment stack is split into three layers (DESIGN.md §"Spec /
+executor / presentation"):
+
+1. **spec** (:mod:`repro.exec.spec`) — a frozen
+   :class:`~repro.exec.spec.ExperimentSpec` per exhibit, content-hashed
+   with :func:`repro.rng.stable_hash`;
+2. **execution** (this package) — :class:`LocalExecutor` /
+   :class:`PoolExecutor` behind one ``run(specs, builder)`` interface,
+   a content-addressed :class:`ResultCache` keyed by spec hash + code
+   version, and per-run ``manifest.json`` provenance;
+3. **presentation** (:mod:`repro.experiments`) — registry, renderers
+   and the CLI consume executor results; they never call ``simulate()``
+   directly (lint rule RT006), only this package does
+   (:mod:`repro.exec.sim`).
+"""
+
+from repro.exec.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache, code_version
+from repro.exec.executor import (
+    ExecutionResult,
+    Executor,
+    ExecutorStats,
+    LocalExecutor,
+    PoolExecutor,
+    make_executor,
+)
+from repro.exec.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_revision,
+    manifest_fingerprint,
+    strip_volatile,
+    write_manifest,
+)
+from repro.exec.sim import run_simulation, simulate_spec
+from repro.exec.spec import ExperimentSpec
+
+__all__ = [
+    "ExperimentSpec",
+    "ExecutionResult",
+    "Executor",
+    "ExecutorStats",
+    "LocalExecutor",
+    "PoolExecutor",
+    "make_executor",
+    "ResultCache",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "code_version",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "git_revision",
+    "manifest_fingerprint",
+    "strip_volatile",
+    "write_manifest",
+    "run_simulation",
+    "simulate_spec",
+]

@@ -1,0 +1,147 @@
+"""Content-addressed on-disk result cache.
+
+Executed specs are cached under ``.repro-cache/`` keyed by
+``<spec-hash>-<code-version>``:
+
+* the **spec hash** (:meth:`ExperimentSpec.spec_hash`) covers the whole
+  declarative configuration, so any change to a scenario, horizon,
+  fault, treatment, VM profile or seed produces a new key;
+* the **code version** is a stable hash over the source bytes of the
+  ``repro`` package, so editing the simulator or analysis invalidates
+  every cached result at once — a stale exhibit can never be served
+  after a code change.
+
+Entries are pickled exhibit results.  Unreadable entries count as
+misses (and are overwritten on the next store), so a corrupted or
+version-skewed cache degrades to recomputation, never to wrong data.
+Eviction is least-recently-used by file mtime when ``max_entries`` is
+set; :attr:`ResultCache.stats` reports hits/misses/stores/evictions for
+the executor summary and the run manifest.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exec.spec import ExperimentSpec
+from repro.rng import stable_hash
+
+__all__ = ["DEFAULT_CACHE_DIR", "CacheStats", "ResultCache", "code_version"]
+
+#: Default cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """A stable fingerprint of the installed ``repro`` source tree.
+
+    Computed once per process: CRC-32 of every ``*.py`` file under the
+    package root, crushed with :func:`repro.rng.stable_hash` so the
+    value is identical across processes and platforms.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = [
+            (p.relative_to(root).as_posix(), zlib.crc32(p.read_bytes()))
+            for p in sorted(root.rglob("*.py"))
+        ]
+        _code_version = f"{stable_hash(digest):08x}"
+    return _code_version
+
+
+@dataclass
+class CacheStats:
+    """Counters the executor reports and the manifest records."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultCache:
+    """Pickle store keyed by spec hash + code version."""
+
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_DIR,
+        *,
+        max_entries: int | None = None,
+        version: str | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.version = version if version is not None else code_version()
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def key(self, spec: ExperimentSpec) -> str:
+        return f"{spec.spec_hash()}-{self.version}"
+
+    def path(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{self.key(spec)}.pkl"
+
+    def get(self, spec: ExperimentSpec) -> object | None:
+        """The cached result for *spec*, or None on a miss."""
+        path = self.path(spec)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            self.stats.misses += 1
+            return None
+        path.touch()  # refresh LRU recency
+        self.stats.hits += 1
+        return value
+
+    def put(self, spec: ExperimentSpec, value: object) -> None:
+        """Store *value* for *spec* (atomic write), then evict LRU
+        entries beyond ``max_entries``."""
+        path = self.path(spec)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+        self.stats.stores += 1
+        self._evict()
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
+            return
+        entries = sorted(
+            self.root.glob("*.pkl"), key=lambda p: (p.stat().st_mtime, p.name)
+        )
+        while len(entries) > self.max_entries:
+            victim = entries.pop(0)
+            victim.unlink(missing_ok=True)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))

@@ -1,0 +1,174 @@
+"""Batch executors: run many experiment specs behind one interface.
+
+Two implementations share the contract ``run(specs, fn) ->
+list[ExecutionResult]`` (one result per spec, input order preserved;
+*fn* is a picklable module-level builder mapping a spec to its exhibit
+result):
+
+* :class:`LocalExecutor` — serial, in-process; the reference
+  implementation everything else must agree with byte-for-byte;
+* :class:`PoolExecutor` — ``multiprocessing.Pool`` fan-out for
+  ``--jobs N``; cache lookups and stores stay in the parent process so
+  workers never contend on the cache directory.
+
+Both are cache-aware: give them a
+:class:`~repro.exec.cache.ResultCache` and previously computed specs
+are served from disk (``source == "cache"``), with hit/miss/eviction
+counters surfaced via :attr:`stats` and the run manifest.  Because
+every builder is deterministic (seeded randomness only — lint rule
+RT003), parallel and serial execution produce identical results, which
+:mod:`tests.exec` asserts via manifest fingerprints.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.spec import ExperimentSpec
+
+__all__ = [
+    "ExecutionResult",
+    "ExecutorStats",
+    "Executor",
+    "LocalExecutor",
+    "PoolExecutor",
+    "make_executor",
+]
+
+#: Builder signature: spec in, exhibit result out.
+Builder = Callable[[ExperimentSpec], Any]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """One spec's outcome: the exhibit value plus execution metadata."""
+
+    spec: ExperimentSpec
+    value: Any
+    wall_s: float
+    source: str  # "computed" | "cache"
+
+    @property
+    def from_cache(self) -> bool:
+        return self.source == "cache"
+
+
+@dataclass
+class ExecutorStats:
+    """Aggregate counters over every ``run()`` of one executor."""
+
+    specs: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.specs if self.specs else 0.0
+
+    def describe(self) -> str:
+        pct = round(100 * self.hit_rate)
+        return (
+            f"{self.specs} specs: {self.computed} computed, "
+            f"{self.cache_hits} from cache ({pct}% hit rate)"
+        )
+
+
+def _timed_build(payload: tuple[Builder, ExperimentSpec]) -> tuple[Any, float]:
+    """Run one builder, returning its value and wall time.
+
+    Module-level so it pickles into pool workers.  Host-clock timing is
+    run *metadata* (reported in manifests, excluded from fingerprints),
+    not simulated time, hence the sanctioned RT002 suppressions.
+    """
+    fn, spec = payload
+    t0 = time.perf_counter()  # noqa: RT002 - run metadata, not simulated time
+    value = fn(spec)
+    t1 = time.perf_counter()  # noqa: RT002 - run metadata, not simulated time
+    return value, t1 - t0
+
+
+class Executor:
+    """Common cache plumbing; subclasses implement :meth:`_compute`."""
+
+    kind = "abstract"
+    jobs = 1
+
+    def __init__(self, cache: ResultCache | None = None):
+        self.cache = cache
+        self.stats = ExecutorStats()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    def run(self, specs: Sequence[ExperimentSpec], fn: Builder) -> list[ExecutionResult]:
+        """Execute every spec (cache first), preserving input order."""
+        results: dict[int, ExecutionResult] = {}
+        pending: list[tuple[int, ExperimentSpec]] = []
+        for i, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[i] = ExecutionResult(spec, cached, 0.0, "cache")
+            else:
+                pending.append((i, spec))
+        for (i, spec), (value, wall_s) in zip(pending, self._compute(pending, fn)):
+            if self.cache is not None:
+                self.cache.put(spec, value)
+            results[i] = ExecutionResult(spec, value, wall_s, "computed")
+        ordered = [results[i] for i in range(len(specs))]
+        self.stats.specs += len(ordered)
+        self.stats.computed += len(pending)
+        self.stats.cache_hits += len(ordered) - len(pending)
+        self.stats.wall_s += sum(r.wall_s for r in ordered)
+        return ordered
+
+    def _compute(
+        self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
+    ) -> list[tuple[Any, float]]:
+        raise NotImplementedError
+
+
+class LocalExecutor(Executor):
+    """Serial in-process execution."""
+
+    kind = "local"
+
+    def _compute(
+        self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
+    ) -> list[tuple[Any, float]]:
+        return [_timed_build((fn, spec)) for _, spec in pending]
+
+
+class PoolExecutor(Executor):
+    """``multiprocessing.Pool`` fan-out (``--jobs N``)."""
+
+    kind = "pool"
+
+    def __init__(self, jobs: int, cache: ResultCache | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        super().__init__(cache)
+        self.jobs = jobs
+
+    def _compute(
+        self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
+    ) -> list[tuple[Any, float]]:
+        if not pending:
+            return []
+        payloads = [(fn, spec) for _, spec in pending]
+        workers = min(self.jobs, len(payloads))
+        if workers == 1:
+            return [_timed_build(p) for p in payloads]
+        with multiprocessing.Pool(processes=workers) as pool:
+            return pool.map(_timed_build, payloads, chunksize=1)
+
+
+def make_executor(jobs: int = 1, cache: ResultCache | None = None) -> Executor:
+    """The executor the CLI flags describe: serial for ``--jobs 1``,
+    a process pool otherwise."""
+    return PoolExecutor(jobs, cache) if jobs > 1 else LocalExecutor(cache)

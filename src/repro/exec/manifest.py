@@ -1,0 +1,165 @@
+"""Reproducible run manifests.
+
+A *manifest* is the machine-readable record of one batch run: for every
+exhibit, the full spec, its content hash, the claim verdicts, the
+rendering artifact (with its SHA-256), the cache provenance and the
+wall time; globally, the git revision, the code-version fingerprint the
+cache keyed on, the executor shape and the cache counters.  Every
+number in a report can be traced back through the manifest to the spec
+that produced it.
+
+Two views of a manifest matter:
+
+* the **full document** (``manifest.json``) — everything, including
+  volatile execution metadata (timings, cache hits, executor kind);
+* the **fingerprint** (:func:`manifest_fingerprint`) — a SHA-256 over
+  the manifest with volatile fields stripped.  Serial and parallel runs
+  of the same registry at the same code version must produce the same
+  fingerprint; the parity tests in :mod:`tests.exec` enforce exactly
+  that.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import re
+import subprocess
+from pathlib import Path
+from typing import Sequence
+
+from repro.exec.cache import code_version
+from repro.exec.executor import ExecutionResult, Executor
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "git_revision",
+    "build_manifest",
+    "strip_volatile",
+    "manifest_fingerprint",
+    "write_manifest",
+]
+
+MANIFEST_SCHEMA = 1
+
+#: Execution metadata excluded from the fingerprint: timings, cache
+#: provenance and executor shape vary run to run; results must not.
+_VOLATILE_TOP = ("git_rev", "code_version", "executor", "stats")
+_VOLATILE_EXHIBIT = ("wall_s", "source")
+
+_ARTIFACT_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def git_revision(cwd: str | Path | None = None) -> str:
+    """The current git revision, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def _artifact_name(spec_name: str) -> str:
+    return _ARTIFACT_SAFE.sub("_", spec_name).strip("_") + ".txt"
+
+
+def build_manifest(
+    results: Sequence[ExecutionResult],
+    *,
+    executor: Executor | None = None,
+) -> tuple[dict, dict[str, str]]:
+    """Assemble the manifest document and its rendering artifacts.
+
+    Returns ``(manifest, artifacts)`` where *artifacts* maps artifact
+    file names to rendered exhibit text (written alongside
+    ``manifest.json`` by :func:`write_manifest`).
+    """
+    exhibits = []
+    artifacts: dict[str, str] = {}
+    for r in results:
+        rendering = r.value.render() if hasattr(r.value, "render") else str(r.value)
+        claims = list(r.value.claims()) if hasattr(r.value, "claims") else []
+        artifact = _artifact_name(r.spec.name)
+        if artifact in artifacts:
+            raise ValueError(f"duplicate artifact name {artifact!r} (spec {r.spec.name!r})")
+        artifacts[artifact] = rendering
+        exhibits.append(
+            {
+                "name": r.spec.name,
+                "spec": r.spec.to_dict(),
+                "spec_hash": r.spec.spec_hash(),
+                "claims": [
+                    {"description": c.description, "holds": bool(c.holds)} for c in claims
+                ],
+                "claims_ok": all(c.holds for c in claims),
+                "artifact": artifact,
+                "artifact_sha256": hashlib.sha256(rendering.encode()).hexdigest(),
+                "source": r.source,
+                "wall_s": round(r.wall_s, 6),
+            }
+        )
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "git_rev": git_revision(),
+        "code_version": code_version(),
+        "executor": {
+            "kind": executor.kind if executor is not None else "unknown",
+            "jobs": executor.jobs if executor is not None else 1,
+        },
+        "stats": {
+            "specs": len(exhibits),
+            "claims": sum(len(e["claims"]) for e in exhibits),
+            "claims_holding": sum(
+                sum(1 for c in e["claims"] if c["holds"]) for e in exhibits
+            ),
+            "cache": (
+                executor.cache_stats.as_dict() if executor is not None else None
+            ),
+            "wall_s": round(sum(e["wall_s"] for e in exhibits), 6),
+        },
+        "exhibits": exhibits,
+    }
+    return manifest, artifacts
+
+
+def strip_volatile(manifest: dict) -> dict:
+    """A deep copy of *manifest* without execution-volatile fields."""
+    out = copy.deepcopy(manifest)
+    for key in _VOLATILE_TOP:
+        out.pop(key, None)
+    for exhibit in out.get("exhibits", ()):
+        for key in _VOLATILE_EXHIBIT:
+            exhibit.pop(key, None)
+    return out
+
+
+def manifest_fingerprint(manifest: dict) -> str:
+    """SHA-256 over the volatile-stripped canonical JSON.
+
+    Identical for serial and parallel runs of the same specs at the
+    same code state — the reproducibility check one can put in CI.
+    """
+    canonical = json.dumps(strip_volatile(manifest), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def write_manifest(
+    out_dir: str | Path, manifest: dict, artifacts: dict[str, str]
+) -> Path:
+    """Write ``manifest.json`` plus every rendering artifact; returns
+    the manifest path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, text in artifacts.items():
+        (out / name).write_text(text + ("" if text.endswith("\n") else "\n"))
+    path = out / "manifest.json"
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,164 @@
+"""The execution layer's simulation adapter — the one sanctioned
+bridge between experiment specs and :func:`repro.sim.simulation.simulate`.
+
+The presentation layer (``repro.experiments``) is forbidden from
+calling ``simulate()`` / ``run_scenario()`` directly (lint rule
+``RT006``): every simulation an exhibit needs goes through either
+
+* :func:`simulate_spec` — resolve a declarative
+  :class:`~repro.exec.spec.ExperimentSpec` (named scenario or inline
+  scenario text, fault triples, treatment string, VM profile name) and
+  run it; or
+* :func:`run_simulation` — a thin pass-through for experiment code
+  whose configuration is already concrete (sweeps over generated task
+  sets), kept here so the call site is auditable.
+
+Keeping the bridge in one module is what makes the result cache
+trustworthy: a spec's hash covers everything this module feeds into
+the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.faults import CostOverrun, CostUnderrun, FaultInjector, FaultModel
+from repro.core.task import TaskSet
+from repro.core.treatments import TreatmentKind, TreatmentPlan
+from repro.exec.spec import ExperimentSpec
+from repro.sim.locking import LockProtocol, SectionSpec
+from repro.sim.simulation import SimResult, simulate
+from repro.sim.vm import EXACT_VM, JRATE_VM, VMProfile
+from repro.workloads import scenarios
+from repro.workloads.parser import Scenario, parse_scenario
+
+__all__ = [
+    "SCENARIO_FACTORIES",
+    "VM_PROFILES",
+    "resolve_vm",
+    "vm_key_for",
+    "resolve_scenario",
+    "run_simulation",
+    "simulate_spec",
+]
+
+#: Named task-set factories specs may reference.
+SCENARIO_FACTORIES: Mapping[str, Callable[[], TaskSet]] = {
+    "paper-table1": scenarios.paper_table1,
+    "paper-table2": scenarios.paper_table2,
+    "paper-figures": scenarios.paper_figures_taskset,
+    "lehoczky": scenarios.lehoczky_example,
+}
+
+#: Named VM profiles specs may reference.
+VM_PROFILES: Mapping[str, VMProfile] = {
+    "exact": EXACT_VM,
+    "jrate": JRATE_VM,
+}
+
+
+def resolve_vm(name: str) -> VMProfile:
+    """The VM profile a spec's ``vm`` field names."""
+    try:
+        return VM_PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown VM profile {name!r}; known: {', '.join(VM_PROFILES)}") from None
+
+
+def vm_key_for(vm: VMProfile) -> str:
+    """The registry key of *vm* — the inverse of :func:`resolve_vm`
+    (specs store VM profiles by name so they stay hashable)."""
+    for name, profile in VM_PROFILES.items():
+        if profile == vm:
+            return name
+    raise ValueError(
+        f"VM profile {vm.name!r} is not registered in repro.exec.sim.VM_PROFILES"
+    )
+
+
+def _fault_injector(triples: Sequence[tuple[str, int, int]]) -> FaultInjector:
+    deviations: list[CostOverrun | CostUnderrun] = []
+    for task, job, extra in triples:
+        if extra >= 0:
+            deviations.append(CostOverrun(task, job, extra))
+        else:
+            deviations.append(CostUnderrun(task, job, -extra))
+    return FaultInjector(deviations)
+
+
+def resolve_scenario(spec: ExperimentSpec) -> Scenario:
+    """The concrete scenario a simulation spec describes.
+
+    A named ``scenario`` resolves through :data:`SCENARIO_FACTORIES`
+    (spec-level faults/horizon/treatment fill the scenario in); inline
+    ``scenario_text`` goes through the scenario parser, with spec fields
+    overriding the file's directives when set.
+    """
+    if spec.scenario is not None:
+        try:
+            taskset = SCENARIO_FACTORIES[spec.scenario]()
+        except KeyError:
+            raise ValueError(
+                f"spec {spec.name!r}: unknown scenario {spec.scenario!r}; "
+                f"known: {', '.join(SCENARIO_FACTORIES)}"
+            ) from None
+        return Scenario(
+            taskset=taskset,
+            horizon=spec.horizon,
+            faults=_fault_injector(spec.faults),
+            treatment=TreatmentKind(spec.treatment) if spec.treatment else None,
+        )
+    if spec.scenario_text is not None:
+        parsed = parse_scenario(spec.scenario_text, source=spec.name)
+        faults = parsed.faults
+        if spec.faults:
+            faults = _fault_injector(spec.faults)
+        return Scenario(
+            taskset=parsed.taskset,
+            horizon=spec.horizon if spec.horizon is not None else parsed.horizon,
+            faults=faults,
+            treatment=TreatmentKind(spec.treatment) if spec.treatment else parsed.treatment,
+            unit=parsed.unit,
+        )
+    raise ValueError(f"spec {spec.name!r} describes no scenario to simulate")
+
+
+def run_simulation(
+    taskset: TaskSet,
+    *,
+    horizon: int,
+    faults: FaultModel | None = None,
+    treatment: TreatmentKind | TreatmentPlan | None = None,
+    vm: VMProfile = EXACT_VM,
+    arrivals: Mapping[str, Sequence[int]] | None = None,
+    sections: Sequence[SectionSpec] | None = None,
+    protocol: LockProtocol = LockProtocol.ICPP,
+) -> SimResult:
+    """Run one concrete simulation on behalf of the experiments layer.
+
+    Semantically identical to :func:`repro.sim.simulation.simulate`;
+    exists so experiment modules have an executor-layer entry point
+    (``RT006`` flags them calling ``simulate`` themselves).
+    """
+    return simulate(
+        taskset,
+        horizon=horizon,
+        faults=faults,
+        treatment=treatment,
+        vm=vm,
+        arrivals=arrivals,
+        sections=sections,
+        protocol=protocol,
+    )
+
+
+def simulate_spec(spec: ExperimentSpec) -> SimResult:
+    """Resolve *spec* and run it."""
+    scenario = resolve_scenario(spec)
+    return run_simulation(
+        scenario.taskset,
+        horizon=scenario.horizon_or_default(),
+        faults=scenario.faults,
+        treatment=scenario.treatment,
+        vm=resolve_vm(spec.vm),
+    )

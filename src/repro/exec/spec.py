@@ -1,0 +1,128 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the frozen, hashable description of one
+exhibit run: *what* system, over *what* horizon, with *what* fault,
+treatment, VM profile and seed.  Every table, figure and ablation of
+the reproduction is expressed as a spec (see
+:mod:`repro.experiments.registry`), which buys three things:
+
+* **caching** — :meth:`ExperimentSpec.spec_hash` is a stable content
+  hash (built on :func:`repro.rng.stable_hash`, so it is identical in
+  every Python process), usable as a cache key;
+* **parallelism** — specs are plain picklable data, so a batch of them
+  can be fanned out over a process pool;
+* **provenance** — :meth:`ExperimentSpec.to_dict` serialises the spec
+  into the run manifest, linking every published number back to the
+  exact configuration that produced it.
+
+The spec layer knows nothing about *how* a spec is executed; that is
+the job of the builder named by :attr:`ExperimentSpec.builder`
+(resolved by the experiments registry) driven by an executor from
+:mod:`repro.exec.executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from repro.rng import stable_hash
+
+__all__ = ["ExperimentSpec", "FaultSpecTriple"]
+
+#: ``(task_name, job_index, extra_ns)`` — one injected cost overrun
+#: (negative ``extra_ns`` encodes an underrun).
+FaultSpecTriple = tuple[str, int, int]
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert lists/dicts to tuples so params are hashable."""
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _jsonable(value: Any) -> Any:
+    """Tuples back to lists for JSON serialisation."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative experiment configuration.
+
+    ``scenario`` names a registered task-set factory
+    (:data:`repro.exec.sim.SCENARIO_FACTORIES`); ``scenario_text`` is an
+    inline scenario file (the parser format), used for ad-hoc CLI runs —
+    exactly one of the two is set for simulation specs, and analysis
+    specs may set neither.  ``treatment`` is a
+    :class:`~repro.core.treatments.TreatmentKind` value string (``None``
+    means "the scenario's own / no override").  ``params`` carries
+    builder-specific extras as a sorted tuple of ``(key, value)`` pairs
+    so the content hash is canonical.
+    """
+
+    name: str
+    builder: str
+    scenario: str | None = None
+    scenario_text: str | None = None
+    horizon: int | None = None
+    treatment: str | None = None
+    vm: str = "exact"
+    faults: tuple[FaultSpecTriple, ...] = ()
+    seed: int = 0
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("spec needs a name")
+        if not self.builder:
+            raise ValueError(f"spec {self.name!r} needs a builder")
+        if self.scenario is not None and self.scenario_text is not None:
+            raise ValueError(f"spec {self.name!r}: scenario and scenario_text are exclusive")
+        if list(self.params) != sorted(self.params, key=lambda kv: kv[0]):
+            raise ValueError(f"spec {self.name!r}: params must be key-sorted (use .make)")
+
+    @classmethod
+    def make(cls, *, params: Mapping[str, Any] | None = None, **kwargs: Any) -> "ExperimentSpec":
+        """Build a spec from a plain ``params`` mapping (sorted and
+        frozen here so equal configurations hash equally)."""
+        frozen = tuple(sorted((k, _freeze(v)) for k, v in (params or {}).items()))
+        return cls(params=frozen, **kwargs)
+
+    # -- identity ------------------------------------------------------------
+    def canonical(self) -> str:
+        """The canonical string the content hash is computed over."""
+        parts = [(f.name, getattr(self, f.name)) for f in fields(self)]
+        return repr(parts)
+
+    def spec_hash(self) -> str:
+        """Stable content hash (hex), identical in every process."""
+        return f"{stable_hash(self.canonical()):08x}"
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Look up one ``params`` entry."""
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation for manifests."""
+        return {
+            "name": self.name,
+            "builder": self.builder,
+            "scenario": self.scenario,
+            "scenario_text": self.scenario_text,
+            "horizon": self.horizon,
+            "treatment": self.treatment,
+            "vm": self.vm,
+            "faults": [list(f) for f in self.faults],
+            "seed": self.seed,
+            "params": {k: _jsonable(v) for k, v in self.params},
+        }

@@ -1,5 +1,6 @@
 """Experiment harness: regenerate every table and figure of the paper
-and run ad-hoc scenario files."""
+and run ad-hoc scenario files (declaratively, through the batch
+executor in :mod:`repro.exec`)."""
 
 from repro.experiments.metrics import RunMetrics, TaskMetrics, compute_metrics
 from repro.experiments.paper import (
@@ -22,13 +23,23 @@ from repro.experiments.paper import (
 )
 from repro.experiments.ablations import (
     allowance_sweep,
+    blocking_sweep,
     detector_overhead_sweep,
     feasible_pool,
     rounding_sweep,
+    server_sweep,
     treatment_sweep,
 )
+from repro.experiments.registry import (
+    BUILDERS,
+    ablation_specs,
+    all_specs,
+    build_exhibit,
+    paper_specs,
+    spec_for,
+)
 from repro.experiments.report import generate_entries, generate_report
-from repro.experiments.runner import RunOutcome, run_scenario
+from repro.experiments.runner import RunOutcome, build_scenario, run_scenario, scenario_spec
 
 __all__ = [
     "compute_metrics",
@@ -36,6 +47,8 @@ __all__ = [
     "TaskMetrics",
     "run_scenario",
     "RunOutcome",
+    "scenario_spec",
+    "build_scenario",
     "Claim",
     "all_experiments",
     "table1",
@@ -57,6 +70,14 @@ __all__ = [
     "rounding_sweep",
     "allowance_sweep",
     "detector_overhead_sweep",
+    "blocking_sweep",
+    "server_sweep",
+    "BUILDERS",
+    "build_exhibit",
+    "paper_specs",
+    "ablation_specs",
+    "all_specs",
+    "spec_for",
     "generate_entries",
     "generate_report",
 ]

@@ -11,10 +11,19 @@ stated with sample sizes:
 * :func:`allowance_sweep` — tolerance as a function of load;
 * :func:`detector_overhead_sweep` — the §6.2 overhead remark ("the
   more tasks in the system, the more sensors"): CPU stolen by
-  detector firings as the task count grows.
+  detector firings as the task count grows;
+* :func:`blocking_sweep` — the §7 shared-resource axis: PCP/PIP
+  blocking bounds vs simulated locking runs;
+* :func:`server_sweep` — the §7 aperiodic axis: polling/deferrable
+  server analysis vs simulated aperiodic service.
 
 All functions are deterministic for a given seed and return plain
-dataclasses the benchmarks and reports assert on.
+dataclasses the benchmarks and reports assert on.  Each study also has
+an *exhibit* form — an ``ablation_*_spec()`` factory plus a
+``build_ablation_*`` builder returning a result with ``render()`` /
+``claims()`` — so the batch executor can run the ablations next to the
+paper's tables and figures (simulations go through
+:mod:`repro.exec.sim`, per lint rule RT006).
 """
 
 from __future__ import annotations
@@ -23,17 +32,36 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.core.allowance import equitable_allowance, system_allowance
+from repro.core.blocking import (
+    blocking_times_pcp,
+    blocking_times_pip,
+    equitable_allowance_with_blocking,
+    response_time_with_blocking,
+)
 from repro.core.detection import Rounding, RoundingMode
 from repro.core.faults import CostOverrun, FaultInjector
-from repro.core.feasibility import is_feasible
-from repro.core.task import TaskSet
+from repro.core.feasibility import analyze, is_feasible
+from repro.core.servers import (
+    ServerSpec,
+    deferrable_response_times,
+    polling_response_bound,
+    polling_server_taskset,
+    server_sizing,
+)
+from repro.core.task import Task, TaskSet
 from repro.core.treatments import TreatmentKind
+from repro.exec.sim import resolve_scenario, run_simulation
+from repro.exec.spec import ExperimentSpec
 from repro.experiments.metrics import compute_metrics
-from repro.sim.simulation import simulate
+from repro.experiments.paper import Claim
+from repro.sim.locking import LockProtocol, SectionSpec
+from repro.sim.servers import AperiodicRequest, simulate_with_server
 from repro.sim.trace import EventKind
 from repro.sim.vm import VMProfile
-from repro.units import MS
+from repro.units import MS, ms, to_ms
+from repro.viz.tables import format_table
 from repro.workloads.generator import GeneratorConfig, random_taskset
+from repro.workloads.scenarios import PAPER_FAULTY_JOB, paper_fault_extra_ms, paper_horizon
 
 __all__ = [
     "feasible_pool",
@@ -45,6 +73,28 @@ __all__ = [
     "allowance_sweep",
     "OverheadPoint",
     "detector_overhead_sweep",
+    "BlockingStudy",
+    "blocking_sweep",
+    "ServerStudy",
+    "server_sweep",
+    "TreatmentAblationResult",
+    "RoundingAblationResult",
+    "AllowanceAblationResult",
+    "OverheadAblationResult",
+    "BlockingAblationResult",
+    "ServerAblationResult",
+    "ablation_treatments_spec",
+    "ablation_rounding_spec",
+    "ablation_allowance_spec",
+    "ablation_overhead_spec",
+    "ablation_blocking_spec",
+    "ablation_servers_spec",
+    "build_ablation_treatments",
+    "build_ablation_rounding",
+    "build_ablation_allowance",
+    "build_ablation_overhead",
+    "build_ablation_blocking",
+    "build_ablation_servers",
 ]
 
 
@@ -109,7 +159,7 @@ def treatment_sweep(
             victim = ts.tasks[0]
             faults = FaultInjector([CostOverrun(victim.name, faulty_job, victim.deadline)])
             horizon = (faulty_job + 5) * max(t.period for t in ts)
-            res = simulate(ts, horizon=horizon, faults=faults, treatment=treatment)
+            res = run_simulation(ts, horizon=horizon, faults=faults, treatment=treatment)
             m = compute_metrics(res)
             collateral += len(m.collateral_failures)
             detected += m.detections
@@ -164,7 +214,7 @@ def _detection_time(
     horizon: int,
     vm: VMProfile,
 ) -> int:
-    result = simulate(
+    result = run_simulation(
         taskset,
         horizon=horizon,
         faults=faults,
@@ -234,9 +284,11 @@ def detector_overhead_sweep(
     points = []
     for n in task_counts:
         (ts,) = feasible_pool(1, n=n, utilization=0.5, deadline_factor=1.0, seed=seed)
-        base = simulate(ts, horizon=horizon, treatment=TreatmentKind.DETECT_ONLY)
+        base = run_simulation(ts, horizon=horizon, treatment=TreatmentKind.DETECT_ONLY)
         vm = VMProfile(name="overhead", detector_fire_cost=fire_cost)
-        loaded = simulate(ts, horizon=horizon, treatment=TreatmentKind.DETECT_ONLY, vm=vm)
+        loaded = run_simulation(
+            ts, horizon=horizon, treatment=TreatmentKind.DETECT_ONLY, vm=vm
+        )
         fires = len(loaded.trace.of_kind(EventKind.DETECTOR_FIRE))
         points.append(
             OverheadPoint(
@@ -247,3 +299,515 @@ def detector_overhead_sweep(
             )
         )
     return points
+
+
+# ---------------------------------------------------------------------------
+# Blocking study (§7, shared resources)
+# ---------------------------------------------------------------------------
+
+
+def _blocking_system() -> TaskSet:
+    # hi's 20-unit deadline leaves 10 units of slack: lo's 8-unit bus
+    # section consumes most of it, so the blocking-aware allowance is
+    # visibly smaller than the blocking-free one.
+    return TaskSet(
+        [
+            Task("hi", cost=10, period=100, deadline=20, priority=3),
+            Task("mid", cost=20, period=200, deadline=150, priority=2),
+            Task("lo", cost=30, period=400, deadline=350, priority=1),
+        ]
+    )
+
+
+def _blocking_sections() -> list[SectionSpec]:
+    return [
+        SectionSpec("hi", "bus", 2, 2),
+        SectionSpec("lo", "bus", 0, 8),
+        SectionSpec("mid", "dma", 5, 5),
+        SectionSpec("lo", "dma", 10, 6),
+    ]
+
+
+@dataclass(frozen=True)
+class BlockingStudy:
+    """Analytic blocking bounds vs simulated locking runs on the
+    reference three-task / two-resource system."""
+
+    taskset: TaskSet
+    plain_allowance: int
+    blocked_allowance: int
+    pcp_blocking: dict[str, int]
+    pip_blocking: dict[str, int]
+    #: protocol name -> task -> observed max response time
+    observed: dict[str, dict[str, int]]
+    #: protocol name -> task -> analytic response bound
+    bounds: dict[str, dict[str, int]]
+    missed: dict[str, int]
+    icpp_blocked_events: int
+
+
+def blocking_sweep(*, horizon: int = 2000) -> BlockingStudy:
+    """The §7 shared-resource axis, quantified on one system."""
+    ts = _blocking_system()
+    sections = _blocking_sections()
+    analysis = [s.as_analysis_section() for s in sections]
+    pcp = blocking_times_pcp(ts, analysis)
+    pip = blocking_times_pip(ts, analysis)
+    observed: dict[str, dict[str, int]] = {}
+    bounds: dict[str, dict[str, int]] = {}
+    missed: dict[str, int] = {}
+    icpp_blocked = 0
+    for proto_name, protocol, blocking in (
+        ("pip", LockProtocol.PIP, pip),
+        ("icpp", LockProtocol.ICPP, pcp),
+    ):
+        res = run_simulation(ts, horizon=horizon, sections=sections, protocol=protocol)
+        observed[proto_name] = {
+            t.name: res.max_response_time(t.name) or 0 for t in ts
+        }
+        bounds[proto_name] = {
+            t.name: response_time_with_blocking(t, ts, blocking) for t in ts
+        }
+        missed[proto_name] = len(res.missed())
+        if proto_name == "icpp":
+            icpp_blocked = len(res.trace.of_kind(EventKind.BLOCKED))
+    return BlockingStudy(
+        taskset=ts,
+        plain_allowance=equitable_allowance(ts),
+        blocked_allowance=equitable_allowance_with_blocking(ts, analysis),
+        pcp_blocking=pcp,
+        pip_blocking=pip,
+        observed=observed,
+        bounds=bounds,
+        missed=missed,
+        icpp_blocked_events=icpp_blocked,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Server study (§7, aperiodic tasks)
+# ---------------------------------------------------------------------------
+
+
+def _server_periodic() -> TaskSet:
+    return TaskSet(
+        [
+            Task("ctrl", cost=2, period=10, priority=10),
+            Task("log", cost=6, period=30, deadline=28, priority=2),
+        ]
+    )
+
+
+_SERVER = ServerSpec(name="srv", capacity=3, period=15, priority=5)
+
+
+@dataclass(frozen=True)
+class ServerStudy:
+    """Polling/deferrable server analysis vs simulated aperiodic
+    service on the reference two-task system."""
+
+    #: (request name, response time or None, analytic polling bound)
+    responses: tuple[tuple[str, int | None, int], ...]
+    periodic_missed: int
+    flood_missed: int
+    flood_periodic_within_wcrt: bool
+    polling_log_wcrt: int
+    deferrable_log_wcrt: int
+    sizing_capacity: int | None
+    sizing_maximal: bool
+
+
+def server_sweep(*, horizon: int = 1000) -> ServerStudy:
+    """The §7 aperiodic axis, quantified on one system."""
+    periodic = _server_periodic()
+    reqs = [
+        AperiodicRequest(f"r{i}", arrival=i * 37, demand=2 + (i % 3)) for i in range(12)
+    ]
+    result, served = simulate_with_server(periodic, _SERVER, list(reqs), horizon=horizon)
+    responses = tuple(
+        (r.name, r.response_time, polling_response_bound(r.demand, _SERVER, periodic))
+        for r in served
+    )
+    # Aperiodic flood: the server budget must fence the periodic tasks.
+    flood = [AperiodicRequest(f"f{i}", arrival=i, demand=50) for i in range(5)]
+    flood_result, _ = simulate_with_server(periodic, _SERVER, flood, horizon=horizon)
+    report = analyze(polling_server_taskset(periodic, _SERVER))
+    within = all(
+        (flood_result.max_response_time(t.name) or 0) <= (report.wcrt(t.name) or 0)
+        for t in periodic
+    )
+    deferrable = deferrable_response_times(periodic, _SERVER)
+    sizing = server_sizing(periodic, 15, 5)
+    maximal = False
+    if sizing is not None:
+        bigger = ServerSpec("server", capacity=sizing.capacity + 1, period=15, priority=5)
+        maximal = not is_feasible(polling_server_taskset(periodic, bigger))
+    return ServerStudy(
+        responses=responses,
+        periodic_missed=len(result.missed()),
+        flood_missed=len(flood_result.missed()),
+        flood_periodic_within_wcrt=within,
+        polling_log_wcrt=report.wcrt("log") or 0,
+        deferrable_log_wcrt=deferrable["log"],
+        sizing_capacity=sizing.capacity if sizing is not None else None,
+        sizing_maximal=maximal,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Executor-facing ablation exhibits: specs, builders, renderable results
+# ---------------------------------------------------------------------------
+
+_SWEEP_TREATMENTS: tuple[TreatmentKind | None, ...] = (
+    None,
+    TreatmentKind.DETECT_ONLY,
+    TreatmentKind.IMMEDIATE_STOP,
+    TreatmentKind.EQUITABLE_ALLOWANCE,
+    TreatmentKind.SYSTEM_ALLOWANCE,
+)
+
+
+@dataclass(frozen=True)
+class TreatmentAblationResult:
+    """The §6 treatment comparison over a pool of random systems."""
+
+    outcomes: tuple[TreatmentOutcome, ...]
+
+    def _by_name(self) -> dict[str, TreatmentOutcome]:
+        return {o.name: o for o in self.outcomes}
+
+    def render(self) -> str:
+        rows = [
+            (o.name, o.systems, o.collateral_failures, o.faults_detected, o.faulty_execution_total)
+            for o in self.outcomes
+        ]
+        return format_table(
+            ["treatment", "systems", "collateral", "detected", "granted (ns)"],
+            rows,
+            title="Ablation - treatments over a random feasible pool",
+        )
+
+    def claims(self) -> list[Claim]:
+        by = self._by_name()
+        stoppers = ("immediate-stop", "equitable-allowance", "system-allowance")
+        return [
+            Claim(
+                "without treatment the overrun causes collateral failures",
+                by["no-detection"].collateral_failures > 0,
+            ),
+            Claim(
+                "detection alone changes nothing (same collateral as bare)",
+                by["detect-only"].collateral_failures == by["no-detection"].collateral_failures,
+            ),
+            Claim(
+                "every stopping policy eliminates collateral failures",
+                all(by[k].collateral_failures == 0 for k in stoppers),
+            ),
+            Claim(
+                "granted execution: immediate stop <= equitable <= system",
+                by["immediate-stop"].faulty_execution_total
+                <= by["equitable-allowance"].faulty_execution_total
+                <= by["system-allowance"].faulty_execution_total,
+            ),
+        ]
+
+
+def ablation_treatments_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        name="ablation-treatments",
+        builder="ablation.treatments",
+        seed=3,
+        params={"pool": 6, "n": 4, "utilization": 0.75, "faulty_job": 1},
+    )
+
+
+def build_ablation_treatments(spec: ExperimentSpec) -> TreatmentAblationResult:
+    pool = feasible_pool(
+        spec.param("pool", 6),
+        n=spec.param("n", 4),
+        utilization=spec.param("utilization", 0.75),
+        seed=spec.seed,
+    )
+    outcomes = treatment_sweep(
+        pool, _SWEEP_TREATMENTS, faulty_job=spec.param("faulty_job", 1)
+    )
+    return TreatmentAblationResult(outcomes=tuple(outcomes))
+
+
+@dataclass(frozen=True)
+class RoundingAblationResult:
+    """Detection lateness vs timer resolution on the paper's system."""
+
+    points: tuple[RoundingPoint, ...]
+
+    def render(self) -> str:
+        rows = [(to_ms(p.resolution), to_ms(p.detection_delay)) for p in self.points]
+        return format_table(
+            ["resolution (ms)", "detection delay (ms)"],
+            rows,
+            title="Ablation - detection latency vs timer resolution",
+        )
+
+    def claims(self) -> list[Claim]:
+        delays = {p.resolution: p.detection_delay for p in self.points}
+        series = [p.detection_delay for p in self.points]
+        return [
+            Claim(
+                "every delay is bounded by the timer resolution",
+                all(0 <= p.detection_delay < p.resolution for p in self.points),
+            ),
+            Claim(
+                "the 10 ms grid reproduces Figure 4's 1 ms artefact",
+                delays.get(10 * MS) == ms(1),
+            ),
+            Claim("coarser timers never detect earlier", series == sorted(series)),
+        ]
+
+
+def ablation_rounding_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        name="ablation-rounding",
+        builder="ablation.rounding",
+        scenario="paper-figures",
+        horizon=paper_horizon(),
+        faults=(("tau1", PAPER_FAULTY_JOB, ms(paper_fault_extra_ms())),),
+        params={
+            "victim": ("tau1", PAPER_FAULTY_JOB),
+            "resolutions": (1 * MS, 5 * MS, 10 * MS, 20 * MS, 50 * MS),
+        },
+    )
+
+
+def build_ablation_rounding(spec: ExperimentSpec) -> RoundingAblationResult:
+    scenario = resolve_scenario(spec)
+    victim = spec.param("victim", ("tau1", PAPER_FAULTY_JOB))
+    assert scenario.faults is not None
+    points = rounding_sweep(
+        scenario.taskset,
+        scenario.faults,
+        (victim[0], victim[1]),
+        horizon=scenario.horizon_or_default(),
+        resolutions=spec.param("resolutions", (1 * MS, 10 * MS, 50 * MS)),
+    )
+    return RoundingAblationResult(points=tuple(points))
+
+
+@dataclass(frozen=True)
+class AllowanceAblationResult:
+    """Tolerance as a function of load, over random pools."""
+
+    points: tuple[AllowancePoint, ...]
+
+    def render(self) -> str:
+        rows = [
+            (p.utilization, round(p.mean_equitable / MS, 3), round(p.mean_solo / MS, 3))
+            for p in self.points
+        ]
+        return format_table(
+            ["utilization", "mean equitable (ms)", "mean solo (ms)"],
+            rows,
+            title="Ablation - allowance vs utilization",
+        )
+
+    def claims(self) -> list[Claim]:
+        eq = [p.mean_equitable for p in self.points]
+        return [
+            Claim(
+                "mean equitable allowance shrinks as the load grows",
+                eq == sorted(eq, reverse=True),
+            ),
+            Claim(
+                "the solo (system) allowance dominates the equitable one",
+                all(p.mean_solo >= p.mean_equitable for p in self.points),
+            ),
+        ]
+
+
+def ablation_allowance_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        name="ablation-allowance",
+        builder="ablation.allowance",
+        seed=4,
+        params={"pool": 3, "utilizations": (0.4, 0.6, 0.8)},
+    )
+
+
+def build_ablation_allowance(spec: ExperimentSpec) -> AllowanceAblationResult:
+    points = allowance_sweep(
+        spec.param("utilizations", (0.4, 0.7)),
+        pool_size=spec.param("pool", 3),
+        seed=spec.seed,
+    )
+    return AllowanceAblationResult(points=tuple(points))
+
+
+@dataclass(frozen=True)
+class OverheadAblationResult:
+    """Detector CPU theft as the task count grows."""
+
+    points: tuple[OverheadPoint, ...]
+
+    def render(self) -> str:
+        rows = [
+            (p.tasks, p.detector_fires, p.stolen_cpu, f"{p.busy_fraction_increase:.4%}")
+            for p in self.points
+        ]
+        return format_table(
+            ["tasks", "detector fires", "stolen CPU (ns)", "busy increase"],
+            rows,
+            title="Ablation - detector overhead vs task count",
+        )
+
+    def claims(self) -> list[Claim]:
+        fires = [p.detector_fires for p in self.points]
+        stolen = [p.stolen_cpu for p in self.points]
+        return [
+            Claim("more tasks mean more sensor firings", fires == sorted(fires)),
+            Claim("stolen CPU grows with the task count", stolen == sorted(stolen)),
+            Claim("overhead is never negative", all(s >= 0 for s in stolen)),
+        ]
+
+
+def ablation_overhead_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        name="ablation-overhead",
+        builder="ablation.overhead",
+        seed=0,
+        params={"task_counts": (2, 5, 8), "fire_cost": 2_000},
+    )
+
+
+def build_ablation_overhead(spec: ExperimentSpec) -> OverheadAblationResult:
+    points = detector_overhead_sweep(
+        spec.param("task_counts", (2, 5, 8)),
+        fire_cost=spec.param("fire_cost", 2_000),
+        seed=spec.seed,
+    )
+    return OverheadAblationResult(points=tuple(points))
+
+
+@dataclass(frozen=True)
+class BlockingAblationResult:
+    """Blocking bounds vs simulated locking protocols."""
+
+    study: BlockingStudy
+
+    def render(self) -> str:
+        s = self.study
+        rows = []
+        for proto in ("pip", "icpp"):
+            for t in s.taskset:
+                rows.append(
+                    (proto, t.name, s.observed[proto][t.name], s.bounds[proto][t.name])
+                )
+        table = format_table(
+            ["protocol", "task", "observed max R", "analytic bound"],
+            rows,
+            title="Ablation - blocking: simulated protocols vs bounds",
+        )
+        return (
+            f"{table}\n"
+            f"equitable allowance: {s.plain_allowance} (blocking-free) vs "
+            f"{s.blocked_allowance} (blocking-aware)"
+        )
+
+    def claims(self) -> list[Claim]:
+        s = self.study
+        return [
+            Claim(
+                "blocking terms shrink the equitable allowance",
+                s.blocked_allowance < s.plain_allowance,
+            ),
+            Claim(
+                "the PCP bound is never looser than the PIP bound",
+                all(s.pcp_blocking[n] <= s.pip_blocking[n] for n in s.pcp_blocking),
+            ),
+            Claim(
+                "no deadline is missed under either protocol",
+                all(v == 0 for v in s.missed.values()),
+            ),
+            Claim(
+                "simulated responses stay within the analytic bounds",
+                all(
+                    s.observed[p][n] <= s.bounds[p][n]
+                    for p in s.observed
+                    for n in s.observed[p]
+                ),
+            ),
+            Claim("ICPP never blocks at acquisition time", s.icpp_blocked_events == 0),
+        ]
+
+
+def ablation_blocking_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        name="ablation-blocking",
+        builder="ablation.blocking",
+        params={"horizon": 2000},
+    )
+
+
+def build_ablation_blocking(spec: ExperimentSpec) -> BlockingAblationResult:
+    return BlockingAblationResult(study=blocking_sweep(horizon=spec.param("horizon", 2000)))
+
+
+@dataclass(frozen=True)
+class ServerAblationResult:
+    """Aperiodic service: server analysis vs simulated runs."""
+
+    study: ServerStudy
+
+    def render(self) -> str:
+        s = self.study
+        rows = [
+            (name, r if r is not None else "unserved", bound)
+            for name, r, bound in s.responses
+        ]
+        table = format_table(
+            ["request", "response", "polling bound"],
+            rows,
+            title="Ablation - aperiodic service via a polling server",
+        )
+        return (
+            f"{table}\n"
+            f"log WCRT: polling {s.polling_log_wcrt} vs deferrable "
+            f"{s.deferrable_log_wcrt}; maximal server capacity {s.sizing_capacity}"
+        )
+
+    def claims(self) -> list[Claim]:
+        s = self.study
+        return [
+            Claim(
+                "served aperiodic responses stay within the polling bound",
+                all(r <= bound for _, r, bound in s.responses if r is not None),
+            ),
+            Claim(
+                "periodic tasks never miss, even under an aperiodic flood",
+                s.periodic_missed == 0 and s.flood_missed == 0,
+            ),
+            Claim(
+                "the flood keeps periodic responses within their WCRTs",
+                s.flood_periodic_within_wcrt,
+            ),
+            Claim(
+                "deferrable service charges lower tasks a back-to-back penalty",
+                s.deferrable_log_wcrt > s.polling_log_wcrt,
+            ),
+            Claim(
+                "the sizing search finds the maximal feasible capacity",
+                s.sizing_capacity is not None
+                and s.sizing_capacity > 0
+                and s.sizing_maximal,
+            ),
+        ]
+
+
+def ablation_servers_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        name="ablation-servers",
+        builder="ablation.servers",
+        params={"horizon": 1000},
+    )
+
+
+def build_ablation_servers(spec: ExperimentSpec) -> ServerAblationResult:
+    return ServerAblationResult(study=server_sweep(horizon=spec.param("horizon", 1000)))

@@ -3,9 +3,17 @@
 Usage::
 
     python -m repro.experiments all
+    python -m repro.experiments all --jobs 4 --manifest out/
     python -m repro.experiments table2 figure7
     python -m repro.experiments figure4 --svg out/
     python -m repro.experiments run my_scenario.txt --treatment immediate-stop
+
+``all`` covers the nine paper exhibits *and* the six ablation studies.
+Every target runs through the batch executor: ``--jobs N`` fans the
+builds out over a process pool, results are cached under ``--cache``
+(default ``.repro-cache/``; disable with ``--no-cache``), and
+``--manifest DIR`` writes a ``manifest.json`` recording the spec,
+content hash, claim verdicts and artifact digest of every exhibit.
 """
 
 from __future__ import annotations
@@ -15,17 +23,18 @@ import sys
 from pathlib import Path
 
 from repro.core.treatments import TreatmentKind
-from repro.experiments.paper import all_experiments
-from repro.experiments.runner import run_scenario
-from repro.sim.vm import EXACT_VM, JRATE_VM
+from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exec.manifest import build_manifest, manifest_fingerprint, write_manifest
+from repro.exec.executor import Executor, make_executor
+from repro.experiments.registry import all_specs, build_exhibit
+from repro.experiments.runner import scenario_spec
 from repro.viz.svg import SvgOptions, render_svg
-from repro.workloads.parser import load_scenario
 
 __all__ = ["main"]
 
 
 def main(argv: list[str] | None = None) -> int:
-    registry = all_experiments()
+    known = {spec.name: spec for spec in all_specs()}
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of 'Fault Tolerance "
@@ -34,8 +43,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "targets",
         nargs="+",
-        help=f"experiment names ({', '.join(registry)}), 'all', or "
+        help=f"experiment names ({', '.join(known)}), 'all', or "
         "'run <scenario-file>'",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="build exhibits over N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything; do not read or write the cache",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="DIR",
+        help="write manifest.json + rendered artifacts into DIR",
     )
     parser.add_argument(
         "--svg",
@@ -54,24 +86,35 @@ def main(argv: list[str] | None = None) -> int:
         help="VM profile for 'run' targets (default: exact)",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be >= 1")
+        return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache)
+    executor = make_executor(args.jobs, cache)
 
     targets = list(args.targets)
     if targets and targets[0] == "run":
-        return _run_scenario_files(targets[1:], args)
+        return _run_scenario_files(targets[1:], args, executor)
     if targets and targets[0] == "report":
         from repro.experiments.report import generate_report
 
-        print(generate_report())
+        print(generate_report(executor=executor))
         return 0
     if "all" in targets:
-        targets = list(registry)
+        targets = list(known)
 
-    status = 0
+    specs = []
     for name in targets:
-        if name not in registry:
-            print(f"unknown experiment {name!r}; known: {', '.join(registry)}")
+        if name not in known:
+            print(f"unknown experiment {name!r}; known: {', '.join(known)}")
             return 2
-        exp = registry[name]()
+        specs.append(known[name])
+
+    runs = executor.run(specs, build_exhibit)
+    status = 0
+    for run in runs:
+        exp = run.value
         print(exp.render())
         for claim in exp.claims():
             print(str(claim))
@@ -81,22 +124,32 @@ def main(argv: list[str] | None = None) -> int:
         if args.svg and hasattr(exp, "result"):
             out = Path(args.svg)
             out.mkdir(parents=True, exist_ok=True)
-            path = out / f"{name}.svg"
+            path = out / f"{run.spec.name}.svg"
             path.write_text(render_svg(exp.result, SvgOptions(title=exp.name)))
             print(f"wrote {path}")
+    if args.manifest:
+        manifest, artifacts = build_manifest(runs, executor=executor)
+        path = write_manifest(args.manifest, manifest, artifacts)
+        print(f"wrote {path} (fingerprint {manifest_fingerprint(manifest)[:12]})")
+    print(f"executor: {executor.stats.describe()}")
     return status
 
 
-def _run_scenario_files(paths: list[str], args: argparse.Namespace) -> int:
+def _run_scenario_files(paths: list[str], args: argparse.Namespace, executor: Executor) -> int:
     if not paths:
         print("run: need at least one scenario file")
         return 2
-    vm = JRATE_VM if args.vm == "jrate" else EXACT_VM
-    treatment = TreatmentKind(args.treatment) if args.treatment else None
-    for path in paths:
-        scenario = load_scenario(path)
-        outcome = run_scenario(scenario, vm=vm, treatment=treatment)
-        m = outcome.metrics
+    specs = [
+        scenario_spec(
+            Path(path).read_text(),
+            name=Path(path).stem,
+            treatment=args.treatment,
+            vm=args.vm,
+        )
+        for path in paths
+    ]
+    for path, run in zip(paths, executor.run(specs, build_exhibit)):
+        m = run.value.metrics
         print(f"{path}: horizon {m.horizon} ns")
         for name, tm in m.per_task.items():
             print(

@@ -10,6 +10,14 @@ the corresponding exhibit and returns a structured result carrying:
   the benchmarks assert: the *shape* must hold even though our
   substrate is a simulator, not the authors' jRate testbed).
 
+Since the executor refactor every exhibit is *declared* as an
+:class:`~repro.exec.spec.ExperimentSpec` (the ``*_spec()`` factories)
+and *materialised* by a module-level builder (``build_*``) that the
+experiments registry dispatches — the classic ``figureN()`` entry
+points are thin wrappers gluing the two together.  Builders never call
+``simulate()`` directly (lint rule RT006); all simulation goes through
+:func:`repro.exec.sim.simulate_spec`.
+
 Figure mapping (see DESIGN.md §4):
 
 ========  ==========================================================
@@ -37,26 +45,23 @@ from repro.core.allowance import (
     adjusted_wcrt,
     additive_adjusted_wcrt,
     equitable_allowance,
-    system_adjusted_wcrt,
-    system_allowance,
 )
 from repro.core.feasibility import analyze, job_response_times, wc_response_time
 from repro.core.task import TaskSet
 from repro.core.treatments import TreatmentKind
+from repro.exec.sim import resolve_scenario, resolve_vm, simulate_spec, vm_key_for
+from repro.exec.spec import ExperimentSpec
 from repro.experiments.metrics import RunMetrics, compute_metrics
-from repro.sim.simulation import SimResult, simulate
+from repro.sim.simulation import SimResult
 from repro.sim.trace import EventKind
 from repro.sim.vm import EXACT_VM, JRATE_VM, VMProfile
-from repro.units import MS, ms, to_ms
+from repro.units import ms, to_ms
 from repro.viz.tables import format_table
 from repro.viz.timeline import TimelineOptions, render_timeline
 from repro.workloads.scenarios import (
-    lehoczky_example,
-    paper_fault,
-    paper_figures_taskset,
+    PAPER_FAULTY_JOB,
+    paper_fault_extra_ms,
     paper_horizon,
-    paper_table1,
-    paper_table2,
 )
 
 __all__ = [
@@ -75,6 +80,25 @@ __all__ = [
     "figure5",
     "figure6",
     "figure7",
+    "table1_spec",
+    "figure1_spec",
+    "table2_spec",
+    "table3_spec",
+    "figure3_spec",
+    "figure4_spec",
+    "figure5_spec",
+    "figure6_spec",
+    "figure7_spec",
+    "build_table1",
+    "build_figure1",
+    "build_table2",
+    "build_table3",
+    "build_figure3",
+    "build_figure4",
+    "build_figure5",
+    "build_figure6",
+    "build_figure7",
+    "vm_profile_name",
     "all_experiments",
 ]
 
@@ -89,6 +113,11 @@ class Claim:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         mark = "OK " if self.holds else "FAIL"
         return f"[{mark}] {self.description}"
+
+
+def vm_profile_name(vm: VMProfile) -> str:
+    """The registry name of *vm* (specs store profiles by name)."""
+    return vm_key_for(vm)
 
 
 # ---------------------------------------------------------------------------
@@ -136,15 +165,24 @@ class Table1Result:
         ]
 
 
-def table1() -> Table1Result:
+def table1_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(name="table1", builder="paper.table1", scenario="paper-table1")
+
+
+def build_table1(spec: ExperimentSpec) -> Table1Result:
     """Analyse Table 1's printed numbers."""
-    ts = paper_table1()
+    ts = resolve_scenario(spec).taskset
     report = analyze(ts)
     return Table1Result(
         taskset=ts,
         wcrt={name: r.wcrt for name, r in report.per_task.items()},
         feasible=report.feasible,
     )
+
+
+def table1() -> Table1Result:
+    """Analyse Table 1's printed numbers."""
+    return build_table1(table1_spec())
 
 
 @dataclass(frozen=True)
@@ -189,14 +227,29 @@ class Figure1Result:
         ]
 
 
-def figure1() -> Figure1Result:
+def figure1_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        name="figure1",
+        builder="paper.figure1",
+        scenario="lehoczky",
+        params={"task": "t2"},
+    )
+
+
+def build_figure1(spec: ExperimentSpec) -> Figure1Result:
     """Per-job response-time series showing the Figure 1 phenomenon."""
-    ts = lehoczky_example()
-    task = ts["t2"]
+    ts = resolve_scenario(spec).taskset
+    name = spec.param("task", "t2")
+    task = ts[name]
     responses = job_response_times(task, ts)
     wcrt = wc_response_time(task, ts)
     assert wcrt is not None
-    return Figure1Result(taskset=ts, task_name="t2", responses=responses, wcrt=wcrt)
+    return Figure1Result(taskset=ts, task_name=name, responses=responses, wcrt=wcrt)
+
+
+def figure1() -> Figure1Result:
+    """Per-job response-time series showing the Figure 1 phenomenon."""
+    return build_figure1(figure1_spec())
 
 
 # ---------------------------------------------------------------------------
@@ -238,8 +291,12 @@ class Table2Result:
         ]
 
 
-def table2() -> Table2Result:
-    ts = paper_table2()
+def table2_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(name="table2", builder="paper.table2", scenario="paper-table2")
+
+
+def build_table2(spec: ExperimentSpec) -> Table2Result:
+    ts = resolve_scenario(spec).taskset
     report = analyze(ts)
     wcrt = {name: r.wcrt for name, r in report.per_task.items()}
     assert all(v is not None for v in wcrt.values())
@@ -248,6 +305,10 @@ def table2() -> Table2Result:
         wcrt={k: int(v) for k, v in wcrt.items()},  # type: ignore[arg-type]
         allowance=equitable_allowance(ts),
     )
+
+
+def table2() -> Table2Result:
+    return build_table2(table2_spec())
 
 
 # ---------------------------------------------------------------------------
@@ -289,8 +350,12 @@ class Table3Result:
         ]
 
 
-def table3() -> Table3Result:
-    ts = paper_table2()
+def table3_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(name="table3", builder="paper.table3", scenario="paper-table2")
+
+
+def build_table3(spec: ExperimentSpec) -> Table3Result:
+    ts = resolve_scenario(spec).taskset
     allowance = equitable_allowance(ts)
     return Table3Result(
         taskset=ts,
@@ -298,6 +363,10 @@ def table3() -> Table3Result:
         exact=adjusted_wcrt(ts, allowance),
         additive=additive_adjusted_wcrt(ts, allowance),
     )
+
+
+def table3() -> Table3Result:
+    return build_table3(table3_spec())
 
 
 # ---------------------------------------------------------------------------
@@ -343,25 +412,33 @@ class FigureResult:
         return list(self._claims)
 
 
-def _figure_run(
-    treatment: TreatmentKind | None,
-    vm: VMProfile,
-    extra_ms: int = 40,
-) -> tuple[SimResult, RunMetrics]:
-    result = simulate(
-        paper_figures_taskset(),
+def _figure_spec(n: int, treatment: str | None, vm: str) -> ExperimentSpec:
+    """The common shape of the Figures 3-7 executions: Table 2's system
+    phased as the figures show it, tau1's fifth job overrunning."""
+    return ExperimentSpec.make(
+        name=f"figure{n}",
+        builder=f"paper.figure{n}",
+        scenario="paper-figures",
         horizon=paper_horizon(),
-        faults=paper_fault(extra_ms),
         treatment=treatment,
         vm=vm,
+        faults=(("tau1", PAPER_FAULTY_JOB, ms(paper_fault_extra_ms())),),
     )
+
+
+def _figure_sim(spec: ExperimentSpec) -> tuple[SimResult, RunMetrics]:
+    result = simulate_spec(spec)
     return result, compute_metrics(result)
 
 
-def figure3(vm: VMProfile = EXACT_VM) -> FigureResult:
+def figure3_spec(vm: str = "exact") -> ExperimentSpec:
+    return _figure_spec(3, None, vm)
+
+
+def build_figure3(spec: ExperimentSpec) -> FigureResult:
     """No detection: tau1 faults, tau1/tau2 meet their deadlines, tau3
     misses — "It is the case we wish to avoid"."""
-    result, metrics = _figure_run(None, vm)
+    result, metrics = _figure_sim(spec)
     t1, t2, t3 = (result.job(n, i) for n, i in (("tau1", 5), ("tau2", 4), ("tau3", 0)))
     claims = [
         Claim("tau1 makes a temporal fault around t=1020 ms", t1.overran and t1.finished_at is not None and t1.finished_at > ms(1020)),
@@ -370,13 +447,22 @@ def figure3(vm: VMProfile = EXACT_VM) -> FigureResult:
         Claim("tau3 misses its deadline", t3.deadline_missed),
         Claim("no jobs were stopped (no treatment installed)", not result.stopped()),
     ]
-    return FigureResult("Figure 3 - execution without detection", None, vm.name, result, metrics, claims)
+    return FigureResult("Figure 3 - execution without detection", None, spec.vm, result, metrics, claims)
 
 
-def figure4(vm: VMProfile = JRATE_VM) -> FigureResult:
+def figure3(vm: VMProfile = EXACT_VM) -> FigureResult:
+    return build_figure3(figure3_spec(vm_profile_name(vm)))
+
+
+def figure4_spec(vm: str = "jrate") -> ExperimentSpec:
+    return _figure_spec(4, "detect-only", vm)
+
+
+def build_figure4(spec: ExperimentSpec) -> FigureResult:
     """Detection without treatment: behaviour identical to Figure 3;
     detectors fire with the 10 ms-rounding delays (1, 2, 3 ms)."""
-    result, metrics = _figure_run(TreatmentKind.DETECT_ONLY, vm)
+    result, metrics = _figure_sim(spec)
+    vm = resolve_vm(spec.vm)
     t3 = result.job("tau3", 0)
     plan = result.runtime.plan if result.runtime else None
     delays = (
@@ -398,17 +484,25 @@ def figure4(vm: VMProfile = JRATE_VM) -> FigureResult:
     return FigureResult(
         "Figure 4 - execution with detection, without treatments",
         TreatmentKind.DETECT_ONLY,
-        vm.name,
+        spec.vm,
         result,
         metrics,
         claims,
     )
 
 
-def figure5(vm: VMProfile = EXACT_VM) -> FigureResult:
+def figure4(vm: VMProfile = JRATE_VM) -> FigureResult:
+    return build_figure4(figure4_spec(vm_profile_name(vm)))
+
+
+def figure5_spec(vm: str = "exact") -> ExperimentSpec:
+    return _figure_spec(5, "immediate-stop", vm)
+
+
+def build_figure5(spec: ExperimentSpec) -> FigureResult:
     """Immediate stop: only tau1 fails, but CPU time is wasted —
     "there remains time before its expiry"."""
-    result, metrics = _figure_run(TreatmentKind.IMMEDIATE_STOP, vm)
+    result, metrics = _figure_sim(spec)
     t3 = result.job("tau3", 0)
     idle_before_t3_deadline = (
         t3.finished_at is not None and t3.finished_at < t3.absolute_deadline
@@ -429,19 +523,27 @@ def figure5(vm: VMProfile = EXACT_VM) -> FigureResult:
     return FigureResult(
         "Figure 5 - execution without allowance (immediate stop)",
         TreatmentKind.IMMEDIATE_STOP,
-        vm.name,
+        spec.vm,
         result,
         metrics,
         claims,
     )
 
 
-def figure6(vm: VMProfile = EXACT_VM) -> FigureResult:
+def figure5(vm: VMProfile = EXACT_VM) -> FigureResult:
+    return build_figure5(figure5_spec(vm_profile_name(vm)))
+
+
+def figure6_spec(vm: str = "exact") -> ExperimentSpec:
+    return _figure_spec(6, "equitable-allowance", vm)
+
+
+def build_figure6(spec: ExperimentSpec) -> FigureResult:
     """Equitable allowance: tau1 gets 11 extra ms before the stop; the
     unconsumed allowance of tau2/tau3 is wasted CPU."""
-    result, metrics = _figure_run(TreatmentKind.EQUITABLE_ALLOWANCE, vm)
+    result, metrics = _figure_sim(spec)
     stop_t1 = result.job("tau1", 5).finished_at
-    fig5_stop = figure5(vm).job_end("tau1", 5)
+    fig5_stop = build_figure5(figure5_spec(spec.vm)).job_end("tau1", 5)
     t2, t3 = result.job("tau2", 4), result.job("tau3", 0)
     slack_left = (
         t3.finished_at is not None and t3.finished_at < t3.absolute_deadline
@@ -465,17 +567,25 @@ def figure6(vm: VMProfile = EXACT_VM) -> FigureResult:
     return FigureResult(
         "Figure 6 - allowance granted equitably to all tasks",
         TreatmentKind.EQUITABLE_ALLOWANCE,
-        vm.name,
+        spec.vm,
         result,
         metrics,
         claims,
     )
 
 
-def figure7(vm: VMProfile = EXACT_VM) -> FigureResult:
+def figure6(vm: VMProfile = EXACT_VM) -> FigureResult:
+    return build_figure6(figure6_spec(vm_profile_name(vm)))
+
+
+def figure7_spec(vm: str = "exact") -> ExperimentSpec:
+    return _figure_spec(7, "system-allowance", vm)
+
+
+def build_figure7(spec: ExperimentSpec) -> FigureResult:
     """System allowance: the whole 33 ms goes to tau1; tau2 and tau3
     finish just before their deadlines."""
-    result, metrics = _figure_run(TreatmentKind.SYSTEM_ALLOWANCE, vm)
+    result, metrics = _figure_sim(spec)
     t1, t2, t3 = (result.job(n, i) for n, i in (("tau1", 5), ("tau2", 4), ("tau3", 0)))
     wcrt1 = ms(29)
     claims = [
@@ -500,11 +610,15 @@ def figure7(vm: VMProfile = EXACT_VM) -> FigureResult:
     return FigureResult(
         "Figure 7 - allowance granted totally to the first faulty task",
         TreatmentKind.SYSTEM_ALLOWANCE,
-        vm.name,
+        spec.vm,
         result,
         metrics,
         claims,
     )
+
+
+def figure7(vm: VMProfile = EXACT_VM) -> FigureResult:
+    return build_figure7(figure7_spec(vm_profile_name(vm)))
 
 
 def all_experiments() -> dict[str, Callable[[], object]]:

@@ -1,0 +1,100 @@
+"""The exhibit registry: every spec the batch executor can run.
+
+This module is the glue between the declarative layer
+(:mod:`repro.exec.spec`) and the exhibit implementations: it maps the
+``builder`` string each :class:`~repro.exec.spec.ExperimentSpec`
+carries onto the module-level function that materialises it, and
+enumerates the canonical spec list of the reproduction (nine paper
+exhibits plus six ablations).
+
+:func:`build_exhibit` is deliberately a plain module-level function so
+it pickles into :class:`~repro.exec.executor.PoolExecutor` workers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.exec.spec import ExperimentSpec
+from repro.experiments import ablations, paper, runner
+
+__all__ = [
+    "BUILDERS",
+    "build_exhibit",
+    "paper_specs",
+    "ablation_specs",
+    "all_specs",
+    "spec_for",
+]
+
+#: Builder name (``ExperimentSpec.builder``) -> builder function.
+BUILDERS: Mapping[str, Callable[[ExperimentSpec], Any]] = {
+    "paper.table1": paper.build_table1,
+    "paper.figure1": paper.build_figure1,
+    "paper.table2": paper.build_table2,
+    "paper.table3": paper.build_table3,
+    "paper.figure3": paper.build_figure3,
+    "paper.figure4": paper.build_figure4,
+    "paper.figure5": paper.build_figure5,
+    "paper.figure6": paper.build_figure6,
+    "paper.figure7": paper.build_figure7,
+    "ablation.treatments": ablations.build_ablation_treatments,
+    "ablation.rounding": ablations.build_ablation_rounding,
+    "ablation.allowance": ablations.build_ablation_allowance,
+    "ablation.overhead": ablations.build_ablation_overhead,
+    "ablation.blocking": ablations.build_ablation_blocking,
+    "ablation.servers": ablations.build_ablation_servers,
+    "runner.scenario": runner.build_scenario,
+}
+
+
+def build_exhibit(spec: ExperimentSpec) -> Any:
+    """Materialise one spec (the executor's builder function)."""
+    try:
+        fn = BUILDERS[spec.builder]
+    except KeyError:
+        raise ValueError(
+            f"spec {spec.name!r} names unknown builder {spec.builder!r}; "
+            f"known: {', '.join(sorted(BUILDERS))}"
+        ) from None
+    return fn(spec)
+
+
+def paper_specs() -> list[ExperimentSpec]:
+    """The nine paper exhibits, in presentation order."""
+    return [
+        paper.table1_spec(),
+        paper.figure1_spec(),
+        paper.table2_spec(),
+        paper.table3_spec(),
+        paper.figure3_spec(),
+        paper.figure4_spec(),
+        paper.figure5_spec(),
+        paper.figure6_spec(),
+        paper.figure7_spec(),
+    ]
+
+
+def ablation_specs() -> list[ExperimentSpec]:
+    """The six ablation studies, in presentation order."""
+    return [
+        ablations.ablation_treatments_spec(),
+        ablations.ablation_rounding_spec(),
+        ablations.ablation_allowance_spec(),
+        ablations.ablation_overhead_spec(),
+        ablations.ablation_blocking_spec(),
+        ablations.ablation_servers_spec(),
+    ]
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """Every registered exhibit spec (paper first, then ablations)."""
+    return paper_specs() + ablation_specs()
+
+
+def spec_for(name: str) -> ExperimentSpec:
+    """Look one spec up by exhibit name."""
+    for spec in all_specs():
+        if spec.name == name:
+            return spec
+    raise KeyError(name)

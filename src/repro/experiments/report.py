@@ -1,16 +1,18 @@
 """Machine-generated paper-vs-measured report.
 
-:func:`generate_report` reruns every exhibit and renders a Markdown
-summary with each claim's verdict — the live counterpart of the
-hand-written EXPERIMENTS.md (useful after modifying the analysis or the
-simulator: ``python -m repro.experiments report > report.md``).
+:func:`generate_report` reruns every exhibit through the batch
+executor and renders a Markdown summary with each claim's verdict —
+the live counterpart of the hand-written EXPERIMENTS.md (useful after
+modifying the analysis or the simulator:
+``python -m repro.experiments report > report.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.paper import all_experiments
+from repro.exec.executor import Executor, LocalExecutor
+from repro.experiments.registry import build_exhibit, paper_specs
 
 __all__ = ["ReportEntry", "generate_entries", "generate_report"]
 
@@ -29,26 +31,28 @@ class ReportEntry:
         return self.claims_holding == self.claims_total
 
 
-def generate_entries() -> list[ReportEntry]:
+def generate_entries(executor: Executor | None = None) -> list[ReportEntry]:
     """Run every registered experiment and collect verdicts."""
+    executor = executor if executor is not None else LocalExecutor()
     entries = []
-    for name, factory in all_experiments().items():
-        result = factory()
-        claims = result.claims()
+    for run in executor.run(paper_specs(), build_exhibit):
+        claims = run.value.claims()
         entries.append(
             ReportEntry(
-                name=name,
+                name=run.spec.name,
                 claims_total=len(claims),
                 claims_holding=sum(1 for c in claims if c.holds),
-                rendering=result.render(),
+                rendering=run.value.render(),
             )
         )
     return entries
 
 
-def generate_report(*, include_renderings: bool = True) -> str:
+def generate_report(
+    *, include_renderings: bool = True, executor: Executor | None = None
+) -> str:
     """The full Markdown report."""
-    entries = generate_entries()
+    entries = generate_entries(executor)
     lines = [
         "# Reproduction report — Fault Tolerance with Real-Time Java",
         "",

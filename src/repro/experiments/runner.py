@@ -2,6 +2,12 @@
 
 Ties together the scenario parser (tool #1), the simulator and the
 metrics: "It builds and runs the tasks automatically."
+
+Ad-hoc scenario files can also be run through the batch executor:
+:func:`scenario_spec` wraps a scenario file's text in an
+:class:`~repro.exec.spec.ExperimentSpec` (so runs are cacheable and
+manifest-recorded) and :func:`build_scenario` is the registry builder
+that materialises it.
 """
 
 from __future__ import annotations
@@ -9,12 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.treatments import TreatmentKind
+from repro.exec.sim import run_simulation, simulate_spec, vm_key_for
+from repro.exec.spec import ExperimentSpec
 from repro.experiments.metrics import RunMetrics, compute_metrics
-from repro.sim.simulation import SimResult, simulate
+from repro.sim.simulation import SimResult
 from repro.sim.vm import EXACT_VM, VMProfile
 from repro.workloads.parser import Scenario
 
-__all__ = ["RunOutcome", "run_scenario"]
+__all__ = ["RunOutcome", "run_scenario", "scenario_spec", "build_scenario"]
 
 
 @dataclass(frozen=True)
@@ -37,11 +45,38 @@ def run_scenario(
     given (handy for comparing policies on one file).
     """
     chosen = treatment if treatment is not None else scenario.treatment
-    result = simulate(
+    result = run_simulation(
         scenario.taskset,
         horizon=scenario.horizon_or_default(),
         faults=scenario.faults,
         treatment=chosen,
         vm=vm,
     )
+    return RunOutcome(result=result, metrics=compute_metrics(result))
+
+
+def scenario_spec(
+    text: str,
+    *,
+    name: str = "scenario",
+    treatment: str | None = None,
+    vm: str | VMProfile = "exact",
+) -> ExperimentSpec:
+    """A cacheable spec for one scenario file's text.
+
+    The full text is part of the spec (and therefore of its content
+    hash), so editing the file invalidates any cached result.
+    """
+    return ExperimentSpec.make(
+        name=name,
+        builder="runner.scenario",
+        scenario_text=text,
+        treatment=treatment,
+        vm=vm if isinstance(vm, str) else vm_key_for(vm),
+    )
+
+
+def build_scenario(spec: ExperimentSpec) -> RunOutcome:
+    """Registry builder for ad-hoc scenario specs."""
+    result = simulate_spec(spec)
     return RunOutcome(result=result, metrics=compute_metrics(result))

@@ -51,32 +51,11 @@ class ChainSimulation(Simulation):
                     self._on_predecessor_done
                 )
 
-    def _schedule_releases(self) -> None:
-        # Only roots are clock-released; successors are event-released.
-        for task in self.taskset:
-            if task.name not in self._roots:
-                continue
-            for k, release in enumerate(self._release_times(task)):
-                self.engine.schedule(
-                    release, self._make_release(task, k), Rank.RELEASE
-                )
-
-    def _schedule_detectors(self, plan: TreatmentPlan) -> None:
-        # Root detectors follow the clock; successor detectors are
-        # armed per actual release (as for sporadic tasks) inside
-        # _release_successor below.
-        for task in self.taskset:
-            if task.name not in self._roots:
-                continue
-            spec = plan.detector_for(task.name)
-            if spec is None:
-                continue
-            for k, release in enumerate(self._release_times(task)):
-                fire = release + spec.offset
-                if fire <= self.horizon:
-                    self.engine.schedule(
-                        fire, self._make_detector_fire(task, k), Rank.DETECTOR
-                    )
+    def _clock_released(self, task: Task) -> bool:
+        # Only roots are clock-released (with their detectors chained by
+        # the base class); successors are event-released below, with
+        # their detectors armed per actual release.
+        return task.name in self._roots
 
     # -- event-driven successor releases ---------------------------------------
     def _on_predecessor_done(self, job: Job) -> None:

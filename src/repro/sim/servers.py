@@ -221,10 +221,8 @@ class DeferrableServerSimulation(ServerSimulation):
 
     # The DS releases are purely event-driven: suppress the periodic
     # schedule the base class would install for the server.
-    def _release_times(self, task: Task) -> list[int]:
-        if task.name == self.server.name:
-            return []
-        return super()._release_times(task)
+    def _clock_released(self, task: Task) -> bool:
+        return task.name != self.server.name
 
     def _replenish(self) -> None:
         self._budget = self.server.capacity

@@ -51,6 +51,12 @@ class SimResult:
     runtime: TreatmentRuntime | None
     vm: VMProfile
     busy_time: int = 0
+    #: Detector-overhead pseudo-jobs (``__overhead*``).  They steal CPU
+    #: (and thus count in ``busy_time`` and appear in the trace) but are
+    #: *not* task activations, so they are kept out of the public
+    #: ``jobs`` mapping that :meth:`missed`/:meth:`stopped` and the
+    #: metrics iterate over.
+    overhead_jobs: Sequence[Job] = ()
 
     @property
     def idle_time(self) -> int:
@@ -149,29 +155,55 @@ class Simulation:
         self._backlog: dict[str, deque[Job]] = {t.name: deque() for t in taskset}
         self._active: dict[str, Job | None] = {t.name: None for t in taskset}
         self._overhead_seq = 0
+        self._overhead_jobs: list[Job] = []
         self._schedule_releases()
-        if plan is not None:
-            self._schedule_detectors(plan)
 
     # -- setup ----------------------------------------------------------------
-    def _release_times(self, task: Task) -> list[int]:
-        """Release instants of *task* within the horizon: explicit
-        arrivals for sporadic tasks, the periodic pattern otherwise."""
+    def _clock_released(self, task: Task) -> bool:
+        """Whether *task* releases on the clock (periodic pattern or the
+        explicit arrivals list).  Subclasses return False for tasks they
+        release by other means (precedence successors, server jobs)."""
+        return True
+
+    def _release_time_at(self, task: Task, index: int) -> int | None:
+        """Clock release instant of job *index*, or None when there is
+        none (the sporadic arrivals list is exhausted)."""
         if task.name in self.arrivals:
-            return [t for t in self.arrivals[task.name] if t <= self.horizon]
-        out = []
-        k = 0
-        while task.release_time(k) <= self.horizon:
-            out.append(task.release_time(k))
-            k += 1
-        return out
+            times = self.arrivals[task.name]
+            return times[index] if index < len(times) else None
+        return task.release_time(index)
 
     def _schedule_releases(self) -> None:
         for task in self.taskset:
-            for k, release in enumerate(self._release_times(task)):
-                self.engine.schedule(
-                    release, self._make_release(task, k), Rank.RELEASE
-                )
+            if self._clock_released(task):
+                self._arm_release(task, 0)
+
+    def _arm_release(self, task: Task, index: int) -> None:
+        """Schedule the release of job *index* and, when it fires, chain
+        its successor and its detector.
+
+        Releases and detector fires are armed lazily — each release
+        schedules the next one — so the pending-event heap holds O(n)
+        release entries instead of O(horizon/period) per task pushed
+        eagerly at construction.
+        """
+        release = self._release_time_at(task, index)
+        if release is None or release > self.horizon:
+            return
+        action = self._make_release(task, index)
+        spec = self.plan.detector_for(task.name) if self.plan is not None else None
+
+        def fire() -> None:
+            self._arm_release(task, index + 1)
+            if spec is not None:
+                at = self.engine.now + spec.offset
+                if at <= self.horizon:
+                    self.engine.schedule(
+                        at, self._make_detector_fire(task, index), Rank.DETECTOR
+                    )
+            action()
+
+        self.engine.schedule(release, fire, Rank.RELEASE)
 
     def _make_release(self, task: Task, index: int):
         def release() -> None:
@@ -210,19 +242,6 @@ class Simulation:
 
         return check
 
-    def _schedule_detectors(self, plan: TreatmentPlan) -> None:
-        for task in self.taskset:
-            spec = plan.detector_for(task.name)
-            if spec is None:
-                continue
-            for k, release in enumerate(self._release_times(task)):
-                fire = release + spec.offset
-                if fire > self.horizon:
-                    continue
-                self.engine.schedule(
-                    fire, self._make_detector_fire(task, k), Rank.DETECTOR
-                )
-
     def _make_detector_fire(self, task: Task, index: int):
         def fire() -> None:
             now = self.engine.now
@@ -258,7 +277,7 @@ class Simulation:
             priority=_OVERHEAD_PRIORITY,
         )
         job = Job(task=pseudo, index=0, release=self.engine.now, demand=cost)
-        self.jobs[(pseudo.name, 0)] = job
+        self._overhead_jobs.append(job)
         self.processor.submit(job)
 
     # -- runtime ----------------------------------------------------------------
@@ -315,6 +334,7 @@ class Simulation:
             runtime=self.runtime,
             vm=self.vm,
             busy_time=self.processor.busy_time,
+            overhead_jobs=tuple(self._overhead_jobs),
         )
 
 

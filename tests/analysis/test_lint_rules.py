@@ -199,6 +199,48 @@ class TestRT005RawRanks:
         assert lint("def f(engine, cb):\n    engine.schedule(10, cb)\n") == []
 
 
+class TestRT006ExecutorDiscipline:
+    EXPERIMENT_PATH = "src/repro/experiments/custom.py"
+
+    def test_direct_simulate_call_in_experiments(self):
+        source = "def f(ts):\n    return simulate(ts, horizon=100)\n"
+        diags = lint_source(source, self.EXPERIMENT_PATH)
+        assert codes(diags) == ["RT006"]
+        assert "simulate()" in diags[0].message
+
+    def test_attribute_call_in_experiments(self):
+        source = "def f(ts):\n    return simulation.simulate(ts, horizon=100)\n"
+        assert codes(lint_source(source, self.EXPERIMENT_PATH)) == ["RT006"]
+
+    def test_run_scenario_call_in_experiments(self):
+        source = "def f(sc):\n    return run_scenario(sc)\n"
+        assert codes(lint_source(source, self.EXPERIMENT_PATH)) == ["RT006"]
+
+    def test_simulate_import_in_experiments(self):
+        source = "from repro.sim.simulation import simulate\n"
+        assert codes(lint_source(source, self.EXPERIMENT_PATH)) == ["RT006"]
+
+    def test_same_code_outside_experiments_is_allowed(self):
+        source = (
+            "from repro.sim.simulation import simulate\n\n"
+            "def f(ts):\n    return simulate(ts, horizon=100)\n"
+        )
+        assert lint_source(source, "src/repro/exec/sim.py") == []
+        assert lint_source(source, "benchmarks/bench_fig3.py") == []
+
+    def test_executor_bridge_calls_are_allowed(self):
+        source = (
+            "from repro.exec.sim import run_simulation, simulate_spec\n\n"
+            "def build(spec):\n    return simulate_spec(spec)\n\n"
+            "def sweep(ts):\n    return run_simulation(ts, horizon=100)\n"
+        )
+        assert lint_source(source, self.EXPERIMENT_PATH) == []
+
+    def test_noqa_suppression(self):
+        source = "def f(ts):\n    return simulate(ts, horizon=1)  # noqa: RT006\n"
+        assert lint_source(source, self.EXPERIMENT_PATH) == []
+
+
 class TestDriver:
     def test_syntax_error_becomes_diagnostic(self):
         diags = lint_source("def broken(:\n", "oops.py")
@@ -221,7 +263,7 @@ class TestDriver:
 
         rules = all_rules()
         assert [r.code for r in rules] == sorted(r.code for r in rules)
-        assert {"RT001", "RT002", "RT003", "RT004", "RT005"} <= {r.code for r in rules}
+        assert {"RT001", "RT002", "RT003", "RT004", "RT005", "RT006"} <= {r.code for r in rules}
         for rule in rules:
             assert rule.name and rule.description
 

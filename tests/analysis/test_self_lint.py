@@ -20,6 +20,14 @@ def test_source_tree_is_violation_free():
     assert diagnostics == [], f"new invariant violations:\n{listing}"
 
 
+def test_benchmarks_and_examples_are_violation_free():
+    root = SRC.parents[1]
+    targets = [root / "benchmarks", root / "examples"]
+    diagnostics = check_paths([p for p in targets if p.exists()])
+    listing = "\n".join(str(d) for d in diagnostics)
+    assert diagnostics == [], f"new invariant violations:\n{listing}"
+
+
 def test_shipped_scenario_files_are_valid():
     # Any scenario files distributed with the repo must validate cleanly.
     from repro.analysis.taskset import SCENARIO_SUFFIXES, validate_scenario_file

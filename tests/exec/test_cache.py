@@ -1,0 +1,72 @@
+"""Unit tests for the content-addressed result cache."""
+
+import pytest
+
+from repro.exec.cache import ResultCache, code_version
+from repro.exec.spec import ExperimentSpec
+
+
+def spec(name="s", **overrides):
+    return ExperimentSpec.make(name=name, builder="b", **overrides)
+
+
+class TestCodeVersion:
+    def test_stable_within_process(self):
+        assert code_version() == code_version()
+
+    def test_hex8(self):
+        int(code_version(), 16)
+        assert len(code_version()) == 8
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        assert cache.get(s) is None
+        cache.put(s, {"answer": 42})
+        assert cache.get(s) == {"answer": 42}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_key_covers_spec_hash_and_version(self, tmp_path):
+        cache = ResultCache(tmp_path, version="aaaa")
+        s = spec()
+        assert cache.key(s) == f"{s.spec_hash()}-aaaa"
+
+    def test_spec_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(horizon=100), "old")
+        assert cache.get(spec(horizon=200)) is None
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, version="aaaa")
+        old.put(spec(), "stale")
+        fresh = ResultCache(tmp_path, version="bbbb")
+        assert fresh.get(spec()) is None  # same spec, new code -> recompute
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        cache.put(s, "value")
+        cache.path(s).write_bytes(b"not a pickle")
+        assert cache.get(s) is None
+
+    def test_lru_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        specs = [spec(name=f"s{i}") for i in range(3)]
+        for i, s in enumerate(specs):
+            cache.put(s, i)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+
+    def test_max_entries_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(spec(), 1)
+        assert len(cache) == 1

@@ -1,0 +1,77 @@
+"""Executor contract tests: serial/pool equivalence, cache awareness."""
+
+from repro.exec.cache import ResultCache
+from repro.exec.executor import LocalExecutor, PoolExecutor, make_executor
+from repro.exec.spec import ExperimentSpec
+
+
+def spec(name):
+    return ExperimentSpec.make(name=name, builder="b", params={"n": name})
+
+
+def builder(s):
+    # Module-level and deterministic, so it pickles into pool workers.
+    return f"built:{s.name}"
+
+
+class TestLocalExecutor:
+    def test_runs_every_spec_in_order(self):
+        ex = LocalExecutor()
+        results = ex.run([spec("a"), spec("b"), spec("c")], builder)
+        assert [r.value for r in results] == ["built:a", "built:b", "built:c"]
+        assert all(r.source == "computed" for r in results)
+        assert ex.stats.specs == 3
+        assert ex.stats.computed == 3
+
+    def test_second_run_served_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = LocalExecutor(cache)
+        first.run([spec("a"), spec("b")], builder)
+        second = LocalExecutor(ResultCache(tmp_path))
+        results = second.run([spec("a"), spec("b")], builder)
+        assert all(r.from_cache for r in results)
+        assert [r.value for r in results] == ["built:a", "built:b"]
+        assert second.stats.cache_hits == 2
+        assert second.stats.hit_rate == 1.0
+
+    def test_partial_cache_mixes_sources(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        LocalExecutor(cache).run([spec("a")], builder)
+        ex = LocalExecutor(ResultCache(tmp_path))
+        results = ex.run([spec("a"), spec("new")], builder)
+        assert [r.source for r in results] == ["cache", "computed"]
+
+
+class TestPoolExecutor:
+    def test_matches_serial_results(self):
+        specs = [spec(str(i)) for i in range(5)]
+        serial = [r.value for r in LocalExecutor().run(specs, builder)]
+        pooled = [r.value for r in PoolExecutor(2).run(specs, builder)]
+        assert pooled == serial
+
+    def test_single_worker_falls_back_inline(self):
+        results = PoolExecutor(1).run([spec("a")], builder)
+        assert results[0].value == "built:a"
+
+    def test_empty_spec_list(self):
+        assert PoolExecutor(4).run([], builder) == []
+
+    def test_pool_writes_cache_in_parent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        PoolExecutor(2, cache).run([spec("a"), spec("b")], builder)
+        assert len(cache) == 2
+
+
+class TestMakeExecutor:
+    def test_serial_for_one_job(self):
+        assert isinstance(make_executor(1), LocalExecutor)
+
+    def test_pool_otherwise(self):
+        ex = make_executor(3)
+        assert isinstance(ex, PoolExecutor)
+        assert ex.jobs == 3
+
+    def test_stats_describe_mentions_hit_rate(self):
+        ex = LocalExecutor()
+        ex.run([spec("a")], builder)
+        assert "hit rate" in ex.stats.describe()

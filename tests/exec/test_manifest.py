@@ -1,0 +1,101 @@
+"""Unit tests for run manifests and their fingerprints."""
+
+import json
+
+import pytest
+
+from repro.exec.executor import ExecutionResult, LocalExecutor
+from repro.exec.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_revision,
+    manifest_fingerprint,
+    strip_volatile,
+    write_manifest,
+)
+from repro.exec.spec import ExperimentSpec
+
+
+class FakeExhibit:
+    def __init__(self, text="rendering", holds=True):
+        self._text = text
+        self._holds = holds
+
+    def render(self):
+        return self._text
+
+    def claims(self):
+        from repro.experiments.paper import Claim
+
+        return [Claim("the shape holds", self._holds)]
+
+
+def result(name="fig", value=None, wall_s=0.5, source="computed"):
+    spec = ExperimentSpec.make(name=name, builder="b")
+    return ExecutionResult(spec, value if value is not None else FakeExhibit(), wall_s, source)
+
+
+class TestBuildManifest:
+    def test_document_shape(self):
+        manifest, artifacts = build_manifest([result()], executor=LocalExecutor())
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["executor"]["kind"] == "local"
+        assert manifest["stats"]["specs"] == 1
+        assert manifest["stats"]["claims"] == 1
+        assert manifest["stats"]["claims_holding"] == 1
+        (exhibit,) = manifest["exhibits"]
+        assert exhibit["name"] == "fig"
+        assert exhibit["claims_ok"] is True
+        assert exhibit["artifact"] == "fig.txt"
+        assert artifacts["fig.txt"] == "rendering"
+
+    def test_failing_claim_recorded(self):
+        manifest, _ = build_manifest([result(value=FakeExhibit(holds=False))])
+        assert manifest["exhibits"][0]["claims_ok"] is False
+        assert manifest["stats"]["claims_holding"] == 0
+
+    def test_duplicate_artifact_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate artifact"):
+            build_manifest([result(name="x"), result(name="x")])
+
+    def test_plain_value_falls_back_to_str(self):
+        manifest, artifacts = build_manifest([result(value=123)])
+        assert artifacts["fig.txt"] == "123"
+        assert manifest["exhibits"][0]["claims"] == []
+
+
+class TestFingerprint:
+    def test_volatile_fields_do_not_change_it(self):
+        a, _ = build_manifest([result(wall_s=0.1, source="computed")], executor=LocalExecutor())
+        b, _ = build_manifest([result(wall_s=9.9, source="cache")], executor=None)
+        assert manifest_fingerprint(a) == manifest_fingerprint(b)
+
+    def test_result_changes_change_it(self):
+        a, _ = build_manifest([result(value=FakeExhibit("one"))])
+        b, _ = build_manifest([result(value=FakeExhibit("two"))])
+        assert manifest_fingerprint(a) != manifest_fingerprint(b)
+
+    def test_strip_volatile_is_non_destructive(self):
+        manifest, _ = build_manifest([result()], executor=LocalExecutor())
+        stripped = strip_volatile(manifest)
+        assert "git_rev" not in stripped
+        assert "wall_s" not in stripped["exhibits"][0]
+        # the original is untouched
+        assert "git_rev" in manifest
+        assert "wall_s" in manifest["exhibits"][0]
+
+
+class TestWriteManifest:
+    def test_writes_manifest_and_artifacts(self, tmp_path):
+        manifest, artifacts = build_manifest([result()], executor=LocalExecutor())
+        path = write_manifest(tmp_path / "out", manifest, artifacts)
+        assert path.name == "manifest.json"
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == MANIFEST_SCHEMA
+        assert (tmp_path / "out" / "fig.txt").read_text() == "rendering\n"
+
+
+class TestGitRevision:
+    def test_returns_string(self):
+        rev = git_revision()
+        assert isinstance(rev, str) and rev

@@ -1,0 +1,93 @@
+"""Unit tests for the declarative spec layer."""
+
+import json
+
+import pytest
+
+from repro.exec.spec import ExperimentSpec
+
+
+def sample_spec(**overrides):
+    kwargs = dict(
+        name="fig3",
+        builder="paper.figure3",
+        scenario="paper-figures",
+        horizon=1_600_000_000,
+        treatment="immediate-stop",
+        faults=(("tau1", 5, 40_000_000),),
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec.make(**kwargs)
+
+
+class TestIdentity:
+    def test_hash_is_stable_across_constructions(self):
+        assert sample_spec().spec_hash() == sample_spec().spec_hash()
+
+    def test_hash_is_hex8(self):
+        h = sample_spec().spec_hash()
+        assert len(h) == 8
+        int(h, 16)
+
+    def test_every_field_feeds_the_hash(self):
+        base = sample_spec()
+        variants = [
+            sample_spec(name="other"),
+            sample_spec(builder="paper.figure5"),
+            sample_spec(horizon=1),
+            sample_spec(treatment="detect-only"),
+            sample_spec(vm="jrate"),
+            sample_spec(faults=(("tau1", 5, 41_000_000),)),
+            sample_spec(seed=1),
+            sample_spec(params={"k": 1}),
+        ]
+        hashes = {s.spec_hash() for s in variants}
+        assert base.spec_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_params_order_does_not_matter(self):
+        a = sample_spec(params={"x": 1, "y": 2})
+        b = sample_spec(params={"y": 2, "x": 1})
+        assert a == b
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_params_are_frozen_recursively(self):
+        spec = sample_spec(params={"resolutions": [1, 2, 3], "victim": ("tau1", 5)})
+        assert spec.param("resolutions") == (1, 2, 3)
+        assert spec.param("victim") == ("tau1", 5)
+        assert hash(spec) is not None
+
+
+class TestValidation:
+    def test_name_required(self):
+        with pytest.raises(ValueError, match="needs a name"):
+            ExperimentSpec.make(name="", builder="b")
+
+    def test_builder_required(self):
+        with pytest.raises(ValueError, match="needs a builder"):
+            ExperimentSpec.make(name="x", builder="")
+
+    def test_scenario_and_text_exclusive(self):
+        with pytest.raises(ValueError, match="exclusive"):
+            ExperimentSpec.make(
+                name="x", builder="b", scenario="paper-table2", scenario_text="task a ..."
+            )
+
+    def test_unsorted_params_rejected_on_direct_construction(self):
+        with pytest.raises(ValueError, match="key-sorted"):
+            ExperimentSpec(name="x", builder="b", params=(("b", 1), ("a", 2)))
+
+
+class TestSerialisation:
+    def test_to_dict_is_json_safe(self):
+        spec = sample_spec(params={"resolutions": (1, 2)})
+        payload = json.dumps(spec.to_dict())
+        round_tripped = json.loads(payload)
+        assert round_tripped["name"] == "fig3"
+        assert round_tripped["faults"] == [["tau1", 5, 40_000_000]]
+        assert round_tripped["params"] == {"resolutions": [1, 2]}
+
+    def test_param_lookup_with_default(self):
+        spec = sample_spec(params={"pool": 6})
+        assert spec.param("pool") == 6
+        assert spec.param("missing", 42) == 42

@@ -1,0 +1,89 @@
+"""End-to-end reproducibility tests over the full experiment registry.
+
+Three guarantees the executor stack makes, asserted for real:
+
+* the registry's volatile-stripped manifest matches the committed
+  golden (``golden_manifest.json``) — every spec, claim verdict and
+  artifact hash is pinned;
+* a second run against a warm cache is served almost entirely from
+  disk (>= 90% hit rate);
+* parallel execution produces byte-identical results to serial,
+  witnessed by equal manifest fingerprints.
+
+To regenerate the golden after an intentional result change::
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.exec.executor import LocalExecutor
+    from repro.exec.manifest import build_manifest, strip_volatile
+    from repro.experiments.registry import all_specs, build_exhibit
+    m, _ = build_manifest(LocalExecutor().run(all_specs(), build_exhibit))
+    open('tests/experiments/golden_manifest.json', 'w').write(
+        json.dumps(strip_volatile(m), indent=2, sort_keys=True) + '\n')
+    "
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.executor import LocalExecutor, PoolExecutor
+from repro.exec.manifest import build_manifest, manifest_fingerprint, strip_volatile
+from repro.experiments.registry import all_specs, build_exhibit
+
+GOLDEN_PATH = Path(__file__).with_name("golden_manifest.json")
+
+
+@pytest.fixture(scope="module")
+def serial_run(tmp_path_factory):
+    """One serial registry run with a fresh cache, shared by the module."""
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    executor = LocalExecutor(ResultCache(cache_dir))
+    results = executor.run(all_specs(), build_exhibit)
+    return executor, results, cache_dir
+
+
+class TestGoldenManifest:
+    def test_matches_committed_golden(self, serial_run):
+        _, results, _ = serial_run
+        manifest, _ = build_manifest(results)
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert strip_volatile(manifest) == golden, (
+            "registry results drifted from golden_manifest.json; if the "
+            "change is intentional, regenerate it (see module docstring)"
+        )
+
+    def test_every_claim_holds(self, serial_run):
+        _, results, _ = serial_run
+        for r in results:
+            for claim in r.value.claims():
+                assert claim.holds, f"{r.spec.name}: {claim.description}"
+
+
+class TestCacheReuse:
+    def test_second_run_is_cache_served(self, serial_run):
+        _, _, cache_dir = serial_run
+        rerun = LocalExecutor(ResultCache(cache_dir))
+        results = rerun.run(all_specs(), build_exhibit)
+        assert rerun.stats.hit_rate >= 0.9
+        assert all(r.from_cache for r in results)
+
+    def test_cached_results_fingerprint_identically(self, serial_run):
+        _, results, cache_dir = serial_run
+        rerun = LocalExecutor(ResultCache(cache_dir))
+        cached = rerun.run(all_specs(), build_exhibit)
+        a, _ = build_manifest(results)
+        b, _ = build_manifest(cached)
+        assert manifest_fingerprint(a) == manifest_fingerprint(b)
+
+
+class TestParallelParity:
+    def test_pool_matches_serial_fingerprint(self, serial_run):
+        _, serial_results, _ = serial_run
+        pool_results = PoolExecutor(2).run(all_specs(), build_exhibit)
+        a, serial_artifacts = build_manifest(serial_results)
+        b, pool_artifacts = build_manifest(pool_results)
+        assert manifest_fingerprint(a) == manifest_fingerprint(b)
+        assert pool_artifacts == serial_artifacts

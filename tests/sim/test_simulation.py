@@ -204,6 +204,43 @@ class TestVMEffects:
         assert res.job("lo", 0).finished_at == 15
 
 
+class TestOverheadAccounting:
+    """Regression: ``__overhead*`` pseudo-jobs must not leak into the
+    public ``jobs`` mapping (they used to, so ``missed()``/``stopped()``
+    and the metrics iterated over them)."""
+
+    def _run(self, fire_cost: int):
+        ts = TaskSet(
+            [
+                Task("a", cost=3, period=20, deadline=18, priority=2),
+                Task("b", cost=4, period=25, deadline=24, priority=1),
+            ]
+        )
+        vm = VMProfile(name="det", detector_fire_cost=fire_cost)
+        return simulate(ts, horizon=200, treatment=TreatmentKind.DETECT_ONLY, vm=vm)
+
+    def test_public_jobs_exclude_pseudo_jobs(self):
+        res = self._run(fire_cost=2)
+        assert res.overhead_jobs, "detector fires should have injected overhead"
+        assert all(not name.startswith("__overhead") for name, _ in res.jobs)
+        assert all(not j.name.startswith("__overhead") for j in res.missed())
+        assert all(not j.name.startswith("__overhead") for j in res.stopped())
+
+    def test_overhead_still_steals_cpu(self):
+        base = self._run(fire_cost=0)
+        loaded = self._run(fire_cost=2)
+        stolen = sum(j.executed for j in loaded.overhead_jobs)
+        assert stolen > 0
+        assert loaded.busy_time == base.busy_time + stolen
+
+    def test_job_counts_match_task_releases(self):
+        res = self._run(fire_cost=2)
+        # 200/20 -> 10 releases of a, 200/25 -> 9 of b (inclusive t=200
+        # release of a at 200 > horizon? releases at 0..180 plus t=200).
+        names = {name for name, _ in res.jobs}
+        assert names == {"a", "b"}
+
+
 class TestValidation:
     def test_bad_horizon(self):
         with pytest.raises(ValueError):
