@@ -1,0 +1,94 @@
+"""Tracing-overhead benchmark: what does the sink branch cost?
+
+The observability layer added a streaming-sink branch to
+``Trace.record`` — the simulator's hottest write path.  The contract is
+that tracing stays pay-as-you-go: with no sink attached (the default),
+a simulation must run within 5% of the pre-sink implementation, which
+``test_disabled_sink_overhead_under_5pct`` enforces against an
+in-process reconstruction of the old ``record``.  The per-variant
+benchmarks record what opting in costs (MemorySink duplication,
+JsonlSink serialisation + file I/O) in ``BENCH_results.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.sim import simulation as simulation_module
+from repro.sim.simulation import simulate
+from repro.sim.trace import MemorySink, Trace, TraceEvent
+from repro.workloads.generator import GeneratorConfig, random_taskset
+
+#: Best-of repeats for the overhead assertion (min absorbs host noise).
+REPEATS = 5
+
+HORIZON = 3_000_000
+
+
+class _LegacyTrace(Trace):
+    """The pre-observability ``Trace.record``: append, no sink branch."""
+
+    def record(self, time, kind, task, job=-1, info=0):
+        self._events.append(TraceEvent(time, kind, task, job, info))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return random_taskset(
+        GeneratorConfig(
+            n=6,
+            utilization=0.8,
+            period_lo=1_000,
+            period_hi=20_000,
+            period_granularity=100,
+            seed=13,
+        )
+    )
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()  # noqa: RT002 - host-side benchmark timing, not simulated time
+        fn()
+        dt = time.perf_counter_ns() - t0  # noqa: RT002 - host-side benchmark timing, not simulated time
+        best = dt if best is None or dt < best else best
+    return best
+
+
+def test_legacy_trace_baseline(benchmark, workload, monkeypatch):
+    monkeypatch.setattr(simulation_module, "Trace", _LegacyTrace)
+    result = benchmark(lambda: simulate(workload, horizon=HORIZON))
+    assert len(result.trace) > 1_000
+
+
+def test_disabled_sink(benchmark, workload):
+    result = benchmark(lambda: simulate(workload, horizon=HORIZON))
+    assert result.trace.sink is None
+    assert len(result.trace) > 1_000
+
+
+def test_memory_sink(benchmark, workload):
+    sink = MemorySink()
+    result = benchmark(lambda: simulate(workload, horizon=HORIZON, trace_out=sink))
+    assert len(sink.events) == len(result.trace)
+
+
+def test_jsonl_sink(benchmark, workload, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    result = benchmark(lambda: simulate(workload, horizon=HORIZON, trace_out=str(path)))
+    assert path.stat().st_size > 0
+    assert len(result.trace) > 1_000
+
+
+def test_disabled_sink_overhead_under_5pct(workload, monkeypatch):
+    """No sink attached must cost < 5% over the pre-sink record()."""
+    run = lambda: simulate(workload, horizon=HORIZON)  # noqa: E731
+    monkeypatch.setattr(simulation_module, "Trace", _LegacyTrace)
+    legacy_ns = _best_of(run)
+    monkeypatch.undo()
+    current_ns = _best_of(run)
+    assert current_ns <= legacy_ns * 105 // 100, (
+        f"sink-disabled Trace.record overhead exceeds 5%: "
+        f"legacy {legacy_ns} ns vs current {current_ns} ns"
+    )

@@ -12,6 +12,8 @@ Importing this package registers every rule with
 ``RT005``  engine events scheduled with raw integer ranks
 ``RT006``  direct ``simulate()``/``run_scenario()`` calls inside the
            experiments layer (must go through ``repro.exec.sim``)
+``RT007``  bare ``print()`` in library code (CLI/report modules are
+           exempt; everything else goes through ``repro.obs``)
 ========  =======================================================
 
 To add a rule: subclass :class:`repro.analysis.lint.Rule`, decorate it
@@ -24,5 +26,6 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     engine_ranks,
     executor_discipline,
     immutability,
+    reporting,
     time_discipline,
 )

@@ -1,0 +1,66 @@
+"""RT007 — library code must not ``print()``.
+
+With the observability layer in place (:mod:`repro.obs`), there is a
+sanctioned path for every kind of runtime output: trace events go to
+sinks, numbers go to the metrics registry, profiles render on demand.
+A bare ``print()`` in library code bypasses all of it — the output
+can't be captured, filtered, redirected to a trace file, or asserted on
+by tests, and it pollutes stdout for callers composing the modules
+programmatically.
+
+Presentation entry points are exempt: command-line modules
+(``cli.py``, ``__main__.py``) and report renderers (``report.py``)
+exist precisely to talk to a terminal.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.lint import Rule, register
+
+__all__ = ["NoBarePrint"]
+
+#: Module basenames whose whole purpose is terminal output.
+_EXEMPT_BASENAMES = frozenset({"cli.py", "__main__.py", "report.py"})
+
+_HINT = (
+    "return or log the value instead: raise it, record it via repro.obs "
+    "(metrics/trace), or move the print into a cli.py/report.py entry point"
+)
+
+
+def _in_library(path: str) -> bool:
+    p = Path(path)
+    return "repro/" in p.as_posix() and p.name not in _EXEMPT_BASENAMES
+
+
+@register
+class NoBarePrint(Rule):
+    """RT007: bare ``print()`` calls in library code."""
+
+    code = "RT007"
+    name = "no-bare-print"
+    description = (
+        "print() in library modules bypasses the observability layer "
+        "(trace sinks, metrics, report renderers) and pollutes stdout for "
+        "programmatic callers; only CLI and report modules may print."
+    )
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._active = _in_library(ctx.path)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self._active
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            self.report(
+                node,
+                "bare print() in library code",
+                hint=_HINT,
+            )
+        self.generic_visit(node)

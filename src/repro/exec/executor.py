@@ -29,6 +29,7 @@ from typing import Any, Callable, Sequence
 
 from repro.exec.cache import CacheStats, ResultCache
 from repro.exec.spec import ExperimentSpec
+from repro.obs.spans import SpanRecorder
 
 __all__ = [
     "ExecutionResult",
@@ -51,6 +52,12 @@ class ExecutionResult:
     value: Any
     wall_s: float
     source: str  # "computed" | "cache"
+    #: Host-clock bounds of the build (``perf_counter_ns``; 0 for cache
+    #: hits) and how long the spec sat queued behind other work before a
+    #: worker picked it up — telemetry only, stripped from fingerprints.
+    started_ns: int = 0
+    ended_ns: int = 0
+    queue_wait_ns: int = 0
 
     @property
     def from_cache(self) -> bool:
@@ -78,18 +85,24 @@ class ExecutorStats:
         )
 
 
-def _timed_build(payload: tuple[Builder, ExperimentSpec]) -> tuple[Any, float]:
-    """Run one builder, returning its value and wall time.
+def _timed_build(
+    payload: tuple[Builder, ExperimentSpec],
+) -> tuple[Any, float, int, int]:
+    """Run one builder, returning its value, wall time in seconds, and
+    the raw ``perf_counter_ns`` start/end stamps.
 
-    Module-level so it pickles into pool workers.  Host-clock timing is
-    run *metadata* (reported in manifests, excluded from fingerprints),
-    not simulated time, hence the sanctioned RT002 suppressions.
+    Module-level so it pickles into pool workers.  The ns stamps are
+    monotonic and comparable across processes on Linux, which is what
+    lets the parent compute per-spec queue wait under ``--jobs N``.
+    Host-clock timing is run *metadata* (reported in manifests, excluded
+    from fingerprints), not simulated time, hence the sanctioned RT002
+    suppressions.
     """
     fn, spec = payload
-    t0 = time.perf_counter()  # noqa: RT002 - run metadata, not simulated time
+    t0 = time.perf_counter_ns()  # noqa: RT002 - run metadata, not simulated time
     value = fn(spec)
-    t1 = time.perf_counter()  # noqa: RT002 - run metadata, not simulated time
-    return value, t1 - t0
+    t1 = time.perf_counter_ns()  # noqa: RT002 - run metadata, not simulated time
+    return value, (t1 - t0) / 1_000_000_000, t0, t1
 
 
 class Executor:
@@ -98,8 +111,11 @@ class Executor:
     kind = "abstract"
     jobs = 1
 
-    def __init__(self, cache: ResultCache | None = None):
+    def __init__(
+        self, cache: ResultCache | None = None, spans: SpanRecorder | None = None
+    ):
         self.cache = cache
+        self.spans = spans
         self.stats = ExecutorStats()
 
     @property
@@ -108,18 +124,37 @@ class Executor:
 
     def run(self, specs: Sequence[ExperimentSpec], fn: Builder) -> list[ExecutionResult]:
         """Execute every spec (cache first), preserving input order."""
+        if self.spans is None:
+            return self._run(specs, fn)
+        with self.spans.span("executor.run", "exec", specs=str(len(specs))):
+            return self._run(specs, fn)
+
+    def _run(self, specs: Sequence[ExperimentSpec], fn: Builder) -> list[ExecutionResult]:
         results: dict[int, ExecutionResult] = {}
         pending: list[tuple[int, ExperimentSpec]] = []
         for i, spec in enumerate(specs):
-            cached = self.cache.get(spec) if self.cache is not None else None
+            cached = self._cached(spec)
             if cached is not None:
                 results[i] = ExecutionResult(spec, cached, 0.0, "cache")
             else:
                 pending.append((i, spec))
-        for (i, spec), (value, wall_s) in zip(pending, self._compute(pending, fn)):
+        compute_start = time.perf_counter_ns()  # noqa: RT002 - queue-wait metadata, not simulated time
+        for (i, spec), (value, wall_s, t0, t1) in zip(pending, self._compute(pending, fn)):
             if self.cache is not None:
                 self.cache.put(spec, value)
-            results[i] = ExecutionResult(spec, value, wall_s, "computed")
+            if self.spans is not None:
+                self.spans.record(
+                    spec.name, "spec", t0 - self.spans.origin_ns, t1 - t0
+                )
+            results[i] = ExecutionResult(
+                spec,
+                value,
+                wall_s,
+                "computed",
+                started_ns=t0,
+                ended_ns=t1,
+                queue_wait_ns=max(0, t0 - compute_start),
+            )
         ordered = [results[i] for i in range(len(specs))]
         self.stats.specs += len(ordered)
         self.stats.computed += len(pending)
@@ -127,9 +162,26 @@ class Executor:
         self.stats.wall_s += sum(r.wall_s for r in ordered)
         return ordered
 
+    def _cached(self, spec: ExperimentSpec) -> Any | None:
+        """Cache lookup, wrapped in a ``cache:<name>`` span when recording."""
+        if self.cache is None:
+            return None
+        if self.spans is None:
+            return self.cache.get(spec)
+        t0 = self.spans.now_ns()
+        cached = self.cache.get(spec)
+        self.spans.record(
+            spec.name,
+            "cache",
+            t0,
+            self.spans.now_ns() - t0,
+            outcome="hit" if cached is not None else "miss",
+        )
+        return cached
+
     def _compute(
         self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
-    ) -> list[tuple[Any, float]]:
+    ) -> list[tuple[Any, float, int, int]]:
         raise NotImplementedError
 
 
@@ -140,7 +192,7 @@ class LocalExecutor(Executor):
 
     def _compute(
         self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
-    ) -> list[tuple[Any, float]]:
+    ) -> list[tuple[Any, float, int, int]]:
         return [_timed_build((fn, spec)) for _, spec in pending]
 
 
@@ -149,15 +201,20 @@ class PoolExecutor(Executor):
 
     kind = "pool"
 
-    def __init__(self, jobs: int, cache: ResultCache | None = None):
+    def __init__(
+        self,
+        jobs: int,
+        cache: ResultCache | None = None,
+        spans: SpanRecorder | None = None,
+    ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
-        super().__init__(cache)
+        super().__init__(cache, spans)
         self.jobs = jobs
 
     def _compute(
         self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
-    ) -> list[tuple[Any, float]]:
+    ) -> list[tuple[Any, float, int, int]]:
         if not pending:
             return []
         payloads = [(fn, spec) for _, spec in pending]
@@ -168,7 +225,11 @@ class PoolExecutor(Executor):
             return pool.map(_timed_build, payloads, chunksize=1)
 
 
-def make_executor(jobs: int = 1, cache: ResultCache | None = None) -> Executor:
+def make_executor(
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    spans: SpanRecorder | None = None,
+) -> Executor:
     """The executor the CLI flags describe: serial for ``--jobs 1``,
     a process pool otherwise."""
-    return PoolExecutor(jobs, cache) if jobs > 1 else LocalExecutor(cache)
+    return PoolExecutor(jobs, cache, spans) if jobs > 1 else LocalExecutor(cache, spans)

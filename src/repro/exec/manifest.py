@@ -44,8 +44,9 @@ __all__ = [
 MANIFEST_SCHEMA = 1
 
 #: Execution metadata excluded from the fingerprint: timings, cache
-#: provenance and executor shape vary run to run; results must not.
-_VOLATILE_TOP = ("git_rev", "code_version", "executor", "stats")
+#: provenance, executor shape and telemetry vary run to run; results
+#: must not.
+_VOLATILE_TOP = ("git_rev", "code_version", "executor", "stats", "telemetry")
 _VOLATILE_EXHIBIT = ("wall_s", "source")
 
 _ARTIFACT_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
@@ -69,6 +70,32 @@ def git_revision(cwd: str | Path | None = None) -> str:
 
 def _artifact_name(spec_name: str) -> str:
     return _ARTIFACT_SAFE.sub("_", spec_name).strip("_") + ".txt"
+
+
+def _telemetry_section(
+    results: Sequence[ExecutionResult], executor: Executor | None
+) -> dict:
+    """The manifest's ``telemetry`` block: cache counters, executor
+    shape, per-spec wall time and queue wait, and any recorded exec
+    spans.  Volatile by construction — stripped before fingerprinting
+    (see :data:`_VOLATILE_TOP`)."""
+    telemetry: dict = {
+        "specs": [
+            {
+                "name": r.spec.name,
+                "source": r.source,
+                "wall_s": round(r.wall_s, 6),
+                "queue_wait_ns": r.queue_wait_ns,
+            }
+            for r in results
+        ],
+    }
+    if executor is not None:
+        telemetry["cache"] = executor.cache_stats.as_dict()
+        telemetry["executor"] = {"kind": executor.kind, "jobs": executor.jobs}
+        if executor.spans is not None:
+            telemetry["spans"] = executor.spans.as_dicts()
+    return telemetry
 
 
 def build_manifest(
@@ -125,6 +152,7 @@ def build_manifest(
             ),
             "wall_s": round(sum(e["wall_s"] for e in exhibits), 6),
         },
+        "telemetry": _telemetry_section(results, executor),
         "exhibits": exhibits,
     }
     return manifest, artifacts

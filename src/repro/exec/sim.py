@@ -20,14 +20,18 @@ the simulator.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Mapping, Sequence
 
 from repro.core.faults import CostOverrun, CostUnderrun, FaultInjector, FaultModel
 from repro.core.task import TaskSet
 from repro.core.treatments import TreatmentKind, TreatmentPlan
 from repro.exec.spec import ExperimentSpec
+from repro.obs import runtime as obs_runtime
+from repro.sim.engine import EngineObserver
 from repro.sim.locking import LockProtocol, SectionSpec
 from repro.sim.simulation import SimResult, simulate
+from repro.sim.trace import TeeSink, TraceSink
 from repro.sim.vm import EXACT_VM, JRATE_VM, VMProfile
 from repro.workloads import scenarios
 from repro.workloads.parser import Scenario, parse_scenario
@@ -123,6 +127,24 @@ def resolve_scenario(spec: ExperimentSpec) -> Scenario:
     raise ValueError(f"spec {spec.name!r} describes no scenario to simulate")
 
 
+def _merged_sink(explicit: TraceSink | str | None) -> TraceSink | str | None:
+    """Combine an explicit *trace_out* with the ambient obs config's
+    sinks (file sink + metrics observer) into one tee."""
+    cfg = obs_runtime.current()
+    ambient = cfg.trace_sinks() if cfg is not None else []
+    if not ambient:
+        return explicit
+    if explicit is None:
+        return ambient[0] if len(ambient) == 1 else TeeSink(ambient)
+    if hasattr(explicit, "emit"):
+        return TeeSink([explicit, *ambient])  # type: ignore[list-item]
+    from repro.obs.sinks import resolve_sink
+
+    resolved = resolve_sink(explicit)
+    assert resolved is not None
+    return TeeSink([resolved, *ambient])
+
+
 def run_simulation(
     taskset: TaskSet,
     *,
@@ -133,14 +155,24 @@ def run_simulation(
     arrivals: Mapping[str, Sequence[int]] | None = None,
     sections: Sequence[SectionSpec] | None = None,
     protocol: LockProtocol = LockProtocol.ICPP,
+    trace_out: TraceSink | str | None = None,
+    profiler: EngineObserver | None = None,
 ) -> SimResult:
     """Run one concrete simulation on behalf of the experiments layer.
 
     Semantically identical to :func:`repro.sim.simulation.simulate`;
     exists so experiment modules have an executor-layer entry point
-    (``RT006`` flags them calling ``simulate`` themselves).
+    (``RT006`` flags them calling ``simulate`` themselves).  This is
+    also where the ambient observability config
+    (:mod:`repro.obs.runtime`) attaches: the active trace sink, metrics
+    observer and engine profiler are wired into every simulation that
+    flows through the bridge.
     """
-    return simulate(
+    cfg = obs_runtime.current()
+    if profiler is None and cfg is not None:
+        profiler = cfg.profiler
+    wall0 = time.perf_counter_ns()  # noqa: RT002 - engine-throughput metadata, not simulated time
+    result = simulate(
         taskset,
         horizon=horizon,
         faults=faults,
@@ -149,10 +181,27 @@ def run_simulation(
         arrivals=arrivals,
         sections=sections,
         protocol=protocol,
+        trace_out=_merged_sink(trace_out),
+        profiler=profiler,
     )
+    if cfg is not None and cfg.metrics is not None:
+        wall1 = time.perf_counter_ns()  # noqa: RT002 - engine-throughput metadata, not simulated time
+        registry = cfg.metrics.registry
+        registry.counter("engine_events_total").inc(result.events_processed)
+        registry.counter("engine_runs_total").inc()
+        if wall1 > wall0:
+            registry.gauge("engine_events_per_s").set(
+                result.events_processed * 1_000_000_000 // (wall1 - wall0)
+            )
+    return result
 
 
-def simulate_spec(spec: ExperimentSpec) -> SimResult:
+def simulate_spec(
+    spec: ExperimentSpec,
+    *,
+    trace_out: TraceSink | str | None = None,
+    profiler: EngineObserver | None = None,
+) -> SimResult:
     """Resolve *spec* and run it."""
     scenario = resolve_scenario(spec)
     return run_simulation(
@@ -161,4 +210,6 @@ def simulate_spec(spec: ExperimentSpec) -> SimResult:
         faults=scenario.faults,
         treatment=scenario.treatment,
         vm=resolve_vm(spec.vm),
+        trace_out=trace_out,
+        profiler=profiler,
     )

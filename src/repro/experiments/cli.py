@@ -14,6 +14,14 @@ builds out over a process pool, results are cached under ``--cache``
 (default ``.repro-cache/``; disable with ``--no-cache``), and
 ``--manifest DIR`` writes a ``manifest.json`` recording the spec,
 content hash, claim verdicts and artifact digest of every exhibit.
+
+Observability (see :mod:`repro.obs`): ``--trace-out FILE`` streams
+every simulator event to a JSONL trace (convert with ``python -m
+repro.obs convert``), ``--metrics-out FILE`` writes a ``metrics.json``
+with per-task response-time histograms and cache/exec telemetry, and
+``--profile`` prints the engine's per-event-kind dispatch profile.
+These flags force a serial, cache-bypassing run so the recorded trace
+covers every simulation.
 """
 
 from __future__ import annotations
@@ -28,6 +36,15 @@ from repro.exec.manifest import build_manifest, manifest_fingerprint, write_mani
 from repro.exec.executor import Executor, make_executor
 from repro.experiments.registry import all_specs, build_exhibit
 from repro.experiments.runner import scenario_spec
+from repro.obs import (
+    EngineProfiler,
+    JsonlSink,
+    MetricsObserver,
+    ObsConfig,
+    SpanRecorder,
+    activate,
+    write_metrics,
+)
 from repro.viz.svg import SvgOptions, render_svg
 
 __all__ = ["main"]
@@ -85,14 +102,58 @@ def main(argv: list[str] | None = None) -> int:
         default="exact",
         help="VM profile for 'run' targets (default: exact)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="stream every simulator event to FILE as JSONL "
+        "(inspect/convert with 'python -m repro.obs')",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write metrics.json (per-task histograms, counters, cache "
+        "and exec telemetry) to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile engine event dispatch and print the table",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be >= 1")
         return 2
 
-    cache = None if args.no_cache else ResultCache(args.cache)
-    executor = make_executor(args.jobs, cache)
+    jobs = args.jobs
+    obs_enabled = bool(args.trace_out or args.metrics_out or args.profile)
+    if obs_enabled and not args.no_cache:
+        print("note: observability flags bypass the result cache (recomputing)")
+    cache = None if (args.no_cache or obs_enabled) else ResultCache(args.cache)
+    spans: SpanRecorder | None = None
+    obs_cfg: ObsConfig | None = None
+    if obs_enabled:
+        if jobs > 1:
+            print(f"note: observability flags force a serial run (ignoring --jobs {jobs})")
+            jobs = 1
+        spans = SpanRecorder()
+        obs_cfg = ObsConfig(
+            sink=JsonlSink(args.trace_out) if args.trace_out else None,
+            metrics=MetricsObserver(),
+            profiler=EngineProfiler() if args.profile else None,
+        )
+    executor = make_executor(jobs, cache, spans)
 
+    if obs_cfg is None:
+        return _dispatch(args, known, executor)
+    with activate(obs_cfg):
+        status = _dispatch(args, known, executor)
+    _finalize_obs(args, obs_cfg, spans, executor)
+    return status
+
+
+def _dispatch(
+    args: argparse.Namespace, known: dict, executor: Executor
+) -> int:
     targets = list(args.targets)
     if targets and targets[0] == "run":
         return _run_scenario_files(targets[1:], args, executor)
@@ -131,8 +192,46 @@ def main(argv: list[str] | None = None) -> int:
         manifest, artifacts = build_manifest(runs, executor=executor)
         path = write_manifest(args.manifest, manifest, artifacts)
         print(f"wrote {path} (fingerprint {manifest_fingerprint(manifest)[:12]})")
-    print(f"executor: {executor.stats.describe()}")
+    cs = executor.cache_stats
+    print(
+        f"executor: {executor.stats.describe()}; cache: hits={cs.hits} "
+        f"misses={cs.misses} stores={cs.stores} evictions={cs.evictions}"
+    )
     return status
+
+
+def _finalize_obs(
+    args: argparse.Namespace,
+    cfg: ObsConfig,
+    spans: SpanRecorder | None,
+    executor: Executor,
+) -> None:
+    """Flush the run's observability outputs: exec spans into the trace,
+    the trace file closed, metrics.json written, profiler table printed."""
+    if cfg.sink is not None:
+        if spans is not None:
+            for event in spans.to_trace_events():
+                cfg.sink.emit(event)
+        cfg.sink.close()
+        emitted = getattr(cfg.sink, "emitted", None)
+        suffix = f" ({emitted} events)" if emitted is not None else ""
+        print(f"wrote trace {args.trace_out}{suffix}")
+    if cfg.profiler is not None:
+        print(cfg.profiler.render_table())
+    if cfg.metrics is not None and args.metrics_out:
+        extra = {
+            "cache": executor.cache_stats.as_dict(),
+            "exec": {
+                "specs": executor.stats.specs,
+                "computed": executor.stats.computed,
+                "wall_s": round(executor.stats.wall_s, 6),
+                "spans": spans.as_dicts() if spans is not None else [],
+            },
+        }
+        if cfg.profiler is not None:
+            extra["engine_profile"] = cfg.profiler.as_dict()
+        path = write_metrics(args.metrics_out, cfg.metrics.registry, extra)
+        print(f"wrote metrics {path}")
 
 
 def _run_scenario_files(paths: list[str], args: argparse.Namespace, executor: Executor) -> int:

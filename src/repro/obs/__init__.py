@@ -1,0 +1,82 @@
+"""Unified observability layer: trace sinks, metrics, profiler, spans.
+
+The paper's whole §5 is measurement tooling — nanosecond timestamps
+buffered in memory, dumped to log files, and rendered by chart tools
+that make WCRT overruns and allowance treatments *visible*.  This
+package is that tooling grown to batch scale:
+
+* :mod:`repro.obs.sinks` — streaming trace sinks: JSONL (lossless,
+  bounded memory, :func:`~repro.obs.sinks.read_jsonl` round-trip) and
+  Chrome/Perfetto ``trace_event`` JSON (open any run in
+  ``chrome://tracing``);
+* :mod:`repro.obs.metrics` — counters, gauges and integer-ns
+  histograms fed by a trace observer; exported as ``metrics.json``;
+* :mod:`repro.obs.profiler` — opt-in engine dispatch profiler (the
+  experiments CLI's ``--profile`` table);
+* :mod:`repro.obs.spans` — host-side spans for the exec layer
+  (executor run → spec → cache lookup), surfaced in the run manifest's
+  ``telemetry`` section;
+* :mod:`repro.obs.runtime` — the ambient config the exec bridge
+  attaches to every simulation during a CLI run.
+
+Command line::
+
+    python -m repro.obs inspect out/t.jsonl
+    python -m repro.obs convert out/t.jsonl --to chrome
+    python -m repro.obs summarize out/t.jsonl
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+    write_metrics,
+)
+from repro.obs.profiler import EngineProfiler
+from repro.obs.runtime import ObsConfig, activate, current
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TeeSink,
+    convert_jsonl_to_chrome,
+    iter_jsonl,
+    read_jsonl,
+    resolve_sink,
+    to_chrome,
+    trace_with_sink,
+    write_jsonl,
+)
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "DEFAULT_BUCKETS_NS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "write_metrics",
+    "EngineProfiler",
+    "ObsConfig",
+    "activate",
+    "current",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "TeeSink",
+    "convert_jsonl_to_chrome",
+    "iter_jsonl",
+    "read_jsonl",
+    "resolve_sink",
+    "to_chrome",
+    "trace_with_sink",
+    "write_jsonl",
+    "Span",
+    "SpanRecorder",
+]

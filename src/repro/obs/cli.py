@@ -1,0 +1,135 @@
+"""Trace-file tooling: ``python -m repro.obs``.
+
+The offline half of the observability layer — the paper's "chart tool
+reads the log files" step, for our trace files::
+
+    python -m repro.obs inspect out/t.jsonl          # what's in here?
+    python -m repro.obs convert out/t.jsonl --to chrome
+    python -m repro.obs summarize out/t.jsonl        # per-task metrics
+
+``convert`` writes ``<file>.chrome.json`` (or ``-o OUT``) loadable by
+``chrome://tracing`` / https://ui.perfetto.dev.  ``summarize`` replays
+the trace through the metrics observer and prints per-task counters
+and response-time statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter as TallyCounter
+from pathlib import Path
+
+from repro.obs.metrics import MetricsObserver
+from repro.obs.sinks import convert_jsonl_to_chrome, iter_jsonl, read_jsonl
+from repro.viz.tables import format_table
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect, convert and summarize recorded trace files "
+        "(JSONL, as written by --trace-out / JsonlSink).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_inspect = sub.add_parser("inspect", help="event counts and a head of the trace")
+    p_inspect.add_argument("file")
+    p_inspect.add_argument("--limit", type=int, default=10, metavar="N",
+                           help="events to print (default: 10)")
+
+    p_convert = sub.add_parser("convert", help="convert a JSONL trace to another format")
+    p_convert.add_argument("file")
+    p_convert.add_argument("--to", choices=["chrome"], default="chrome",
+                           help="target format (default: chrome)")
+    p_convert.add_argument("-o", "--output", metavar="OUT",
+                           help="output path (default: <file>.chrome.json)")
+
+    p_summarize = sub.add_parser("summarize", help="per-task metrics from a trace file")
+    p_summarize.add_argument("file")
+    p_summarize.add_argument("--json", action="store_true",
+                             help="emit the metrics registry as JSON instead of a table")
+
+    args = parser.parse_args(argv)
+    src = Path(args.file)
+    if not src.exists():
+        print(f"error: no such trace file: {src}", file=sys.stderr)
+        return 2
+    if args.command == "inspect":
+        return _inspect(src, args.limit)
+    if args.command == "convert":
+        out = Path(args.output) if args.output else src.with_suffix(".chrome.json")
+        n = convert_jsonl_to_chrome(src, out)
+        print(f"wrote {out} ({n} chrome events; open in chrome://tracing)")
+        return 0
+    return _summarize(src, as_json=args.json)
+
+
+def _inspect(src: Path, limit: int) -> int:
+    kinds: TallyCounter[str] = TallyCounter()
+    tasks: set[str] = set()
+    first: list[str] = []
+    total = 0
+    end = 0
+    for event in iter_jsonl(src):
+        total += 1
+        kinds[event.kind.value] += 1
+        if event.task:
+            tasks.add(event.task)
+        end = max(end, event.time)
+        if len(first) < limit:
+            first.append(str(event))
+    print(f"{src}: {total} events, {len(tasks)} tasks, end time {end} ns")
+    for kind, count in kinds.most_common():
+        print(f"  {kind}: {count}")
+    if first:
+        print(f"first {len(first)} events:")
+        for line in first:
+            print(f"  {line}")
+    return 0
+
+
+def _summarize(src: Path, *, as_json: bool) -> int:
+    registry = MetricsObserver().observe_events(iter_jsonl(src))
+    doc = registry.as_dict()
+    if as_json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    tasks = sorted(
+        {k.split("task=")[1].rstrip("}") for k in doc["counters"] if "task=" in k}
+    )
+    rows = []
+    for task in tasks:
+        def count(name: str) -> int:
+            return doc["counters"].get(f"task_{name}_total{{task={task}}}", 0)
+
+        hist = doc["histograms"].get(f"task_response_time_ns{{task={task}}}", {})
+        rows.append(
+            (
+                task,
+                count("releases"),
+                count("completions"),
+                count("stops"),
+                count("deadline_misses"),
+                count("detector_fires"),
+                hist.get("max") if hist.get("max") is not None else "-",
+            )
+        )
+    if not rows:
+        print(f"{src}: no task events (spans only?)")
+        return 0
+    print(
+        format_table(
+            ["task", "releases", "completions", "stops", "misses", "det.fires", "max resp ns"],
+            rows,
+            title=f"Trace summary - {src}",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,273 @@
+"""Metrics registry: counters, gauges and integer-ns histograms.
+
+Where the paper reads worst-case response times and missed deadlines
+off its charts (Figures 3–7), long-horizon batch runs need the same
+quantities as durable, queryable numbers: per-task response-time
+*distributions*, miss/stop/preemption counters, detector-fire
+latencies.  This module provides the registry those numbers live in
+and the trace observer that feeds it, exported as a stable
+``metrics.json``.
+
+Design constraints inherited from the repo's invariants:
+
+* **no floats on time** — histogram bucket bounds, sums, minima and
+  maxima are integer nanoseconds (lint rule RT001 applies here too);
+* **streaming** — :class:`MetricsObserver` implements the
+  :class:`~repro.sim.trace.TraceSink` protocol, so it can be tee'd next
+  to a file sink and consume events as they happen, independent of
+  whether the trace retains them in memory;
+* **stable output** — :meth:`MetricsRegistry.as_dict` sorts every key,
+  and volatile host-dependent values (events/sec and friends) live in
+  the ``gauges`` section so golden tests can pin the deterministic
+  ``counters``/``histograms`` sections exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.sim.trace import EventKind, TraceEvent
+
+__all__ = [
+    "DEFAULT_BUCKETS_NS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsObserver",
+    "write_metrics",
+]
+
+#: Default histogram bucket upper bounds: a 1-2-5 decade ladder from
+#: 1 µs to 10 s, in integer nanoseconds (plus the implicit +inf bucket).
+DEFAULT_BUCKETS_NS: tuple[int, ...] = tuple(
+    mantissa * scale
+    for scale in (1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000)
+    for mantissa in (1, 2, 5)
+) + (10_000_000_000,)
+
+
+def _render_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """Monotonic integer counter."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins value (the volatile section of the export)."""
+
+    name: str
+    value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram over non-negative integer observations.
+
+    ``bounds`` are inclusive upper bounds in ascending order; one
+    implicit overflow bucket catches everything above the last bound.
+    All state is integer, so exports are bit-identical across platforms.
+    """
+
+    name: str
+    bounds: tuple[int, ...] = DEFAULT_BUCKETS_NS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: int = 0
+    min: int | None = None
+    max: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.bounds or list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("bounds must be non-empty, sorted, unique")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative observation {value}")
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def quantile(self, q: float) -> int | None:
+        """Upper bound of the bucket holding the *q*-quantile (None when
+        empty; the overflow bucket reports the observed max)."""
+        if self.count == 0:
+            return None
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        target = max(1, round(q * self.count))
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max  # pragma: no cover - loop always reaches target
+
+    def as_dict(self) -> dict[str, Any]:
+        # Sparse bucket encoding keeps metrics.json readable: only
+        # non-empty buckets appear, keyed by their upper bound ("+inf"
+        # for the overflow bucket).
+        buckets = {
+            (str(self.bounds[i]) if i < len(self.bounds) else "+inf"): n
+            for i, n in enumerate(self.counts)
+            if n
+        }
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with optional labels, exported as stable JSON."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access --------------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = _render_key(name, tuple(sorted(labels.items())))
+        if key not in self._counters:
+            self._counters[key] = Counter(key)
+        return self._counters[key]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = _render_key(name, tuple(sorted(labels.items())))
+        if key not in self._gauges:
+            self._gauges[key] = Gauge(key)
+        return self._gauges[key]
+
+    def histogram(
+        self, name: str, *, bounds: tuple[int, ...] = DEFAULT_BUCKETS_NS, **labels: str
+    ) -> Histogram:
+        key = _render_key(name, tuple(sorted(labels.items())))
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(key, bounds=bounds)
+        return self._histograms[key]
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- export --------------------------------------------------------------
+    def as_dict(self, extra: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """The ``metrics.json`` document.  ``counters``/``histograms``
+        are deterministic (golden-testable); ``gauges`` hold volatile
+        host-derived values; *extra* sections (cache stats, per-spec
+        timings) are merged at the top level."""
+        doc: dict[str, Any] = {
+            "schema": 1,
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.as_dict() for k, h in sorted(self._histograms.items())},
+        }
+        for key, value in (extra or {}).items():
+            doc[key] = value
+        return doc
+
+
+def write_metrics(
+    path: str | Path, registry: MetricsRegistry, extra: Mapping[str, Any] | None = None
+) -> Path:
+    """Write the registry (plus *extra* sections) as ``metrics.json``."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(registry.as_dict(extra), indent=2, sort_keys=True) + "\n")
+    return out
+
+
+class MetricsObserver:
+    """Trace-observer feeding a :class:`MetricsRegistry`.
+
+    Implements the sink protocol, so it can sit in a
+    :class:`~repro.sim.trace.TeeSink` beside a file sink.  Per task it
+    maintains release/completion/stop/miss/preemption counters, a
+    response-time histogram (release -> COMPLETE) and a detector-fire
+    latency histogram (release -> DETECTOR_FIRE); detector-overhead
+    pseudo-jobs (``__overhead*``) are excluded, matching
+    :func:`repro.experiments.metrics.compute_metrics`.
+    """
+
+    _COUNTED = {
+        EventKind.RELEASE: "releases",
+        EventKind.PREEMPT: "preemptions",
+        EventKind.COMPLETE: "completions",
+        EventKind.STOP: "stops",
+        EventKind.DEADLINE_MISS: "deadline_misses",
+        EventKind.DETECTOR_FIRE: "detector_fires",
+        EventKind.FAULT_DETECTED: "faults_detected",
+    }
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._releases: dict[tuple[str, int], int] = {}
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.task.startswith("__overhead"):
+            return
+        self.registry.counter("trace_events_total").inc()
+        name = self._COUNTED.get(event.kind)
+        if name is None:
+            return
+        self.registry.counter(f"task_{name}_total", task=event.task).inc()
+        key = (event.task, event.job)
+        if event.kind is EventKind.RELEASE:
+            self._releases[key] = event.time
+            return
+        released = self._releases.get(key)
+        if released is None:
+            return
+        if event.kind is EventKind.COMPLETE:
+            self.registry.histogram("task_response_time_ns", task=event.task).observe(
+                event.time - released
+            )
+            del self._releases[key]
+        elif event.kind is EventKind.STOP:
+            del self._releases[key]
+        elif event.kind is EventKind.DETECTOR_FIRE:
+            self.registry.histogram(
+                "task_detector_fire_latency_ns", task=event.task
+            ).observe(event.time - released)
+
+    def close(self) -> None:
+        self._releases.clear()
+
+    def observe_events(self, events: Iterable[TraceEvent]) -> MetricsRegistry:
+        """Batch helper: feed *events* through and return the registry."""
+        for event in events:
+            self.emit(event)
+        return self.registry

@@ -1,0 +1,64 @@
+"""Ambient observability configuration.
+
+The experiments CLI cannot thread ``trace_out=``/``profiler=`` through
+every spec builder (builders take exactly one :class:`ExperimentSpec`,
+and widening that contract would push host-side concerns into the
+declarative layer and its content hashes).  Instead the CLI *activates*
+an :class:`ObsConfig` for the duration of a run, and the exec bridge
+(:func:`repro.exec.sim.run_simulation`) — the one sanctioned door to
+the simulator — attaches the configured sink, metrics observer and
+profiler to every simulation that flows through it.
+
+The config is deliberately process-local state, not a contextvar: the
+CLI is single-threaded, and :class:`~repro.exec.executor.PoolExecutor`
+workers intentionally do *not* inherit it (trace capture forces a
+serial run; see the CLI's handling of ``--trace-out`` + ``--jobs``).
+Nothing here affects simulation results — observability is strictly
+read-only on the event stream.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.obs.metrics import MetricsObserver
+    from repro.obs.profiler import EngineProfiler
+    from repro.sim.trace import TraceSink
+
+__all__ = ["ObsConfig", "activate", "current"]
+
+
+@dataclass
+class ObsConfig:
+    """What to attach to every simulation run through the exec bridge."""
+
+    sink: "TraceSink | None" = None
+    metrics: "MetricsObserver | None" = None
+    profiler: "EngineProfiler | None" = None
+
+    def trace_sinks(self) -> list["TraceSink"]:
+        """The sinks (file sink and/or metrics observer) to tee."""
+        return [s for s in (self.sink, self.metrics) if s is not None]
+
+
+_active: ObsConfig | None = None
+
+
+def current() -> ObsConfig | None:
+    """The active config, or None when observability is off."""
+    return _active
+
+
+@contextmanager
+def activate(config: ObsConfig) -> Iterator[ObsConfig]:
+    """Activate *config* for the duration of the ``with`` block."""
+    global _active
+    previous = _active
+    _active = config
+    try:
+        yield config
+    finally:
+        _active = previous

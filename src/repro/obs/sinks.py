@@ -1,0 +1,301 @@
+"""File-backed trace sinks and trace-file conversion.
+
+The paper's tooling (§5) buffers nanosecond timestamps in memory and
+dumps them to log files a chart tool reads.  This module is the durable
+equivalent for the simulator's event stream:
+
+* :class:`JsonlSink` — streaming append of one JSON object per event.
+  Bounded memory (events hit the OS file buffer as they happen), and
+  lossless: :func:`read_jsonl` reconstructs the exact
+  :class:`~repro.sim.trace.TraceEvent` sequence, which the round-trip
+  tests assert on fault-injection scenarios.
+* :class:`ChromeTraceSink` — streams Chrome/Perfetto ``trace_event``
+  JSON, so any run opens directly in ``chrome://tracing`` or
+  https://ui.perfetto.dev: per-task tracks with execution slices
+  (START/RESUME .. PREEMPT/COMPLETE/STOP) and instant markers for
+  releases, deadline misses and detector activity.
+* :func:`to_chrome` / :func:`convert_jsonl_to_chrome` — offline
+  conversion of a recorded JSONL trace (``python -m repro.obs convert``).
+
+Timestamps inside the repo stay integer nanoseconds; the Chrome format
+requires microseconds, so the boundary conversion is the one sanctioned
+float division (marked ``noqa: RT001`` like the ``repro.units``
+boundary).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Iterable, Iterator
+
+from repro.sim.trace import (
+    EventKind,
+    MemorySink,
+    NullSink,
+    TeeSink,
+    Trace,
+    TraceEvent,
+    TraceSink,
+)
+
+__all__ = [
+    "MemorySink",
+    "NullSink",
+    "TeeSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "read_jsonl",
+    "iter_jsonl",
+    "write_jsonl",
+    "to_chrome",
+    "convert_jsonl_to_chrome",
+    "resolve_sink",
+    "trace_with_sink",
+]
+
+#: Event kinds rendered as Chrome duration slices (paired open/close).
+_SLICE_OPEN = frozenset({EventKind.START, EventKind.RESUME})
+_SLICE_CLOSE = frozenset({EventKind.PREEMPT, EventKind.COMPLETE, EventKind.STOP})
+#: Event kinds rendered as instant markers on the task's track.
+_INSTANT = frozenset(
+    {
+        EventKind.RELEASE,
+        EventKind.DEADLINE_MISS,
+        EventKind.DETECTOR_FIRE,
+        EventKind.FAULT_DETECTED,
+        EventKind.LOCK,
+        EventKind.UNLOCK,
+        EventKind.BLOCKED,
+        EventKind.UNBLOCKED,
+        EventKind.IDLE,
+    }
+)
+
+
+def _us(time_ns: int) -> float:
+    """Nanoseconds -> the microsecond floats the Chrome format requires."""
+    return time_ns / 1000  # noqa: RT001 - sanctioned chrome-trace output boundary
+
+
+class JsonlSink:
+    """Append one compact JSON object per event to *path*.
+
+    Memory use is O(1): nothing is retained after the write.  The file
+    is line-buffered, so it is valid JSONL at every instant and a
+    crashed run still leaves a readable prefix.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open("w", buffering=1)
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"JsonlSink({self.path}) is closed")
+        json.dump(event.to_dict(), self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def iter_jsonl(path: str | Path) -> Iterator[TraceEvent]:
+    """Stream events back from a :class:`JsonlSink` file."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield TraceEvent.from_dict(json.loads(line))
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """The full event list of a JSONL trace file (lossless inverse of
+    :class:`JsonlSink`)."""
+    return list(iter_jsonl(path))
+
+
+def write_jsonl(path: str | Path, events: Iterable[TraceEvent]) -> int:
+    """Write *events* as a JSONL trace file; returns the event count."""
+    sink = JsonlSink(path)
+    try:
+        for event in events:
+            sink.emit(event)
+    finally:
+        sink.close()
+    return sink.emitted
+
+
+class _ChromeMapper:
+    """Stateful TraceEvent -> chrome ``trace_event`` dict mapping.
+
+    Execution slices are reconstructed by pairing each task's
+    START/RESUME with the following PREEMPT/COMPLETE/STOP, exactly as
+    :meth:`repro.sim.trace.Trace.execution_intervals` does; all other
+    simulator events become instant markers.  Exec-layer ``SPAN``
+    events (duration in ``info``) map to complete slices on a
+    dedicated track.
+    """
+
+    def __init__(self) -> None:
+        self._open: dict[str, tuple[int, int]] = {}  # task -> (start_ns, job)
+        self._tids: dict[str, int] = {}
+
+    def _tid(self, track: str) -> int:
+        if track not in self._tids:
+            self._tids[track] = len(self._tids) + 1
+        return self._tids[track]
+
+    def map(self, event: TraceEvent) -> list[dict[str, Any]]:
+        out: list[dict[str, Any]] = []
+        task = event.task or "<cpu>"
+        if event.kind is EventKind.SPAN:
+            out.append(
+                {
+                    "name": task,
+                    "cat": "exec",
+                    "ph": "X",
+                    "ts": _us(event.time),
+                    "dur": _us(event.info),
+                    "pid": 1,
+                    "tid": self._tid("exec"),
+                }
+            )
+            return out
+        if event.kind in _SLICE_OPEN:
+            self._open[task] = (event.time, event.job)
+            return out
+        if event.kind in _SLICE_CLOSE:
+            opened = self._open.pop(task, None)
+            if opened is not None and event.time > opened[0]:
+                out.append(
+                    {
+                        "name": f"{task}#{opened[1]}" if opened[1] >= 0 else task,
+                        "cat": "job",
+                        "ph": "X",
+                        "ts": _us(opened[0]),
+                        "dur": _us(event.time - opened[0]),
+                        "pid": 1,
+                        "tid": self._tid(task),
+                    }
+                )
+            if event.kind is not EventKind.PREEMPT:
+                out.append(self._instant(event, task))
+            return out
+        if event.kind in _INSTANT:
+            out.append(self._instant(event, task))
+        return out
+
+    def _instant(self, event: TraceEvent, task: str) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "name": event.kind.value,
+            "cat": "sim",
+            "ph": "i",
+            "s": "t",
+            "ts": _us(event.time),
+            "pid": 1,
+            "tid": self._tid(task),
+        }
+        if event.job >= 0:
+            entry["args"] = {"job": event.job, "info": event.info}
+        return entry
+
+    def thread_metadata(self) -> list[dict[str, Any]]:
+        """``thread_name`` metadata so tracks carry task names."""
+        return [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+            for track, tid in sorted(self._tids.items(), key=lambda kv: kv[1])
+        ]
+
+
+def to_chrome(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    """The ``chrome://tracing`` document for *events*."""
+    mapper = _ChromeMapper()
+    trace_events: list[dict[str, Any]] = []
+    for event in events:
+        trace_events.extend(mapper.map(event))
+    return {
+        "traceEvents": mapper.thread_metadata() + trace_events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def convert_jsonl_to_chrome(src: str | Path, dst: str | Path) -> int:
+    """Convert a JSONL trace file into a chrome-loadable JSON file;
+    returns the number of chrome events written."""
+    document = to_chrome(iter_jsonl(src))
+    out = Path(dst)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=1) + "\n")
+    return len(document["traceEvents"])
+
+
+class ChromeTraceSink:
+    """Stream chrome ``trace_event`` JSON directly while simulating.
+
+    Equivalent to recording JSONL and converting afterwards, without
+    the intermediate file; events are written as they close, so memory
+    stays bounded by the number of concurrently open slices.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open("w")
+        self._fh.write('{"displayTimeUnit": "ms", "traceEvents": [\n')
+        self._mapper = _ChromeMapper()
+        self._first = True
+        self.emitted = 0
+
+    def _write(self, entry: dict[str, Any]) -> None:
+        assert self._fh is not None
+        if not self._first:
+            self._fh.write(",\n")
+        json.dump(entry, self._fh, separators=(",", ":"))
+        self._first = False
+        self.emitted += 1
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"ChromeTraceSink({self.path}) is closed")
+        for entry in self._mapper.map(event):
+            self._write(entry)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            for entry in self._mapper.thread_metadata():
+                self._write(entry)
+            self._fh.write("\n]}\n")
+            self._fh.close()
+            self._fh = None
+
+
+def resolve_sink(target: TraceSink | str | Path | None) -> TraceSink | None:
+    """Accept a sink object or a path (suffix picks the format:
+    ``.json`` -> chrome, anything else -> JSONL)."""
+    if target is None or isinstance(target, (MemorySink, NullSink, TeeSink, JsonlSink, ChromeTraceSink)):
+        return target
+    if isinstance(target, (str, Path)):
+        path = Path(target)
+        if path.suffix == ".json":
+            return ChromeTraceSink(path)
+        return JsonlSink(path)
+    if isinstance(target, TraceSink):
+        return target
+    raise TypeError(f"cannot resolve trace sink from {target!r}")
+
+
+def trace_with_sink(target: TraceSink | str | Path | None, *, retain: bool = True) -> Trace:
+    """A :class:`Trace` wired to *target* (path or sink)."""
+    return Trace(resolve_sink(target), retain=retain)

@@ -1,0 +1,112 @@
+"""Host-side spans for the execution layer.
+
+The exec layer (PR 2) computes cache and timing information and drops
+most of it on the floor.  A :class:`SpanRecorder` captures the missing
+structure as begin/end wall-clock spans — ``executor.run`` around a
+batch, one ``spec:<name>`` span per computed exhibit, ``cache:<name>``
+around each cache lookup — which surface in three places:
+
+* the ``telemetry`` section of ``manifest.json`` (volatile-stripped
+  from the fingerprint, so reproducibility is untouched);
+* the trace file: spans convert to SPAN :class:`~repro.sim.trace.TraceEvent`
+  records (time = offset from the recorder's origin, ``info`` =
+  duration), so even analysis-only exhibits produce a non-empty,
+  chrome-convertible trace;
+* ``metrics.json``: per-spec wall-time and queue-wait numbers.
+
+Spans measure *host* time (``perf_counter_ns``) — run metadata in the
+same sanctioned sense as the executor's existing ``wall_s`` fields,
+never simulated time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.sim.trace import EventKind, TraceEvent
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+def _now_ns() -> int:
+    return time.perf_counter_ns()  # noqa: RT002 - host-side span metadata, not simulated time
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed host-side interval."""
+
+    name: str
+    category: str
+    start_ns: int  # offset from the recorder's origin
+    dur_ns: int
+    attrs: tuple[tuple[str, str], ...] = ()
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "category": self.category,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+    def to_trace_event(self) -> TraceEvent:
+        """SPAN trace-event encoding (``task`` = ``category:name``,
+        ``info`` = duration) — losslessly JSONL-serialisable alongside
+        simulator events."""
+        return TraceEvent(
+            time=self.start_ns,
+            kind=EventKind.SPAN,
+            task=f"{self.category}:{self.name}",
+            info=self.dur_ns,
+        )
+
+
+class SpanRecorder:
+    """Collects spans relative to a fixed origin (its creation time)."""
+
+    def __init__(self) -> None:
+        self.origin_ns = _now_ns()
+        self.spans: list[Span] = []
+
+    def now_ns(self) -> int:
+        """Host time as an offset from the recorder's origin."""
+        return _now_ns() - self.origin_ns
+
+    @contextmanager
+    def span(self, name: str, category: str = "exec", **attrs: str) -> Iterator[None]:
+        start = self.now_ns()
+        try:
+            yield
+        finally:
+            self.record(name, category, start, self.now_ns() - start, **attrs)
+
+    def record(
+        self, name: str, category: str, start_ns: int, dur_ns: int, **attrs: str
+    ) -> Span:
+        """Add an already-measured span (offsets relative to the
+        recorder origin; clamped to be non-negative)."""
+        span = Span(
+            name=name,
+            category=category,
+            start_ns=max(0, start_ns),
+            dur_ns=max(0, dur_ns),
+            attrs=tuple(sorted(attrs.items())),
+        )
+        self.spans.append(span)
+        return span
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [s.as_dict() for s in sorted(self.spans, key=lambda s: s.start_ns)]
+
+    def to_trace_events(self) -> list[TraceEvent]:
+        return [s.to_trace_event() for s in sorted(self.spans, key=lambda s: s.start_ns)]
+
+    def __len__(self) -> int:
+        return len(self.spans)

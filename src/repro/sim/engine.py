@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
-__all__ = ["Rank", "EventHandle", "Engine"]
+__all__ = ["Rank", "EventHandle", "EngineObserver", "Engine"]
 
 
 class Rank:
@@ -60,19 +61,35 @@ class EventHandle:
         self.cancelled = True
 
 
+class EngineObserver(Protocol):
+    """Opt-in dispatch profiler hook (see ``repro.obs.profiler``).
+
+    ``record`` is called after every executed event with the event's
+    tie-break rank and the *host* wall time its action took — pure
+    diagnostics; simulated time and results are unaffected.
+    """
+
+    def record(self, rank: int, wall_ns: int) -> None:
+        ...
+
+
 class Engine:
     """The event loop.
 
     Events scheduled in the past raise; events at the current time are
     allowed (they run within the current instant, after the event that
     scheduled them, in rank order).
+
+    *profiler* (optional) receives per-event dispatch counts and host
+    wall time; the default ``None`` keeps the hot path branch-cheap.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, profiler: EngineObserver | None = None) -> None:
         self.now: int = 0
         self._heap: list[_Entry] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._profiler = profiler
 
     @property
     def events_processed(self) -> int:
@@ -110,7 +127,13 @@ class Engine:
                 continue
             self.now = entry.time
             self._processed += 1
-            entry.handle.action()
+            if self._profiler is None:
+                entry.handle.action()
+            else:
+                t0 = time.perf_counter_ns()  # noqa: RT002 - profiler metadata, not simulated time
+                entry.handle.action()
+                t1 = time.perf_counter_ns()  # noqa: RT002 - profiler metadata, not simulated time
+                self._profiler.record(entry.rank, t1 - t0)
             return True
         return False
 

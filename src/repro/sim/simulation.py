@@ -27,11 +27,11 @@ from typing import Mapping, Sequence
 from repro.core.faults import FaultModel, NoFaults
 from repro.core.task import Task, TaskSet
 from repro.core.treatments import TreatmentKind, TreatmentPlan, TreatmentRuntime, plan_treatment
-from repro.sim.engine import Engine, Rank
+from repro.sim.engine import Engine, EngineObserver, Rank
 from repro.sim.jobs import Job, JobState
 from repro.sim.locking import LockManager, LockProtocol, SectionSpec
 from repro.sim.processor import Processor
-from repro.sim.trace import EventKind, Trace
+from repro.sim.trace import EventKind, Trace, TraceSink
 from repro.sim.vm import EXACT_VM, VMProfile
 
 __all__ = ["Simulation", "SimResult", "simulate"]
@@ -57,6 +57,9 @@ class SimResult:
     #: ``jobs`` mapping that :meth:`missed`/:meth:`stopped` and the
     #: metrics iterate over.
     overhead_jobs: Sequence[Job] = ()
+    #: Engine events dispatched during the run (deterministic; feeds
+    #: the observability layer's engine counters).
+    events_processed: int = 0
 
     @property
     def idle_time(self) -> int:
@@ -106,6 +109,8 @@ class Simulation:
         arrivals: Mapping[str, Sequence[int]] | None = None,
         sections: Sequence[SectionSpec] | None = None,
         protocol: LockProtocol = LockProtocol.ICPP,
+        trace_out: TraceSink | str | None = None,
+        profiler: EngineObserver | None = None,
     ):
         if horizon <= 0:
             raise ValueError("horizon must be > 0")
@@ -125,8 +130,22 @@ class Simulation:
                 t < 0 for t in times
             ):
                 raise ValueError(f"{name}: arrival times must be sorted and >= 0")
-        self.engine = Engine()
-        self.trace = Trace()
+        self.engine = Engine(profiler=profiler)
+        # Observability (repro.obs): events stream to *trace_out* (a
+        # TraceSink or a file path) in addition to the in-memory log.
+        # A sink resolved here from a path is owned by this run (closed
+        # at the end); a sink object handed in stays caller-owned, so
+        # one file can collect events from many simulations.
+        sink: TraceSink | None
+        self._owns_sink = False
+        if trace_out is None or hasattr(trace_out, "emit"):
+            sink = trace_out  # type: ignore[assignment]
+        else:
+            from repro.obs.sinks import resolve_sink
+
+            sink = resolve_sink(trace_out)
+            self._owns_sink = True
+        self.trace = Trace(sink)
         self.processor = Processor(
             self.engine,
             self.trace,
@@ -326,6 +345,8 @@ class Simulation:
     def run(self) -> SimResult:
         self.engine.run(until=self.horizon)
         self.processor.finalize()
+        if self._owns_sink:
+            self.trace.close()
         return SimResult(
             taskset=self.taskset,
             horizon=self.horizon,
@@ -335,6 +356,7 @@ class Simulation:
             vm=self.vm,
             busy_time=self.processor.busy_time,
             overhead_jobs=tuple(self._overhead_jobs),
+            events_processed=self.engine.events_processed,
         )
 
 
@@ -348,6 +370,8 @@ def simulate(
     arrivals: Mapping[str, Sequence[int]] | None = None,
     sections: Sequence[SectionSpec] | None = None,
     protocol: LockProtocol = LockProtocol.ICPP,
+    trace_out: TraceSink | str | None = None,
+    profiler: EngineObserver | None = None,
 ) -> SimResult:
     """Run one scenario and return its :class:`SimResult`.
 
@@ -355,6 +379,11 @@ def simulate(
     here, with the VM's timer rounding applied to detector offsets), an
     explicit :class:`TreatmentPlan`, or None for a bare run without
     detectors (the paper's Figure 3 baseline).
+
+    *trace_out* streams events to a :class:`~repro.sim.trace.TraceSink`
+    (or a file path — ``.jsonl``/``.json`` pick the format) while the
+    run executes; *profiler* attaches an engine dispatch profiler.
+    Neither affects simulated time or results.
     """
     plan: TreatmentPlan | None
     if treatment is None:
@@ -374,4 +403,6 @@ def simulate(
         arrivals=arrivals,
         sections=sections,
         protocol=protocol,
+        trace_out=trace_out,
+        profiler=profiler,
     ).run()

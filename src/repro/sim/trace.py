@@ -9,16 +9,28 @@ with a few extra event kinds the simulator can observe exactly
 charts.
 
 A trace is an append-only list of :class:`TraceEvent`, plus query
-helpers used by the metrics and chart layers.
+helpers used by the metrics and chart layers.  Events can additionally
+be streamed to a :class:`TraceSink` as they are recorded — the
+observability layer (:mod:`repro.obs`) provides file-backed sinks
+(JSONL, Chrome ``trace_event``) so long-horizon runs need not hold the
+whole event log in memory (``Trace(sink, retain=False)``).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator, Protocol, runtime_checkable
 
-__all__ = ["EventKind", "TraceEvent", "Trace"]
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "TraceSink",
+    "MemorySink",
+    "NullSink",
+    "TeeSink",
+    "Trace",
+]
 
 
 class EventKind(enum.Enum):
@@ -38,6 +50,7 @@ class EventKind(enum.Enum):
     UNLOCK = "unlock"  # job released a shared resource
     BLOCKED = "blocked"  # job blocked on a held resource (PIP)
     UNBLOCKED = "unblocked"  # blocked job granted the resource
+    SPAN = "span"  # host-side span (exec layer); info = duration ns
 
 
 @dataclass(frozen=True)
@@ -59,17 +72,108 @@ class TraceEvent:
         j = f"#{self.job}" if self.job >= 0 else ""
         return f"[{self.time}] {self.kind.value} {self.task}{j}"
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "time": self.time,
+            "kind": self.kind.value,
+            "task": self.task,
+            "job": self.job,
+            "info": self.info,
+        }
 
-class Trace:
-    """Append-only event log with query helpers."""
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceEvent":
+        """Reconstruct an event from :meth:`to_dict` output (lossless)."""
+        return cls(
+            time=int(data["time"]),
+            kind=EventKind(data["kind"]),
+            task=str(data["task"]),
+            job=int(data.get("job", -1)),
+            info=int(data.get("info", 0)),
+        )
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Streaming consumer of trace events.
+
+    Implementations must tolerate :meth:`emit` being called once per
+    event on the simulator's hot path; :meth:`close` flushes whatever
+    the sink buffers (file sinks become invalid to emit to afterwards).
+    """
+
+    def emit(self, event: TraceEvent) -> None:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class MemorySink:
+    """Keep every event in memory — the classic §5 in-memory log."""
 
     def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink:
+    """Discard every event (measures the cost of the sink plumbing)."""
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class TeeSink:
+    """Fan one event stream out to several sinks."""
+
+    def __init__(self, sinks: list[TraceSink] | tuple[TraceSink, ...]):
+        self.sinks = list(sinks)
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class Trace:
+    """Append-only event log with query helpers.
+
+    *sink* (optional) receives every event as it is recorded, in
+    addition to the in-memory log; *retain=False* drops the in-memory
+    log entirely (bounded memory for long-horizon streaming runs — the
+    query helpers then see an empty trace).
+    """
+
+    def __init__(self, sink: TraceSink | None = None, *, retain: bool = True) -> None:
         self._events: list[TraceEvent] = []
+        self._sink = sink
+        self._retain = retain
+
+    @property
+    def sink(self) -> TraceSink | None:
+        return self._sink
 
     def record(
         self, time: int, kind: EventKind, task: str, job: int = -1, info: int = 0
     ) -> None:
-        self._events.append(TraceEvent(time, kind, task, job, info))
+        event = TraceEvent(time, kind, task, job, info)
+        if self._retain:
+            self._events.append(event)
+        if self._sink is not None:
+            self._sink.emit(event)
 
     # -- access -------------------------------------------------------------
     def __iter__(self) -> Iterator[TraceEvent]:
@@ -128,3 +232,8 @@ class Trace:
     def dump(self) -> str:
         """The paper's log-file equivalent: one event per line."""
         return "\n".join(str(e) for e in self._events)
+
+    def close(self) -> None:
+        """Flush and close the attached sink (no-op without one)."""
+        if self._sink is not None:
+            self._sink.close()

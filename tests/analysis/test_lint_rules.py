@@ -241,6 +241,40 @@ class TestRT006ExecutorDiscipline:
         assert lint_source(source, self.EXPERIMENT_PATH) == []
 
 
+class TestRT007NoBarePrint:
+    LIBRARY_PATH = "src/repro/sim/helper.py"
+
+    def test_print_in_library_module(self):
+        source = "def f(x):\n    print(x)\n    return x\n"
+        diags = lint_source(source, self.LIBRARY_PATH)
+        assert codes(diags) == ["RT007"]
+        assert diags[0].line == 2
+
+    def test_cli_module_is_exempt(self):
+        source = "def main():\n    print('usage: ...')\n"
+        assert lint_source(source, "src/repro/experiments/cli.py") == []
+        assert lint_source(source, "src/repro/obs/__main__.py") == []
+
+    def test_report_module_is_exempt(self):
+        source = "def render():\n    print('Table 1')\n"
+        assert lint_source(source, "src/repro/experiments/report.py") == []
+
+    def test_outside_repro_is_allowed(self):
+        source = "def f(x):\n    print(x)\n"
+        assert lint_source(source, "examples/quickstart.py") == []
+        assert lint_source(source, "fixture.py") == []
+
+    def test_shadowed_print_method_is_allowed(self):
+        # Only the builtin name as a bare call counts; attribute calls
+        # (e.g. a printer object's .print()) are not the builtin.
+        source = "def f(doc):\n    doc.print()\n"
+        assert lint_source(source, self.LIBRARY_PATH) == []
+
+    def test_noqa_suppression(self):
+        source = "def f(x):\n    print(x)  # noqa: RT007\n"
+        assert lint_source(source, self.LIBRARY_PATH) == []
+
+
 class TestDriver:
     def test_syntax_error_becomes_diagnostic(self):
         diags = lint_source("def broken(:\n", "oops.py")
@@ -263,7 +297,9 @@ class TestDriver:
 
         rules = all_rules()
         assert [r.code for r in rules] == sorted(r.code for r in rules)
-        assert {"RT001", "RT002", "RT003", "RT004", "RT005", "RT006"} <= {r.code for r in rules}
+        assert {
+            "RT001", "RT002", "RT003", "RT004", "RT005", "RT006", "RT007"
+        } <= {r.code for r in rules}
         for rule in rules:
             assert rule.name and rule.description
 

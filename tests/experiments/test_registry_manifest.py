@@ -61,6 +61,16 @@ class TestGoldenManifest:
             for claim in r.value.claims():
                 assert claim.holds, f"{r.spec.name}: {claim.description}"
 
+    def test_telemetry_present_but_volatile(self, serial_run):
+        executor, results, _ = serial_run
+        manifest, _ = build_manifest(results, executor=executor)
+        telemetry = manifest["telemetry"]
+        assert {s["name"] for s in telemetry["specs"]} == {
+            s.name for s in all_specs()
+        }
+        assert telemetry["cache"]["stores"] == len(all_specs())
+        assert "telemetry" not in strip_volatile(manifest)
+
 
 class TestCacheReuse:
     def test_second_run_is_cache_served(self, serial_run):

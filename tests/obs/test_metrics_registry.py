@@ -1,0 +1,187 @@
+"""Metrics registry and trace-fed observer.
+
+``golden_metrics_figure5.json`` pins the deterministic sections
+(counters + histograms) of the metrics produced by the paper's
+Figure 5 scenario.  To regenerate after an intentional behaviour
+change::
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.exec.sim import simulate_spec
+    from repro.experiments.registry import all_specs
+    from repro.obs.metrics import MetricsObserver
+    obs = MetricsObserver()
+    spec = {s.name: s for s in all_specs()}['figure5']
+    simulate_spec(spec, trace_out=obs)
+    doc = obs.registry.as_dict()
+    golden = {'counters': doc['counters'], 'histograms': doc['histograms']}
+    open('tests/obs/golden_metrics_figure5.json', 'w').write(
+        json.dumps(golden, indent=2, sort_keys=True) + '\n')
+    "
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.treatments import TreatmentKind
+from repro.exec.sim import simulate_spec
+from repro.experiments.registry import all_specs
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS_NS,
+    Counter,
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+    write_metrics,
+)
+from repro.sim.simulation import simulate
+from repro.sim.trace import EventKind, TraceEvent
+from repro.units import ms
+from repro.workloads.scenarios import paper_fault, paper_figures_taskset
+
+GOLDEN = Path(__file__).parent / "golden_metrics_figure5.json"
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestHistogram:
+    def test_bucket_assignment_inclusive_upper_bound(self):
+        h = Histogram("h", bounds=(10, 100))
+        for v in (0, 10, 11, 100, 101):
+            h.observe(v)
+        assert h.as_dict()["buckets"] == {"10": 2, "100": 2, "+inf": 1}
+        assert h.count == 5
+        assert h.total == 222
+        assert h.min == 0
+        assert h.max == 101
+
+    def test_quantiles(self):
+        h = Histogram("h", bounds=(10, 100))
+        for v in (1, 2, 3, 50):
+            h.observe(v)
+        assert h.quantile(0.5) == 10
+        assert h.quantile(1.0) == 100
+        assert Histogram("e").quantile(0.5) is None
+
+    def test_overflow_quantile_reports_observed_max(self):
+        h = Histogram("h", bounds=(10,))
+        h.observe(500)
+        assert h.quantile(1.0) == 500
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").observe(-1)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(5, 5))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 5))
+
+    def test_default_bounds_are_integer_ns(self):
+        assert all(isinstance(b, int) for b in DEFAULT_BUCKETS_NS)
+        assert list(DEFAULT_BUCKETS_NS) == sorted(set(DEFAULT_BUCKETS_NS))
+
+
+class TestRegistry:
+    def test_labels_render_sorted_and_stable(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", task="tau1", vm="exact")
+        b = reg.counter("hits", vm="exact", task="tau1")
+        assert a is b
+        assert a.name == "hits{task=tau1,vm=exact}"
+
+    def test_as_dict_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(5)
+        doc = reg.as_dict(extra={"cache": {"hits": 1}})
+        assert doc["schema"] == 1
+        assert doc["counters"] == {"c": 1}
+        assert doc["gauges"] == {"g": 7}
+        assert doc["histograms"]["h"]["count"] == 1
+        assert doc["cache"] == {"hits": 1}
+
+    def test_write_metrics(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        path = write_metrics(tmp_path / "m.json", reg)
+        assert json.loads(path.read_text())["counters"] == {"c": 1}
+
+
+class TestMetricsObserver:
+    def _observe_fault_run(self):
+        obs = MetricsObserver()
+        result = simulate(
+            paper_figures_taskset(),
+            horizon=ms(1600),
+            faults=paper_fault(),
+            treatment=TreatmentKind.IMMEDIATE_STOP,
+            trace_out=obs,
+        )
+        return obs.registry.as_dict(), result
+
+    def test_counters_match_trace(self):
+        doc, result = self._observe_fault_run()
+        completes = len(result.trace.of_kind(EventKind.COMPLETE))
+        counted = sum(
+            v for k, v in doc["counters"].items() if k.startswith("task_completions")
+        )
+        assert counted == completes > 0
+
+    def test_response_time_histogram_counts_completions_only(self):
+        doc, result = self._observe_fault_run()
+        for task in ("tau1", "tau2", "tau3"):
+            hist = doc["histograms"].get(f"task_response_time_ns{{task={task}}}")
+            completes = len(
+                [e for e in result.trace.of_kind(EventKind.COMPLETE) if e.task == task]
+            )
+            assert (hist["count"] if hist else 0) == completes
+
+    def test_stopped_job_does_not_pollute_histogram(self):
+        doc, result = self._observe_fault_run()
+        assert result.trace.of_kind(EventKind.STOP)  # tau1#5 was stopped
+        hist = doc["histograms"]["task_response_time_ns{task=tau1}"]
+        # Response times never exceed tau1's deadline: the stopped job
+        # (which ran past it) contributed no observation.
+        assert hist["max"] <= ms(70)
+
+    def test_overhead_pseudo_tasks_excluded(self):
+        obs = MetricsObserver()
+        obs.emit(TraceEvent(0, EventKind.RELEASE, "__overhead_tau1", job=0))
+        assert obs.registry.as_dict()["counters"] == {}
+
+    def test_detector_latency_histogram(self):
+        doc, _ = self._observe_fault_run()
+        assert any(
+            k.startswith("task_detector_fire_latency_ns") for k in doc["histograms"]
+        )
+
+
+class TestGoldenFigure5:
+    def test_figure5_metrics_match_golden(self):
+        obs = MetricsObserver()
+        spec = {s.name: s for s in all_specs()}["figure5"]
+        simulate_spec(spec, trace_out=obs)
+        doc = obs.registry.as_dict()
+        produced = {"counters": doc["counters"], "histograms": doc["histograms"]}
+        golden = json.loads(GOLDEN.read_text())
+        assert produced == golden, (
+            "figure5 metrics diverged from the golden; regenerate with the "
+            "snippet in this module's docstring if the change is intentional"
+        )

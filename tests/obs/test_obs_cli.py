@@ -1,0 +1,177 @@
+"""The observability surface end to end: experiments CLI flags and the
+``python -m repro.obs`` tooling."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main as experiments_main
+from repro.obs.cli import main as obs_main
+from repro.obs.runtime import ObsConfig, activate, current
+from repro.obs.sinks import read_jsonl
+from repro.sim.trace import EventKind, MemorySink
+
+
+@pytest.fixture()
+def obs_run(tmp_path, capsys):
+    """One figure5 run with every observability flag on.
+
+    Yields ``(status, trace_path, metrics_path, stdout)`` — the run's
+    output is captured here because fixture-time prints land before a
+    test's own ``capsys`` window opens.
+    """
+    trace = tmp_path / "t.jsonl"
+    metrics = tmp_path / "m.json"
+    status = experiments_main(
+        [
+            "figure5",
+            "--no-cache",
+            "--trace-out", str(trace),
+            "--metrics-out", str(metrics),
+            "--profile",
+        ]
+    )
+    return status, trace, metrics, capsys.readouterr().out
+
+
+class TestRuntimeConfig:
+    def test_activation_scoped(self):
+        assert current() is None
+        cfg = ObsConfig(sink=MemorySink())
+        with activate(cfg):
+            assert current() is cfg
+        assert current() is None
+
+    def test_nested_activation_restores_previous(self):
+        outer, inner = ObsConfig(), ObsConfig()
+        with activate(outer):
+            with activate(inner):
+                assert current() is inner
+            assert current() is outer
+
+
+class TestExperimentsCliFlags:
+    def test_obs_run_outputs(self, obs_run):
+        status, trace, metrics, out = obs_run
+        assert status == 0
+        # Trace: simulator events plus exec spans, losslessly readable.
+        events = read_jsonl(trace)
+        kinds = {e.kind for e in events}
+        assert EventKind.COMPLETE in kinds
+        assert EventKind.SPAN in kinds
+        # Metrics: histograms, cache stats and exec telemetry present.
+        doc = json.loads(metrics.read_text())
+        assert any(k.startswith("task_response_time_ns") for k in doc["histograms"])
+        assert doc["counters"]["engine_runs_total"] == 1
+        assert set(doc["cache"]) >= {"hits", "misses", "stores", "evictions"}
+        assert doc["exec"]["specs"] == 1
+        assert doc["engine_profile"]
+        # Profiler table and summary lines on stdout.
+        assert "Engine profile" in out
+        assert "engine throughput" in out
+        assert "wrote trace" in out
+        assert "wrote metrics" in out
+
+    def test_analysis_only_exhibit_still_produces_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert experiments_main(
+            ["table2", "--no-cache", "--trace-out", str(trace)]
+        ) == 0
+        events = read_jsonl(trace)
+        assert events  # exec spans even though table2 never simulates
+        assert all(e.kind is EventKind.SPAN for e in events)
+
+    def test_obs_flags_force_serial_and_bypass_cache(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert experiments_main(
+            ["table2", "--jobs", "4", "--cache", str(tmp_path / "cache"),
+             "--trace-out", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "force a serial run" in out
+        assert "bypass the result cache" in out
+        assert not (tmp_path / "cache").exists()
+
+    def test_cache_stats_in_summary_line(self, tmp_path, capsys):
+        assert experiments_main(["table2", "--cache", str(tmp_path / "c")]) == 0
+        assert experiments_main(["table2", "--cache", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        # Second invocation: served from cache.
+        assert "1 from cache (100% hit rate)" in out
+        assert "cache: hits=1 misses=0 stores=0 evictions=0" in out
+
+    def test_manifest_fingerprint_unchanged_by_telemetry(self, tmp_path, capsys):
+        # Serial vs parallel manifests still fingerprint identically
+        # with the telemetry section present.
+        for sub, jobs in (("serial", "1"), ("pool", "4")):
+            assert experiments_main(
+                ["table2", "figure5", "--no-cache", "--jobs", jobs,
+                 "--manifest", str(tmp_path / sub)]
+            ) == 0
+        load = lambda sub: json.loads(  # noqa: E731
+            (tmp_path / sub / "manifest.json").read_text()
+        )
+        serial, pooled = load("serial"), load("pool")
+        assert "telemetry" in serial and "telemetry" in pooled
+        from repro.exec.manifest import manifest_fingerprint
+
+        assert manifest_fingerprint(serial) == manifest_fingerprint(pooled)
+
+
+class TestObsCli:
+    def test_inspect(self, obs_run, capsys):
+        _, trace, _, _ = obs_run
+        capsys.readouterr()
+        assert obs_main(["inspect", str(trace), "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "complete" in out
+
+    def test_convert_default_output(self, obs_run, capsys):
+        _, trace, _, _ = obs_run
+        assert obs_main(["convert", str(trace), "--to", "chrome"]) == 0
+        chrome = trace.with_suffix(".chrome.json")
+        assert chrome.exists()
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "i", "M"}
+
+    def test_convert_explicit_output(self, obs_run, tmp_path, capsys):
+        _, trace, _, _ = obs_run
+        dst = tmp_path / "out.json"
+        assert obs_main(["convert", str(trace), "-o", str(dst)]) == 0
+        assert dst.exists()
+
+    def test_summarize_table(self, obs_run, capsys):
+        _, trace, _, _ = obs_run
+        capsys.readouterr()
+        assert obs_main(["summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "tau1" in out
+        assert "releases" in out
+
+    def test_summarize_json(self, obs_run, capsys):
+        _, trace, _, _ = obs_run
+        capsys.readouterr()
+        assert obs_main(["summarize", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert any(k.startswith("task_response_time_ns") for k in doc["histograms"])
+
+    def test_missing_file(self, capsys):
+        assert obs_main(["inspect", "no/such/file.jsonl"]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_module_entry_point(self, obs_run):
+        import subprocess
+        import sys
+
+        _, trace, _, _ = obs_run
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "inspect", str(trace)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "events" in proc.stdout

@@ -1,0 +1,73 @@
+"""Engine dispatch profiler: observation without perturbation."""
+
+from repro.core.treatments import TreatmentKind
+from repro.obs.profiler import RANK_NAMES, EngineProfiler
+from repro.sim.engine import Rank
+from repro.sim.simulation import simulate
+from repro.units import ms
+from repro.workloads.scenarios import paper_fault, paper_figures_taskset
+
+
+def _run(profiler=None):
+    return simulate(
+        paper_figures_taskset(),
+        horizon=ms(1600),
+        faults=paper_fault(),
+        treatment=TreatmentKind.IMMEDIATE_STOP,
+        profiler=profiler,
+    )
+
+
+class TestEngineProfiler:
+    def test_counts_every_dispatched_event(self):
+        prof = EngineProfiler()
+        result = _run(prof)
+        assert prof.total_events == result.events_processed > 0
+
+    def test_profiling_does_not_perturb_results(self):
+        plain = _run()
+        profiled = _run(EngineProfiler())
+        assert profiled.trace.events == plain.trace.events
+        assert profiled.jobs == plain.jobs
+
+    def test_rank_names_cover_engine_ranks(self):
+        assert RANK_NAMES[Rank.RELEASE] == "release"
+        assert RANK_NAMES[Rank.COMPLETION] == "completion"
+        prof = EngineProfiler()
+        _run(prof)
+        assert set(prof.counts) <= set(RANK_NAMES)
+
+    def test_wall_time_recorded(self):
+        prof = EngineProfiler()
+        _run(prof)
+        assert prof.total_wall_ns > 0
+        assert prof.events_per_second() > 0
+
+    def test_merge_aggregates_runs(self):
+        a, b = EngineProfiler(), EngineProfiler()
+        _run(a)
+        _run(b)
+        events_a, events_b = a.total_events, b.total_events
+        a.merge(b)
+        assert a.total_events == events_a + events_b
+
+    def test_as_dict_keyed_by_kind_name(self):
+        prof = EngineProfiler()
+        _run(prof)
+        doc = prof.as_dict()
+        assert "release" in doc
+        assert doc["release"]["events"] > 0
+
+    def test_render_table(self):
+        prof = EngineProfiler()
+        _run(prof)
+        table = prof.render_table()
+        assert "event kind" in table
+        assert "release" in table
+        assert "total" in table
+        assert "events/s" in table
+
+    def test_empty_profiler_renders(self):
+        table = EngineProfiler().render_table()
+        assert "total" in table
+        assert EngineProfiler().events_per_second() is None

@@ -1,0 +1,224 @@
+"""Trace sinks: JSONL round-trip, chrome conversion, sink plumbing."""
+
+import json
+
+import pytest
+
+from repro.core.treatments import TreatmentKind
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    convert_jsonl_to_chrome,
+    iter_jsonl,
+    read_jsonl,
+    resolve_sink,
+    to_chrome,
+    trace_with_sink,
+    write_jsonl,
+)
+from repro.sim.simulation import simulate
+from repro.sim.trace import (
+    EventKind,
+    MemorySink,
+    NullSink,
+    TeeSink,
+    Trace,
+    TraceEvent,
+    TraceSink,
+)
+from repro.units import ms
+from repro.workloads.scenarios import paper_fault, paper_figures_taskset
+
+
+@pytest.fixture(scope="module")
+def fault_run(tmp_path_factory):
+    """The paper's Figure 5 scenario (tau1 overruns, immediate stop),
+    streamed to a JSONL trace while simulating."""
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    result = simulate(
+        paper_figures_taskset(),
+        horizon=ms(1600),
+        faults=paper_fault(),
+        treatment=TreatmentKind.IMMEDIATE_STOP,
+        trace_out=str(path),
+    )
+    return result, path
+
+
+class TestEventSerialisation:
+    def test_to_dict_from_dict_is_lossless_for_every_kind(self):
+        for i, kind in enumerate(EventKind):
+            event = TraceEvent(time=i * 17, kind=kind, task=f"tau{i}", job=i - 1, info=i)
+            assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_defaults_survive_missing_keys(self):
+        event = TraceEvent.from_dict({"time": 5, "kind": "release", "task": "tau1"})
+        assert event == TraceEvent(5, EventKind.RELEASE, "tau1", job=-1, info=0)
+
+
+class TestJsonlRoundTrip:
+    def test_fault_injection_run_round_trips(self, fault_run):
+        result, path = fault_run
+        assert read_jsonl(path) == result.trace.events
+
+    def test_round_trip_covers_fault_events(self, fault_run):
+        result, path = fault_run
+        kinds = {e.kind for e in read_jsonl(path)}
+        assert EventKind.FAULT_DETECTED in kinds
+        assert EventKind.STOP in kinds
+
+    def test_write_jsonl_inverse(self, tmp_path):
+        events = [
+            TraceEvent(0, EventKind.RELEASE, "tau1", job=0),
+            TraceEvent(3, EventKind.START, "tau1", job=0),
+            TraceEvent(9, EventKind.COMPLETE, "tau1", job=0, info=6),
+        ]
+        count = write_jsonl(tmp_path / "t.jsonl", events)
+        assert count == 3
+        assert read_jsonl(tmp_path / "t.jsonl") == events
+
+    def test_iter_jsonl_streams(self, fault_run):
+        _, path = fault_run
+        it = iter_jsonl(path)
+        first = next(it)
+        assert isinstance(first, TraceEvent)
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(TraceEvent(0, EventKind.RELEASE, "tau1"))
+
+    def test_file_is_valid_jsonl_mid_run(self, tmp_path):
+        # A crashed run must still leave a readable prefix.
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.emit(TraceEvent(0, EventKind.RELEASE, "tau1"))
+        sink.emit(TraceEvent(1, EventKind.START, "tau1"))
+        assert len(read_jsonl(tmp_path / "t.jsonl")) == 2
+        sink.close()
+
+
+class TestTracePlumbing:
+    def test_sink_receives_every_recorded_event(self):
+        sink = MemorySink()
+        trace = Trace(sink)
+        trace.record(0, EventKind.RELEASE, "tau1", 0)
+        trace.record(5, EventKind.COMPLETE, "tau1", 0)
+        assert sink.events == trace.events
+
+    def test_retain_false_bounds_memory(self):
+        sink = MemorySink()
+        trace = Trace(sink, retain=False)
+        trace.record(0, EventKind.RELEASE, "tau1", 0)
+        assert len(trace) == 0
+        assert len(sink.events) == 1
+
+    def test_tee_fans_out(self):
+        a, b = MemorySink(), MemorySink()
+        tee = TeeSink([a, b])
+        tee.emit(TraceEvent(0, EventKind.IDLE, ""))
+        assert a.events == b.events != []
+
+    def test_null_sink_discards(self):
+        NullSink().emit(TraceEvent(0, EventKind.IDLE, ""))  # no error, no state
+
+    def test_sinks_satisfy_protocol(self, tmp_path):
+        assert isinstance(MemorySink(), TraceSink)
+        assert isinstance(NullSink(), TraceSink)
+        assert isinstance(TeeSink([]), TraceSink)
+        assert isinstance(JsonlSink(tmp_path / "a.jsonl"), TraceSink)
+        assert isinstance(ChromeTraceSink(tmp_path / "a.json"), TraceSink)
+
+    def test_resolve_sink_by_suffix(self, tmp_path):
+        assert isinstance(resolve_sink(tmp_path / "t.jsonl"), JsonlSink)
+        assert isinstance(resolve_sink(str(tmp_path / "t.json")), ChromeTraceSink)
+        sink = MemorySink()
+        assert resolve_sink(sink) is sink
+        assert resolve_sink(None) is None
+
+    def test_trace_with_sink(self, tmp_path):
+        trace = trace_with_sink(tmp_path / "t.jsonl")
+        trace.record(0, EventKind.RELEASE, "tau1", 0)
+        trace.close()
+        assert len(read_jsonl(tmp_path / "t.jsonl")) == 1
+
+    def test_simulation_owns_path_sinks(self, tmp_path):
+        # A path-typed trace_out is resolved and closed by the run; a
+        # caller-provided sink object is left open for reuse.
+        shared = MemorySink()
+        simulate(paper_figures_taskset(), horizon=ms(100), trace_out=shared)
+        shared.emit(TraceEvent(0, EventKind.IDLE, ""))  # still usable
+
+
+_CHROME_REQUIRED = {"name", "ph", "pid", "tid"}
+
+
+def _validate_chrome(doc):
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    assert doc["displayTimeUnit"] == "ms"
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    for entry in doc["traceEvents"]:
+        assert _CHROME_REQUIRED <= set(entry), entry
+        assert entry["ph"] in {"X", "i", "M"}, entry
+        if entry["ph"] == "X":
+            assert entry["ts"] >= 0 and entry["dur"] >= 0
+        elif entry["ph"] == "i":
+            assert entry["s"] == "t" and entry["ts"] >= 0
+        else:
+            assert entry["name"] == "thread_name"
+            assert "name" in entry["args"]
+
+
+class TestChromeTrace:
+    def test_schema(self, fault_run):
+        result, _ = fault_run
+        _validate_chrome(to_chrome(result.trace.events))
+
+    def test_slices_match_execution_intervals(self, fault_run):
+        result, _ = fault_run
+        doc = to_chrome(result.trace.events)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        expected = sum(
+            len(result.trace.execution_intervals(t.name))
+            for t in paper_figures_taskset()
+        )
+        assert len(slices) == expected > 0
+
+    def test_document_is_json_serialisable(self, fault_run):
+        result, _ = fault_run
+        json.dumps(to_chrome(result.trace.events))
+
+    def test_convert_jsonl_to_chrome(self, fault_run, tmp_path):
+        _, src = fault_run
+        dst = tmp_path / "t.chrome.json"
+        count = convert_jsonl_to_chrome(src, dst)
+        doc = json.loads(dst.read_text())
+        _validate_chrome(doc)
+        assert count == len(doc["traceEvents"])
+
+    def test_streaming_sink_equals_offline_conversion(self, fault_run, tmp_path):
+        result, _ = fault_run
+        sink = ChromeTraceSink(tmp_path / "s.json")
+        for event in result.trace.events:
+            sink.emit(event)
+        sink.close()
+        streamed = json.loads((tmp_path / "s.json").read_text())
+        offline = to_chrome(result.trace.events)
+        _validate_chrome(streamed)
+        key = lambda e: (e["ph"], e.get("ts", -1), e["tid"], e["name"])  # noqa: E731
+        assert sorted(streamed["traceEvents"], key=key) == sorted(
+            offline["traceEvents"], key=key
+        )
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = ChromeTraceSink(tmp_path / "t.json")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(TraceEvent(0, EventKind.RELEASE, "tau1"))
+
+    def test_span_events_map_to_exec_track(self):
+        doc = to_chrome([TraceEvent(100, EventKind.SPAN, "exec:executor.run", info=5000)])
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 1
+        assert slices[0]["name"] == "exec:executor.run"
+        assert slices[0]["dur"] == 5.0

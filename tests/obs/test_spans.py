@@ -1,0 +1,116 @@
+"""Exec-layer spans and the manifest telemetry they feed."""
+
+from repro.exec.cache import ResultCache
+from repro.exec.executor import LocalExecutor, PoolExecutor
+from repro.exec.manifest import build_manifest, manifest_fingerprint, strip_volatile
+from repro.exec.spec import ExperimentSpec
+from repro.obs.spans import Span, SpanRecorder
+from repro.sim.trace import EventKind
+
+
+def spec(name):
+    return ExperimentSpec.make(name=name, builder="b", params={"n": name})
+
+
+def builder(s):
+    # Module-level and deterministic, so it pickles into pool workers.
+    return f"built:{s.name}"
+
+
+class TestSpanRecorder:
+    def test_context_manager_measures(self):
+        rec = SpanRecorder()
+        with rec.span("work", "exec", detail="x"):
+            pass
+        assert len(rec) == 1
+        span = rec.spans[0]
+        assert span.name == "work"
+        assert span.dur_ns >= 0
+        assert dict(span.attrs) == {"detail": "x"}
+
+    def test_record_clamps_negative(self):
+        rec = SpanRecorder()
+        span = rec.record("s", "exec", -5, -10)
+        assert span.start_ns == 0
+        assert span.dur_ns == 0
+
+    def test_as_dicts_sorted_by_start(self):
+        rec = SpanRecorder()
+        rec.record("late", "exec", 100, 1)
+        rec.record("early", "exec", 10, 1)
+        assert [d["name"] for d in rec.as_dicts()] == ["early", "late"]
+
+    def test_to_trace_events(self):
+        event = Span("run", "exec", start_ns=7, dur_ns=13).to_trace_event()
+        assert event.kind is EventKind.SPAN
+        assert event.task == "exec:run"
+        assert event.time == 7
+        assert event.info == 13
+
+
+class TestExecutorSpans:
+    def test_run_and_per_spec_spans_recorded(self):
+        rec = SpanRecorder()
+        LocalExecutor(spans=rec).run([spec("a"), spec("b")], builder)
+        by_cat = {}
+        for s in rec.spans:
+            by_cat.setdefault(s.category, []).append(s.name)
+        assert by_cat["exec"] == ["executor.run"]
+        assert sorted(by_cat["spec"]) == ["a", "b"]
+
+    def test_cache_lookup_spans_tag_hit_and_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        LocalExecutor(cache).run([spec("a")], builder)
+        rec = SpanRecorder()
+        LocalExecutor(ResultCache(tmp_path), spans=rec).run(
+            [spec("a"), spec("new")], builder
+        )
+        outcomes = {
+            s.name: dict(s.attrs)["outcome"] for s in rec.spans if s.category == "cache"
+        }
+        assert outcomes == {"a": "hit", "new": "miss"}
+
+    def test_timing_fields_on_results(self):
+        results = LocalExecutor().run([spec("a"), spec("b")], builder)
+        for r in results:
+            assert r.ended_ns >= r.started_ns > 0
+            assert r.queue_wait_ns >= 0
+
+    def test_cache_hit_has_zero_timing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        LocalExecutor(cache).run([spec("a")], builder)
+        (result,) = LocalExecutor(ResultCache(tmp_path)).run([spec("a")], builder)
+        assert result.from_cache
+        assert result.started_ns == result.ended_ns == result.queue_wait_ns == 0
+
+
+class TestManifestTelemetry:
+    def test_telemetry_section_present(self):
+        ex = LocalExecutor(spans=SpanRecorder())
+        results = ex.run([spec("a"), spec("b")], builder)
+        manifest, _ = build_manifest(results, executor=ex)
+        telemetry = manifest["telemetry"]
+        assert [s["name"] for s in telemetry["specs"]] == ["a", "b"]
+        assert all(s["queue_wait_ns"] >= 0 for s in telemetry["specs"])
+        assert telemetry["executor"] == {"kind": "local", "jobs": 1}
+        assert "hits" in telemetry["cache"]
+        assert any(s["category"] == "exec" for s in telemetry["spans"])
+
+    def test_telemetry_is_volatile_stripped(self):
+        ex = LocalExecutor(spans=SpanRecorder())
+        manifest, _ = build_manifest(ex.run([spec("a")], builder), executor=ex)
+        assert "telemetry" not in strip_volatile(manifest)
+
+    def test_fingerprint_identical_serial_vs_pool_with_telemetry(self):
+        specs = [spec(str(i)) for i in range(4)]
+        serial_ex = LocalExecutor(spans=SpanRecorder())
+        pool_ex = PoolExecutor(2, spans=SpanRecorder())
+        serial, _ = build_manifest(serial_ex.run(specs, builder), executor=serial_ex)
+        pooled, _ = build_manifest(pool_ex.run(specs, builder), executor=pool_ex)
+        assert serial["telemetry"] != {} and pooled["telemetry"] != {}
+        assert manifest_fingerprint(serial) == manifest_fingerprint(pooled)
+
+    def test_pool_queue_wait_recorded(self):
+        specs = [spec(str(i)) for i in range(4)]
+        results = PoolExecutor(2, spans=SpanRecorder()).run(specs, builder)
+        assert all(r.queue_wait_ns >= 0 for r in results)

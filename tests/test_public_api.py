@@ -71,3 +71,9 @@ class TestSubpackages:
 
         for name in analysis.__all__:
             assert hasattr(analysis, name), name
+
+    def test_obs_exports(self):
+        from repro import obs
+
+        for name in obs.__all__:
+            assert hasattr(obs, name), name
