@@ -1,0 +1,100 @@
+"""CI benchmark regression guard.
+
+Compares a freshly-written ``BENCH_results.json`` against the committed
+baseline and fails when any benchmark's ``events_per_s`` dropped by
+more than the threshold (default 20%).  Only entries present in *both*
+files are compared — new benchmarks are allowed in without a baseline,
+and removed ones stop being checked.  Wall-time-only entries (no
+``events_per_s``) are skipped: wall seconds for sub-millisecond
+analysis benchmarks are too noisy on shared CI runners to gate on.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE CURRENT [--threshold 0.2]
+
+The threshold is a fraction (0.2 = fail below 80% of baseline) and can
+also be set via the ``BENCH_REGRESSION_THRESHOLD`` environment variable
+(the flag wins).  Exit status: 0 clean, 1 regression, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+__all__ = ["compare", "main"]
+
+
+def _load(path: Path) -> dict[str, dict]:
+    data = json.loads(path.read_text())
+    benches = data.get("benchmarks", {})
+    if not isinstance(benches, dict):
+        raise ValueError(f"{path}: 'benchmarks' must be an object")
+    return benches
+
+
+def compare(
+    baseline: dict[str, dict], current: dict[str, dict], threshold: float
+) -> list[str]:
+    """Regression messages for every common entry whose ``events_per_s``
+    fell below ``baseline * (1 - threshold)``.  Empty list = clean."""
+    problems: list[str] = []
+    for name in sorted(baseline.keys() & current.keys()):
+        base_eps = baseline[name].get("events_per_s")
+        cur_eps = current[name].get("events_per_s")
+        if not base_eps or not cur_eps:
+            continue  # wall-time-only entries are informational
+        floor = base_eps * (1.0 - threshold)
+        if cur_eps < floor:
+            problems.append(
+                f"{name}: {cur_eps:,.0f} events/s < "
+                f"{floor:,.0f} (baseline {base_eps:,.0f}, "
+                f"-{(1 - cur_eps / base_eps) * 100:.1f}%)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_results.json")
+    parser.add_argument("current", type=Path, help="freshly generated results")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="allowed fractional drop (default 0.2, or "
+        "$BENCH_REGRESSION_THRESHOLD)",
+    )
+    args = parser.parse_args(argv)
+    threshold = args.threshold
+    if threshold is None:
+        threshold = float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.2"))
+    if not 0 <= threshold < 1:
+        print(f"threshold must be in [0, 1), got {threshold}", file=sys.stderr)
+        return 2
+    try:
+        baseline = _load(args.baseline)
+        current = _load(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot read results: {exc}", file=sys.stderr)
+        return 2
+    problems = compare(baseline, current, threshold)
+    compared = sum(
+        1
+        for name in baseline.keys() & current.keys()
+        if baseline[name].get("events_per_s") and current[name].get("events_per_s")
+    )
+    if problems:
+        print(f"benchmark regression ({len(problems)} of {compared} gated):")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(f"benchmarks OK ({compared} gated entries within {threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,16 @@ when the result carries a simulation trace), and the session hook
 writes every record to ``BENCH_results.json`` at the repository root —
 the machine-readable artifact CI uploads, so throughput regressions
 show up as a diff against the committed baseline.
+
+CI gates on that diff: ``benchmarks/check_regression.py`` compares the
+fresh results against the committed baseline and fails when any
+``events_per_s`` entry drops more than 20% (wall-time-only entries are
+informational — too noisy on shared runners to gate on).  The allowed
+drop is tunable via ``--threshold`` or the ``BENCH_REGRESSION_THRESHOLD``
+environment variable (a fraction: ``0.2`` fails below 80% of baseline).
+Entries new in this run pass without a baseline; to refresh the
+baseline after an intentional change, commit the regenerated
+``BENCH_results.json``.
 """
 
 import json

@@ -14,6 +14,9 @@ Importing this package registers every rule with
            experiments layer (must go through ``repro.exec.sim``)
 ``RT007``  bare ``print()`` in library code (CLI/report modules are
            exempt; everything else goes through ``repro.obs``)
+``RT008``  cold analysis calls (``analyze``, ``wc_response_time``,
+           ``is_feasible``) inside ``max_such_that`` predicates in
+           ``repro.core`` (must probe via ``AnalysisContext``)
 ========  =======================================================
 
 To add a rule: subclass :class:`repro.analysis.lint.Rule`, decorate it
@@ -27,5 +30,6 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     executor_discipline,
     immutability,
     reporting,
+    search_discipline,
     time_discipline,
 )

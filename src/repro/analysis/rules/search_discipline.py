@@ -1,0 +1,104 @@
+"""RT008 — allowance searches in ``repro.core`` must probe warm.
+
+The analysis fast path (DESIGN.md §3.5) exists because the §4 allowance
+searches are binary searches whose predicate re-runs the exact
+response-time analysis.  A predicate that calls the *cold* entry points
+— ``analyze()``, ``wc_response_time()``, ``is_feasible()`` — pays the
+full fixed-point iteration per probe and silently discards the warm
+fixed points, early-exit verdicts and memo the
+:class:`~repro.core.context.AnalysisContext` maintains.  That is
+exactly the regression this PR removed, so the core layer is held to
+it structurally: inside ``src/repro/core/``, a predicate handed to
+``max_such_that`` must route through a context view (``view.feasible``,
+``ctx.max_inflation`` …), never through the cold module functions.
+
+Lambdas are checked in place; a predicate passed by name is resolved to
+a function defined in the same module and its body checked.  Code
+outside ``repro/core/`` (tests, benchmarks, cold-replica baselines) is
+exempt — cold probing is the *point* of a baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.lint import Rule, register
+
+__all__ = ["SearchDiscipline"]
+
+#: Cold analysis entry points forbidden inside search predicates.
+_COLD = frozenset({"analyze", "wc_response_time", "is_feasible"})
+
+_HINT = (
+    "probe through an AnalysisContext view (view.feasible / "
+    "ctx.max_inflation / ctx.max_task_cost_delta) so the search "
+    "warm-starts; cold analyze()/wc_response_time()/is_feasible() "
+    "re-iterates from scratch on every probe"
+)
+
+
+def _in_core_layer(path: str) -> bool:
+    return "repro/core/" in Path(path).as_posix()
+
+
+def _cold_calls(node: ast.AST) -> list[tuple[ast.Call, str]]:
+    """Nested calls to a cold entry point, as bare or attribute names."""
+    out: list[tuple[ast.Call, str]] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Name) and func.id in _COLD:
+                out.append((sub, func.id))
+            elif isinstance(func, ast.Attribute) and func.attr in _COLD:
+                out.append((sub, func.attr))
+    return out
+
+
+@register
+class SearchDiscipline(Rule):
+    """RT008: cold analysis calls inside ``max_such_that`` predicates."""
+
+    code = "RT008"
+    name = "search-discipline"
+    description = (
+        "Core-layer allowance searches must not probe with the cold "
+        "analysis entry points; every max_such_that predicate goes "
+        "through the warm AnalysisContext fast path."
+    )
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._active = _in_core_layer(ctx.path)
+        #: module-level name -> function definition, for predicates
+        #: passed by name rather than as a lambda.
+        self._functions: dict[str, ast.AST] = {}
+        if self._active:
+            for stmt in ast.walk(ctx.tree):
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._functions.setdefault(stmt.name, stmt)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._active and self._is_search(node) and node.args:
+            predicate = node.args[0]
+            target: ast.AST | None = None
+            if isinstance(predicate, ast.Lambda):
+                target = predicate.body
+            elif isinstance(predicate, ast.Name):
+                target = self._functions.get(predicate.id)
+            if target is not None:
+                for call, name in _cold_calls(target):
+                    self.report(
+                        call if isinstance(predicate, ast.Lambda) else node,
+                        f"max_such_that predicate calls cold {name}() "
+                        f"per probe",
+                        hint=_HINT,
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_search(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "max_such_that"
+        return isinstance(func, ast.Attribute) and func.attr == "max_such_that"

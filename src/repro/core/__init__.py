@@ -33,6 +33,7 @@ from repro.core.bounds import (
     liu_layland_bound,
     liu_layland_test,
 )
+from repro.core.context import AnalysisContext, AnalysisView
 from repro.core.detection import (
     EXACT,
     JRATE_10MS,
@@ -140,6 +141,9 @@ __all__ = [
     "analyze",
     "is_feasible",
     "assert_feasible",
+    # analysis fast path (DESIGN.md §3.5)
+    "AnalysisContext",
+    "AnalysisView",
     # bounds
     "liu_layland_bound",
     "liu_layland_test",

@@ -22,8 +22,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.core.context import AnalysisContext
 from repro.core.detection import EXACT, Rounding
-from repro.core.feasibility import FeasibilityReport, analyze
+from repro.core.feasibility import FeasibilityReport
 from repro.core.task import Task, TaskSet
 from repro.core.treatments import TreatmentKind, TreatmentPlan, plan_treatment
 
@@ -85,13 +86,21 @@ class AdmissionController:
     taskset: TaskSet = field(default_factory=lambda: TaskSet([]))
     plan: TreatmentPlan | None = None
     history: list[tuple[str, str, AdmissionDecision]] = field(default_factory=list)
+    # Persistent fast path: WCRTs are memoized by their exact inputs, so
+    # successive trials (which mostly share priority levels with the
+    # current set) recompute only the levels a change can affect.
+    _analysis: AnalysisContext = field(
+        default_factory=lambda: AnalysisContext(TaskSet([])),
+        repr=False,
+        compare=False,
+    )
 
     def request_add(self, task: Task) -> AdmissionResult:
         """Try to admit *task*; detectors are re-planned on success."""
         if task.name in self.taskset:
             return self._log("add", task.name, AdmissionResult(AdmissionDecision.REJECTED_DUPLICATE))
         trial = self.taskset.with_task(task)
-        report = analyze(trial)
+        report = self._analysis.analyze_set(trial)
         if not report.feasible:
             decision = (
                 AdmissionDecision.REJECTED_LOAD
@@ -109,7 +118,7 @@ class AdmissionController:
                 "remove", name, AdmissionResult(AdmissionDecision.REJECTED_UNKNOWN)
             )
         trial = self.taskset.without(name)
-        report = analyze(trial) if len(trial) else None
+        report = self._analysis.analyze_set(trial) if len(trial) else None
         return self._log("remove", name, self._commit(trial, report))
 
     def wcrt(self, name: str) -> int | None:
@@ -130,7 +139,12 @@ class AdmissionController:
     ) -> AdmissionResult:
         old_offsets = self.detector_offsets()
         new_plan = (
-            plan_treatment(new_set, self.treatment, self.rounding)
+            plan_treatment(
+                new_set,
+                self.treatment,
+                self.rounding,
+                context=AnalysisContext(new_set, memo=self._analysis._memo),
+            )
             if len(new_set)
             else None
         )

@@ -20,6 +20,13 @@ stopped:
 
 All searches are integer binary searches in nanoseconds, so results are
 exact maxima: feasible at ``A``, infeasible at ``A + 1``.
+
+Every search probes through an :class:`~repro.core.context.AnalysisContext`
+(DESIGN.md §3.5): probes of one search form a cost-monotone family, so
+each fixed point warm-starts the next and infeasible probes abort at the
+first provable deadline miss.  Results are bit-identical to the cold
+path (``tests/core/test_context_equivalence.py``); pass ``context=`` to
+share the caches across several searches over the same task set.
 """
 
 from __future__ import annotations
@@ -27,7 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from repro.core.feasibility import analyze, is_feasible, wc_response_time
+from repro.core.context import AnalysisContext
+from repro.core.feasibility import wc_response_time
 from repro.core.task import Task, TaskSet
 
 __all__ = [
@@ -68,7 +76,7 @@ def max_such_that(predicate: Callable[[int], bool], hi: int) -> int:
             hi_open = lo + step
             break
     if hi_open is None:
-        if predicate(hi):
+        if lo == hi or predicate(hi):  # lo is already known true
             return hi
         hi_open = hi
     while lo + 1 < hi_open:
@@ -91,7 +99,18 @@ def _feasible_inflation_bound(taskset: TaskSet) -> int:
     return min(t.deadline - t.cost for t in taskset)
 
 
-def equitable_allowance(taskset: TaskSet) -> int:
+def _context_for(taskset: TaskSet, context: AnalysisContext | None) -> AnalysisContext:
+    """*context* when it analyses *taskset*, else a fresh one."""
+    if context is not None:
+        if context.taskset != taskset:
+            raise ValueError("context was built for a different task set")
+        return context
+    return AnalysisContext(taskset)
+
+
+def equitable_allowance(
+    taskset: TaskSet, *, context: AnalysisContext | None = None
+) -> int:
     """The equitable allowance ``A`` of §4.2 (nanoseconds).
 
     Largest ``A`` such that the set with every cost inflated by ``A``
@@ -99,11 +118,16 @@ def equitable_allowance(taskset: TaskSet) -> int:
     """
     if len(taskset) == 0:
         raise ValueError("empty task set has no allowance")
+    ctx = _context_for(taskset, context)
+    if not ctx.is_feasible():
+        raise ValueError("predicate must hold at 0 (system must be feasible)")
     hi = max(_feasible_inflation_bound(taskset), 0)
-    return max_such_that(lambda a: is_feasible(taskset.inflated(a)), hi)
+    return ctx.max_inflation(hi)
 
 
-def adjusted_wcrt(taskset: TaskSet, allowance: int) -> dict[str, int]:
+def adjusted_wcrt(
+    taskset: TaskSet, allowance: int, *, context: AnalysisContext | None = None
+) -> dict[str, int]:
     """Worst-case response times of the allowance-inflated system.
 
     These are the §4.2 stop thresholds (Table 3): a task granted the
@@ -111,7 +135,8 @@ def adjusted_wcrt(taskset: TaskSet, allowance: int) -> dict[str, int]:
     with *every* cost inflated by *allowance*.  Raises when the inflated
     system is infeasible (allowance too large).
     """
-    report = analyze(taskset.inflated(allowance))
+    ctx = _context_for(taskset, context)
+    report = ctx.with_inflated_costs(allowance).analyze()
     if not report.feasible:
         raise ValueError(f"system infeasible with allowance {allowance}")
     return {name: r.wcrt for name, r in report.per_task.items()}  # type: ignore[misc]
@@ -134,46 +159,63 @@ def additive_adjusted_wcrt(taskset: TaskSet, allowance: int) -> dict[str, int]:
     return out
 
 
+def _solo_allowance(ctx: AnalysisContext, name: str) -> int:
+    """Largest ``X`` keeping ``ctx`` feasible with the named task's cost
+    raised by ``X`` — the one-task-overruns search of §4.3."""
+    target = ctx.taskset[name]
+    if not ctx.is_feasible():
+        return 0
+    hi = max(target.deadline - target.cost, 0)
+    return ctx.max_task_cost_delta(name, hi)
+
+
 def task_allowance(
-    taskset: TaskSet, name: str, consumed: Mapping[str, int] | None = None
+    taskset: TaskSet,
+    name: str,
+    consumed: Mapping[str, int] | None = None,
+    *,
+    context: AnalysisContext | None = None,
 ) -> int:
     """Largest overrun the named task can make alone (§4.3), given the
     overruns *consumed* by other tasks so far (nanoseconds each).
 
     Searches for the largest ``X`` such that the system stays feasible
     with ``C_name + X`` and every other task's cost inflated by its
-    consumed overrun.
+    consumed overrun.  A *context* (over the un-consumed *taskset*) is
+    only consulted when *consumed* is empty — consumed overruns change
+    the base costs and need their own analysis.
     """
     consumed = dict(consumed or {})
     consumed.pop(name, None)
-    base_costs = {
-        t.name: t.cost + consumed.get(t.name, 0) for t in taskset
-    }
+    if not any(consumed.values()):
+        taskset[name]  # noqa: B018 - preserve cold path's KeyError on unknown names
+        return _solo_allowance(_context_for(taskset, context), name)
+    base_costs = {t.name: t.cost + consumed.get(t.name, 0) for t in taskset}
     try:
         base = taskset.with_costs(base_costs)
     except ValueError:
         # A consumed overrun pushed some cost beyond its deadline and
         # period: the system is certainly infeasible, nothing is left.
         return 0
-    if not is_feasible(base):
-        return 0
-    target = base[name]
-    hi = max(target.deadline - target.cost, 0)
-
-    def pred(x: int) -> bool:
-        return is_feasible(base.with_costs({name: target.cost + x}))
-
-    return max_such_that(pred, hi)
+    return _solo_allowance(AnalysisContext(base), name)
 
 
-def system_allowance(taskset: TaskSet) -> dict[str, int]:
+def system_allowance(
+    taskset: TaskSet, *, context: AnalysisContext | None = None
+) -> dict[str, int]:
     """§4.3 grants: for each task, the maximal overrun it may make as
     the *first* faulty task (the "maximum free time available in the
     system" from that task's point of view)."""
-    return {t.name: task_allowance(taskset, t.name) for t in taskset}
+    ctx = _context_for(taskset, context)
+    return {t.name: _solo_allowance(ctx, t.name) for t in taskset}
 
 
-def system_adjusted_wcrt(taskset: TaskSet) -> dict[str, int]:
+def system_adjusted_wcrt(
+    taskset: TaskSet,
+    *,
+    context: AnalysisContext | None = None,
+    grants: Mapping[str, int] | None = None,
+) -> dict[str, int]:
     """§4.3 stop thresholds: the WCRT of each task when *any single*
     task (itself or a higher-or-equal-priority one) consumes its full
     solo allowance.
@@ -188,17 +230,21 @@ def system_adjusted_wcrt(taskset: TaskSet) -> dict[str, int]:
     delayed tasks are never stopped.
 
     On the paper's Table 2 system every threshold is ``WCRT_i + 33 ms``.
+    Pass precomputed *grants* (from :func:`system_allowance`) to skip
+    recomputing them.
     """
-    grants = system_allowance(taskset)
+    ctx = _context_for(taskset, context)
+    if grants is None:
+        grants = system_allowance(taskset, context=ctx)
     out: dict[str, int] = {}
     for task in taskset:
         candidates = [task, *taskset.higher_or_equal_priority(task)]
         worst = 0
         for donor in candidates:
-            inflated = taskset.with_costs(
-                {donor.name: taskset[donor.name].cost + grants[donor.name]}
+            view = ctx.with_task_cost(
+                donor.name, taskset[donor.name].cost + grants[donor.name]
             )
-            r = wc_response_time(inflated[task.name], inflated)
+            r = view.wcrt(task.name)
             if r is None:
                 raise ValueError(
                     f"inflating {donor.name} by its own allowance made "
@@ -222,10 +268,13 @@ class EquitableAllowance:
     stop_after: Mapping[str, int]
 
 
-def compute_equitable(taskset: TaskSet) -> EquitableAllowance:
+def compute_equitable(
+    taskset: TaskSet, *, context: AnalysisContext | None = None
+) -> EquitableAllowance:
     """Compute the §4.2 allowance and its adjusted stop thresholds."""
-    a = equitable_allowance(taskset)
-    return EquitableAllowance(value=a, stop_after=adjusted_wcrt(taskset, a))
+    ctx = _context_for(taskset, context)
+    a = equitable_allowance(taskset, context=ctx)
+    return EquitableAllowance(value=a, stop_after=adjusted_wcrt(taskset, a, context=ctx))
 
 
 @dataclass
@@ -247,10 +296,20 @@ class ResidualAllowanceManager:
 
     taskset: TaskSet
     consumed: dict[str, int] = field(default_factory=dict)
+    _context: AnalysisContext | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _ctx(self) -> AnalysisContext:
+        # Shared across grants so the no-consumed searches (the common
+        # case: first fault, or after reset) reuse warm fixed points.
+        if self._context is None:
+            self._context = AnalysisContext(self.taskset)
+        return self._context
 
     def grant(self, name: str) -> int:
         """Allowance currently available to the named task."""
-        return task_allowance(self.taskset, name, self.consumed)
+        return task_allowance(self.taskset, name, self.consumed, context=self._ctx())
 
     def record_overrun(self, name: str, amount: int) -> None:
         """Record that *name* actually overran its cost by *amount*."""
@@ -266,7 +325,7 @@ class ResidualAllowanceManager:
     def paper_subtraction_grant(self, name: str) -> int:
         """The paper's closed form: solo allowance minus the overruns
         consumed by higher-or-equal-priority tasks (floored at 0)."""
-        solo = task_allowance(self.taskset, name)
+        solo = task_allowance(self.taskset, name, context=self._ctx())
         me = self.taskset[name]
         higher = sum(
             amt

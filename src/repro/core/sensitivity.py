@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.allowance import equitable_allowance, max_such_that
-from repro.core.feasibility import is_feasible
+from repro.core.context import AnalysisContext
 from repro.core.task import TaskSet
 
 __all__ = ["scaling_factor_ppm", "breakdown_utilization", "SlackComparison", "compare_slack"]
@@ -44,20 +44,30 @@ def _scaled(taskset: TaskSet, factor_ppm: int) -> TaskSet | None:
         return None
 
 
-def scaling_factor_ppm(taskset: TaskSet) -> int:
+def scaling_factor_ppm(
+    taskset: TaskSet, *, context: AnalysisContext | None = None
+) -> int:
     """Largest cost-scaling factor (in ppm) keeping the set feasible.
 
     >= 1_000_000 for a feasible input (scaling by 1.0 is the input
     itself).  Exact to 1 ppm.
     """
-    if not is_feasible(taskset):
+    ctx = context if context is not None else AnalysisContext(taskset)
+    if not ctx.is_feasible():
         raise ValueError("system must be feasible")
     # Upper bound: scaling beyond min(D/C) breaks the tightest task.
     hi = max((t.deadline * PPM) // t.cost for t in taskset) + PPM
 
     def pred(extra_ppm: int) -> bool:
-        scaled = _scaled(taskset, PPM + extra_ppm)
-        return scaled is not None and is_feasible(scaled)
+        # Same rounding as _scaled; an unconstructible cost means some
+        # C > D and C > T, so the scaled set is certainly infeasible.
+        factor = PPM + extra_ppm
+        costs = {t.name: max(1, -(-t.cost * factor // PPM)) for t in taskset}
+        for t in taskset:
+            c = costs[t.name]
+            if c > t.deadline and c > t.period:
+                return False
+        return ctx.monotone_view("scale", extra_ppm, costs).feasible
 
     return PPM + max_such_that(pred, hi)
 
@@ -94,9 +104,10 @@ class SlackComparison:
 
 
 def compare_slack(taskset: TaskSet) -> SlackComparison:
-    """Run both searches on *taskset*."""
+    """Run both searches on *taskset* (sharing one analysis context)."""
+    ctx = AnalysisContext(taskset)
     return SlackComparison(
         taskset=taskset,
-        additive_allowance=equitable_allowance(taskset),
-        scaling_ppm=scaling_factor_ppm(taskset),
+        additive_allowance=equitable_allowance(taskset, context=ctx),
+        scaling_ppm=scaling_factor_ppm(taskset, context=ctx),
     )

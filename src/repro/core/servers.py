@@ -155,21 +155,27 @@ def server_sizing(
     Returns None when even 1 ns of capacity is infeasible.
     """
     from repro.core.allowance import max_such_that
+    from repro.core.context import AnalysisContext
     from repro.core.feasibility import is_feasible
 
-    def pred(capacity: int) -> bool:
-        if capacity == 0:
-            return is_feasible(taskset)
-        spec = ServerSpec(name=name, capacity=capacity, period=period, priority=priority)
-        return is_feasible(polling_server_taskset(taskset, spec))
-
-    if not pred(0):
+    if not is_feasible(taskset):
         return None
     # Capacity is bounded by the period and by the residual bandwidth.
     num, den = taskset.utilization_exact()
     residual = Fraction(den - num, den) * period
     hi = min(period, int(residual)) if num < den else 0
-    best = max_such_that(pred, max(hi, 0))
+    if hi < 1:
+        return None
+    # The server set's structure is capacity-independent (deadline is
+    # the period), so all probes are cost views of one context: each
+    # capacity warm-starts the next (DESIGN.md §3.5).
+    probe = ServerSpec(name=name, capacity=1, period=period, priority=priority)
+    ctx = AnalysisContext(polling_server_taskset(taskset, probe))
+
+    def pred(capacity: int) -> bool:
+        return capacity == 0 or ctx.with_task_cost(name, capacity).feasible
+
+    best = max_such_that(pred, hi)
     if best == 0:
         return None
     return ServerSpec(name=name, capacity=best, period=period, priority=priority)

@@ -34,8 +34,8 @@ from repro.core.allowance import (
     ResidualAllowanceManager,
     compute_equitable,
 )
+from repro.core.context import AnalysisContext
 from repro.core.detection import EXACT, DetectorSpec, Rounding, plan_detectors
-from repro.core.feasibility import analyze
 from repro.core.task import TaskSet
 
 __all__ = [
@@ -159,6 +159,8 @@ def plan_treatment(
     taskset: TaskSet,
     kind: TreatmentKind,
     rounding: Rounding = EXACT,
+    *,
+    context: AnalysisContext | None = None,
 ) -> TreatmentPlan:
     """Run admission control and build the treatment configuration.
 
@@ -170,8 +172,14 @@ def plan_treatment(
     *rounding* models the VM timer quirk (§6.2) and applies to detector
     release offsets only; the §4.3 stop deadline is computed from the
     nominal WCRT so a rounded detector never shrinks the grant.
+
+    One :class:`AnalysisContext` (the caller's, when provided over the
+    same set) backs the admission analysis and every allowance search.
     """
-    report = analyze(taskset)
+    if context is not None and context.taskset != taskset:
+        context = None
+    ctx = context if context is not None else AnalysisContext(taskset)
+    report = ctx.analyze()
     if not report.feasible:
         raise ValueError("task set rejected by admission control")
     wcrt: dict[str, int] = {name: r.wcrt for name, r in report.per_task.items()}  # type: ignore[misc]
@@ -182,13 +190,13 @@ def plan_treatment(
     equitable = None
     grants = None
     if kind is TreatmentKind.EQUITABLE_ALLOWANCE:
-        equitable = compute_equitable(taskset)
+        equitable = compute_equitable(taskset, context=ctx)
         thresholds: Mapping[str, int] = equitable.stop_after
     elif kind is TreatmentKind.SYSTEM_ALLOWANCE:
         from repro.core.allowance import system_adjusted_wcrt, system_allowance
 
-        grants = system_allowance(taskset)
-        thresholds = system_adjusted_wcrt(taskset)
+        grants = system_allowance(taskset, context=ctx)
+        thresholds = system_adjusted_wcrt(taskset, context=ctx, grants=grants)
     else:
         thresholds = wcrt
 

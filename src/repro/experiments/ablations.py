@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.core.allowance import equitable_allowance, system_allowance
+from repro.core.context import AnalysisContext
 from repro.core.blocking import (
     blocking_times_pcp,
     blocking_times_pip,
@@ -249,8 +250,11 @@ def allowance_sweep(
         eq_total = 0
         solo_total = 0
         for ts in pool:
-            eq_total += equitable_allowance(ts)
-            grants: Mapping[str, int] = system_allowance(ts)
+            # Both searches probe the same cost-monotone families; one
+            # context per set shares the warm fixed points between them.
+            ctx = AnalysisContext(ts)
+            eq_total += equitable_allowance(ts, context=ctx)
+            grants: Mapping[str, int] = system_allowance(ts, context=ctx)
             solo_total += sum(grants.values()) // len(grants)
         points.append(
             AllowancePoint(

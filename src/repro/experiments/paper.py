@@ -46,6 +46,7 @@ from repro.core.allowance import (
     additive_adjusted_wcrt,
     equitable_allowance,
 )
+from repro.core.context import AnalysisContext
 from repro.core.feasibility import analyze, job_response_times, wc_response_time
 from repro.core.task import TaskSet
 from repro.core.treatments import TreatmentKind
@@ -297,13 +298,16 @@ def table2_spec() -> ExperimentSpec:
 
 def build_table2(spec: ExperimentSpec) -> Table2Result:
     ts = resolve_scenario(spec).taskset
-    report = analyze(ts)
+    # One context serves both the WCRT column and the allowance search,
+    # so the search warm-starts from the base fixed points.
+    ctx = AnalysisContext(ts)
+    report = ctx.analyze()
     wcrt = {name: r.wcrt for name, r in report.per_task.items()}
     assert all(v is not None for v in wcrt.values())
     return Table2Result(
         taskset=ts,
         wcrt={k: int(v) for k, v in wcrt.items()},  # type: ignore[arg-type]
-        allowance=equitable_allowance(ts),
+        allowance=equitable_allowance(ts, context=ctx),
     )
 
 
@@ -356,11 +360,12 @@ def table3_spec() -> ExperimentSpec:
 
 def build_table3(spec: ExperimentSpec) -> Table3Result:
     ts = resolve_scenario(spec).taskset
-    allowance = equitable_allowance(ts)
+    ctx = AnalysisContext(ts)
+    allowance = equitable_allowance(ts, context=ctx)
     return Table3Result(
         taskset=ts,
         allowance=allowance,
-        exact=adjusted_wcrt(ts, allowance),
+        exact=adjusted_wcrt(ts, allowance, context=ctx),
         additive=additive_adjusted_wcrt(ts, allowance),
     )
 

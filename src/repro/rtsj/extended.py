@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core import allowance as _allowance
-from repro.core import feasibility as _feasibility
+from repro.core.context import AnalysisContext
 from repro.core.task import TaskSet
 from repro.core.treatments import TreatmentKind
 from repro.rtsj.params import PeriodicParameters, PriorityParameters
@@ -53,6 +53,11 @@ class FeasibilityAnalysis:
     task model and calls the exact algorithms of :mod:`repro.core`.
     """
 
+    #: Shared exact-input WCRT memo: repeated ``addToFeasibility`` /
+    #: ``isFeasible`` calls over growing thread sets recompute only the
+    #: priority levels each change affects (DESIGN.md §3.5).
+    _shared = AnalysisContext(TaskSet([]))
+
     @staticmethod
     def _taskset(threads: Iterable[RealtimeThread]) -> TaskSet:
         return TaskSet(t.as_task() for t in threads)
@@ -64,12 +69,12 @@ class FeasibilityAnalysis:
         """Figure 2: worst-case response time of *thread* among
         *threads* (nanoseconds; None = unbounded)."""
         ts = FeasibilityAnalysis._taskset(threads)
-        return _feasibility.wc_response_time(ts[thread.name], ts)
+        return FeasibilityAnalysis._shared.wcrt_of(ts[thread.name], ts)
 
     @staticmethod
     def isFeasible(threads: Iterable[RealtimeThread]) -> bool:  # noqa: N802
         ts = FeasibilityAnalysis._taskset(threads)
-        return _feasibility.is_feasible(ts)
+        return FeasibilityAnalysis._shared.is_feasible_set(ts)
 
     @staticmethod
     def equitableAllowance(threads: Iterable[RealtimeThread]) -> int:  # noqa: N802
@@ -187,15 +192,26 @@ class RealtimeThreadExtended(RealtimeThread):
         )
         self.detector.start()
 
+    def _analysis_context(self, taskset: TaskSet) -> AnalysisContext:
+        """One context per (system, taskset): every extended thread's
+        ``_pre_run`` asks for the same allowance searches, so the n
+        detectors of a system share one set of warm caches."""
+        cached = getattr(self._system, "_analysis_cache", None)
+        if cached is None or cached[0] != taskset:
+            cached = (taskset, AnalysisContext(taskset))
+            self._system._analysis_cache = cached  # type: ignore[attr-defined]
+        return cached[1]
+
     def _threshold(self, taskset: TaskSet) -> int:
-        wcrt = _feasibility.wc_response_time(taskset[self.name], taskset)
+        ctx = self._analysis_context(taskset)
+        wcrt = ctx.wcrt(self.name)
         if wcrt is None:
             raise ValueError(f"{self.name}: unbounded WCRT; system infeasible")
         if self.treatment is TreatmentKind.EQUITABLE_ALLOWANCE:
-            allowance = _allowance.equitable_allowance(taskset)
-            return _allowance.adjusted_wcrt(taskset, allowance)[self.name]
+            allowance = _allowance.equitable_allowance(taskset, context=ctx)
+            return _allowance.adjusted_wcrt(taskset, allowance, context=ctx)[self.name]
         if self.treatment is TreatmentKind.SYSTEM_ALLOWANCE:
-            return _allowance.system_adjusted_wcrt(taskset)[self.name]
+            return _allowance.system_adjusted_wcrt(taskset, context=ctx)[self.name]
         return wcrt
 
     def _detector_check(self, index: int) -> None:

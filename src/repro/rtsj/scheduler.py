@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
-from repro.core.feasibility import is_feasible as _exact_is_feasible
+from repro.core.context import AnalysisContext
 from repro.core.task import Task, TaskSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -108,9 +108,18 @@ class ExtendedPriorityScheduler(PriorityScheduler):
 
     Delegates to the exact analysis: load test plus the Figure 2
     worst-case response-time computation for every schedulable.
+
+    Verdicts go through a persistent :class:`AnalysisContext`, whose
+    exact-input memo makes the repeated ``addToFeasibility`` /
+    ``removeFromFeasibility`` re-analyses incremental: only the
+    priority levels a membership change can affect are recomputed.
     """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._analysis = AnalysisContext(TaskSet([]))
 
     def isFeasible(self) -> bool:  # noqa: N802
         if not self._feasibility_set:
             return True
-        return _exact_is_feasible(_as_taskset(self._feasibility_set))
+        return self._analysis.is_feasible_set(_as_taskset(self._feasibility_set))

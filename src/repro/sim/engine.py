@@ -13,14 +13,18 @@ simultaneous events so scheduling semantics are well-defined:
 
 The engine knows nothing about tasks or processors; those live in
 :mod:`repro.sim.processor` and :mod:`repro.sim.simulation`.
+
+Heap entries are plain ``(time, rank, seq, handle)`` tuples: tuple
+comparison is a single C-level operation, where the previous dataclass
+entry paid a Python ``__lt__`` per heap sift step.  ``run`` pops each
+event exactly once (the sole event found past the horizon is pushed
+back), instead of the peek-then-step double traversal.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import time
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Protocol
 
 __all__ = ["Rank", "EventHandle", "EngineObserver", "Engine"]
@@ -35,14 +39,6 @@ class Rank:
     DETECTOR = 3
     RELEASE = 4
     USER = 5
-
-
-@dataclass(order=True)
-class _Entry:
-    time: int
-    rank: int
-    seq: int
-    handle: "EventHandle" = field(compare=False)
 
 
 class EventHandle:
@@ -81,13 +77,14 @@ class Engine:
     scheduled them, in rank order).
 
     *profiler* (optional) receives per-event dispatch counts and host
-    wall time; the default ``None`` keeps the hot path branch-cheap.
+    wall time; the default ``None`` keeps the hot path branch-cheap
+    (the run loop is specialised per profiler mode, outside the loop).
     """
 
     def __init__(self, profiler: EngineObserver | None = None) -> None:
         self.now: int = 0
-        self._heap: list[_Entry] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple[int, int, int, EventHandle]] = []
+        self._seq = 0
         self._processed = 0
         self._profiler = profiler
 
@@ -104,7 +101,8 @@ class Engine:
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
         handle = EventHandle(time, rank, action)
-        heapq.heappush(self._heap, _Entry(time, rank, next(self._seq), handle))
+        self._seq += 1
+        heappush(self._heap, (time, rank, self._seq, handle))
         return handle
 
     def schedule_in(
@@ -115,35 +113,71 @@ class Engine:
 
     def peek_time(self) -> int | None:
         """Time of the next pending (non-cancelled) event, or None."""
-        while self._heap and self._heap[0].handle.cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heappop(heap)
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.handle.cancelled:
+        heap = self._heap
+        while heap:
+            when, rank, _seq, handle = heappop(heap)
+            if handle.cancelled:
                 continue
-            self.now = entry.time
+            self.now = when
             self._processed += 1
             if self._profiler is None:
-                entry.handle.action()
+                handle.action()
             else:
                 t0 = time.perf_counter_ns()  # noqa: RT002 - profiler metadata, not simulated time
-                entry.handle.action()
+                handle.action()
                 t1 = time.perf_counter_ns()  # noqa: RT002 - profiler metadata, not simulated time
-                self._profiler.record(entry.rank, t1 - t0)
+                self._profiler.record(rank, t1 - t0)
             return True
         return False
 
     def run(self, until: int | None = None) -> None:
         """Run events until the queue drains or the clock would pass
-        *until* (events at exactly *until* are executed)."""
-        while True:
-            nxt = self.peek_time()
-            if nxt is None or (until is not None and nxt > until):
-                break
-            self.step()
+        *until* (events at exactly *until* are executed).
+
+        Fused loop: each event is popped exactly once — the first event
+        found past the horizon is pushed back (its ``(time, rank, seq)``
+        key is unchanged, so ordering is preserved) instead of being
+        re-discovered by a separate peek pass per event.
+        """
+        heap = self._heap
+        pop = heappop
+        profiler = self._profiler
+        if profiler is None:
+            while heap:
+                entry = pop(heap)
+                handle = entry[3]
+                if handle.cancelled:
+                    continue
+                when = entry[0]
+                if until is not None and when > until:
+                    heappush(heap, entry)
+                    break
+                self.now = when
+                self._processed += 1
+                handle.action()
+        else:
+            clock = time.perf_counter_ns
+            while heap:
+                entry = pop(heap)
+                handle = entry[3]
+                if handle.cancelled:
+                    continue
+                when = entry[0]
+                if until is not None and when > until:
+                    heappush(heap, entry)
+                    break
+                self.now = when
+                self._processed += 1
+                t0 = clock()  # noqa: RT002 - profiler metadata, not simulated time
+                handle.action()
+                t1 = clock()  # noqa: RT002 - profiler metadata, not simulated time
+                profiler.record(entry[1], t1 - t0)
         if until is not None and until > self.now:
             self.now = until

@@ -275,6 +275,62 @@ class TestRT007NoBarePrint:
         assert lint_source(source, self.LIBRARY_PATH) == []
 
 
+class TestRT008SearchDiscipline:
+    CORE_PATH = "src/repro/core/allowance.py"
+
+    def test_lambda_predicate_calling_analyze(self):
+        source = (
+            "def search(ts, hi):\n"
+            "    return max_such_that(lambda a: analyze(inflate(ts, a)).feasible, hi)\n"
+        )
+        diags = lint_source(source, self.CORE_PATH)
+        assert codes(diags) == ["RT008"]
+        assert "analyze" in diags[0].message
+
+    def test_named_predicate_calling_cold_entry_points(self):
+        source = (
+            "def search(ts, hi):\n"
+            "    def ok(a):\n"
+            "        return is_feasible(inflate(ts, a))\n"
+            "    return max_such_that(ok, hi)\n"
+        )
+        assert codes(lint_source(source, self.CORE_PATH)) == ["RT008"]
+
+    def test_attribute_cold_call_in_predicate(self):
+        source = (
+            "def search(ts, hi):\n"
+            "    return max_such_that(\n"
+            "        lambda a: feasibility.wc_response_time(ts[0], ts) is not None, hi\n"
+            "    )\n"
+        )
+        assert codes(lint_source(source, self.CORE_PATH)) == ["RT008"]
+
+    def test_context_probe_is_allowed(self):
+        source = (
+            "def search(ctx, hi):\n"
+            "    return max_such_that(lambda a: ctx.with_inflated_costs(a).feasible, hi)\n"
+        )
+        assert lint_source(source, self.CORE_PATH) == []
+
+    def test_cold_probe_outside_core_is_allowed(self):
+        # Benchmarks and tests keep cold baselines on purpose.
+        source = (
+            "def cold(ts, hi):\n"
+            "    return max_such_that(lambda a: analyze(inflate(ts, a)).feasible, hi)\n"
+        )
+        assert lint_source(source, "benchmarks/bench_analysis_fastpath.py") == []
+        assert lint_source(source, "tests/core/test_context_equivalence.py") == []
+
+    def test_cold_call_outside_predicate_is_allowed(self):
+        # analyze() itself is fine in core; only per-probe use is not.
+        source = (
+            "def f(ts):\n"
+            "    report = analyze(ts)\n"
+            "    return report.feasible\n"
+        )
+        assert lint_source(source, self.CORE_PATH) == []
+
+
 class TestDriver:
     def test_syntax_error_becomes_diagnostic(self):
         diags = lint_source("def broken(:\n", "oops.py")
@@ -298,7 +354,8 @@ class TestDriver:
         rules = all_rules()
         assert [r.code for r in rules] == sorted(r.code for r in rules)
         assert {
-            "RT001", "RT002", "RT003", "RT004", "RT005", "RT006", "RT007"
+            "RT001", "RT002", "RT003", "RT004", "RT005", "RT006", "RT007",
+            "RT008",
         } <= {r.code for r in rules}
         for rule in rules:
             assert rule.name and rule.description

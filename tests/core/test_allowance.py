@@ -40,6 +40,48 @@ class TestMaxSuchThat:
     def test_exact_on_many_thresholds(self, threshold):
         assert max_such_that(lambda x: x <= threshold, 1000) == threshold
 
+    @pytest.mark.parametrize("hi", [1, 2, 3, 100, 1_000_000])
+    def test_boundary_thresholds(self, hi):
+        # The galloping probe must stay exact at the edges of [0, hi]:
+        # threshold at 0 (first step already fails), at hi (never
+        # fails), and at hi - 1 (fails only at the very top).
+        assert max_such_that(lambda x: x <= 0, hi) == 0
+        assert max_such_that(lambda x: x <= hi, hi) == hi
+        assert max_such_that(lambda x: x <= hi - 1, hi) == hi - 1
+
+    def test_zero_hi_single_probe(self):
+        probes = []
+
+        def ok(x):
+            probes.append(x)
+            return True
+
+        assert max_such_that(ok, 0) == 0
+        assert probes == [0]
+
+    def test_galloping_probe_count_is_logarithmic(self):
+        # Doubling steps then bisection: O(log threshold) probes, not
+        # O(log hi) — small allowances stay cheap under a huge ceiling.
+        probes = []
+
+        def ok(x):
+            probes.append(x)
+            return x <= 5
+
+        assert max_such_that(ok, 10**12) == 5
+        assert len(probes) <= 8
+
+    def test_probes_never_leave_range(self):
+        seen = []
+
+        def ok(x):
+            seen.append(x)
+            return x <= 700
+
+        hi = 1000
+        assert max_such_that(ok, hi) == 700
+        assert all(0 <= x <= hi for x in seen)
+
 
 class TestEquitableAllowance:
     def test_paper_value(self, table2):

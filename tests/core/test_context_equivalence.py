@@ -1,0 +1,183 @@
+"""Warm fast path == cold path, bit for bit (DESIGN.md §3.5).
+
+The :class:`~repro.core.context.AnalysisContext` promises *exact*
+equivalence with the cold entry points in
+:mod:`repro.core.feasibility` — same WCRTs, same verdicts, same
+allowances — over any probe order.  These tests drive both paths over
+hundreds of ``derive_rng``-seeded random systems (feasible and not,
+constrained and arbitrary deadlines) and require equality, not
+closeness.  The cold replicas below intentionally re-run ``analyze``
+per probe: they are the reference implementation the fast path is
+measured against (and are exempt from RT008, which bans that pattern
+inside ``repro.core`` itself).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allowance import (
+    _feasible_inflation_bound,
+    equitable_allowance,
+    max_such_that,
+    system_allowance,
+    task_allowance,
+)
+from repro.core.context import AnalysisContext
+from repro.core.feasibility import analyze, is_feasible, wc_response_time
+from repro.core.sensitivity import scaling_factor_ppm
+from repro.core.task import TaskSet
+from repro.rng import derive_rng
+from repro.workloads.generator import GeneratorConfig, random_taskset
+
+#: >= 200 distinct random systems (the PR's acceptance floor).
+N_SYSTEMS = 220
+
+_CONFIG = GeneratorConfig(
+    period_lo=1_000,
+    period_hi=100_000,
+    period_granularity=100,
+)
+
+
+def _system(i: int) -> TaskSet:
+    """The i-th random system: sizes, loads and deadline styles cycle
+    so the sample covers feasible/infeasible and constrained/arbitrary
+    deadline cases; every stream is derive_rng-seeded (replayable)."""
+    return random_taskset(
+        _CONFIG,
+        rng=derive_rng(20_0806, "ctx-equivalence", i),
+        n=2 + i % 7,
+        utilization=(0.5, 0.65, 0.8, 0.9, 0.95)[i % 5],
+        deadline_factor=(0.8, 1.0, 1.2)[i % 3],
+    )
+
+
+ALL_SYSTEMS = range(N_SYSTEMS)
+#: Subset that pays the expensive cold allowance searches.
+SEARCH_SYSTEMS = range(0, N_SYSTEMS, 5)
+
+
+# -- cold reference implementations (one analyze() per probe) -----------------
+def cold_equitable(ts: TaskSet) -> int:
+    hi = max(_feasible_inflation_bound(ts), 0)
+    return max_such_that(
+        lambda a: analyze(
+            ts.with_costs({t.name: t.cost + a for t in ts})
+        ).feasible,
+        hi,
+    )
+
+
+def cold_solo(ts: TaskSet, name: str) -> int:
+    target = ts[name]
+    if not is_feasible(ts):
+        return 0
+    hi = max(target.deadline - target.cost, 0)
+    return max_such_that(
+        lambda x: analyze(ts.with_costs({name: target.cost + x})).feasible, hi
+    )
+
+
+def cold_scaling_ppm(ts: TaskSet) -> int:
+    ppm = 1_000_000
+    hi = max((t.deadline * ppm) // t.cost for t in ts) + ppm
+
+    def pred(extra: int) -> bool:
+        factor = ppm + extra
+        costs = {t.name: max(1, -(-t.cost * factor // ppm)) for t in ts}
+        for t in ts:
+            c = costs[t.name]
+            if c > t.deadline and c > t.period:
+                return False
+        return analyze(ts.with_costs(costs)).feasible
+
+    return ppm + max_such_that(pred, hi)
+
+
+@pytest.mark.parametrize("i", ALL_SYSTEMS)
+def test_base_analysis_matches_cold(i):
+    ts = _system(i)
+    ctx = AnalysisContext(ts)
+    cold = analyze(ts)
+    warm = ctx.analyze()
+    assert warm.feasible == cold.feasible
+    assert ctx.is_feasible() == cold.feasible
+    for t in ts:
+        assert warm.per_task[t.name].wcrt == cold.per_task[t.name].wcrt
+        assert ctx.wcrt(t.name) == wc_response_time(t, ts)
+
+
+@pytest.mark.parametrize("i", ALL_SYSTEMS)
+def test_perturbed_views_match_cold(i):
+    ts = _system(i)
+    ctx = AnalysisContext(ts)
+    # Uniform inflation (ascending, as a search would probe it).
+    for delta in (0, 1, 17, 1_000):
+        if any(
+            t.cost + delta > t.deadline and t.cost + delta > t.period
+            for t in ts
+        ):
+            continue  # unconstructible probe: both paths raise
+        inflated = ts.with_costs({t.name: t.cost + delta for t in ts})
+        view = ctx.with_inflated_costs(delta)
+        cold = analyze(inflated)
+        assert view.feasible == cold.feasible
+        for t in ts:
+            assert view.wcrt(t.name) == cold.per_task[t.name].wcrt
+    # Solo perturbation of the lowest-priority task.
+    victim = ts.tasks[-1]
+    for extra in (1, victim.period // 3 + 1):
+        cost = victim.cost + extra
+        if cost > victim.deadline and cost > victim.period:
+            continue
+        view = ctx.with_task_cost(victim.name, cost)
+        cold = analyze(ts.with_costs({victim.name: cost}))
+        assert view.feasible == cold.feasible
+        for t in ts:
+            assert view.wcrt(t.name) == cold.per_task[t.name].wcrt
+
+
+@pytest.mark.parametrize("i", SEARCH_SYSTEMS)
+def test_equitable_allowance_matches_cold(i):
+    ts = _system(i)
+    if not is_feasible(ts):
+        pytest.skip("equitable allowance requires a feasible base")
+    assert equitable_allowance(ts) == cold_equitable(ts)
+
+
+@pytest.mark.parametrize("i", SEARCH_SYSTEMS)
+def test_solo_allowances_match_cold(i):
+    ts = _system(i)
+    if not is_feasible(ts):
+        pytest.skip("solo allowances require a feasible base")
+    ctx = AnalysisContext(ts)
+    warm = system_allowance(ts, context=ctx)
+    for t in ts:
+        assert warm[t.name] == cold_solo(ts, t.name)
+    # task_allowance goes through the same context-backed search.
+    first = ts.tasks[0].name
+    assert task_allowance(ts, first, context=ctx) == warm[first]
+
+
+@pytest.mark.parametrize("i", SEARCH_SYSTEMS)
+def test_scaling_factor_matches_cold(i):
+    ts = _system(i)
+    if not is_feasible(ts):
+        pytest.skip("scaling factor requires a feasible base")
+    assert scaling_factor_ppm(ts) == cold_scaling_ppm(ts)
+
+
+def test_probe_order_does_not_change_results():
+    # A context that has served searches (warm tables populated in an
+    # arbitrary order) must still answer base queries cold-identically.
+    for i in range(0, 40, 4):
+        ts = _system(i)
+        if not is_feasible(ts):
+            continue
+        ctx = AnalysisContext(ts)
+        equitable_allowance(ts, context=ctx)
+        system_allowance(ts, context=ctx)
+        cold = analyze(ts)
+        for t in ts:
+            assert ctx.wcrt(t.name) == cold.per_task[t.name].wcrt

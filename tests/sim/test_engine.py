@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.sim import engine as engine_mod
 from repro.sim.engine import Engine, Rank
 
 
@@ -119,3 +120,84 @@ class TestRunUntil:
             eng.schedule(t, lambda: None)
         eng.run()
         assert eng.events_processed == 3
+
+
+class TestHeapDiscipline:
+    """Regression guards for the fused run loop: each event costs one
+    heap pop, and the loop never re-scans the heap head (the old
+    implementation peeked ``heap[0]`` via ``peek_time`` before every
+    ``step``, traversing the heap twice per event)."""
+
+    def test_run_pops_each_event_exactly_once(self, monkeypatch):
+        pops = []
+        real = engine_mod.heappop
+
+        def counting_pop(heap):
+            entry = real(heap)
+            pops.append(entry)
+            return entry
+
+        monkeypatch.setattr(engine_mod, "heappop", counting_pop)
+        eng = Engine()
+        for t in range(100):
+            eng.schedule(t, lambda: None)
+        eng.run()
+        assert eng.events_processed == 100
+        assert len(pops) == 100
+        assert len(set(pops)) == 100  # no entry popped twice
+
+    def test_run_until_pops_the_boundary_event_once(self, monkeypatch):
+        count = [0]
+        real = engine_mod.heappop
+
+        def counting_pop(heap):
+            count[0] += 1
+            return real(heap)
+
+        monkeypatch.setattr(engine_mod, "heappop", counting_pop)
+        eng = Engine()
+        for t in (10, 20, 100):
+            eng.schedule(t, lambda: None)
+        eng.run(until=50)
+        # Two events executed, plus the single over-horizon probe that
+        # is pushed back for the next run — not one probe per event.
+        assert eng.events_processed == 2
+        assert count[0] == 3
+        eng.run()
+        assert eng.events_processed == 3
+
+    def test_run_never_indexes_the_heap_head(self):
+        gets = [0]
+
+        class CountingHeap(list):
+            def __getitem__(self, index):
+                gets[0] += 1
+                return super().__getitem__(index)
+
+        eng = Engine()
+        eng._heap = CountingHeap()
+        for t in range(50):
+            eng.schedule(t, lambda: None)
+        gets[0] = 0
+        eng.run()
+        # heapq's C internals bypass __getitem__; only a Python-level
+        # ``heap[0]`` rescan (the old peek-per-event) would count here.
+        assert eng.events_processed == 50
+        assert gets[0] == 0
+
+    def test_cancelled_entries_are_dropped_lazily(self, monkeypatch):
+        count = [0]
+        real = engine_mod.heappop
+
+        def counting_pop(heap):
+            count[0] += 1
+            return real(heap)
+
+        monkeypatch.setattr(engine_mod, "heappop", counting_pop)
+        eng = Engine()
+        handles = [eng.schedule(t, lambda: None) for t in range(10)]
+        for h in handles[::2]:
+            h.cancel()
+        eng.run()
+        assert eng.events_processed == 5
+        assert count[0] == 10  # each entry popped once, live or dead

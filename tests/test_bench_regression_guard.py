@@ -1,0 +1,103 @@
+"""Unit tests for the CI benchmark regression guard
+(``benchmarks/check_regression.py``)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GUARD = Path(__file__).resolve().parents[1] / "benchmarks" / "check_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_regression", _GUARD)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def _write(tmp_path, name, benches):
+    path = tmp_path / name
+    path.write_text(json.dumps({"schema": 1, "benchmarks": benches}))
+    return path
+
+
+BASE = {
+    "bench::throughput": {"wall_s": 1.0, "events": 100, "events_per_s": 100_000},
+    "bench::walltime_only": {"wall_s": 0.5},
+}
+
+
+class TestCompare:
+    def test_identical_results_pass(self):
+        assert check_regression.compare(BASE, BASE, 0.2) == []
+
+    def test_within_threshold_passes(self):
+        current = {
+            "bench::throughput": {"events_per_s": 81_000},
+        }
+        assert check_regression.compare(BASE, current, 0.2) == []
+
+    def test_beyond_threshold_fails(self):
+        current = {
+            "bench::throughput": {"events_per_s": 79_000},
+        }
+        problems = check_regression.compare(BASE, current, 0.2)
+        assert len(problems) == 1
+        assert "bench::throughput" in problems[0]
+
+    def test_new_entries_without_baseline_pass(self):
+        current = dict(BASE)
+        current["bench::brand_new"] = {"events_per_s": 1}
+        assert check_regression.compare(BASE, current, 0.2) == []
+
+    def test_removed_entries_stop_being_checked(self):
+        assert check_regression.compare(BASE, {}, 0.2) == []
+
+    def test_wall_time_only_entries_are_not_gated(self):
+        current = {"bench::walltime_only": {"wall_s": 50.0}}
+        assert check_regression.compare(BASE, current, 0.2) == []
+
+    def test_tighter_threshold_catches_smaller_drops(self):
+        current = {"bench::throughput": {"events_per_s": 95_000}}
+        assert check_regression.compare(BASE, current, 0.2) == []
+        assert check_regression.compare(BASE, current, 0.01) != []
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, "base.json", BASE)
+        assert check_regression.main([str(path), str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", BASE)
+        cur = _write(
+            tmp_path, "cur.json", {"bench::throughput": {"events_per_s": 1_000}}
+        )
+        assert check_regression.main([str(base), str(cur)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path):
+        base = _write(tmp_path, "base.json", BASE)
+        assert check_regression.main([str(base), str(tmp_path / "nope.json")]) == 2
+
+    def test_threshold_env_knob(self, tmp_path, monkeypatch):
+        base = _write(tmp_path, "base.json", BASE)
+        cur = _write(
+            tmp_path, "cur.json", {"bench::throughput": {"events_per_s": 95_000}}
+        )
+        assert check_regression.main([str(base), str(cur)]) == 0
+        monkeypatch.setenv("BENCH_REGRESSION_THRESHOLD", "0.01")
+        assert check_regression.main([str(base), str(cur)]) == 1
+        # Explicit flag wins over the environment.
+        assert check_regression.main([str(base), str(cur), "--threshold", "0.2"]) == 0
+
+    def test_bad_threshold_exits_two(self, tmp_path):
+        base = _write(tmp_path, "base.json", BASE)
+        assert check_regression.main([str(base), str(base), "--threshold", "1.5"]) == 2
+
+    @pytest.mark.parametrize("payload", ["not json", '{"benchmarks": []}'])
+    def test_malformed_results_exit_two(self, tmp_path, payload):
+        good = _write(tmp_path, "base.json", BASE)
+        bad = tmp_path / "bad.json"
+        bad.write_text(payload)
+        assert check_regression.main([str(good), str(bad)]) == 2
