@@ -17,6 +17,10 @@ Importing this package registers every rule with
 ``RT008``  cold analysis calls (``analyze``, ``wc_response_time``,
            ``is_feasible``) inside ``max_such_that`` predicates in
            ``repro.core`` (must probe via ``AnalysisContext``)
+``RT009``  cross-processor task mutation outside the
+           ``repro.core.partition`` APIs (partitioner privates,
+           snapshot ``assignment`` writes, shard ``detach_task`` /
+           ``adopt_task`` outside the ``repro.sim.mp`` driver)
 ========  =======================================================
 
 To add a rule: subclass :class:`repro.analysis.lint.Rule`, decorate it
@@ -29,6 +33,7 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     engine_ranks,
     executor_discipline,
     immutability,
+    partition_discipline,
     reporting,
     search_discipline,
     time_discipline,

@@ -1,0 +1,122 @@
+"""RT009 — cross-processor task moves go through ``partition.py`` APIs.
+
+The partitioned-multiprocessor subsystem (DESIGN.md §3.6) has exactly
+one mutation authority for task-to-processor assignment: the
+:class:`~repro.core.partition.Partitioner` (``admit`` / ``remove`` /
+``reassign``), which re-checks per-processor feasibility on every move.
+Code that pokes the partitioner's private state (``_assignment``,
+``_subsets``, ``_contexts``) or writes into a snapshot's ``assignment``
+mapping bypasses those admission checks, so the per-partition treatment
+plans and analysis contexts silently go stale.
+
+The shard-level migration mechanics — ``detach_task`` / ``adopt_task``
+on a simulation shard — are equally reserved: only the shared-clock
+driver in ``repro/sim/mp.py`` may call them, and it does so strictly
+after :meth:`~repro.core.partition.Partitioner.reassign` has approved
+the move.  ``repro/core/partition.py`` itself is exempt (it *is* the
+authority).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.lint import Rule, register
+
+__all__ = ["PartitionDiscipline"]
+
+#: Partitioner-private assignment state; touching it outside the
+#: authority module bypasses admission checks.
+_PRIVATE = frozenset({"_assignment", "_subsets", "_contexts"})
+
+#: Shard-level migration mechanics reserved for the shared-clock driver.
+_SHARD_MOVES = frozenset({"detach_task", "adopt_task"})
+
+_HINT = (
+    "move tasks through the Partitioner API (admit / remove / reassign) "
+    "in repro.core.partition — it re-checks per-processor feasibility "
+    "on every mutation; direct state pokes leave plans and contexts stale"
+)
+
+
+def _posix(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def _is_authority(path: str) -> bool:
+    return _posix(path).endswith("repro/core/partition.py")
+
+
+def _is_mp_driver(path: str) -> bool:
+    return _posix(path).endswith("repro/sim/mp.py")
+
+
+@register
+class PartitionDiscipline(Rule):
+    """RT009: cross-processor assignment mutated outside ``partition.py``."""
+
+    code = "RT009"
+    name = "partition-discipline"
+    description = (
+        "Task-to-processor assignment may only change through the "
+        "Partitioner APIs in repro.core.partition; private partition "
+        "state and shard migration mechanics are off limits elsewhere."
+    )
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._authority = _is_authority(ctx.path)
+        self._mp_driver = _is_mp_driver(ctx.path)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not self._authority and node.attr in _PRIVATE:
+            self.report(
+                node,
+                f"access to partitioner-private state .{node.attr} "
+                f"outside repro.core.partition",
+                hint=_HINT,
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            not self._authority
+            and not self._mp_driver
+            and isinstance(func, ast.Attribute)
+            and func.attr in _SHARD_MOVES
+        ):
+            self.report(
+                node,
+                f"shard migration mechanic .{func.attr}() called outside "
+                f"the repro.sim.mp shared-clock driver",
+                hint=_HINT,
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_snapshot_write(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_snapshot_write(node.target, node)
+        self.generic_visit(node)
+
+    def _check_snapshot_write(self, target: ast.AST, node: ast.AST) -> None:
+        """Flag ``something.assignment[task] = processor`` — writing into
+        a :class:`PartitionResult` snapshot (read-only at runtime, but
+        the lint catches it before the traceback does)."""
+        if self._authority:
+            return
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == "assignment"
+        ):
+            self.report(
+                node,
+                "write into a partition snapshot's .assignment mapping",
+                hint=_HINT,
+            )

@@ -70,6 +70,13 @@ from repro.core.jitter import (
     max_tolerable_jitter,
     response_time_with_jitter,
 )
+from repro.core.partition import (
+    Heuristic,
+    PartitionError,
+    Partitioner,
+    PartitionResult,
+    partition_tasks,
+)
 from repro.core.priority_assignment import (
     audsley_opa,
     deadline_monotonic,
@@ -128,6 +135,12 @@ __all__ = [
     "Task",
     "TaskSet",
     "hyperperiod",
+    # partitioned multiprocessor
+    "Heuristic",
+    "PartitionError",
+    "PartitionResult",
+    "Partitioner",
+    "partition_tasks",
     # feasibility
     "LoadTest",
     "load_test",

@@ -1,0 +1,345 @@
+"""Partitioned multiprocessor scheduling (paper §7 / ROADMAP sharding).
+
+The paper's admission control, WCRT analysis and allowance treatments
+are all uniprocessor.  The first step toward the ROADMAP's sharded
+north star is *partitioned* scheduling: every task is statically
+assigned to one processor and each processor runs the unchanged
+uniprocessor analysis and treatments over its own subset.  No task-level
+migration happens at dispatch time — only the explicit, analysed
+migrate-on-fault path (:meth:`Partitioner.reassign`) moves a task, and
+then only its *future releases*.
+
+Four placement heuristics are provided, all operating on tasks in
+decreasing-utilisation order (the classic bin-packing decreasing
+variants):
+
+``first-fit``
+    lowest-numbered processor whose exact utilisation stays <= 1;
+``best-fit``
+    fitting processor with the *least* remaining capacity (tightest
+    pack; frees whole processors for later heavy tasks);
+``worst-fit``
+    fitting processor with the *most* remaining capacity (balances
+    load; evens out per-processor interference);
+``response-time``
+    first processor on which the per-processor
+    :class:`~repro.core.context.AnalysisContext` *proves* the grown
+    subset feasible (exact Lehoczky admission, not the necessary-only
+    ``U <= 1`` test).  This is the only heuristic whose partitions are
+    feasible by construction.
+
+Utilisation comparisons use exact fractions (``cost/period`` over
+integer nanoseconds) — never floats — matching
+:meth:`~repro.core.task.TaskSet.utilization_exact`.
+
+This module is the **sole authority over cross-processor assignment
+state** (lint rule ``RT009``): code elsewhere must route every
+assignment change through :class:`Partitioner` (``admit`` / ``remove`` /
+``reassign``) instead of mutating ``assignment``/``subsets`` mappings
+directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from types import MappingProxyType
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.context import AnalysisContext
+from repro.core.feasibility import FeasibilityReport
+from repro.core.task import Task, TaskSet
+
+__all__ = [
+    "Heuristic",
+    "PartitionError",
+    "PartitionResult",
+    "Partitioner",
+    "partition_tasks",
+]
+
+
+class Heuristic(enum.Enum):
+    """Placement heuristics over decreasing-utilisation task order."""
+
+    FIRST_FIT = "first-fit"
+    BEST_FIT = "best-fit"
+    WORST_FIT = "worst-fit"
+    RESPONSE_TIME = "response-time"
+
+    @property
+    def exact(self) -> bool:
+        """Whether admission uses the exact response-time test (True)
+        or the necessary-only ``U <= 1`` capacity test (False)."""
+        return self is Heuristic.RESPONSE_TIME
+
+
+class PartitionError(ValueError):
+    """No processor can accept a task under the chosen heuristic."""
+
+    def __init__(self, message: str, *, task: str | None = None):
+        super().__init__(message)
+        self.task = task
+
+
+def _utilization_key(task: Task) -> tuple[Fraction, int, str]:
+    """Sort key: decreasing utilisation, ties by decreasing priority
+    then name — fully deterministic for equal-utilisation tasks."""
+    return (-Fraction(task.cost, task.period), -task.priority, task.name)
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """An immutable snapshot of one task-to-processor assignment.
+
+    ``assignment`` maps task name to processor index; ``subsets[p]`` is
+    processor *p*'s priority-ordered :class:`~repro.core.task.TaskSet`.
+    Snapshots are produced by :func:`partition_tasks` /
+    :meth:`Partitioner.result` and never mutated — the live assignment
+    authority is the :class:`Partitioner` (rule ``RT009``).
+    """
+
+    heuristic: Heuristic
+    processors: int
+    assignment: Mapping[str, int]
+    subsets: tuple[TaskSet, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignment", MappingProxyType(dict(self.assignment)))
+
+    def processor_of(self, name: str) -> int:
+        return self.assignment[name]
+
+    def subset(self, processor: int) -> TaskSet:
+        return self.subsets[processor]
+
+    def utilization_exact(self, processor: int) -> Fraction:
+        num, den = self.subsets[processor].utilization_exact()
+        return Fraction(num, den)
+
+    def utilizations(self) -> tuple[Fraction, ...]:
+        return tuple(self.utilization_exact(p) for p in range(self.processors))
+
+    def analyze(self, *, context: AnalysisContext | None = None) -> dict[int, FeasibilityReport]:
+        """Per-processor feasibility reports (uniprocessor analysis of
+        each subset, optionally served from a shared memo *context*)."""
+        ctx = context if context is not None else AnalysisContext(TaskSet(()))
+        return {
+            p: ctx.analyze_set(self.subsets[p])
+            for p in range(self.processors)
+            if len(self.subsets[p])
+        }
+
+    @property
+    def feasible(self) -> bool:
+        """Every non-empty subset passes the exact uniprocessor test."""
+        return all(report.feasible for report in self.analyze().values())
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form (manifests, exhibits)."""
+        return {
+            "heuristic": self.heuristic.value,
+            "processors": self.processors,
+            "assignment": dict(sorted(self.assignment.items())),
+        }
+
+
+class Partitioner:
+    """The live, mutable task-to-processor assignment.
+
+    Owns one :class:`~repro.core.context.AnalysisContext` per processor
+    (all sharing one exact-input memo), so repeated admission probes —
+    the response-time heuristic, migrate-on-fault re-admission, RTSJ
+    ``isFeasible`` trials — warm-start instead of re-running the full
+    fixed point (DESIGN.md §3.5/§3.6).
+
+    Every cross-processor mutation in the repo flows through ``admit`` /
+    ``remove`` / ``reassign`` here; lint rule ``RT009`` rejects direct
+    mutation of partition assignment state anywhere else.
+    """
+
+    def __init__(
+        self,
+        processors: int,
+        *,
+        heuristic: Heuristic = Heuristic.RESPONSE_TIME,
+        memo: dict | None = None,
+    ):
+        if processors <= 0:
+            raise ValueError(f"processors must be > 0, got {processors}")
+        self.processors = processors
+        self.heuristic = heuristic
+        self._memo: dict = memo if memo is not None else {}
+        self._subsets: list[list[Task]] = [[] for _ in range(processors)]
+        self._assignment: dict[str, int] = {}
+        self._contexts: list[AnalysisContext | None] = [None] * processors
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def assignment(self) -> Mapping[str, int]:
+        """Read-only view of the current assignment."""
+        return MappingProxyType(self._assignment)
+
+    def processor_of(self, name: str) -> int:
+        return self._assignment[name]
+
+    def subset(self, processor: int) -> TaskSet:
+        return TaskSet(self._subsets[processor])
+
+    def utilization_exact(self, processor: int) -> Fraction:
+        num, den = self.subset(processor).utilization_exact()
+        return Fraction(num, den)
+
+    def context(self, processor: int) -> AnalysisContext:
+        """The processor's warm analysis context (rebuilt lazily after a
+        membership change; the exact-input memo is shared, so rebuilt
+        contexts keep every previously computed WCRT)."""
+        ctx = self._contexts[processor]
+        if ctx is None:
+            ctx = AnalysisContext(self.subset(processor), memo=self._memo)
+            self._contexts[processor] = ctx
+        return ctx
+
+    def result(self) -> PartitionResult:
+        return PartitionResult(
+            heuristic=self.heuristic,
+            processors=self.processors,
+            assignment=dict(self._assignment),
+            subsets=tuple(self.subset(p) for p in range(self.processors)),
+        )
+
+    # -- admission -----------------------------------------------------------
+    def fits(self, task: Task, processor: int) -> bool:
+        """Would *processor* accept *task* under this heuristic's test?"""
+        if self.heuristic.exact:
+            trial = TaskSet([*self._subsets[processor], task])
+            return self.context(processor).is_feasible_set(trial)
+        num, den = TaskSet([*self._subsets[processor], task]).utilization_exact()
+        return num <= den
+
+    def try_admit(self, task: Task, *, pin: int | None = None) -> int | None:
+        """Admit *task* to the processor the heuristic chooses (or the
+        pinned one); returns the processor index, or None when no
+        processor passes the admission test."""
+        if task.name in self._assignment:
+            raise ValueError(f"task {task.name!r} is already assigned")
+        if pin is not None:
+            if not 0 <= pin < self.processors:
+                raise ValueError(f"pinned processor {pin} out of range")
+            candidates: Sequence[int] = (pin,)
+        else:
+            candidates = self._candidate_order(task)
+        for processor in candidates:
+            if self.fits(task, processor):
+                self._place(task, processor)
+                return processor
+        return None
+
+    def admit(self, task: Task, *, pin: int | None = None) -> int:
+        """Like :meth:`try_admit`, but a failed admission raises."""
+        processor = self.try_admit(task, pin=pin)
+        if processor is None:
+            where = f"processor {pin}" if pin is not None else f"any of {self.processors} processors"
+            raise PartitionError(
+                f"{self.heuristic.value}: task {task.name!r} "
+                f"(C={task.cost}, T={task.period}) does not fit on {where}",
+                task=task.name,
+            )
+        return processor
+
+    def remove(self, name: str) -> int:
+        """Remove the named task; returns the processor it was on."""
+        processor = self._assignment.pop(name)
+        self._subsets[processor] = [t for t in self._subsets[processor] if t.name != name]
+        self._contexts[processor] = None
+        return processor
+
+    def reassign(self, name: str, target: int) -> int:
+        """Move the named task to *target* — the sanctioned cross-
+        processor mutation (migrate-on-fault).  The move is admission-
+        checked on the target with the exact response-time test;
+        returns the source processor.  Raises :class:`PartitionError`
+        when the target cannot take the task."""
+        source = self._assignment[name]
+        if not 0 <= target < self.processors:
+            raise ValueError(f"target processor {target} out of range")
+        if target == source:
+            return source
+        task = next(t for t in self._subsets[source] if t.name == name)
+        trial = TaskSet([*self._subsets[target], task])
+        if not self.context(target).is_feasible_set(trial):
+            raise PartitionError(
+                f"cannot reassign {name!r} to processor {target}: subset infeasible",
+                task=name,
+            )
+        self.remove(name)
+        self._place(task, target)
+        return source
+
+    def least_loaded_feasible(
+        self, task: Task, *, exclude: Iterable[int] = ()
+    ) -> int | None:
+        """The least-utilised processor (ties: lowest index) whose
+        subset stays *exactly* feasible with *task* added — the
+        migrate-on-fault target — or None when no processor qualifies."""
+        skip = set(exclude)
+        order = sorted(
+            (p for p in range(self.processors) if p not in skip),
+            key=lambda p: (self.utilization_exact(p), p),
+        )
+        for processor in order:
+            trial = TaskSet([*self._subsets[processor], task])
+            if self.context(processor).is_feasible_set(trial):
+                return processor
+        return None
+
+    # -- internals -----------------------------------------------------------
+    def _place(self, task: Task, processor: int) -> None:
+        self._subsets[processor].append(task)
+        self._assignment[task.name] = processor
+        self._contexts[processor] = None
+
+    def _candidate_order(self, task: Task) -> list[int]:
+        pids = range(self.processors)
+        if self.heuristic is Heuristic.BEST_FIT:
+            # Tightest fit first: most-utilised processor that still fits.
+            return sorted(pids, key=lambda p: (-self.utilization_exact(p), p))
+        if self.heuristic is Heuristic.WORST_FIT:
+            # Most headroom first: least-utilised processor.
+            return sorted(pids, key=lambda p: (self.utilization_exact(p), p))
+        # FIRST_FIT and RESPONSE_TIME scan processors in index order.
+        return list(pids)
+
+
+def partition_tasks(
+    taskset: TaskSet,
+    processors: int,
+    heuristic: Heuristic = Heuristic.RESPONSE_TIME,
+    *,
+    pinned: Mapping[str, int] | None = None,
+    memo: dict | None = None,
+) -> PartitionResult:
+    """Partition *taskset* over *processors* with *heuristic*.
+
+    Tasks are placed in decreasing-utilisation order (exact fractions;
+    ties broken by priority then name).  *pinned* tasks are placed
+    first, on their required processor — the admission test still runs,
+    so an infeasible pin raises like any other failed placement.
+
+    Raises :class:`PartitionError` when any task cannot be placed; use
+    :class:`Partitioner` directly for incremental / best-effort flows.
+    """
+    pins = dict(pinned or {})
+    unknown = set(pins) - {t.name for t in taskset}
+    if unknown:
+        raise ValueError(f"pinned unknown tasks: {sorted(unknown)}")
+    partitioner = Partitioner(processors, heuristic=heuristic, memo=memo)
+    ordered = sorted(taskset, key=_utilization_key)
+    for task in ordered:
+        if task.name in pins:
+            partitioner.admit(task, pin=pins[task.name])
+    for task in ordered:
+        if task.name not in pins:
+            partitioner.admit(task)
+    return partitioner.result()

@@ -24,12 +24,14 @@ import time
 from typing import Callable, Mapping, Sequence
 
 from repro.core.faults import CostOverrun, CostUnderrun, FaultInjector, FaultModel
+from repro.core.partition import Heuristic
 from repro.core.task import TaskSet
 from repro.core.treatments import TreatmentKind, TreatmentPlan
 from repro.exec.spec import ExperimentSpec
 from repro.obs import runtime as obs_runtime
 from repro.sim.engine import EngineObserver
 from repro.sim.locking import LockProtocol, SectionSpec
+from repro.sim.mp import MPSimResult, simulate_partitioned
 from repro.sim.simulation import SimResult, simulate
 from repro.sim.trace import TeeSink, TraceSink
 from repro.sim.vm import EXACT_VM, JRATE_VM, VMProfile
@@ -43,6 +45,7 @@ __all__ = [
     "vm_key_for",
     "resolve_scenario",
     "run_simulation",
+    "run_mp_simulation",
     "simulate_spec",
 ]
 
@@ -189,6 +192,59 @@ def run_simulation(
         registry = cfg.metrics.registry
         registry.counter("engine_events_total").inc(result.events_processed)
         registry.counter("engine_runs_total").inc()
+        if wall1 > wall0:
+            registry.gauge("engine_events_per_s").set(
+                result.events_processed * 1_000_000_000 // (wall1 - wall0)
+            )
+    return result
+
+
+def run_mp_simulation(
+    taskset: TaskSet,
+    *,
+    processors: int,
+    heuristic: Heuristic = Heuristic.RESPONSE_TIME,
+    horizon: int,
+    faults: FaultModel | None = None,
+    treatment: TreatmentKind | None = None,
+    vm: VMProfile = EXACT_VM,
+    migrate_on_fault: bool = False,
+    pinned: Mapping[str, int] | None = None,
+) -> MPSimResult:
+    """Run one partitioned multiprocessor simulation for the
+    experiments layer (the ``RT006``-sanctioned route to
+    :func:`repro.sim.mp.simulate_partitioned`).
+
+    The ambient observability config receives per-processor engine
+    counters and busy-time gauges (labelled ``processor=<p>``) plus the
+    aggregate event count, so a multiprocessor run shows up in the
+    metrics registry with the same vocabulary as a uniprocessor one.
+    """
+    cfg = obs_runtime.current()
+    wall0 = time.perf_counter_ns()  # noqa: RT002 - engine-throughput metadata, not simulated time
+    result = simulate_partitioned(
+        taskset,
+        processors=processors,
+        heuristic=heuristic,
+        horizon=horizon,
+        faults=faults,
+        treatment=treatment,
+        vm=vm,
+        migrate_on_fault=migrate_on_fault,
+        pinned=pinned,
+    )
+    if cfg is not None and cfg.metrics is not None:
+        wall1 = time.perf_counter_ns()  # noqa: RT002 - engine-throughput metadata, not simulated time
+        registry = cfg.metrics.registry
+        registry.counter("engine_events_total").inc(result.events_processed)
+        registry.counter("engine_runs_total").inc()
+        registry.counter("mp_runs_total").inc()
+        registry.counter("mp_migrations_total").inc(len(result.migrations))
+        for p, shard in enumerate(result.per_processor):
+            registry.counter(
+                "mp_engine_events_total", processor=str(p)
+            ).inc(shard.events_processed)
+            registry.gauge("mp_busy_time_ns", processor=str(p)).set(shard.busy_time)
         if wall1 > wall0:
             registry.gauge("engine_events_per_s").set(
                 result.events_processed * 1_000_000_000 // (wall1 - wall0)

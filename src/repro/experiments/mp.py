@@ -1,0 +1,397 @@
+"""Multiprocessor exhibits: partitioning heuristics and migrate-on-fault.
+
+Two exhibits extend the experiment registry past the paper's single
+processor (DESIGN.md §3.6):
+
+* ``mp_partition_heuristics`` — sweeps the four placement heuristics
+  over a seeded pool of random systems whose total utilisation exceeds
+  one processor, and differentially checks simulated response times
+  against the per-processor analysis for the exactly-admitted
+  partitions;
+* ``mp_fault_migration`` — a deterministic two-processor scenario with
+  a repeatedly faulty task, run with migrate-on-fault off and on, so
+  the collateral damage the migration removes is pinned.
+
+Exhibit results hold only plain tuples/ints/floats/strings so they
+pickle across :class:`~repro.exec.executor.PoolExecutor` workers and
+into the result cache.  All simulations flow through
+:mod:`repro.exec.sim` (lint rule RT006); all assignment state flows
+through :mod:`repro.core.partition` (lint rule RT009).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.context import AnalysisContext
+from repro.core.faults import CostOverrun, FaultInjector
+from repro.core.partition import Heuristic, PartitionError, partition_tasks
+from repro.core.task import Task, TaskSet
+from repro.core.treatments import TreatmentKind
+from repro.exec.sim import run_mp_simulation
+from repro.exec.spec import ExperimentSpec
+from repro.experiments.paper import Claim
+from repro.rng import derive_rng
+from repro.units import ms, to_ms
+from repro.viz.tables import format_table
+from repro.workloads.generator import GeneratorConfig, random_taskset
+
+__all__ = [
+    "HeuristicRow",
+    "MPPartitionResult",
+    "MPMigrationResult",
+    "mp_partition_heuristics_spec",
+    "mp_fault_migration_spec",
+    "build_mp_partitions",
+    "build_mp_migration",
+]
+
+#: Heuristic sweep order (presentation order of the exhibit table).
+_HEURISTICS = (
+    Heuristic.FIRST_FIT,
+    Heuristic.BEST_FIT,
+    Heuristic.WORST_FIT,
+    Heuristic.RESPONSE_TIME,
+)
+
+
+def _mp_pool(count: int, *, n: int, utilization: float, seed: int) -> list[TaskSet]:
+    """Seeded random systems heavy enough to need several processors.
+
+    Periods are drawn on a coarse 10 ms grid so hyperperiods stay small
+    enough to simulate; total utilisation > 1 makes single-processor
+    placement impossible and multi-processor placement non-trivial.
+    """
+    rng = derive_rng(seed, "mp-pool", count, n)
+    cfg = GeneratorConfig(
+        n=n,
+        utilization=utilization,
+        period_lo=ms(10),
+        period_hi=ms(80),
+        period_granularity=ms(10),
+        deadline_factor=0.9,
+    )
+    return [random_taskset(cfg, rng=rng) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class HeuristicRow:
+    """One heuristic's outcome over the pool."""
+
+    heuristic: str
+    placed: int  # systems where every task found a processor
+    feasible: int  # placed systems whose subsets all pass exact analysis
+    #: Mean over placed systems of the most-loaded processor's
+    #: utilisation (lower = better balanced), in ppm for exactness.
+    peak_load_ppm: int
+
+
+@dataclass(frozen=True)
+class MPPartitionResult:
+    """The ``mp_partition_heuristics`` exhibit."""
+
+    processors: int
+    systems: int
+    rows: tuple[HeuristicRow, ...]
+    #: Differential check over simulated response-time partitions:
+    #: (systems simulated, jobs checked, WCRT violations, deadline misses).
+    sim_systems: int
+    sim_jobs: int
+    sim_wcrt_violations: int
+    sim_deadline_misses: int
+
+    def _by_name(self) -> dict[str, HeuristicRow]:
+        return {r.heuristic: r for r in self.rows}
+
+    def render(self) -> str:
+        rows = [
+            (r.heuristic, r.placed, r.feasible, f"{r.peak_load_ppm / 10_000:.2f}%")
+            for r in self.rows
+        ]
+        table = format_table(
+            ["heuristic", "placed", "feasible", "mean peak load"],
+            rows,
+            title=(
+                f"Partitioning heuristics - {self.systems} systems over "
+                f"{self.processors} processors"
+            ),
+        )
+        tail = (
+            f"\ndifferential check: {self.sim_jobs} jobs over "
+            f"{self.sim_systems} simulated partitions, "
+            f"{self.sim_wcrt_violations} WCRT violations, "
+            f"{self.sim_deadline_misses} deadline misses"
+        )
+        return table + tail
+
+    def claims(self) -> list[Claim]:
+        by = self._by_name()
+        exact = by["response-time"]
+        load_based = [by[h.value] for h in _HEURISTICS if h is not Heuristic.RESPONSE_TIME]
+        return [
+            Claim(
+                "response-time admission only builds feasible partitions",
+                exact.feasible == exact.placed,
+            ),
+            Claim(
+                "exact admission places at least as many systems as any "
+                "load-based heuristic",
+                all(exact.placed >= r.placed for r in load_based),
+            ),
+            Claim(
+                "some load-based placement is analytically infeasible "
+                "(U <= 1 per processor is not sufficient)",
+                any(r.feasible < r.placed for r in load_based),
+            ),
+            Claim(
+                "worst-fit balances load no worse than best-fit",
+                by["worst-fit"].peak_load_ppm <= by["best-fit"].peak_load_ppm,
+            ),
+            Claim(
+                "simulated response times never exceed the per-processor "
+                "analytic WCRT",
+                self.sim_jobs > 0 and self.sim_wcrt_violations == 0,
+            ),
+            Claim(
+                "no deadline miss in any exactly-admitted partition",
+                self.sim_deadline_misses == 0,
+            ),
+        ]
+
+
+def mp_partition_heuristics_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        name="mp_partition_heuristics",
+        builder="mp.partitions",
+        seed=11,
+        params={
+            "processors": 2,
+            "pool": 12,
+            "n": 8,
+            "utilization": 1.25,
+            "sim_count": 3,
+        },
+    )
+
+
+def build_mp_partitions(spec: ExperimentSpec) -> MPPartitionResult:
+    processors = spec.param("processors", 2)
+    pool = _mp_pool(
+        spec.param("pool", 12),
+        n=spec.param("n", 8),
+        utilization=spec.param("utilization", 1.25),
+        seed=spec.seed,
+    )
+    memo: dict = {}
+    ctx = AnalysisContext(TaskSet(()), memo=memo)
+    rows: list[HeuristicRow] = []
+    exact_systems: list[TaskSet] = []
+    for heuristic in _HEURISTICS:
+        placed = feasible = 0
+        peaks: list[Fraction] = []
+        for system in pool:
+            try:
+                part = partition_tasks(system, processors, heuristic, memo=memo)
+            except PartitionError:
+                continue
+            placed += 1
+            peaks.append(max(part.utilizations()))
+            reports = part.analyze(context=ctx)
+            if all(r.feasible for r in reports.values()):
+                feasible += 1
+                if heuristic is Heuristic.RESPONSE_TIME:
+                    exact_systems.append(system)
+        mean_peak = sum(peaks) / len(peaks) if peaks else Fraction(0)
+        rows.append(
+            HeuristicRow(
+                heuristic=heuristic.value,
+                placed=placed,
+                feasible=feasible,
+                peak_load_ppm=int(mean_peak * 1_000_000),
+            )
+        )
+
+    # Differential check: simulate a few exactly-admitted partitions
+    # from the synchronous critical instant and compare every observed
+    # response time with the per-processor analytic WCRT.
+    sim_systems = sim_jobs = violations = misses = 0
+    for system in exact_systems[: spec.param("sim_count", 3)]:
+        horizon = min(system.hyperperiod(), ms(500))
+        result = run_mp_simulation(
+            system,
+            processors=processors,
+            heuristic=Heuristic.RESPONSE_TIME,
+            horizon=horizon,
+        )
+        sim_systems += 1
+        misses += len(result.missed())
+        for shard in result.per_processor:
+            report = ctx.analyze_set(shard.taskset)
+            for job in shard.jobs.values():
+                if job.response_time is None:
+                    continue
+                sim_jobs += 1
+                wcrt = report.per_task[job.name].wcrt
+                if wcrt is None or job.response_time > wcrt:
+                    violations += 1
+    return MPPartitionResult(
+        processors=processors,
+        systems=len(pool),
+        rows=tuple(rows),
+        sim_systems=sim_systems,
+        sim_jobs=sim_jobs,
+        sim_wcrt_violations=violations,
+        sim_deadline_misses=misses,
+    )
+
+
+# -- migrate-on-fault ----------------------------------------------------------
+
+
+def _migration_taskset() -> TaskSet:
+    """Two processors' worth of tasks: the faulty high-priority task
+    and its low-priority victim share processor 0; processor 1 holds
+    one light task with enough slack to absorb the migrated faults."""
+    return TaskSet(
+        [
+            Task("tau_f", cost=ms(10), period=ms(50), priority=20),
+            Task("tau_v", cost=ms(30), period=ms(100), priority=10),
+            Task("tau_s", cost=ms(10), period=ms(100), priority=15),
+        ]
+    )
+
+
+_MIGRATION_PINNED = {"tau_f": 0, "tau_v": 0, "tau_s": 1}
+
+
+@dataclass(frozen=True)
+class MPMigrationResult:
+    """The ``mp_fault_migration`` exhibit: one faulty-task scenario run
+    without and with migrate-on-fault."""
+
+    horizon_ms: int
+    fault_extra_ms: int
+    #: Without migration: collateral deadline misses of the victim.
+    victim_misses_static: int
+    #: With migration enabled.
+    victim_misses_migrated: int
+    spare_misses_migrated: int
+    migrations: tuple[tuple[int, str, int, int], ...]  # (time, task, src, dst)
+    faulty_final_processor: int
+    #: Release-instant drift of migrated jobs (must be 0: migration
+    #: preserves ``offset + index * period``).
+    release_drift: int
+
+    def render(self) -> str:
+        rows = [
+            ("static (no migration)", self.victim_misses_static, "-"),
+            (
+                "migrate-on-fault",
+                self.victim_misses_migrated,
+                len(self.migrations),
+            ),
+        ]
+        table = format_table(
+            ["policy", "victim misses", "migrations"],
+            rows,
+            title=(
+                f"Migrate-on-fault - tau_f overruns +{self.fault_extra_ms} ms "
+                f"over {self.horizon_ms} ms"
+            ),
+        )
+        moves = ", ".join(
+            f"{task}: cpu{src}->cpu{dst} @{to_ms(t)}ms"
+            for t, task, src, dst in self.migrations
+        )
+        return table + (f"\nmigrations: {moves}" if moves else "")
+
+    def claims(self) -> list[Claim]:
+        return [
+            Claim(
+                "without migration the co-located victim suffers collateral "
+                "deadline misses",
+                self.victim_misses_static > 0,
+            ),
+            Claim(
+                "the first fault triggers exactly one migration",
+                len(self.migrations) == 1,
+            ),
+            Claim(
+                "the faulty task ends up on the least-loaded processor",
+                self.faulty_final_processor == 1,
+            ),
+            Claim(
+                "migration removes every subsequent collateral miss",
+                self.victim_misses_migrated < self.victim_misses_static
+                and self.victim_misses_migrated <= 1,
+            ),
+            Claim(
+                "the target processor's resident task stays miss-free",
+                self.spare_misses_migrated == 0,
+            ),
+            Claim(
+                "migrated releases keep their period boundaries",
+                self.release_drift == 0,
+            ),
+        ]
+
+
+def mp_fault_migration_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        name="mp_fault_migration",
+        builder="mp.migration",
+        horizon=ms(600),
+        treatment="detect-only",
+        params={
+            "processors": 2,
+            "fault_extra_ms": 60,
+            "fault_every": 2,
+            "fault_count": 6,
+        },
+    )
+
+
+def build_mp_migration(spec: ExperimentSpec) -> MPMigrationResult:
+    taskset = _migration_taskset()
+    horizon = spec.horizon if spec.horizon is not None else ms(600)
+    extra = ms(spec.param("fault_extra_ms", 60))
+    step = spec.param("fault_every", 2)
+    count = spec.param("fault_count", 6)
+    faults = FaultInjector(
+        [CostOverrun("tau_f", j, extra) for j in range(0, count * step, step)]
+    )
+    treatment = TreatmentKind(spec.treatment) if spec.treatment else TreatmentKind.DETECT_ONLY
+
+    def run(migrate: bool):
+        return run_mp_simulation(
+            taskset,
+            processors=spec.param("processors", 2),
+            heuristic=Heuristic.RESPONSE_TIME,
+            pinned=_MIGRATION_PINNED,
+            horizon=horizon,
+            faults=faults,
+            treatment=treatment,
+            migrate_on_fault=migrate,
+        )
+
+    static = run(migrate=False)
+    migrated = run(migrate=True)
+
+    tau_f = taskset["tau_f"]
+    drift = sum(
+        abs(job.release - tau_f.release_time(job.index))
+        for job in migrated.jobs_of("tau_f")
+    )
+    return MPMigrationResult(
+        horizon_ms=int(to_ms(horizon)),
+        fault_extra_ms=int(to_ms(extra)),
+        victim_misses_static=len(static.missed("tau_v")),
+        victim_misses_migrated=len(migrated.missed("tau_v")),
+        spare_misses_migrated=len(migrated.missed("tau_s")),
+        migrations=tuple(
+            (m.time, m.task, m.source, m.target) for m in migrated.migrations
+        ),
+        faulty_final_processor=migrated.partition.processor_of("tau_f"),
+        release_drift=drift,
+    )

@@ -5,7 +5,7 @@ This module is the glue between the declarative layer
 ``builder`` string each :class:`~repro.exec.spec.ExperimentSpec`
 carries onto the module-level function that materialises it, and
 enumerates the canonical spec list of the reproduction (nine paper
-exhibits plus six ablations).
+exhibits, six ablations, two multiprocessor exhibits).
 
 :func:`build_exhibit` is deliberately a plain module-level function so
 it pickles into :class:`~repro.exec.executor.PoolExecutor` workers.
@@ -16,13 +16,14 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from repro.exec.spec import ExperimentSpec
-from repro.experiments import ablations, paper, runner
+from repro.experiments import ablations, mp, paper, runner
 
 __all__ = [
     "BUILDERS",
     "build_exhibit",
     "paper_specs",
     "ablation_specs",
+    "mp_specs",
     "all_specs",
     "spec_for",
 ]
@@ -44,6 +45,8 @@ BUILDERS: Mapping[str, Callable[[ExperimentSpec], Any]] = {
     "ablation.overhead": ablations.build_ablation_overhead,
     "ablation.blocking": ablations.build_ablation_blocking,
     "ablation.servers": ablations.build_ablation_servers,
+    "mp.partitions": mp.build_mp_partitions,
+    "mp.migration": mp.build_mp_migration,
     "runner.scenario": runner.build_scenario,
 }
 
@@ -87,9 +90,17 @@ def ablation_specs() -> list[ExperimentSpec]:
     ]
 
 
+def mp_specs() -> list[ExperimentSpec]:
+    """The multiprocessor exhibits, in presentation order."""
+    return [
+        mp.mp_partition_heuristics_spec(),
+        mp.mp_fault_migration_spec(),
+    ]
+
+
 def all_specs() -> list[ExperimentSpec]:
-    """Every registered exhibit spec (paper first, then ablations)."""
-    return paper_specs() + ablation_specs()
+    """Every registered exhibit spec (paper, ablations, multiprocessor)."""
+    return paper_specs() + ablation_specs() + mp_specs()
 
 
 def spec_for(name: str) -> ExperimentSpec:

@@ -19,6 +19,7 @@ from repro.rtsj.params import (
     AperiodicParameters,
     PeriodicParameters,
     PriorityParameters,
+    ProcessingGroupParameters,
     ReleaseParameters,
     SchedulingParameters,
     SporadicParameters,
@@ -26,6 +27,7 @@ from repro.rtsj.params import (
 from repro.rtsj.scheduler import (
     ExtendedPriorityScheduler,
     JRatePriorityScheduler,
+    MultiprocessorPriorityScheduler,
     PriorityScheduler,
     RIPriorityScheduler,
     Scheduler,
@@ -50,6 +52,8 @@ __all__ = [
     "RIPriorityScheduler",
     "JRatePriorityScheduler",
     "ExtendedPriorityScheduler",
+    "MultiprocessorPriorityScheduler",
+    "ProcessingGroupParameters",
     "RealtimeThread",
     "RealtimeSystem",
     "AsyncEvent",

@@ -33,7 +33,11 @@ from repro.core import allowance as _allowance
 from repro.core.context import AnalysisContext
 from repro.core.task import TaskSet
 from repro.core.treatments import TreatmentKind
-from repro.rtsj.params import PeriodicParameters, PriorityParameters
+from repro.rtsj.params import (
+    PeriodicParameters,
+    PriorityParameters,
+    ProcessingGroupParameters,
+)
 from repro.rtsj.scheduler import ExtendedPriorityScheduler, Scheduler
 from repro.rtsj.thread import RealtimeThread
 from repro.rtsj.timer import AsyncEventHandler, PeriodicTimer
@@ -92,6 +96,11 @@ class RealtimeThreadExtended(RealtimeThread):
 
     *treatment* selects the §4 policy applied when this thread's
     detector catches a fault (default: detect only, Figure 4).
+
+    *group* (``ProcessingGroupParameters``) pins the thread to one
+    processor for partitioned multiprocessor scheduling; the
+    :class:`~repro.rtsj.scheduler.MultiprocessorPriorityScheduler`
+    honours the pin during admission.
     """
 
     def __init__(
@@ -103,6 +112,7 @@ class RealtimeThreadExtended(RealtimeThread):
         name: str | None = None,
         scheduler: Scheduler | None = None,
         treatment: TreatmentKind = TreatmentKind.DETECT_ONLY,
+        group: ProcessingGroupParameters | None = None,
     ):
         if scheduler is None and not isinstance(
             system.scheduler, ExtendedPriorityScheduler
@@ -118,12 +128,22 @@ class RealtimeThreadExtended(RealtimeThread):
             scheduler = cached
         super().__init__(scheduling, release, system, name=name, scheduler=scheduler)
         self.treatment = treatment
+        self._group = group
         # §3.1 state read by the detector.
         self.job_counter = 0  # completed jobs
         self.job_finished = True  # no job in progress initially
         self.detector: PeriodicTimer | None = None
         self.detector_threshold: int | None = None
         self.faults_detected: list[int] = []
+
+    # -- processing-group affinity (partitioned multiprocessor) -------------------
+    def getProcessingGroupParameters(self) -> ProcessingGroupParameters | None:  # noqa: N802
+        return self._group
+
+    def setProcessingGroupParameters(  # noqa: N802
+        self, group: ProcessingGroupParameters | None
+    ) -> None:
+        self._group = group
 
     # -- overloaded RTSJ methods (the paper's §2.3, §3.1) -------------------------
     def addToFeasibility(self) -> bool:  # noqa: N802

@@ -15,6 +15,7 @@ from repro.rtsj.time import RelativeTime
 __all__ = [
     "SchedulingParameters",
     "PriorityParameters",
+    "ProcessingGroupParameters",
     "ReleaseParameters",
     "PeriodicParameters",
     "AperiodicParameters",
@@ -48,6 +49,34 @@ class PriorityParameters(SchedulingParameters):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PriorityParameters({self._priority})"
+
+
+class ProcessingGroupParameters(SchedulingParameters):
+    """Processor affinity for partitioned multiprocessor scheduling.
+
+    RTSJ groups schedulables via ``ProcessingGroupParameters``; here the
+    group names the processor its members are bound to.  A thread
+    carrying these parameters is *pinned*: the partitioning heuristics
+    must place it on ``processor`` (admission still runs — an
+    infeasible pin is rejected, not silently honoured).  Threads
+    without a group float and land wherever the heuristic decides.
+    """
+
+    def __init__(self, processor: int | None = None):
+        self._processor: int | None = None
+        if processor is not None:
+            self.setProcessor(processor)
+
+    def getProcessor(self) -> int | None:  # noqa: N802 - RTSJ naming
+        return self._processor
+
+    def setProcessor(self, processor: int | None) -> None:  # noqa: N802
+        if processor is not None and int(processor) < 0:
+            raise ValueError(f"processor must be >= 0, got {processor}")
+        self._processor = None if processor is None else int(processor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessingGroupParameters({self._processor})"
 
 
 class ReleaseParameters:

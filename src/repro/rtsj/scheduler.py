@@ -22,6 +22,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core.context import AnalysisContext
+from repro.core.partition import (
+    Heuristic,
+    PartitionError,
+    PartitionResult,
+    partition_tasks,
+)
 from repro.core.task import Task, TaskSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -33,6 +39,7 @@ __all__ = [
     "RIPriorityScheduler",
     "JRatePriorityScheduler",
     "ExtendedPriorityScheduler",
+    "MultiprocessorPriorityScheduler",
 ]
 
 
@@ -123,3 +130,90 @@ class ExtendedPriorityScheduler(PriorityScheduler):
         if not self._feasibility_set:
             return True
         return self._analysis.is_feasible_set(_as_taskset(self._feasibility_set))
+
+
+class MultiprocessorPriorityScheduler(PriorityScheduler):
+    """Partitioned multiprocessor admission control (DESIGN.md §3.6).
+
+    ``isFeasible`` asks the configured placement heuristic to partition
+    the current feasibility set over *processors*; the set is feasible
+    exactly when every schedulable can be placed (pinned threads — via
+    :class:`~repro.rtsj.params.ProcessingGroupParameters` — on their
+    required processor) **and** every resulting subset passes the exact
+    per-processor analysis.  Placement probes share one exact-input
+    memo across calls, so repeated ``addToFeasibility`` re-partitions
+    warm.
+    """
+
+    def __init__(
+        self,
+        processors: int,
+        *,
+        heuristic: Heuristic = Heuristic.RESPONSE_TIME,
+    ):
+        super().__init__()
+        if processors <= 0:
+            raise ValueError(f"processors must be > 0, got {processors}")
+        self.processors = processors
+        self.heuristic = heuristic
+        #: Shared exact-input WCRT memo, kept across partition attempts.
+        self._memo: dict = {}
+        self._partition: PartitionResult | None = None
+
+    @staticmethod
+    def _pin_of(thread: "RealtimeThread") -> int | None:
+        group = getattr(thread, "getProcessingGroupParameters", None)
+        if group is None:
+            return None
+        params = group()
+        return params.getProcessor() if params is not None else None
+
+    def partition(self) -> PartitionResult | None:
+        """Partition the feasibility set with the chosen heuristic.
+
+        Returns the assignment, or None when some thread cannot be
+        placed.  The result is also cached for :meth:`processor_of`.
+        """
+        threads = self._feasibility_set
+        pinned = {
+            t.name: pin for t in threads if (pin := self._pin_of(t)) is not None
+        }
+        for name, pin in pinned.items():
+            if pin >= self.processors:
+                raise ValueError(
+                    f"{name}: pinned to processor {pin} but scheduler has "
+                    f"{self.processors}"
+                )
+        try:
+            self._partition = partition_tasks(
+                _as_taskset(threads),
+                self.processors,
+                self.heuristic,
+                pinned=pinned,
+                memo=self._memo,
+            )
+        except PartitionError:
+            self._partition = None
+        return self._partition
+
+    def processor_of(self, thread: "RealtimeThread") -> int | None:
+        """The processor the last partition placed *thread* on."""
+        if self._partition is None:
+            return None
+        return self._partition.assignment.get(thread.name)
+
+    def isFeasible(self) -> bool:  # noqa: N802
+        if not self._feasibility_set:
+            return True
+        partition = self.partition()
+        if partition is None:
+            return False
+        # Load-based heuristics can place every task and still yield an
+        # analytically infeasible subset (U <= 1 is only necessary);
+        # the verdict is always the exact per-processor analysis.
+        if self.heuristic.exact:
+            return True
+        ctx = AnalysisContext(TaskSet([]), memo=self._memo)
+        return all(
+            report.feasible for report in partition.analyze(context=ctx).values()
+        )

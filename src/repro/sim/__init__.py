@@ -11,6 +11,12 @@ from repro.sim.clock import CycleCounter, TimestampLog
 from repro.sim.engine import Engine, EventHandle, Rank
 from repro.sim.jobs import Job, JobState
 from repro.sim.locking import LockManager, LockProtocol, SectionSpec
+from repro.sim.mp import (
+    Migration,
+    MPSimResult,
+    MultiProcessorSystem,
+    simulate_partitioned,
+)
 from repro.sim.processor import Processor
 from repro.sim.servers import (
     AperiodicRequest,
@@ -47,6 +53,10 @@ __all__ = [
     "Simulation",
     "SimResult",
     "simulate",
+    "Migration",
+    "MPSimResult",
+    "MultiProcessorSystem",
+    "simulate_partitioned",
     "VMProfile",
     "EXACT_VM",
     "JRATE_VM",

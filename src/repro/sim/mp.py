@@ -1,0 +1,374 @@
+"""Partitioned multiprocessor simulation — :class:`MultiProcessorSystem`.
+
+One :class:`~repro.sim.simulation.Simulation` shard per processor, each
+with its own engine, processor, trace and (per-partition) treatment
+plan, advanced over a **shared clock**: the driver repeatedly executes
+the globally-earliest pending event (ties: lowest processor index), so
+every shard observes a consistent global time order while staying a
+plain uniprocessor simulation inside.
+
+Per-partition fault treatments fall out of the uniprocessor machinery:
+each shard's plan — equitable or system allowance included — is
+computed over *its own subset only*, exactly as the paper computes them
+for a single processor.
+
+**Migrate-on-fault** (optional): when a detector detects a fault on a
+task, the system asks the live :class:`~repro.core.partition.Partitioner`
+for the least-loaded processor whose subset stays *exactly* feasible
+with the task added.  If one exists, the task's **future releases** are
+re-admitted there: the pending release on the source shard is
+cancelled, the assignment moves through the sanctioned
+:meth:`~repro.core.partition.Partitioner.reassign` API (rule ``RT009``),
+and both shards re-plan their treatments over their new subsets —
+detector offsets track the recomputed per-partition WCRTs, mirroring
+the §7 dynamic-system behaviour of the admission controller.  The
+in-flight faulty job (and any backlog) finishes on the source; release
+instants are preserved across the move (``offset + index * period``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.faults import FaultModel
+from repro.core.partition import Heuristic, PartitionResult, Partitioner, partition_tasks
+from repro.core.task import Task, TaskSet
+from repro.core.treatments import TreatmentKind, TreatmentPlan, plan_treatment
+from repro.sim.engine import EventHandle, Rank
+from repro.sim.jobs import Job
+from repro.sim.simulation import SimResult, Simulation
+from repro.sim.vm import EXACT_VM, VMProfile
+
+__all__ = ["Migration", "MPSimResult", "MultiProcessorSystem", "simulate_partitioned"]
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One migrate-on-fault decision, as recorded by the driver."""
+
+    time: int
+    task: str
+    source: int
+    target: int
+    #: First job index released on the target (-1 when no future
+    #: release remained inside the horizon — membership moved anyway).
+    from_index: int
+
+
+@dataclass
+class MPSimResult:
+    """Aggregate of one multiprocessor run.
+
+    ``per_processor[p]`` is processor *p*'s own
+    :class:`~repro.sim.simulation.SimResult` (trace, jobs, busy time);
+    the helpers below aggregate across processors.  ``partition`` is the
+    *final* assignment — after any migrations.
+    """
+
+    partition: PartitionResult
+    per_processor: tuple[SimResult, ...]
+    horizon: int
+    migrations: tuple[Migration, ...] = ()
+
+    @property
+    def processors(self) -> int:
+        return len(self.per_processor)
+
+    @property
+    def events_processed(self) -> int:
+        return sum(r.events_processed for r in self.per_processor)
+
+    @property
+    def busy_time(self) -> int:
+        return sum(r.busy_time for r in self.per_processor)
+
+    def jobs_of(self, task: str) -> list[Job]:
+        """Jobs of *task* across all processors, ordered by index."""
+        out = [j for r in self.per_processor for j in r.jobs_of(task)]
+        return sorted(out, key=lambda j: j.index)
+
+    def missed(self, task: str | None = None) -> list[Job]:
+        return [j for r in self.per_processor for j in r.missed(task)]
+
+    def stopped(self, task: str | None = None) -> list[Job]:
+        return [j for r in self.per_processor for j in r.stopped(task)]
+
+    def max_response_time(self, task: str) -> int | None:
+        rts = [j.response_time for j in self.jobs_of(task) if j.response_time is not None]
+        return max(rts) if rts else None
+
+
+class _Shard(Simulation):
+    """One processor's simulation, with the hooks the driver needs:
+    cancellable pending releases (for migration) and a fault callback.
+    """
+
+    def __init__(self, *args, processor_id: int = 0, **kwargs):
+        #: task name -> (job index, release handle) of the one armed
+        #: future release (releases chain lazily, so at most one is
+        #: pending per task).  Set up before super().__init__ because
+        #: the base constructor arms the first releases.
+        self._pending_release: dict[str, tuple[int, EventHandle]] = {}
+        self.on_fault = None
+        super().__init__(*args, **kwargs)
+        self.processor_id = processor_id
+
+    def _arm_release(self, task: Task, index: int) -> None:
+        # Base-class logic with the release handle retained, so a
+        # migration can cancel the chain.
+        release = self._release_time_at(task, index)
+        if release is None or release > self.horizon:
+            self._pending_release.pop(task.name, None)
+            return
+        action = self._make_release(task, index)
+        spec = self.plan.detector_for(task.name) if self.plan is not None else None
+
+        def fire() -> None:
+            self._pending_release.pop(task.name, None)
+            self._arm_release(task, index + 1)
+            if spec is not None:
+                at = self.engine.now + spec.offset
+                if at <= self.horizon:
+                    self.engine.schedule(
+                        at, self._make_detector_fire(task, index), Rank.DETECTOR
+                    )
+            action()
+
+        handle = self.engine.schedule(release, fire, Rank.RELEASE)
+        self._pending_release[task.name] = (index, handle)
+
+    def _make_detector_fire(self, task: Task, index: int):
+        inner = super()._make_detector_fire(task, index)
+
+        def fire() -> None:
+            job = self.jobs.get((task.name, index))
+            seen = job.fault_detected if job is not None else False
+            inner()
+            job = self.jobs.get((task.name, index))
+            if (
+                job is not None
+                and job.fault_detected
+                and not seen
+                and self.on_fault is not None
+            ):
+                self.on_fault(self, task, job)
+
+        return fire
+
+    # -- migration support ----------------------------------------------------
+    def detach_task(self, name: str) -> int:
+        """Stop releasing *name* here: cancel its pending release and
+        drop it from the shard's task set.  In-flight and backlogged
+        jobs keep running to completion on this processor.  Returns the
+        first unreleased job index, or -1 when none is pending."""
+        self.taskset = self.taskset.without(name)
+        pending = self._pending_release.pop(name, None)
+        if pending is None:
+            return -1
+        index, handle = pending
+        handle.cancel()
+        return index
+
+    def adopt_task(self, task: Task, from_index: int) -> None:
+        """Start releasing *task* here from job *from_index* on, at its
+        unchanged absolute release instants."""
+        self.taskset = self.taskset.with_task(task)
+        if task.name not in self._backlog:
+            self._backlog[task.name] = deque()
+            self._active[task.name] = None
+        if from_index >= 0:
+            self._arm_release(task, from_index)
+
+    def replace_plan(self, plan: TreatmentPlan | None) -> None:
+        """Swap in a re-computed treatment plan (post-migration).  The
+        runtime keeps its detection log; already-armed detector fires
+        keep their old offsets, every release armed from now on uses
+        the new plan — the same one-release grace the admission
+        controller's detector changes have."""
+        self.plan = plan
+        if plan is None:
+            self.runtime = None
+        elif self.runtime is None:
+            self.runtime = plan.runtime()
+        else:
+            detections = self.runtime.detections
+            self.runtime = plan.runtime()
+            self.runtime.detections = detections
+
+
+@dataclass
+class _ShardState:
+    shard: _Shard
+
+
+class MultiProcessorSystem:
+    """A partitioned multiprocessor run over a shared clock.
+
+    *taskset* is partitioned over *processors* with *heuristic* (or a
+    precomputed *partition* is adopted as-is); each subset gets its own
+    shard with a per-partition treatment plan.  ``run()`` drives all
+    shard engines in global time order and returns an
+    :class:`MPSimResult`.
+    """
+
+    def __init__(
+        self,
+        taskset: TaskSet | None = None,
+        *,
+        processors: int | None = None,
+        heuristic: Heuristic = Heuristic.RESPONSE_TIME,
+        partition: PartitionResult | None = None,
+        pinned: Mapping[str, int] | None = None,
+        horizon: int,
+        faults: FaultModel | None = None,
+        treatment: TreatmentKind | None = None,
+        vm: VMProfile = EXACT_VM,
+        migrate_on_fault: bool = False,
+    ):
+        if partition is None:
+            if taskset is None or processors is None:
+                raise ValueError("need either a partition or taskset + processors")
+            partition = partition_tasks(
+                taskset, processors, heuristic, pinned=pinned
+            )
+        # Rebuild the live authority from the snapshot: every admission
+        # re-checks, so a hand-built infeasible snapshot is rejected for
+        # the response-time heuristic just as partition_tasks would.
+        self.partitioner = Partitioner(
+            partition.processors, heuristic=partition.heuristic
+        )
+        for p in range(partition.processors):
+            for task in partition.subsets[p]:
+                self.partitioner.admit(task, pin=p)
+        self.treatment = treatment
+        self.vm = vm
+        self.horizon = horizon
+        self.migrate_on_fault = migrate_on_fault
+        self.migrations: list[Migration] = []
+        self._migrated: set[str] = set()
+        self._states: list[_ShardState] = []
+        for p in range(partition.processors):
+            subset = self.partitioner.subset(p)
+            shard = _Shard(
+                subset,
+                horizon=horizon,
+                faults=faults,
+                plan=self._plan_for(subset),
+                vm=vm,
+                processor_id=p,
+            )
+            if migrate_on_fault:
+                shard.on_fault = self._on_fault
+            self._states.append(_ShardState(shard))
+
+    @property
+    def shards(self) -> tuple[_Shard, ...]:
+        return tuple(state.shard for state in self._states)
+
+    def _plan_for(self, subset: TaskSet) -> TreatmentPlan | None:
+        if self.treatment is None or self.treatment is TreatmentKind.NO_DETECTION:
+            return None
+        if not len(subset):
+            return None
+        return plan_treatment(subset, self.treatment, rounding=self.vm.timer_rounding)
+
+    # -- migrate-on-fault ------------------------------------------------------
+    @staticmethod
+    def _consumed(shard: _Shard, job: Job) -> int:
+        """CPU the job has consumed so far, charged up to *now* — the
+        processor only folds running time into ``job.executed`` at its
+        own event boundaries, so a detector firing mid-quantum must add
+        the running job's in-progress slice itself."""
+        consumed = job.executed
+        if job is shard.processor.running and job.last_dispatch is not None:
+            consumed += shard.engine.now - job.last_dispatch
+        return consumed
+
+    def _on_fault(self, shard: _Shard, task: Task, job: Job) -> None:
+        # A detector cannot tell *why* a job is late: a genuine cost
+        # overrun and a victim starved by someone else's overrun look
+        # identical at the WCRT offset.  Cost monitoring can: only a
+        # job that consumed its full nominal budget and is still not
+        # done has overrun — migrating interference victims would
+        # scatter a single fault across every processor.
+        if self._consumed(shard, job) < task.cost + job.overhead:
+            return
+        # One migration per task: the first fault is the evidence that
+        # moves it; bouncing a persistently faulty task between
+        # processors would spread the damage instead of containing it.
+        if task.name in self._migrated or task.name not in shard.taskset:
+            return
+        target = self.partitioner.least_loaded_feasible(
+            task, exclude=(shard.processor_id,)
+        )
+        if target is None:
+            return
+        from_index = shard.detach_task(task.name)
+        self._migrated.add(task.name)
+        self.partitioner.reassign(task.name, target)
+        shard.replace_plan(self._plan_for(shard.taskset))
+        target_shard = self._states[target].shard
+        target_shard.adopt_task(task, from_index)
+        target_shard.replace_plan(self._plan_for(target_shard.taskset))
+        self.migrations.append(
+            Migration(
+                time=shard.engine.now,
+                task=task.name,
+                source=shard.processor_id,
+                target=target,
+                from_index=from_index,
+            )
+        )
+
+    # -- shared-clock driver ---------------------------------------------------
+    def run(self) -> MPSimResult:
+        engines = [state.shard.engine for state in self._states]
+        horizon = self.horizon
+        while True:
+            best_time: int | None = None
+            best_pid = -1
+            for pid, engine in enumerate(engines):
+                when = engine.peek_time()
+                if when is None or when > horizon:
+                    continue
+                if best_time is None or when < best_time:
+                    best_time, best_pid = when, pid
+            if best_time is None:
+                break
+            engines[best_pid].step()
+        results = tuple(state.shard.finish() for state in self._states)
+        return MPSimResult(
+            partition=self.partitioner.result(),
+            per_processor=results,
+            horizon=horizon,
+            migrations=tuple(self.migrations),
+        )
+
+
+def simulate_partitioned(
+    taskset: TaskSet,
+    *,
+    processors: int,
+    heuristic: Heuristic = Heuristic.RESPONSE_TIME,
+    horizon: int,
+    faults: FaultModel | None = None,
+    treatment: TreatmentKind | None = None,
+    vm: VMProfile = EXACT_VM,
+    migrate_on_fault: bool = False,
+    pinned: Mapping[str, int] | None = None,
+) -> MPSimResult:
+    """Partition *taskset* and run it — the multiprocessor analogue of
+    :func:`repro.sim.simulation.simulate`."""
+    return MultiProcessorSystem(
+        taskset,
+        processors=processors,
+        heuristic=heuristic,
+        pinned=pinned,
+        horizon=horizon,
+        faults=faults,
+        treatment=treatment,
+        vm=vm,
+        migrate_on_fault=migrate_on_fault,
+    ).run()

@@ -344,6 +344,15 @@ class Simulation:
     # -- entry point --------------------------------------------------------------
     def run(self) -> SimResult:
         self.engine.run(until=self.horizon)
+        return self.finish()
+
+    def finish(self) -> SimResult:
+        """Finalise and package the result.  Split from :meth:`run` so
+        drivers that advance the engine themselves — the shared-clock
+        multiprocessor loop in :mod:`repro.sim.mp` — reuse the exact
+        same teardown."""
+        if self.engine.now < self.horizon:
+            self.engine.now = self.horizon
         self.processor.finalize()
         if self._owns_sink:
             self.trace.close()

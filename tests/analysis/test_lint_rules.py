@@ -331,6 +331,52 @@ class TestRT008SearchDiscipline:
         assert lint_source(source, self.CORE_PATH) == []
 
 
+class TestRT009PartitionDiscipline:
+    AUTHORITY_PATH = "src/repro/core/partition.py"
+    MP_PATH = "src/repro/sim/mp.py"
+    OTHER_PATH = "src/repro/experiments/mp.py"
+
+    def test_private_state_poke_outside_authority(self):
+        source = "def move(partitioner, name, p):\n    partitioner._assignment[name] = p\n"
+        diags = lint_source(source, self.OTHER_PATH)
+        assert "RT009" in codes(diags)
+        assert "_assignment" in diags[0].message
+
+    def test_private_subset_read_outside_authority(self):
+        source = "def peek(partitioner):\n    return partitioner._subsets[0]\n"
+        assert "RT009" in codes(lint_source(source, self.OTHER_PATH))
+
+    def test_snapshot_assignment_write(self):
+        source = "def move(result, name, p):\n    result.assignment[name] = p\n"
+        assert codes(lint_source(source, self.OTHER_PATH)) == ["RT009"]
+
+    def test_shard_move_outside_mp_driver(self):
+        source = "def yank(shard, name):\n    shard.detach_task(name)\n"
+        diags = lint_source(source, self.OTHER_PATH)
+        assert codes(diags) == ["RT009"]
+        assert "detach_task" in diags[0].message
+
+    def test_shard_move_inside_mp_driver_is_allowed(self):
+        source = (
+            "def migrate(shard, target, task, name):\n"
+            "    idx = shard.detach_task(name)\n"
+            "    target.adopt_task(task, idx)\n"
+        )
+        assert lint_source(source, self.MP_PATH) == []
+
+    def test_authority_module_is_exempt(self):
+        source = "def admit(self, name, p):\n    self._assignment[name] = p\n"
+        assert lint_source(source, self.AUTHORITY_PATH) == []
+
+    def test_sanctioned_reassign_is_allowed(self):
+        source = "def move(partitioner, name, p):\n    partitioner.reassign(name, p)\n"
+        assert lint_source(source, self.OTHER_PATH) == []
+
+    def test_snapshot_read_is_allowed(self):
+        source = "def where(result, name):\n    return result.assignment[name]\n"
+        assert lint_source(source, self.OTHER_PATH) == []
+
+
 class TestDriver:
     def test_syntax_error_becomes_diagnostic(self):
         diags = lint_source("def broken(:\n", "oops.py")
@@ -355,7 +401,7 @@ class TestDriver:
         assert [r.code for r in rules] == sorted(r.code for r in rules)
         assert {
             "RT001", "RT002", "RT003", "RT004", "RT005", "RT006", "RT007",
-            "RT008",
+            "RT008", "RT009",
         } <= {r.code for r in rules}
         for rule in rules:
             assert rule.name and rule.description

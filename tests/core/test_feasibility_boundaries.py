@@ -1,0 +1,118 @@
+"""Boundary pins for :mod:`repro.core.feasibility`.
+
+The oracle suite (``tests/oracle``) sweeps random systems; this module
+pins the *exact* values at the edges where off-by-one regressions like
+to hide: ``D == T`` vs ``D > T``, single-task sets, zero slack
+(``R == D`` exactly), and busy-period termination at utilisation
+exactly 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.feasibility import (
+    analyze,
+    is_feasible,
+    level_busy_period,
+    response_time_constrained,
+    wc_response_time,
+)
+from repro.core.task import Task, TaskSet
+
+
+def _two_tasks(lo_deadline: int) -> TaskSet:
+    hi = Task("hi", cost=3, period=10, priority=10)
+    lo = Task("lo", cost=4, period=20, deadline=lo_deadline, priority=5)
+    return TaskSet([hi, lo])
+
+
+class TestConstrainedVsGeneral:
+    def test_agree_at_deadline_equals_period(self):
+        # D == T: the constrained first-job RTA is exact and must match
+        # the general (Lehoczky) analysis to the nanosecond.
+        ts = _two_tasks(lo_deadline=20)
+        lo = ts["lo"]
+        assert response_time_constrained(lo, ts) == 7
+        assert wc_response_time(lo, ts) == 7
+
+    def test_constrained_undershoots_past_period(self, lehoczky):
+        # D > T: the first job is *not* the worst — the constrained
+        # formula stops at 114 while the busy-period analysis finds the
+        # true 118 at a later job.  Pinning both keeps the gap visible.
+        t2 = lehoczky["t2"]
+        assert t2.deadline > t2.period
+        assert response_time_constrained(t2, lehoczky) == 114
+        assert wc_response_time(t2, lehoczky) == 118
+
+
+class TestSingleTaskSets:
+    def test_wcrt_is_cost(self):
+        t = Task("solo", cost=5, period=9, priority=1)
+        ts = TaskSet([t])
+        assert wc_response_time(t, ts) == 5
+        assert response_time_constrained(t, ts) == 5
+        assert level_busy_period(t, ts) == 5
+
+    def test_full_utilization_single_task(self):
+        # C == T == D: utilisation exactly 1, zero slack, still feasible.
+        t = Task("solo", cost=7, period=7, priority=1)
+        ts = TaskSet([t])
+        assert wc_response_time(t, ts) == 7
+        assert level_busy_period(t, ts) == 7
+        assert is_feasible(ts)
+
+    def test_cost_over_deadline_is_infeasible(self):
+        t = Task("solo", cost=8, period=10, deadline=7, priority=1)
+        report = analyze(TaskSet([t]))
+        assert report.per_task["solo"].wcrt == 8
+        assert not report.feasible
+
+
+class TestZeroSlack:
+    def test_response_equals_deadline_exactly(self):
+        # R == D is the knife edge: feasible with slack exactly 0.
+        ts = _two_tasks(lo_deadline=7)
+        report = analyze(ts)
+        assert report.wcrt("lo") == 7
+        assert report.per_task["lo"].slack == 0
+        assert report.feasible
+
+    def test_one_nanosecond_less_misses(self):
+        ts = _two_tasks(lo_deadline=6)
+        report = analyze(ts)
+        assert report.wcrt("lo") == 7
+        assert report.per_task["lo"].slack == -1
+        assert not report.feasible
+
+
+class TestBusyPeriodAtFullUtilization:
+    def test_terminates_at_hyperperiod(self):
+        # U == 1 exactly: the least fixed point is the hyperperiod
+        # (lcm(6, 10) = 30) and the bounded iteration must reach it.
+        a = Task("a", cost=3, period=6, priority=10)
+        b = Task("b", cost=5, period=10, priority=5)
+        ts = TaskSet([a, b])
+        assert ts.utilization_exact() == (1, 1)
+        assert level_busy_period(b, ts) == 30
+        # The WCRT stays bounded too; D == T == 10 makes b feasible.
+        assert wc_response_time(b, ts) == 12
+        assert not analyze(ts).feasible  # 12 > D_b = 10
+
+    def test_unbounded_just_past_one(self):
+        a = Task("a", cost=3, period=6, priority=10)
+        b = Task("b", cost=6, period=10, priority=5)  # U = 1/2 + 3/5
+        ts = TaskSet([a, b])
+        assert level_busy_period(b, ts) is None
+        assert wc_response_time(b, ts) is None
+
+    @pytest.mark.parametrize("cost,expected", [(6, 60), (7, None)])
+    def test_exact_arithmetic_at_the_edge(self, cost, expected):
+        # 3/6 + 4/10 + 6/60 == 1 exactly: the busy period closes at the
+        # hyperperiod; one more nanosecond of cost (61/60) and the
+        # analysis must give up, not spin.
+        a = Task("a", cost=3, period=6, priority=10)
+        b = Task("b", cost=4, period=10, priority=5)
+        c = Task("c", cost=cost, period=60, priority=1)
+        ts = TaskSet([a, b, c])
+        assert level_busy_period(c, ts) == expected

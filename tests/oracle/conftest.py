@@ -1,0 +1,25 @@
+"""Hypothesis profiles for the differential oracle suite.
+
+The local default keeps the suite quick; CI exports
+``HYPOTHESIS_PROFILE=ci`` for a deeper sweep (more examples, no
+per-example deadline).  Both disable the wall-clock deadline: one
+example runs a full simulation, whose duration is workload- not
+code-dependent.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_SUPPRESS = [HealthCheck.too_slow, HealthCheck.filter_too_much, HealthCheck.data_too_large]
+
+settings.register_profile(
+    "oracle", max_examples=100, deadline=None, suppress_health_check=_SUPPRESS
+)
+settings.register_profile(
+    "ci", max_examples=300, deadline=None, suppress_health_check=_SUPPRESS
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "oracle"))

@@ -1,0 +1,183 @@
+"""Differential oracle: the simulator against the exact analysis.
+
+For hypothesis-drawn task systems — uniprocessor and partitioned — the
+two halves of the reproduction must agree (DESIGN.md §3.6):
+
+* **WCRT bound**: every observed job response time is at most the
+  analytic worst case (``AnalysisContext.analyze_set``), whenever the
+  analysis declares the set feasible;
+* **verdict**: ``is_feasible`` is equivalent to "no deadline miss
+  observed from the synchronous critical instant" — asserted as a
+  two-way equivalence when the *sound horizon* (hyperperiod + largest
+  deadline, which provably exhibits a miss for any analytically
+  infeasible constrained-deadline set) fits under the cap, and as the
+  feasible ⇒ no-miss direction only when the horizon had to be capped.
+
+Every example is seeded through :func:`repro.rng.derive_rng`, so a
+failure is replayable from its drawn integers alone.  Failing draws are
+saved as JSON repro files under ``tests/oracle/corpus/`` and replayed
+*first* (``test_corpus_replay`` is defined at the top of the module),
+so a once-found counterexample keeps guarding the suite even after
+hypothesis's own example database is gone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import hypothesis.strategies as st
+from hypothesis import assume, given
+
+from repro.core.context import AnalysisContext
+from repro.core.partition import Heuristic, PartitionError, partition_tasks
+from repro.core.task import TaskSet
+from repro.rng import derive_rng, stable_hash
+from repro.sim.mp import simulate_partitioned
+from repro.sim.simulation import simulate
+from repro.units import ms
+from repro.workloads.generator import GeneratorConfig, random_taskset
+
+CORPUS = Path(__file__).with_name("corpus")
+#: Horizon cap — one example must stay cheap even when the drawn
+#: periods produce an awkward hyperperiod.
+CAP = ms(500)
+#: Keep the corpus bounded even if a bad change fails many draws.
+MAX_CORPUS_FILES = 32
+
+#: One analysis context for the whole suite: the memo is keyed by exact
+#: mathematical inputs, so sharing it across examples only saves work.
+_CTX = AnalysisContext(TaskSet(()))
+
+_HEURISTICS = [h.value for h in Heuristic]
+
+
+def _generate(seed: int, n: int, u_ppm: int, d_ppm: int, salt: str) -> TaskSet:
+    """The deterministic task system a drawn tuple names."""
+    rng = derive_rng(seed, "oracle", salt, n, u_ppm, d_ppm)
+    config = GeneratorConfig(
+        n=n,
+        utilization=u_ppm / 1_000_000,
+        period_lo=ms(10),
+        period_hi=ms(40),
+        period_granularity=ms(5),
+        deadline_factor=d_ppm / 1_000_000,
+    )
+    return random_taskset(config, rng=rng)
+
+
+def _horizons(ts: TaskSet) -> tuple[int, bool]:
+    """(simulation horizon, whether it is *sound*).
+
+    The sound horizon is one hyperperiod plus the largest deadline: for
+    a constrained-deadline set released synchronously, any analytic
+    infeasibility manifests as an observed miss within it (first-job /
+    LCM-demand argument), so feasibility and absence of misses are
+    equivalent over that window.  When the cap truncates it, only the
+    feasible ⇒ no-miss direction is checked.
+    """
+    sound = ts.hyperperiod() + max(t.deadline for t in ts)
+    return min(sound, CAP), sound <= CAP
+
+
+def _check_shard(ts: TaskSet, result, horizon: int, sound: bool) -> None:
+    """The oracle invariants for one processor's task set + sim result."""
+    report = _CTX.analyze_set(ts)
+    if report.feasible:
+        for task in ts:
+            wcrt = report.wcrt(task.name)
+            assert wcrt is not None
+            for job in result.jobs_of(task.name):
+                if job.response_time is None:
+                    continue  # unfinished at horizon
+                assert job.response_time <= wcrt, (
+                    f"{task.name}#{job.index}: observed response "
+                    f"{job.response_time} exceeds analytic WCRT {wcrt}"
+                )
+        assert not result.missed(), (
+            f"analysis says feasible but {result.missed()[0].name} missed"
+        )
+    elif sound and ts.hyperperiod() + max(t.deadline for t in ts) <= horizon:
+        assert result.missed(), (
+            "analysis says infeasible but no deadline miss was observed "
+            "over a sound horizon"
+        )
+
+
+def _check_uni(seed: int, n: int, u_ppm: int, d_ppm: int) -> None:
+    ts = _generate(seed, n, u_ppm, d_ppm, "uni")
+    horizon, sound = _horizons(ts)
+    result = simulate(ts, horizon=horizon)
+    _check_shard(ts, result, horizon, sound)
+
+
+def _check_mp(seed: int, n: int, u_ppm: int, d_ppm: int, processors: int, heuristic: str) -> None:
+    ts = _generate(seed, n, u_ppm, d_ppm, "mp")
+    try:
+        partition = partition_tasks(ts, processors, Heuristic(heuristic))
+    except PartitionError:
+        return  # nothing to differentiate — no placement exists
+    horizon, sound = _horizons(ts)
+    result = simulate_partitioned(
+        ts, processors=processors, heuristic=Heuristic(heuristic), horizon=horizon
+    )
+    for p in range(processors):
+        subset = partition.subset(p)
+        if len(subset):
+            _check_shard(subset, result.per_processor[p], horizon, sound)
+
+
+_CHECKS = {"uni": _check_uni, "mp": _check_mp}
+
+
+def _save_repro(kind: str, params: dict) -> None:
+    """Persist a failing draw as a corpus repro file (idempotent per
+    draw; capped so a broken build cannot flood the tree)."""
+    CORPUS.mkdir(exist_ok=True)
+    existing = list(CORPUS.glob("*.json"))
+    key = f"{stable_hash(kind, *sorted(params.items())):016x}"
+    path = CORPUS / f"{kind}-{key}.json"
+    if path.exists() or len(existing) >= MAX_CORPUS_FILES:
+        return
+    path.write_text(json.dumps({"kind": kind, **params}, sort_keys=True) + "\n")
+
+
+def _run_and_record(kind: str, **params) -> None:
+    try:
+        _CHECKS[kind](**params)
+    except AssertionError:
+        _save_repro(kind, params)
+        raise
+
+
+# -- replayed FIRST: once-found counterexamples stay regression tests ---------
+def test_corpus_replay():
+    """Replay every saved counterexample before the random sweep."""
+    for path in sorted(CORPUS.glob("*.json")):
+        record = json.loads(path.read_text())
+        kind = record.pop("kind")
+        _CHECKS[kind](**record)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 5),
+    u_ppm=st.integers(300_000, 1_200_000),
+    d_ppm=st.sampled_from([800_000, 900_000, 1_000_000]),
+)
+def test_uniprocessor_sim_never_beats_analysis(seed, n, u_ppm, d_ppm):
+    _run_and_record("uni", seed=seed, n=n, u_ppm=u_ppm, d_ppm=d_ppm)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(2, 6),
+    u_ppm=st.integers(400_000, 1_600_000),
+    d_ppm=st.sampled_from([800_000, 900_000, 1_000_000]),
+    heuristic=st.sampled_from(_HEURISTICS),
+)
+def test_partitioned_sim_never_beats_analysis(seed, n, u_ppm, d_ppm, heuristic):
+    assume(n >= 2)
+    _run_and_record(
+        "mp", seed=seed, n=n, u_ppm=u_ppm, d_ppm=d_ppm, processors=2, heuristic=heuristic
+    )

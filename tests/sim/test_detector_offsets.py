@@ -1,0 +1,70 @@
+"""Regression: detectors fire at the *recomputed* WCRT (paper §4.2).
+
+Under the equitable-allowance treatment every task may overrun by the
+same allowance ``A``; the detectors must therefore move from the
+nominal WCRTs to the allowance-adjusted ones ("the detectors use the
+response times recalculated with the allowance").  For Table 2
+(``A = 11 ms``) that is 40/80/120 ms instead of 29/58/87 ms.
+
+A regression that leaves detectors at the nominal offsets fires them
+early — flagging healthy-but-allowed overruns as faults — which is
+exactly the behaviour this traced scenario pins down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.treatments import TreatmentKind, plan_treatment
+from repro.sim.simulation import simulate
+from repro.sim.trace import EventKind
+from repro.units import ms
+
+#: Nominal WCRTs (paper Table 2) and their §4.2 adjusted counterparts
+#: with the equitable allowance A = 11 ms.
+NOMINAL = {"tau1": ms(29), "tau2": ms(58), "tau3": ms(87)}
+ADJUSTED = {"tau1": ms(40), "tau2": ms(80), "tau3": ms(120)}
+
+
+@pytest.fixture
+def plan(table2):
+    return plan_treatment(table2, TreatmentKind.EQUITABLE_ALLOWANCE)
+
+
+class TestEquitableDetectorOffsets:
+    def test_plan_places_detectors_at_adjusted_wcrt(self, plan):
+        for name, offset in ADJUSTED.items():
+            spec = plan.detectors[name]
+            assert spec.offset == offset
+            assert spec.offset != NOMINAL[name]
+
+    def test_traced_fires_happen_at_release_plus_adjusted_wcrt(self, table2):
+        result = simulate(
+            table2,
+            horizon=table2.hyperperiod(),
+            treatment=TreatmentKind.EQUITABLE_ALLOWANCE,
+        )
+        fires = result.trace.of_kind(EventKind.DETECTOR_FIRE)
+        assert fires, "no detector fired over a full hyperperiod"
+        seen = set()
+        for event in fires:
+            release = table2[event.task].release_time(event.job)
+            assert event.time - release == ADJUSTED[event.task], (
+                f"{event.task}#{event.job}: detector at offset "
+                f"{event.time - release}, expected adjusted WCRT "
+                f"{ADJUSTED[event.task]}"
+            )
+            seen.add(event.task)
+        assert seen == set(ADJUSTED), "every task's detector must fire"
+
+    def test_no_fire_at_nominal_offset(self, table2):
+        # The early (nominal-WCRT) instants must be silent: a healthy
+        # job that is merely using its allowance is not a fault.
+        result = simulate(
+            table2,
+            horizon=table2.hyperperiod(),
+            treatment=TreatmentKind.EQUITABLE_ALLOWANCE,
+        )
+        for event in result.trace.of_kind(EventKind.DETECTOR_FIRE):
+            release = table2[event.task].release_time(event.job)
+            assert event.time - release != NOMINAL[event.task]
