@@ -2,8 +2,11 @@
 
 Usage::
 
-    python -m repro.analysis [paths...] [--format text|json]
+    python -m repro.analysis [paths...] [--format text|json|sarif]
                              [--select RT001,TS003] [--list-rules]
+                             [--flow] [--changed-only] [--cache-dir DIR]
+                             [--baseline [PATH]] [--write-baseline [PATH]]
+                             [--fix]
 
 Paths may be files or directories.  ``.py`` files go through the AST
 linter; scenario files (``.scn``/``.scenario``/``.tasks``, or any
@@ -11,9 +14,20 @@ non-Python file named explicitly) go through the task-system validator.
 With no paths, ``src/repro`` is checked when it exists, else the
 current directory.
 
+``--flow`` adds the whole-program pass (RT1xx: cross-module taint,
+time-type escapes, rng process escapes, hot-path purity — see
+:mod:`repro.analysis.flow`).  ``--changed-only`` (implies ``--flow``)
+reuses per-file summaries from a content-hash cache so only edited
+files are re-parsed; the hit/miss note goes to stderr.  ``--baseline``
+filters the report to findings not in the accepted-findings file, so
+legacy debt doesn't fail CI while new findings do; ``--write-baseline``
+records the current findings as accepted.  ``--fix`` applies the safe
+mechanical autofixes first.
+
 Exit status: 0 when clean or warnings only, 1 when any error-severity
 diagnostic was produced (or with ``--strict``, any diagnostic at all),
-2 on usage errors.
+2 on usage errors.  With ``--baseline``, only non-baselined findings
+count.
 """
 
 from __future__ import annotations
@@ -28,28 +42,65 @@ from repro.analysis.diagnostics import (
     Severity,
     render_json,
     render_text,
+    sort_key,
 )
-from repro.analysis.lint import PARSE_ERROR_CODE, all_rules, lint_file, iter_python_files
+from repro.analysis.lint import PARSE_ERROR_CODE, all_rules, lint_file
 from repro.analysis.taskset import SCENARIO_SUFFIXES, TS_CODES, validate_scenario_file
 
-__all__ = ["main", "check_paths"]
+__all__ = ["main", "check_paths", "discover_targets"]
+
+
+def discover_targets(
+    paths: Sequence[str | Path],
+) -> tuple[list[Path], list[Path]]:
+    """Split *paths* into ``(python_files, scenario_files)``.
+
+    One discovery pass for both checkers so explicitly named files and
+    directory walks behave identically: directories contribute their
+    ``.py`` files and their ``SCENARIO_SUFFIXES`` files; an explicit
+    ``.py`` path goes to the linter; any other explicit file goes to
+    the scenario validator regardless of suffix.  Paths named twice
+    (or covered by both a directory and an explicit entry) are checked
+    once.
+    """
+    py_files: list[Path] = []
+    scenario_files: list[Path] = []
+    seen: set[Path] = set()
+
+    def add(target: list[Path], f: Path) -> None:
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            target.append(f)
+
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*")):
+                if f.suffix == ".py":
+                    add(py_files, f)
+                elif f.suffix in SCENARIO_SUFFIXES:
+                    add(scenario_files, f)
+        elif p.suffix == ".py":
+            add(py_files, p)
+        else:
+            add(scenario_files, p)
+    return py_files, scenario_files
 
 
 def check_paths(
     paths: Sequence[str | Path], *, codes: Sequence[str] | None = None
 ) -> list[Diagnostic]:
-    """Run the linter and the task-system validator over *paths*."""
+    """Run the linter and the task-system validator over *paths*.
+
+    *codes* restricts the report to the given diagnostic codes — the
+    filter applies identically to lint (``RT``) and scenario (``TS``)
+    findings, whether the file was named explicitly or found by a
+    directory walk.
+    """
     out: list[Diagnostic] = []
-    scenario_files: list[Path] = []
-    for raw in paths:
-        p = Path(raw)
-        if p.is_dir():
-            scenario_files.extend(
-                f for f in sorted(p.rglob("*")) if f.suffix in SCENARIO_SUFFIXES
-            )
-        elif p.suffix != ".py":
-            scenario_files.append(p)
-    for py in iter_python_files(paths):
+    py_files, scenario_files = discover_targets(paths)
+    for py in py_files:
         out.extend(lint_file(py, codes=codes))
     for scn in scenario_files:
         out.extend(validate_scenario_file(scn))
@@ -60,11 +111,18 @@ def check_paths(
 
 
 def _list_rules() -> str:
+    from repro.analysis.flow.rules import FLOW_RULES
+
     lines = ["code   severity  name"]
-    for rule in all_rules():
+    for rule in (*all_rules(), *FLOW_RULES):
         lines.append(f"{rule.code}  {rule.severity.value:8}  {rule.name}")
         lines.append(f"       {rule.description}")
     return "\n".join(lines)
+
+
+def _note(message: str) -> None:
+    """Diagnostics go to stdout; notes must not corrupt json/sarif."""
+    print(message, file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -80,7 +138,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -97,7 +155,49 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the lint rule table and exit",
+        help="print the rule table (per-file and whole-program) and exit",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the whole-program RT1xx rules (repro.analysis.flow)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="reuse cached per-file summaries; only files whose content "
+        "hash changed are re-parsed (implies --flow)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="incremental summary cache location "
+        "(default: .repro-cache/flow)",
+    )
+    parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="filter out findings recorded in the accepted-findings file "
+        "(default PATH: analysis-baseline.json); only new findings "
+        "affect the exit status",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="record the current findings as the accepted baseline and exit",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply safe mechanical autofixes (hash-seeded Random -> "
+        "derive_rng, stale # noqa removal) before checking",
     )
     args = parser.parse_args(argv)
 
@@ -114,10 +214,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
+    for flag, value in (("--baseline", args.baseline), ("--write-baseline", args.write_baseline)):
+        if value and Path(value).is_dir():
+            # nargs="?" grabs a following positional; catch the classic
+            # `--baseline src/repro` mix-up instead of misreading a tree.
+            print(
+                f"error: {flag} takes a JSON file, got directory {value!r} "
+                f"(put paths before {flag}, or use {flag}=PATH)",
+                file=sys.stderr,
+            )
+            return 2
+
+    run_flow = args.flow or args.changed_only
+
     codes = None
     if args.select:
+        from repro.analysis.flow.rules import flow_rule_codes
+
         codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
-        known = {r.code for r in all_rules()} | TS_CODES | {PARSE_ERROR_CODE}
+        known = (
+            {r.code for r in all_rules()}
+            | TS_CODES
+            | {PARSE_ERROR_CODE}
+            | flow_rule_codes()
+        )
         unknown = sorted(set(codes) - known)
         if unknown:
             print(
@@ -126,14 +246,81 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+
+    if args.fix:
+        from repro.analysis.flow.autofix import fix_file
+
+        py_files, _ = discover_targets(paths)
+        fixed_files = 0
+        for py in py_files:
+            fixes = fix_file(py)
+            if fixes:
+                fixed_files += 1
+                for fix in fixes:
+                    where = f"{py}:{fix.line}" if fix.line else str(py)
+                    _note(f"fixed {where}: {fix.description}")
+        _note(f"autofix: {fixed_files} file(s) changed")
+
     diagnostics = check_paths(paths, codes=codes)
+
+    if run_flow:
+        from repro.analysis.flow import FlowCache, analyze
+        from repro.analysis.flow.cache import DEFAULT_FLOW_CACHE_DIR
+
+        cache = None
+        if args.changed_only:
+            cache = FlowCache(args.cache_dir or DEFAULT_FLOW_CACHE_DIR)
+        flow_diags, _model = analyze(paths, codes=codes, cache=cache)
+        if cache is not None:
+            stats = cache.stats
+            _note(
+                f"flow cache: {stats.hits} reused, "
+                f"{stats.misses} re-analyzed"
+            )
+        diagnostics = sorted([*diagnostics, *flow_diags], key=sort_key)
+
+    if args.write_baseline is not None:
+        from repro.analysis.flow.baseline import DEFAULT_BASELINE_PATH, save_baseline
+
+        target = args.write_baseline or DEFAULT_BASELINE_PATH
+        count = save_baseline(target, diagnostics)
+        _note(f"baseline: wrote {count} accepted finding(s) to {target}")
+        return 0
+
+    legacy_count = 0
+    if args.baseline is not None:
+        from repro.analysis.flow.baseline import (
+            DEFAULT_BASELINE_PATH,
+            diff_baseline,
+            load_baseline,
+        )
+
+        source = args.baseline or DEFAULT_BASELINE_PATH
+        diff = diff_baseline(diagnostics, load_baseline(source))
+        legacy_count = len(diff.legacy)
+        if legacy_count:
+            _note(
+                f"baseline: {legacy_count} accepted finding(s) suppressed "
+                f"({source})"
+            )
+        if diff.resolved:
+            _note(
+                f"baseline: {diff.resolved} entr{'y' if diff.resolved == 1 else 'ies'} "
+                f"no longer fire(s) — re-tighten with --write-baseline"
+            )
+        diagnostics = diff.new
 
     if args.format == "json":
         print(render_json(diagnostics))
+    elif args.format == "sarif":
+        from repro.analysis.flow.sarif import render_sarif
+
+        print(render_sarif(diagnostics))
     elif diagnostics:
         print(render_text(diagnostics))
     else:
-        print("clean: no diagnostics")
+        suffix = " (beyond the baseline)" if legacy_count else ""
+        print(f"clean: no diagnostics{suffix}")
 
     if any(d.severity is Severity.ERROR for d in diagnostics):
         return 1

@@ -1,0 +1,222 @@
+"""Mechanical autofixes for a small, safe subset of findings.
+
+``--fix`` applies only rewrites whose before/after behaviour is
+provably equivalent (or strictly more reproducible) and purely local:
+
+* ``random.Random(hash(x))`` → ``derive_rng(x)`` — byte-for-byte the
+  stream the caller *meant*: :func:`repro.rng.derive_rng` is
+  ``Random(stable_hash(seed, *parts))``, replacing the salted built-in
+  ``hash`` with the process-stable CRC.  The import is inserted when
+  missing.
+* stale ``# noqa`` comments flagged by RT099 — unused codes are
+  dropped from the comment; a comment left with no live codes (or a
+  blanket ``# noqa`` that suppressed nothing) is removed entirely.
+
+Every text-span rewrite re-parses the result before it is accepted; a
+fix that would produce a syntax error is discarded, never written.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.lint import from_imports, lint_source, module_aliases
+
+__all__ = ["Fix", "fix_source", "fix_file"]
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One applied rewrite, for reporting."""
+
+    line: int
+    description: str
+
+
+# ---------------------------------------------------------------------------
+# random.Random(hash(x)) → derive_rng(x)
+# ---------------------------------------------------------------------------
+
+
+def _random_ctor_names(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(module aliases of ``random``, local names bound to ``Random``)."""
+    aliases = module_aliases(tree, "random")
+    ctors = {
+        local
+        for local, orig in from_imports(tree, "random").items()
+        if orig == "Random"
+    }
+    return aliases, ctors
+
+
+def _is_hash_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "hash"
+        and len(node.args) == 1
+        and not node.keywords
+    )
+
+
+def _find_hash_seeded_randoms(tree: ast.Module) -> list[ast.Call]:
+    aliases, ctors = _random_ctor_names(tree)
+    out: list[ast.Call] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and len(node.args) == 1 and not node.keywords):
+            continue
+        fn = node.func
+        is_ctor = (isinstance(fn, ast.Name) and fn.id in ctors) or (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "Random"
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id in aliases
+        )
+        if is_ctor and _is_hash_call(node.args[0]):
+            out.append(node)
+    return out
+
+
+def _replace_span(lines: list[str], node: ast.Call, text: str) -> bool:
+    """Splice *text* over *node*'s source span (in-place); multi-line
+    spans are handled by collapsing onto the start line."""
+    if node.end_lineno is None or node.end_col_offset is None:
+        return False
+    start, end = node.lineno - 1, node.end_lineno - 1
+    head = lines[start][: node.col_offset]
+    tail = lines[end][node.end_col_offset :]
+    lines[start : end + 1] = [head + text + tail]
+    return True
+
+
+def _ensure_derive_rng_import(lines: list[str], tree: ast.Module) -> bool:
+    """Insert ``from repro.rng import derive_rng`` if not already bound;
+    returns True when a line was inserted."""
+    if "derive_rng" in from_imports(tree, "repro.rng"):
+        return False
+    anchor = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            anchor = (node.end_lineno or node.lineno)
+        elif anchor == 0 and isinstance(node, ast.Expr) and isinstance(
+            node.value, ast.Constant
+        ):
+            anchor = (node.end_lineno or node.lineno)  # module docstring
+    lines.insert(anchor, "from repro.rng import derive_rng")
+    return True
+
+
+def _fix_hash_seeded_randoms(source: str) -> tuple[str, list[Fix]]:
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, []
+    targets = _find_hash_seeded_randoms(tree)
+    if not targets:
+        return source, []
+    lines = source.splitlines()
+    fixes: list[Fix] = []
+    # Bottom-up so earlier spans stay valid.
+    for node in sorted(targets, key=lambda n: (n.lineno, n.col_offset), reverse=True):
+        inner = node.args[0]
+        assert isinstance(inner, ast.Call)
+        replacement = f"derive_rng({ast.unparse(inner.args[0])})"
+        if _replace_span(lines, node, replacement):
+            fixes.append(
+                Fix(node.lineno, f"random.Random(hash(...)) -> {replacement}")
+            )
+    if not fixes:
+        return source, []
+    inserted = _ensure_derive_rng_import(lines, tree)
+    if inserted:
+        fixes.append(Fix(0, "insert 'from repro.rng import derive_rng'"))
+    fixed = "\n".join(lines) + ("\n" if source.endswith("\n") else "")
+    try:
+        ast.parse(fixed)
+    except SyntaxError:  # never ship a rewrite that broke the file
+        return source, []
+    return fixed, fixes
+
+
+# ---------------------------------------------------------------------------
+# Stale-noqa stripping (driven by RT099)
+# ---------------------------------------------------------------------------
+
+_NOQA_COMMENT_RE = re.compile(r"\s*#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.I)
+
+_STALE_RE = re.compile(r"(?:suppressed no finding|unused suppression)")
+_CODE_RE = re.compile(r"\bRT\d{3}\b")
+
+
+def _rewrite_noqa(line: str, drop: set[str]) -> str | None:
+    """Drop *drop* codes from the line's noqa comment; None = no change."""
+    m = _NOQA_COMMENT_RE.search(line)
+    if m is None:
+        return None
+    codes_text = m.group("codes")
+    if codes_text is None:
+        # Blanket noqa that suppressed nothing: remove the comment.
+        return line[: m.start()].rstrip() or None
+    codes = [c.strip().upper() for c in codes_text.split(",") if c.strip()]
+    keep = [c for c in codes if c not in drop]
+    if keep == codes:
+        return None
+    if not keep:
+        kept_line = line[: m.start()] + line[m.end() :]
+        return kept_line.rstrip()
+    prefix = line[: m.start()]
+    suffix = line[m.end() :]
+    return f"{prefix}  # noqa: {', '.join(keep)}{suffix}".rstrip()
+
+
+def _fix_stale_noqa(source: str, path: str) -> tuple[str, list[Fix]]:
+    stale = [
+        d
+        for d in lint_source(source, path)
+        if d.code == "RT099" and _STALE_RE.search(d.message)
+    ]
+    if not stale:
+        return source, []
+    lines = source.splitlines()
+    fixes: list[Fix] = []
+    for d in stale:
+        idx = d.line - 1
+        if not 0 <= idx < len(lines):
+            continue
+        drop = set(_CODE_RE.findall(d.message))
+        new = _rewrite_noqa(lines[idx], drop)
+        if new is None and "suppressed no finding" in d.message:
+            new = _NOQA_COMMENT_RE.sub("", lines[idx]).rstrip()
+        if new is not None and new != lines[idx]:
+            lines[idx] = new
+            what = ", ".join(sorted(drop)) if drop else "blanket noqa"
+            fixes.append(Fix(d.line, f"drop stale suppression ({what})"))
+    if not fixes:
+        return source, []
+    fixed = "\n".join(lines) + ("\n" if source.endswith("\n") else "")
+    return fixed, fixes
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def fix_source(source: str, path: str = "<string>") -> tuple[str, list[Fix]]:
+    """All applicable autofixes for *source*; returns (new text, fixes)."""
+    fixed, fixes = _fix_hash_seeded_randoms(source)
+    fixed, more = _fix_stale_noqa(fixed, path)
+    return fixed, fixes + more
+
+
+def fix_file(path: str | Path) -> list[Fix]:
+    """Apply :func:`fix_source` to *path* in place; returns the fixes."""
+    p = Path(path)
+    source = p.read_text(encoding="utf-8")
+    fixed, fixes = fix_source(source, str(p))
+    if fixes and fixed != source:
+        p.write_text(fixed, encoding="utf-8")
+    return fixes

@@ -1,0 +1,128 @@
+"""Finding baseline: adopt the tool on a codebase with legacy debt.
+
+A committed ``analysis-baseline.json`` records the currently-accepted
+findings.  CI then enforces a ratchet:
+
+* a finding **not** in the baseline is *new* → fail;
+* a baselined finding that still fires is *legacy* → allowed, burn down
+  over time;
+* a baseline entry that no longer matches anything is *resolved* →
+  warn, so the file gets re-tightened (``--write-baseline``) and the
+  debt count only ever moves down.
+
+Fingerprints are ``stable_hash(code, normalized path, message)`` —
+deliberately **line-number free**, so unrelated edits above a legacy
+finding don't re-flag it as new.  Identical findings are matched as a
+multiset: two occurrences in the baseline excuse at most two in the
+current run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.rng import stable_hash
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "BaselineDiff",
+    "fingerprint",
+    "load_baseline",
+    "save_baseline",
+    "diff_baseline",
+]
+
+DEFAULT_BASELINE_PATH = "analysis-baseline.json"
+
+_BASELINE_VERSION = 1
+
+
+def _norm_path(path: str) -> str:
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Line-independent identity of a finding."""
+    return f"{stable_hash(diag.code, _norm_path(diag.path), diag.message):08x}"
+
+
+def save_baseline(path: str | Path, diagnostics: Iterable[Diagnostic]) -> int:
+    """Write *diagnostics* as the accepted baseline; returns the count."""
+    findings = sorted(
+        (
+            {
+                "fingerprint": fingerprint(d),
+                "code": d.code,
+                "path": _norm_path(d.path),
+                "message": d.message,
+            }
+            for d in diagnostics
+        ),
+        key=lambda e: (e["path"], e["code"], e["fingerprint"]),
+    )
+    payload = {
+        "version": _BASELINE_VERSION,
+        "tool": "repro.analysis",
+        "findings": findings,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(findings)
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """fingerprint → allowed occurrence count.  Missing file = empty."""
+    p = Path(path)
+    if not p.exists():
+        return Counter()
+    payload = json.loads(p.read_text(encoding="utf-8"))
+    if payload.get("version") != _BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {p}"
+        )
+    return Counter(e["fingerprint"] for e in payload.get("findings", []))
+
+
+class BaselineDiff:
+    """Partition of a run's findings against the accepted baseline."""
+
+    def __init__(
+        self,
+        new: list[Diagnostic],
+        legacy: list[Diagnostic],
+        resolved: int,
+    ):
+        self.new = new
+        self.legacy = legacy
+        self.resolved = resolved
+
+    @property
+    def ok(self) -> bool:
+        """True when the ratchet holds: nothing new."""
+        return not self.new
+
+
+def diff_baseline(
+    diagnostics: Iterable[Diagnostic], baseline: Counter
+) -> BaselineDiff:
+    """Split findings into new vs baselined, counting resolved entries."""
+    remaining = Counter(baseline)
+    new: list[Diagnostic] = []
+    legacy: list[Diagnostic] = []
+    for d in diagnostics:
+        fp = fingerprint(d)
+        if remaining[fp] > 0:
+            remaining[fp] -= 1
+            legacy.append(d)
+        else:
+            new.append(d)
+    resolved = sum(remaining.values())
+    return BaselineDiff(new=new, legacy=legacy, resolved=resolved)

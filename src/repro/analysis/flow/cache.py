@@ -1,0 +1,123 @@
+"""Incremental flow-analysis store — the exec-cache idiom, per file.
+
+Whole-program analysis re-reads every module, but almost nothing
+changes between runs; re-parsing ~70 files to re-check one edit is the
+kind of friction that gets a checker turned off.  The cache keys each
+module's :class:`~repro.analysis.flow.model.ModuleSummary` by the
+file's **content hash** (CRC-32, exactly like
+:func:`repro.exec.cache.code_version` fingerprints source bytes), so:
+
+* a *touched-but-unchanged* file is a hit — nothing is re-parsed;
+* any byte change (even a comment) re-extracts just that file;
+* a :data:`FORMAT_VERSION` bump — whenever the summary schema or the
+  extraction semantics change — invalidates the whole store at once,
+  so a stale summary can never feed the rules.
+
+Rule evaluation itself always re-runs over the (mostly cached)
+summaries: findings are global properties and the propagation fixpoint
+is cheap next to parsing.  :attr:`FlowCache.stats` reports hits/misses
+for the CLI note and for the incrementality test in
+``tests/analysis/test_flow_cache.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.flow.model import ModuleSummary
+
+__all__ = ["DEFAULT_FLOW_CACHE_DIR", "FlowCacheStats", "FlowCache", "FORMAT_VERSION"]
+
+#: Default store location (sibling of the exec result cache).
+DEFAULT_FLOW_CACHE_DIR = ".repro-cache/flow"
+
+#: Bump on any change to ModuleSummary/FunctionInfo/TaintVal shape or
+#: to extraction semantics — stale summaries must never survive.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class FlowCacheStats:
+    """Per-run counters: summaries reused vs files re-analyzed."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class FlowCache:
+    """Pickled ``{path: (content_hash, ModuleSummary)}`` store.
+
+    Satisfies the ``lookup``/``store`` protocol
+    :func:`repro.analysis.flow.model.build_model` accepts.  Unreadable
+    or version-skewed stores degrade to an empty cache (all misses),
+    never to stale summaries.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_FLOW_CACHE_DIR):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / "summaries.pkl"
+        self.stats = FlowCacheStats()
+        self._entries: dict[str, tuple[str, ModuleSummary]] = self._load()
+        self._dirty = False
+
+    def _load(self) -> dict[str, tuple[str, ModuleSummary]]:
+        try:
+            with self.path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            return {}
+        if not isinstance(payload, dict) or payload.get("version") != FORMAT_VERSION:
+            return {}
+        entries = payload.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def lookup(self, path: str, digest: str) -> ModuleSummary | None:
+        """The cached summary for *path* at *digest*, or None (a miss)."""
+        entry = self._entries.get(str(Path(path).resolve()))
+        if entry is not None and entry[0] == digest:
+            self.stats.hits += 1
+            return entry[1]
+        self.stats.misses += 1
+        return None
+
+    def store(self, path: str, digest: str, summary: ModuleSummary) -> None:
+        self._entries[str(Path(path).resolve())] = (digest, summary)
+        self.stats.stores += 1
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist the store (atomic write); no-op when unchanged."""
+        if not self._dirty:
+            return
+        tmp = self.path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(
+                {"version": FORMAT_VERSION, "entries": self._entries},
+                fh,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        tmp.replace(self.path)
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._entries)

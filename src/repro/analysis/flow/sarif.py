@@ -1,0 +1,140 @@
+"""SARIF 2.1.0 output for GitHub code-scanning annotations.
+
+One renderer for *all* diagnostics — per-file ``RT0xx``, scenario
+``TS0xx`` and whole-program ``RT1xx`` — so a single
+``python -m repro.analysis --format sarif`` upload annotates pull
+requests regardless of which layer produced a finding.
+
+The document sticks to the small, schema-required core: a single run,
+a ``tool.driver`` with per-rule metadata (id, name, short description,
+default level), and one ``result`` per diagnostic with a physical
+location carrying a repo-relative URI.  ``startLine``/``startColumn``
+are only emitted when known (SARIF regions must be >= 1).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic, Severity, sort_key
+
+__all__ = ["render_sarif", "SARIF_SCHEMA_URI", "SARIF_VERSION"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_metadata() -> dict[str, dict]:
+    """id → SARIF ``reportingDescriptor`` for every known rule code."""
+    from repro.analysis.flow.rules import FLOW_RULES
+    from repro.analysis.lint import PARSE_ERROR_CODE, all_rules
+    from repro.analysis.taskset import TS_CODES
+
+    out: dict[str, dict] = {}
+    for rule in (*all_rules(), *FLOW_RULES):
+        out[rule.code] = {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        }
+    out[PARSE_ERROR_CODE] = {
+        "id": PARSE_ERROR_CODE,
+        "name": "parse-error",
+        "shortDescription": {"text": "file could not be parsed"},
+        "defaultConfiguration": {"level": "error"},
+    }
+    for code in sorted(TS_CODES):
+        out[code] = {
+            "id": code,
+            "name": f"task-system-{code[2:].lstrip('0') or '0'}",
+            "shortDescription": {
+                "text": "task-system consistency check "
+                "(see repro.analysis.taskset)"
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    return out
+
+
+def _relative_uri(path: str) -> str:
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def render_sarif(
+    diagnostics: Iterable[Diagnostic], *, tool_version: str = "1.0.0"
+) -> str:
+    """A SARIF 2.1.0 document (JSON text) for *diagnostics*."""
+    diags = sorted(diagnostics, key=sort_key)
+    metadata = _rule_metadata()
+    used_ids = sorted({d.code for d in diags} | set(metadata))
+    rules = [
+        metadata.get(
+            rule_id,
+            {
+                "id": rule_id,
+                "name": rule_id.lower(),
+                "shortDescription": {"text": rule_id},
+                "defaultConfiguration": {"level": "error"},
+            },
+        )
+        for rule_id in used_ids
+    ]
+    index = {rule["id"]: i for i, rule in enumerate(rules)}
+
+    results = []
+    for d in diags:
+        message = d.message if not d.hint else f"{d.message} (hint: {d.hint})"
+        region: dict = {}
+        if d.line > 0:
+            region["startLine"] = d.line
+            if d.column > 0:
+                region["startColumn"] = d.column
+        location = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": _relative_uri(d.path)},
+            }
+        }
+        if region:
+            location["physicalLocation"]["region"] = region
+        results.append(
+            {
+                "ruleId": d.code,
+                "ruleIndex": index[d.code],
+                "level": _LEVELS[d.severity],
+                "message": {"text": message},
+                "locations": [location],
+            }
+        )
+
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://example.invalid/repro",
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,372 @@
+"""Taint lattice and interprocedural propagation for the flow layer.
+
+Three taint kinds cover the invariants the per-file linter cannot see
+across a call that leaves the module:
+
+* :data:`VOLATILE` — a value that differs between processes or hosts:
+  wall-clock reads, environment variables, host identity, salted
+  ``hash()``, global-RNG draws.  Reaching a fingerprint/cache-key sink
+  makes "same spec, same hash" silently false (RT101).
+* :data:`TIME_NS` — an integer-nanosecond quantity minted by
+  :mod:`repro.units`.  Escaping into float arithmetic in a module where
+  RT001's name heuristic cannot see it re-introduces the rounding drift
+  the time discipline exists to prevent (RT102).
+* :data:`RNG` — a seeded ``random.Random`` / numpy generator object.
+  Deterministic *within* a process; captured by a callable that crosses
+  a process boundary, the state is pickled and the parent/child streams
+  silently fork (RT103).
+
+A :class:`TaintVal` is *symbolic* within one function: besides concrete
+kinds it may reference the function's own parameters (``params``) and
+call sites (``calls`` — keyed by position, resolved once the whole
+program is known).  :func:`propagate` then runs a context-insensitive
+worklist fixpoint over the project model, computing per-function
+return-taint (``ret``) and parameter-taint (``par``) maps — the finite
+lattice (three kinds) guarantees termination.
+
+Sanitizers are the two documented blessing points:
+``repro.rng.derive_rng`` (volatile seed → sanctioned stream) and
+``repro.exec.manifest.strip_volatile`` (manifest → fingerprintable
+subset); their results carry no volatility.  ``stable_hash`` is *not* a
+sanitizer — a stable hash of a volatile value is still volatile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.flow.model import CallSite, FunctionInfo, ProjectModel
+
+__all__ = [
+    "VOLATILE",
+    "TIME_NS",
+    "RNG",
+    "TaintVal",
+    "EMPTY",
+    "TaintState",
+    "propagate",
+    "VOLATILE_CALLS",
+    "RNG_CALLS",
+    "TIME_CALLS",
+    "SANITIZERS",
+    "FACTORY_TYPES",
+    "MUTATOR_METHODS",
+]
+
+VOLATILE = "volatile"
+TIME_NS = "time_ns"
+RNG = "rng"
+
+_FS: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class TaintVal:
+    """Symbolic taint of one expression inside one function.
+
+    ``kinds`` are concrete; ``params`` (parameter indices) and ``calls``
+    (call-site keys ``(line, col)`` within the same function) are
+    resolved against the whole-program fixpoint.  ``closure`` is the
+    taint captured by a function object this value may denote (a lambda,
+    a nested def, a ``functools.partial``) — one level deep.
+    """
+
+    kinds: frozenset = _FS
+    params: frozenset = _FS
+    calls: frozenset = _FS
+    closure: "TaintVal | None" = None
+
+    def __or__(self, other: "TaintVal") -> "TaintVal":
+        if other is EMPTY:
+            return self
+        if self is EMPTY:
+            return other
+        closure = self.closure
+        if other.closure is not None:
+            closure = other.closure if closure is None else closure | other.closure
+        return TaintVal(
+            kinds=self.kinds | other.kinds,
+            params=self.params | other.params,
+            calls=self.calls | other.calls,
+            closure=closure,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.kinds or self.params or self.calls or self.closure)
+
+    def drop_closure(self) -> "TaintVal":
+        return self if self.closure is None else TaintVal(self.kinds, self.params, self.calls)
+
+
+EMPTY = TaintVal()
+
+
+def of(*kinds: str) -> TaintVal:
+    return TaintVal(kinds=frozenset(kinds))
+
+
+# ---------------------------------------------------------------------------
+# Classification tables (resolved dotted names).
+# ---------------------------------------------------------------------------
+
+#: Module-level ``random`` functions drawing from the process-global RNG.
+_GLOBAL_RANDOM = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "expovariate", "gauss", "normalvariate",
+    "getrandbits", "randbytes", "triangular", "betavariate", "paretovariate",
+}
+
+#: Calls whose result differs across processes/hosts/runs.
+VOLATILE_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.getenv", "os.environ.get", "os.getpid", "os.getcwd", "os.uname",
+        "os.urandom",
+        "socket.gethostname", "socket.getfqdn",
+        "platform.node", "platform.platform", "platform.uname",
+        "uuid.uuid1", "uuid.uuid4",
+        "getpass.getuser",
+        "secrets.token_hex", "secrets.token_bytes", "secrets.token_urlsafe",
+        "secrets.randbits", "secrets.randbelow",
+        "hash", "id",
+    }
+    | {f"random.{name}" for name in _GLOBAL_RANDOM}
+)
+
+#: Names whose *subscript* (``environ["X"]``) is volatile.
+VOLATILE_SUBSCRIPTS = frozenset({"os.environ", "os.environb"})
+
+#: Constructors producing RNG objects (deterministic when seeded; the
+#: object itself must still never cross a process boundary, RT103).
+RNG_CALLS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "repro.rng.derive_rng",
+        "repro.rng.resolve_rng",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+    }
+)
+
+#: :mod:`repro.units` constructors minting integer-nanosecond values.
+TIME_CALLS = frozenset(
+    {
+        "repro.units.ns",
+        "repro.units.us",
+        "repro.units.ms",
+        "repro.units.seconds",
+        "repro.units.parse_duration",
+    }
+)
+
+#: Blessing points: results carry no volatility.
+SANITIZERS = frozenset(
+    {
+        "repro.rng.derive_rng",
+        "repro.exec.manifest.strip_volatile",
+    }
+)
+
+#: Factories whose return value we type for method resolution.
+FACTORY_TYPES = {
+    "repro.exec.executor.make_executor": "repro.exec.executor.PoolExecutor",
+}
+
+#: Method names that mutate their receiver in place (RT104 evidence).
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "sort",
+        "reverse", "update", "setdefault", "popitem", "add", "discard",
+        "appendleft", "popleft",
+    }
+)
+
+
+def call_result_taint(resolved: tuple[str, ...]) -> TaintVal | None:
+    """Concrete result taint for a call classified by its resolved
+    dotted name(s), or ``None`` when the call is unclassified (internal
+    or unknown — resolved by the global fixpoint instead)."""
+    for name in resolved:
+        if name in SANITIZERS:
+            # derive_rng both sanitizes its seed and returns an RNG.
+            return of(RNG) if name in RNG_CALLS else EMPTY
+        if name in VOLATILE_CALLS:
+            return of(VOLATILE)
+        if name in RNG_CALLS:
+            return of(RNG)
+        if name in TIME_CALLS:
+            return of(TIME_NS)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Whole-program fixpoint.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TaintState:
+    """Fixpoint result: per-function return/parameter taint kinds."""
+
+    ret: dict[str, frozenset] = field(default_factory=dict)
+    par: dict[str, list[set]] = field(default_factory=dict)
+    rounds: int = 0
+
+    # -- evaluation helpers (used by the rules) ---------------------------
+
+    def kinds_of(
+        self,
+        model: "ProjectModel",
+        func: "FunctionInfo",
+        tv: TaintVal,
+        _seen: set | None = None,
+    ) -> frozenset:
+        """Concrete taint kinds *tv* may carry in *func*'s context."""
+        if _seen is None:
+            _seen = set()
+        kinds = set(tv.kinds)
+        for i in tv.params:
+            pars = self.par.get(func.fqn)
+            if pars is not None and i < len(pars):
+                kinds |= pars[i]
+        for key in tv.calls:
+            kinds |= self._call_kinds(model, func, key, _seen)
+        return frozenset(kinds)
+
+    def nonlocal_kinds(
+        self, model: "ProjectModel", func: "FunctionInfo", tv: TaintVal
+    ) -> frozenset:
+        """Kinds arriving only through parameters or through calls into
+        *other* modules — the flows per-file rules cannot see."""
+        kinds: set = set()
+        for i in tv.params:
+            pars = self.par.get(func.fqn)
+            if pars is not None and i < len(pars):
+                kinds |= pars[i]
+        for key in tv.calls:
+            site = func.call_at(key)
+            if site is None:
+                continue
+            for cand in site.callee:
+                target = model.functions.get(cand)
+                if target is not None and target.module != func.module:
+                    kinds |= self.ret.get(cand, _FS)
+        return frozenset(kinds)
+
+    def closure_kinds(
+        self, model: "ProjectModel", func: "FunctionInfo", tv: TaintVal
+    ) -> frozenset:
+        """Kinds captured by any callable *tv* may denote — the value's
+        own closure, or the closure returned by an internal callee
+        (``make_worker(rng)``-style factories, one level deep)."""
+        kinds: set = set()
+        if tv.closure is not None:
+            kinds |= self.kinds_of(model, func, tv.closure)
+        for key in tv.calls:
+            site = func.call_at(key)
+            if site is None:
+                continue
+            for cand in site.callee:
+                target = model.functions.get(cand)
+                if target is None or target.ret_closure is None:
+                    continue
+                cl = target.ret_closure
+                kinds |= cl.kinds
+                for i in cl.params:
+                    arg = _arg_for_param(site, target, i)
+                    if arg is not None:
+                        kinds |= self.kinds_of(model, func, arg)
+        return frozenset(kinds)
+
+    def _call_kinds(
+        self, model: "ProjectModel", func: "FunctionInfo", key, _seen: set
+    ) -> frozenset:
+        # A call-site arg can symbolically reference its own site
+        # (``x = min(x, f())``); the guard turns that cycle into EMPTY
+        # — sound for a join, the other operands still contribute.
+        guard = (func.fqn, key)
+        if guard in _seen:
+            return _FS
+        _seen.add(guard)
+        try:
+            site = func.call_at(key)
+            if site is None:
+                return _FS
+            internal = [c for c in site.callee if c in model.functions]
+            if internal:
+                kinds: set = set()
+                for cand in internal:
+                    kinds |= self.ret.get(cand, _FS)
+                return frozenset(kinds)
+            # Unknown external call: assume it passes its inputs through
+            # (json.dumps(volatile) is volatile, min(t, x) stays time-valued).
+            kinds = set()
+            for arg in site.all_args():
+                kinds |= self.kinds_of(model, func, arg, _seen)
+            return frozenset(kinds)
+        finally:
+            _seen.discard(guard)
+
+
+def _arg_for_param(site: "CallSite", target: "FunctionInfo", index: int) -> TaintVal | None:
+    """The call-site argument feeding *target*'s parameter *index*."""
+    pos = index - 1 if site.bound and target.is_method else index
+    if 0 <= pos < len(site.args):
+        return site.args[pos]
+    if 0 <= index < len(target.params):
+        name = target.params[index]
+        for kw, tv in site.kwargs:
+            if kw == name:
+                return tv
+    return None
+
+
+def propagate(model: "ProjectModel", *, max_rounds: int = 50) -> TaintState:
+    """Context-insensitive interprocedural fixpoint over *model*."""
+    state = TaintState()
+    funcs = model.functions
+    for fqn, info in funcs.items():
+        state.ret[fqn] = frozenset()
+        state.par[fqn] = [set() for _ in info.params]
+
+    for round_no in range(1, max_rounds + 1):
+        changed = False
+        for fqn, info in funcs.items():
+            # Push argument taint into callee parameter slots.
+            for site in info.calls:
+                for cand in site.callee:
+                    target = funcs.get(cand)
+                    if target is None:
+                        continue
+                    pars = state.par[cand]
+                    for j, arg in enumerate(site.args):
+                        i = j + 1 if site.bound and target.is_method else j
+                        if i < len(pars):
+                            add = state.kinds_of(model, info, arg) - pars[i]
+                            if add:
+                                pars[i] |= add
+                                changed = True
+                    for kw, arg in site.kwargs:
+                        if kw in target.params:
+                            i = target.params.index(kw)
+                            add = state.kinds_of(model, info, arg) - pars[i]
+                            if add:
+                                pars[i] |= add
+                                changed = True
+            # Recompute return taint.
+            new_ret = state.kinds_of(model, info, info.ret)
+            if new_ret != state.ret[fqn]:
+                state.ret[fqn] = new_ret
+                changed = True
+        state.rounds = round_no
+        if not changed:
+            break
+    return state

@@ -19,7 +19,9 @@ records; suppression is per-line via ``# noqa`` / ``# noqa: RT001``.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Type
@@ -51,6 +53,11 @@ class ModuleContext:
     source: str
     #: Per-line suppressions: ``None`` means *all* codes on that line.
     suppressions: dict[int, set[str] | None] = field(default_factory=dict)
+    #: Codes actually silenced per line — the RT099 staleness ledger.
+    used_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: False when a ``--select`` subset runs; suppression-staleness
+    #: accounting (RT099) is only meaningful against the full rule set.
+    full_run: bool = True
 
     @property
     def is_units_module(self) -> bool:
@@ -62,12 +69,32 @@ class ModuleContext:
         if line not in self.suppressions:
             return False
         codes = self.suppressions[line]
-        return codes is None or code in codes
+        if codes is None or code in codes:
+            self.used_suppressions.setdefault(line, set()).add(code)
+            return True
+        return False
 
 
 def _scan_suppressions(source: str) -> dict[int, set[str] | None]:
+    """Per-line ``# noqa`` entries, scanned from *comment tokens* only
+    so a docstring that merely talks about ``# noqa`` is not treated as
+    a suppression (which RT099 would then report as stale)."""
     out: dict[int, set[str] | None] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, SyntaxError, ValueError):
+        # Unreachable for source that ast.parse accepted; degrade to
+        # the old whole-line scan rather than dropping suppressions.
+        tokens = None
+    if tokens is None:
+        candidates = enumerate(source.splitlines(), start=1)
+    else:
+        candidates = (
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        )
+    for lineno, text in candidates:
         match = _NOQA_RE.search(text)
         if not match:
             continue
@@ -209,7 +236,11 @@ def lint_source(
             )
         ]
     ctx = ModuleContext(
-        path=path, tree=tree, source=source, suppressions=_scan_suppressions(source)
+        path=path,
+        tree=tree,
+        source=source,
+        suppressions=_scan_suppressions(source),
+        full_run=codes is None,
     )
     wanted = {c.upper() for c in codes} if codes is not None else None
     out: list[Diagnostic] = []

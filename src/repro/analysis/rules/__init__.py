@@ -21,7 +21,12 @@ Importing this package registers every rule with
            ``repro.core.partition`` APIs (partitioner privates,
            snapshot ``assignment`` writes, shard ``detach_task`` /
            ``adopt_task`` outside the ``repro.sim.mp`` driver)
+``RT099``  stale ``# noqa`` suppressions — codes that silenced no
+           finding on a full run (warning)
 ========  =======================================================
+
+Whole-program (cross-module) rules carry ``RT1xx`` codes and live in
+:mod:`repro.analysis.flow.rules`; they run via ``--flow``, not here.
 
 To add a rule: subclass :class:`repro.analysis.lint.Rule`, decorate it
 with :func:`repro.analysis.lint.register`, give it the next free code,
@@ -36,5 +41,6 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     partition_discipline,
     reporting,
     search_discipline,
+    suppressions,
     time_discipline,
 )

@@ -26,6 +26,7 @@ from repro.analysis.lint import (
     Rule,
     attr_call,
     contains_call_to,
+    from_imports,
     module_aliases,
     register,
 )
@@ -68,6 +69,12 @@ class NondeterministicRandomness(Rule):
         super().__init__(ctx)
         self._random_aliases = module_aliases(ctx.tree, "random")
         self._numpy_aliases = module_aliases(ctx.tree, "numpy")
+        #: ``from numpy.random import default_rng [as X]`` bindings.
+        self._default_rng_names = {
+            local
+            for local, orig in from_imports(ctx.tree, "numpy.random").items()
+            if orig == "default_rng"
+        }
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "random" and node.level == 0:
@@ -122,7 +129,8 @@ class NondeterministicRandomness(Rule):
                 return
 
     def _check_numpy(self, node: ast.Call) -> None:
-        # numpy.random.<func>() — module-level global-state draws.
+        # numpy.random.<func>() — module-level global-state draws, plus
+        # default_rng() without an explicit seed (OS-entropy seeded).
         func = node.func
         if (
             isinstance(func, ast.Attribute)
@@ -130,11 +138,28 @@ class NondeterministicRandomness(Rule):
             and func.value.attr == "random"
             and isinstance(func.value.value, ast.Name)
             and func.value.value.id in self._numpy_aliases
-            and func.attr not in _NUMPY_SEEDED
         ):
-            self.report(
-                node,
-                f"numpy.random.{func.attr}() uses numpy's global RNG state",
-                hint="use numpy.random.default_rng(seed) and pass the "
-                "generator down",
-            )
+            if func.attr not in _NUMPY_SEEDED:
+                self.report(
+                    node,
+                    f"numpy.random.{func.attr}() uses numpy's global RNG state",
+                    hint="use numpy.random.default_rng(seed) and pass the "
+                    "generator down",
+                )
+            elif func.attr == "default_rng" and not node.args and not node.keywords:
+                self._report_unseeded_default_rng(node, "numpy.random.default_rng")
+        elif (
+            isinstance(func, ast.Name)
+            and func.id in self._default_rng_names
+            and not node.args
+            and not node.keywords
+        ):
+            self._report_unseeded_default_rng(node, func.id)
+
+    def _report_unseeded_default_rng(self, node: ast.Call, shown: str) -> None:
+        self.report(
+            node,
+            f"{shown}() without an explicit seed is seeded from the OS",
+            hint="pass a seed derived via repro.rng.stable_hash and hand "
+            "the generator down",
+        )

@@ -1,0 +1,89 @@
+"""RT099 — ``# noqa`` suppressions must not rot.
+
+A suppression is an exception the reviewer signed off on *for a
+specific finding*.  When the code it excused is later refactored away,
+the stale ``# noqa`` stays behind and silently swallows the **next**
+violation introduced on that line — the exact "silent discipline
+violation" failure mode this checker exists to prevent.
+
+RT099 runs after every other rule (codes sort last) and compares the
+suppressions scanned from the source against the ones rules actually
+*used* this run:
+
+* ``# noqa: RT001, RT002`` where only RT001 fired → RT002 reported
+  stale;
+* a blanket ``# noqa`` that silenced nothing → reported, with a nudge
+  toward code-specific form;
+* codes belonging to other tools (``N802``, ``F401``, ``E731`` …) are
+  ignored — this checker only audits its own vocabulary.
+
+Staleness is only computed on full runs (no ``--select`` filter): with
+a rule subset disabled, an unused suppression proves nothing.  RT099
+findings are warnings and are deliberately not themselves
+``# noqa``-suppressible.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.lint import PARSE_ERROR_CODE, Rule, register
+
+__all__ = ["StaleSuppression"]
+
+
+@register
+class StaleSuppression(Rule):
+    """RT099: a ``# noqa`` entry that suppressed no finding."""
+
+    code = "RT099"
+    name = "stale-suppression"
+    description = (
+        "# noqa / # noqa: RTxxx comments whose codes silenced no finding "
+        "on a full run are stale and would hide the next real violation; "
+        "remove them (or narrow a blanket # noqa to specific codes)."
+    )
+    severity = Severity.WARNING
+
+    def run(self) -> list[Diagnostic]:
+        if not self.ctx.full_run:
+            return self.diagnostics
+        from repro.analysis.lint import all_rules
+
+        ours = {r.code for r in all_rules()} | {PARSE_ERROR_CODE}
+        ours.discard(self.code)
+        for line in sorted(self.ctx.suppressions):
+            codes = self.ctx.suppressions[line]
+            used = self.ctx.used_suppressions.get(line, set())
+            if codes is None:
+                if not used:
+                    self._report(
+                        line,
+                        "blanket # noqa suppressed no finding",
+                        hint="remove it, or use code-specific "
+                        "# noqa: RTxxx so future violations still fire",
+                    )
+                continue
+            stale = sorted((codes & ours) - used)
+            if stale:
+                self._report(
+                    line,
+                    f"# noqa: {', '.join(stale)} suppressed no "
+                    f"{'finding' if len(stale) == 1 else 'findings'}",
+                    hint="remove the stale code(s) from the suppression",
+                )
+        return self.diagnostics
+
+    def _report(self, line: int, message: str, *, hint: str) -> None:
+        # Deliberately bypasses the suppression check: a stale-noqa
+        # warning silenced by another noqa would defeat the audit.
+        self.diagnostics.append(
+            Diagnostic(
+                code=self.code,
+                severity=self.severity,
+                message=message,
+                path=self.ctx.path,
+                line=line,
+                column=1,
+                hint=hint,
+            )
+        )

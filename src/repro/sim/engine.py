@@ -175,9 +175,9 @@ class Engine:
                     break
                 self.now = when
                 self._processed += 1
-                t0 = clock()  # noqa: RT002 - profiler metadata, not simulated time
+                t0 = clock()
                 handle.action()
-                t1 = clock()  # noqa: RT002 - profiler metadata, not simulated time
+                t1 = clock()
                 profiler.record(entry[1], t1 - t0)
         if until is not None and until > self.now:
             self.now = until

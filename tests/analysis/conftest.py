@@ -1,0 +1,31 @@
+"""Shared fixture helpers for the analysis test suite."""
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture
+def write_package(tmp_path):
+    """Materialize ``{relative_path: source}`` as a package under
+    ``tmp_path`` and return its root directory.
+
+    ``__init__.py`` files are created automatically for every directory
+    so dotted module names resolve the way the flow layer expects.
+    """
+
+    def _write(files, root="pkg"):
+        base = tmp_path / root
+        for rel, source in files.items():
+            p = base / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            d = p.parent
+            while d != tmp_path:
+                init = d / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+                d = d.parent
+            p.write_text(textwrap.dedent(source))
+        return base
+
+    return _write

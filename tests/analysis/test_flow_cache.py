@@ -1,0 +1,93 @@
+"""Incremental summary cache: content addressing and hit accounting."""
+
+import pickle
+
+from repro.analysis.flow import FlowCache, analyze
+from repro.analysis.flow.cache import FORMAT_VERSION
+
+
+FILES = {
+    "alpha.py": "def a():\n    return 1\n",
+    "beta.py": "def b():\n    return 2\n",
+    "gamma.py": "def c():\n    return 3\n",
+}
+
+
+def test_cold_then_warm_then_one_touched(write_package, tmp_path):
+    root = write_package(FILES)
+    cache_dir = tmp_path / "cache"
+
+    c1 = FlowCache(cache_dir)
+    d1, m1 = analyze([root], cache=c1)
+    n = len(m1.modules)  # the three fixtures plus __init__
+    assert (c1.stats.hits, c1.stats.misses) == (0, n)
+
+    c2 = FlowCache(cache_dir)
+    d2, m2 = analyze([root], cache=c2)
+    assert (c2.stats.hits, c2.stats.misses) == (n, 0)
+    assert [str(d) for d in d2] == [str(d) for d in d1]
+
+    # Touch exactly one file: exactly one re-analysis.
+    target = root / "beta.py"
+    target.write_text(target.read_text() + "\n# a comment\n")
+    c3 = FlowCache(cache_dir)
+    d3, m3 = analyze([root], cache=c3)
+    assert (c3.stats.hits, c3.stats.misses) == (n - 1, 1)
+    assert c3.stats.stores == 1
+
+
+def test_rewriting_same_content_stays_cached(write_package, tmp_path):
+    root = write_package(FILES)
+    cache_dir = tmp_path / "cache"
+    analyze([root], cache=FlowCache(cache_dir))
+
+    # mtime changes, content doesn't: still a full-hit run.
+    target = root / "alpha.py"
+    target.write_text(target.read_text())
+    c = FlowCache(cache_dir)
+    analyze([root], cache=c)
+    assert c.stats.misses == 0
+
+
+def test_version_skew_invalidates_everything(write_package, tmp_path):
+    root = write_package(FILES)
+    cache_dir = tmp_path / "cache"
+    c1 = FlowCache(cache_dir)
+    analyze([root], cache=c1)
+
+    store = cache_dir / "summaries.pkl"
+    payload = pickle.loads(store.read_bytes())
+    assert payload["version"] == FORMAT_VERSION
+    payload["version"] = FORMAT_VERSION - 1
+    store.write_bytes(pickle.dumps(payload))
+
+    c2 = FlowCache(cache_dir)
+    analyze([root], cache=c2)
+    assert c2.stats.hits == 0
+
+
+def test_corrupt_store_degrades_to_empty(write_package, tmp_path):
+    root = write_package(FILES)
+    cache_dir = tmp_path / "cache"
+    analyze([root], cache=FlowCache(cache_dir))
+    (cache_dir / "summaries.pkl").write_bytes(b"not a pickle")
+
+    c = FlowCache(cache_dir)
+    diags, model = analyze([root], cache=c)
+    assert c.stats.hits == 0
+    assert len(model.modules) == 4
+
+
+def test_cached_run_reproduces_findings(write_package, tmp_path):
+    files = {
+        "mint.py": "from repro.units import ms\n\n\ndef grant():\n    return ms(5)\n",
+        "use.py": "from pkg.mint import grant\n\n\ndef mean(n):\n    return grant() / n\n",
+    }
+    root = write_package(files)
+    cache_dir = tmp_path / "cache"
+    d1, _ = analyze([root], cache=FlowCache(cache_dir))
+    c2 = FlowCache(cache_dir)
+    d2, _ = analyze([root], cache=c2)
+    assert c2.stats.misses == 0
+    assert [str(d) for d in d1] == [str(d) for d in d2]
+    assert [d.code for d in d2] == ["RT102"]

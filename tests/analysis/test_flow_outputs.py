@@ -1,0 +1,271 @@
+"""SARIF rendering, baseline ratchet, and autofixes."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow import (
+    diff_baseline,
+    fingerprint,
+    fix_source,
+    load_baseline,
+    render_sarif,
+    save_baseline,
+)
+
+
+def diag(code="RT101", message="m", path="src/x.py", line=3, column=2, **kw):
+    severity = kw.pop("severity", Severity.ERROR)
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        path=path,
+        line=line,
+        column=column,
+        **kw,
+    )
+
+
+class TestSarif:
+    def test_structure(self):
+        doc = json.loads(render_sarif([diag(), diag(code="RT001", line=9)]))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.analysis"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in ("error", "warning")
+        assert len(run["results"]) == 2
+        for res in run["results"]:
+            # ruleIndex must point at the ruleId's descriptor.
+            assert rule_ids[res["ruleIndex"]] == res["ruleId"]
+            assert res["level"] == "error"
+            loc = res["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == "src/x.py"
+            assert loc["region"]["startLine"] >= 1
+
+    def test_all_registered_rules_have_descriptors(self):
+        doc = json.loads(render_sarif([]))
+        ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"RT001", "RT099", "RT101", "RT102", "RT103", "RT104"} <= ids
+
+    def test_file_level_finding_omits_region(self):
+        doc = json.loads(render_sarif([diag(code="RT000", line=0, column=0)]))
+        (res,) = doc["runs"][0]["results"]
+        assert "region" not in res["locations"][0]["physicalLocation"]
+
+    def test_warning_level_mapped(self):
+        doc = json.loads(
+            render_sarif([diag(code="RT104", severity=Severity.WARNING)])
+        )
+        assert doc["runs"][0]["results"][0]["level"] == "warning"
+
+    def test_validates_against_sarif_core_schema(self):
+        # The required-property core of the SARIF 2.1.0 schema (the
+        # full OASIS document isn't vendored; this captures every
+        # constraint GitHub code scanning rejects uploads over).
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = {
+            "type": "object",
+            "required": ["version", "runs"],
+            "properties": {
+                "version": {"const": "2.1.0"},
+                "runs": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {
+                        "type": "object",
+                        "required": ["tool"],
+                        "properties": {
+                            "tool": {
+                                "type": "object",
+                                "required": ["driver"],
+                                "properties": {
+                                    "driver": {
+                                        "type": "object",
+                                        "required": ["name"],
+                                        "properties": {
+                                            "rules": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "required": ["id"],
+                                                },
+                                            }
+                                        },
+                                    }
+                                },
+                            },
+                            "results": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["message"],
+                                    "properties": {
+                                        "message": {
+                                            "type": "object",
+                                            "required": ["text"],
+                                        },
+                                        "level": {
+                                            "enum": [
+                                                "none",
+                                                "note",
+                                                "warning",
+                                                "error",
+                                            ]
+                                        },
+                                        "locations": {
+                                            "type": "array",
+                                            "items": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "physicalLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "region": {
+                                                                "type": "object",
+                                                                "properties": {
+                                                                    "startLine": {
+                                                                        "type": "integer",
+                                                                        "minimum": 1,
+                                                                    },
+                                                                    "startColumn": {
+                                                                        "type": "integer",
+                                                                        "minimum": 1,
+                                                                    },
+                                                                },
+                                                            }
+                                                        },
+                                                    }
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        }
+        doc = json.loads(
+            render_sarif(
+                [
+                    diag(),
+                    diag(code="RT104", severity=Severity.WARNING),
+                    diag(code="RT000", line=0, column=0),
+                ]
+            )
+        )
+        jsonschema.validate(doc, schema)
+
+
+class TestBaseline:
+    def test_fingerprint_ignores_line_numbers(self):
+        assert fingerprint(diag(line=3)) == fingerprint(diag(line=300))
+        assert fingerprint(diag()) != fingerprint(diag(message="other"))
+        assert fingerprint(diag()) != fingerprint(diag(code="RT102"))
+
+    def test_round_trip_and_ratchet(self, tmp_path):
+        bl_path = tmp_path / "baseline.json"
+        legacy = diag(message="legacy finding")
+        save_baseline(bl_path, [legacy])
+
+        # Same finding at a new line: still baselined.
+        moved = diag(message="legacy finding", line=99)
+        fresh = diag(message="new finding")
+        diff = diff_baseline([moved, fresh], load_baseline(bl_path))
+        assert [d.message for d in diff.new] == ["new finding"]
+        assert [d.message for d in diff.legacy] == ["legacy finding"]
+        assert diff.resolved == 0
+        assert not diff.ok
+
+    def test_resolved_entries_counted(self, tmp_path):
+        bl_path = tmp_path / "baseline.json"
+        save_baseline(bl_path, [diag(), diag(message="gone")])
+        diff = diff_baseline([diag()], load_baseline(bl_path))
+        assert diff.ok
+        assert diff.resolved == 1
+
+    def test_duplicate_findings_match_as_multiset(self, tmp_path):
+        bl_path = tmp_path / "baseline.json"
+        save_baseline(bl_path, [diag()])
+        # Two identical findings, one baselined slot: one is new.
+        diff = diff_baseline([diag(), diag()], load_baseline(bl_path))
+        assert len(diff.legacy) == 1
+        assert len(diff.new) == 1
+
+    def test_missing_baseline_means_everything_new(self, tmp_path):
+        diff = diff_baseline([diag()], load_baseline(tmp_path / "none.json"))
+        assert len(diff.new) == 1 and not diff.ok
+
+
+class TestAutofix:
+    def test_hash_seeded_random_rewritten_with_import(self):
+        src = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def make(name):\n"
+            "    return random.Random(hash(('exp', name)))\n"
+        )
+        fixed, fixes = fix_source(src)
+        assert "derive_rng(('exp', name))" in fixed
+        assert "from repro.rng import derive_rng" in fixed
+        assert "hash(" not in fixed
+        assert len(fixes) == 2
+        compile(fixed, "<fixed>", "exec")
+
+    def test_existing_import_not_duplicated(self):
+        src = (
+            "from random import Random\n"
+            "from repro.rng import derive_rng\n"
+            "\n"
+            "\n"
+            "def make(n):\n"
+            "    return Random(hash(n))\n"
+        )
+        fixed, _ = fix_source(src)
+        assert fixed.count("from repro.rng import derive_rng") == 1
+        assert "derive_rng(n)" in fixed
+
+    def test_seeded_random_without_hash_untouched(self):
+        src = "import random\n\n\ndef make(seed):\n    return random.Random(seed)\n"
+        fixed, fixes = fix_source(src)
+        assert fixed == src and fixes == []
+
+    def test_stale_noqa_code_dropped_live_kept(self):
+        src = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def snap(stamp=None):\n"
+            "    return stamp or time.time()  # noqa: RT002, RT003\n"
+        )
+        fixed, fixes = fix_source(src)
+        assert "# noqa: RT002" in fixed
+        assert "RT003" not in fixed
+        assert len(fixes) == 1
+
+    def test_blanket_noqa_that_suppresses_nothing_removed(self):
+        src = "x = 1  # noqa\n"
+        fixed, _ = fix_source(src)
+        assert "noqa" not in fixed
+
+    def test_fix_is_idempotent(self):
+        src = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def make(name):\n"
+            "    return random.Random(hash(name))\n"
+        )
+        once, _ = fix_source(src)
+        twice, again = fix_source(once)
+        assert twice == once and again == []

@@ -1,0 +1,35 @@
+"""Whole-program self-analysis gate.
+
+The flow layer runs over its own codebase on every test run; any
+finding not recorded in the committed ``analysis-baseline.json`` fails
+here (the same ratchet CI enforces).  Burn-down is one-way: resolving
+a legacy finding means re-tightening the baseline, never loosening it.
+"""
+
+from pathlib import Path
+
+from repro.analysis.flow import analyze, diff_baseline, load_baseline
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_source_tree_has_no_new_flow_findings(monkeypatch):
+    monkeypatch.chdir(REPO)  # fingerprints normalize paths against cwd
+    baseline = load_baseline(REPO / "analysis-baseline.json")
+    diagnostics, model = analyze([REPO / "src" / "repro"])
+    # Sanity: this really is the whole program, not a partial parse.
+    assert len(model.modules) > 50
+    assert all(s.parse_error is None for s in model.modules.values())
+
+    diff = diff_baseline(diagnostics, baseline)
+    assert diff.new == [], [str(d) for d in diff.new]
+
+
+def test_baseline_has_no_resolved_debt(monkeypatch):
+    # When a legacy finding is fixed, the baseline must be re-tightened
+    # (python -m repro.analysis --flow src/repro --write-baseline).
+    monkeypatch.chdir(REPO)
+    baseline = load_baseline(REPO / "analysis-baseline.json")
+    diagnostics, _ = analyze([REPO / "src" / "repro"])
+    diff = diff_baseline(diagnostics, baseline)
+    assert diff.resolved == 0

@@ -118,6 +118,42 @@ class TestRT003Randomness:
     def test_numpy_default_rng_is_allowed(self):
         assert lint("import numpy\n\ndef f(s):\n    return numpy.random.default_rng(s)\n") == []
 
+    def test_unseeded_numpy_default_rng(self):
+        diags = lint(
+            "import numpy\n\ndef f():\n    return numpy.random.default_rng()\n"
+        )
+        assert codes(diags) == ["RT003"]
+        assert "default_rng" in diags[0].message
+
+    def test_unseeded_default_rng_via_from_import(self):
+        diags = lint(
+            "from numpy.random import default_rng\n\n"
+            "def f():\n    return default_rng()\n"
+        )
+        assert codes(diags) == ["RT003"]
+
+    def test_unseeded_default_rng_via_np_alias(self):
+        diags = lint(
+            "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+        )
+        assert codes(diags) == ["RT003"]
+
+    def test_keyword_seeded_default_rng_is_allowed(self):
+        assert (
+            lint(
+                "import numpy\n\ndef f(s):\n"
+                "    return numpy.random.default_rng(seed=s)\n"
+            )
+            == []
+        )
+
+    def test_unrelated_default_rng_name_is_allowed(self):
+        # A local helper that happens to share the name is not numpy's.
+        assert (
+            lint("def default_rng():\n    return 4\n\n\ndef f():\n    return default_rng()\n")
+            == []
+        )
+
 
 class TestRT004FrozenMutation:
     def test_setattr_outside_post_init(self):

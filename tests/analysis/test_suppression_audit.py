@@ -1,0 +1,68 @@
+"""RT099: ``# noqa`` suppressions must actually suppress something."""
+
+from repro.analysis.lint import lint_source
+
+
+def codes(source, **kwargs):
+    return [d.code for d in lint_source(source, "check.py", **kwargs)]
+
+
+class TestStaleSuppressions:
+    def test_used_suppression_is_not_flagged(self):
+        src = "import time\n\n\ndef f():\n    return time.time()  # noqa: RT002\n"
+        assert codes(src) == []
+
+    def test_unused_code_is_flagged_as_warning(self):
+        src = "def f(x):\n    return x  # noqa: RT002\n"
+        diags = lint_source(src, "check.py")
+        assert [d.code for d in diags] == ["RT099"]
+        assert diags[0].severity.value == "warning"
+        assert "RT002" in diags[0].message
+
+    def test_partially_stale_list_names_only_the_stale_codes(self):
+        src = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    return time.time()  # noqa: RT002, RT003\n"
+        )
+        diags = lint_source(src, "check.py")
+        assert [d.code for d in diags] == ["RT099"]
+        assert "RT003" in diags[0].message
+        assert "RT002" not in diags[0].message
+
+    def test_blanket_noqa_that_suppresses_nothing(self):
+        diags = lint_source("x = 1  # noqa\n", "check.py")
+        assert [d.code for d in diags] == ["RT099"]
+        assert "blanket" in diags[0].message
+
+    def test_blanket_noqa_that_works_is_fine(self):
+        src = "import time\n\n\ndef f():\n    return time.time()  # noqa\n"
+        assert codes(src) == []
+
+    def test_foreign_tool_codes_are_ignored(self):
+        # E731 / F401 belong to other linters; auditing them would make
+        # every shared suppression line noisy.
+        src = "f = lambda: 0  # noqa: E731\n"
+        assert codes(src) == []
+
+    def test_flow_codes_are_not_audited_per_file(self):
+        # RT1xx suppressions are consumed by the whole-program pass;
+        # a per-file run must not call them stale.
+        src = "def f(x):\n    return x  # noqa: RT102\n"
+        assert codes(src) == []
+
+    def test_no_staleness_audit_under_select(self):
+        # With rules filtered out, "unused" proves nothing.
+        src = "def f(x):\n    return x  # noqa: RT002\n"
+        assert codes(src, codes=["RT002"]) == []
+
+    def test_noqa_in_docstring_is_not_a_suppression(self):
+        src = '"""Docs mention # noqa: RT001 as an example."""\nx = 1\n'
+        assert codes(src) == []
+
+    def test_rt099_is_not_self_suppressible(self):
+        src = "def f(x):\n    return x  # noqa: RT002, RT099\n"
+        diags = lint_source(src, "check.py")
+        assert "RT099" in [d.code for d in diags]
