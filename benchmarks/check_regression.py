@@ -1,12 +1,14 @@
 """CI benchmark regression guard.
 
 Compares a freshly-written ``BENCH_results.json`` against the committed
-baseline and fails when any benchmark's ``events_per_s`` dropped by
-more than the threshold (default 20%).  Only entries present in *both*
-files are compared — new benchmarks are allowed in without a baseline,
-and removed ones stop being checked.  Wall-time-only entries (no
-``events_per_s``) are skipped: wall seconds for sub-millisecond
-analysis benchmarks are too noisy on shared CI runners to gate on.
+baseline and fails when any benchmark's throughput metric —
+``events_per_s`` (engine event rate) or ``systems_per_s`` (population
+sweep rate) — dropped by more than the threshold (default 20%).  Only
+entries present in *both* files are compared — new benchmarks are
+allowed in without a baseline, and removed ones stop being checked.
+Wall-time-only entries (no throughput metric) are skipped: wall
+seconds for sub-millisecond analysis benchmarks are too noisy on
+shared CI runners to gate on.
 
 Usage::
 
@@ -25,7 +27,10 @@ import os
 import sys
 from pathlib import Path
 
-__all__ = ["compare", "main"]
+__all__ = ["GATED_METRICS", "compare", "main"]
+
+#: Throughput metrics the guard gates on (higher is better).
+GATED_METRICS = ("events_per_s", "systems_per_s")
 
 
 def _load(path: Path) -> dict[str, dict]:
@@ -39,21 +44,24 @@ def _load(path: Path) -> dict[str, dict]:
 def compare(
     baseline: dict[str, dict], current: dict[str, dict], threshold: float
 ) -> list[str]:
-    """Regression messages for every common entry whose ``events_per_s``
-    fell below ``baseline * (1 - threshold)``.  Empty list = clean."""
+    """Regression messages for every common entry whose gated metric
+    (``events_per_s`` / ``systems_per_s``) fell below
+    ``baseline * (1 - threshold)``.  Empty list = clean."""
     problems: list[str] = []
     for name in sorted(baseline.keys() & current.keys()):
-        base_eps = baseline[name].get("events_per_s")
-        cur_eps = current[name].get("events_per_s")
-        if not base_eps or not cur_eps:
-            continue  # wall-time-only entries are informational
-        floor = base_eps * (1.0 - threshold)
-        if cur_eps < floor:
-            problems.append(
-                f"{name}: {cur_eps:,.0f} events/s < "
-                f"{floor:,.0f} (baseline {base_eps:,.0f}, "
-                f"-{(1 - cur_eps / base_eps) * 100:.1f}%)"
-            )
+        for metric in GATED_METRICS:
+            base_rate = baseline[name].get(metric)
+            cur_rate = current[name].get(metric)
+            if not base_rate or not cur_rate:
+                continue  # wall-time-only entries are informational
+            floor = base_rate * (1.0 - threshold)
+            if cur_rate < floor:
+                unit = metric[: -len("_per_s")]
+                problems.append(
+                    f"{name}: {cur_rate:,.0f} {unit}/s < "
+                    f"{floor:,.0f} (baseline {base_rate:,.0f}, "
+                    f"-{(1 - cur_rate / base_rate) * 100:.1f}%)"
+                )
     return problems
 
 
@@ -85,7 +93,8 @@ def main(argv: list[str] | None = None) -> int:
     compared = sum(
         1
         for name in baseline.keys() & current.keys()
-        if baseline[name].get("events_per_s") and current[name].get("events_per_s")
+        for metric in GATED_METRICS
+        if baseline[name].get(metric) and current[name].get(metric)
     )
     if problems:
         print(f"benchmark regression ({len(problems)} of {compared} gated):")

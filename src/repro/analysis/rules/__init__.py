@@ -21,6 +21,11 @@ Importing this package registers every rule with
            ``repro.core.partition`` APIs (partitioner privates,
            snapshot ``assignment`` writes, shard ``detach_task`` /
            ``adopt_task`` outside the ``repro.sim.mp`` driver)
+``RT010``  per-system ``simulate()`` loops in population code
+           (``repro.sim.batch``, ``repro.exec.sweep``,
+           ``repro.workloads.population``,
+           ``repro.experiments.population``) outside the ``_exact*``
+           classifier fallback
 ``RT099``  stale ``# noqa`` suppressions — codes that silenced no
            finding on a full run (warning)
 ========  =======================================================
@@ -39,6 +44,7 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     executor_discipline,
     immutability,
     partition_discipline,
+    population_discipline,
     reporting,
     search_discipline,
     suppressions,

@@ -1,0 +1,118 @@
+"""RT010 — population code must not loop over per-system simulations.
+
+The population stack (``repro.sim.batch``, ``repro.workloads.population``,
+``repro.exec.sweep``, ``repro.experiments.population``) exists to run
+*populations* through the vectorized stepper; a ``for`` loop that calls
+``simulate()`` / ``run_simulation()`` / ``simulate_spec()`` once per
+system silently reintroduces the per-system event-loop bottleneck the
+layer was built to remove — and, worse, hides it behind an API whose
+name promises batching.
+
+Exactly one such loop is sanctioned: the classifier fallback, where
+systems the vectorized stepper cannot model byte-exactly (faults,
+treatments, locking, context-switch costs …) are routed to the exact
+engine.  The convention — enforced here — is that the fallback lives in
+a function whose name starts with ``_exact``, so the escape hatch is
+greppable and every other per-system loop is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.lint import Rule, attr_call, register
+
+__all__ = ["PopulationDiscipline"]
+
+#: Per-system simulation entry points.
+_FORBIDDEN = frozenset({"simulate", "run_simulation", "simulate_spec"})
+
+#: Modules that make up the population/sweep stack.
+_POPULATION_MODULES = (
+    "repro/sim/batch.py",
+    "repro/workloads/population.py",
+    "repro/exec/sweep.py",
+    "repro/experiments/population.py",
+)
+
+_HINT = (
+    "route eligible systems through repro.sim.batch.simulate_batch; "
+    "per-system engine runs belong in the classifier fallback "
+    "(a function named _exact*)"
+)
+
+
+def _in_population_stack(path: str) -> bool:
+    posix = Path(path).as_posix()
+    return any(posix.endswith(mod) for mod in _POPULATION_MODULES)
+
+
+@register
+class PopulationDiscipline(Rule):
+    """RT010: per-system simulate loops in population code."""
+
+    code = "RT010"
+    name = "population-discipline"
+    description = (
+        "Population modules iterating systems with per-system simulate() "
+        "calls outside the classifier fallback (_exact*) defeat the "
+        "vectorized stepper and hide a serial bottleneck behind a "
+        "batch-shaped API."
+    )
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._active = _in_population_stack(ctx.path)
+        self._loop_depth = 0
+        self._sanctioned = 0
+
+    # -- scope tracking ------------------------------------------------------
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        sanctioned = node.name.startswith("_exact")
+        self._sanctioned += sanctioned
+        # A nested function starts a fresh loop scope: a call inside it
+        # does not run once per iteration of any enclosing loop.
+        outer, self._loop_depth = self._loop_depth, 0
+        self.generic_visit(node)
+        self._loop_depth = outer
+        self._sanctioned -= sanctioned
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    # -- the check -----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._active and self._loop_depth > 0 and not self._sanctioned:
+            name = None
+            if isinstance(node.func, ast.Name) and node.func.id in _FORBIDDEN:
+                name = node.func.id
+            else:
+                base_attr = attr_call(node)
+                if base_attr is not None and base_attr[1] in _FORBIDDEN:
+                    name = f"{base_attr[0]}.{base_attr[1]}"
+            if name is not None:
+                self.report(
+                    node,
+                    f"{name}() called once per loop iteration in population "
+                    f"code outside the _exact* classifier fallback",
+                    hint=_HINT,
+                )
+        self.generic_visit(node)

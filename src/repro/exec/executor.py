@@ -25,7 +25,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.exec.cache import CacheStats, ResultCache
 from repro.exec.spec import ExperimentSpec
@@ -139,6 +139,9 @@ class Executor:
             else:
                 pending.append((i, spec))
         compute_start = time.perf_counter_ns()  # noqa: RT002 - queue-wait metadata, not simulated time
+        # _compute is lazy: each result is cached the moment it arrives,
+        # so a killed run keeps every finished spec on disk and a rerun
+        # only recomputes the rest (chunk-granularity sweep resume).
         for (i, spec), (value, wall_s, t0, t1) in zip(pending, self._compute(pending, fn)):
             if self.cache is not None:
                 self.cache.put(spec, value)
@@ -181,7 +184,7 @@ class Executor:
 
     def _compute(
         self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
-    ) -> list[tuple[Any, float, int, int]]:
+    ) -> Iterator[tuple[Any, float, int, int]]:
         raise NotImplementedError
 
 
@@ -192,8 +195,9 @@ class LocalExecutor(Executor):
 
     def _compute(
         self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
-    ) -> list[tuple[Any, float, int, int]]:
-        return [_timed_build((fn, spec)) for _, spec in pending]
+    ) -> Iterator[tuple[Any, float, int, int]]:
+        for _, spec in pending:
+            yield _timed_build((fn, spec))
 
 
 class PoolExecutor(Executor):
@@ -214,15 +218,17 @@ class PoolExecutor(Executor):
 
     def _compute(
         self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
-    ) -> list[tuple[Any, float, int, int]]:
+    ) -> Iterator[tuple[Any, float, int, int]]:
         if not pending:
-            return []
+            return
         payloads = [(fn, spec) for _, spec in pending]
         workers = min(self.jobs, len(payloads))
         if workers == 1:
-            return [_timed_build(p) for p in payloads]
+            for p in payloads:
+                yield _timed_build(p)
+            return
         with multiprocessing.Pool(processes=workers) as pool:
-            return pool.map(_timed_build, payloads, chunksize=1)
+            yield from pool.imap(_timed_build, payloads, chunksize=1)
 
 
 def make_executor(

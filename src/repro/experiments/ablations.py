@@ -230,11 +230,12 @@ def _detection_time(
 
 @dataclass(frozen=True)
 class AllowancePoint:
-    """Tolerance at one utilization level (averaged over a pool)."""
+    """Tolerance at one utilization level (pool mean, floored to whole
+    nanoseconds — allowances are integer-ns quantities throughout)."""
 
     utilization: float
-    mean_equitable: float
-    mean_solo: float
+    mean_equitable: int
+    mean_solo: int
 
 
 def allowance_sweep(
@@ -259,8 +260,8 @@ def allowance_sweep(
         points.append(
             AllowancePoint(
                 utilization=u,
-                mean_equitable=eq_total / pool_size,
-                mean_solo=solo_total / pool_size,
+                mean_equitable=eq_total // pool_size,
+                mean_solo=solo_total // pool_size,
             )
         )
     return points

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments table2 figure7
     python -m repro.experiments figure4 --svg out/
     python -m repro.experiments run my_scenario.txt --treatment immediate-stop
+    python -m repro.experiments sweep landscape --jobs 4 --manifest out/
 
 ``all`` covers the nine paper exhibits *and* the six ablation studies.
 Every target runs through the batch executor: ``--jobs N`` fans the
@@ -14,6 +15,13 @@ builds out over a process pool, results are cached under ``--cache``
 (default ``.repro-cache/``; disable with ``--no-cache``), and
 ``--manifest DIR`` writes a ``manifest.json`` recording the spec,
 content hash, claim verdicts and artifact digest of every exhibit.
+
+``sweep <name>`` runs a named population sweep (see
+:data:`repro.experiments.population.SWEEPS`) through the same executor
+stack: chunks are ordinary cached specs, so an interrupted ``sweep``
+re-invocation recomputes only the chunks that never finished, and the
+manifest fingerprint is identical for serial, ``--jobs N`` and
+``--stepper exact`` runs.
 
 Observability (see :mod:`repro.obs`): ``--trace-out FILE`` streams
 every simulator event to a JSONL trace (convert with ``python -m
@@ -60,8 +68,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "targets",
         nargs="+",
-        help=f"experiment names ({', '.join(known)}), 'all', or "
-        "'run <scenario-file>'",
+        help=f"experiment names ({', '.join(known)}), 'all', "
+        "'run <scenario-file>', or 'sweep <name>'",
     )
     parser.add_argument(
         "--jobs",
@@ -101,6 +109,20 @@ def main(argv: list[str] | None = None) -> int:
         choices=["exact", "jrate"],
         default="exact",
         help="VM profile for 'run' targets (default: exact)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        metavar="K",
+        help="override the sweep's chunk size (systems per cached chunk)",
+    )
+    parser.add_argument(
+        "--stepper",
+        choices=["batched", "exact"],
+        default="batched",
+        help="how 'sweep' runs classifier-eligible systems: vectorized "
+        "batch stepper or the per-system engine (default: batched; "
+        "results are bit-identical)",
     )
     parser.add_argument(
         "--trace-out",
@@ -157,6 +179,8 @@ def _dispatch(
     targets = list(args.targets)
     if targets and targets[0] == "run":
         return _run_scenario_files(targets[1:], args, executor)
+    if targets and targets[0] == "sweep":
+        return _run_sweeps(targets[1:], args, executor)
     if targets and targets[0] == "report":
         from repro.experiments.report import generate_report
 
@@ -232,6 +256,42 @@ def _finalize_obs(
             extra["engine_profile"] = cfg.profiler.as_dict()
         path = write_metrics(args.metrics_out, cfg.metrics.registry, extra)
         print(f"wrote metrics {path}")
+
+
+def _run_sweeps(names: list[str], args: argparse.Namespace, executor: Executor) -> int:
+    from dataclasses import replace
+
+    from repro.exec.sweep import run_sweep, summarize_cells
+    from repro.experiments.population import SWEEPS, sweep_by_name
+
+    if not names:
+        print(f"sweep: need a sweep name ({', '.join(sorted(SWEEPS))})")
+        return 2
+    for name in names:
+        try:
+            sweep = sweep_by_name(name)
+        except ValueError as err:
+            print(str(err))
+            return 2
+        if args.chunk_size:
+            sweep = replace(sweep, chunk_size=args.chunk_size)
+        result = run_sweep(sweep, executor=executor, stepper=args.stepper)
+        print(
+            f"sweep {sweep.name} [{sweep.sweep_hash()}]: "
+            f"{sweep.total_points} systems in {len(result.results)} chunks"
+        )
+        for line in summarize_cells(result.points):
+            print(f"  {line}")
+        print(f"fingerprint {result.fingerprint()}")
+        if args.manifest:
+            path = write_manifest(args.manifest, result.manifest, result.artifacts)
+            print(f"wrote {path}")
+    cs = executor.cache_stats
+    print(
+        f"executor: {executor.stats.describe()}; cache: hits={cs.hits} "
+        f"misses={cs.misses} stores={cs.stores} evictions={cs.evictions}"
+    )
+    return 0
 
 
 def _run_scenario_files(paths: list[str], args: argparse.Namespace, executor: Executor) -> int:

@@ -5,7 +5,9 @@ This module is the glue between the declarative layer
 ``builder`` string each :class:`~repro.exec.spec.ExperimentSpec`
 carries onto the module-level function that materialises it, and
 enumerates the canonical spec list of the reproduction (nine paper
-exhibits, six ablations, two multiprocessor exhibits).
+exhibits, six ablations, two multiprocessor exhibits, two population
+exhibits).  Sweep chunks (``sweep.chunk``) register here too so the
+chunked sweep runner shares the same executor/cache plumbing.
 
 :func:`build_exhibit` is deliberately a plain module-level function so
 it pickles into :class:`~repro.exec.executor.PoolExecutor` workers.
@@ -16,7 +18,8 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from repro.exec.spec import ExperimentSpec
-from repro.experiments import ablations, mp, paper, runner
+from repro.exec.sweep import build_chunk
+from repro.experiments import ablations, mp, paper, population, runner
 
 __all__ = [
     "BUILDERS",
@@ -24,6 +27,7 @@ __all__ = [
     "paper_specs",
     "ablation_specs",
     "mp_specs",
+    "population_specs",
     "all_specs",
     "spec_for",
 ]
@@ -47,7 +51,10 @@ BUILDERS: Mapping[str, Callable[[ExperimentSpec], Any]] = {
     "ablation.servers": ablations.build_ablation_servers,
     "mp.partitions": mp.build_mp_partitions,
     "mp.migration": mp.build_mp_migration,
+    "population.landscape": population.build_population_landscape,
+    "population.faults": population.build_population_faults,
     "runner.scenario": runner.build_scenario,
+    "sweep.chunk": build_chunk,
 }
 
 
@@ -98,9 +105,18 @@ def mp_specs() -> list[ExperimentSpec]:
     ]
 
 
+def population_specs() -> list[ExperimentSpec]:
+    """The population (Monte-Carlo sweep) exhibits, in presentation order."""
+    return [
+        population.population_landscape_spec(),
+        population.population_faults_spec(),
+    ]
+
+
 def all_specs() -> list[ExperimentSpec]:
-    """Every registered exhibit spec (paper, ablations, multiprocessor)."""
-    return paper_specs() + ablation_specs() + mp_specs()
+    """Every registered exhibit spec (paper, ablations, multiprocessor,
+    population)."""
+    return paper_specs() + ablation_specs() + mp_specs() + population_specs()
 
 
 def spec_for(name: str) -> ExperimentSpec:

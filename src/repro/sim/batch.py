@@ -1,0 +1,360 @@
+"""Vectorized lock-step simulation of task-system *populations*.
+
+The paper's claims are per-system; evaluating them over populations
+(thousands of generated systems swept across utilization, task count
+and fault rate) makes per-system event loops the bottleneck.  This
+module adds a numpy stepper that advances hundreds of independent
+systems at once for the common case the sweeps hit most — preemptive
+fixed-priority, periodic releases, no faults, no treatments, no locks,
+no servers, zero context-switch cost:
+
+* state is a handful of ``(systems, tasks)`` int64 arrays
+  (``next_release``, head-job ``remaining``, released/done counters);
+* each step advances every system to its *own* next event instant
+  (completion or release) and applies all simultaneous events in the
+  engine's rank order (completions before releases, so a job finishing
+  exactly at a release instant frees the thread for the backlog job —
+  :class:`repro.sim.engine.Rank` semantics, reproduced in closed form);
+* deadline misses are evaluated in closed form afterwards: a released
+  job missed iff its absolute deadline lies within the horizon and it
+  did not finish by then (finishing *exactly* at the deadline meets it,
+  matching the COMPLETION < DEADLINE_CHECK rank order).
+
+Results are **bit-identical** to :func:`repro.sim.simulation.simulate`
+run per system — :func:`schedule_fingerprint` hashes the per-job
+``(name, index, release, finished, missed, stopped, detected)`` records
+of either path and the equivalence suite asserts equality over hundreds
+of ``derive_rng``-seeded systems.
+
+Systems that need anything richer (fault models, treatment plans,
+critical sections, explicit arrivals, context-switch costs, duplicate
+priorities) are rejected by :func:`classify` and must be routed to the
+exact per-system engine by the caller's classifier fallback (see
+``repro.exec.sweep``; lint rule RT010 keeps that routing honest).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.faults import FaultInjector, FaultModel, NoFaults, RandomFaults
+from repro.core.task import TaskSet
+from repro.core.treatments import TreatmentKind, TreatmentPlan
+from repro.rng import stable_hash
+from repro.sim.simulation import SimResult
+from repro.sim.vm import EXACT_VM, VMProfile
+
+__all__ = [
+    "JobRecord",
+    "BatchSystemResult",
+    "classify",
+    "simulate_batch",
+    "sim_job_records",
+    "schedule_fingerprint",
+]
+
+#: One job's observable outcome: ``(task name, job index, release,
+#: finished_at or -1, deadline_missed, was_stopped, fault_detected)``.
+#: The shared vocabulary of the batched and exact paths — fingerprints
+#: hash a sorted tuple of these.
+JobRecord = tuple[str, int, int, int, bool, bool, bool]
+
+#: Sentinel "no pending event" instant (far beyond any horizon).
+_INF = np.int64(1 << 62)
+
+
+@dataclass(frozen=True)
+class BatchSystemResult:
+    """One system's outcome from the vectorized stepper.
+
+    The counters are aggregated from the same arrays the records come
+    from (prefix sums, not a Python pass over the tuples), so
+    consumers on the hot path never re-iterate millions of records;
+    the stepper-parity suite pins them equal to the exact engine's."""
+
+    horizon: int
+    records: tuple[JobRecord, ...]
+    released: int
+    completed: int
+    misses: int
+    #: Distinct tasks with at least one missed job (the stepper runs
+    #: only fault-free systems, so every failed task is "collateral"
+    #: of overload, never of an injected fault).
+    failed_task_count: int
+
+
+def classify(
+    taskset: TaskSet,
+    *,
+    faults: FaultModel | None = None,
+    treatment: TreatmentKind | TreatmentPlan | None = None,
+    vm: VMProfile = EXACT_VM,
+    arrivals: Any = None,
+    sections: Any = None,
+) -> str | None:
+    """Why this configuration cannot take the vectorized path, or
+    ``None`` when it can.
+
+    The stepper models exactly what :func:`simulate` does for the
+    no-fault preemptive fixed-priority case; every knob that would
+    change the schedule routes the system to the exact engine instead.
+    """
+    if faults is not None and not _trivial_faults(faults):
+        return "fault model injects demand deviations"
+    if treatment is not None and treatment is not TreatmentKind.NO_DETECTION:
+        return "treatment plan installs detectors"
+    if vm.context_switch != 0:
+        return "context-switch cost charged per dispatch"
+    if arrivals:
+        return "explicit (sporadic) arrival times"
+    if sections:
+        return "critical sections / locking"
+    priorities = [t.priority for t in taskset]
+    if len(set(priorities)) != len(priorities):
+        return "duplicate priorities (FIFO tie-break needs the engine)"
+    return None
+
+
+def _trivial_faults(faults: FaultModel) -> bool:
+    """Fault models under which every demand equals the declared cost."""
+    if isinstance(faults, NoFaults):
+        return True
+    if isinstance(faults, FaultInjector):
+        return not faults.deviations
+    if isinstance(faults, RandomFaults):
+        return faults.rate == 0.0
+    return False
+
+
+#: Systems stepped together.  Lock-step cost per bucket is
+#: ``max(event count) x per-iteration overhead``, so buckets are filled
+#: with event-count-sorted systems: heterogeneous populations (wide
+#: log-uniform periods) then pay the busy systems' iteration count only
+#: for the buckets that contain them, not for everyone.
+_BUCKET = 512
+
+
+def simulate_batch(
+    systems: Sequence[TaskSet],
+    horizons: Sequence[int],
+) -> list[BatchSystemResult]:
+    """Run every system on the vectorized stepper.
+
+    Systems are stepped in event-count-sorted buckets (an internal
+    layout choice — every system is independent, so results are
+    identical to any other grouping).  Callers must have routed each
+    system through :func:`classify` first; the only check repeated here
+    is the cheap priority one (everything else is configuration the
+    stepper never sees).
+    """
+    if len(systems) != len(horizons):
+        raise ValueError("need one horizon per system")
+    if not systems:
+        return []
+    for ts in systems:
+        prios = [t.priority for t in ts]
+        if len(set(prios)) != len(prios):
+            raise ValueError("duplicate priorities: classify() should have rejected this system")
+    if len(systems) <= _BUCKET:
+        return _step_lockstep(systems, list(horizons))
+    weights = [
+        sum(
+            (h - t.offset) // t.period + 1
+            for t in ts
+            if t.offset <= h
+        )
+        for ts, h in zip(systems, horizons)
+    ]
+    order = sorted(range(len(systems)), key=lambda i: (weights[i], i))
+    results: list[BatchSystemResult | None] = [None] * len(systems)
+    for lo in range(0, len(order), _BUCKET):
+        idx = order[lo : lo + _BUCKET]
+        for i, res in zip(
+            idx, _step_lockstep([systems[i] for i in idx], [horizons[i] for i in idx])
+        ):
+            results[i] = res
+    return [r for r in results if r is not None]
+
+
+def _step_lockstep(
+    systems: Sequence[TaskSet],
+    horizons: Sequence[int],
+) -> list[BatchSystemResult]:
+    """One lock-step pass over *systems* (see :func:`simulate_batch`)."""
+    count = len(systems)
+    width = max(len(ts) for ts in systems)
+
+    # Padded (systems, tasks) parameter arrays; tasks come priority-
+    # sorted out of TaskSet, so column order IS dispatch order and the
+    # running task of a system is its first column with backlog.
+    cost = np.zeros((count, width), dtype=np.int64)
+    period = np.ones((count, width), dtype=np.int64)
+    deadline = np.zeros((count, width), dtype=np.int64)
+    offset = np.zeros((count, width), dtype=np.int64)
+    valid = np.zeros((count, width), dtype=bool)
+    horizon = np.asarray(list(horizons), dtype=np.int64)[:, None]
+    if np.any(horizon <= 0):
+        raise ValueError("horizon must be > 0")
+    for s, ts in enumerate(systems):
+        for i, task in enumerate(ts):
+            cost[s, i] = task.cost
+            period[s, i] = task.period
+            deadline[s, i] = task.deadline
+            offset[s, i] = task.offset
+            valid[s, i] = True
+
+    # Per-(system, task) job counts over the horizon (the engine only
+    # ever schedules releases at or before it), and flat result slots.
+    counts = np.where(
+        valid & (offset <= horizon), (horizon - offset) // period + 1, 0
+    )
+    counts_flat = counts.reshape(-1)
+    job_base = np.concatenate(([0], np.cumsum(counts_flat)[:-1])).reshape(count, width)
+    total_jobs = int(counts_flat.sum())
+    finished = np.full(total_jobs, -1, dtype=np.int64)
+
+    # Mutable stepper state.
+    next_rel = np.where(valid & (offset <= horizon), offset, _INF)
+    released = np.zeros((count, width), dtype=np.int64)
+    done = np.zeros((count, width), dtype=np.int64)
+    head_rem = np.zeros((count, width), dtype=np.int64)
+    now = np.zeros(count, dtype=np.int64)
+    rows = np.arange(count)
+
+    horizon1 = horizon[:, 0]
+    hbc = np.broadcast_to(horizon, (count, width))
+    while True:
+        active = released > done
+        any_active = active.any(axis=1)
+        run_idx = np.argmax(active, axis=1)  # first backlogged column = running task
+        t_complete = now + head_rem[rows, run_idx]
+        t_complete[~any_active] = _INF
+        t_next = np.minimum(t_complete, next_rel.min(axis=1))
+        live = t_next <= horizon1
+        if not live.any():
+            break
+        # Mask finished systems out of every instant comparison below
+        # (no event time is negative, so -1 matches nothing).
+        t_next[~live] = -1
+        # Charge the running head for the interval it just executed.
+        charge = live & any_active
+        head_rem[rows[charge], run_idx[charge]] -= (t_next - now)[charge]
+        now[live] = t_next[live]
+        # Completions first (Rank.COMPLETION < Rank.RELEASE): the head
+        # job ends, and the next backlogged job of the same thread —
+        # if any — becomes the head immediately, within this instant.
+        comp = charge & (t_complete == t_next)
+        if comp.any():
+            cr, cc = rows[comp], run_idx[comp]
+            finished[job_base[cr, cc] + done[cr, cc]] = t_next[comp]
+            done[cr, cc] += 1
+            head_rem[cr, cc] = cost[cr, cc]  # backlog head (no-op when idle)
+        # Then releases: every task whose next release is this instant.
+        rel = next_rel == t_next[:, None]
+        if rel.any():
+            was_idle = released == done
+            released[rel] += 1
+            fresh = rel & was_idle
+            head_rem[fresh] = cost[fresh]
+            nxt = next_rel[rel] + period[rel]
+            next_rel[rel] = np.where(nxt <= hbc[rel], nxt, _INF)
+
+    if not np.array_equal(released, counts):  # pragma: no cover - invariant
+        raise AssertionError("stepper released a different job set than the closed form")
+
+    # Closed-form per-job outcomes over the flat slots.
+    ks = np.arange(total_jobs, dtype=np.int64) - np.repeat(
+        job_base.reshape(-1), counts_flat
+    )
+    rel_flat = np.repeat(offset.reshape(-1), counts_flat) + ks * np.repeat(
+        period.reshape(-1), counts_flat
+    )
+    dl_flat = rel_flat + np.repeat(deadline.reshape(-1), counts_flat)
+    hz_flat = np.repeat(hbc.reshape(-1), counts_flat)
+    missed = (dl_flat <= hz_flat) & ((finished < 0) | (finished > dl_flat))
+
+    # Per-system / per-task aggregates at C speed: prefix sums over the
+    # contiguous flat job segments (exact for empty segments, e.g. a
+    # task whose offset lies beyond the horizon) — the counters
+    # consumers read instead of re-iterating the record tuples.
+    jobs_per_sys = counts.sum(axis=1)
+    sys_starts = np.concatenate(([0], np.cumsum(jobs_per_sys)[:-1]))
+    sys_ends = sys_starts + jobs_per_sys
+    cum_completed = np.concatenate(([0], np.cumsum(finished >= 0)))
+    cum_missed = np.concatenate(([0], np.cumsum(missed)))
+    sys_completed = cum_completed[sys_ends] - cum_completed[sys_starts]
+    sys_missed = cum_missed[sys_ends] - cum_missed[sys_starts]
+    flat_starts = job_base.reshape(-1)
+    task_missed = cum_missed[flat_starts + counts_flat] - cum_missed[flat_starts]
+    failed_tasks = (task_missed.reshape(count, width) > 0).sum(axis=1)
+
+    results: list[BatchSystemResult] = []
+    ks_l = ks.tolist()
+    rel_l = rel_flat.tolist()
+    fin_l = finished.tolist()
+    miss_l = missed.tolist()
+    for s, ts in enumerate(systems):
+        tasks = list(ts)
+        records: list[JobRecord] = []
+        # Emit in task-name order: record tuples sort by name first and
+        # job index second, so the concatenation is already sorted.
+        for i in sorted(range(len(tasks)), key=lambda j: tasks[j].name):
+            base = int(job_base[s, i])
+            end = base + int(counts[s, i])
+            records.extend(
+                zip(  # C-level tuple assembly: millions of records per sweep
+                    itertools.repeat(tasks[i].name),
+                    ks_l[base:end],
+                    rel_l[base:end],
+                    fin_l[base:end],
+                    miss_l[base:end],
+                    itertools.repeat(False),
+                    itertools.repeat(False),
+                )
+            )
+        results.append(
+            BatchSystemResult(
+                horizon=int(horizon[s, 0]),
+                records=tuple(records),
+                released=int(jobs_per_sys[s]),
+                completed=int(sys_completed[s]),
+                misses=int(sys_missed[s]),
+                failed_task_count=int(failed_tasks[s]),
+            )
+        )
+    return results
+
+
+def sim_job_records(result: SimResult) -> tuple[JobRecord, ...]:
+    """The :data:`JobRecord` view of an exact-engine run (sorted)."""
+    records = sorted(
+        (
+            job.name,
+            job.index,
+            job.release,
+            job.finished_at if job.finished_at is not None else -1,
+            bool(job.deadline_missed),
+            bool(job.was_stopped),
+            bool(job.fault_detected),
+        )
+        for job in result.jobs.values()
+    )
+    return tuple(records)
+
+
+def schedule_fingerprint(result: SimResult | BatchSystemResult) -> str:
+    """Stable content hash of one system's schedule outcome.
+
+    Identical for a vectorized and an exact run of the same system —
+    the bit-equivalence contract the batch suite enforces.
+    """
+    records = (
+        result.records
+        if isinstance(result, BatchSystemResult)
+        else sim_job_records(result)
+    )
+    return f"{stable_hash(records):08x}"

@@ -1,0 +1,169 @@
+"""Vectorized population generation for sweeps.
+
+:func:`generate_population` produces the *same* task sets as calling
+:func:`repro.workloads.generator.random_taskset` once per system with a
+``derive_rng``-derived stream — the per-system uniform draws are pulled
+in exactly the scalar call order (``n - 1`` UUniFast draws, then ``n``
+period draws) and the arithmetic that turns them into utilizations,
+periods, costs and deadlines runs as numpy array expressions over the
+whole population at once (``tests/workloads/test_population.py`` pins
+the bit-equality).
+
+Two properties matter for the sweep layer (``repro.exec.sweep``):
+
+* **chunk-boundary independence** — system ``k`` of a population is a
+  pure function of ``(seed, key, k)``: every draw comes from
+  ``derive_rng(seed, "population", *key, k, attempt)``, never from a
+  shared stream, so generating ``[start, start + count)`` yields the
+  identical slice regardless of how a sweep is chunked or how many
+  workers run it;
+* **deterministic feasibility filtering** — with ``feasible_only``,
+  infeasible systems are re-drawn with the attempt counter bumped (the
+  retry chain is part of the per-system key, so it too is independent
+  of batching).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.feasibility import is_feasible
+from repro.core.priority_assignment import deadline_monotonic
+from repro.core.task import Task, TaskSet
+from repro.rng import derive_rng
+
+__all__ = ["PopulationConfig", "generate_population"]
+
+#: Retry ceiling for ``feasible_only`` (a config whose random systems
+#: are practically never feasible is a configuration error, not a
+#: reason to spin forever).
+_MAX_ATTEMPTS = 200
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Generator knobs shared by every system of a population cell."""
+
+    n: int = 4
+    utilization: float = 0.7
+    deadline_factor: float = 1.0
+    period_lo: int = 10_000
+    period_hi: int = 1_000_000
+    period_granularity: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        if not 0 < self.period_lo <= self.period_hi:
+            raise ValueError("need 0 < period_lo <= period_hi")
+        if self.period_granularity < 1:
+            raise ValueError("period granularity must be >= 1")
+        if self.deadline_factor <= 0:
+            raise ValueError("deadline factor must be > 0")
+
+
+def generate_population(
+    count: int,
+    config: PopulationConfig = PopulationConfig(),
+    *,
+    seed: int = 0,
+    key: Sequence[object] = (),
+    start: int = 0,
+    feasible_only: bool = False,
+) -> list[TaskSet]:
+    """Systems ``start .. start + count - 1`` of the population named by
+    ``(seed, key)``.
+
+    Each system depends only on its absolute index, so any chunking of
+    the index range reproduces the same systems.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    out: list[TaskSet | None] = [None] * count
+    pending = list(range(count))
+    attempt = 0
+    while pending:
+        if attempt > _MAX_ATTEMPTS:
+            raise RuntimeError(
+                f"no feasible system after {_MAX_ATTEMPTS} attempts "
+                f"(n={config.n}, U={config.utilization})"
+            )
+        systems = _generate_rows(
+            config, [(start + p, attempt) for p in pending], seed, tuple(key)
+        )
+        if not feasible_only:
+            for p, ts in zip(pending, systems):
+                out[p] = ts
+            break
+        still = []
+        for p, ts in zip(pending, systems):
+            if is_feasible(ts):
+                out[p] = ts
+            else:
+                still.append(p)
+        pending = still
+        attempt += 1
+    return [ts for ts in out if ts is not None]
+
+
+def _generate_rows(
+    config: PopulationConfig,
+    indices: Sequence[tuple[int, int]],
+    seed: int,
+    key: tuple[object, ...],
+) -> list[TaskSet]:
+    """One task set per ``(absolute index, attempt)`` pair, with all
+    numeric work vectorized across the rows."""
+    n = config.n
+    rows = len(indices)
+    # Raw uniforms, drawn per system in the scalar generator's call
+    # order: n-1 UUniFast draws then n period draws (rng.uniform(a, b)
+    # is a + (b - a) * rng.random(), reproduced below).
+    draws = np.empty((rows, 2 * n - 1), dtype=np.float64)
+    for r, (k, attempt) in enumerate(indices):
+        rng = derive_rng(seed, "population", *key, k, attempt)
+        draws[r] = [rng.random() for _ in range(2 * n - 1)]
+
+    # UUniFast across all rows at once (Bini & Buttazzo).
+    utils = np.empty((rows, n), dtype=np.float64)
+    remaining = np.full(rows, config.utilization, dtype=np.float64)
+    for i in range(n - 1):
+        nxt = remaining * draws[:, i] ** (1.0 / (n - i - 1))
+        utils[:, i] = remaining - nxt
+        remaining = nxt
+    utils[:, n - 1] = remaining
+
+    # Log-uniform periods rounded to the granularity.
+    lo, hi = math.log(config.period_lo), math.log(config.period_hi)
+    raw = np.exp(lo + (hi - lo) * draws[:, n - 1 :])
+    gran = np.int64(config.period_granularity)
+    periods = np.maximum(gran, np.rint(raw / gran).astype(np.int64) * gran)
+
+    costs = np.maximum(np.int64(1), np.rint(utils * periods).astype(np.int64))
+    deadlines = np.maximum(
+        costs, np.rint(periods * config.deadline_factor).astype(np.int64)
+    )
+
+    costs_l = costs.tolist()
+    periods_l = periods.tolist()
+    deadlines_l = deadlines.tolist()
+    out = []
+    for r in range(rows):
+        tasks = [
+            Task(
+                name=f"task{i}",
+                cost=costs_l[r][i],
+                period=periods_l[r][i],
+                deadline=deadlines_l[r][i],
+                priority=1,
+            )
+            for i in range(n)
+        ]
+        out.append(deadline_monotonic(tasks))
+    return out

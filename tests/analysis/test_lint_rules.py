@@ -413,6 +413,76 @@ class TestRT009PartitionDiscipline:
         assert lint_source(source, self.OTHER_PATH) == []
 
 
+class TestRT010PopulationDiscipline:
+    SWEEP_PATH = "src/repro/exec/sweep.py"
+    BATCH_PATH = "src/repro/sim/batch.py"
+    ELSEWHERE = "src/repro/experiments/paper.py"
+
+    def test_per_system_loop_flagged(self):
+        source = (
+            "def run_all(systems, horizon):\n"
+            "    out = []\n"
+            "    for ts in systems:\n"
+            "        out.append(run_simulation(ts, horizon=horizon))\n"
+            "    return out\n"
+        )
+        diags = lint_source(source, self.SWEEP_PATH)
+        assert "RT010" in codes(diags)
+        assert "run_simulation" in diags[0].message
+
+    def test_method_call_and_while_loop_flagged(self):
+        source = (
+            "def drain(queue, engine):\n"
+            "    while queue:\n"
+            "        engine.simulate(queue.pop())\n"
+        )
+        assert "RT010" in codes(lint_source(source, self.BATCH_PATH))
+
+    def test_exact_fallback_is_sanctioned(self):
+        source = (
+            "def _exact_fallback(work):\n"
+            "    out = []\n"
+            "    for ts, horizon in work:\n"
+            "        out.append(run_simulation(ts, horizon=horizon))\n"
+            "    return out\n"
+        )
+        assert lint_source(source, self.SWEEP_PATH) == []
+
+    def test_call_outside_any_loop_is_allowed(self):
+        source = (
+            "def one(ts, horizon):\n"
+            "    return run_simulation(ts, horizon=horizon)\n"
+        )
+        assert lint_source(source, self.SWEEP_PATH) == []
+
+    def test_nested_function_resets_loop_scope(self):
+        source = (
+            "def build(systems):\n"
+            "    for ts in systems:\n"
+            "        pass\n"
+            "    def runner(ts, horizon):\n"
+            "        return run_simulation(ts, horizon=horizon)\n"
+            "    return runner\n"
+        )
+        assert lint_source(source, self.SWEEP_PATH) == []
+
+    def test_modules_outside_population_stack_are_exempt(self):
+        source = (
+            "def table(systems, horizon):\n"
+            "    return [run_simulation(ts, horizon=horizon) for ts in systems]\n"
+        )
+        # Comprehension loops in exempt modules, and explicit loops too.
+        explicit = (
+            "def table(systems, horizon):\n"
+            "    out = []\n"
+            "    for ts in systems:\n"
+            "        out.append(run_simulation(ts, horizon=horizon))\n"
+            "    return out\n"
+        )
+        assert lint_source(source, self.ELSEWHERE) == []
+        assert lint_source(explicit, self.ELSEWHERE) == []
+
+
 class TestDriver:
     def test_syntax_error_becomes_diagnostic(self):
         diags = lint_source("def broken(:\n", "oops.py")
@@ -437,7 +507,7 @@ class TestDriver:
         assert [r.code for r in rules] == sorted(r.code for r in rules)
         assert {
             "RT001", "RT002", "RT003", "RT004", "RT005", "RT006", "RT007",
-            "RT008", "RT009",
+            "RT008", "RT009", "RT010",
         } <= {r.code for r in rules}
         for rule in rules:
             assert rule.name and rule.description

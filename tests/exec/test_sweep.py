@@ -1,0 +1,192 @@
+"""Sweep layer contracts: frozen identity, chunking, route parity.
+
+The promises under test, in the order a sweep makes them:
+
+* a :class:`SweepSpec` has a stable content hash that moves exactly
+  when the definition moves;
+* expansion into chunk specs is deterministic and the chunk size never
+  changes which *points* come out (only how they are grouped);
+* serial, pooled, batched and exact runs of the same sweep agree point
+  for point and manifest fingerprint for manifest fingerprint;
+* a re-run against the same cache recomputes nothing.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.executor import LocalExecutor, PoolExecutor
+from repro.exec.sweep import (
+    SweepSpec,
+    build_chunk,
+    chunk_specs,
+    run_sweep,
+    summarize_cells,
+)
+
+
+def small_sweep(**overrides) -> SweepSpec:
+    kwargs = dict(
+        name="unit-sweep",
+        axes={"utilization": (0.5, 0.9), "n": (2, 3)},
+        replicates=6,
+        base_seed=404,
+        deadline_factor=0.9,
+        period_lo=50,
+        period_hi=5_000,
+        period_granularity=10,
+        horizon_periods=2,
+        chunk_size=5,
+    )
+    kwargs.update(overrides)
+    return SweepSpec.make(**kwargs)
+
+
+class TestSweepSpec:
+    def test_hash_is_stable_across_instances(self):
+        assert small_sweep().sweep_hash() == small_sweep().sweep_hash()
+
+    def test_hash_moves_with_the_definition(self):
+        base = small_sweep().sweep_hash()
+        assert small_sweep(base_seed=405).sweep_hash() != base
+        assert small_sweep(replicates=7).sweep_hash() != base
+        assert small_sweep(axes={"utilization": (0.5,)}).sweep_hash() != base
+
+    def test_round_trips_through_params(self):
+        sweep = small_sweep()
+        assert SweepSpec.from_params(sweep.to_params().items()) == sweep
+
+    def test_cells_follow_axis_declaration_order(self):
+        sweep = small_sweep()
+        assert sweep.cells[0] == (("utilization", 0.5), ("n", 2))
+        assert sweep.cells[-1] == (("utilization", 0.9), ("n", 3))
+        assert sweep.total_points == 4 * 6
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"name": ""}, "name"),
+            ({"axes": {"bogus": (1,)}}, "unknown sweep axis"),
+            ({"axes": {"n": ()}}, "at least one value"),
+            ({"replicates": 0}, "replicates"),
+            ({"chunk_size": 0}, "chunk_size"),
+            ({"horizon_periods": 0}, "horizon_periods"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        base = dict(name="s", axes={"n": (2,)})
+        base.update(kwargs)
+        with pytest.raises(ValueError, match=match):
+            SweepSpec.make(**base)
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(name="s", axes=(("n", (2,)), ("n", (3,))))
+
+
+class TestChunking:
+    def test_chunk_specs_cover_the_sweep_exactly(self):
+        sweep = small_sweep()  # 24 points, chunk 5 -> 5 chunks
+        specs = chunk_specs(sweep)
+        assert len(specs) == 5
+        spans = [(s.param("start"), s.param("count")) for s in specs]
+        assert spans == [(0, 5), (5, 5), (10, 5), (15, 5), (20, 4)]
+        assert all(s.builder == "sweep.chunk" for s in specs)
+
+    def test_chunk_size_does_not_change_the_points(self):
+        """Same sweep, different chunking: the manifest differs (it
+        covers the chunk structure) but every point is identical."""
+        a = run_sweep(small_sweep(chunk_size=5), executor=LocalExecutor())
+        b = run_sweep(small_sweep(chunk_size=24), executor=LocalExecutor())
+        assert a.points == b.points
+
+    def test_points_are_ordinal_ordered(self):
+        result = run_sweep(small_sweep(), executor=LocalExecutor())
+        assert [p.ordinal for p in result.points] == list(range(24))
+
+
+class TestRouteParity:
+    def test_serial_pool_and_stepper_agree(self):
+        sweep = small_sweep()
+        serial = run_sweep(sweep, executor=LocalExecutor())
+        pooled = run_sweep(sweep, executor=PoolExecutor(2))
+        exact = run_sweep(sweep, executor=LocalExecutor(), stepper="exact")
+        assert serial.points == pooled.points == exact.points
+        assert (
+            serial.fingerprint() == pooled.fingerprint() == exact.fingerprint()
+        )
+
+    def test_counters_match_between_steppers(self):
+        """The stepper's array-side counters equal the record-side
+        summary — including on a hot cell that actually misses."""
+        sweep = small_sweep(axes={"utilization": (0.98,)}, replicates=12, n=4)
+        batched = run_sweep(sweep, executor=LocalExecutor()).points
+        exact = run_sweep(sweep, executor=LocalExecutor(), stepper="exact").points
+        assert batched == exact
+        assert sum(p.misses for p in batched) > 0
+
+    def test_unknown_stepper_rejected(self):
+        (spec,) = chunk_specs(small_sweep(chunk_size=24))
+        with pytest.raises(ValueError, match="stepper"):
+            build_chunk(spec, stepper="quantum")
+
+
+class TestResume:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        sweep = small_sweep()
+        first = LocalExecutor(ResultCache(tmp_path))
+        cold = run_sweep(sweep, executor=first)
+        second = LocalExecutor(ResultCache(tmp_path))
+        warm = run_sweep(sweep, executor=second)
+        assert second.stats.cache_hits == len(chunk_specs(sweep))
+        assert second.stats.computed == 0
+        assert warm.points == cold.points
+        assert warm.fingerprint() == cold.fingerprint()
+
+    def test_partial_cache_recomputes_only_missing_chunks(self, tmp_path):
+        sweep = small_sweep()
+        specs = chunk_specs(sweep)
+        # Warm the cache with the first three chunks only.
+        LocalExecutor(ResultCache(tmp_path)).run(specs[:3], build_chunk)
+        ex = LocalExecutor(ResultCache(tmp_path))
+        result = run_sweep(sweep, executor=ex)
+        assert ex.stats.cache_hits == 3
+        assert ex.stats.computed == len(specs) - 3
+        assert len(result.points) == sweep.total_points
+
+    def test_definition_change_misses_the_cache(self, tmp_path):
+        LocalExecutor(ResultCache(tmp_path)).run(
+            chunk_specs(small_sweep()), build_chunk
+        )
+        ex = LocalExecutor(ResultCache(tmp_path))
+        run_sweep(small_sweep(base_seed=405), executor=ex)
+        assert ex.stats.cache_hits == 0
+
+
+class TestSummaries:
+    def test_summarize_cells_one_line_per_cell(self):
+        result = run_sweep(small_sweep(), executor=LocalExecutor())
+        lines = summarize_cells(result.points)
+        assert len(lines) == 4
+        assert all("systems=6" in line for line in lines)
+
+    def test_feasible_only_sweep_reports_full_feasibility(self):
+        sweep = small_sweep(
+            axes={"utilization": (0.6,)}, replicates=8, feasible_only=True
+        )
+        result = run_sweep(sweep, executor=LocalExecutor())
+        assert all(p.analysis_feasible for p in result.points)
+
+    def test_fault_sweep_points_are_classifier_ineligible(self):
+        """Fault cells route through the exact engine; the verdict in
+        the point record reflects eligibility, not the route."""
+        sweep = small_sweep(
+            axes={"fault_rate": (0.0, 0.5)}, replicates=4, fault_scale=1.0, horizon_periods=2
+        )
+        result = run_sweep(sweep, executor=LocalExecutor())
+        by_rate = {}
+        for p in result.points:
+            by_rate.setdefault(dict(p.cell)["fault_rate"], []).append(p)
+        assert all(p.eligible for p in by_rate[0.0])
+        assert all(not p.eligible for p in by_rate[0.5])

@@ -1,0 +1,112 @@
+"""Kill-and-resume: an interrupted sweep keeps its finished chunks.
+
+This is the end-to-end satellite of the sweep layer: a real CLI sweep
+process is SIGKILLed mid-run (no atexit, no cleanup — the hard case),
+and the re-invocation must serve every chunk that finished before the
+kill from the cache, recompute only the rest, and land on the same
+manifest fingerprint as a run that was never interrupted.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SWEEP = "landscape-smoke"  # 504 systems, 12 chunks of 42
+CHUNKS = 12
+
+
+def sweep_cmd(cache: Path, *extra: str) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.experiments",
+        "sweep",
+        SWEEP,
+        "--cache",
+        str(cache),
+        *extra,
+    ]
+
+
+def env() -> dict:
+    e = dict(os.environ)
+    e["PYTHONPATH"] = str(REPO / "src")
+    return e
+
+
+def run_to_completion(cache: Path, *extra: str) -> str:
+    proc = subprocess.run(
+        sweep_cmd(cache, *extra),
+        cwd=REPO,
+        env=env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def fingerprint_of(stdout: str) -> str:
+    match = re.search(r"^fingerprint ([0-9a-f]{64})$", stdout, re.MULTILINE)
+    assert match, stdout
+    return match.group(1)
+
+
+def cache_stats_of(stdout: str) -> tuple[int, int]:
+    match = re.search(r"cache: hits=(\d+) misses=(\d+)", stdout)
+    assert match, stdout
+    return int(match.group(1)), int(match.group(2))
+
+
+@pytest.mark.slow
+def test_sigkilled_sweep_resumes_from_finished_chunks(tmp_path):
+    killed_cache = tmp_path / "killed"
+    clean_cache = tmp_path / "clean"
+
+    # Reference: the same sweep, never interrupted.
+    reference = run_to_completion(clean_cache)
+    ref_fp = fingerprint_of(reference)
+
+    # Start the sweep in its own session (so the kill reaps the worker
+    # pool too) and SIGKILL it once at least one chunk result landed.
+    proc = subprocess.Popen(
+        sweep_cmd(killed_cache, "--jobs", "2"),
+        cwd=REPO,
+        env=env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    deadline = time.monotonic() + 120
+    try:
+        while time.monotonic() < deadline:
+            if len(list(killed_cache.glob("*.pkl"))) >= 1 or proc.poll() is not None:
+                break
+            time.sleep(0.01)
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=60)
+
+    finished_before_resume = len(list(killed_cache.glob("*.pkl")))
+    assert finished_before_resume >= 1, "no chunk finished before the kill"
+
+    # Resume: finished chunks come back from cache, the rest recompute.
+    resumed = run_to_completion(killed_cache)
+    hits, misses = cache_stats_of(resumed)
+    assert hits == finished_before_resume
+    assert hits + misses == CHUNKS
+    assert fingerprint_of(resumed) == ref_fp
+
+    # A third run is a pure replay.
+    replay = run_to_completion(killed_cache)
+    assert cache_stats_of(replay) == (CHUNKS, 0)
+    assert fingerprint_of(replay) == ref_fp

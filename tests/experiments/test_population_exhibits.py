@@ -1,0 +1,100 @@
+"""Population exhibits: claims, registry wiring, named sweeps."""
+
+import pytest
+
+from repro.exec.spec import ExperimentSpec
+from repro.experiments.population import (
+    SWEEPS,
+    build_population_faults,
+    build_population_landscape,
+    population_faults_spec,
+    population_landscape_spec,
+    sweep_by_name,
+)
+from repro.experiments.registry import BUILDERS, all_specs, build_exhibit
+
+
+class TestNamedSweeps:
+    def test_known_names_resolve(self):
+        for name in SWEEPS:
+            sweep = sweep_by_name(name)
+            assert sweep.name == name
+            assert sweep.total_points > 0
+
+    def test_unknown_name_lists_the_known(self):
+        with pytest.raises(ValueError, match="landscape"):
+            sweep_by_name("nope")
+
+    def test_smoke_sweep_sized_for_ci(self):
+        smoke = sweep_by_name("landscape-smoke")
+        assert smoke.total_points == 504
+        assert smoke.total_points % smoke.chunk_size == 0
+
+
+class TestLandscapeExhibit:
+    @pytest.fixture(scope="class")
+    def exhibit(self):
+        return build_population_landscape(population_landscape_spec())
+
+    def test_every_claim_holds(self, exhibit):
+        for claim in exhibit.claims():
+            assert claim.holds, claim.description
+
+    def test_render_covers_the_grid(self, exhibit):
+        table = exhibit.render()
+        assert "landscape" in table
+        for u in (0.65, 0.8, 0.95):
+            assert str(u) in table
+
+    def test_point_count(self, exhibit):
+        spec = population_landscape_spec()
+        cells = len(spec.param("utilizations")) * len(spec.param("ns"))
+        assert len(exhibit.points) == cells * spec.param("replicates")
+
+
+class TestFaultsExhibit:
+    @pytest.fixture(scope="class")
+    def exhibit(self):
+        return build_population_faults(population_faults_spec())
+
+    def test_every_claim_holds(self, exhibit):
+        for claim in exhibit.claims():
+            assert claim.holds, claim.description
+
+    def test_paired_workloads_differ_only_in_treatment(self, exhibit):
+        """Cells at the same fault rate draw identical systems, so the
+        treatment comparison is paired: released-job totals match."""
+        by_cell = {}
+        for p in exhibit.points:
+            by_cell.setdefault(p.cell, []).append(p.released)
+        for rate in (0.0, 0.25, 0.5):
+            per_treatment = {
+                dict(cell)["treatment"]: released
+                for cell, released in by_cell.items()
+                if dict(cell)["fault_rate"] == rate
+            }
+            assert len(set(tuple(v) for v in per_treatment.values())) == 1
+
+    def test_faults_actually_injected(self, exhibit):
+        assert sum(p.detections for p in exhibit.points) > 0
+
+
+class TestRegistry:
+    def test_population_builders_registered(self):
+        assert "population.landscape" in BUILDERS
+        assert "population.faults" in BUILDERS
+        assert "sweep.chunk" in BUILDERS
+
+    def test_population_specs_in_all_specs(self):
+        names = {s.name for s in all_specs()}
+        assert "population-landscape" in names
+        assert "population-fault-treatments" in names
+
+    def test_build_exhibit_dispatches(self):
+        exhibit = build_exhibit(population_landscape_spec())
+        assert exhibit.points
+
+    def test_unknown_builder_rejected(self):
+        spec = ExperimentSpec.make(name="x", builder="population.bogus", params={})
+        with pytest.raises(ValueError, match="unknown builder"):
+            build_exhibit(spec)

@@ -1,0 +1,225 @@
+"""Bit-equivalence of the vectorized population stepper.
+
+The contract of :mod:`repro.sim.batch` is that for every system the
+classifier admits, :func:`simulate_batch` produces the *same* job
+records — and therefore the same fingerprint — as the exact engine run
+one system at a time.  This suite pins that over hundreds of generated
+systems plus hand-built stress cases (offsets beyond the horizon,
+permanent overload, completion exactly at a deadline or release).
+"""
+
+import pytest
+
+from repro.core.faults import FaultInjector, CostOverrun, NoFaults, RandomFaults
+from repro.core.task import Task, TaskSet
+from repro.core.treatments import TreatmentKind
+from repro.exec.sim import run_simulation
+from repro.sim.batch import (
+    classify,
+    schedule_fingerprint,
+    sim_job_records,
+    simulate_batch,
+)
+from repro.sim.vm import VMProfile
+from repro.workloads.population import PopulationConfig, generate_population
+
+
+def exact_records(ts: TaskSet, horizon: int):
+    return sim_job_records(run_simulation(ts, horizon=horizon))
+
+
+def small_periods(**overrides) -> PopulationConfig:
+    """Population knobs scaled down so the exact engine stays fast."""
+    defaults = dict(period_lo=20, period_hi=400, period_granularity=1)
+    defaults.update(overrides)
+    return PopulationConfig(**defaults)
+
+
+def stress_systems() -> list[tuple[TaskSet, int]]:
+    """Hand-built (system, horizon) pairs covering the edge geometry."""
+    return [
+        # Offset beyond the horizon: zero released jobs.
+        (TaskSet([Task("only", cost=2, period=380, deadline=120, offset=1088, priority=1)]), 320),
+        # One task with zero jobs, one with many.
+        (
+            TaskSet(
+                [
+                    Task("late", cost=5, period=100, deadline=80, offset=900, priority=2),
+                    Task("busy", cost=3, period=10, deadline=10, priority=1),
+                ]
+            ),
+            200,
+        ),
+        # Permanent overload (cost == period): every deadline in range misses.
+        (TaskSet([Task("full", cost=50, period=50, deadline=30, priority=1)]), 300),
+        # Completion exactly at the deadline (meets it) and at a release.
+        (TaskSet([Task("edge", cost=10, period=10, deadline=10, priority=1)]), 100),
+        # Two tasks, completion of hi coincides with release of lo.
+        (
+            TaskSet(
+                [
+                    Task("hi", cost=4, period=8, deadline=8, priority=10),
+                    Task("lo", cost=3, period=12, deadline=12, offset=4, priority=5),
+                ]
+            ),
+            96,
+        ),
+        # Horizon shorter than every period: at most the initial jobs.
+        (
+            TaskSet(
+                [
+                    Task("a", cost=2, period=70, deadline=9, priority=3),
+                    Task("b", cost=9, period=90, deadline=60, offset=5, priority=2),
+                ]
+            ),
+            50,
+        ),
+        # Backlogged task (deadline > period would be unusual, keep
+        # constrained but overloaded pair instead).
+        (
+            TaskSet(
+                [
+                    Task("p", cost=7, period=10, deadline=10, priority=9),
+                    Task("q", cost=8, period=15, deadline=15, priority=4),
+                ]
+            ),
+            150,
+        ),
+    ]
+
+
+class TestEquivalence:
+    def test_generated_population_bit_identical(self):
+        """200+ generated systems across three cells: records, counters
+        and fingerprints all equal the exact engine's."""
+        systems: list[TaskSet] = []
+        for cell, (u, n) in enumerate([(0.5, 3), (0.75, 4), (0.97, 5)]):
+            systems.extend(
+                generate_population(
+                    70,
+                    small_periods(n=n, utilization=u, deadline_factor=0.9),
+                    seed=5150,
+                    key=("eqcell", cell),
+                )
+            )
+        assert len(systems) == 210
+        horizons = [4 * max(t.period for t in ts) for ts in systems]
+        batch = simulate_batch(systems, horizons)
+        misses_seen = 0
+        for ts, h, b in zip(systems, horizons, batch):
+            result = run_simulation(ts, horizon=h)
+            exact = sim_job_records(result)
+            assert b.records == exact
+            assert schedule_fingerprint(b) == schedule_fingerprint(result)
+            assert b.horizon == h
+            assert b.released == len(exact)
+            assert b.completed == sum(1 for r in exact if r[3] >= 0)
+            assert b.misses == sum(1 for r in exact if r[4])
+            assert b.failed_task_count == len({r[0] for r in exact if r[4]})
+            misses_seen += b.misses
+        # The U=0.97 cell guarantees the suite exercises misses.
+        assert misses_seen > 0
+
+    @pytest.mark.parametrize(
+        "ts,horizon", stress_systems(), ids=lambda v: v if isinstance(v, int) else None
+    )
+    def test_stress_geometry(self, ts, horizon):
+        (b,) = simulate_batch([ts], [horizon])
+        exact = exact_records(ts, horizon)
+        assert b.records == exact
+        assert b.released == len(exact)
+        assert b.completed == sum(1 for r in exact if r[3] >= 0)
+        assert b.misses == sum(1 for r in exact if r[4])
+        assert b.failed_task_count == len({r[0] for r in exact if r[4]})
+
+    def test_zero_job_system_counters(self):
+        """A system whose only task releases nothing must report all
+        zeros — the empty-segment case of the counter aggregation."""
+        ts = TaskSet([Task("t", cost=1, period=10, deadline=10, offset=999, priority=1)])
+        (b,) = simulate_batch([ts], [100])
+        assert b.records == ()
+        assert (b.released, b.completed, b.misses, b.failed_task_count) == (0, 0, 0, 0)
+
+    def test_bucketed_run_matches_single_systems(self):
+        """More systems than one bucket (grouped by event count
+        internally) return results in input order, equal to running
+        each system alone."""
+        systems = generate_population(
+            600, small_periods(n=2, utilization=0.6), seed=99, key=("bucket",)
+        )
+        horizons = [2 * max(t.period for t in ts) for ts in systems]
+        together = simulate_batch(systems, horizons)
+        assert len(together) == 600
+        for probe in (0, 17, 299, 511, 512, 599):
+            (alone,) = simulate_batch([systems[probe]], [horizons[probe]])
+            assert together[probe] == alone
+
+
+class TestClassify:
+    def clean(self) -> TaskSet:
+        return TaskSet(
+            [
+                Task("a", cost=1, period=10, priority=2),
+                Task("b", cost=2, period=20, priority=1),
+            ]
+        )
+
+    def test_plain_system_is_eligible(self):
+        assert classify(self.clean()) is None
+
+    def test_trivial_fault_models_are_eligible(self):
+        assert classify(self.clean(), faults=NoFaults()) is None
+        assert classify(self.clean(), faults=FaultInjector([])) is None
+        assert classify(self.clean(), faults=RandomFaults(rate=0.0, max_extra=5, seed=1)) is None
+
+    def test_real_faults_rejected(self):
+        faults = FaultInjector([CostOverrun("a", 0, 5)])
+        assert "fault" in classify(self.clean(), faults=faults)
+        rnd = RandomFaults(rate=0.5, max_extra=5, seed=1)
+        assert "fault" in classify(self.clean(), faults=rnd)
+
+    def test_treatment_rejected(self):
+        assert "treatment" in classify(self.clean(), treatment=TreatmentKind.IMMEDIATE_STOP)
+        assert classify(self.clean(), treatment=TreatmentKind.NO_DETECTION) is None
+
+    def test_context_switch_rejected(self):
+        vm = VMProfile(name="slow", context_switch=3)
+        assert "context-switch" in classify(self.clean(), vm=vm)
+
+    def test_arrivals_and_sections_rejected(self):
+        assert "arrival" in classify(self.clean(), arrivals={"a": (0, 5)})
+        assert "section" in classify(self.clean(), sections=[object()])
+
+    def test_duplicate_priorities_rejected(self):
+        ts = TaskSet(
+            [
+                Task("a", cost=1, period=10, priority=1),
+                Task("b", cost=2, period=20, priority=1),
+            ]
+        )
+        assert "priorities" in classify(ts)
+
+    def test_simulate_batch_refuses_what_classify_rejects(self):
+        ts = TaskSet(
+            [
+                Task("a", cost=1, period=10, priority=1),
+                Task("b", cost=2, period=20, priority=1),
+            ]
+        )
+        with pytest.raises(ValueError, match="classify"):
+            simulate_batch([ts], [100])
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        ts = TaskSet([Task("t", cost=1, period=10, priority=1)])
+        with pytest.raises(ValueError, match="one horizon per system"):
+            simulate_batch([ts], [100, 200])
+
+    def test_nonpositive_horizon(self):
+        ts = TaskSet([Task("t", cost=1, period=10, priority=1)])
+        with pytest.raises(ValueError, match="horizon"):
+            simulate_batch([ts], [0])
+
+    def test_empty_batch(self):
+        assert simulate_batch([], []) == []

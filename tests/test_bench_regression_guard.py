@@ -22,6 +22,7 @@ def _write(tmp_path, name, benches):
 
 BASE = {
     "bench::throughput": {"wall_s": 1.0, "events": 100, "events_per_s": 100_000},
+    "bench::sweep": {"wall_s": 5.0, "systems": 10_000, "systems_per_s": 2_000},
     "bench::walltime_only": {"wall_s": 0.5},
 }
 
@@ -60,6 +61,26 @@ class TestCompare:
         current = {"bench::throughput": {"events_per_s": 95_000}}
         assert check_regression.compare(BASE, current, 0.2) == []
         assert check_regression.compare(BASE, current, 0.01) != []
+
+    def test_systems_per_s_is_gated(self):
+        current = {"bench::sweep": {"systems_per_s": 1_500}}
+        problems = check_regression.compare(BASE, current, 0.2)
+        assert len(problems) == 1
+        assert "bench::sweep" in problems[0]
+        assert "systems/s" in problems[0]
+
+    def test_systems_per_s_within_threshold_passes(self):
+        current = {"bench::sweep": {"systems_per_s": 1_700}}
+        assert check_regression.compare(BASE, current, 0.2) == []
+
+    def test_both_metrics_reported_independently(self):
+        """One entry can regress on both axes; each gets its own line."""
+        both = {
+            "bench::dual": {"events_per_s": 100_000, "systems_per_s": 1_000},
+        }
+        current = {"bench::dual": {"events_per_s": 10, "systems_per_s": 10}}
+        problems = check_regression.compare(both, current, 0.2)
+        assert len(problems) == 2
 
 
 class TestCli:

@@ -1,0 +1,144 @@
+"""Vectorized population generation: scalar equality and chunk freedom.
+
+:func:`repro.workloads.population.generate_population` promises two
+things the sweep layer leans on — it reproduces
+:func:`repro.workloads.generator.random_taskset` bit-for-bit from the
+same ``derive_rng`` stream, and system ``k`` depends only on
+``(seed, key, k)``, never on how the index range was chunked.
+"""
+
+import pytest
+
+from repro.core.feasibility import is_feasible
+from repro.rng import derive_rng
+from repro.workloads.generator import GeneratorConfig, random_taskset
+from repro.workloads.population import PopulationConfig, generate_population
+
+
+SMALL = PopulationConfig(
+    n=3, utilization=0.7, deadline_factor=0.9, period_lo=50, period_hi=5_000, period_granularity=10
+)
+
+
+class TestScalarEquality:
+    def test_matches_random_taskset_stream(self):
+        """Each population row equals random_taskset fed the same
+        per-system derived stream (the vectorization changed the
+        arithmetic layout, not the draws)."""
+        scalar_cfg = GeneratorConfig(
+            n=SMALL.n,
+            utilization=SMALL.utilization,
+            deadline_factor=SMALL.deadline_factor,
+            period_lo=SMALL.period_lo,
+            period_hi=SMALL.period_hi,
+            period_granularity=SMALL.period_granularity,
+        )
+        pop = generate_population(25, SMALL, seed=42, key=("cell", 0.8))
+        for k, ts in enumerate(pop):
+            ref = random_taskset(
+                scalar_cfg, rng=derive_rng(42, "population", "cell", 0.8, k, 0)
+            )
+            assert tuple(ts) == tuple(ref), f"system {k} diverged"
+
+    def test_distinct_indices_distinct_systems(self):
+        pop = generate_population(20, SMALL, seed=7, key=("x",))
+        assert len({tuple(ts) for ts in pop}) > 1
+
+    def test_seed_and_key_change_the_population(self):
+        base = generate_population(5, SMALL, seed=1, key=("a",))
+        other_seed = generate_population(5, SMALL, seed=2, key=("a",))
+        other_key = generate_population(5, SMALL, seed=1, key=("b",))
+        assert [tuple(t) for t in base] != [tuple(t) for t in other_seed]
+        assert [tuple(t) for t in base] != [tuple(t) for t in other_key]
+
+
+class TestChunkIndependence:
+    @pytest.mark.parametrize("splits", [(40,), (1, 39), (13, 13, 14), (7, 11, 5, 17)])
+    def test_any_splice_reproduces_the_slice(self, splits):
+        whole = generate_population(40, SMALL, seed=9, key=("chunk",))
+        start = 0
+        spliced = []
+        for n in splits:
+            spliced.extend(
+                generate_population(n, SMALL, seed=9, key=("chunk",), start=start)
+            )
+            start += n
+        assert [tuple(t) for t in spliced] == [tuple(t) for t in whole]
+
+    def test_start_offset_alone(self):
+        whole = generate_population(30, SMALL, seed=11, key=())
+        tail = generate_population(10, SMALL, seed=11, key=(), start=20)
+        assert [tuple(t) for t in tail] == [tuple(t) for t in whole[20:]]
+
+    def test_feasible_only_is_chunk_independent(self):
+        """The retry chain is keyed per system, so filtering does not
+        couple neighbours either."""
+        cfg = PopulationConfig(
+            n=3, utilization=0.95, deadline_factor=0.8, period_lo=50, period_hi=5_000, period_granularity=10
+        )
+        whole = generate_population(24, cfg, seed=3, key=("f",), feasible_only=True)
+        parts = [
+            ts
+            for lo, n in [(0, 9), (9, 6), (15, 9)]
+            for ts in generate_population(
+                n, cfg, seed=3, key=("f",), start=lo, feasible_only=True
+            )
+        ]
+        assert [tuple(t) for t in parts] == [tuple(t) for t in whole]
+        assert all(is_feasible(ts) for ts in whole)
+
+
+class TestFiltering:
+    def test_feasible_only_yields_feasible_systems(self):
+        pop = generate_population(
+            15,
+            PopulationConfig(
+                n=4, utilization=0.9, deadline_factor=0.85, period_lo=50, period_hi=5_000, period_granularity=10
+            ),
+            seed=5,
+            key=("feas",),
+            feasible_only=True,
+        )
+        assert len(pop) == 15
+        assert all(is_feasible(ts) for ts in pop)
+
+    def test_unfiltered_high_utilization_contains_infeasible(self):
+        pop = generate_population(
+            30,
+            PopulationConfig(
+                n=5, utilization=0.99, deadline_factor=0.7, period_lo=50, period_hi=5_000, period_granularity=10
+            ),
+            seed=6,
+            key=("hot",),
+        )
+        assert any(not is_feasible(ts) for ts in pop)
+
+    def test_impossible_filter_raises(self):
+        cfg = PopulationConfig(n=2, utilization=1.0, deadline_factor=0.01, period_lo=1_000, period_hi=1_000, period_granularity=1)
+        with pytest.raises(RuntimeError, match="no feasible system"):
+            generate_population(1, cfg, seed=1, key=("bad",), feasible_only=True)
+
+
+class TestValidation:
+    def test_zero_count(self):
+        assert generate_population(0, SMALL, seed=0) == []
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError, match="count"):
+            generate_population(-1, SMALL, seed=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"utilization": 0.0},
+            {"utilization": 1.5},
+            {"period_lo": 0},
+            {"period_lo": 100, "period_hi": 50},
+            {"period_granularity": 0},
+            {"deadline_factor": 0.0},
+        ],
+    )
+    def test_config_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            PopulationConfig(**kwargs)
