@@ -1,0 +1,99 @@
+"""Sweep-scale observability overhead: telemetry must be ~free.
+
+The sweep-scale observability layer (worker telemetry snapshots,
+progress stream, flight-recorder arming) rides the hot path of every
+chunk build, so its contract is pay-as-you-go: a 10k-system sweep with
+``--telemetry`` and ``--progress`` on must run within 5% of the same
+sweep with observability off.  ``test_obs_overhead_under_5pct``
+enforces the gate (best-of repeats to absorb host noise) and the
+instrumented sweep's throughput lands in ``BENCH_results.json`` as
+``systems_per_s`` so the CI regression guard watches it too.
+"""
+
+import time
+from types import SimpleNamespace
+
+from repro.exec.executor import LocalExecutor
+from repro.exec.sweep import SweepSpec, run_sweep
+from repro.obs.progress import ProgressWriter
+from repro.obs.runtime import WorkerObs
+
+#: Systems per arm.
+TOTAL_SYSTEMS = 10_000
+
+#: Best-of repeats per arm (min absorbs host noise).
+REPEATS = 3
+
+#: The gate: instrumented may cost at most 5% over bare.
+MAX_OVERHEAD = 1.05
+
+
+def _bench_sweep() -> SweepSpec:
+    return SweepSpec.make(
+        name="bench-obs-overhead",
+        axes={"utilization": (0.5, 0.6, 0.7, 0.8, 0.9)},
+        replicates=TOTAL_SYSTEMS // 5,
+        base_seed=77,
+        n=4,
+        deadline_factor=0.9,
+        horizon_periods=6,
+        chunk_size=2_000,
+    )
+
+
+def _run_bare() -> int:
+    result = run_sweep(_bench_sweep(), executor=LocalExecutor())
+    return len(result.points)
+
+
+def _run_instrumented(tmp_path) -> int:
+    progress = ProgressWriter(tmp_path / "progress.jsonl")
+    executor = LocalExecutor(
+        worker_obs=WorkerObs(telemetry=True, flight_dir=str(tmp_path / "flight")),
+        progress=progress,
+    )
+    try:
+        result = run_sweep(_bench_sweep(), executor=executor)
+    finally:
+        progress.close()
+    assert executor.telemetry.counter_map()["sweep_points_total"] == TOTAL_SYSTEMS
+    return len(result.points)
+
+
+def _timed(fn):
+    t0 = time.perf_counter_ns()  # noqa: RT002 - host-side benchmark timing, not simulated time
+    fn()
+    return time.perf_counter_ns() - t0  # noqa: RT002 - host-side benchmark timing, not simulated time
+
+
+def _best_of_interleaved(a, b, repeats=REPEATS):
+    """Best-of timings for two arms, alternated A/B/A/B so slow drift
+    on a shared host (thermal, noisy neighbours) hits both equally."""
+    best_a = best_b = None
+    for _ in range(repeats):
+        dt_a, dt_b = _timed(a), _timed(b)
+        best_a = dt_a if best_a is None or dt_a < best_a else best_a
+        best_b = dt_b if best_b is None or dt_b < best_b else best_b
+    return best_a, best_b
+
+
+def test_instrumented_sweep_throughput(benchmark, tmp_path):
+    """The headline number: 10k systems with full observability on."""
+
+    def run():
+        systems = _run_instrumented(tmp_path)
+        return SimpleNamespace(systems=systems)
+
+    value = benchmark(run)
+    assert value.systems == TOTAL_SYSTEMS
+
+
+def test_obs_overhead_under_5pct(tmp_path):
+    bare_ns, instrumented_ns = _best_of_interleaved(
+        _run_bare, lambda: _run_instrumented(tmp_path)
+    )
+    ratio = instrumented_ns / bare_ns
+    assert ratio <= MAX_OVERHEAD, (
+        f"telemetry+progress+flight cost {(ratio - 1) * 100:.1f}% over the "
+        f"bare sweep (gate: {(MAX_OVERHEAD - 1) * 100:.0f}%)"
+    )

@@ -26,6 +26,9 @@ Importing this package registers every rule with
            ``repro.workloads.population``,
            ``repro.experiments.population``) outside the ``_exact*``
            classifier fallback
+``RT011``  unbounded ``MemorySink`` construction in the same
+           population modules (bounded ``RingSink`` or streaming
+           sinks only)
 ``RT099``  stale ``# noqa`` suppressions — codes that silenced no
            finding on a full run (warning)
 ========  =======================================================
@@ -47,6 +50,7 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     population_discipline,
     reporting,
     search_discipline,
+    sink_discipline,
     suppressions,
     time_discipline,
 )

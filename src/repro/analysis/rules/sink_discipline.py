@@ -1,0 +1,81 @@
+"""RT011 — population code must not buffer traces in unbounded sinks.
+
+``MemorySink`` keeps every trace event of a run in a Python list.
+That is the right tool for a single simulation under test, and exactly
+the wrong one at population scale: a 10k-system sweep with tracing
+armed would accumulate hundreds of millions of events before the first
+chunk is written out.  The population/sweep stack therefore has two
+sanctioned sinks only — the bounded :class:`repro.obs.flight.RingSink`
+(last-N events for anomaly bundles) and streaming sinks
+(``JsonlSink`` / ``NullSink``), which hold O(1) state.
+
+This rule flags any ``MemorySink(...)`` instantiation inside the
+population modules.  Passing one *in* from calling code is still
+possible (and visible at the call site); what the rule forbids is the
+population layer quietly constructing its own unbounded buffer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import ast
+
+from repro.analysis.lint import Rule, attr_call, register
+
+__all__ = ["SinkDiscipline"]
+
+#: Modules that make up the population/sweep stack (kept in sync with
+#: RT010's list — the same layer, a different failure mode).
+_POPULATION_MODULES = (
+    "repro/sim/batch.py",
+    "repro/workloads/population.py",
+    "repro/exec/sweep.py",
+    "repro/experiments/population.py",
+)
+
+_HINT = (
+    "buffering every event of a population run is unbounded memory; "
+    "use the bounded repro.obs.flight.RingSink for anomaly tails or a "
+    "streaming JsonlSink/NullSink"
+)
+
+
+def _in_population_stack(path: str) -> bool:
+    posix = Path(path).as_posix()
+    return any(posix.endswith(mod) for mod in _POPULATION_MODULES)
+
+
+@register
+class SinkDiscipline(Rule):
+    """RT011: unbounded MemorySink construction in population code."""
+
+    code = "RT011"
+    name = "sink-discipline"
+    description = (
+        "Population/sweep modules constructing MemorySink buffer every "
+        "trace event of a population run in memory; bounded RingSink or "
+        "streaming sinks are the sanctioned alternatives."
+    )
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._active = _in_population_stack(ctx.path)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._active:
+            name = None
+            if isinstance(node.func, ast.Name) and node.func.id == "MemorySink":
+                name = node.func.id
+            else:
+                base_attr = attr_call(node)
+                if base_attr is not None and base_attr[1] == "MemorySink":
+                    name = f"{base_attr[0]}.{base_attr[1]}"
+            if name is not None:
+                self.report(
+                    node,
+                    f"{name}() constructed in population code buffers an "
+                    f"entire population run's trace in memory",
+                    hint=_HINT,
+                )
+        self.generic_visit(node)

@@ -29,7 +29,10 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.exec.cache import CacheStats, ResultCache
 from repro.exec.spec import ExperimentSpec
-from repro.obs.spans import SpanRecorder
+from repro.obs import aggregate, runtime as obs_runtime
+from repro.obs.progress import ProgressWriter
+from repro.obs.runtime import WorkerObs
+from repro.obs.spans import Span, SpanRecorder
 
 __all__ = [
     "ExecutionResult",
@@ -86,10 +89,11 @@ class ExecutorStats:
 
 
 def _timed_build(
-    payload: tuple[Builder, ExperimentSpec],
-) -> tuple[Any, float, int, int]:
-    """Run one builder, returning its value, wall time in seconds, and
-    the raw ``perf_counter_ns`` start/end stamps.
+    payload: tuple[Builder, ExperimentSpec, WorkerObs | None],
+) -> tuple[Any, float, int, int, aggregate.TelemetrySnapshot | None]:
+    """Run one builder, returning its value, wall time in seconds, the
+    raw ``perf_counter_ns`` start/end stamps, and (when worker
+    observability is on) the telemetry the build produced.
 
     Module-level so it pickles into pool workers.  The ns stamps are
     monotonic and comparable across processes on Linux, which is what
@@ -97,12 +101,31 @@ def _timed_build(
     Host-clock timing is run *metadata* (reported in manifests, excluded
     from fingerprints), not simulated time, hence the sanctioned RT002
     suppressions.
+
+    With a :class:`~repro.obs.runtime.WorkerObs` recipe, the build runs
+    under a fresh per-spec :class:`~repro.obs.runtime.ObsConfig`, and
+    its metrics, a pid-tagged ``build`` span and any flight bundles
+    come back as a mergeable snapshot — the fix for pool workers
+    silently dropping their telemetry.  Serial executors take the exact
+    same path, so serial and parallel telemetry agree modulo pid tags.
     """
-    fn, spec = payload
-    t0 = time.perf_counter_ns()  # noqa: RT002 - run metadata, not simulated time
-    value = fn(spec)
-    t1 = time.perf_counter_ns()  # noqa: RT002 - run metadata, not simulated time
-    return value, (t1 - t0) / 1_000_000_000, t0, t1
+    fn, spec, worker_obs = payload
+    if worker_obs is None:
+        t0 = time.perf_counter_ns()  # noqa: RT002 - run metadata, not simulated time
+        value = fn(spec)
+        t1 = time.perf_counter_ns()  # noqa: RT002 - run metadata, not simulated time
+        return value, (t1 - t0) / 1_000_000_000, t0, t1, None
+    config = worker_obs.build_config()
+    with obs_runtime.activate(config):
+        t0 = time.perf_counter_ns()  # noqa: RT002 - run metadata, not simulated time
+        value = fn(spec)
+        t1 = time.perf_counter_ns()  # noqa: RT002 - run metadata, not simulated time
+    snapshot = aggregate.snapshot_telemetry(
+        config.metrics.registry if config.metrics is not None else None,
+        spans=(Span(name=spec.name, category="build", start_ns=t0, dur_ns=t1 - t0),),
+        flight_bundles=tuple(config.flight.bundles) if config.flight is not None else (),
+    )
+    return value, (t1 - t0) / 1_000_000_000, t0, t1, snapshot
 
 
 class Executor:
@@ -112,11 +135,20 @@ class Executor:
     jobs = 1
 
     def __init__(
-        self, cache: ResultCache | None = None, spans: SpanRecorder | None = None
+        self,
+        cache: ResultCache | None = None,
+        spans: SpanRecorder | None = None,
+        worker_obs: WorkerObs | None = None,
+        progress: ProgressWriter | None = None,
     ):
         self.cache = cache
         self.spans = spans
+        self.worker_obs = worker_obs
+        self.progress = progress
         self.stats = ExecutorStats()
+        #: Merged worker telemetry across every ``run()`` (the identity
+        #: snapshot until a worker-obs run contributes).
+        self.telemetry = aggregate.EMPTY
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -129,6 +161,18 @@ class Executor:
         with self.spans.span("executor.run", "exec", specs=str(len(specs))):
             return self._run(specs, fn)
 
+    def _progress_done(self, result: ExecutionResult) -> None:
+        if self.progress is None:
+            return
+        points = getattr(result.value, "points", None)
+        self.progress.emit(
+            "spec_done",
+            name=result.spec.name,
+            source=result.source,
+            wall_s=round(result.wall_s, 6),
+            **({"points": len(points)} if points is not None else {}),
+        )
+
     def _run(self, specs: Sequence[ExperimentSpec], fn: Builder) -> list[ExecutionResult]:
         results: dict[int, ExecutionResult] = {}
         pending: list[tuple[int, ExperimentSpec]] = []
@@ -136,19 +180,24 @@ class Executor:
             cached = self._cached(spec)
             if cached is not None:
                 results[i] = ExecutionResult(spec, cached, 0.0, "cache")
+                self._progress_done(results[i])
             else:
                 pending.append((i, spec))
         compute_start = time.perf_counter_ns()  # noqa: RT002 - queue-wait metadata, not simulated time
         # _compute is lazy: each result is cached the moment it arrives,
         # so a killed run keeps every finished spec on disk and a rerun
         # only recomputes the rest (chunk-granularity sweep resume).
-        for (i, spec), (value, wall_s, t0, t1) in zip(pending, self._compute(pending, fn)):
+        for (i, spec), (value, wall_s, t0, t1, telemetry) in zip(
+            pending, self._compute(pending, fn)
+        ):
             if self.cache is not None:
                 self.cache.put(spec, value)
             if self.spans is not None:
                 self.spans.record(
                     spec.name, "spec", t0 - self.spans.origin_ns, t1 - t0
                 )
+            if telemetry is not None:
+                self.telemetry = aggregate.merge(self.telemetry, telemetry)
             results[i] = ExecutionResult(
                 spec,
                 value,
@@ -158,6 +207,7 @@ class Executor:
                 ended_ns=t1,
                 queue_wait_ns=max(0, t0 - compute_start),
             )
+            self._progress_done(results[i])
         ordered = [results[i] for i in range(len(specs))]
         self.stats.specs += len(ordered)
         self.stats.computed += len(pending)
@@ -184,7 +234,7 @@ class Executor:
 
     def _compute(
         self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
-    ) -> Iterator[tuple[Any, float, int, int]]:
+    ) -> Iterator[tuple[Any, float, int, int, aggregate.TelemetrySnapshot | None]]:
         raise NotImplementedError
 
 
@@ -195,9 +245,9 @@ class LocalExecutor(Executor):
 
     def _compute(
         self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
-    ) -> Iterator[tuple[Any, float, int, int]]:
+    ) -> Iterator[tuple[Any, float, int, int, aggregate.TelemetrySnapshot | None]]:
         for _, spec in pending:
-            yield _timed_build((fn, spec))
+            yield _timed_build((fn, spec, self.worker_obs))
 
 
 class PoolExecutor(Executor):
@@ -210,18 +260,20 @@ class PoolExecutor(Executor):
         jobs: int,
         cache: ResultCache | None = None,
         spans: SpanRecorder | None = None,
+        worker_obs: WorkerObs | None = None,
+        progress: ProgressWriter | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
-        super().__init__(cache, spans)
+        super().__init__(cache, spans, worker_obs, progress)
         self.jobs = jobs
 
     def _compute(
         self, pending: Sequence[tuple[int, ExperimentSpec]], fn: Builder
-    ) -> Iterator[tuple[Any, float, int, int]]:
+    ) -> Iterator[tuple[Any, float, int, int, aggregate.TelemetrySnapshot | None]]:
         if not pending:
             return
-        payloads = [(fn, spec) for _, spec in pending]
+        payloads = [(fn, spec, self.worker_obs) for _, spec in pending]
         workers = min(self.jobs, len(payloads))
         if workers == 1:
             for p in payloads:
@@ -235,7 +287,11 @@ def make_executor(
     jobs: int = 1,
     cache: ResultCache | None = None,
     spans: SpanRecorder | None = None,
+    worker_obs: WorkerObs | None = None,
+    progress: ProgressWriter | None = None,
 ) -> Executor:
     """The executor the CLI flags describe: serial for ``--jobs 1``,
     a process pool otherwise."""
-    return PoolExecutor(jobs, cache, spans) if jobs > 1 else LocalExecutor(cache, spans)
+    if jobs > 1:
+        return PoolExecutor(jobs, cache, spans, worker_obs, progress)
+    return LocalExecutor(cache, spans, worker_obs, progress)

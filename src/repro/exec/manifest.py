@@ -95,6 +95,14 @@ def _telemetry_section(
         telemetry["executor"] = {"kind": executor.kind, "jobs": executor.jobs}
         if executor.spans is not None:
             telemetry["spans"] = executor.spans.as_dicts()
+        # Merged worker telemetry (repro.obs.aggregate): identical for
+        # serial and --jobs N runs modulo pid tags.  Lives under the
+        # volatile "telemetry" top-level key, so fingerprints are
+        # unchanged whether worker observability was on or off.
+        if executor.telemetry:
+            telemetry["aggregate"] = executor.telemetry.as_dict()
+            if executor.telemetry.flight_bundles:
+                telemetry["flight_bundles"] = list(executor.telemetry.flight_bundles)
     return telemetry
 
 

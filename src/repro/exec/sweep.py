@@ -45,6 +45,7 @@ from repro.exec.manifest import build_manifest, manifest_fingerprint
 from repro.exec.sim import run_simulation
 from repro.exec.spec import ExperimentSpec
 from repro.obs import runtime as obs_runtime
+from repro.obs.flight import AnomalyReport
 from repro.rng import stable_hash
 from repro.sim.batch import JobRecord, classify, sim_job_records, simulate_batch
 from repro.workloads.population import PopulationConfig, generate_population
@@ -341,16 +342,28 @@ def _faulty_tasks(
 
 def _exact_fallback(
     work: list[tuple[Any, int, FaultModel | None, TreatmentKind | None]],
-) -> list[tuple[JobRecord, ...]]:
+) -> list[tuple[tuple[JobRecord, ...], list]]:
     """The classifier fallback: the one sanctioned per-system simulate
     loop in population code (RT010).  Every system the vectorized
-    stepper cannot model byte-exactly runs the real engine here."""
+    stepper cannot model byte-exactly runs the real engine here.
+
+    Returns ``(records, ring_tail)`` per system: when a flight recorder
+    is active, its bounded trace ring is cleared before each simulation
+    and the surviving tail captured after, so an anomaly bundle for
+    system *i* carries the closing events of *that* system's schedule
+    and never a neighbour's.
+    """
+    cfg = obs_runtime.current()
+    ring = cfg.flight.ring if cfg is not None and cfg.flight is not None else None
     out = []
     for taskset, horizon, faults, treatment in work:
+        if ring is not None:
+            ring.clear()
         result = run_simulation(
             taskset, horizon=horizon, faults=faults, treatment=treatment
         )
-        out.append(sim_job_records(result))
+        tail = ring.tail() if ring is not None else []
+        out.append((sim_job_records(result), tail))
     return out
 
 
@@ -359,12 +372,14 @@ def build_chunk(spec: ExperimentSpec, stepper: str = "batched") -> SweepChunk:
     through the classifier, run both paths, summarise.
 
     *stepper* selects how classifier-eligible systems execute —
-    ``"batched"`` (vectorized) or ``"exact"`` (per-system engine).  It
+    ``"batched"`` (vectorized), ``"exact"`` (per-system engine) or
+    ``"verify"`` (batched, then re-run on the exact engine and compare
+    record fingerprints, dumping a flight bundle on divergence).  It
     deliberately lives outside the spec: the produced records are
     bit-identical either way, so cached chunks and manifest
     fingerprints are stepper-independent.
     """
-    if stepper not in ("batched", "exact"):
+    if stepper not in ("batched", "exact", "verify"):
         raise ValueError(f"unknown stepper {stepper!r}")
     sweep = SweepSpec.from_params(spec.param("sweep"))
     start = int(spec.param("start"))
@@ -398,7 +413,7 @@ def build_chunk(spec: ExperimentSpec, stepper: str = "batched") -> SweepChunk:
         for ts, f, t in zip(systems, faults, treatments)
     ]
 
-    vector_idx = [i for i, ok in enumerate(eligible) if ok and stepper == "batched"]
+    vector_idx = [i for i, ok in enumerate(eligible) if ok and stepper != "exact"]
     vectored = set(vector_idx)
     exact_idx = [i for i in range(len(systems)) if i not in vectored]
     records: list[tuple[JobRecord, ...] | None] = [None] * len(systems)
@@ -422,12 +437,59 @@ def build_chunk(spec: ExperimentSpec, stepper: str = "batched") -> SweepChunk:
                 0,
                 result.failed_task_count,
             )
+    tails: dict[int, list] = {}
     if exact_idx:
         exact = _exact_fallback(
             [(systems[i], horizons[i], faults[i], treatments[i]) for i in exact_idx]
         )
-        for i, recs in zip(exact_idx, exact):
+        for i, (recs, tail) in zip(exact_idx, exact):
             records[i] = recs
+            tails[i] = tail
+
+    cfg = obs_runtime.current()
+    flight = cfg.flight if cfg is not None else None
+
+    def _context(ordinal: int, cell: Cell, r: int) -> tuple[tuple[str, Any], ...]:
+        return (
+            ("sweep", sweep.name),
+            ("sweep_hash", sweep.sweep_hash()),
+            ("spec_hash", spec.spec_hash()),
+            ("ordinal", ordinal),
+            ("cell", dict(cell)),
+            ("replicate", r),
+        )
+
+    if stepper == "verify" and vector_idx:
+        # The batch-vs-exact check the classifier's contract rests on:
+        # every vectorized system re-runs on the real engine; a record
+        # fingerprint mismatch is a stepper bug and gets a bundle.
+        verified = _exact_fallback(
+            [(systems[i], horizons[i], faults[i], treatments[i]) for i in vector_idx]
+        )
+        for i, (recs, tail) in zip(vector_idx, verified):
+            batched_fp = f"{stable_hash(records[i]):08x}"
+            exact_fp = f"{stable_hash(recs):08x}"
+            if batched_fp != exact_fp and flight is not None:
+                ordinal, cell, r = points[i]
+                flight.capture(
+                    AnomalyReport(
+                        kind="stepper-divergence",
+                        detail=(
+                            f"vectorized stepper fingerprint {batched_fp} "
+                            f"!= exact engine {exact_fp}"
+                        ),
+                        taskset=systems[i],
+                        horizon=horizons[i],
+                        faults=faults[i],
+                        treatment=(
+                            treatments[i].value if treatments[i] is not None else None
+                        ),
+                        expected_fingerprint=exact_fp,
+                        observed_fingerprint=batched_fp,
+                        context=_context(ordinal, cell, r),
+                    ),
+                    events=tail,
+                )
 
     out = []
     for i, (ordinal, cell, r) in enumerate(points):
@@ -439,24 +501,44 @@ def build_chunk(spec: ExperimentSpec, stepper: str = "batched") -> SweepChunk:
             rel, done, miss, stop, det, coll = _summarize(
                 recs, _faulty_tasks(systems[i], recs, faults[i])
             )
-        out.append(
-            PointRecord(
-                ordinal=ordinal,
-                cell=cell,
-                index=r,
-                eligible=eligible[i],
-                analysis_feasible=is_feasible(systems[i]),
-                released=rel,
-                completed=done,
-                misses=miss,
-                stopped=stop,
-                detections=det,
-                collateral=coll,
-                fingerprint=f"{stable_hash(recs):08x}",
-            )
+        point = PointRecord(
+            ordinal=ordinal,
+            cell=cell,
+            index=r,
+            eligible=eligible[i],
+            analysis_feasible=is_feasible(systems[i]),
+            released=rel,
+            completed=done,
+            misses=miss,
+            stopped=stop,
+            detections=det,
+            collateral=coll,
+            fingerprint=f"{stable_hash(recs):08x}",
         )
+        out.append(point)
+        if flight is not None and point.analysis_feasible and point.misses > 0:
+            # The analysis models declared costs only, so with faults
+            # injected this is the expected (and replayable) anomaly;
+            # without faults it would be an oracle violation.
+            flight.capture(
+                AnomalyReport(
+                    kind="miss-despite-feasible",
+                    detail=(
+                        f"analysis-feasible system missed {point.misses} "
+                        f"deadline(s) ({point.released} jobs released)"
+                    ),
+                    taskset=systems[i],
+                    horizon=horizons[i],
+                    faults=faults[i],
+                    treatment=(
+                        treatments[i].value if treatments[i] is not None else None
+                    ),
+                    expected_fingerprint=point.fingerprint,
+                    context=_context(ordinal, cell, r),
+                ),
+                events=tails.get(i, []),
+            )
 
-    cfg = obs_runtime.current()
     if cfg is not None and cfg.metrics is not None:
         registry = cfg.metrics.registry
         registry.counter("sweep_chunks_total").inc()
@@ -478,9 +560,23 @@ def run_sweep(
     manifest.  Interrupted runs resume for free: finished chunks come
     back from the executor's cache, only the rest recompute."""
     specs = chunk_specs(sweep)
+    if executor.progress is not None:
+        executor.progress.emit(
+            "run_started",
+            run=sweep.name,
+            sweep_hash=sweep.sweep_hash(),
+            total_specs=len(specs),
+            total_points=sweep.total_points,
+        )
     results = executor.run(specs, partial(build_chunk, stepper=stepper))
     points = [p for r in results for p in r.value.points]
     manifest, artifacts = build_manifest(results, executor=executor)
+    if executor.progress is not None:
+        executor.progress.emit(
+            "run_finished",
+            run=sweep.name,
+            fingerprint=manifest_fingerprint(manifest),
+        )
     return SweepResult(
         spec=sweep,
         results=results,

@@ -30,6 +30,17 @@ with per-task response-time histograms and cache/exec telemetry, and
 ``--profile`` prints the engine's per-event-kind dispatch profile.
 These flags force a serial, cache-bypassing run so the recorded trace
 covers every simulation.
+
+Sweep-scale observability flags do *not* force serial — they are built
+to survive the process pool: ``--telemetry`` ships each worker's
+metrics and pid-tagged spans back through the result channel and folds
+them into the manifest's ``telemetry.aggregate`` section (serial and
+``--jobs N`` agree modulo pid tags); ``--progress FILE`` appends a
+crash-readable JSONL progress stream (summarize with ``python -m
+repro.obs progress``); ``--flight DIR`` arms the anomaly flight
+recorder, dumping replayable bundles (``python -m repro.obs replay``)
+for any deadline miss the analysis called feasible or any
+batched-vs-exact divergence found by ``--stepper verify``.
 """
 
 from __future__ import annotations
@@ -49,7 +60,9 @@ from repro.obs import (
     JsonlSink,
     MetricsObserver,
     ObsConfig,
+    ProgressWriter,
     SpanRecorder,
+    WorkerObs,
     activate,
     write_metrics,
 )
@@ -100,6 +113,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also write an SVG chart per figure into DIR",
     )
     parser.add_argument(
+        "--html",
+        metavar="FILE",
+        help="for the 'report' target: write the report as a standalone "
+        "HTML page instead of Markdown on stdout",
+    )
+    parser.add_argument(
         "--treatment",
         choices=[k.value for k in TreatmentKind],
         help="treatment override for 'run' targets",
@@ -118,11 +137,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--stepper",
-        choices=["batched", "exact"],
+        choices=["batched", "exact", "verify"],
         default="batched",
         help="how 'sweep' runs classifier-eligible systems: vectorized "
-        "batch stepper or the per-system engine (default: batched; "
-        "results are bit-identical)",
+        "batch stepper, the per-system engine, or both with a "
+        "fingerprint cross-check (default: batched; results are "
+        "bit-identical)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect per-build worker telemetry (metrics + pid-tagged "
+        "spans) and fold it into the manifest; works under --jobs N",
+    )
+    parser.add_argument(
+        "--progress",
+        metavar="FILE",
+        help="append a crash-readable JSONL progress stream to FILE "
+        "(summarize with 'python -m repro.obs progress FILE')",
+    )
+    parser.add_argument(
+        "--flight",
+        metavar="DIR",
+        help="arm the anomaly flight recorder: dump replayable bundles "
+        "into DIR on miss-despite-feasible or stepper divergence "
+        "(verify with 'python -m repro.obs replay')",
     )
     parser.add_argument(
         "--trace-out",
@@ -163,13 +202,30 @@ def main(argv: list[str] | None = None) -> int:
             metrics=MetricsObserver(),
             profiler=EngineProfiler() if args.profile else None,
         )
-    executor = make_executor(jobs, cache, spans)
+    worker_obs = None
+    if args.telemetry or args.flight:
+        worker_obs = WorkerObs(telemetry=True, flight_dir=args.flight)
+    progress = ProgressWriter(args.progress, echo=sys.stderr) if args.progress else None
+    executor = make_executor(jobs, cache, spans, worker_obs, progress)
 
-    if obs_cfg is None:
-        return _dispatch(args, known, executor)
-    with activate(obs_cfg):
-        status = _dispatch(args, known, executor)
-    _finalize_obs(args, obs_cfg, spans, executor)
+    try:
+        if obs_cfg is None:
+            status = _dispatch(args, known, executor)
+        else:
+            with activate(obs_cfg):
+                status = _dispatch(args, known, executor)
+            _finalize_obs(args, obs_cfg, spans, executor)
+    finally:
+        if progress is not None:
+            progress.close()
+    if worker_obs is not None and executor.telemetry:
+        t = executor.telemetry
+        print(
+            f"telemetry: {len(t.pids)} worker(s), {len(t.counters)} counters, "
+            f"{len(t.spans)} spans, {len(t.flight_bundles)} flight bundle(s)"
+        )
+        for bundle in t.flight_bundles:
+            print(f"  flight bundle: {bundle}")
     return status
 
 
@@ -182,9 +238,15 @@ def _dispatch(
     if targets and targets[0] == "sweep":
         return _run_sweeps(targets[1:], args, executor)
     if targets and targets[0] == "report":
-        from repro.experiments.report import generate_report
+        from repro.experiments.report import generate_html_report, generate_report
 
-        print(generate_report(executor=executor))
+        if args.html:
+            path = Path(args.html)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(generate_html_report(executor=executor))
+            print(f"wrote {path}")
+        else:
+            print(generate_report(executor=executor))
         return 0
     if "all" in targets:
         targets = list(known)
@@ -196,6 +258,8 @@ def _dispatch(
             return 2
         specs.append(known[name])
 
+    if executor.progress is not None:
+        executor.progress.emit("run_started", run="exhibits", total_specs=len(specs))
     runs = executor.run(specs, build_exhibit)
     status = 0
     for run in runs:
@@ -212,10 +276,18 @@ def _dispatch(
             path = out / f"{run.spec.name}.svg"
             path.write_text(render_svg(exp.result, SvgOptions(title=exp.name)))
             print(f"wrote {path}")
+    fingerprint = None
     if args.manifest:
         manifest, artifacts = build_manifest(runs, executor=executor)
         path = write_manifest(args.manifest, manifest, artifacts)
-        print(f"wrote {path} (fingerprint {manifest_fingerprint(manifest)[:12]})")
+        fingerprint = manifest_fingerprint(manifest)
+        print(f"wrote {path} (fingerprint {fingerprint[:12]})")
+    if executor.progress is not None:
+        executor.progress.emit(
+            "run_finished",
+            run="exhibits",
+            **({"fingerprint": fingerprint} if fingerprint else {}),
+        )
     cs = executor.cache_stats
     print(
         f"executor: {executor.stats.describe()}; cache: hits={cs.hits} "

@@ -95,11 +95,30 @@ def _fault_treatments_sweep() -> SweepSpec:
     )
 
 
+def _fault_smoke_sweep() -> SweepSpec:
+    """Untreated faults on analytically feasible systems — the seeded
+    anomaly recipe: ``analysis_feasible`` ignores faults, so every
+    injected overrun that causes a miss fires the flight recorder's
+    ``miss-despite-feasible`` trigger (replayable bundles in CI)."""
+    return SweepSpec.make(
+        name="fault-smoke",
+        axes={"utilization": (0.7, 0.95)},
+        replicates=6,
+        base_seed=5,
+        n=3,
+        fault_rate=0.3,
+        feasible_only=True,
+        horizon_periods=3,
+        chunk_size=4,
+    )
+
+
 #: Named sweeps the CLI ``sweep`` subcommand can run.
 SWEEPS: Mapping[str, object] = {
     "landscape": _landscape_sweep,
     "landscape-smoke": _landscape_smoke_sweep,
     "fault-treatments": _fault_treatments_sweep,
+    "fault-smoke": _fault_smoke_sweep,
 }
 
 

@@ -5,16 +5,24 @@ executor and renders a Markdown summary with each claim's verdict —
 the live counterpart of the hand-written EXPERIMENTS.md (useful after
 modifying the analysis or the simulator:
 ``python -m repro.experiments report > report.md``).
+:func:`generate_html_report` renders the same verdicts in the obs
+dashboard's house style (``report --html report.html``).
 """
 
 from __future__ import annotations
 
+import html
 from dataclasses import dataclass
 
 from repro.exec.executor import Executor, LocalExecutor
 from repro.experiments.registry import build_exhibit, paper_specs
 
-__all__ = ["ReportEntry", "generate_entries", "generate_report"]
+__all__ = [
+    "ReportEntry",
+    "generate_entries",
+    "generate_html_report",
+    "generate_report",
+]
 
 
 @dataclass(frozen=True)
@@ -75,3 +83,36 @@ def generate_report(
             lines.append(e.rendering)
             lines.append("```")
     return "\n".join(lines) + "\n"
+
+
+def generate_html_report(
+    *, include_renderings: bool = True, executor: Executor | None = None
+) -> str:
+    """The full report as a standalone HTML page (dashboard style)."""
+    from repro.obs.dashboard import wrap_page
+
+    entries = generate_entries(executor)
+    total = sum(e.claims_total for e in entries)
+    holding = sum(e.claims_holding for e in entries)
+    body = [
+        "<h1>Reproduction report — Fault Tolerance with Real-Time Java</h1>",
+        "<table><tr><th>exhibit</th><th>claims</th><th>verdict</th></tr>",
+    ]
+    for e in entries:
+        verdict = (
+            "<span class='ok'>all hold</span>"
+            if e.ok
+            else f"<span class='bad'>{e.claims_holding}/{e.claims_total} hold</span>"
+        )
+        body.append(
+            f"<tr><td><a href='#exhibit-{html.escape(e.name)}'>"
+            f"{html.escape(e.name)}</a></td>"
+            f"<td>{e.claims_total}</td><td>{verdict}</td></tr>"
+        )
+    body.append("</table>")
+    body.append(f"<p><strong>{holding}/{total} paper claims reproduced.</strong></p>")
+    if include_renderings:
+        for e in entries:
+            body.append(f"<h2 id='exhibit-{html.escape(e.name)}'>{html.escape(e.name)}</h2>")
+            body.append(f"<pre>{html.escape(e.rendering)}</pre>")
+    return wrap_page("Reproduction report", "".join(body))

@@ -17,15 +17,42 @@ package is that tooling grown to batch scale:
   (executor run → spec → cache lookup), surfaced in the run manifest's
   ``telemetry`` section;
 * :mod:`repro.obs.runtime` — the ambient config the exec bridge
-  attaches to every simulation during a CLI run.
+  attaches to every simulation during a CLI run;
+* :mod:`repro.obs.aggregate` — mergeable telemetry snapshots that
+  survive the ``PoolExecutor`` process boundary (serial == ``--jobs N``
+  modulo pid tags);
+* :mod:`repro.obs.progress` — crash-readable JSONL progress streams
+  with resume-aware summaries;
+* :mod:`repro.obs.flight` — bounded trace ring + anomaly flight
+  recorder; bundles replay bit-identically via ``obs replay``;
+* :mod:`repro.obs.dashboard` — static HTML dashboard over an output
+  directory's manifests, telemetry and progress streams.
 
 Command line::
 
     python -m repro.obs inspect out/t.jsonl
     python -m repro.obs convert out/t.jsonl --to chrome
     python -m repro.obs summarize out/t.jsonl
+    python -m repro.obs progress out/progress.jsonl
+    python -m repro.obs replay out/flight/flight-*.json
+    python -m repro.obs dashboard out/
 """
 
+from repro.obs.aggregate import (
+    EMPTY,
+    TelemetrySnapshot,
+    merge,
+    merge_all,
+    snapshot_telemetry,
+)
+from repro.obs.flight import (
+    AnomalyReport,
+    FlightRecorder,
+    ReplayResult,
+    RingSink,
+    load_bundle,
+    replay,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS_NS,
     Counter,
@@ -36,7 +63,14 @@ from repro.obs.metrics import (
     write_metrics,
 )
 from repro.obs.profiler import EngineProfiler
-from repro.obs.runtime import ObsConfig, activate, current
+from repro.obs.progress import (
+    ProgressSummary,
+    ProgressWriter,
+    iter_progress,
+    render_progress,
+    summarize_progress,
+)
+from repro.obs.runtime import ObsConfig, WorkerObs, activate, current
 from repro.obs.sinks import (
     ChromeTraceSink,
     JsonlSink,
@@ -54,6 +88,23 @@ from repro.obs.sinks import (
 from repro.obs.spans import Span, SpanRecorder
 
 __all__ = [
+    "EMPTY",
+    "TelemetrySnapshot",
+    "merge",
+    "merge_all",
+    "snapshot_telemetry",
+    "AnomalyReport",
+    "FlightRecorder",
+    "ReplayResult",
+    "RingSink",
+    "load_bundle",
+    "replay",
+    "ProgressSummary",
+    "ProgressWriter",
+    "iter_progress",
+    "render_progress",
+    "summarize_progress",
+    "WorkerObs",
     "DEFAULT_BUCKETS_NS",
     "Counter",
     "Gauge",

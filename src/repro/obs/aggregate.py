@@ -1,0 +1,264 @@
+"""Mergeable telemetry snapshots — observability across process boundaries.
+
+The executor (PR 2) fans specs out over a ``multiprocessing.Pool``; the
+observability layer (PR 3) records metrics and spans into *process-local*
+registries.  Before this module the two composed badly: every counter a
+pool worker incremented and every span it measured died with the worker.
+A :class:`TelemetrySnapshot` is the fix — a picklable, immutable capture
+of one process's registry + spans that travels back through the pool's
+result channel and merges losslessly in the parent.
+
+Merge semantics (golden-tested in ``tests/obs/test_aggregate.py``):
+
+* **counters** sum and **histograms** add bucket-wise (bounds must
+  align) — associative, commutative, identity :data:`EMPTY`, so worker
+  snapshots can arrive and fold in any order and a serial run and a
+  ``--jobs N`` run of the same specs produce the *same* merged numbers;
+* **gauges** are last-write-wins and have no order-insensitive merge,
+  so they stay **per-pid**: each snapshot tags its gauges with the
+  originating pid and merge unions the per-pid maps (two snapshots from
+  the same pid take the maximum).  A parallel run's merged telemetry
+  therefore equals the serial run's *modulo pid tags* — exactly the
+  parity the regression tests assert;
+* **spans** concatenate, pid-tagged, and are kept sorted by a stable
+  key so the merged tuple never depends on arrival order.
+
+The merged snapshot lands in the run manifest's ``telemetry`` section
+(``aggregate``), which :func:`repro.exec.manifest.strip_volatile` drops
+— telemetry describes *this host's* execution of the run, never the
+results, so fingerprints stay bit-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span
+
+__all__ = [
+    "TelemetrySnapshot",
+    "EMPTY",
+    "snapshot_telemetry",
+    "merge",
+    "merge_all",
+]
+
+#: Lossless histogram state: (bounds, counts, count, sum, min, max).
+HistState = tuple[tuple[int, ...], tuple[int, ...], int, int, int | None, int | None]
+
+#: One span as data: (start_ns, dur_ns, category, name, attrs).
+SpanState = tuple[int, int, str, str, tuple[tuple[str, str], ...]]
+
+
+def _pid_key(key: str, pid: int) -> str:
+    """Insert a ``pid=<n>`` label into a rendered metric key, keeping
+    the sorted-label convention of ``MetricsRegistry``."""
+    if key.endswith("}") and "{" in key:
+        name, inner = key[:-1].split("{", 1)
+        labels = sorted(inner.split(",") + [f"pid={pid}"])
+        return f"{name}{{{','.join(labels)}}}"
+    return f"{key}{{pid={pid}}}"
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """An immutable, picklable capture of one process's telemetry.
+
+    All collections are sorted tuples, so equal telemetry always
+    compares (and pickles) equal regardless of insertion order.
+    """
+
+    pids: tuple[int, ...] = ()
+    counters: tuple[tuple[str, int], ...] = ()
+    #: Per-pid gauge maps: ``((pid, ((key, value), ...)), ...)``.
+    gauges: tuple[tuple[int, tuple[tuple[str, int | float], ...]], ...] = ()
+    histograms: tuple[tuple[str, HistState], ...] = ()
+    spans: tuple[SpanState, ...] = ()
+    flight_bundles: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.pids
+            or self.counters
+            or self.gauges
+            or self.histograms
+            or self.spans
+            or self.flight_bundles
+        )
+
+    # -- views ---------------------------------------------------------------
+    def counter_map(self) -> dict[str, int]:
+        return dict(self.counters)
+
+    def gauge_map(self) -> dict[str, int | float]:
+        """Gauges flattened to pid-tagged keys."""
+        out: dict[str, int | float] = {}
+        for pid, entries in self.gauges:
+            for key, value in entries:
+                out[_pid_key(key, pid)] = value
+        return out
+
+    def histogram_map(self) -> dict[str, dict[str, Any]]:
+        return {
+            key: {
+                "bounds": list(bounds),
+                "counts": list(counts),
+                "count": count,
+                "sum": total,
+                "min": lo,
+                "max": hi,
+            }
+            for key, (bounds, counts, count, total, lo, hi) in self.histograms
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        """The manifest/golden-file encoding: sorted keys throughout;
+        histograms use the sparse export form of
+        :meth:`~repro.obs.metrics.Histogram.as_dict` plus the exact
+        bounds so the state stays lossless."""
+        histograms = {}
+        for key, (bounds, counts, count, total, lo, hi) in self.histograms:
+            buckets = {
+                (str(bounds[i]) if i < len(bounds) else "+inf"): n
+                for i, n in enumerate(counts)
+                if n
+            }
+            histograms[key] = {
+                "count": count,
+                "sum": total,
+                "min": lo,
+                "max": hi,
+                "buckets": buckets,
+            }
+        return {
+            "pids": list(self.pids),
+            "counters": dict(sorted(self.counters)),
+            "gauges": dict(sorted(self.gauge_map().items())),
+            "histograms": dict(sorted(histograms.items())),
+            "spans": [
+                {
+                    "name": name,
+                    "category": category,
+                    "start_ns": start,
+                    "dur_ns": dur,
+                    **({"attrs": dict(attrs)} if attrs else {}),
+                }
+                for start, dur, category, name, attrs in self.spans
+            ],
+            "flight_bundles": list(self.flight_bundles),
+        }
+
+
+#: The merge identity: ``merge(EMPTY, s) == merge(s, EMPTY) == s``.
+EMPTY = TelemetrySnapshot()
+
+
+def snapshot_telemetry(
+    registry: MetricsRegistry | None = None,
+    *,
+    spans: Sequence[Span] | Iterable[Span] = (),
+    flight_bundles: Sequence[str] = (),
+    pid: int | None = None,
+) -> TelemetrySnapshot:
+    """Capture *registry* (and optional spans / flight-bundle paths) as
+    an immutable snapshot, tagged with the capturing process's pid."""
+    pid = os.getpid() if pid is None else pid
+    counters: list[tuple[str, int]] = []
+    gauges: list[tuple[str, int | float]] = []
+    histograms: list[tuple[str, HistState]] = []
+    if registry is not None:
+        counters = sorted((k, c.snapshot()) for k, c in registry.counters.items())
+        gauges = sorted((k, g.snapshot()) for k, g in registry.gauges.items())
+        histograms = sorted(
+            (
+                k,
+                (
+                    h.bounds,
+                    tuple(h.counts),
+                    h.count,
+                    h.total,
+                    h.min,
+                    h.max,
+                ),
+            )
+            for k, h in registry.histograms.items()
+        )
+    span_states = sorted(
+        (s.start_ns, s.dur_ns, s.category, s.name, tuple(s.attrs)) for s in spans
+    )
+    return TelemetrySnapshot(
+        pids=(pid,),
+        counters=tuple(counters),
+        gauges=((pid, tuple(gauges)),) if gauges else (),
+        histograms=tuple(histograms),
+        spans=tuple(
+            (start, dur, category, name, attrs + (("pid", str(pid)),))
+            for start, dur, category, name, attrs in span_states
+        ),
+        flight_bundles=tuple(sorted(flight_bundles)),
+    )
+
+
+def _merge_hist(name: str, a: HistState, b: HistState) -> HistState:
+    bounds_a, counts_a, count_a, sum_a, min_a, max_a = a
+    bounds_b, counts_b, count_b, sum_b, min_b, max_b = b
+    if bounds_a != bounds_b:
+        raise ValueError(
+            f"histogram {name}: cannot merge misaligned buckets "
+            f"({len(bounds_b)} bounds vs {len(bounds_a)})"
+        )
+    lo = min_a if min_b is None else (min_b if min_a is None else min(min_a, min_b))
+    hi = max_a if max_b is None else (max_b if max_a is None else max(max_a, max_b))
+    return (
+        bounds_a,
+        tuple(x + y for x, y in zip(counts_a, counts_b)),
+        count_a + count_b,
+        sum_a + sum_b,
+        lo,
+        hi,
+    )
+
+
+def merge(a: TelemetrySnapshot, b: TelemetrySnapshot) -> TelemetrySnapshot:
+    """The snapshot monoid: associative, commutative, identity
+    :data:`EMPTY` (property-tested in ``tests/obs/test_aggregate.py``)."""
+    counters: dict[str, int] = dict(a.counters)
+    for key, value in b.counters:
+        counters[key] = counters.get(key, 0) + value
+
+    gauges: dict[int, dict[str, int | float]] = {
+        pid: dict(entries) for pid, entries in a.gauges
+    }
+    for pid, entries in b.gauges:
+        mine = gauges.setdefault(pid, {})
+        for key, value in entries:
+            mine[key] = max(mine[key], value) if key in mine else value
+
+    histograms: dict[str, HistState] = dict(a.histograms)
+    for key, state in b.histograms:
+        histograms[key] = (
+            _merge_hist(key, histograms[key], state) if key in histograms else state
+        )
+
+    return TelemetrySnapshot(
+        pids=tuple(sorted(set(a.pids) | set(b.pids))),
+        counters=tuple(sorted(counters.items())),
+        gauges=tuple(
+            (pid, tuple(sorted(entries.items())))
+            for pid, entries in sorted(gauges.items())
+        ),
+        histograms=tuple(sorted(histograms.items())),
+        spans=tuple(sorted(a.spans + b.spans)),
+        flight_bundles=tuple(sorted(set(a.flight_bundles) | set(b.flight_bundles))),
+    )
+
+
+def merge_all(snapshots: Iterable[TelemetrySnapshot]) -> TelemetrySnapshot:
+    """Fold any number of snapshots (order cannot matter)."""
+    out = EMPTY
+    for snap in snapshots:
+        out = merge(out, snap)
+    return out

@@ -6,11 +6,19 @@ reads the log files" step, for our trace files::
     python -m repro.obs inspect out/t.jsonl          # what's in here?
     python -m repro.obs convert out/t.jsonl --to chrome
     python -m repro.obs summarize out/t.jsonl        # per-task metrics
+    python -m repro.obs progress out/progress.jsonl  # sweep progress/ETA
+    python -m repro.obs replay out/flight/*.json     # re-run anomaly bundles
+    python -m repro.obs dashboard out/               # static HTML report
 
 ``convert`` writes ``<file>.chrome.json`` (or ``-o OUT``) loadable by
 ``chrome://tracing`` / https://ui.perfetto.dev.  ``summarize`` replays
 the trace through the metrics observer and prints per-task counters
-and response-time statistics.
+and response-time statistics.  ``progress`` renders the resume-aware
+summary of a progress stream (valid even for a killed run).  ``replay``
+rebuilds each flight bundle's system from the bundle alone, re-runs the
+exact engine and checks the schedule fingerprint bit-for-bit (exit 1 on
+divergence).  ``dashboard`` renders ``dashboard.html`` from the
+manifests, telemetry and progress streams in an output directory.
 """
 
 from __future__ import annotations
@@ -22,7 +30,8 @@ from collections import Counter as TallyCounter
 from pathlib import Path
 
 from repro.obs.metrics import MetricsObserver
-from repro.obs.sinks import convert_jsonl_to_chrome, iter_jsonl, read_jsonl
+from repro.obs.progress import render_progress
+from repro.obs.sinks import convert_jsonl_to_chrome, iter_jsonl
 from repro.viz.tables import format_table
 
 __all__ = ["main"]
@@ -53,7 +62,26 @@ def main(argv: list[str] | None = None) -> int:
     p_summarize.add_argument("--json", action="store_true",
                              help="emit the metrics registry as JSON instead of a table")
 
+    p_progress = sub.add_parser("progress", help="summarize a progress stream")
+    p_progress.add_argument("file")
+
+    p_replay = sub.add_parser(
+        "replay", help="re-run flight bundles and verify schedule fingerprints"
+    )
+    p_replay.add_argument("files", nargs="+", metavar="BUNDLE")
+
+    p_dash = sub.add_parser(
+        "dashboard", help="render a static HTML dashboard for an output directory"
+    )
+    p_dash.add_argument("out_dir")
+    p_dash.add_argument("-o", "--output", metavar="HTML",
+                        help="output path (default: <out_dir>/dashboard.html)")
+
     args = parser.parse_args(argv)
+    if args.command == "replay":
+        return _replay([Path(f) for f in args.files])
+    if args.command == "dashboard":
+        return _dashboard(Path(args.out_dir), args.output)
     src = Path(args.file)
     if not src.exists():
         print(f"error: no such trace file: {src}", file=sys.stderr)
@@ -65,7 +93,38 @@ def main(argv: list[str] | None = None) -> int:
         n = convert_jsonl_to_chrome(src, out)
         print(f"wrote {out} ({n} chrome events; open in chrome://tracing)")
         return 0
+    if args.command == "progress":
+        render_progress(src, sys.stdout)
+        return 0
     return _summarize(src, as_json=args.json)
+
+
+def _replay(paths: list[Path]) -> int:
+    from repro.obs.flight import replay
+
+    failures = 0
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such bundle: {path}", file=sys.stderr)
+            return 2
+        result = replay(path)
+        print(result.describe())
+        if not result.ok:
+            failures += 1
+    if len(paths) > 1:
+        print(f"{len(paths) - failures}/{len(paths)} bundles reproduced")
+    return 1 if failures else 0
+
+
+def _dashboard(out_dir: Path, output: str | None) -> int:
+    from repro.obs.dashboard import render_dashboard
+
+    if not out_dir.is_dir():
+        print(f"error: no such output directory: {out_dir}", file=sys.stderr)
+        return 2
+    path = render_dashboard(out_dir, Path(output) if output else None)
+    print(f"wrote {path}")
+    return 0
 
 
 def _inspect(src: Path, limit: int) -> int:

@@ -1,0 +1,461 @@
+"""Static HTML dashboard over a run's output directory.
+
+``python -m repro.obs dashboard out/`` folds everything a run left
+behind — ``manifest.json``, the merged ``telemetry`` section, the
+``progress.jsonl`` stream, sweep chunk artifacts and flight bundles —
+into one self-contained ``dashboard.html``: no JavaScript, no external
+assets, just the repo's dependency-free inline-SVG idiom
+(:mod:`repro.viz.svg`), so the file renders anywhere and diffs
+cleanly.
+
+Sections, each linking back to the manifest entry it was derived from:
+
+* **run** — git revision, manifest fingerprint, executor shape;
+* **progress** — the resume-aware summary of the JSONL stream (valid
+  even for a killed run);
+* **timing** — a per-build waterfall from the merged worker spans
+  (pid-coloured), falling back to wall-time bars from the manifest's
+  per-spec telemetry;
+* **sweep acceptance** — a heatmap over the first two sweep axes,
+  shaded by the fraction of miss-free systems per cell, parsed from
+  the chunk artifacts the manifest names;
+* **telemetry** — merged counters and cache statistics;
+* **flight** — every anomaly bundle, with its replay command;
+* **exhibits** — every manifest entry with claims verdict and artifact.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import re
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.obs.progress import ProgressSummary, summarize_progress
+
+__all__ = ["render_dashboard", "render_html", "wrap_page"]
+
+#: The viz layer's palette (repro.viz.svg) — reused so dashboard
+#: figures match the repo's SVG charts.
+_COLORS = ["#4878a8", "#c45c4a", "#5a9a6e", "#8a6caa", "#b0883f"]
+_GOOD = (0x5A, 0x9A, 0x6E)  # palette green
+_BAD = (0xC4, 0x5C, 0x4A)  # palette red
+
+#: One rendered PointRecord line inside a sweep chunk artifact.
+_POINT_LINE = re.compile(
+    r"^\s*(?P<ordinal>\d+) \[(?P<cell>[^\]]*)\] r(?P<r>\d+) "
+    r"elig=(?P<elig>\d) feas=(?P<feas>\d) jobs=(?P<jobs>\d+) "
+    r"done=(?P<done>\d+) miss=(?P<miss>\d+) stop=(?P<stop>\d+) "
+    r"det=(?P<det>\d+) coll=(?P<coll>\d+) fp=(?P<fp>[0-9a-f]+)$"
+)
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem auto;
+       max-width: 72rem; color: #222; }
+h1 { border-bottom: 2px solid #4878a8; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; color: #33506e; }
+table { border-collapse: collapse; font-size: .9rem; }
+th, td { border: 1px solid #ccd; padding: .25rem .6rem; text-align: left; }
+th { background: #eef2f7; }
+code { background: #f4f4f6; padding: 0 .25rem; }
+.ok { color: #2e7d4f; font-weight: 600; }
+.bad { color: #b03a2e; font-weight: 600; }
+.muted { color: #777; }
+svg { background: #fcfcfd; border: 1px solid #e2e2ea; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def wrap_page(title: str, body: str) -> str:
+    """A complete HTML document in the dashboard's house style."""
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f"<body>{body}</body></html>\n"
+    )
+
+
+def _mix(fraction: float) -> str:
+    """Colour between palette red (0.0) and palette green (1.0)."""
+    f = min(1.0, max(0.0, fraction))
+    return "#%02x%02x%02x" % tuple(
+        round(b + (g - b) * f) for b, g in zip(_BAD, _GOOD)
+    )
+
+
+# -- data loading -------------------------------------------------------------
+def _load_manifest(out_dir: Path) -> dict[str, Any] | None:
+    path = out_dir / "manifest.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _load_points(out_dir: Path, manifest: Mapping[str, Any] | None) -> list[dict[str, Any]]:
+    """Sweep points parsed back from the chunk artifacts the manifest
+    names (falling back to every ``*.txt`` beside it)."""
+    if manifest is not None:
+        names = [e["artifact"] for e in manifest.get("exhibits", ())]
+        files = [out_dir / n for n in names]
+    else:
+        files = sorted(out_dir.glob("*.txt"))
+    points = []
+    for path in files:
+        if not path.exists():
+            continue
+        for line in path.read_text().splitlines():
+            m = _POINT_LINE.match(line)
+            if m is None:
+                continue
+            cell = {}
+            for part in m.group("cell").split(","):
+                if "=" in part:
+                    key, value = part.split("=", 1)
+                    cell[key] = value
+            points.append(
+                {
+                    "ordinal": int(m.group("ordinal")),
+                    "cell": cell,
+                    "miss": int(m.group("miss")),
+                    "stop": int(m.group("stop")),
+                    "feasible": m.group("feas") == "1",
+                }
+            )
+    return points
+
+
+def _find_bundles(out_dir: Path, manifest: Mapping[str, Any] | None) -> list[Path]:
+    found: list[Path] = []
+    if manifest is not None:
+        telemetry = manifest.get("telemetry", {})
+        for name in telemetry.get("flight_bundles", ()):
+            path = Path(name)
+            if path.exists():
+                found.append(path)
+    for path in sorted(out_dir.rglob("flight-*.json")):
+        if path not in found:
+            found.append(path)
+    return found
+
+
+# -- figures ------------------------------------------------------------------
+def _waterfall_svg(spans: Sequence[Mapping[str, Any]]) -> str:
+    """Per-build timing waterfall from merged worker spans (pid-tagged
+    start/duration in host ns, offsets shared across processes)."""
+    rows = sorted(spans, key=lambda s: int(s["start_ns"]))[:60]
+    if not rows:
+        return ""
+    origin = min(int(s["start_ns"]) for s in rows)
+    span_end = max(int(s["start_ns"]) + int(s["dur_ns"]) for s in rows)
+    extent = max(1, span_end - origin)
+    pids = sorted({s.get("attrs", {}).get("pid", "?") for s in rows})
+    width, label_w, row_h = 720, 220, 16
+    height = row_h * len(rows) + 24
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-size="11">'
+    ]
+    for i, span in enumerate(rows):
+        start = int(span["start_ns"]) - origin
+        dur = int(span["dur_ns"])
+        x = label_w + start * (width - label_w - 10) / extent
+        w = max(1.0, dur * (width - label_w - 10) / extent)
+        pid = span.get("attrs", {}).get("pid", "?")
+        color = _COLORS[pids.index(pid) % len(_COLORS)]
+        y = 4 + i * row_h
+        label = f"{span['name']} (pid {pid})"
+        parts.append(
+            f'<text x="4" y="{y + 11}" fill="#444">{_esc(label[:34])}</text>'
+        )
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" height="{row_h - 4}" '
+            f'fill="{color}"><title>{_esc(span["name"])}: '
+            f"{dur // 1_000_000} ms</title></rect>"
+        )
+    total_ms = extent // 1_000_000
+    parts.append(
+        f'<text x="{label_w}" y="{height - 6}" fill="#777">'
+        f"0 .. {total_ms} ms wall</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _wall_bars_svg(specs: Sequence[Mapping[str, Any]]) -> str:
+    """Fallback timing figure: wall-time bars from manifest telemetry."""
+    rows = list(specs)[:60]
+    if not rows:
+        return ""
+    longest = max((float(s.get("wall_s", 0.0)) for s in rows), default=0.0)
+    if longest <= 0:
+        return ""
+    width, label_w, row_h = 720, 220, 16
+    height = row_h * len(rows) + 8
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-size="11">'
+    ]
+    for i, spec in enumerate(rows):
+        wall = float(spec.get("wall_s", 0.0))
+        cached = spec.get("source") == "cache"
+        w = max(1.0, wall * (width - label_w - 10) / longest)
+        y = 4 + i * row_h
+        color = "#b9c2cc" if cached else _COLORS[0]
+        parts.append(
+            f'<text x="4" y="{y + 11}" fill="#444">{_esc(str(spec["name"])[:34])}</text>'
+        )
+        parts.append(
+            f'<rect x="{label_w}" y="{y}" width="{w:.1f}" height="{row_h - 4}" '
+            f'fill="{color}"><title>{_esc(spec["name"])}: {wall:.3f}s'
+            f'{" (cache)" if cached else ""}</title></rect>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _heatmap_svg(points: Sequence[Mapping[str, Any]]) -> str:
+    """Sweep acceptance heatmap over the first two cell axes: each tile
+    shaded by its cell's miss-free fraction."""
+    if not points:
+        return ""
+    axes: list[str] = []
+    for p in points:
+        for key in p["cell"]:
+            if key not in axes:
+                axes.append(key)
+    if not axes:
+        return ""
+    x_axis = axes[0]
+    y_axis = axes[1] if len(axes) > 1 else None
+    cells: dict[tuple[str, str], list[Mapping[str, Any]]] = {}
+    for p in points:
+        key = (p["cell"].get(x_axis, "-"), p["cell"].get(y_axis, "-") if y_axis else "-")
+        cells.setdefault(key, []).append(p)
+    xs = sorted({k[0] for k in cells}, key=lambda v: (len(v), v))
+    ys = sorted({k[1] for k in cells}, key=lambda v: (len(v), v))
+    tile, label_w, label_h = 88, 110, 20
+    width = label_w + tile * len(xs) + 10
+    height = label_h + tile * len(ys) + 26
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-size="11">'
+    ]
+    for j, yv in enumerate(ys):
+        label = f"{y_axis}={yv}" if y_axis else "all"
+        parts.append(
+            f'<text x="4" y="{label_h + j * tile + tile // 2}" '
+            f'fill="#444">{_esc(label)}</text>'
+        )
+        for i, xv in enumerate(xs):
+            group = cells.get((xv, yv), [])
+            if not group:
+                continue
+            clean = sum(1 for p in group if p["miss"] == 0 and p["stop"] == 0)
+            fraction = clean / len(group)
+            x = label_w + i * tile
+            y = label_h + j * tile
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{tile - 4}" height="{tile - 4}" '
+                f'fill="{_mix(fraction)}"><title>{_esc(x_axis)}={_esc(xv)}'
+                + (f", {_esc(y_axis)}={_esc(yv)}" if y_axis else "")
+                + f": {clean}/{len(group)} miss-free</title></rect>"
+            )
+            parts.append(
+                f'<text x="{x + 8}" y="{y + tile // 2}" fill="#fff" '
+                f'font-weight="600">{round(100 * fraction)}%</text>'
+            )
+    for i, xv in enumerate(xs):
+        parts.append(
+            f'<text x="{label_w + i * tile + 8}" y="{label_h - 6}" '
+            f'fill="#444">{_esc(x_axis)}={_esc(xv)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# -- document -----------------------------------------------------------------
+def _section_run(manifest: Mapping[str, Any] | None, fingerprint: str | None) -> list[str]:
+    if manifest is None:
+        return ["<p class='muted'>no manifest.json in this directory</p>"]
+    executor = manifest.get("executor", {})
+    stats = manifest.get("stats", {})
+    rows = [
+        ("git revision", manifest.get("git_rev", "?")),
+        ("manifest fingerprint", fingerprint or "?"),
+        ("executor", f"{executor.get('kind', '?')} (jobs={executor.get('jobs', '?')})"),
+        ("specs", stats.get("specs", "?")),
+        (
+            "claims",
+            f"{stats.get('claims_holding', '?')}/{stats.get('claims', '?')} holding",
+        ),
+        ("wall time", f"{stats.get('wall_s', '?')} s"),
+    ]
+    out = ["<table>"]
+    for key, value in rows:
+        out.append(f"<tr><th>{_esc(key)}</th><td>{_esc(value)}</td></tr>")
+    out.append("</table>")
+    return out
+
+
+def _section_progress(summary: ProgressSummary | None) -> list[str]:
+    if summary is None:
+        return ["<p class='muted'>no progress.jsonl in this directory</p>"]
+    out = ["<table>"]
+    for line in summary.describe():
+        key, _, value = line.partition(": ")
+        out.append(f"<tr><th>{_esc(key)}</th><td>{_esc(value)}</td></tr>")
+    out.append("</table>")
+    return out
+
+
+def _section_telemetry(manifest: Mapping[str, Any] | None) -> list[str]:
+    if manifest is None:
+        return []
+    telemetry = manifest.get("telemetry", {})
+    out = []
+    cache = telemetry.get("cache")
+    if cache:
+        out.append("<h3>cache</h3><table><tr>")
+        out.extend(f"<th>{_esc(k)}</th>" for k in sorted(cache))
+        out.append("</tr><tr>")
+        out.extend(f"<td>{_esc(cache[k])}</td>" for k in sorted(cache))
+        out.append("</tr></table>")
+    aggregate = telemetry.get("aggregate")
+    if aggregate:
+        counters = aggregate.get("counters", {})
+        if counters:
+            out.append(
+                f"<h3>merged worker counters "
+                f"({len(aggregate.get('pids', []))} worker process(es))</h3>"
+            )
+            out.append("<table><tr><th>counter</th><th>value</th></tr>")
+            for key, value in sorted(counters.items()):
+                out.append(
+                    f"<tr><td><code>{_esc(key)}</code></td><td>{_esc(value)}</td></tr>"
+                )
+            out.append("</table>")
+    return out
+
+
+def _section_flight(bundles: Sequence[Path], out_dir: Path) -> list[str]:
+    if not bundles:
+        return ["<p class='muted'>no flight bundles — no anomalies captured</p>"]
+    out = [
+        "<table><tr><th>bundle</th><th>kind</th><th>detail</th>"
+        "<th>expected fingerprint</th></tr>"
+    ]
+    for path in bundles:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        try:
+            ref = path.relative_to(out_dir)
+        except ValueError:
+            ref = path
+        out.append(
+            f"<tr><td><a href='{_esc(ref)}'><code>{_esc(path.name)}</code></a></td>"
+            f"<td>{_esc(doc.get('kind', '?'))}</td>"
+            f"<td>{_esc(doc.get('detail', ''))}</td>"
+            f"<td><code>{_esc(doc.get('expected_fingerprint', ''))}</code></td></tr>"
+        )
+    out.append("</table>")
+    out.append(
+        "<p class='muted'>verify any bundle with "
+        "<code>python -m repro.obs replay &lt;bundle&gt;</code></p>"
+    )
+    return out
+
+
+def _section_exhibits(manifest: Mapping[str, Any] | None) -> list[str]:
+    if manifest is None or not manifest.get("exhibits"):
+        return []
+    out = [
+        "<table><tr><th>exhibit</th><th>claims</th><th>artifact</th>"
+        "<th>spec hash</th><th>source</th><th>wall s</th></tr>"
+    ]
+    for e in manifest["exhibits"]:
+        ok = e.get("claims_ok", True)
+        claims = len(e.get("claims", []))
+        verdict = (
+            f"<span class='ok'>{claims} hold</span>"
+            if ok
+            else "<span class='bad'>failing</span>"
+        )
+        out.append(
+            f"<tr id='exhibit-{_esc(e['name'])}'><td>{_esc(e['name'])}</td>"
+            f"<td>{verdict}</td>"
+            f"<td><a href='{_esc(e['artifact'])}'><code>{_esc(e['artifact'])}</code></a></td>"
+            f"<td><code>{_esc(e.get('spec_hash', ''))}</code></td>"
+            f"<td>{_esc(e.get('source', '?'))}</td>"
+            f"<td>{_esc(e.get('wall_s', '?'))}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def render_html(
+    *,
+    title: str,
+    manifest: Mapping[str, Any] | None = None,
+    fingerprint: str | None = None,
+    progress: ProgressSummary | None = None,
+    points: Sequence[Mapping[str, Any]] = (),
+    bundles: Sequence[Path] = (),
+    out_dir: Path | None = None,
+) -> str:
+    """Assemble the dashboard document from already-loaded pieces."""
+    telemetry = (manifest or {}).get("telemetry", {})
+    spans = (telemetry.get("aggregate") or {}).get("spans", [])
+    timing = _waterfall_svg(spans) or _wall_bars_svg(telemetry.get("specs", []))
+    body: list[str] = [f"<h1>{_esc(title)}</h1>"]
+    body.append("<h2>run</h2>")
+    body.extend(_section_run(manifest, fingerprint))
+    body.append("<h2>progress</h2>")
+    body.extend(_section_progress(progress))
+    if timing:
+        body.append("<h2>timing</h2>")
+        body.append(timing)
+    heatmap = _heatmap_svg(points)
+    if heatmap:
+        body.append("<h2>sweep acceptance (miss-free fraction per cell)</h2>")
+        body.append(heatmap)
+    telemetry_html = _section_telemetry(manifest)
+    if telemetry_html:
+        body.append("<h2>telemetry</h2>")
+        body.extend(telemetry_html)
+    body.append("<h2>flight recorder</h2>")
+    body.extend(_section_flight(bundles, out_dir or Path(".")))
+    exhibits = _section_exhibits(manifest)
+    if exhibits:
+        body.append("<h2>exhibits</h2>")
+        body.extend(exhibits)
+    return wrap_page(title, "".join(body))
+
+
+def render_dashboard(out_dir: str | Path, output: Path | None = None) -> Path:
+    """Render ``dashboard.html`` for *out_dir* and return its path."""
+    from repro.exec.manifest import manifest_fingerprint
+
+    out_dir = Path(out_dir)
+    manifest = _load_manifest(out_dir)
+    fingerprint = manifest_fingerprint(manifest) if manifest is not None else None
+    progress_path = out_dir / "progress.jsonl"
+    progress = summarize_progress(progress_path) if progress_path.exists() else None
+    document = render_html(
+        title=f"repro dashboard — {out_dir}",
+        manifest=manifest,
+        fingerprint=fingerprint,
+        progress=progress,
+        points=_load_points(out_dir, manifest),
+        bundles=_find_bundles(out_dir, manifest),
+        out_dir=out_dir,
+    )
+    path = output if output is not None else out_dir / "dashboard.html"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(document)
+    return path

@@ -69,6 +69,19 @@ class Counter:
             raise ValueError("counters only go up")
         self.value += amount
 
+    def snapshot(self) -> int:
+        """The counter's state as a mergeable value (lossless)."""
+        return self.value
+
+    def merge(self, other: "Counter | int") -> None:
+        """Fold another counter (or a :meth:`snapshot`) into this one.
+
+        Counter merge is addition: associative, commutative, identity 0
+        — the order worker snapshots arrive in cannot change the total.
+        """
+        amount = other.value if isinstance(other, Counter) else int(other)
+        self.inc(amount)
+
 
 @dataclass
 class Gauge:
@@ -79,6 +92,21 @@ class Gauge:
 
     def set(self, value: int | float) -> None:
         self.value = value
+
+    def snapshot(self) -> int | float:
+        """The gauge's state as a mergeable value."""
+        return self.value
+
+    def merge(self, other: "Gauge | int | float") -> None:
+        """Fold another gauge into this one.
+
+        Last-write-wins has no order-insensitive merge, so cross-process
+        aggregation keeps gauges **per-pid** (see
+        :mod:`repro.obs.aggregate`); merging two gauges from the *same*
+        process takes the maximum, which is associative and commutative.
+        """
+        value = other.value if isinstance(other, Gauge) else other
+        self.value = max(self.value, value)
 
 
 @dataclass
@@ -117,6 +145,43 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Lossless mergeable state: dense bucket counts plus the exact
+        bounds (unlike :meth:`as_dict`'s sparse export encoding)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge(self, other: "Histogram | Mapping[str, Any]") -> None:
+        """Fold another histogram (or a :meth:`snapshot`) into this one.
+
+        Bucket-wise addition — associative, commutative, identity the
+        empty histogram.  Requires *bucket alignment*: both histograms
+        must use the same bounds, because counts from differently
+        bucketed histograms cannot be combined losslessly.
+        """
+        if isinstance(other, Histogram):
+            other = other.snapshot()
+        bounds = tuple(other["bounds"])
+        if bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name}: cannot merge misaligned buckets "
+                f"({len(bounds)} bounds vs {len(self.bounds)})"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other["counts"])]
+        self.count += other["count"]
+        self.total += other["sum"]
+        for attr, pick in (("min", min), ("max", max)):
+            theirs = other[attr]
+            if theirs is not None:
+                ours = getattr(self, attr)
+                setattr(self, attr, theirs if ours is None else pick(ours, theirs))
 
     def quantile(self, q: float) -> int | None:
         """Upper bound of the bucket holding the *q*-quantile (None when
@@ -182,6 +247,19 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # Read-only views for the aggregation layer (repro.obs.aggregate).
+    @property
+    def counters(self) -> Mapping[str, Counter]:
+        return self._counters
+
+    @property
+    def gauges(self) -> Mapping[str, Gauge]:
+        return self._gauges
+
+    @property
+    def histograms(self) -> Mapping[str, Histogram]:
+        return self._histograms
 
     # -- export --------------------------------------------------------------
     def as_dict(self, extra: Mapping[str, Any] | None = None) -> dict[str, Any]:

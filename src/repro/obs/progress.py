@@ -1,0 +1,208 @@
+"""Crash-readable progress streams for long sweeps.
+
+A 10k-system sweep is minutes of silence: the executor streams chunk
+results into the cache, but nothing on disk says how far the run got
+until the manifest is written at the very end.  A
+:class:`ProgressWriter` fixes that with an *append-only JSONL stream* —
+one JSON object per event (run started, spec finished, run finished),
+line-buffered so the file is valid JSONL at every instant.  A killed
+run leaves a readable prefix; a resumed run appends a new segment to
+the same file, and because resumed chunks come back from the result
+cache as ``source == "cache"`` events, the summary shows exactly which
+work was recovered versus recomputed.
+
+Timestamps are integer-nanosecond offsets from the writer's monotonic
+origin (``perf_counter_ns`` — host metadata in the sanctioned RT002
+sense, never simulated time).  Rates and ETAs are derived with integer
+arithmetic only (RT001 applies to host durations too).
+
+Reading side: :func:`summarize_progress` folds a stream — possibly
+spanning several resumed segments — into a :class:`ProgressSummary`,
+and :func:`render_progress` writes the human version to any text
+stream (``python -m repro.obs progress out/progress.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Iterator
+
+__all__ = [
+    "ProgressWriter",
+    "ProgressSummary",
+    "iter_progress",
+    "summarize_progress",
+    "render_progress",
+]
+
+
+def _rate_per_s(count: int, elapsed_ns: int) -> int:
+    """Integer events-per-second (floor; 0 for degenerate spans)."""
+    if elapsed_ns <= 0:
+        return 0
+    return count * 1_000_000_000 // elapsed_ns
+
+
+class ProgressWriter:
+    """Append progress events to *path* as line-buffered JSONL.
+
+    *echo* (optional) receives a short human-readable line per event —
+    the live terminal rendering the CLI attaches to stderr.
+    """
+
+    def __init__(self, path: str | Path, *, echo: IO[str] | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open("a", buffering=1)
+        self._echo = echo
+        self._origin_ns = time.perf_counter_ns()  # noqa: RT002 - host progress metadata, not simulated time
+        self.emitted = 0
+
+    def now_ns(self) -> int:
+        """Monotonic offset from this writer's origin."""
+        return time.perf_counter_ns() - self._origin_ns  # noqa: RT002 - host progress metadata, not simulated time
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if self._fh is None:
+            raise ValueError(f"ProgressWriter({self.path}) is closed")
+        record = {"event": event, "t_ns": self.now_ns(), **fields}
+        json.dump(record, self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self.emitted += 1
+        if self._echo is not None:
+            self._echo.write(self._render_line(record))
+
+    def _render_line(self, record: dict[str, Any]) -> str:
+        t_s = record["t_ns"] // 1_000_000_000
+        event = record["event"]
+        detail = " ".join(
+            f"{k}={v}" for k, v in record.items() if k not in ("event", "t_ns")
+        )
+        return f"[{t_s:4d}s] {event} {detail}".rstrip() + "\n"
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def iter_progress(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Stream events back, skipping a torn final line (crashed writer)."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                return  # torn tail of a killed run — everything before it is valid
+
+
+@dataclass
+class ProgressSummary:
+    """What a progress stream says happened (possibly across resumes)."""
+
+    runs: int = 0
+    finished: bool = False
+    total_specs: int = 0
+    total_points: int = 0
+    specs_done: int = 0
+    computed: int = 0
+    cached: int = 0
+    points_done: int = 0
+    #: Host time the *live segments* spent (sum over segments, ns).
+    elapsed_ns: int = 0
+    fingerprint: str | None = None
+
+    @property
+    def specs_per_s(self) -> int:
+        return _rate_per_s(self.computed, self.elapsed_ns)
+
+    @property
+    def points_per_s(self) -> int:
+        return _rate_per_s(self.points_done, self.elapsed_ns)
+
+    def eta_ns(self) -> int | None:
+        """Projected host-time to finish the declared remaining work,
+        from the observed per-spec pace (None when it cannot be known)."""
+        remaining = self.total_specs - self.specs_done
+        if self.finished or remaining <= 0:
+            return 0
+        if self.computed == 0 or self.elapsed_ns <= 0:
+            return None
+        return remaining * self.elapsed_ns // self.computed
+
+    def describe(self) -> list[str]:
+        done = self.specs_done
+        lines = [
+            f"runs: {self.runs} ({'finished' if self.finished else 'in progress / interrupted'})",
+            f"specs: {done}/{self.total_specs or '?'} done "
+            f"({self.computed} computed, {self.cached} from cache)",
+        ]
+        if self.total_points or self.points_done:
+            lines.append(
+                f"points: {self.points_done}/{self.total_points or '?'}"
+                + (f" ({self.points_per_s}/s)" if self.points_per_s else "")
+            )
+        lines.append(f"elapsed: {self.elapsed_ns // 1_000_000_000}s")
+        eta = self.eta_ns()
+        if eta:
+            lines.append(f"eta: {eta // 1_000_000_000}s")
+        if self.fingerprint:
+            lines.append(f"fingerprint: {self.fingerprint}")
+        return lines
+
+
+def summarize_progress(path: str | Path) -> ProgressSummary:
+    """Fold a progress stream into a :class:`ProgressSummary`.
+
+    Resume-aware: each ``run_started`` opens a new segment (a fresh
+    writer origin), so elapsed time sums the per-segment spans rather
+    than trusting raw ``t_ns`` across appends; spec/point tallies carry
+    across segments, with cache-sourced events counting the recovered
+    work."""
+    summary = ProgressSummary()
+    segment_last = 0
+    for record in iter_progress(path):
+        event = record.get("event")
+        t_ns = int(record.get("t_ns", 0))
+        if event == "run_started":
+            summary.runs += 1
+            summary.finished = False
+            summary.elapsed_ns += segment_last
+            segment_last = 0
+            summary.total_specs = int(record.get("total_specs", summary.total_specs))
+            if "total_points" in record:
+                summary.total_points = int(record["total_points"])
+            # A resumed run re-declares the whole spec list; done counts
+            # restart with it (cache events re-cover finished work).
+            summary.specs_done = summary.computed = summary.cached = 0
+            summary.points_done = 0
+            summary.fingerprint = None
+            continue
+        segment_last = max(segment_last, t_ns)
+        if event == "spec_done":
+            summary.specs_done += 1
+            if record.get("source") == "cache":
+                summary.cached += 1
+            else:
+                summary.computed += 1
+            summary.points_done += int(record.get("points", 0))
+        elif event == "run_finished":
+            summary.finished = True
+            summary.fingerprint = record.get("fingerprint", summary.fingerprint)
+    summary.elapsed_ns += segment_last
+    return summary
+
+
+def render_progress(path: str | Path, stream: IO[str]) -> ProgressSummary:
+    """Write the human summary of a progress stream to *stream*."""
+    summary = summarize_progress(path)
+    stream.write(f"progress: {path}\n")
+    for line in summary.describe():
+        stream.write(f"  {line}\n")
+    return summary

@@ -24,11 +24,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import MetricsObserver
     from repro.obs.profiler import EngineProfiler
     from repro.sim.trace import TraceSink
 
-__all__ = ["ObsConfig", "activate", "current"]
+__all__ = ["ObsConfig", "WorkerObs", "activate", "current"]
 
 
 @dataclass
@@ -38,10 +39,56 @@ class ObsConfig:
     sink: "TraceSink | None" = None
     metrics: "MetricsObserver | None" = None
     profiler: "EngineProfiler | None" = None
+    #: Anomaly flight recorder; its bounded ring rides along as a trace
+    #: sink so the tail of the current simulation is always capturable.
+    flight: "FlightRecorder | None" = None
 
     def trace_sinks(self) -> list["TraceSink"]:
-        """The sinks (file sink and/or metrics observer) to tee."""
-        return [s for s in (self.sink, self.metrics) if s is not None]
+        """The sinks (file sink, metrics observer, flight ring) to tee."""
+        sinks: list["TraceSink"] = [
+            s for s in (self.sink, self.metrics) if s is not None
+        ]
+        if self.flight is not None:
+            sinks.append(self.flight.ring)
+        return sinks
+
+
+@dataclass(frozen=True)
+class WorkerObs:
+    """Picklable recipe for per-build observability.
+
+    ``ObsConfig`` holds live objects (open sinks, registries) that
+    cannot cross a ``multiprocessing.Pool`` boundary, so the executor
+    ships this *recipe* into each worker instead; the worker builds a
+    fresh config per spec, runs the builder under it, and sends the
+    resulting :class:`~repro.obs.aggregate.TelemetrySnapshot` back
+    through the result channel.  Serial executors use the identical
+    path, which is what makes ``--jobs N`` telemetry equal serial
+    telemetry modulo pid tags.
+    """
+
+    telemetry: bool = True
+    flight_dir: str | None = None
+    ring_capacity: int = 512
+
+    def build_config(self) -> ObsConfig:
+        """A fresh per-build config (inheriting the ambient sink and
+        profiler, if any — only meaningful in serial runs, where the
+        parent's ObsConfig is still active)."""
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.metrics import MetricsObserver
+
+        ambient = current()
+        return ObsConfig(
+            sink=ambient.sink if ambient is not None else None,
+            metrics=MetricsObserver() if self.telemetry else None,
+            profiler=ambient.profiler if ambient is not None else None,
+            flight=(
+                FlightRecorder(self.flight_dir, ring_capacity=self.ring_capacity)
+                if self.flight_dir is not None
+                else None
+            ),
+        )
 
 
 _active: ObsConfig | None = None

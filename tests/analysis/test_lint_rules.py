@@ -483,6 +483,54 @@ class TestRT010PopulationDiscipline:
         assert lint_source(explicit, self.ELSEWHERE) == []
 
 
+class TestRT011SinkDiscipline:
+    SWEEP_PATH = "src/repro/exec/sweep.py"
+    BATCH_PATH = "src/repro/sim/batch.py"
+    ELSEWHERE = "src/repro/exec/sim.py"
+
+    def test_bare_construction_flagged(self):
+        source = (
+            "def trace_all(systems):\n"
+            "    sink = MemorySink()\n"
+            "    return sink\n"
+        )
+        diags = lint_source(source, self.SWEEP_PATH)
+        assert "RT011" in codes(diags)
+        assert "MemorySink" in diags[0].message
+
+    def test_attribute_construction_flagged(self):
+        source = (
+            "from repro.sim import trace\n\n"
+            "def armed():\n"
+            "    return trace.MemorySink()\n"
+        )
+        assert "RT011" in codes(lint_source(source, self.BATCH_PATH))
+
+    def test_bounded_and_streaming_sinks_are_allowed(self):
+        source = (
+            "def armed(path):\n"
+            "    ring = RingSink(512)\n"
+            "    stream = JsonlSink(path)\n"
+            "    return ring, stream\n"
+        )
+        assert lint_source(source, self.SWEEP_PATH) == []
+
+    def test_passing_a_sink_in_is_allowed(self):
+        source = (
+            "def run_chunk(systems, sink):\n"
+            "    for ts in systems:\n"
+            "        sink.emit(ts)\n"
+        )
+        assert lint_source(source, self.SWEEP_PATH) == []
+
+    def test_modules_outside_population_stack_are_exempt(self):
+        source = (
+            "def one_system():\n"
+            "    return MemorySink()\n"
+        )
+        assert lint_source(source, self.ELSEWHERE) == []
+
+
 class TestDriver:
     def test_syntax_error_becomes_diagnostic(self):
         diags = lint_source("def broken(:\n", "oops.py")
@@ -507,7 +555,7 @@ class TestDriver:
         assert [r.code for r in rules] == sorted(r.code for r in rules)
         assert {
             "RT001", "RT002", "RT003", "RT004", "RT005", "RT006", "RT007",
-            "RT008", "RT009", "RT010",
+            "RT008", "RT009", "RT010", "RT011",
         } <= {r.code for r in rules}
         for rule in rules:
             assert rule.name and rule.description

@@ -1,0 +1,111 @@
+"""Worker telemetry crosses the pool boundary losslessly.
+
+The regression this file pins: before the aggregation layer, metrics a
+pool worker recorded died with the worker — ``--jobs N`` silently lost
+all worker-side telemetry.  Now a serial run and a ``--jobs 4`` run of
+the same sweep must produce
+
+* *equal* merged counters and histograms (the order-insensitive
+  monoid sections),
+* *equal* spans modulo pid tags,
+* *equal* manifest fingerprints — with telemetry on, off, or mixed.
+"""
+
+from repro.exec.executor import LocalExecutor, PoolExecutor
+from repro.exec.manifest import build_manifest, manifest_fingerprint
+from repro.exec.sweep import SweepSpec, build_chunk, chunk_specs, run_sweep
+from repro.obs.runtime import WorkerObs
+
+
+def small_sweep() -> SweepSpec:
+    return SweepSpec.make(
+        name="parity-sweep",
+        axes={"utilization": (0.6, 0.9)},
+        replicates=4,
+        base_seed=11,
+        n=3,
+        period_lo=50,
+        period_hi=5_000,
+        period_granularity=10,
+        horizon_periods=2,
+        chunk_size=3,
+    )
+
+
+def run_with(executor):
+    result = run_sweep(small_sweep(), executor=executor)
+    return result, executor.telemetry
+
+
+class TestSerialPoolParity:
+    def test_counters_and_histograms_equal(self):
+        _, serial = run_with(LocalExecutor(worker_obs=WorkerObs(telemetry=True)))
+        _, pooled = run_with(PoolExecutor(4, worker_obs=WorkerObs(telemetry=True)))
+        assert serial.counter_map() == pooled.counter_map()
+        assert serial.histogram_map() == pooled.histogram_map()
+
+    def test_spans_equal_modulo_pid(self):
+        _, serial = run_with(LocalExecutor(worker_obs=WorkerObs(telemetry=True)))
+        _, pooled = run_with(PoolExecutor(4, worker_obs=WorkerObs(telemetry=True)))
+
+        def names(t):
+            return sorted((name, category) for _, _, category, name, _ in t.spans)
+
+        assert names(serial) == names(pooled)
+
+    def test_pool_telemetry_is_not_lost(self):
+        _, pooled = run_with(PoolExecutor(4, worker_obs=WorkerObs(telemetry=True)))
+        assert pooled.counter_map()["sweep_points_total"] == 8
+        assert len(pooled.spans) == len(chunk_specs(small_sweep()))
+
+    def test_fingerprint_invariant_under_jobs_and_telemetry(self):
+        fingerprints = set()
+        for executor in (
+            LocalExecutor(),
+            LocalExecutor(worker_obs=WorkerObs(telemetry=True)),
+            PoolExecutor(4, worker_obs=WorkerObs(telemetry=True)),
+        ):
+            specs = chunk_specs(small_sweep())
+            runs = executor.run(specs, build_chunk)
+            manifest, _ = build_manifest(runs, executor=executor)
+            fingerprints.add(manifest_fingerprint(manifest))
+        assert len(fingerprints) == 1
+
+
+class TestExecutorMerging:
+    def test_telemetry_accumulates_across_runs(self):
+        executor = LocalExecutor(worker_obs=WorkerObs(telemetry=True))
+        specs = chunk_specs(small_sweep())
+        list(executor.run(specs[:1], build_chunk))
+        first = executor.telemetry.counter_map()["sweep_chunks_total"]
+        list(executor.run(specs[1:], build_chunk))
+        assert (
+            executor.telemetry.counter_map()["sweep_chunks_total"]
+            == first + len(specs) - 1
+        )
+
+    def test_no_worker_obs_means_empty_telemetry(self):
+        executor = LocalExecutor()
+        list(executor.run(chunk_specs(small_sweep()), build_chunk))
+        assert not executor.telemetry
+
+    def test_spec_round_trip(self):
+        # WorkerObs must pickle: it crosses the pool boundary with
+        # every payload.
+        import pickle
+
+        obs = WorkerObs(telemetry=True, flight_dir="out/flight")
+        assert pickle.loads(pickle.dumps(obs)) == obs
+
+    def test_cache_hits_do_not_double_count(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        first = LocalExecutor(cache=cache, worker_obs=WorkerObs(telemetry=True))
+        _, cold = run_with(first)
+        second = LocalExecutor(cache=cache, worker_obs=WorkerObs(telemetry=True))
+        result, warm = run_with(second)
+        # Everything came from cache: no worker ran, telemetry is empty,
+        # but the sweep result itself is intact.
+        assert not warm
+        assert len(result.points) == 8

@@ -1,0 +1,154 @@
+"""Mergeable telemetry snapshots: the monoid laws, pid tagging, and
+the golden merged counters of the population-landscape smoke sweep.
+
+``golden_telemetry_landscape_smoke.json`` pins the deterministic
+counter section of the telemetry the ``landscape-smoke`` sweep merges
+out of its workers.  To regenerate after an intentional behaviour
+change::
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.exec.executor import LocalExecutor
+    from repro.exec.sweep import run_sweep
+    from repro.experiments.population import SWEEPS
+    from repro.obs.runtime import WorkerObs
+    ex = LocalExecutor(worker_obs=WorkerObs(telemetry=True))
+    run_sweep(SWEEPS['landscape-smoke'](), executor=ex)
+    open('tests/obs/golden_telemetry_landscape_smoke.json', 'w').write(
+        json.dumps({'counters': ex.telemetry.counter_map()},
+                   indent=2, sort_keys=True) + '\n')
+    "
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.aggregate import (
+    EMPTY,
+    TelemetrySnapshot,
+    merge,
+    merge_all,
+    snapshot_telemetry,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span
+
+GOLDEN = Path(__file__).parent / "golden_telemetry_landscape_smoke.json"
+
+
+def _registry(counts: dict, *, response_ns: list | None = None) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for name, value in counts.items():
+        registry.counter(name).inc(value)
+    for value in response_ns or []:
+        registry.histogram("response_ns").observe(value)
+    return registry
+
+
+def snap(counts: dict, *, pid: int, response_ns: list | None = None) -> TelemetrySnapshot:
+    return snapshot_telemetry(
+        _registry(counts, response_ns=response_ns),
+        spans=(Span(name=f"s{pid}", category="build", start_ns=pid, dur_ns=10),),
+        pid=pid,
+    )
+
+
+A = snap({"x": 1, "y": 2}, pid=1, response_ns=[5, 500])
+B = snap({"x": 10}, pid=2, response_ns=[7])
+C = snap({"z": 3}, pid=3)
+
+
+class TestMonoidLaws:
+    def test_identity(self):
+        assert merge(EMPTY, A) == A
+        assert merge(A, EMPTY) == A
+        assert not EMPTY
+        assert A
+
+    def test_commutativity(self):
+        assert merge(A, B) == merge(B, A)
+
+    def test_associativity(self):
+        assert merge(merge(A, B), C) == merge(A, merge(B, C))
+
+    def test_merge_all_folds(self):
+        assert merge_all([A, B, C]) == merge(merge(A, B), C)
+        assert merge_all([]) == EMPTY
+
+    def test_counters_sum(self):
+        merged = merge(A, B)
+        assert merged.counter_map()["x"] == 11
+        assert merged.counter_map()["y"] == 2
+
+    def test_histograms_add_bucketwise(self):
+        merged = merge(A, B)
+        hist = merged.histogram_map()["response_ns"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 512
+        assert hist["min"] == 5
+        assert hist["max"] == 500
+
+    def test_misaligned_histogram_bounds_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("response_ns", bounds=(1, 2, 3)).observe(1)
+        odd = snapshot_telemetry(registry, pid=9)
+        with pytest.raises(ValueError, match="misaligned buckets"):
+            merge(A, odd)
+
+    def test_pids_union_sorted(self):
+        assert merge(merge(C, A), B).pids == (1, 2, 3)
+
+
+class TestPidTagging:
+    def test_spans_carry_pid_attr(self):
+        merged = merge(A, B)
+        pids = {dict(s[4]).get("pid") for s in merged.spans}
+        assert pids == {"1", "2"}
+
+    def test_gauges_are_per_pid(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.gauge("queue_depth").set(4)
+        r2.gauge("queue_depth").set(9)
+        merged = merge(
+            snapshot_telemetry(r1, pid=1), snapshot_telemetry(r2, pid=2)
+        )
+        flat = merged.gauge_map()
+        assert flat["queue_depth{pid=1}"] == 4
+        assert flat["queue_depth{pid=2}"] == 9
+
+    def test_same_pid_gauge_collision_takes_max(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.gauge("queue_depth").set(4)
+        r2.gauge("queue_depth").set(9)
+        merged = merge(
+            snapshot_telemetry(r1, pid=7), snapshot_telemetry(r2, pid=7)
+        )
+        assert merged.gauge_map() == {"queue_depth{pid=7}": 9}
+
+
+class TestSerialization:
+    def test_as_dict_is_deterministic(self):
+        a = merge(A, merge(B, C)).as_dict()
+        b = merge(merge(C, B), A).as_dict()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_as_dict_shape(self):
+        doc = merge(A, B).as_dict()
+        assert doc["pids"] == [1, 2]
+        assert set(doc) >= {"pids", "counters", "spans"}
+        assert all(isinstance(s, dict) for s in doc["spans"])
+
+
+class TestGoldenLandscapeSmoke:
+    def test_merged_counters_match_golden(self):
+        from repro.exec.executor import LocalExecutor
+        from repro.exec.sweep import run_sweep
+        from repro.experiments.population import SWEEPS
+        from repro.obs.runtime import WorkerObs
+
+        ex = LocalExecutor(worker_obs=WorkerObs(telemetry=True))
+        run_sweep(SWEEPS["landscape-smoke"](), executor=ex)
+        golden = json.loads(GOLDEN.read_text())
+        assert ex.telemetry.counter_map() == golden["counters"]

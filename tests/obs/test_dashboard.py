@@ -1,0 +1,119 @@
+"""Dashboard rendering: a full run's output directory folds into one
+self-contained HTML page whose figures trace back to the manifest."""
+
+import json
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.executor import LocalExecutor
+from repro.exec.manifest import build_manifest, manifest_fingerprint, write_manifest
+from repro.exec.sweep import SweepSpec, build_chunk, chunk_specs
+from repro.obs.dashboard import render_dashboard, render_html, wrap_page
+from repro.obs.progress import ProgressWriter
+from repro.obs.runtime import WorkerObs
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    """A real (tiny) sweep run with telemetry, progress and manifest."""
+    out = tmp_path_factory.mktemp("out")
+    sweep = SweepSpec.make(
+        name="dash-sweep",
+        axes={"utilization": (0.6, 0.9), "n": (2, 3)},
+        replicates=2,
+        base_seed=9,
+        period_lo=50,
+        period_hi=5_000,
+        period_granularity=10,
+        horizon_periods=2,
+        chunk_size=4,
+    )
+    progress = ProgressWriter(out / "progress.jsonl")
+    executor = LocalExecutor(
+        cache=ResultCache(out / ".cache"),
+        worker_obs=WorkerObs(telemetry=True),
+        progress=progress,
+    )
+    progress.emit("run_started", run=sweep.name, total_specs=2, total_points=8)
+    runs = executor.run(chunk_specs(sweep), build_chunk)
+    manifest, artifacts = build_manifest(runs, executor=executor)
+    write_manifest(out, manifest, artifacts)
+    progress.emit(
+        "run_finished", run=sweep.name, fingerprint=manifest_fingerprint(manifest)
+    )
+    progress.close()
+    return out
+
+
+class TestRenderDashboard:
+    def test_writes_default_path(self, run_dir):
+        path = render_dashboard(run_dir)
+        assert path == run_dir / "dashboard.html"
+        assert path.exists()
+
+    def test_sections_present(self, run_dir):
+        html = render_dashboard(run_dir).read_text()
+        for fragment in (
+            "<h2>run</h2>",
+            "<h2>progress</h2>",
+            "<h2>timing</h2>",
+            "sweep acceptance",
+            "<h2>telemetry</h2>",
+            "flight recorder",
+            "<h2>exhibits</h2>",
+            "<svg",
+        ):
+            assert fragment in html, fragment
+
+    def test_fingerprint_and_manifest_links(self, run_dir):
+        html = render_dashboard(run_dir).read_text()
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest_fingerprint(manifest) in html
+        for exhibit in manifest["exhibits"]:
+            assert f"id='exhibit-{exhibit['name']}'" in html
+            assert exhibit["artifact"] in html
+
+    def test_heatmap_covers_every_cell(self, run_dir):
+        html = render_dashboard(run_dir).read_text()
+        for fragment in ("utilization=0.6", "utilization=0.9", "n=2", "n=3"):
+            assert fragment in html
+
+    def test_explicit_output_path(self, run_dir, tmp_path):
+        target = tmp_path / "nested" / "report.html"
+        assert render_dashboard(run_dir, target) == target
+        assert target.exists()
+
+    def test_empty_directory_renders_placeholders(self, tmp_path):
+        html = render_dashboard(tmp_path).read_text()
+        assert "no manifest.json" in html
+        assert "no progress.jsonl" in html
+        assert "no flight bundles" in html
+
+
+class TestHtmlHelpers:
+    def test_wrap_page_escapes_title(self):
+        page = wrap_page("<script>", "body")
+        assert "<script>" not in page.split("<body>")[0].replace(
+            "<style>", ""
+        ).replace("</style>", "")
+        assert "&lt;script&gt;" in page
+
+    def test_render_html_escapes_content(self):
+        html = render_html(
+            title="t",
+            manifest={"exhibits": [], "git_rev": "<img src=x>"},
+            fingerprint="f" * 64,
+        )
+        assert "<img src=x>" not in html
+        assert "&lt;img src=x&gt;" in html
+
+
+class TestReportHtml:
+    def test_report_page_lists_exhibits(self):
+        from repro.experiments.report import generate_html_report
+
+        page = generate_html_report(include_renderings=False)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "paper claims reproduced" in page
+        assert "figure4" in page

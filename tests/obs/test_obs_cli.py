@@ -175,3 +175,51 @@ class TestObsCli:
         )
         assert proc.returncode == 0, proc.stderr
         assert "events" in proc.stdout
+
+
+class TestSweepScaleCli:
+    """The --telemetry/--progress/--flight flags and the progress,
+    replay and dashboard subcommands, end to end."""
+
+    def test_sweep_with_telemetry_progress_and_dashboard(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        status = experiments_main(
+            [
+                "sweep", "landscape-smoke",
+                "--jobs", "2",
+                "--cache", str(tmp_path / "cache"),
+                "--manifest", str(out),
+                "--telemetry",
+                "--progress", str(out / "progress.jsonl"),
+                "--flight", str(out / "flight"),
+            ]
+        )
+        assert status == 0
+        assert "telemetry:" in capsys.readouterr().out
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["telemetry"]["aggregate"]["counters"]["sweep_points_total"] == 504
+
+        assert obs_main(["progress", str(out / "progress.jsonl")]) == 0
+        progress_out = capsys.readouterr().out
+        assert "finished" in progress_out
+        assert "fingerprint" in progress_out
+
+        assert obs_main(["dashboard", str(out)]) == 0
+        capsys.readouterr()
+        html = (out / "dashboard.html").read_text()
+        assert "<h2>run</h2>" in html
+        assert "sweep acceptance" in html
+
+    def test_replay_exit_codes(self, tmp_path, capsys):
+        assert obs_main(["replay", str(tmp_path / "missing.json")]) == 2
+        assert "no such bundle" in capsys.readouterr().err
+
+    def test_dashboard_missing_dir(self, tmp_path, capsys):
+        assert obs_main(["dashboard", str(tmp_path / "nope")]) == 2
+        assert "no such output directory" in capsys.readouterr().err
+
+    def test_report_html_target(self, tmp_path, capsys):
+        page = tmp_path / "report.html"
+        assert experiments_main(["report", "--html", str(page), "--no-cache"]) == 0
+        assert page.exists()
+        assert "paper claims reproduced" in page.read_text()

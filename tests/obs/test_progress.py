@@ -1,0 +1,131 @@
+"""Crash-readable progress streams and resume-aware summaries."""
+
+import io
+import json
+
+from repro.obs.progress import (
+    ProgressWriter,
+    iter_progress,
+    render_progress,
+    summarize_progress,
+)
+
+
+def write_events(path, events):
+    with open(path, "a") as fh:
+        for event in events:
+            fh.write(json.dumps(event) + "\n")
+
+
+class TestWriter:
+    def test_events_carry_monotonic_offsets(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        writer = ProgressWriter(path)
+        writer.emit("run_started", run="x", total_specs=2)
+        writer.emit("spec_done", name="a", source="computed")
+        writer.close()
+        events = list(iter_progress(path))
+        assert [e["event"] for e in events] == ["run_started", "spec_done"]
+        assert events[0]["t_ns"] <= events[1]["t_ns"]
+        assert events[0]["total_specs"] == 2
+
+    def test_echo_stream(self, tmp_path):
+        echo = io.StringIO()
+        writer = ProgressWriter(tmp_path / "p.jsonl", echo=echo)
+        writer.emit("spec_done", name="a", source="computed")
+        writer.close()
+        assert "spec_done" in echo.getvalue()
+
+    def test_appends_across_writers(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        for _ in range(2):
+            writer = ProgressWriter(path)
+            writer.emit("run_started", run="x")
+            writer.close()
+        assert len(list(iter_progress(path))) == 2
+
+
+class TestTornLines:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        write_events(path, [{"event": "run_started", "t_ns": 0, "total_specs": 3}])
+        with open(path, "a") as fh:
+            fh.write('{"event": "spec_done", "t_ns": 5')  # crash mid-write
+        events = list(iter_progress(path))
+        assert [e["event"] for e in events] == ["run_started"]
+        assert summarize_progress(path).total_specs == 3
+
+
+class TestSummary:
+    def test_counts_and_rates(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        write_events(
+            path,
+            [
+                {"event": "run_started", "t_ns": 0, "run": "s", "total_specs": 4,
+                 "total_points": 40},
+                {"event": "spec_done", "t_ns": 1_000_000_000, "name": "a",
+                 "source": "computed", "points": 10},
+                {"event": "spec_done", "t_ns": 2_000_000_000, "name": "b",
+                 "source": "cache", "points": 10},
+            ],
+        )
+        summary = summarize_progress(path)
+        assert summary.specs_done == 2
+        assert summary.computed == 1
+        assert summary.cached == 1
+        assert summary.points_done == 20
+        assert summary.total_points == 40
+        assert not summary.finished
+        # paced by *computed* specs: 1 computed in 2s -> 2 left take 4s
+        assert summary.eta_ns() == 4_000_000_000
+
+    def test_resume_segments_accumulate_elapsed(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        write_events(
+            path,
+            [
+                {"event": "run_started", "t_ns": 0, "run": "s", "total_specs": 4},
+                {"event": "spec_done", "t_ns": 3_000_000_000, "name": "a",
+                 "source": "computed"},
+                # killed; resumed — a fresh writer origin
+                {"event": "run_started", "t_ns": 0, "run": "s", "total_specs": 4},
+                {"event": "spec_done", "t_ns": 1_000_000_000, "name": "a",
+                 "source": "cache"},
+                {"event": "spec_done", "t_ns": 2_000_000_000, "name": "b",
+                 "source": "computed"},
+                {"event": "run_finished", "t_ns": 2_500_000_000, "run": "s",
+                 "fingerprint": "abc123"},
+            ],
+        )
+        summary = summarize_progress(path)
+        assert summary.runs == 2
+        # the resumed segment's counts, not the sum of both segments
+        assert summary.specs_done == 2
+        assert summary.elapsed_ns == 3_000_000_000 + 2_500_000_000
+        assert summary.finished
+        assert summary.fingerprint == "abc123"
+
+    def test_render(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        write_events(
+            path,
+            [
+                {"event": "run_started", "t_ns": 0, "run": "s", "total_specs": 1},
+                {"event": "spec_done", "t_ns": 1_000_000_000, "name": "a",
+                 "source": "computed"},
+                {"event": "run_finished", "t_ns": 1_100_000_000, "run": "s"},
+            ],
+        )
+        out = io.StringIO()
+        render_progress(path, out)
+        text = out.getvalue()
+        assert "finished" in text
+        assert "1/1" in text
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.touch()
+        summary = summarize_progress(path)
+        assert summary.specs_done == 0
+        assert not summary.finished

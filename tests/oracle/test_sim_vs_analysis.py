@@ -142,11 +142,38 @@ def _save_repro(kind: str, params: dict) -> None:
     path.write_text(json.dumps({"kind": kind, **params}, sort_keys=True) + "\n")
 
 
+def _capture_flight(kind: str, params: dict, detail: str) -> None:
+    """If an ambient flight recorder is armed, dump the diverging
+    system as a replayable bundle (uniprocessor only — the exec/sim
+    bridge the replayer uses has no partitioned path)."""
+    from repro.exec.sim import run_simulation
+    from repro.obs import AnomalyReport, runtime as obs_runtime
+    from repro.sim.batch import sim_job_records
+
+    cfg = obs_runtime.current()
+    if kind != "uni" or cfg is None or cfg.flight is None:
+        return
+    ts = _generate(params["seed"], params["n"], params["u_ppm"], params["d_ppm"], kind)
+    horizon, _ = _horizons(ts)
+    records = sim_job_records(run_simulation(ts, horizon=horizon))
+    cfg.flight.capture(
+        AnomalyReport(
+            kind="oracle-divergence",
+            detail=detail,
+            taskset=ts,
+            horizon=horizon,
+            expected_fingerprint=f"{stable_hash(records):08x}",
+            context=tuple(sorted((k, str(v)) for k, v in params.items())),
+        )
+    )
+
+
 def _run_and_record(kind: str, **params) -> None:
     try:
         _CHECKS[kind](**params)
-    except AssertionError:
+    except AssertionError as exc:
         _save_repro(kind, params)
+        _capture_flight(kind, params, str(exc).splitlines()[0] if str(exc) else "")
         raise
 
 
