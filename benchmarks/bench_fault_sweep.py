@@ -1,0 +1,105 @@
+"""Fault + treatment sweep throughput: the paper's core workload at scale.
+
+ISSUE 9 ends the exact-engine fallback for fault-injection sweeps: a
+10k-system sweep shaped like the ``fault-treatments`` exhibit (random
+overruns crossed with the stopping treatments) must run on the
+vectorized stepper at least **5x** faster than the exact per-system
+engine, with bit-identical schedule fingerprints.  Both halves are
+asserted here and the aggregate rate lands in ``BENCH_results.json``
+as ``fault_systems_per_s``, watched by the CI regression guard
+(``check_regression.py``).
+"""
+
+import time
+from types import SimpleNamespace
+
+from repro.exec.executor import LocalExecutor
+from repro.exec.sweep import SweepSpec, run_sweep
+
+#: Systems in the headline batched sweep.
+TOTAL_SYSTEMS = 10_000
+
+#: Systems the exact-engine reference runs (a subset — the whole point
+#: is that 10k exact runs of the treated fault workload take minutes).
+EXACT_SYSTEMS = 200
+
+#: The grid: fault rates crossed with the paper's stopping treatments
+#: (§4.1 immediate stop, §4.2 equitable allowance) — 4 cells.
+_AXES = {
+    "fault_rate": (0.2, 0.4),
+    "treatment": ("immediate-stop", "equitable-allowance"),
+}
+
+
+def _bench_sweep(replicates: int, name: str) -> SweepSpec:
+    return SweepSpec.make(
+        name=name,
+        axes=_AXES,
+        replicates=replicates,
+        base_seed=77,
+        n=3,
+        utilization=0.65,
+        period_lo=50,
+        period_hi=5_000,
+        period_granularity=10,
+        horizon_periods=3,
+        fault_scale=1.0,
+        feasible_only=True,
+        chunk_size=2_500,
+    )
+
+
+def test_fault_sweep_10k(benchmark):
+    sweep = _bench_sweep(TOTAL_SYSTEMS // 4, "bench-fault-treatments")
+
+    def run():
+        result = run_sweep(sweep, executor=LocalExecutor())
+        return SimpleNamespace(
+            fault_systems=len(result.points), points=result.points
+        )
+
+    value = benchmark(run)
+    assert value.fault_systems == TOTAL_SYSTEMS
+    assert all(p.eligible for p in value.points)  # no exact-engine fallback
+    assert sum(p.stopped for p in value.points) > 0  # treatments actually bit
+
+
+def test_batched_fault_rate_5x_exact_engine():
+    """Aggregate systems/s of the batched fault sweep vs the exact
+    per-system engine on the same workload, fingerprint-checked.
+
+    The exact reference is the same sweep with fewer replicates run
+    through ``--stepper exact`` — identical generation, planning,
+    summary and fingerprint work, only the stepper differs.  Because
+    replicates extend each cell (seeds key on ``(cell, index)``), the
+    exact run's points are exactly the first ``EXACT_SYSTEMS // 4``
+    replicates of each batched cell, so fingerprints must agree
+    prefix for prefix."""
+    t0 = time.perf_counter()  # noqa: RT002 - host-side benchmark timing, not simulated time
+    exact = run_sweep(
+        _bench_sweep(EXACT_SYSTEMS // 4, "bench-fault-ref"),
+        executor=LocalExecutor(),
+        stepper="exact",
+    )
+    exact_rate = len(exact.points) / (time.perf_counter() - t0)  # noqa: RT002 - host-side benchmark timing, not simulated time
+
+    t0 = time.perf_counter()  # noqa: RT002 - host-side benchmark timing, not simulated time
+    batched = run_sweep(
+        _bench_sweep(TOTAL_SYSTEMS // 4, "bench-fault-treatments"),
+        executor=LocalExecutor(),
+    )
+    batched_rate = len(batched.points) / (time.perf_counter() - t0)  # noqa: RT002 - host-side benchmark timing, not simulated time
+
+    by_cell_exact: dict = {}
+    by_cell_batched: dict = {}
+    for p in exact.points:
+        by_cell_exact.setdefault(p.cell, []).append(p.fingerprint)
+    for p in batched.points:
+        by_cell_batched.setdefault(p.cell, []).append(p.fingerprint)
+    for cell, fps in by_cell_exact.items():
+        assert by_cell_batched[cell][: len(fps)] == fps, cell
+    assert all(p.eligible for p in batched.points)
+    assert batched_rate >= 5 * exact_rate, (
+        f"batched fault sweep ran {batched_rate:,.0f} systems/s, exact "
+        f"engine {exact_rate:,.0f}; need >= 5x"
+    )

@@ -30,7 +30,7 @@ from pathlib import Path
 __all__ = ["GATED_METRICS", "compare", "main"]
 
 #: Throughput metrics the guard gates on (higher is better).
-GATED_METRICS = ("events_per_s", "systems_per_s")
+GATED_METRICS = ("events_per_s", "systems_per_s", "fault_systems_per_s")
 
 
 def _load(path: Path) -> dict[str, dict]:
@@ -45,8 +45,8 @@ def compare(
     baseline: dict[str, dict], current: dict[str, dict], threshold: float
 ) -> list[str]:
     """Regression messages for every common entry whose gated metric
-    (``events_per_s`` / ``systems_per_s``) fell below
-    ``baseline * (1 - threshold)``.  Empty list = clean."""
+    (``events_per_s`` / ``systems_per_s`` / ``fault_systems_per_s``)
+    fell below ``baseline * (1 - threshold)``.  Empty list = clean."""
     problems: list[str] = []
     for name in sorted(baseline.keys() & current.keys()):
         for metric in GATED_METRICS:

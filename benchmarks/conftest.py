@@ -3,14 +3,16 @@
 The local ``benchmark`` fixture replaces pytest-benchmark's: it runs
 the measured callable once, records host wall time (plus events/sec
 when the result carries a simulation trace, and systems/sec when it
-carries a population-sweep ``systems`` count), and the session hook
+carries a population-sweep ``systems`` or fault-sweep
+``fault_systems`` count), and the session hook
 writes every record to ``BENCH_results.json`` at the repository root —
 the machine-readable artifact CI uploads, so throughput regressions
 show up as a diff against the committed baseline.
 
 CI gates on that diff: ``benchmarks/check_regression.py`` compares the
 fresh results against the committed baseline and fails when any
-``events_per_s`` or ``systems_per_s`` entry drops more than 20%
+``events_per_s``, ``systems_per_s`` or ``fault_systems_per_s`` entry
+drops more than 20%
 (wall-time-only entries are informational — too noisy on shared
 runners to gate on).  The allowed
 drop is tunable via ``--threshold`` or the ``BENCH_REGRESSION_THRESHOLD``
@@ -57,12 +59,15 @@ class _Benchmark:
             events = len(trace)
             record["events"] = events
             record["events_per_s"] = round(events / wall_s) if wall_s > 0 else None
-        systems = getattr(value, "systems", None)
-        if systems is None and isinstance(value, tuple) and value:
-            systems = getattr(value[0], "systems", None)
-        if systems:
-            record["systems"] = systems
-            record["systems_per_s"] = round(systems / wall_s) if wall_s > 0 else None
+        for attr in ("systems", "fault_systems"):
+            count = getattr(value, attr, None)
+            if count is None and isinstance(value, tuple) and value:
+                count = getattr(value[0], attr, None)
+            if count:
+                record[attr] = count
+                record[f"{attr}_per_s"] = (
+                    round(count / wall_s) if wall_s > 0 else None
+                )
         _records[self.node_id] = record
         return value
 

@@ -22,6 +22,7 @@ RT003), parallel and serial execution produce identical results, which
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -126,6 +127,76 @@ def _timed_build(
         flight_bundles=tuple(config.flight.bundles) if config.flight is not None else (),
     )
     return value, (t1 - t0) / 1_000_000_000, t0, t1, snapshot
+
+
+# -- pool handoff -----------------------------------------------------------
+# Sweep chunk specs embed the *entire* sweep definition in their params
+# (the self-containment that makes chunk caching sound), so shipping
+# each spec through the pool re-pickles kilobytes of identical axes and
+# generator knobs per chunk.  The pool instead broadcasts one
+# *reference* spec (plus the builder and obs recipe) to every worker at
+# fork time via the initializer, and each task carries only the delta
+# against it — for sweep chunks, just the name and the start/count
+# params.  Reconstruction is exact: the inflated spec compares equal to
+# the original, so worker-side ``spec_hash()`` (flight-bundle context)
+# and parent-side caching agree byte for byte.
+
+#: Per-worker broadcast state installed by :func:`_pool_init`.
+_POOL_STATE: tuple[Builder, WorkerObs | None, ExperimentSpec] | None = None
+
+#: (changed non-params fields, changed/added params, removed param keys)
+SpecDelta = tuple[
+    tuple[tuple[str, Any], ...],
+    tuple[tuple[str, Any], ...],
+    tuple[str, ...],
+]
+
+
+def _pool_init(fn: Builder, worker_obs: WorkerObs | None, ref: ExperimentSpec) -> None:
+    global _POOL_STATE
+    _POOL_STATE = (fn, worker_obs, ref)
+
+
+def _spec_delta(spec: ExperimentSpec, ref: ExperimentSpec) -> SpecDelta:
+    """*spec* encoded as its difference from *ref* (see above)."""
+    changed_fields = tuple(
+        (f.name, getattr(spec, f.name))
+        for f in dataclasses.fields(spec)
+        if f.name != "params" and getattr(spec, f.name) != getattr(ref, f.name)
+    )
+    ref_params = dict(ref.params)
+    spec_params = dict(spec.params)
+    changed_params = tuple(
+        (k, v)
+        for k, v in spec_params.items()
+        if k not in ref_params or ref_params[k] != v
+    )
+    removed = tuple(k for k in ref_params if k not in spec_params)
+    return (changed_fields, changed_params, removed)
+
+
+def _inflate_spec(delta: SpecDelta, ref: ExperimentSpec) -> ExperimentSpec:
+    """Inverse of :func:`_spec_delta`: rebuild the exact original."""
+    changed_fields, changed_params, removed = delta
+    params = dict(ref.params)
+    for key in removed:
+        del params[key]
+    params.update(changed_params)
+    return dataclasses.replace(
+        ref,
+        **dict(changed_fields),
+        params=tuple(sorted(params.items(), key=lambda kv: kv[0])),
+    )
+
+
+def _timed_build_delta(
+    delta: SpecDelta,
+) -> tuple[Any, float, int, int, aggregate.TelemetrySnapshot | None]:
+    """Pool task body: inflate the spec against the broadcast reference
+    and run the broadcast builder on it."""
+    assert _POOL_STATE is not None, "worker used without _pool_init"
+    fn, worker_obs, ref = _POOL_STATE
+    return _timed_build((fn, _inflate_spec(delta, ref), worker_obs))
 
 
 class Executor:
@@ -273,14 +344,22 @@ class PoolExecutor(Executor):
     ) -> Iterator[tuple[Any, float, int, int, aggregate.TelemetrySnapshot | None]]:
         if not pending:
             return
-        payloads = [(fn, spec, self.worker_obs) for _, spec in pending]
-        workers = min(self.jobs, len(payloads))
+        workers = min(self.jobs, len(pending))
         if workers == 1:
-            for p in payloads:
-                yield _timed_build(p)
+            for _, spec in pending:
+                yield _timed_build((fn, spec, self.worker_obs))
             return
-        with multiprocessing.Pool(processes=workers) as pool:
-            yield from pool.imap(_timed_build, payloads, chunksize=1)
+        # Broadcast the builder + first spec once (initializer), hand
+        # each task only its delta: sweep chunks stop re-pickling the
+        # embedded sweep definition per chunk.
+        ref = pending[0][1]
+        deltas = [_spec_delta(spec, ref) for _, spec in pending]
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_pool_init,
+            initargs=(fn, self.worker_obs, ref),
+        ) as pool:
+            yield from pool.imap(_timed_build_delta, deltas, chunksize=1)
 
 
 def make_executor(

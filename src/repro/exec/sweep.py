@@ -24,10 +24,15 @@ any :class:`~repro.exec.executor.Executor`.  That buys, for free:
   chunk results carry only mode-independent data (the classifier's
   ``eligible`` verdict, never the route actually taken).
 
-Within a chunk, systems the classifier accepts run on the vectorized
-stepper (:func:`repro.sim.batch.simulate_batch`); the rest go through
-the exact engine in :func:`_exact_fallback` — the one sanctioned
-per-system ``simulate`` loop in population code (lint rule RT010).
+Within a chunk, systems the classifier accepts — including the
+paper's core fault + treatment workload (injected cost overruns under
+detect-only, immediate-stop or equitable-allowance detectors) — run on
+the vectorized stepper (:func:`repro.sim.batch.simulate_batch`); the
+rest go through the exact engine in :func:`_exact_fallback` — the one
+sanctioned per-system ``simulate`` loop in population code (lint rule
+RT010) — and each fallback reason feeds a
+``sweep_fallback_total{reason=...}`` telemetry counter so coverage
+regressions show up on the dashboard.
 """
 
 from __future__ import annotations
@@ -39,7 +44,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.faults import FaultModel, RandomFaults
 from repro.core.feasibility import is_feasible
-from repro.core.treatments import TreatmentKind
+from repro.core.treatments import TreatmentKind, TreatmentPlan, plan_treatment
 from repro.exec.executor import ExecutionResult, Executor
 from repro.exec.manifest import build_manifest, manifest_fingerprint
 from repro.exec.sim import run_simulation
@@ -408,34 +413,48 @@ def build_chunk(spec: ExperimentSpec, stepper: str = "batched") -> SweepChunk:
         for (_, cell, r), ts in zip(points, systems)
     ]
     treatments = [_cell_treatment(sweep, cell) for _, cell, _ in points]
-    eligible = [
-        classify(ts, faults=f, treatment=t) is None
-        for ts, f, t in zip(systems, faults, treatments)
+    reasons = [
+        classify(ts, faults=f, treatment=t, horizon=h)
+        for ts, f, t, h in zip(systems, faults, treatments, horizons)
     ]
+    eligible = [reason is None for reason in reasons]
 
     vector_idx = [i for i, ok in enumerate(eligible) if ok and stepper != "exact"]
     vectored = set(vector_idx)
     exact_idx = [i for i in range(len(systems)) if i not in vectored]
+    # Admission gate + detector plans for the vectorized route: the
+    # exact engine plans (and thereby admission-checks) every treated
+    # system inside ``simulate``, so the batched route runs the same
+    # gate here — identical exception on an identical system — and
+    # hands the surviving plans' detector offsets to the stepper.
+    plans: list[TreatmentPlan | None] = [None] * len(systems)
+    for i in vector_idx:
+        kind = treatments[i]
+        if kind is not None:
+            plan = plan_treatment(systems[i], kind)
+            if kind.installs_detectors:
+                plans[i] = plan
     records: list[tuple[JobRecord, ...] | None] = [None] * len(systems)
     batch_counts: dict[int, tuple[int, int, int, int, int, int]] = {}
     if vector_idx:
         batched = simulate_batch(
-            [systems[i] for i in vector_idx], [horizons[i] for i in vector_idx]
+            [systems[i] for i in vector_idx],
+            [horizons[i] for i in vector_idx],
+            faults=[faults[i] for i in vector_idx],
+            plans=[plans[i] for i in vector_idx],
         )
         for i, result in zip(vector_idx, batched):
             records[i] = result.records
-            # Counters straight from the stepper's arrays: systems the
-            # classifier admits are fault-free, so stopped/detections
-            # are structurally zero, every failed task is collateral of
-            # overload, and no Python pass over the records is needed.
-            # The stepper-parity suite pins these equal to _summarize.
+            # Counters straight from the stepper's arrays — no Python
+            # pass over the records.  The stepper-parity suite pins
+            # these equal to _summarize on the same records.
             batch_counts[i] = (
                 result.released,
                 result.completed,
                 result.misses,
-                0,
-                0,
-                result.failed_task_count,
+                result.stopped,
+                result.detections,
+                result.collateral_task_count,
             )
     tails: dict[int, list] = {}
     if exact_idx:
@@ -545,6 +564,16 @@ def build_chunk(spec: ExperimentSpec, stepper: str = "batched") -> SweepChunk:
         registry.counter("sweep_points_total").inc(len(out))
         registry.counter("sweep_points_batched_total").inc(len(vector_idx))
         registry.counter("sweep_points_exact_total").inc(len(exact_idx))
+        # Per-reason fallback counters (only for reasons that occurred,
+        # so fully-vectorized sweeps keep their golden counter set).
+        fallback: dict[str, int] = {}
+        for reason in reasons:
+            if reason is not None:
+                fallback[reason] = fallback.get(reason, 0) + 1
+        for reason in sorted(fallback):
+            registry.counter("sweep_fallback_total", reason=reason).inc(
+                fallback[reason]
+            )
     return SweepChunk(
         sweep_name=sweep.name,
         sweep_hash=sweep.sweep_hash(),

@@ -312,6 +312,34 @@ def _section_progress(summary: ProgressSummary | None) -> list[str]:
     return out
 
 
+def _sweep_coverage_line(manifest: Mapping[str, Any] | None) -> str | None:
+    """The sweep section's vectorized-coverage summary: what fraction
+    of points took the batched stepper, and — when any fell back to the
+    exact engine — the per-reason fallback counts
+    (``sweep_fallback_total{reason=...}``), so coverage regressions are
+    visible at a glance instead of buried in the counter table."""
+    if manifest is None:
+        return None
+    counters = manifest.get("telemetry", {}).get("aggregate", {}).get("counters", {})
+    total = counters.get("sweep_points_total")
+    if not total:
+        return None
+    batched = int(counters.get("sweep_points_batched_total", 0))
+    pct = 100.0 * batched / int(total)
+    reasons = []
+    for key, value in sorted(counters.items()):
+        m = re.fullmatch(r"sweep_fallback_total\{reason=(.+)\}", key)
+        if m:
+            reasons.append(f"{_esc(m.group(1))}: {_esc(value)}")
+    line = (
+        f"vectorized coverage: <b>{pct:.1f}%</b> "
+        f"({batched} of {int(total)} points on the batched stepper)"
+    )
+    if reasons:
+        line += " — exact-engine fallbacks by reason: " + ", ".join(reasons)
+    return f"<p>{line}</p>"
+
+
 def _section_telemetry(manifest: Mapping[str, Any] | None) -> list[str]:
     if manifest is None:
         return []
@@ -421,9 +449,13 @@ def render_html(
         body.append("<h2>timing</h2>")
         body.append(timing)
     heatmap = _heatmap_svg(points)
-    if heatmap:
+    coverage = _sweep_coverage_line(manifest)
+    if heatmap or coverage:
         body.append("<h2>sweep acceptance (miss-free fraction per cell)</h2>")
-        body.append(heatmap)
+        if coverage:
+            body.append(coverage)
+        if heatmap:
+            body.append(heatmap)
     telemetry_html = _section_telemetry(manifest)
     if telemetry_html:
         body.append("<h2>telemetry</h2>")

@@ -4,32 +4,44 @@ The paper's claims are per-system; evaluating them over populations
 (thousands of generated systems swept across utilization, task count
 and fault rate) makes per-system event loops the bottleneck.  This
 module adds a numpy stepper that advances hundreds of independent
-systems at once for the common case the sweeps hit most — preemptive
-fixed-priority, periodic releases, no faults, no treatments, no locks,
-no servers, zero context-switch cost:
+systems at once for the cases the sweeps hit most — preemptive
+fixed-priority, periodic releases, no locks, no servers, zero
+context-switch cost — including the paper's core workload: injected
+cost overruns with detector-based treatments:
 
 * state is a handful of ``(systems, tasks)`` int64 arrays
-  (``next_release``, head-job ``remaining``, released/done counters);
+  (``next_release``, head-job ``remaining``, released/done counters)
+  plus a flat per-job *demand* table precomputed from the fault model
+  (bit-for-bit the values the exact engine draws, since both sides
+  query the same ``derive_rng``-keyed streams);
 * each step advances every system to its *own* next event instant
-  (completion or release) and applies all simultaneous events in the
-  engine's rank order (completions before releases, so a job finishing
-  exactly at a release instant frees the thread for the backlog job —
-  :class:`repro.sim.engine.Rank` semantics, reproduced in closed form);
-* deadline misses are evaluated in closed form afterwards: a released
-  job missed iff its absolute deadline lies within the horizon and it
-  did not finish by then (finishing *exactly* at the deadline meets it,
-  matching the COMPLETION < DEADLINE_CHECK rank order).
+  (completion, detector stop or release) and applies all simultaneous
+  events in the engine's rank order — completions, then detector
+  stops, then releases (:class:`repro.sim.engine.Rank` semantics,
+  reproduced in closed form);
+* a stopping treatment (§4.1 immediate stop, §4.2 equitable allowance)
+  contributes one pending stop instant per task: ``release + offset``
+  of the *head* job's detector.  Only head jobs can be stopped — the
+  previous job of the same thread always ends at or before its own
+  detector instant, which precedes the next job's — so a single
+  per-column stop time is exact, not an approximation;
+* deadline misses and detect-only detections are evaluated in closed
+  form afterwards: a released job missed iff its absolute deadline
+  lies within the horizon and it did not finish by then — where a job
+  *stopped exactly at* its deadline still misses, because the
+  DEADLINE_CHECK rank precedes DETECTOR — and a detect-only job is
+  flagged iff it was unfinished when its detector fired (detect-only
+  never alters the schedule).
 
 Results are **bit-identical** to :func:`repro.sim.simulation.simulate`
 run per system — :func:`schedule_fingerprint` hashes the per-job
 ``(name, index, release, finished, missed, stopped, detected)`` records
 of either path and the equivalence suite asserts equality over hundreds
-of ``derive_rng``-seeded systems.
+of ``derive_rng``-seeded systems, fault schedules and treatments.
 
-Systems that need anything richer (fault models, treatment plans,
-critical sections, explicit arrivals, context-switch costs, duplicate
-priorities) are rejected by :func:`classify` and must be routed to the
-exact per-system engine by the caller's classifier fallback (see
+Systems that need anything richer are rejected by :func:`classify`
+with a machine-readable reason and must be routed to the exact
+per-system engine by the caller's classifier fallback (see
 ``repro.exec.sweep``; lint rule RT010 keeps that routing honest).
 """
 
@@ -41,12 +53,14 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.detection import RoundingMode
 from repro.core.faults import FaultInjector, FaultModel, NoFaults, RandomFaults
 from repro.core.task import TaskSet
 from repro.core.treatments import TreatmentKind, TreatmentPlan
 from repro.rng import stable_hash
+from repro.workloads.faultstream import job_seeds, uniform_extras
 from repro.sim.simulation import SimResult
-from repro.sim.vm import EXACT_VM, VMProfile
+from repro.sim.vm import EXACT_VM, NoOverhead, VMProfile
 
 __all__ = [
     "JobRecord",
@@ -66,6 +80,13 @@ JobRecord = tuple[str, int, int, int, bool, bool, bool]
 #: Sentinel "no pending event" instant (far beyond any horizon).
 _INF = np.int64(1 << 62)
 
+#: Fault models the stepper can expand into a per-job demand table:
+#: their draws are keyed per ``(task, job)`` (order-independent), so
+#: precomputing the table reproduces the exact engine's queries
+#: bit-for-bit.  An opaque :class:`FaultModel` implementation might
+#: depend on query order and stays on the exact engine.
+_TABLE_FAULTS = (NoFaults, FaultInjector, RandomFaults)
+
 
 @dataclass(frozen=True)
 class BatchSystemResult:
@@ -79,12 +100,20 @@ class BatchSystemResult:
     horizon: int
     records: tuple[JobRecord, ...]
     released: int
+    #: Jobs that finished *normally* (stopped jobs end but do not
+    #: complete — the same convention the exact path's summary uses).
     completed: int
     misses: int
-    #: Distinct tasks with at least one missed job (the stepper runs
-    #: only fault-free systems, so every failed task is "collateral"
-    #: of overload, never of an injected fault).
+    #: Jobs terminated by a stopping treatment (§4.1 / §4.2).
+    stopped: int
+    #: Jobs flagged by a detector (for stopping treatments this equals
+    #: ``stopped``; detect-only flags without ending the job).
+    detections: int
+    #: Distinct tasks with at least one missed or stopped job.
     failed_task_count: int
+    #: Failed tasks that were *not* themselves granted extra demand —
+    #: the paper's collateral-failure count (failed minus faulty).
+    collateral_task_count: int
 
 
 def classify(
@@ -95,36 +124,85 @@ def classify(
     vm: VMProfile = EXACT_VM,
     arrivals: Any = None,
     sections: Any = None,
+    horizon: int | None = None,
 ) -> str | None:
     """Why this configuration cannot take the vectorized path, or
     ``None`` when it can.
 
     The stepper models exactly what :func:`simulate` does for the
-    no-fault preemptive fixed-priority case; every knob that would
-    change the schedule routes the system to the exact engine instead.
+    preemptive fixed-priority case — including per-job cost-deviation
+    faults (:class:`FaultInjector` / :class:`RandomFaults`) and the
+    detect-only, immediate-stop and equitable-allowance treatments on
+    an ideal VM; every other knob routes the system to the exact
+    engine.  Reasons are stable machine-readable codes (they feed the
+    ``sweep_fallback_total{reason=...}`` telemetry counters):
+
+    * ``opaque-fault-model`` — a fault model whose draws cannot be
+      precomputed per ``(task, job)``;
+    * ``system-allowance`` — §4.3's residual-grant book-keeping stays
+      on the exact engine;
+    * ``detector-fire-cost`` / ``stop-poll-overhead`` — VM overheads
+      that perturb the schedule around detector events;
+    * ``rounding-can-zero-detectors`` — DOWN/NEAREST timer rounding can
+      place a detector *at* the release instant, whose semantics depend
+      on engine event order (round-UP and exact timers cannot);
+    * ``zero-detector-offset`` — an explicit plan that already did;
+    * ``context-switch-cost`` / ``sporadic-arrivals`` /
+      ``critical-sections`` / ``duplicate-priorities`` — as before.
+
+    *horizon*, when given, lets a :class:`FaultInjector` whose
+    deviations all target jobs released after the horizon count as
+    trivial (they cannot influence the schedule).
     """
-    if faults is not None and not _trivial_faults(faults):
-        return "fault model injects demand deviations"
-    if treatment is not None and treatment is not TreatmentKind.NO_DETECTION:
-        return "treatment plan installs detectors"
+    if faults is not None and not _trivial_faults(faults, taskset, horizon):
+        if not isinstance(faults, _TABLE_FAULTS):
+            return "opaque-fault-model"
+    kind = treatment.kind if isinstance(treatment, TreatmentPlan) else treatment
+    if kind is not None and kind is not TreatmentKind.NO_DETECTION:
+        if kind is TreatmentKind.SYSTEM_ALLOWANCE:
+            return "system-allowance"
+        if vm.detector_fire_cost != 0:
+            return "detector-fire-cost"
+        if kind.stops_tasks and not isinstance(vm.stop_poll_overhead, NoOverhead):
+            return "stop-poll-overhead"
+        if isinstance(treatment, TreatmentPlan):
+            if any(d.offset <= 0 for d in treatment.detectors.values()):
+                return "zero-detector-offset"
+        elif vm.timer_rounding.mode in (RoundingMode.DOWN, RoundingMode.NEAREST):
+            return "rounding-can-zero-detectors"
     if vm.context_switch != 0:
-        return "context-switch cost charged per dispatch"
+        return "context-switch-cost"
     if arrivals:
-        return "explicit (sporadic) arrival times"
+        return "sporadic-arrivals"
     if sections:
-        return "critical sections / locking"
+        return "critical-sections"
     priorities = [t.priority for t in taskset]
     if len(set(priorities)) != len(priorities):
-        return "duplicate priorities (FIFO tie-break needs the engine)"
+        return "duplicate-priorities"
     return None
 
 
-def _trivial_faults(faults: FaultModel) -> bool:
-    """Fault models under which every demand equals the declared cost."""
+def _trivial_faults(
+    faults: FaultModel, taskset: TaskSet | None = None, horizon: int | None = None
+) -> bool:
+    """Fault models under which every demand equals the declared cost.
+
+    With *taskset* and *horizon*, a :class:`FaultInjector` is also
+    trivial when every deviation targets an unknown task or a job whose
+    release lies beyond the horizon — such jobs are never released, so
+    the deviations cannot influence the schedule."""
     if isinstance(faults, NoFaults):
         return True
     if isinstance(faults, FaultInjector):
-        return not faults.deviations
+        if not faults.deviations:
+            return True
+        if taskset is None or horizon is None:
+            return False
+        by_name = {t.name: t for t in taskset}
+        return all(
+            name not in by_name or by_name[name].release_time(job) > horizon
+            for name, job in faults.deviations
+        )
     if isinstance(faults, RandomFaults):
         return faults.rate == 0.0
     return False
@@ -141,26 +219,39 @@ _BUCKET = 512
 def simulate_batch(
     systems: Sequence[TaskSet],
     horizons: Sequence[int],
+    *,
+    faults: Sequence[FaultModel | None] | None = None,
+    plans: Sequence[TreatmentPlan | None] | None = None,
 ) -> list[BatchSystemResult]:
     """Run every system on the vectorized stepper.
 
-    Systems are stepped in event-count-sorted buckets (an internal
-    layout choice — every system is independent, so results are
-    identical to any other grouping).  Callers must have routed each
-    system through :func:`classify` first; the only check repeated here
-    is the cheap priority one (everything else is configuration the
-    stepper never sees).
+    *faults* and *plans* (when given) align with *systems*: the fault
+    model supplying per-job demands and the treatment plan supplying
+    detector offsets of each system.  Systems are stepped in
+    event-count-sorted buckets (an internal layout choice — every
+    system is independent, so results are identical to any other
+    grouping).  Callers must have routed each system through
+    :func:`classify` first; the only checks repeated here are the cheap
+    ones (everything else is configuration the stepper never sees).
     """
     if len(systems) != len(horizons):
         raise ValueError("need one horizon per system")
+    fault_list = list(faults) if faults is not None else [None] * len(systems)
+    plan_list = list(plans) if plans is not None else [None] * len(systems)
+    if len(fault_list) != len(systems) or len(plan_list) != len(systems):
+        raise ValueError("faults/plans must align with systems")
     if not systems:
         return []
-    for ts in systems:
+    for ts, fm, plan in zip(systems, fault_list, plan_list):
         prios = [t.priority for t in ts]
         if len(set(prios)) != len(prios):
             raise ValueError("duplicate priorities: classify() should have rejected this system")
+        if fm is not None and not isinstance(fm, _TABLE_FAULTS):
+            raise ValueError("opaque fault model: classify() should have rejected this system")
+        if plan is not None and plan.kind is TreatmentKind.SYSTEM_ALLOWANCE:
+            raise ValueError("system allowance: classify() should have rejected this system")
     if len(systems) <= _BUCKET:
-        return _step_lockstep(systems, list(horizons))
+        return _step_lockstep(systems, list(horizons), fault_list, plan_list)
     weights = [
         sum(
             (h - t.offset) // t.period + 1
@@ -174,15 +265,90 @@ def simulate_batch(
     for lo in range(0, len(order), _BUCKET):
         idx = order[lo : lo + _BUCKET]
         for i, res in zip(
-            idx, _step_lockstep([systems[i] for i in idx], [horizons[i] for i in idx])
+            idx,
+            _step_lockstep(
+                [systems[i] for i in idx],
+                [horizons[i] for i in idx],
+                [fault_list[i] for i in idx],
+                [plan_list[i] for i in idx],
+            ),
         ):
             results[i] = res
     return [r for r in results if r is not None]
 
 
+def _demand_table(
+    systems: Sequence[TaskSet],
+    fault_list: Sequence[FaultModel | None],
+    cost: np.ndarray,
+    counts: np.ndarray,
+    job_base: np.ndarray,
+    counts_flat: np.ndarray,
+) -> np.ndarray:
+    """The flat per-job demand table: declared costs overlaid with the
+    fault models' deviations, aligned with the flat result slots.
+
+    A :class:`FaultInjector` is applied sparsely through
+    ``FaultModel.demand`` itself (only its deviation keys are visited)
+    — the same calls the exact engine makes at each release, bit-exact
+    by construction.  A :class:`RandomFaults` stream must be drawn for
+    every released job; those draws are replayed vectorized by
+    :mod:`repro.workloads.faultstream`, whose streams reproduce the
+    exact engine's ``derive_rng`` draws bit-for-bit (oracle-checked)."""
+    demand_flat = np.repeat(cost.reshape(-1), counts_flat)
+    # (destination slot base, derived seeds, rate, max_extra) per
+    # (system, task) segment — gathered chunk-wide so the MT19937
+    # replay seeds every stream of the chunk in a few large batches.
+    segments: list[tuple[int, np.ndarray, float, int]] = []
+    for s, fm in enumerate(fault_list):
+        if fm is None or isinstance(fm, NoFaults):
+            continue
+        tasks = list(systems[s])
+        if isinstance(fm, FaultInjector):
+            col = {t.name: i for i, t in enumerate(tasks)}
+            for (name, job), _delta in fm.deviations.items():
+                c = col.get(name)
+                if c is not None and job < int(counts[s, c]):
+                    demand_flat[int(job_base[s, c]) + job] = fm.demand(
+                        name, job, tasks[c].cost
+                    )
+        elif fm.rate > 0.0:
+            for c, task in enumerate(tasks):
+                n = int(counts[s, c])
+                if n:
+                    segments.append(
+                        (
+                            int(job_base[s, c]),
+                            job_seeds(fm.seed, task.name, n),
+                            fm.rate,
+                            fm.max_extra,
+                        )
+                    )
+    if segments:
+        extras = uniform_extras(
+            np.concatenate([seeds for _, seeds, _, _ in segments]),
+            np.concatenate(
+                [np.full(seeds.size, rate) for _, seeds, rate, _ in segments]
+            ),
+            np.concatenate(
+                [
+                    np.full(seeds.size, m, dtype=np.int64)
+                    for _, seeds, _, m in segments
+                ]
+            ),
+        )
+        pos = 0
+        for base, seeds, _, _ in segments:
+            demand_flat[base : base + seeds.size] += extras[pos : pos + seeds.size]
+            pos += seeds.size
+    return demand_flat
+
+
 def _step_lockstep(
     systems: Sequence[TaskSet],
     horizons: Sequence[int],
+    fault_list: Sequence[FaultModel | None],
+    plan_list: Sequence[TreatmentPlan | None],
 ) -> list[BatchSystemResult]:
     """One lock-step pass over *systems* (see :func:`simulate_batch`)."""
     count = len(systems)
@@ -216,6 +382,31 @@ def _step_lockstep(
     job_base = np.concatenate(([0], np.cumsum(counts_flat)[:-1])).reshape(count, width)
     total_jobs = int(counts_flat.sum())
     finished = np.full(total_jobs, -1, dtype=np.int64)
+    stopped = np.zeros(total_jobs, dtype=bool)
+    detected = np.zeros(total_jobs, dtype=bool)
+
+    # Fault model → flat per-job demand table (bit-exact draws).
+    demand_flat = _demand_table(systems, fault_list, cost, counts, job_base, counts_flat)
+
+    # Treatment plans → per-task detector offsets and per-system mode
+    # flags.  Stopping kinds feed the event loop (a stop cancels the
+    # head job's remaining demand); detect-only is schedule-neutral and
+    # resolved in closed form after the loop.
+    det = np.full((count, width), _INF, dtype=np.int64)
+    stops_on = np.zeros(count, dtype=bool)
+    detect_only = np.zeros(count, dtype=bool)
+    for s, plan in enumerate(plan_list):
+        if plan is None or plan.kind is TreatmentKind.NO_DETECTION:
+            continue
+        if plan.kind.stops_tasks:
+            stops_on[s] = True
+        else:
+            detect_only[s] = True
+        for c, task in enumerate(systems[s]):
+            spec = plan.detector_for(task.name)
+            if spec is not None:
+                det[s, c] = spec.offset
+    has_stops = bool(stops_on.any())
 
     # Mutable stepper state.
     next_rel = np.where(valid & (offset <= horizon), offset, _INF)
@@ -227,6 +418,7 @@ def _step_lockstep(
 
     horizon1 = horizon[:, 0]
     hbc = np.broadcast_to(horizon, (count, width))
+    last_slot = max(total_jobs - 1, 0)
     while True:
         active = released > done
         any_active = active.any(axis=1)
@@ -234,6 +426,17 @@ def _step_lockstep(
         t_complete = now + head_rem[rows, run_idx]
         t_complete[~any_active] = _INF
         t_next = np.minimum(t_complete, next_rel.min(axis=1))
+        if has_stops:
+            # Pending stop instant per column: the *head* job's detector
+            # (release + offset).  Newly activated heads always have
+            # stop instants strictly in the future (or beyond the
+            # horizon), so one instant per column covers every job.
+            stop_at = np.where(
+                active & stops_on[:, None],
+                offset + done * period + det,
+                _INF,
+            )
+            t_next = np.minimum(t_next, stop_at.min(axis=1))
         live = t_next <= horizon1
         if not live.any():
             break
@@ -244,22 +447,48 @@ def _step_lockstep(
         charge = live & any_active
         head_rem[rows[charge], run_idx[charge]] -= (t_next - now)[charge]
         now[live] = t_next[live]
-        # Completions first (Rank.COMPLETION < Rank.RELEASE): the head
-        # job ends, and the next backlogged job of the same thread —
-        # if any — becomes the head immediately, within this instant.
+        # Completions first (Rank.COMPLETION precedes everything): the
+        # head job ends, and the next backlogged job of the same thread
+        # — if any — becomes the head immediately, within this instant.
         comp = charge & (t_complete == t_next)
         if comp.any():
             cr, cc = rows[comp], run_idx[comp]
             finished[job_base[cr, cc] + done[cr, cc]] = t_next[comp]
             done[cr, cc] += 1
-            head_rem[cr, cc] = cost[cr, cc]  # backlog head (no-op when idle)
+            # Backlog head activation: the next job's own demand (the
+            # clipped gather is a no-op write when the column idles).
+            slot = np.minimum(job_base[cr, cc] + done[cr, cc], last_slot)
+            head_rem[cr, cc] = demand_flat[slot]
+        # Detector stops next (Rank.STOP/DETECTOR precede RELEASE): any
+        # head whose detector instant is now and that did not complete
+        # at this instant ends as stopped-and-detected.  Heads freshly
+        # activated by a completion above never match (their detector
+        # instants are strictly later), mirroring the engine where a
+        # detector only ever fires for the job it was armed with.
+        if has_stops:
+            stop_hit = (
+                stops_on[:, None]
+                & (released > done)
+                & (offset + done * period + det == t_next[:, None])
+            )
+            if stop_hit.any():
+                sr, sc = np.nonzero(stop_hit)
+                slot = job_base[sr, sc] + done[sr, sc]
+                finished[slot] = t_next[sr]
+                stopped[slot] = True
+                detected[slot] = True
+                done[sr, sc] += 1
+                nxt = np.minimum(job_base[sr, sc] + done[sr, sc], last_slot)
+                head_rem[sr, sc] = demand_flat[nxt]
         # Then releases: every task whose next release is this instant.
         rel = next_rel == t_next[:, None]
         if rel.any():
             was_idle = released == done
             released[rel] += 1
             fresh = rel & was_idle
-            head_rem[fresh] = cost[fresh]
+            if fresh.any():
+                fr, fc = np.nonzero(fresh)
+                head_rem[fr, fc] = demand_flat[job_base[fr, fc] + done[fr, fc]]
             nxt = next_rel[rel] + period[rel]
             next_rel[rel] = np.where(nxt <= hbc[rel], nxt, _INF)
 
@@ -275,7 +504,22 @@ def _step_lockstep(
     )
     dl_flat = rel_flat + np.repeat(deadline.reshape(-1), counts_flat)
     hz_flat = np.repeat(hbc.reshape(-1), counts_flat)
-    missed = (dl_flat <= hz_flat) & ((finished < 0) | (finished > dl_flat))
+    # A job stopped exactly at its deadline still misses: the engine
+    # runs DEADLINE_CHECK (rank 2) before DETECTOR (rank 3) at the same
+    # instant, so the check sees the job unfinished.  A job *completing*
+    # at the deadline meets it (COMPLETION is rank 0).
+    missed = (dl_flat <= hz_flat) & (
+        (finished < 0) | (finished > dl_flat) | (stopped & (finished == dl_flat))
+    )
+    # Detect-only detections in closed form: the detector at
+    # release+offset flags the job iff it had not finished by then
+    # (the schedule itself is identical to the untreated run).
+    if detect_only.any():
+        det_off = np.repeat(
+            np.where(detect_only[:, None], det, _INF).reshape(-1), counts_flat
+        )
+        det_at = rel_flat + det_off
+        detected |= (det_at <= hz_flat) & ((finished < 0) | (finished > det_at))
 
     # Per-system / per-task aggregates at C speed: prefix sums over the
     # contiguous flat job segments (exact for empty segments, e.g. a
@@ -284,19 +528,39 @@ def _step_lockstep(
     jobs_per_sys = counts.sum(axis=1)
     sys_starts = np.concatenate(([0], np.cumsum(jobs_per_sys)[:-1]))
     sys_ends = sys_starts + jobs_per_sys
-    cum_completed = np.concatenate(([0], np.cumsum(finished >= 0)))
+    cum_completed = np.concatenate(([0], np.cumsum((finished >= 0) & ~stopped)))
     cum_missed = np.concatenate(([0], np.cumsum(missed)))
+    cum_stopped = np.concatenate(([0], np.cumsum(stopped)))
+    cum_detected = np.concatenate(([0], np.cumsum(detected)))
     sys_completed = cum_completed[sys_ends] - cum_completed[sys_starts]
     sys_missed = cum_missed[sys_ends] - cum_missed[sys_starts]
+    sys_stopped = cum_stopped[sys_ends] - cum_stopped[sys_starts]
+    sys_detected = cum_detected[sys_ends] - cum_detected[sys_starts]
     flat_starts = job_base.reshape(-1)
-    task_missed = cum_missed[flat_starts + counts_flat] - cum_missed[flat_starts]
-    failed_tasks = (task_missed.reshape(count, width) > 0).sum(axis=1)
+    flat_ends = flat_starts + counts_flat
+    cum_failed = np.concatenate(([0], np.cumsum(missed | stopped)))
+    task_failed = (cum_failed[flat_ends] - cum_failed[flat_starts]).reshape(
+        count, width
+    ) > 0
+    # A task is *faulty* when any of its released jobs was granted
+    # demand above the declared cost (the paper's definition); failed
+    # tasks that are not faulty are collateral damage.
+    cum_faulty = np.concatenate(
+        ([0], np.cumsum(demand_flat > np.repeat(cost.reshape(-1), counts_flat)))
+    )
+    task_faulty = (cum_faulty[flat_ends] - cum_faulty[flat_starts]).reshape(
+        count, width
+    ) > 0
+    failed_tasks = task_failed.sum(axis=1)
+    collateral_tasks = (task_failed & ~task_faulty).sum(axis=1)
 
     results: list[BatchSystemResult] = []
     ks_l = ks.tolist()
     rel_l = rel_flat.tolist()
     fin_l = finished.tolist()
     miss_l = missed.tolist()
+    stop_l = stopped.tolist()
+    det_l = detected.tolist()
     for s, ts in enumerate(systems):
         tasks = list(ts)
         records: list[JobRecord] = []
@@ -312,8 +576,8 @@ def _step_lockstep(
                     rel_l[base:end],
                     fin_l[base:end],
                     miss_l[base:end],
-                    itertools.repeat(False),
-                    itertools.repeat(False),
+                    stop_l[base:end],
+                    det_l[base:end],
                 )
             )
         results.append(
@@ -323,7 +587,10 @@ def _step_lockstep(
                 released=int(jobs_per_sys[s]),
                 completed=int(sys_completed[s]),
                 misses=int(sys_missed[s]),
+                stopped=int(sys_stopped[s]),
+                detections=int(sys_detected[s]),
                 failed_task_count=int(failed_tasks[s]),
+                collateral_task_count=int(collateral_tasks[s]),
             )
         )
     return results

@@ -1,0 +1,207 @@
+"""Vectorized replay of the per-job ``RandomFaults`` draw streams.
+
+``RandomFaults.demand`` derives one ``random.Random`` per ``(task,
+job)`` key via :func:`repro.rng.derive_rng`: a CRC-32 of the key's
+reprs seeds a fresh MT19937 state, one ``random()`` draw decides
+whether the job overruns, and a faulty job sizes its overrun with
+``randint(1, max_extra)``.  Each derivation costs a few microseconds —
+invisible per system, dominant when the population stepper
+(:mod:`repro.sim.batch`) replays half a million jobs per sweep chunk.
+
+This module reproduces the identical draw sequence in numpy, one
+*stream* (row) per job:
+
+* the CRC-32 keys come from :func:`zlib.crc32` extended incrementally
+  over the shared ``repr(seed)\\x1f repr(name)\\x1f`` prefix, which is
+  exactly how :func:`repro.rng.stable_hash` combines parts;
+* MT19937 seeding is CPython's ``init_by_array`` with the single-word
+  key — three 624-step mixing passes, each step a vector op across all
+  streams;
+* only the first few outputs are materialized: the first twist's
+  leading columns depend on state words ``[0, W]`` and ``[397,
+  397 + W]`` alone, so the full 624-word twist is never computed;
+* ``random()`` is the two-word 53-bit recipe and ``randint`` is the
+  ``_randbelow`` shift-and-reject loop, resolved column by column
+  across the still-pending streams.
+
+Bit equality with the scalar path is not a goal but an invariant: the
+oracle suite (``tests/oracle``) asserts record-level identity against
+the exact engine, and anything the vector path cannot express — a
+``max_extra`` wider than one 32-bit ``getrandbits`` word, or a
+straggler job that rejects more words than the precomputed block —
+falls back to re-deriving that one stream with ``random.Random``
+itself, which is identical by definition.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import numpy as np
+
+__all__ = ["job_seeds", "uniform_extras"]
+
+_N = 624  # MT19937 state words
+_M = 397  # twist offset
+_U32 = np.uint32
+#: Tempered output words materialized per stream: 2 for ``random()``
+#: plus up to ``_WORDS - 2`` rejection trials before the scalar
+#: fallback takes over (each trial rejects with probability < 1/2, so
+#: fallbacks are one-in-tens-of-thousands events).
+_WORDS = 16
+#: Streams per seeding batch — bounds peak state memory at
+#: ``_ROWS * 624 * 4`` bytes (~41 MiB) regardless of sweep size.
+_ROWS = 16_384
+
+
+def job_seeds(seed: int, task_name: str, count: int) -> np.ndarray:
+    """``stable_hash(seed, task_name, job)`` for ``job in range(count)``.
+
+    CRC-32 is a rolling checksum, so the hash of ``prefix + repr(job)``
+    is ``crc32(repr(job), crc32(prefix))`` — the per-key cost is one
+    short ``crc32`` call instead of a join over reprs."""
+    prefix = f"{seed!r}\x1f{task_name!r}\x1f".encode("utf-8", "surrogatepass")
+    pc = zlib.crc32(prefix)
+    return np.array(
+        [zlib.crc32(str(job).encode(), pc) for job in range(count)],
+        dtype=np.uint32,
+    )
+
+
+def _genrand_base() -> np.ndarray:
+    """The MT19937 state after ``init_genrand(19650218)`` — the first
+    phase of ``init_by_array`` is seed-independent, so it is a 624-word
+    constant shared by every stream (computed once at import)."""
+    mt = np.empty(_N, dtype=np.uint64)
+    mt[0] = 19650218
+    for i in range(1, _N):
+        prev = int(mt[i - 1])
+        mt[i] = (1812433253 * (prev ^ (prev >> 30)) + i) & 0xFFFFFFFF
+    return mt.astype(np.uint32)
+
+
+_GENRAND_BASE = _genrand_base()
+
+
+def _init_states(seeds: np.ndarray) -> np.ndarray:
+    """CPython's ``init_by_array`` MT19937 seeding, vectorized across
+    streams: ``random.Random(int(s))`` for a 32-bit ``s`` seeds with
+    the single-word key ``[s]``.  Sequential over the 624 state words,
+    vector over the ``(streams,)`` axis."""
+    # State-major layout: ``mt[i]`` is the i-th state word of every
+    # stream, contiguous in memory — the 624-step passes then touch
+    # one cache-friendly row per step instead of a strided column.
+    # The seed-independent init_genrand phase is one broadcast copy;
+    # the mixing passes run alloc-free through a scratch row.
+    rows = seeds.shape[0]
+    mt = np.empty((_N, rows), dtype=np.uint32)
+    mt[:] = _GENRAND_BASE[:, None]
+    key = seeds.astype(np.uint32)
+    tmp = np.empty(rows, dtype=np.uint32)
+    # First mixing pass: 624 steps, key word + key index (always 0).
+    i = 1
+    for _ in range(_N):
+        prev = mt[i - 1]
+        row = mt[i]
+        np.right_shift(prev, _U32(30), out=tmp)
+        np.bitwise_xor(tmp, prev, out=tmp)
+        np.multiply(tmp, _U32(1664525), out=tmp)
+        np.bitwise_xor(row, tmp, out=row)
+        np.add(row, key, out=row)
+        i += 1
+        if i >= _N:
+            mt[0] = mt[_N - 1]
+            i = 1
+    # Second mixing pass: 623 steps, subtracting the position.
+    for _ in range(_N - 1):
+        prev = mt[i - 1]
+        row = mt[i]
+        np.right_shift(prev, _U32(30), out=tmp)
+        np.bitwise_xor(tmp, prev, out=tmp)
+        np.multiply(tmp, _U32(1566083941), out=tmp)
+        np.bitwise_xor(row, tmp, out=row)
+        np.subtract(row, _U32(i), out=row)
+        i += 1
+        if i >= _N:
+            mt[0] = mt[_N - 1]
+            i = 1
+    mt[0] = _U32(0x80000000)
+    return mt
+
+
+def _first_words(mt: np.ndarray, w: int) -> np.ndarray:
+    """The first *w* tempered outputs of each stream, word-major:
+    ``(w, streams)``, with ``w`` ≤ 227.
+
+    Output ``j`` of the first twist reads old state words ``j``,
+    ``j + 1`` and ``j + 397`` only, so a ``w``-column slice of the
+    twist suffices — the remaining 624 − w words are never needed."""
+    y = (mt[:w] & _U32(0x80000000)) | (mt[1 : w + 1] & _U32(0x7FFFFFFF))
+    out = (
+        mt[_M : _M + w]
+        ^ (y >> _U32(1))
+        ^ np.where(y & _U32(1), _U32(0x9908B0DF), _U32(0))
+    )
+    out ^= out >> _U32(11)
+    out ^= (out << _U32(7)) & _U32(0x9D2C5680)
+    out ^= (out << _U32(15)) & _U32(0xEFC60000)
+    out ^= out >> _U32(18)
+    return out
+
+
+def _scalar_extra(seed: int, rate: float, max_extra: int) -> int:
+    """The scalar draw for one stream — ``RandomFaults.demand`` minus
+    the cost: identical by construction, used for the streams the
+    vector path hands back."""
+    rng = random.Random(seed)
+    return rng.randint(1, max_extra) if rng.random() < rate else 0
+
+
+def uniform_extras(
+    seeds: np.ndarray, rates: np.ndarray, maxes: np.ndarray
+) -> np.ndarray:
+    """Per-stream overrun sizes for ``derive_rng``-seeded fault draws.
+
+    For each stream ``i`` the result equals ``RandomFaults`` demand
+    extra for a job whose derived seed is ``seeds[i]``: ``0`` with
+    probability ``1 - rates[i]``, else uniform on ``[1, maxes[i]]`` —
+    bit-for-bit the draws of ``random.Random(seeds[i])``."""
+    total = int(seeds.shape[0])
+    extras = np.zeros(total, dtype=np.int64)
+    if not total:
+        return extras
+    # 32 - bit_length per stream; maxes arrive as a few per-system
+    # constants, so resolving via unique values is cheap.  A negative
+    # shift (max_extra needs >1 getrandbits word) is scalar territory.
+    shift = np.empty(total, dtype=np.int64)
+    for m in np.unique(maxes):
+        shift[maxes == m] = 32 - int(m).bit_length()
+    for lo in range(0, total, _ROWS):
+        hi = min(lo + _ROWS, total)
+        out = _first_words(_init_states(seeds[lo:hi]), _WORDS)
+        # random() — genrand_res53: two words fold into one double.
+        a = (out[0] >> _U32(5)).astype(np.float64)
+        b = (out[1] >> _U32(6)).astype(np.float64)
+        u = (a * 67108864.0 + b) * (1.0 / 9007199254740992.0)
+        faulty = np.nonzero(u < rates[lo:hi])[0]
+        # randint(1, m) = 1 + _randbelow(m): shift a word down to m's
+        # bit length, reject while >= m.
+        vec = faulty[shift[lo + faulty] >= 0]
+        col = 2
+        while vec.size and col < _WORDS:
+            r = out[col, vec].astype(np.int64) >> shift[lo + vec]
+            ok = r < maxes[lo + vec]
+            extras[lo + vec[ok]] = 1 + r[ok]
+            vec = vec[~ok]
+            col += 1
+        # Stragglers (ran out of materialized words) and >32-bit
+        # max_extra streams: re-derive scalar, identical by definition.
+        leftover = set(vec.tolist()) | set(
+            faulty[shift[lo + faulty] < 0].tolist()
+        )
+        for i in leftover:
+            extras[lo + i] = _scalar_extra(
+                int(seeds[lo + i]), float(rates[lo + i]), int(maxes[lo + i])
+            )
+    return extras

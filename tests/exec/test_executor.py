@@ -75,3 +75,44 @@ class TestMakeExecutor:
         ex = LocalExecutor()
         ex.run([spec("a")], builder)
         assert "hit rate" in ex.stats.describe()
+
+
+class TestSpecDelta:
+    """The pool's broadcast-and-delta handoff must reconstruct every
+    spec exactly (equality and content hash), or worker-side flight
+    context and parent-side caching would disagree."""
+
+    def big(self, name, start):
+        return ExperimentSpec.make(
+            name=name,
+            builder="sweep.chunk",
+            seed=7,
+            params={
+                "sweep": {"axes": {"utilization": (0.5, 0.9)}, "replicates": 40},
+                "start": start,
+                "count": 5,
+            },
+        )
+
+    def test_round_trip_is_exact(self):
+        from repro.exec.executor import _inflate_spec, _spec_delta
+
+        ref = self.big("chunk0000", 0)
+        for other in (
+            ref,
+            self.big("chunk0001", 5),
+            ExperimentSpec.make(name="x", builder="other", params={"k": 1}),
+        ):
+            delta = _spec_delta(other, ref)
+            rebuilt = _inflate_spec(delta, ref)
+            assert rebuilt == other
+            assert rebuilt.spec_hash() == other.spec_hash()
+
+    def test_delta_is_small_for_sibling_chunks(self):
+        from repro.exec.executor import _spec_delta
+
+        ref = self.big("chunk0000", 0)
+        changed_fields, changed_params, removed = _spec_delta(self.big("chunk0001", 5), ref)
+        assert dict(changed_fields) == {"name": "chunk0001"}
+        assert dict(changed_params) == {"start": 5}
+        assert removed == ()

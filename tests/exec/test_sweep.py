@@ -178,15 +178,40 @@ class TestSummaries:
         result = run_sweep(sweep, executor=LocalExecutor())
         assert all(p.analysis_feasible for p in result.points)
 
-    def test_fault_sweep_points_are_classifier_ineligible(self):
-        """Fault cells route through the exact engine; the verdict in
-        the point record reflects eligibility, not the route."""
+    def test_fault_sweep_points_are_eligible_and_stepper_independent(self):
+        """Fault cells vectorize now (ISSUE 9): every point is
+        classifier-eligible and the batched and exact routes agree
+        point for point and fingerprint for fingerprint."""
         sweep = small_sweep(
             axes={"fault_rate": (0.0, 0.5)}, replicates=4, fault_scale=1.0, horizon_periods=2
         )
-        result = run_sweep(sweep, executor=LocalExecutor())
-        by_rate = {}
-        for p in result.points:
-            by_rate.setdefault(dict(p.cell)["fault_rate"], []).append(p)
-        assert all(p.eligible for p in by_rate[0.0])
-        assert all(not p.eligible for p in by_rate[0.5])
+        batched = run_sweep(sweep, executor=LocalExecutor())
+        exact = run_sweep(sweep, executor=LocalExecutor(), stepper="exact")
+        assert all(p.eligible for p in batched.points)
+        assert batched.points == exact.points
+        assert batched.fingerprint() == exact.fingerprint()
+        faulted = [p for p in batched.points if dict(p.cell)["fault_rate"] == 0.5]
+        assert sum(p.misses for p in faulted) > 0
+
+    def test_treated_fault_sweep_routes_batched_with_parity(self):
+        """The paper's core workload — faults + stopping treatment —
+        through both routes: identical points, and the treatment
+        actually stops jobs somewhere in the grid."""
+        sweep = small_sweep(
+            axes={
+                "fault_rate": (0.4,),
+                "treatment": ("immediate-stop", "equitable-allowance", "detect-only"),
+            },
+            replicates=4,
+            fault_scale=1.0,
+            horizon_periods=2,
+            feasible_only=True,
+            utilization=0.6,
+            n=3,
+        )
+        batched = run_sweep(sweep, executor=LocalExecutor())
+        exact = run_sweep(sweep, executor=LocalExecutor(), stepper="exact")
+        assert all(p.eligible for p in batched.points)
+        assert batched.points == exact.points
+        assert batched.fingerprint() == exact.fingerprint()
+        assert sum(p.detections for p in batched.points) > 0

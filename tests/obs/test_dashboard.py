@@ -79,6 +79,32 @@ class TestRenderDashboard:
         for fragment in ("utilization=0.6", "utilization=0.9", "n=2", "n=3"):
             assert fragment in html
 
+    def test_vectorized_coverage_line(self, run_dir):
+        """A fully-batched run reports 100% coverage in the sweep
+        section (the counters come from the merged worker telemetry)."""
+        html = render_dashboard(run_dir).read_text()
+        assert "vectorized coverage" in html
+        assert "100.0%" in html
+        assert "fallbacks by reason" not in html
+
+    def test_coverage_line_breaks_down_fallback_reasons(self):
+        manifest = {
+            "exhibits": [],
+            "telemetry": {
+                "aggregate": {
+                    "counters": {
+                        "sweep_points_total": 8,
+                        "sweep_points_batched_total": 6,
+                        "sweep_fallback_total{reason=opaque-fault-model}": 2,
+                    },
+                    "pids": [1],
+                }
+            },
+        }
+        html = render_html(title="t", manifest=manifest)
+        assert "75.0%" in html
+        assert "opaque-fault-model: 2" in html
+
     def test_explicit_output_path(self, run_dir, tmp_path):
         target = tmp_path / "nested" / "report.html"
         assert render_dashboard(run_dir, target) == target

@@ -11,7 +11,11 @@ two halves of the reproduction must agree (DESIGN.md §3.6):
   two-way equivalence when the *sound horizon* (hyperperiod + largest
   deadline, which provably exhibits a miss for any analytically
   infeasible constrained-deadline set) fits under the cap, and as the
-  feasible ⇒ no-miss direction only when the horizon had to be capped.
+  feasible ⇒ no-miss direction only when the horizon had to be capped;
+* **stepper**: the vectorized population stepper is bit-identical to
+  the exact engine on everything the classifier admits — including
+  random fault injection and the detect-only / immediate-stop /
+  equitable-allowance treatments.
 
 Every example is seeded through :func:`repro.rng.derive_rng`, so a
 failure is replayable from its drawn integers alone.  Failing draws are
@@ -30,9 +34,17 @@ import hypothesis.strategies as st
 from hypothesis import assume, given
 
 from repro.core.context import AnalysisContext
+from repro.core.faults import RandomFaults
 from repro.core.partition import Heuristic, PartitionError, partition_tasks
 from repro.core.task import TaskSet
+from repro.core.treatments import TreatmentKind, plan_treatment
 from repro.rng import derive_rng, stable_hash
+from repro.sim.batch import (
+    classify,
+    schedule_fingerprint,
+    sim_job_records,
+    simulate_batch,
+)
 from repro.sim.mp import simulate_partitioned
 from repro.sim.simulation import simulate
 from repro.units import ms
@@ -127,7 +139,43 @@ def _check_mp(seed: int, n: int, u_ppm: int, d_ppm: int, processors: int, heuris
             _check_shard(subset, result.per_processor[p], horizon, sound)
 
 
-_CHECKS = {"uni": _check_uni, "mp": _check_mp}
+def _check_stepper(
+    seed: int, n: int, u_ppm: int, rate_ppm: int, treatment: str
+) -> None:
+    """Differential stepper oracle: a drawn system + fault stream +
+    treatment must produce bit-identical job records on the vectorized
+    stepper and the exact engine whenever the classifier admits it."""
+    ts = _generate(seed, n, u_ppm, 900_000, "stepper")
+    horizon = min(3 * max(t.period for t in ts), CAP)
+    faults = None
+    if rate_ppm:
+        faults = RandomFaults(
+            rate=rate_ppm / 1_000_000,
+            max_extra=max(1, min(t.period for t in ts) // 2),
+            seed=seed,
+        )
+    kind = TreatmentKind(treatment) if treatment else None
+    if classify(ts, faults=faults, treatment=kind, horizon=horizon) is not None:
+        return  # exact-engine territory — nothing to differentiate
+    plan = None
+    if kind is not None:
+        try:
+            planned = plan_treatment(ts, kind)
+        except ValueError:
+            return  # admission-rejected identically on both routes
+        if kind.installs_detectors:
+            plan = planned
+    (b,) = simulate_batch([ts], [horizon], faults=[faults], plans=[plan])
+    from repro.exec.sim import run_simulation
+
+    result = run_simulation(ts, horizon=horizon, faults=faults, treatment=kind)
+    assert b.records == sim_job_records(result), (
+        "vectorized stepper diverged from the exact engine"
+    )
+    assert schedule_fingerprint(b) == schedule_fingerprint(result)
+
+
+_CHECKS = {"uni": _check_uni, "mp": _check_mp, "stepper": _check_stepper}
 
 
 def _save_repro(kind: str, params: dict) -> None:
@@ -194,6 +242,21 @@ def test_corpus_replay():
 )
 def test_uniprocessor_sim_never_beats_analysis(seed, n, u_ppm, d_ppm):
     _run_and_record("uni", seed=seed, n=n, u_ppm=u_ppm, d_ppm=d_ppm)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 5),
+    u_ppm=st.integers(300_000, 1_000_000),
+    rate_ppm=st.sampled_from([0, 300_000, 700_000]),
+    treatment=st.sampled_from(
+        ["", "detect-only", "immediate-stop", "equitable-allowance"]
+    ),
+)
+def test_batched_stepper_matches_exact_engine(seed, n, u_ppm, rate_ppm, treatment):
+    _run_and_record(
+        "stepper", seed=seed, n=n, u_ppm=u_ppm, rate_ppm=rate_ppm, treatment=treatment
+    )
 
 
 @given(

@@ -1,0 +1,95 @@
+"""The vectorized fault-stream replay against the scalar truth.
+
+`workloads/faultstream.py` promises bit equality with the
+`derive_rng` → `random.Random` draws that `RandomFaults.demand`
+makes per job; these tests pin that equality directly (the oracle and
+stepper suites pin it end-to-end through the simulator)."""
+
+import random
+
+import numpy as np
+
+from repro.core.faults import RandomFaults
+from repro.rng import stable_hash
+from repro.workloads.faultstream import job_seeds, uniform_extras
+
+
+def _extras_for(fm: RandomFaults, name: str, count: int) -> list[int]:
+    seeds = job_seeds(fm.seed, name, count)
+    out = uniform_extras(
+        seeds,
+        np.full(count, fm.rate),
+        np.full(count, fm.max_extra, dtype=np.int64),
+    )
+    return [int(x) for x in out]
+
+
+class TestJobSeeds:
+    def test_matches_stable_hash(self):
+        seeds = job_seeds(99, "tau_1", 50)
+        assert [int(s) for s in seeds] == [
+            stable_hash(99, "tau_1", job) for job in range(50)
+        ]
+
+    def test_unicode_task_names(self):
+        seeds = job_seeds(3, "τ_ünïcode", 8)
+        assert [int(s) for s in seeds] == [
+            stable_hash(3, "τ_ünïcode", job) for job in range(8)
+        ]
+
+    def test_empty(self):
+        assert job_seeds(1, "a", 0).shape == (0,)
+        assert uniform_extras(
+            np.empty(0, np.uint32), np.empty(0), np.empty(0, np.int64)
+        ).shape == (0,)
+
+
+class TestUniformExtras:
+    def test_bit_identical_to_random_faults(self):
+        """A broad (seed, rate, max_extra) grid: every stream equals
+        the scalar ``RandomFaults.demand`` draw, including power-of-two
+        boundaries that stress the rejection loop."""
+        rng = random.Random(11)
+        for trial in range(40):
+            fm = RandomFaults(
+                rate=rng.choice([0.05, 0.3, 0.6, 0.95, 1.0]),
+                max_extra=rng.choice([1, 2, 7, 9, 1023, 1025, 2**31]),
+                seed=rng.randrange(2**32),
+            )
+            n = rng.randrange(1, 60)
+            assert _extras_for(fm, "t", n) == [
+                fm.demand("t", k, 0) for k in range(n)
+            ], (fm.rate, fm.max_extra, fm.seed, n)
+
+    def test_zero_rate_is_all_zero(self):
+        fm = RandomFaults(rate=0.0, max_extra=100, seed=5)
+        assert _extras_for(fm, "a", 30) == [0] * 30
+
+    def test_rate_one_always_faults_in_range(self):
+        fm = RandomFaults(rate=1.0, max_extra=9, seed=5)
+        extras = _extras_for(fm, "a", 200)
+        assert all(1 <= e <= 9 for e in extras)
+        assert extras == [fm.demand("a", k, 0) for k in range(200)]
+
+    def test_wide_max_extra_takes_scalar_path(self):
+        """``max_extra`` beyond one getrandbits word cannot vectorize —
+        the scalar fallback must still be bit-identical."""
+        fm = RandomFaults(rate=0.9, max_extra=2**40, seed=17)
+        assert _extras_for(fm, "a", 40) == [fm.demand("a", k, 0) for k in range(40)]
+
+    def test_mixed_per_stream_parameters(self):
+        """Streams from different systems (different rate/max) resolve
+        independently in one call."""
+        fms = [
+            RandomFaults(rate=0.4, max_extra=12, seed=1),
+            RandomFaults(rate=0.8, max_extra=257, seed=2),
+        ]
+        n = 25
+        seeds = np.concatenate([job_seeds(fm.seed, "x", n) for fm in fms])
+        rates = np.concatenate([np.full(n, fm.rate) for fm in fms])
+        maxes = np.concatenate(
+            [np.full(n, fm.max_extra, dtype=np.int64) for fm in fms]
+        )
+        got = uniform_extras(seeds, rates, maxes).tolist()
+        want = [fm.demand("x", k, 0) for fm in fms for k in range(n)]
+        assert got == want
