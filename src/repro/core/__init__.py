@@ -53,15 +53,20 @@ from repro.core.feasibility import (
     FeasibilityReport,
     LoadTest,
     TaskReport,
+    WeaklyHardReport,
+    WeaklyHardTaskReport,
     analyze,
     assert_feasible,
     is_feasible,
+    is_weakly_hard_feasible,
     job_response_times,
     level_busy_period,
     load_test,
     response_time_constrained,
     response_time_of_job,
     wc_response_time,
+    weakly_hard_analyze,
+    weakly_hard_response_time,
 )
 from repro.core.jitter import (
     analyze_with_jitter,
@@ -109,6 +114,12 @@ from repro.core.sporadic import (
     poisson_arrivals,
 )
 from repro.core.task import Task, TaskSet, hyperperiod
+from repro.core.weakly_hard import (
+    MKConstraint,
+    SlidingWindowChecker,
+    first_violation,
+    satisfies,
+)
 from repro.core.underrun import (
     ReclaimReport,
     observed_costs,
@@ -127,6 +138,7 @@ from repro.core.treatments import (
     TreatmentKind,
     TreatmentPlan,
     TreatmentRuntime,
+    default_degraded_costs,
     plan_treatment,
 )
 
@@ -135,6 +147,16 @@ __all__ = [
     "Task",
     "TaskSet",
     "hyperperiod",
+    # weakly-hard (m, K) semantics
+    "MKConstraint",
+    "SlidingWindowChecker",
+    "satisfies",
+    "first_violation",
+    "WeaklyHardTaskReport",
+    "WeaklyHardReport",
+    "weakly_hard_response_time",
+    "weakly_hard_analyze",
+    "is_weakly_hard_feasible",
     # partitioned multiprocessor
     "Heuristic",
     "PartitionError",
@@ -194,6 +216,7 @@ __all__ = [
     "TreatmentPlan",
     "TreatmentRuntime",
     "plan_treatment",
+    "default_degraded_costs",
     # future work (paper §7)
     "AdmissionController",
     "AdmissionDecision",

@@ -56,8 +56,11 @@ from repro.core.feasibility import (
     MAX_JOBS_PER_BUSY_PERIOD,
     FeasibilityReport,
     TaskReport,
+    WeaklyHardReport,
+    WeaklyHardTaskReport,
     load_test,
     wc_response_time,
+    weakly_hard_response_time,
 )
 from repro.core.task import Task, TaskSet
 
@@ -336,6 +339,50 @@ class AnalysisContext:
 
     def is_feasible_set(self, taskset: TaskSet) -> bool:
         return self.analyze_set(taskset).feasible
+
+    # -- weakly-hard (m, K) analysis (memoized, warm-context compatible) -----
+    def weakly_hard_wcrt_of(
+        self,
+        task: Task,
+        taskset: TaskSet,
+        degraded: Mapping[str, int] | None = None,
+    ) -> int | None:
+        """Memoized :func:`~repro.core.feasibility.weakly_hard_response_time`.
+
+        Same exact-input discipline as :meth:`wcrt_of`, with the (m, K)
+        constraints and degraded costs joining the key — the hard and
+        weakly-hard memo entries of one level never collide because the
+        key shapes differ.
+        """
+        hp = taskset.higher_or_equal_priority(task)
+
+        def cell(t: Task) -> tuple:
+            mk = t.mk
+            cd = 0 if degraded is None else degraded.get(t.name, 0)
+            return (t.cost, t.period, None if mk is None else (mk.m, mk.k), cd)
+
+        key = ("mk", cell(task), tuple(cell(t) for t in hp))
+        hit = self._memo.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit  # type: ignore[return-value]
+        value = weakly_hard_response_time(task, taskset, degraded=degraded)
+        self._memo[key] = value
+        return value
+
+    def weakly_hard_analyze_set(
+        self,
+        taskset: TaskSet,
+        degraded: Mapping[str, int] | None = None,
+    ) -> WeaklyHardReport:
+        """Cold-identical :func:`~repro.core.feasibility.weakly_hard_analyze`,
+        with per-task results served from the exact-input memo."""
+        per_task = {
+            t.name: WeaklyHardTaskReport(
+                t, self.weakly_hard_wcrt_of(t, taskset, degraded)
+            )
+            for t in taskset
+        }
+        return WeaklyHardReport(taskset=taskset, per_task=per_task, degraded=degraded)
 
     # -- internals -----------------------------------------------------------------
     def _iutil_base_rank(self, rank: int) -> tuple[int, int, int, int]:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.core.task import Task, TaskSet
+from repro.core.weakly_hard import MKConstraint
 
 __all__ = [
     "LoadTest",
@@ -40,6 +41,11 @@ __all__ = [
     "FeasibilityReport",
     "analyze",
     "is_feasible",
+    "weakly_hard_response_time",
+    "WeaklyHardTaskReport",
+    "WeaklyHardReport",
+    "weakly_hard_analyze",
+    "is_weakly_hard_feasible",
 ]
 
 #: Analysis budget: the number of jobs examined inside one level-i busy
@@ -223,6 +229,181 @@ def level_busy_period(task: Task, taskset: TaskSet) -> int | None:
             return r
         r = demand
     return None
+
+
+# -- weakly-hard (m, K) analysis ---------------------------------------------
+#: Hard behaviour for tasks without an (m, K) constraint: (0, 1) —
+#: zero misses in every window of one, i.e. every job executes.
+_HARD = MKConstraint(0, 1)
+
+
+def _mk_of(task: Task) -> MKConstraint:
+    return task.mk if task.mk is not None else _HARD
+
+
+def _degraded_cost(task: Task, degraded: Mapping[str, int] | None) -> int:
+    """CPU a *skipped-slot* job of *task* still consumes (0 = dropped)."""
+    if degraded is None:
+        return 0
+    cost = degraded.get(task.name, 0)
+    if not 0 <= cost <= task.cost:
+        raise ValueError(
+            f"{task.name}: degraded cost must be in [0, C], got {cost}"
+        )
+    return cost
+
+
+def _weakly_hard_fixed_point(
+    base: int,
+    interferers: Sequence[Task],
+    degraded: Mapping[str, int] | None,
+) -> int | None:
+    """Solve ``R = base + sum_j demand_j(ceil(R / T_j))`` where task j
+    contributes ``f_j(n) * C_j + (n - f_j(n)) * Cd_j`` over n releases —
+    the deeply-red interference bound (executed jobs front-loaded,
+    skipped slots billed at the degraded cost ``Cd_j``, 0 for SKIP_JOB).
+
+    Divergence is detected exactly, mirroring
+    :func:`_interference_fixed_point`: the effective per-release cost is
+    ``w_j = ((K_j - m_j) C_j + m_j Cd_j) / K_j``, and a fixed point
+    exists only when ``sum_j w_j / T_j < 1``; it is then bounded by
+    ``(base + sum_j (w_j + (K_j - m_j)(C_j - Cd_j))) / (1 - U_w)``
+    because ``f(n) <= (K - m) n / K + (K - m)`` and ``ceil(x) <= x + 1``.
+    """
+    num, den = 0, 1  # U_w = sum w_j / T_j, exact
+    slack_cost = 0  # sum_j (w_j + (K_j - m_j)(C_j - Cd_j)), rounded up
+    for t in interferers:
+        mk = _mk_of(t)
+        cd = _degraded_cost(t, degraded)
+        w_num = (mk.k - mk.m) * t.cost + mk.m * cd  # w_j * K_j
+        num = num * (mk.k * t.period) + w_num * den
+        den *= mk.k * t.period
+        g = math.gcd(num, den)
+        num //= g
+        den //= g
+        slack_cost += -(-w_num // mk.k) + (mk.k - mk.m) * (t.cost - cd)
+    if num >= den:
+        return None
+    limit = (base + slack_cost) * den // (den - num) + 1
+    r = base
+    while True:
+        demand = base
+        for t in interferers:
+            mk = _mk_of(t)
+            cd = _degraded_cost(t, degraded)
+            n = -(-r // t.period)  # ceil division
+            f = mk.max_executed(n)
+            demand += f * t.cost + (n - f) * cd
+        if demand == r:
+            return r
+        if demand > limit:  # unreachable by the bound; defensive only
+            return None
+        r = demand
+
+
+def weakly_hard_response_time(
+    task: Task,
+    taskset: TaskSet,
+    *,
+    degraded: Mapping[str, int] | None = None,
+) -> int | None:
+    """Worst-case response time of *task* under the deeply-red (m, K)
+    skip pattern — the weakly-hard companion of :func:`wc_response_time`.
+
+    Iterates over the *executed* jobs ``q = 0, 1, ...`` of the
+    synchronous level-i busy period.  Executed job *q* is released at
+    index ``g_i(q)`` (so ``q`` full jobs and ``g_i(q) - q`` skipped
+    slots precede it in its own thread) and completes at::
+
+        R_q = (q + 1) * C_i + (g_i(q) - q) * Cd_i
+              + sum_{j in HP(i)} f_j(ceil(R_q / T_j)) * C_j
+              + (ceil(R_q / T_j) - f_j(...)) * Cd_j
+
+    its response time is ``R_q - g_i(q) * T_i`` and iteration stops at
+    the first executed job with ``R_q <= g_i(q + 1) * T_i`` (no
+    carry-over into the next executed release).  With no constraints
+    anywhere (``f(n) = n``, ``g(q) = q``, ``Cd = 0``) every term reduces
+    to the paper's Figure 2 recurrence, so the function degenerates
+    *exactly* to :func:`wc_response_time` (property-tested).
+
+    A task with ``m = K`` never executes a full job: its WCRT is 0 and
+    it is vacuously feasible (it still interferes through ``Cd``).
+    Returns ``None`` when the skip-reduced level load diverges or the
+    busy period fails to close within the analysis budget — the same
+    conservative verdict as the hard analysis.
+    """
+    mk = _mk_of(task)
+    if mk.unconstrained:
+        return 0
+    hp = taskset.higher_or_equal_priority(task)
+    cd_own = _degraded_cost(task, degraded)
+    r_max = 0
+    for q in range(MAX_JOBS_PER_BUSY_PERIOD):
+        g = mk.executed_release(q)
+        base = (q + 1) * task.cost + (g - q) * cd_own
+        rq = _weakly_hard_fixed_point(base, hp, degraded)
+        if rq is None:
+            return None
+        r_max = max(r_max, rq - g * task.period)
+        if rq <= mk.executed_release(q + 1) * task.period:
+            return r_max
+    return None
+
+
+@dataclass(frozen=True)
+class WeaklyHardTaskReport:
+    """Per-task result of :func:`weakly_hard_analyze`."""
+
+    task: Task
+    wcrt: int | None  # max response over *executed* jobs; None = unbounded
+
+    @property
+    def feasible(self) -> bool:
+        return self.wcrt is not None and self.wcrt <= self.task.deadline
+
+
+@dataclass(frozen=True)
+class WeaklyHardReport:
+    """Admission verdict under the deeply-red (m, K) skip pattern.
+
+    ``feasible`` means every task's executed jobs meet their deadlines
+    when the planned skip pattern drops the sanctioned slots — the
+    admission test of the SKIP_JOB / DEGRADE treatments.  Because
+    skipping only removes demand (``f_j(n) <= n``, ``g_i(q) >= q``),
+    the verdict is monotone: a hard-feasible set is always weakly-hard
+    feasible, never the reverse (property-tested).
+    """
+
+    taskset: TaskSet
+    per_task: Mapping[str, WeaklyHardTaskReport]
+    degraded: Mapping[str, int] | None = None
+
+    @property
+    def feasible(self) -> bool:
+        return all(r.feasible for r in self.per_task.values())
+
+    def wcrt(self, name: str) -> int | None:
+        return self.per_task[name].wcrt
+
+
+def weakly_hard_analyze(
+    taskset: TaskSet, *, degraded: Mapping[str, int] | None = None
+) -> WeaklyHardReport:
+    """Run the weakly-hard schedulability test on every task."""
+    per_task = {
+        t.name: WeaklyHardTaskReport(
+            t, weakly_hard_response_time(t, taskset, degraded=degraded)
+        )
+        for t in taskset
+    }
+    return WeaklyHardReport(taskset=taskset, per_task=per_task, degraded=degraded)
+
+
+def is_weakly_hard_feasible(
+    taskset: TaskSet, *, degraded: Mapping[str, int] | None = None
+) -> bool:
+    """Convenience wrapper: the weakly-hard admission boolean."""
+    return weakly_hard_analyze(taskset, degraded=degraded).feasible
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
+from repro.core.weakly_hard import MKConstraint
 from repro.units import fmt_ms
 
 __all__ = ["Task", "TaskSet", "hyperperiod"]
@@ -45,6 +46,13 @@ class Task:
         paper's analysis assumes a synchronous critical instant
         (offset-free worst case); offsets only affect *simulation*
         scenarios such as Figures 3-7 where tau_3 is phased.
+    mk:
+        Optional weakly-hard constraint: at most ``mk.m`` deadline
+        misses in any window of ``mk.k`` consecutive jobs
+        (:class:`~repro.core.weakly_hard.MKConstraint`).  ``None`` (the
+        default) means the classic hard-deadline task of the paper; the
+        weakly-hard treatments (SKIP_JOB / DEGRADE / MISS_BUDGET) and
+        the weakly-hard schedulability test read this field.
     """
 
     name: str
@@ -53,6 +61,7 @@ class Task:
     priority: int
     deadline: int = -1  # sentinel replaced in __post_init__
     offset: int = 0
+    mk: MKConstraint | None = None
 
     def __post_init__(self) -> None:
         if self.deadline == -1:
@@ -67,6 +76,8 @@ class Task:
             raise ValueError(f"{self.name}: deadline must be > 0, got {self.deadline}")
         if self.offset < 0:
             raise ValueError(f"{self.name}: offset must be >= 0, got {self.offset}")
+        if self.mk is not None and not isinstance(self.mk, MKConstraint):
+            raise TypeError(f"{self.name}: mk must be an MKConstraint or None")
         if self.cost > self.deadline and self.cost > self.period:
             # A task that can never meet its deadline nor complete within
             # a period is almost certainly a specification error.
@@ -87,6 +98,10 @@ class Task:
     def with_cost(self, cost: int) -> "Task":
         """Return a copy with a different cost (used by allowance search)."""
         return replace(self, cost=cost)
+
+    def with_mk(self, mk: MKConstraint | None) -> "Task":
+        """Return a copy with a different weakly-hard constraint."""
+        return replace(self, mk=mk)
 
     def release_time(self, job: int) -> int:
         """Absolute release time of job number *job* (0-based)."""
@@ -214,6 +229,20 @@ class TaskSet:
         return TaskSet(
             t.with_cost(costs[t.name]) if t.name in costs else t for t in self._tasks
         )
+
+    def with_mk(self, constraints: dict[str, MKConstraint | None]) -> "TaskSet":
+        """Return a new set with some weakly-hard constraints replaced."""
+        unknown = set(constraints) - set(self._by_name)
+        if unknown:
+            raise KeyError(f"unknown tasks: {sorted(unknown)}")
+        return TaskSet(
+            t.with_mk(constraints[t.name]) if t.name in constraints else t
+            for t in self._tasks
+        )
+
+    def weakly_hard_tasks(self) -> tuple[Task, ...]:
+        """Tasks carrying an (m, K) constraint (priority order)."""
+        return tuple(t for t in self._tasks if t.mk is not None)
 
     def inflated(self, extra: int) -> "TaskSet":
         """Return a new set with *extra* nanoseconds added to every cost.

@@ -16,11 +16,27 @@ prevent a faulty high-priority task from causing the failure of
                           to the *first* faulty task, with the residue
                           available to later faults (Figure 7).
 
+Beyond the paper, three *weakly-hard* treatments exploit per-task
+(m, K) constraints (:mod:`repro.core.weakly_hard`, DESIGN.md §3.11):
+
+* ``SKIP_JOB``    — the deeply-red skip pattern drops the sanctioned
+                    ``m``-per-``K`` jobs outright (window-budgeted);
+                    admission runs the weakly-hard schedulability test,
+                    so systems the hard analysis rejects can be admitted;
+* ``DEGRADE``     — sanctioned slots release a reduced-cost fallback
+                    job instead of being dropped; admission accounts
+                    the degraded demand;
+* ``MISS_BUDGET`` — jobs run unmodified under hard admission, but a
+                    detected overrun is *tolerated* until more than
+                    ``m`` of the last ``K`` jobs were flagged, at which
+                    point the treatment escalates to the paper's §4.1
+                    immediate stop.
+
 A :class:`TreatmentPlan` is the *static* product of admission control:
 detector placements and stop thresholds.  :meth:`TreatmentPlan.runtime`
 creates the per-run mutable state (notably the §4.3 residual-allowance
-book-keeping) that the simulator drives through ``on_detect`` /
-``on_job_end`` callbacks.
+book-keeping and the MISS_BUDGET sliding windows) that the simulator
+drives through ``on_detect`` / ``on_job_end`` callbacks.
 """
 
 from __future__ import annotations
@@ -44,17 +60,21 @@ __all__ = [
     "TreatmentPlan",
     "TreatmentRuntime",
     "plan_treatment",
+    "default_degraded_costs",
 ]
 
 
 class TreatmentKind(enum.Enum):
-    """The five configurations compared in the paper's §6."""
+    """The five paper configurations (§6) plus the weakly-hard family."""
 
     NO_DETECTION = "no-detection"
     DETECT_ONLY = "detect-only"
     IMMEDIATE_STOP = "immediate-stop"
     EQUITABLE_ALLOWANCE = "equitable-allowance"
     SYSTEM_ALLOWANCE = "system-allowance"
+    SKIP_JOB = "skip-job"
+    DEGRADE = "degrade"
+    MISS_BUDGET = "miss-budget"
 
     @property
     def installs_detectors(self) -> bool:
@@ -66,6 +86,18 @@ class TreatmentKind(enum.Enum):
             TreatmentKind.IMMEDIATE_STOP,
             TreatmentKind.EQUITABLE_ALLOWANCE,
             TreatmentKind.SYSTEM_ALLOWANCE,
+            TreatmentKind.SKIP_JOB,
+            TreatmentKind.DEGRADE,
+            TreatmentKind.MISS_BUDGET,
+        )
+
+    @property
+    def weakly_hard(self) -> bool:
+        """Treatments driven by per-task (m, K) constraints."""
+        return self in (
+            TreatmentKind.SKIP_JOB,
+            TreatmentKind.DEGRADE,
+            TreatmentKind.MISS_BUDGET,
         )
 
 
@@ -97,10 +129,32 @@ class TreatmentPlan:
     detectors: Mapping[str, DetectorSpec]
     equitable: EquitableAllowance | None = None
     system_grants: Mapping[str, int] | None = None
+    #: DEGRADE only: CPU a sanctioned-slot job still receives per task.
+    degraded: Mapping[str, int] | None = None
 
     def detector_for(self, name: str) -> DetectorSpec | None:
         """Detector placement for the named task (None = no detector)."""
         return self.detectors.get(name)
+
+    def skips(self, name: str, index: int) -> bool:
+        """SKIP_JOB: is job *index* of *name* a sanctioned dropped slot?"""
+        if self.kind is not TreatmentKind.SKIP_JOB:
+            return False
+        mk = self.taskset[name].mk
+        return mk is not None and mk.skips(index)
+
+    def degrades(self, name: str, index: int) -> bool:
+        """DEGRADE: is job *index* of *name* a reduced-cost fallback slot?"""
+        if self.kind is not TreatmentKind.DEGRADE:
+            return False
+        mk = self.taskset[name].mk
+        return mk is not None and mk.skips(index)
+
+    def degraded_cost(self, name: str) -> int:
+        """Declared cost of a degraded fallback job of *name*."""
+        if self.degraded is None:
+            raise ValueError("plan carries no degraded costs")
+        return self.degraded[name]
 
     def runtime(self) -> "TreatmentRuntime":
         """Fresh mutable per-run state for this plan."""
@@ -125,23 +179,46 @@ class TreatmentRuntime:
     plan: TreatmentPlan
     manager: ResidualAllowanceManager | None = None
     detections: list[tuple[str, int, int]] = field(default_factory=list)
+    #: MISS_BUDGET: flagged job indices per task (the sliding window
+    #: counts these) and the escalations actually issued.
+    flagged: dict[str, list[int]] = field(default_factory=dict)
+    escalations: list[tuple[str, int, int]] = field(default_factory=list)
 
     def on_detect(self, name: str, job: int, release: int, now: int) -> StopDirective | None:
         """Detector fired at *now* for the job of *name* released at
         *release*; the job has not finished.  Returns what to do.
 
-        For every stopping policy the allowance is folded into the
-        detector offset itself (adjusted WCRT for §4.2, system-adjusted
-        WCRT for §4.3), so a detection always means "stop now".  The
-        §4.3 residual rule needs no runtime book-keeping: a
-        higher-priority task's consumed overrun delays lower tasks'
-        completions by the same amount, so the static threshold grants
-        exactly the unconsumed residue to the next faulty task.
+        For every stopping policy of the paper the allowance is folded
+        into the detector offset itself (adjusted WCRT for §4.2,
+        system-adjusted WCRT for §4.3), so a detection always means
+        "stop now".  The §4.3 residual rule needs no runtime
+        book-keeping: a higher-priority task's consumed overrun delays
+        lower tasks' completions by the same amount, so the static
+        threshold grants exactly the unconsumed residue to the next
+        faulty task.
+
+        ``MISS_BUDGET`` is the one policy with real runtime state: a
+        flagged job is *tolerated* (left running, ``None`` returned)
+        while at most ``m`` of the last ``K`` job indices of the task
+        were flagged; the flag exceeding the window budget escalates to
+        the §4.1 immediate stop (recorded in :attr:`escalations`).  A
+        task without an (m, K) constraint has no budget — every
+        detection stops it, exactly the hard ``m = 0`` boundary.
         """
         self.detections.append((name, job, now))
         kind = self.plan.kind
         if kind in (TreatmentKind.NO_DETECTION, TreatmentKind.DETECT_ONLY):
             return None
+        if kind is TreatmentKind.MISS_BUDGET:
+            mk = self.plan.taskset[name].mk
+            flags = self.flagged.setdefault(name, [])
+            flags.append(job)
+            if mk is not None:
+                in_window = sum(1 for i in flags if job - mk.k < i <= job)
+                if in_window <= mk.m:
+                    return None  # within budget: tolerate the overrun
+            self.escalations.append((name, job, now))
+            return StopDirective(at=now)
         granted = self.plan.detectors[name].nominal_offset - self.plan.wcrt[name]
         return StopDirective(at=now, granted=granted)
 
@@ -175,10 +252,19 @@ def plan_treatment(
 
     One :class:`AnalysisContext` (the caller's, when provided over the
     same set) backs the admission analysis and every allowance search.
+
+    The weakly-hard ``SKIP_JOB`` / ``DEGRADE`` kinds run the weakly-hard
+    schedulability test instead of the hard analysis (DESIGN.md §3.11):
+    the planned skip pattern removes demand, so they admit every
+    hard-feasible set and, near overload, strictly more.  ``MISS_BUDGET``
+    leaves the schedule untouched until escalation, so it keeps the
+    paper's hard admission and nominal-WCRT detectors.
     """
     if context is not None and context.taskset != taskset:
         context = None
     ctx = context if context is not None else AnalysisContext(taskset)
+    if kind in (TreatmentKind.SKIP_JOB, TreatmentKind.DEGRADE):
+        return _plan_weakly_hard(taskset, kind, rounding, ctx)
     report = ctx.analyze()
     if not report.feasible:
         raise ValueError("task set rejected by admission control")
@@ -208,4 +294,55 @@ def plan_treatment(
         detectors=detectors,
         equitable=equitable,
         system_grants=grants,
+    )
+
+
+def default_degraded_costs(taskset: TaskSet) -> dict[str, int]:
+    """The DEGRADE fallback budget: half the declared cost (>= 1 ns)
+    for every (m, K)-constrained task.  Callers wanting other budgets
+    run :func:`~repro.core.feasibility.weakly_hard_analyze` themselves.
+    """
+    return {
+        t.name: max(1, t.cost // 2) for t in taskset if t.mk is not None
+    }
+
+
+def _plan_weakly_hard(
+    taskset: TaskSet,
+    kind: TreatmentKind,
+    rounding: Rounding,
+    ctx: AnalysisContext,
+) -> TreatmentPlan:
+    """Admission + detector placement for SKIP_JOB / DEGRADE.
+
+    Admission is the weakly-hard schedulability test under the plan's
+    own deeply-red skip pattern; detectors sit at the weakly-hard WCRTs
+    and stop immediately (the sanctioned slots are already budgeted in
+    the thresholds, so an executed job past its weakly-hard WCRT is a
+    genuine overrun).  Tasks whose every job is sanctioned (``m = K``)
+    have nothing to detect and get no detector.
+    """
+    degraded = default_degraded_costs(taskset) if kind is TreatmentKind.DEGRADE else None
+    report = ctx.weakly_hard_analyze_set(taskset, degraded)
+    if not report.feasible:
+        raise ValueError("task set rejected by admission control")
+    wcrt: dict[str, int] = {}
+    for name, r in report.per_task.items():
+        assert r.wcrt is not None  # feasible => bounded
+        wcrt[name] = r.wcrt
+    thresholds = {name: value for name, value in wcrt.items() if value > 0}
+    detectors = {
+        name: spec
+        for name, spec in plan_detectors(
+            TaskSet(t for t in taskset if t.name in thresholds),
+            thresholds,
+            rounding,
+        ).items()
+    }
+    return TreatmentPlan(
+        kind=kind,
+        taskset=taskset,
+        wcrt=wcrt,
+        detectors=detectors,
+        degraded=degraded,
     )

@@ -1,0 +1,170 @@
+"""Weakly-hard (m, K) miss-pattern semantics.
+
+A weakly-hard constraint ``(m, K)`` (Bernat et al.; Liang et al.,
+PAPERS.md arXiv:2008.06192) relaxes the hard-deadline requirement: a
+task may miss **at most m deadlines in any window of K consecutive
+jobs** while preserving its functional guarantees.  The boundary cases
+recover the classic semantics — ``m = 0`` is the hard constraint (no
+miss ever) and ``m = K`` is unconstrained (every window may be all
+misses).
+
+This module is the *semantics* layer the rest of the stack shares:
+
+* :class:`MKConstraint` — the frozen per-task constraint carried by
+  :class:`~repro.core.task.Task`;
+* :func:`MKConstraint.satisfies` / :class:`SlidingWindowChecker` — the
+  exact sliding-window check over an observed miss pattern, in batch
+  (O(n) running sum) and streaming (O(1) per sample) form, property-
+  tested against a brute-force O(n·K) reference;
+* the **deeply-red skip pattern** arithmetic used by both the
+  SKIP_JOB/DEGRADE treatments and the weakly-hard schedulability test
+  (:func:`~repro.core.feasibility.weakly_hard_response_time`):
+  :meth:`MKConstraint.skips`, :meth:`MKConstraint.max_executed` (the
+  interference bound ``f(n)``) and :meth:`MKConstraint.executed_release`
+  (the release index ``g(q)`` of the q-th executed job).
+
+The deterministic skip pattern drops job ``j`` iff ``j % K >= K - m``:
+the first ``K - m`` jobs of every window execute, the last ``m`` are
+skipped.  Any K consecutive indices then contain exactly ``m`` skips,
+so the pattern satisfies ``(m, K)`` with zero slack — the Koren-Shasha
+*deeply-red* arrangement, which front-loads executed jobs and is the
+worst-case alignment the analysis bounds interference with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "MKConstraint",
+    "SlidingWindowChecker",
+    "satisfies",
+    "first_violation",
+]
+
+
+@dataclass(frozen=True)
+class MKConstraint:
+    """At most *m* misses in any window of *k* consecutive jobs."""
+
+    m: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"window K must be >= 1, got {self.k}")
+        if not 0 <= self.m <= self.k:
+            raise ValueError(f"need 0 <= m <= K, got m={self.m}, K={self.k}")
+
+    @property
+    def hard(self) -> bool:
+        """``m = 0``: the constraint degenerates to the hard deadline."""
+        return self.m == 0
+
+    @property
+    def unconstrained(self) -> bool:
+        """``m = K``: every pattern is acceptable."""
+        return self.m == self.k
+
+    # -- observed-pattern checking ------------------------------------------
+    def satisfies(self, pattern: Sequence[bool] | Iterable[bool]) -> bool:
+        """Exact check of a miss *pattern* (True = missed).
+
+        O(n) running-sum sliding window; a pattern shorter than K is
+        checked against its own (only) windows, so a prefix of a
+        satisfying stream never violates what the full stream would not.
+        """
+        return first_violation(pattern, self) is None
+
+    def skips(self, job: int) -> bool:
+        """Deeply-red skip predicate: is release index *job* dropped?"""
+        if job < 0:
+            raise ValueError("job index must be >= 0")
+        return job % self.k >= self.k - self.m
+
+    # -- deeply-red pattern arithmetic (analysis side) ----------------------
+    def max_executed(self, n: int) -> int:
+        """``f(n)``: the most executed jobs among any *n* consecutive
+        releases under the skip pattern (attained when the n releases
+        start at a window boundary — executed jobs are front-loaded)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        e = self.k - self.m
+        return (n // self.k) * e + min(n % self.k, e)
+
+    def executed_release(self, q: int) -> int:
+        """``g(q)``: release index of the (q+1)-th *executed* job.
+
+        Inverse of the skip pattern: executed jobs occupy the first
+        ``K - m`` slots of each window, so ``g`` is the strictly
+        increasing enumeration of the non-skipped indices and
+        ``max_executed(g(q) + 1) == q + 1``.  Undefined for ``m = K``
+        (no job ever executes).
+        """
+        if q < 0:
+            raise ValueError("job index must be >= 0")
+        e = self.k - self.m
+        if e == 0:
+            raise ValueError("m = K: no executed jobs")
+        return (q // e) * self.k + (q % e)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.m},{self.k})"
+
+
+def first_violation(
+    pattern: Sequence[bool] | Iterable[bool], mk: MKConstraint
+) -> int | None:
+    """Index (0-based, of the window's *last* sample) of the first
+    window violating *mk*, or ``None`` when the pattern satisfies it."""
+    checker = SlidingWindowChecker(mk)
+    for i, missed in enumerate(pattern):
+        if not checker.push(bool(missed)):
+            return i
+    return None
+
+
+def satisfies(pattern: Sequence[bool] | Iterable[bool], mk: MKConstraint) -> bool:
+    """Module-level alias of :meth:`MKConstraint.satisfies`."""
+    return first_violation(pattern, mk) is None
+
+
+class SlidingWindowChecker:
+    """Streaming (m, K) checker: O(1) per sample, O(K) memory.
+
+    Equivalent to the batch check on the concatenation of everything
+    pushed so far (property-tested).  Once a violation occurred the
+    checker stays violated — the constraint is over the whole stream.
+    """
+
+    def __init__(self, mk: MKConstraint):
+        self.mk = mk
+        self._window: list[bool] = []  # ring buffer of the last K samples
+        self._head = 0
+        self._misses = 0  # misses currently inside the window
+        self._violated = False
+
+    @property
+    def violated(self) -> bool:
+        return self._violated
+
+    @property
+    def misses_in_window(self) -> int:
+        """Misses among the last ``min(pushed, K)`` samples."""
+        return self._misses
+
+    def push(self, missed: bool) -> bool:
+        """Feed one sample (True = missed); returns ``not violated``."""
+        if len(self._window) < self.mk.k:
+            self._window.append(missed)
+        else:
+            if self._window[self._head]:
+                self._misses -= 1
+            self._window[self._head] = missed
+            self._head = (self._head + 1) % self.mk.k
+        if missed:
+            self._misses += 1
+        if self._misses > self.mk.m:
+            self._violated = True
+        return not self._violated

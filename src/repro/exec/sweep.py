@@ -44,6 +44,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.faults import FaultModel, RandomFaults
 from repro.core.feasibility import is_feasible
+from repro.core.weakly_hard import MKConstraint
 from repro.core.treatments import TreatmentKind, TreatmentPlan, plan_treatment
 from repro.exec.executor import ExecutionResult, Executor
 from repro.exec.manifest import build_manifest, manifest_fingerprint
@@ -96,6 +97,11 @@ class SweepSpec:
     #: Overrun sizes are uniform on ``[1, fault_scale × min period]``.
     fault_scale: float = 0.5
     feasible_only: bool = False
+    #: Optional weakly-hard constraint ``(m, K)`` attached to every
+    #: task of every generated system (None = classic hard deadlines).
+    #: The weakly-hard treatments need it; it routes treated systems to
+    #: the exact engine (classifier reason ``weakly-hard-treatment``).
+    mk: tuple[int, int] | None = None
     chunk_size: int = 64
 
     def __post_init__(self) -> None:
@@ -118,6 +124,8 @@ class SweepSpec:
             raise ValueError("chunk_size must be >= 1")
         if self.horizon_periods < 1:
             raise ValueError("horizon_periods must be >= 1")
+        if self.mk is not None:
+            MKConstraint(*self.mk)  # validates 1 <= K, 0 <= m <= K
 
     @classmethod
     def make(
@@ -161,6 +169,8 @@ class SweepSpec:
         data["axes"] = tuple(
             (str(axis), tuple(values)) for axis, values in data["axes"]
         )
+        if data.get("mk") is not None:
+            data["mk"] = (int(data["mk"][0]), int(data["mk"][1]))
         return cls(**data)
 
 
@@ -406,6 +416,14 @@ def build_chunk(spec: ExperimentSpec, stepper: str = "batched") -> SweepChunk:
                 feasible_only=sweep.feasible_only,
             )
         )
+    if sweep.mk is not None:
+        # Attach after generation so the drawn systems are identical to
+        # the unconstrained sweep's (the mk field never perturbs the
+        # generator's stream — comparisons stay paired).
+        constraint = MKConstraint(*sweep.mk)
+        systems = [
+            ts.with_mk({t.name: constraint for t in ts}) for ts in systems
+        ]
 
     horizons = [sweep.horizon_periods * max(t.period for t in ts) for ts in systems]
     faults = [

@@ -41,7 +41,9 @@ from repro.core.blocking import (
 )
 from repro.core.detection import Rounding, RoundingMode
 from repro.core.faults import CostOverrun, FaultInjector
-from repro.core.feasibility import analyze, is_feasible
+from repro.core.feasibility import analyze, is_feasible, is_weakly_hard_feasible
+from repro.core.weakly_hard import MKConstraint
+from repro.core.weakly_hard import satisfies as mk_satisfies
 from repro.core.servers import (
     ServerSpec,
     deferrable_response_times,
@@ -84,6 +86,10 @@ __all__ = [
     "OverheadAblationResult",
     "BlockingAblationResult",
     "ServerAblationResult",
+    "MKTolerancePoint",
+    "MKToleranceAblationResult",
+    "ablation_mk_tolerance_spec",
+    "build_ablation_mk_tolerance",
     "ablation_treatments_spec",
     "ablation_rounding_spec",
     "ablation_allowance_spec",
@@ -816,3 +822,201 @@ def ablation_servers_spec() -> ExperimentSpec:
 
 def build_ablation_servers(spec: ExperimentSpec) -> ServerAblationResult:
     return ServerAblationResult(study=server_sweep(horizon=spec.param("horizon", 1000)))
+
+
+# ---------------------------------------------------------------------------
+# Weakly-hard (m, K) tolerance study (DESIGN.md §3.11)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MKTolerancePoint:
+    """Hard vs weakly-hard admission and treatment at one load level.
+
+    ``hard_admitted`` / ``mk_admitted`` count the systems the paper's
+    hard admission vs the weakly-hard test admit out of ``candidates``
+    random draws.  ``mk_violations`` counts per-task (m, K) violations
+    observed when every weakly-hard-admitted system runs under
+    SKIP_JOB; the ``stops_*`` / ``escalations`` columns come from
+    paired fault runs (one transient overrun on the highest-priority
+    task) over the hard-admitted systems.
+    """
+
+    utilization: float
+    candidates: int
+    hard_admitted: int
+    mk_admitted: int
+    mk_violations: int
+    mk_skips: int
+    stops_immediate: int
+    stops_equitable: int
+    stops_miss_budget: int
+    escalations: int
+
+
+@dataclass(frozen=True)
+class MKToleranceAblationResult:
+    """Hard-stop vs equitable-allowance vs (m, K) tolerance across
+    utilizations: the weakly-hard admission/treatment exhibit."""
+
+    m: int
+    k: int
+    points: tuple[MKTolerancePoint, ...]
+
+    def render(self) -> str:
+        rows = [
+            (
+                p.utilization,
+                p.candidates,
+                p.hard_admitted,
+                p.mk_admitted,
+                p.mk_violations,
+                p.mk_skips,
+                p.stops_immediate,
+                p.stops_equitable,
+                p.stops_miss_budget,
+                p.escalations,
+            )
+            for p in self.points
+        ]
+        return format_table(
+            [
+                "utilization",
+                "systems",
+                "hard adm.",
+                f"({self.m},{self.k}) adm.",
+                "mK violations",
+                "skips",
+                "stops imm.",
+                "stops eq.",
+                "stops mb.",
+                "escalations",
+            ],
+            rows,
+            title=f"Ablation - weakly-hard ({self.m},{self.k}) fault tolerance",
+        )
+
+    def claims(self) -> list[Claim]:
+        overload = [p for p in self.points if p.mk_admitted > p.hard_admitted]
+        return [
+            Claim(
+                "the weakly-hard test admits every hard-feasible system",
+                all(p.mk_admitted >= p.hard_admitted for p in self.points),
+            ),
+            Claim(
+                "at some load it admits strictly more, all violation-free",
+                any(p.mk_violations == 0 for p in overload),
+            ),
+            Claim(
+                "no admitted system ever violates its (m, K) constraint",
+                all(p.mk_violations == 0 for p in self.points),
+            ),
+            Claim(
+                "skipping really happens wherever weakly-hard runs exist",
+                all(p.mk_skips > 0 for p in self.points if p.mk_admitted > 0),
+            ),
+            Claim(
+                "immediate stop kills the faulty job in every system",
+                all(p.stops_immediate == p.hard_admitted for p in self.points),
+            ),
+            Claim(
+                "the miss budget tolerates the transient fault unstopped",
+                all(
+                    p.stops_miss_budget == 0 and p.escalations == 0
+                    for p in self.points
+                ),
+            ),
+            Claim(
+                "equitable allowance stops no more often than immediate stop",
+                all(p.stops_equitable <= p.stops_immediate for p in self.points),
+            ),
+        ]
+
+
+def ablation_mk_tolerance_spec() -> ExperimentSpec:
+    return ExperimentSpec.make(
+        name="fault_mk_tolerance",
+        builder="ablation.mk_tolerance",
+        seed=7,
+        params={
+            "pool": 6,
+            "n": 4,
+            "mk": (1, 3),
+            "utilizations": (0.7, 0.85, 1.0, 1.15),
+            "windows": 3,
+        },
+    )
+
+
+def build_ablation_mk_tolerance(spec: ExperimentSpec) -> MKToleranceAblationResult:
+    m, k = spec.param("mk", (1, 3))
+    constraint = MKConstraint(int(m), int(k))
+    pool_size = spec.param("pool", 6)
+    n = spec.param("n", 4)
+    windows = spec.param("windows", 3)
+    points = []
+    for u in spec.param("utilizations", (0.7, 0.85, 1.0, 1.15)):
+        raw = [
+            random_taskset(
+                GeneratorConfig(
+                    n=n,
+                    utilization=u,
+                    period_lo=10_000,
+                    period_hi=1_000_000,
+                    period_granularity=1_000,
+                    deadline_factor=1.0,
+                    seed=spec.seed + i,
+                )
+            )
+            for i in range(pool_size)
+        ]
+        # The same drawn systems, with the (m, K) constraint attached —
+        # admission comparisons are paired, not independent samples.
+        mk_pool = [ts.with_mk({t.name: constraint for t in ts}) for ts in raw]
+        hard = [ts for ts in mk_pool if is_feasible(ts)]
+        admitted = [ts for ts in mk_pool if is_weakly_hard_feasible(ts)]
+        violations = 0
+        skips = 0
+        for ts in admitted:
+            horizon = windows * constraint.k * max(t.period for t in ts)
+            res = run_simulation(ts, horizon=horizon, treatment=TreatmentKind.SKIP_JOB)
+            skips += len(res.skipped())
+            for t in ts:
+                if not mk_satisfies(res.miss_pattern(t.name), constraint):
+                    violations += 1
+        stops_i = stops_eq = stops_mb = escalations = 0
+        for ts in hard:
+            victim = ts.tasks[0]
+            faults = FaultInjector([CostOverrun(victim.name, 1, victim.cost)])
+            horizon = 6 * max(t.period for t in ts)
+            res_i = run_simulation(
+                ts, horizon=horizon, faults=faults, treatment=TreatmentKind.IMMEDIATE_STOP
+            )
+            res_eq = run_simulation(
+                ts,
+                horizon=horizon,
+                faults=faults,
+                treatment=TreatmentKind.EQUITABLE_ALLOWANCE,
+            )
+            res_mb = run_simulation(
+                ts, horizon=horizon, faults=faults, treatment=TreatmentKind.MISS_BUDGET
+            )
+            stops_i += len(res_i.stopped())
+            stops_eq += len(res_eq.stopped())
+            stops_mb += len(res_mb.stopped())
+            escalations += len(res_mb.trace.of_kind(EventKind.ESCALATE))
+        points.append(
+            MKTolerancePoint(
+                utilization=u,
+                candidates=pool_size,
+                hard_admitted=len(hard),
+                mk_admitted=len(admitted),
+                mk_violations=violations,
+                mk_skips=skips,
+                stops_immediate=stops_i,
+                stops_equitable=stops_eq,
+                stops_miss_budget=stops_mb,
+                escalations=escalations,
+            )
+        )
+    return MKToleranceAblationResult(m=int(m), k=int(k), points=tuple(points))

@@ -9,7 +9,7 @@ Usage::
     python -m repro.experiments run my_scenario.txt --treatment immediate-stop
     python -m repro.experiments sweep landscape --jobs 4 --manifest out/
 
-``all`` covers the nine paper exhibits *and* the six ablation studies.
+``all`` covers the nine paper exhibits *and* the seven ablation studies.
 Every target runs through the batch executor: ``--jobs N`` fans the
 builds out over a process pool, results are cached under ``--cache``
 (default ``.repro-cache/``; disable with ``--no-cache``), and

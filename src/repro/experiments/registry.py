@@ -5,7 +5,7 @@ This module is the glue between the declarative layer
 ``builder`` string each :class:`~repro.exec.spec.ExperimentSpec`
 carries onto the module-level function that materialises it, and
 enumerates the canonical spec list of the reproduction (nine paper
-exhibits, six ablations, two multiprocessor exhibits, two population
+exhibits, seven ablations, two multiprocessor exhibits, two population
 exhibits).  Sweep chunks (``sweep.chunk``) register here too so the
 chunked sweep runner shares the same executor/cache plumbing.
 
@@ -49,6 +49,7 @@ BUILDERS: Mapping[str, Callable[[ExperimentSpec], Any]] = {
     "ablation.overhead": ablations.build_ablation_overhead,
     "ablation.blocking": ablations.build_ablation_blocking,
     "ablation.servers": ablations.build_ablation_servers,
+    "ablation.mk_tolerance": ablations.build_ablation_mk_tolerance,
     "mp.partitions": mp.build_mp_partitions,
     "mp.migration": mp.build_mp_migration,
     "population.landscape": population.build_population_landscape,
@@ -86,7 +87,7 @@ def paper_specs() -> list[ExperimentSpec]:
 
 
 def ablation_specs() -> list[ExperimentSpec]:
-    """The six ablation studies, in presentation order."""
+    """The seven ablation studies, in presentation order."""
     return [
         ablations.ablation_treatments_spec(),
         ablations.ablation_rounding_spec(),
@@ -94,6 +95,7 @@ def ablation_specs() -> list[ExperimentSpec]:
         ablations.ablation_overhead_spec(),
         ablations.ablation_blocking_spec(),
         ablations.ablation_servers_spec(),
+        ablations.ablation_mk_tolerance_spec(),
     ]
 
 

@@ -96,8 +96,9 @@ class RingSink:
 
 # -- bundle (de)serialisation -------------------------------------------------
 def _tasks_to_data(taskset: Iterable[Any]) -> list[dict[str, Any]]:
-    return [
-        {
+    out = []
+    for t in taskset:
+        row: dict[str, Any] = {
             "name": t.name,
             "cost": t.cost,
             "period": t.period,
@@ -105,12 +106,15 @@ def _tasks_to_data(taskset: Iterable[Any]) -> list[dict[str, Any]]:
             "deadline": t.deadline,
             "offset": t.offset,
         }
-        for t in taskset
-    ]
+        if t.mk is not None:
+            row["mk"] = [t.mk.m, t.mk.k]
+        out.append(row)
+    return out
 
 
 def _tasks_from_data(data: Sequence[Mapping[str, Any]]):
     from repro.core.task import Task, TaskSet
+    from repro.core.weakly_hard import MKConstraint
 
     return TaskSet(
         Task(
@@ -120,6 +124,11 @@ def _tasks_from_data(data: Sequence[Mapping[str, Any]]):
             priority=int(t["priority"]),
             deadline=int(t["deadline"]),
             offset=int(t.get("offset", 0)),
+            mk=(
+                MKConstraint(int(t["mk"][0]), int(t["mk"][1]))
+                if t.get("mk") is not None
+                else None
+            ),
         )
         for t in data
     )

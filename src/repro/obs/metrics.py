@@ -306,6 +306,8 @@ class MetricsObserver:
         EventKind.COMPLETE: "completions",
         EventKind.STOP: "stops",
         EventKind.DEADLINE_MISS: "deadline_misses",
+        EventKind.JOB_SKIP: "job_skips",
+        EventKind.ESCALATE: "escalations",
         EventKind.DETECTOR_FIRE: "detector_fires",
         EventKind.FAULT_DETECTED: "faults_detected",
     }

@@ -62,6 +62,8 @@ _INSTANT = frozenset(
     {
         EventKind.RELEASE,
         EventKind.DEADLINE_MISS,
+        EventKind.JOB_SKIP,
+        EventKind.ESCALATE,
         EventKind.DETECTOR_FIRE,
         EventKind.FAULT_DETECTED,
         EventKind.LOCK,

@@ -141,6 +141,9 @@ def classify(
       precomputed per ``(task, job)``;
     * ``system-allowance`` — §4.3's residual-grant book-keeping stays
       on the exact engine;
+    * ``weakly-hard-treatment`` — the (m, K) treatments (SKIP_JOB /
+      DEGRADE / MISS_BUDGET) drop or reshape individual jobs and keep
+      per-window miss state, which the stepper does not model;
     * ``detector-fire-cost`` / ``stop-poll-overhead`` — VM overheads
       that perturb the schedule around detector events;
     * ``rounding-can-zero-detectors`` — DOWN/NEAREST timer rounding can
@@ -159,6 +162,8 @@ def classify(
             return "opaque-fault-model"
     kind = treatment.kind if isinstance(treatment, TreatmentPlan) else treatment
     if kind is not None and kind is not TreatmentKind.NO_DETECTION:
+        if kind.weakly_hard:
+            return "weakly-hard-treatment"
         if kind is TreatmentKind.SYSTEM_ALLOWANCE:
             return "system-allowance"
         if vm.detector_fire_cost != 0:

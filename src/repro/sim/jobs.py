@@ -24,6 +24,7 @@ class JobState(enum.Enum):
     BLOCKED = "blocked"  # waiting for a shared resource (PIP)
     DONE = "done"  # completed normally
     STOPPED = "stopped"  # terminated by a fault treatment
+    SKIPPED = "skipped"  # never executed: dropped by a weakly-hard SKIP_JOB plan
 
 
 @dataclass
@@ -52,6 +53,9 @@ class Job:
     #: Priority boost from resource protocols (inheritance/ceiling);
     #: the dispatcher uses :attr:`effective_priority`.
     boost: int = 0
+    #: True when the job runs with the plan's reduced DEGRADE cost
+    #: instead of the task's full cost.
+    degraded: bool = False
     _stop_cap: int | None = field(default=None, repr=False)
     #: Execution-progress hooks: ``(point, callback)`` sorted by point,
     #: fired exactly once when ``executed`` reaches the point (used for
@@ -109,11 +113,15 @@ class Job:
 
     @property
     def finished(self) -> bool:
-        return self.state in (JobState.DONE, JobState.STOPPED)
+        return self.state in (JobState.DONE, JobState.STOPPED, JobState.SKIPPED)
 
     @property
     def was_stopped(self) -> bool:
         return self.state is JobState.STOPPED
+
+    @property
+    def was_skipped(self) -> bool:
+        return self.state is JobState.SKIPPED
 
     @property
     def response_time(self) -> int | None:

@@ -89,6 +89,32 @@ class SimResult:
             if j.was_stopped and (task is None or j.name == task)
         ]
 
+    def skipped(self, task: str | None = None) -> list[Job]:
+        """Jobs dropped at release by a weakly-hard SKIP_JOB plan."""
+        return [
+            j
+            for j in self.jobs.values()
+            if j.was_skipped and (task is None or j.name == task)
+        ]
+
+    def miss_pattern(self, task: str) -> list[bool]:
+        """Observed per-job miss pattern for *task*, in release order.
+
+        A job counts as a miss when it missed its deadline **or** was
+        skipped by the plan — exactly the samples an (m, K) constraint
+        ranges over.  Jobs still unfinished at the horizon are excluded
+        (their outcome is unknown) unless their deadline already passed.
+        """
+        out: list[bool] = []
+        for j in self.jobs_of(task):
+            if j.was_skipped or j.deadline_missed:
+                out.append(True)
+            elif j.finished:
+                out.append(False)
+            else:
+                break  # unfinished with deadline beyond the horizon
+        return out
+
     def max_response_time(self, task: str) -> int | None:
         """Largest observed response time among finished jobs of *task*."""
         rts = [j.response_time for j in self.jobs_of(task) if j.response_time is not None]
@@ -214,7 +240,7 @@ class Simulation:
 
         def fire() -> None:
             self._arm_release(task, index + 1)
-            if spec is not None:
+            if spec is not None and not self.plan.skips(task.name, index):  # type: ignore[union-attr]
                 at = self.engine.now + spec.offset
                 if at <= self.horizon:
                     self.engine.schedule(
@@ -227,8 +253,33 @@ class Simulation:
     def _make_release(self, task: Task, index: int):
         def release() -> None:
             now = self.engine.now
-            demand = self.faults.demand(task.name, index, task.cost)
-            job = Job(task=task, index=index, release=now, demand=demand)
+            if self.plan is not None and self.plan.skips(task.name, index):
+                # Weakly-hard SKIP_JOB: the job is dropped at release —
+                # it never competes for the CPU and its deadline is not
+                # checked (a skip is the planned (m, K) miss, not a
+                # failure).  Faults cannot touch a job that never runs.
+                job = Job(
+                    task=task,
+                    index=index,
+                    release=now,
+                    demand=0,
+                    state=JobState.SKIPPED,
+                    finished_at=now,
+                )
+                self.jobs[(task.name, index)] = job
+                self.trace.record(now, EventKind.RELEASE, task.name, index)
+                self.trace.record(now, EventKind.JOB_SKIP, task.name, index)
+                return
+            cost = task.cost
+            degraded = self.plan is not None and self.plan.degrades(task.name, index)
+            if degraded:
+                # Weakly-hard DEGRADE: the job releases with the plan's
+                # reduced fallback cost; faults scale off that budget.
+                cost = self.plan.degraded_cost(task.name)  # type: ignore[union-attr]
+            demand = self.faults.demand(task.name, index, cost)
+            job = Job(
+                task=task, index=index, release=now, demand=demand, degraded=degraded
+            )
             if self.locks is not None:
                 self.locks.attach(job)
             self.jobs[(task.name, index)] = job
@@ -276,6 +327,10 @@ class Simulation:
             directive = self.runtime.on_detect(task.name, index, job.release, now)
             if directive is None:
                 return
+            if self.plan is not None and self.plan.kind is TreatmentKind.MISS_BUDGET:
+                # The window budget ran out: this stop is an escalation
+                # from tolerated misses to the paper's hard stop.
+                self.trace.record(now, EventKind.ESCALATE, task.name, index)
             job.stop_granted = directive.granted
             if directive.at <= now:
                 self._execute_stop(job)

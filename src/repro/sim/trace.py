@@ -43,6 +43,8 @@ class EventKind(enum.Enum):
     COMPLETE = "complete"  # job finished normally (computeAfterPeriodic)
     STOP = "stop"  # job terminated by a treatment
     DEADLINE_MISS = "deadline-miss"  # absolute deadline passed, job unfinished
+    JOB_SKIP = "job-skip"  # job dropped at release by a weakly-hard plan
+    ESCALATE = "escalate"  # MISS_BUDGET window exhausted, stop issued
     DETECTOR_FIRE = "detector-fire"  # periodic detector released
     FAULT_DETECTED = "fault-detected"  # detector found the job unfinished
     IDLE = "idle"  # processor became idle

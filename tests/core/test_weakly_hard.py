@@ -1,0 +1,169 @@
+"""Property tests for the (m, K) miss-pattern semantics.
+
+The sliding-window checker is the trust anchor of the weakly-hard
+layer — the differential oracle, the SKIP_JOB/DEGRADE treatments and
+the schedulability test all lean on it — so it is pinned here against
+a brute-force O(n·K) reference, its boundary cases (m = 0 hard,
+m = K unconstrained), concatenation/prefix monotonicity, and the
+streaming == batch equivalence.  The deeply-red skip-pattern
+arithmetic (``skips`` / ``max_executed`` / ``executed_release``) is
+property-tested against its own enumeration.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.weakly_hard import (
+    MKConstraint,
+    SlidingWindowChecker,
+    first_violation,
+    satisfies,
+)
+
+# -- strategies ---------------------------------------------------------------
+constraints = st.integers(1, 8).flatmap(
+    lambda k: st.integers(0, k).map(lambda m: MKConstraint(m, k))
+)
+patterns = st.lists(st.booleans(), max_size=40)
+
+
+def brute_force(pattern: list[bool], mk: MKConstraint) -> bool:
+    """O(n·K) reference: every window of K consecutive samples (the
+    whole pattern when it is shorter) holds at most m misses."""
+    if len(pattern) < mk.k:
+        return sum(pattern) <= mk.m
+    return all(
+        sum(pattern[i : i + mk.k]) <= mk.m
+        for i in range(len(pattern) - mk.k + 1)
+    )
+
+
+class TestMKConstraint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MKConstraint(0, 0)
+        with pytest.raises(ValueError):
+            MKConstraint(-1, 3)
+        with pytest.raises(ValueError):
+            MKConstraint(4, 3)
+
+    def test_boundary_flags(self):
+        assert MKConstraint(0, 5).hard
+        assert MKConstraint(5, 5).unconstrained
+        mid = MKConstraint(2, 5)
+        assert not mid.hard and not mid.unconstrained
+
+    @given(pattern=patterns, k=st.integers(1, 8))
+    def test_hard_boundary_means_no_miss_ever(self, pattern, k):
+        # m = 0 is exactly the classic hard-deadline requirement.
+        assert satisfies(pattern, MKConstraint(0, k)) == (not any(pattern))
+
+    @given(pattern=patterns, k=st.integers(1, 8))
+    def test_unconstrained_boundary_accepts_everything(self, pattern, k):
+        assert satisfies(pattern, MKConstraint(k, k))
+
+    @given(pattern=patterns, mk=constraints)
+    def test_agrees_with_brute_force(self, pattern, mk):
+        assert satisfies(pattern, mk) == brute_force(pattern, mk)
+        assert mk.satisfies(pattern) == brute_force(pattern, mk)
+
+    @given(pattern=patterns, mk=constraints)
+    def test_first_violation_is_the_earliest(self, pattern, mk):
+        v = first_violation(pattern, mk)
+        if v is None:
+            assert brute_force(pattern, mk)
+        else:
+            assert satisfies(pattern[:v], mk)
+            assert not satisfies(pattern[: v + 1], mk)
+
+    @given(a=patterns, b=patterns, mk=constraints)
+    def test_concatenation_monotone(self, a, b, mk):
+        # Every window of a part is a window of the whole, so a
+        # satisfying concatenation certifies both parts (the converse
+        # fails across the seam, e.g. [miss] + [miss] under (1, 2)).
+        if satisfies(a + b, mk):
+            assert satisfies(a, mk)
+            assert satisfies(b, mk)
+
+    @given(pattern=patterns, mk=constraints, cut=st.integers(0, 40))
+    def test_prefixes_of_satisfying_patterns_satisfy(self, pattern, mk, cut):
+        if satisfies(pattern, mk):
+            assert satisfies(pattern[:cut], mk)
+
+
+class TestSlidingWindowChecker:
+    @given(pattern=patterns, mk=constraints)
+    def test_streaming_equals_batch(self, pattern, mk):
+        checker = SlidingWindowChecker(mk)
+        ok = True
+        for i, missed in enumerate(pattern):
+            ok = checker.push(missed)
+            # After every push the checker's verdict equals the batch
+            # verdict on everything pushed so far.
+            assert ok == satisfies(pattern[: i + 1], mk)
+            assert checker.violated == (not ok)
+        assert checker.violated == (not satisfies(pattern, mk))
+
+    @given(pattern=patterns, mk=constraints)
+    def test_window_miss_count(self, pattern, mk):
+        checker = SlidingWindowChecker(mk)
+        for i, missed in enumerate(pattern):
+            checker.push(missed)
+            window = pattern[max(0, i + 1 - mk.k) : i + 1]
+            assert checker.misses_in_window == sum(window)
+
+    @given(mk=constraints)
+    def test_violation_is_sticky(self, mk):
+        checker = SlidingWindowChecker(mk)
+        for _ in range(mk.m + 1):
+            checker.push(True)
+        if mk.unconstrained:
+            assert not checker.violated
+            return
+        assert checker.violated
+        for _ in range(3 * mk.k):  # hits never clear a violation
+            assert not checker.push(False)
+        assert checker.violated
+
+
+class TestDeeplyRedPattern:
+    @given(mk=constraints, start=st.integers(0, 20))
+    def test_skip_pattern_satisfies_its_own_constraint(self, mk, start):
+        # Any K consecutive releases contain exactly m skips.
+        window = [mk.skips(j) for j in range(start, start + mk.k)]
+        assert sum(window) == mk.m
+        pattern = [mk.skips(j) for j in range(start, start + 4 * mk.k)]
+        assert satisfies(pattern, mk)
+
+    @given(mk=constraints, n=st.integers(0, 30))
+    def test_max_executed_bounds_every_alignment(self, mk, n):
+        counts = [
+            sum(not mk.skips(j) for j in range(s, s + n)) for s in range(mk.k)
+        ]
+        assert mk.max_executed(n) == max(counts)
+        # And the bound is attained at the window-aligned start.
+        assert mk.max_executed(n) == sum(not mk.skips(j) for j in range(n))
+
+    @given(mk=constraints, q=st.integers(0, 30))
+    def test_executed_release_inverts_the_skip_pattern(self, mk, q):
+        if mk.unconstrained:
+            with pytest.raises(ValueError):
+                mk.executed_release(q)
+            return
+        g = mk.executed_release(q)
+        assert not mk.skips(g)
+        # g enumerates exactly the executed indices, in order.
+        assert mk.max_executed(g + 1) == q + 1
+        assert mk.executed_release(q + 1) > g
+
+    def test_argument_validation(self):
+        mk = MKConstraint(1, 3)
+        with pytest.raises(ValueError):
+            mk.skips(-1)
+        with pytest.raises(ValueError):
+            mk.max_executed(-1)
+        with pytest.raises(ValueError):
+            mk.executed_release(-1)

@@ -15,14 +15,23 @@ two halves of the reproduction must agree (DESIGN.md §3.6):
 * **stepper**: the vectorized population stepper is bit-identical to
   the exact engine on everything the classifier admits — including
   random fault injection and the detect-only / immediate-stop /
-  equitable-allowance treatments.
+  equitable-allowance treatments;
+* **(m, K)**: whenever the weakly-hard analysis admits a system with
+  per-task (m, K) constraints, the miss-or-skip pattern observed under
+  the SKIP_JOB treatment satisfies every task's constraint, executed
+  jobs never miss, and their responses stay within the weakly-hard
+  WCRTs.
 
 Every example is seeded through :func:`repro.rng.derive_rng`, so a
 failure is replayable from its drawn integers alone.  Failing draws are
 saved as JSON repro files under ``tests/oracle/corpus/`` and replayed
-*first* (``test_corpus_replay`` is defined at the top of the module),
-so a once-found counterexample keeps guarding the suite even after
-hypothesis's own example database is gone.
+*first* (``test_corpus_replay`` is defined at the top of the module,
+one parametrized id per corpus file), so a once-found counterexample
+keeps guarding the suite even after hypothesis's own example database
+is gone.  Each draw reports which oracle direction it actually covered
+via :func:`hypothesis.event` — run with
+``--hypothesis-show-statistics`` (CI does) to see the per-direction
+coverage counts instead of a silent one-way fallback.
 """
 
 from __future__ import annotations
@@ -31,13 +40,15 @@ import json
 from pathlib import Path
 
 import hypothesis.strategies as st
-from hypothesis import assume, given
+import pytest
+from hypothesis import assume, event, given
 
 from repro.core.context import AnalysisContext
 from repro.core.faults import RandomFaults
 from repro.core.partition import Heuristic, PartitionError, partition_tasks
 from repro.core.task import TaskSet
 from repro.core.treatments import TreatmentKind, plan_treatment
+from repro.core.weakly_hard import MKConstraint, first_violation
 from repro.rng import derive_rng, stable_hash
 from repro.sim.batch import (
     classify,
@@ -96,6 +107,7 @@ def _check_shard(ts: TaskSet, result, horizon: int, sound: bool) -> None:
     """The oracle invariants for one processor's task set + sim result."""
     report = _CTX.analyze_set(ts)
     if report.feasible:
+        event("shard: feasible => wcrt-bound + no-miss checked")
         for task in ts:
             wcrt = report.wcrt(task.name)
             assert wcrt is not None
@@ -110,10 +122,16 @@ def _check_shard(ts: TaskSet, result, horizon: int, sound: bool) -> None:
             f"analysis says feasible but {result.missed()[0].name} missed"
         )
     elif sound and ts.hyperperiod() + max(t.deadline for t in ts) <= horizon:
+        event("shard: infeasible => observed-miss checked")
         assert result.missed(), (
             "analysis says infeasible but no deadline miss was observed "
             "over a sound horizon"
         )
+    else:
+        # Previously a *silent* one-way fallback — now every draw that
+        # lands here says so, and ``--hypothesis-show-statistics`` turns
+        # the events into per-direction coverage counts.
+        event("shard: horizon capped — infeasible=>miss direction skipped")
 
 
 def _check_uni(seed: int, n: int, u_ppm: int, d_ppm: int) -> None:
@@ -175,7 +193,62 @@ def _check_stepper(
     assert schedule_fingerprint(b) == schedule_fingerprint(result)
 
 
-_CHECKS = {"uni": _check_uni, "mp": _check_mp, "stepper": _check_stepper}
+def _check_mk(seed: int, n: int, u_ppm: int, d_ppm: int) -> None:
+    """(m, K) differential oracle: weakly-hard admission against the
+    observed miss-or-skip pattern under the SKIP_JOB treatment.
+
+    Every task gets a derived (m, K) constraint (m = 0 keeps hard
+    semantics through the weakly-hard path).  Whenever the analysis
+    admits the set, the simulated deeply-red schedule must (a) satisfy
+    every task's constraint over the whole run, (b) never miss an
+    *executed* job's deadline, and (c) keep executed responses within
+    the weakly-hard WCRTs.  The constraints are re-derived from the
+    drawn integers, so a corpus repro file needs only the four draws.
+    """
+    base = _generate(seed, n, u_ppm, d_ppm, "mk")
+    rng = derive_rng(seed, "oracle", "mk-constraints", n, u_ppm, d_ppm)
+    constraints = {}
+    for task in base:
+        k = rng.randint(1, 4)
+        constraints[task.name] = MKConstraint(rng.randint(0, k), k)
+    ts = base.with_mk(constraints)
+    report = _CTX.weakly_hard_analyze_set(ts)
+    if not report.feasible:
+        event("mk: weakly-hard infeasible — admission-rejected draw")
+        return
+    event("mk: feasible => pattern + wcrt checked")
+    horizon, _ = _horizons(ts)
+    result = simulate(ts, horizon=horizon, treatment=TreatmentKind.SKIP_JOB)
+    for task in ts:
+        mk = task.mk
+        assert mk is not None
+        pattern = result.miss_pattern(task.name)
+        violation = first_violation(pattern, mk)
+        assert violation is None, (
+            f"{task.name}: admitted under ({mk.m}, {mk.k}) but the observed "
+            f"pattern violates it at job {violation}: {pattern}"
+        )
+        wcrt = report.wcrt(task.name)
+        assert wcrt is not None
+        for job in result.jobs_of(task.name):
+            if job.was_skipped or job.response_time is None:
+                continue
+            assert not job.deadline_missed, (
+                f"{task.name}#{job.index}: executed job missed its deadline "
+                "despite weakly-hard admission"
+            )
+            assert job.response_time <= wcrt, (
+                f"{task.name}#{job.index}: observed response "
+                f"{job.response_time} exceeds weakly-hard WCRT {wcrt}"
+            )
+
+
+_CHECKS = {
+    "uni": _check_uni,
+    "mp": _check_mp,
+    "stepper": _check_stepper,
+    "mk": _check_mk,
+}
 
 
 def _save_repro(kind: str, params: dict) -> None:
@@ -226,12 +299,16 @@ def _run_and_record(kind: str, **params) -> None:
 
 
 # -- replayed FIRST: once-found counterexamples stay regression tests ---------
-def test_corpus_replay():
-    """Replay every saved counterexample before the random sweep."""
-    for path in sorted(CORPUS.glob("*.json")):
-        record = json.loads(path.read_text())
-        kind = record.pop("kind")
-        _CHECKS[kind](**record)
+@pytest.mark.parametrize(
+    "path", sorted(CORPUS.glob("*.json")), ids=lambda p: p.stem
+)
+def test_corpus_replay(path):
+    """Replay one saved counterexample before the random sweep — each
+    corpus file is its own test id, so a regressing repro names itself
+    in the failure report instead of hiding inside a shared loop."""
+    record = json.loads(path.read_text())
+    kind = record.pop("kind")
+    _CHECKS[kind](**record)
 
 
 @given(
@@ -271,3 +348,13 @@ def test_partitioned_sim_never_beats_analysis(seed, n, u_ppm, d_ppm, heuristic):
     _run_and_record(
         "mp", seed=seed, n=n, u_ppm=u_ppm, d_ppm=d_ppm, processors=2, heuristic=heuristic
     )
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(2, 5),
+    u_ppm=st.integers(600_000, 1_400_000),
+    d_ppm=st.sampled_from([900_000, 1_000_000]),
+)
+def test_weakly_hard_admission_never_beats_simulation(seed, n, u_ppm, d_ppm):
+    _run_and_record("mk", seed=seed, n=n, u_ppm=u_ppm, d_ppm=d_ppm)

@@ -1,0 +1,198 @@
+"""Regression: the weakly-hard (m, K) treatments (DESIGN.md §3.11).
+
+Traced over full hyperperiods of the paper's Table 2 system, like the
+§4.2 detector-offset regression next door:
+
+* ``MISS_BUDGET`` escalates to the §4.1 immediate stop *exactly* when
+  the window budget is exhausted — a flagged job is tolerated while at
+  most ``m`` of the last ``K`` jobs were flagged, and two faulty jobs
+  a full window apart never escalate while two inside one window do;
+* ``SKIP_JOB`` drops exactly the sanctioned deeply-red slots and never
+  causes collateral misses — neither on a fault-free run nor on the
+  §4.2-style scenario with the paper's +40 ms overrun injected;
+* ``DEGRADE`` releases the sanctioned slots with the plan's reduced
+  cost instead of dropping them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faults import CostOverrun, FaultInjector
+from repro.core.treatments import TreatmentKind, plan_treatment
+from repro.core.weakly_hard import MKConstraint, satisfies
+from repro.sim.simulation import simulate
+from repro.sim.trace import EventKind
+from repro.units import ms
+
+MK = MKConstraint(1, 3)
+
+
+@pytest.fixture
+def mk_table2(table2):
+    """Table 2 with (1, 3) on every task."""
+    return table2.with_mk({t.name: MK for t in table2})
+
+
+def _fault(jobs, extra=ms(40)):
+    return FaultInjector([CostOverrun("tau1", j, extra) for j in jobs])
+
+
+class TestMissBudgetEscalation:
+    def _run(self, ts, jobs):
+        return simulate(
+            ts,
+            horizon=ts.hyperperiod(),
+            faults=_fault(jobs),
+            treatment=TreatmentKind.MISS_BUDGET,
+        )
+
+    def test_single_fault_is_tolerated_unstopped(self, mk_table2):
+        result = self._run(mk_table2, [0])
+        assert result.runtime is not None
+        assert result.runtime.detections, "the overrun must still be detected"
+        assert not result.stopped(), "one miss within the budget must run on"
+        assert not result.trace.of_kind(EventKind.ESCALATE)
+        # The tolerated job completes with its full faulty demand.
+        job = result.job("tau1", 0)
+        assert job.executed == job.demand == ms(29 + 40)
+
+    def test_second_fault_in_window_escalates(self, mk_table2):
+        result = self._run(mk_table2, [0, 1])
+        escalations = result.trace.of_kind(EventKind.ESCALATE)
+        assert [(e.task, e.job) for e in escalations] == [("tau1", 1)]
+        assert [(j.name, j.index) for j in result.stopped()] == [("tau1", 1)]
+        # The escalated stop happens at the detection instant: the
+        # nominal-WCRT detector offset after the release (paper §4.1).
+        (event,) = escalations
+        release = mk_table2["tau1"].release_time(1)
+        assert event.time == release + ms(29)
+        assert result.runtime.escalations == [("tau1", 1, event.time)]
+
+    def test_faults_a_full_window_apart_never_escalate(self, mk_table2):
+        # Jobs 0 and 3 are K = 3 releases apart: each window of 3
+        # consecutive jobs holds at most one flag, so the budget is
+        # never exhausted.
+        result = self._run(mk_table2, [0, 3])
+        assert not result.trace.of_kind(EventKind.ESCALATE)
+        assert not result.stopped()
+        assert len(result.runtime.flagged["tau1"]) == 2
+
+    def test_faults_inside_one_window_escalate(self, mk_table2):
+        # Jobs 0 and 2 share the window (job 0..2): the second flag
+        # exceeds m = 1 and must escalate — the exact budget boundary.
+        result = self._run(mk_table2, [0, 2])
+        escalations = result.trace.of_kind(EventKind.ESCALATE)
+        assert [(e.task, e.job) for e in escalations] == [("tau1", 2)]
+
+    def test_unconstrained_task_escalates_immediately(self, table2):
+        # Only tau2 carries a budget: tau1 keeps hard semantics, so its
+        # very first flagged job escalates (the m = 0 boundary) exactly
+        # like the §4.1 immediate stop.
+        ts = table2.with_mk({"tau2": MK})
+        result = self._run(ts, [0])
+        escalations = result.trace.of_kind(EventKind.ESCALATE)
+        assert [(e.task, e.job) for e in escalations] == [("tau1", 0)]
+        stop = simulate(
+            table2,
+            horizon=table2.hyperperiod(),
+            faults=_fault([0]),
+            treatment=TreatmentKind.IMMEDIATE_STOP,
+        )
+        assert [(j.name, j.index) for j in result.stopped()] == [
+            (j.name, j.index) for j in stop.stopped()
+        ]
+
+
+class TestSkipJob:
+    def test_fault_free_run_skips_exactly_the_sanctioned_slots(self, mk_table2):
+        result = simulate(
+            mk_table2, horizon=mk_table2.hyperperiod(), treatment=TreatmentKind.SKIP_JOB
+        )
+        assert not result.missed(), "a weakly-hard-admitted set never misses"
+        for task in mk_table2:
+            for job in result.jobs_of(task.name):
+                assert job.was_skipped == MK.skips(job.index)
+            assert satisfies(result.miss_pattern(task.name), MK)
+        skips = result.trace.of_kind(EventKind.JOB_SKIP)
+        assert skips and all(e.job % MK.k == MK.k - 1 for e in skips)
+
+    def test_no_detector_armed_for_skipped_slots(self, mk_table2):
+        result = simulate(
+            mk_table2, horizon=mk_table2.hyperperiod(), treatment=TreatmentKind.SKIP_JOB
+        )
+        for e in result.trace.of_kind(EventKind.DETECTOR_FIRE):
+            assert not MK.skips(e.job)
+
+    def test_faulty_executed_job_is_stopped_without_collateral(self, mk_table2):
+        # §4.2-style scenario: the paper's +40 ms overrun, aimed at an
+        # *executed* slot (job 4; job 5 is a sanctioned skip).  The
+        # overrun is stopped at the weakly-hard threshold and the other
+        # tasks keep every deadline — zero collateral misses.
+        result = simulate(
+            mk_table2,
+            horizon=mk_table2.hyperperiod(),
+            faults=_fault([4]),
+            treatment=TreatmentKind.SKIP_JOB,
+        )
+        assert [(j.name, j.index) for j in result.stopped()] == [("tau1", 4)]
+        assert not result.missed("tau2") and not result.missed("tau3")
+        assert not result.missed("tau1")
+
+    def test_fault_on_a_skipped_slot_is_inert(self, mk_table2):
+        # Job 5 of tau1 is a sanctioned skip: a fault targeting it
+        # never executes, detects or stops anything.
+        result = simulate(
+            mk_table2,
+            horizon=mk_table2.hyperperiod(),
+            faults=_fault([5]),
+            treatment=TreatmentKind.SKIP_JOB,
+        )
+        assert result.job("tau1", 5).was_skipped
+        assert not result.stopped() and not result.missed()
+        assert result.runtime is not None and not result.runtime.detections
+
+
+class TestDegrade:
+    def test_sanctioned_slots_release_with_reduced_cost(self, mk_table2):
+        plan = plan_treatment(mk_table2, TreatmentKind.DEGRADE)
+        result = simulate(
+            mk_table2, horizon=mk_table2.hyperperiod(), treatment=plan
+        )
+        assert not result.missed()
+        for task in mk_table2:
+            for job in result.jobs_of(task.name):
+                assert job.degraded == MK.skips(job.index)
+                assert not job.was_skipped
+                if job.degraded:
+                    assert job.demand == plan.degraded_cost(task.name)
+                    assert job.demand == max(1, task.cost // 2)
+
+
+class TestAdmission:
+    def test_skip_job_admits_a_hard_infeasible_set(self):
+        # U = 1.3 > 1: hard admission rejects outright, but skipping
+        # every other job of the two heavy tasks (1, 2) makes room and
+        # the fault-free run indeed never misses a checked deadline.
+        from repro.core.feasibility import is_feasible, is_weakly_hard_feasible
+        from repro.core.task import Task, TaskSet
+
+        overloaded = TaskSet(
+            [
+                Task("x", cost=ms(50), period=ms(100), priority=3, mk=MKConstraint(1, 2)),
+                Task("y", cost=ms(50), period=ms(100), priority=2, mk=MKConstraint(1, 2)),
+                Task("z", cost=ms(30), period=ms(300), priority=1),
+            ]
+        )
+        assert not is_feasible(overloaded)
+        assert is_weakly_hard_feasible(overloaded)
+        plan = plan_treatment(overloaded, TreatmentKind.SKIP_JOB)
+        result = simulate(
+            overloaded, horizon=2 * overloaded.hyperperiod(), treatment=plan
+        )
+        assert not result.missed()
+        for task in overloaded:
+            if task.mk is not None:
+                assert satisfies(result.miss_pattern(task.name), task.mk)
+        with pytest.raises(ValueError):
+            plan_treatment(overloaded, TreatmentKind.IMMEDIATE_STOP)
